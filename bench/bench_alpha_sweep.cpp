@@ -1,0 +1,75 @@
+// Sensitivity extension: how the OptFileBundle-vs-Landlord gap depends on
+// the popularity skew. The paper evaluates the two extremes (uniform =
+// alpha 0, Zipf = alpha 1); this sweep fills in the curve and extends it
+// past 1, showing where bundle-aware popularity tracking pays off most.
+#include <iostream>
+#include <vector>
+
+#include "common/harness.hpp"
+
+using namespace fbc;
+using namespace fbc::bench;
+
+namespace {
+
+WorkloadConfig base_workload(std::size_t jobs, double alpha) {
+  WorkloadConfig config;
+  config.cache_bytes = 64 * MiB;
+  config.num_files = 300;
+  config.min_file_bytes = 64 * KiB;
+  config.max_file_frac = 0.01;
+  config.num_requests = 200;
+  config.min_bundle_files = 1;
+  config.max_bundle_files = 8;
+  config.num_jobs = jobs;
+  // alpha = 0 under the Zipf sampler IS the uniform distribution, so one
+  // code path spans the whole sweep.
+  config.popularity = Popularity::Zipf;
+  config.zipf_alpha = alpha;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_alpha_sweep",
+                "Byte miss ratio vs popularity skew (Zipf alpha)");
+  add_common_options(cli);
+  cli.parse(argc, argv);
+
+  const std::size_t jobs = cli.get_u64("jobs");
+  const auto seeds = make_seeds(cli.get_u64("seed"), cli.get_u64("seeds"));
+
+  TextTable table({"zipf_alpha", "landlord_byte_miss", "optfb_byte_miss",
+                   "improvement_pct", "optfb_request_hit"});
+  for (double alpha : {0.0, 0.4, 0.8, 1.0, 1.2, 1.6}) {
+    RunSpec spec;
+    spec.workload = base_workload(jobs, alpha);
+    spec.sim.cache_bytes = 64 * MiB;
+    spec.sim.warmup_jobs = default_warmup(jobs);
+
+    spec.policy = "landlord";
+    const Aggregate landlord = run_seeds(spec, seeds);
+    spec.policy = "optfb";
+    const Aggregate optfb = run_seeds(spec, seeds);
+
+    const double improvement =
+        landlord.byte_miss.mean() > 0.0
+            ? 100.0 * (landlord.byte_miss.mean() - optfb.byte_miss.mean()) /
+                  landlord.byte_miss.mean()
+            : 0.0;
+    table.add_row({format_double(alpha, 3),
+                   format_double(landlord.byte_miss.mean()),
+                   format_double(optfb.byte_miss.mean()),
+                   format_double(improvement, 3),
+                   format_double(optfb.request_hit.mean())});
+  }
+
+  std::cout << "Popularity-skew sensitivity (byte miss ratio vs Zipf "
+               "alpha; alpha=0 is uniform)\n";
+  emit(cli, table);
+  std::cout << "Expectations: both policies improve with skew; "
+               "OptFileBundle leads across the whole range, with the "
+               "relative gap roughly flat-to-growing in alpha.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Section 4 ablation: empirical approximation quality of OptCacheSelect
+// against the exact (branch-and-bound) FBC optimum on random small
+// instances, annotated with the proven floors 1/2(1-e^{-1/d}) (Theorem
+// 4.1) and (1-e^{-1/d}) (the Seeded improvement).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/harness.hpp"
+#include "core/bounds.hpp"
+#include "core/opt_cache_select.hpp"
+#include "util/rng.hpp"
+
+using namespace fbc;
+using namespace fbc::bench;
+
+namespace {
+
+struct Instance {
+  FileCatalog catalog;
+  std::vector<Request> requests;
+  std::vector<double> values;
+  std::vector<std::uint32_t> degrees;
+  Bytes capacity = 0;
+
+  explicit Instance(std::uint64_t seed, std::size_t max_requests) {
+    Rng rng(seed);
+    const std::size_t num_files = 5 + rng.index(8);
+    const std::size_t num_requests = 4 + rng.index(max_requests - 3);
+    for (std::size_t f = 0; f < num_files; ++f) {
+      catalog.add_file(rng.uniform_u64(1, 30));
+    }
+    for (std::size_t r = 0; r < num_requests; ++r) {
+      const std::size_t k = 1 + rng.index(std::min<std::size_t>(4, num_files));
+      const auto picked = rng.sample_without_replacement(num_files, k);
+      std::vector<FileId> files;
+      for (std::size_t idx : picked) files.push_back(static_cast<FileId>(idx));
+      requests.emplace_back(std::move(files));
+      values.push_back(static_cast<double>(rng.uniform_u64(1, 12)));
+    }
+    degrees.assign(catalog.count(), 0);
+    for (const Request& r : requests) {
+      for (FileId id : r.files) ++degrees[id];
+    }
+    capacity = 1 + rng.uniform_u64(0, catalog.total_bytes());
+  }
+
+  [[nodiscard]] std::vector<SelectionItem> items() const {
+    std::vector<SelectionItem> out;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      out.push_back(SelectionItem{&requests[i], values[i]});
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_approx_ratio",
+                "Empirical OptCacheSelect approximation ratio vs exact");
+  cli.add_option("instances", "number of random instances", "200");
+  cli.add_option("max-requests", "max requests per instance", "14");
+  cli.add_option("seed", "master seed", "1");
+  cli.add_flag("csv", "emit CSV");
+  cli.parse(argc, argv);
+
+  const std::size_t instances = cli.get_u64("instances");
+  const std::size_t max_requests = cli.get_u64("max-requests");
+  Rng master(cli.get_u64("seed"));
+
+  struct VariantStats {
+    SelectVariant variant;
+    RunningStats ratio;
+    double worst = 2.0;
+    std::size_t optimal_hits = 0;
+  };
+  std::vector<VariantStats> stats{{SelectVariant::Basic, {}, 2.0, 0},
+                                  {SelectVariant::Resort, {}, 2.0, 0},
+                                  {SelectVariant::Seeded1, {}, 2.0, 0},
+                                  {SelectVariant::Seeded2, {}, 2.0, 0}};
+  RunningStats degree_stats;
+  std::uint32_t max_d = 0;
+
+  for (std::size_t i = 0; i < instances; ++i) {
+    const Instance inst(master.derive_seed(i), max_requests);
+    const auto items = inst.items();
+    const SelectionResult exact =
+        exact_select(items, inst.catalog, inst.capacity);
+    if (exact.total_value <= 0.0) continue;
+    const std::uint32_t d = max_file_degree(items);
+    degree_stats.add(d);
+    max_d = std::max(max_d, d);
+
+    OptCacheSelect selector(inst.catalog, inst.degrees);
+    for (VariantStats& vs : stats) {
+      const SelectionResult greedy =
+          selector.select(items, inst.capacity, vs.variant);
+      const double ratio = greedy.total_value / exact.total_value;
+      vs.ratio.add(ratio);
+      vs.worst = std::min(vs.worst, ratio);
+      if (ratio >= 1.0 - 1e-9) ++vs.optimal_hits;
+    }
+  }
+
+  TextTable table({"variant", "mean_ratio", "worst_ratio", "optimal_found_pct",
+                   "proven_floor_at_max_d"});
+  for (const VariantStats& vs : stats) {
+    const double floor = vs.variant == SelectVariant::Basic ||
+                                 vs.variant == SelectVariant::Resort
+                             ? greedy_bound_factor(max_d)
+                             : seeded_bound_factor(max_d);
+    const double optimal_pct =
+        vs.ratio.count() == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(vs.optimal_hits) /
+                  static_cast<double>(vs.ratio.count());
+    table.add_row({to_string(vs.variant), format_double(vs.ratio.mean()),
+                   format_double(vs.worst), format_double(optimal_pct, 4),
+                   format_double(floor)});
+  }
+  std::cout << "Empirical approximation ratio of OptCacheSelect vs exact "
+               "optimum (" << degree_stats.count() << " instances, max file "
+               "degree up to " << max_d << ")\n";
+  emit(cli, table);
+  std::cout << "Expectation: every worst_ratio is far above its proven "
+               "floor; Seeded variants dominate the plain greedy.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Drift extension bench: when request popularity is NON-stationary
+// (hot analyses cool down over a campaign), how do the history-truncation
+// modes of Fig. 5 rank? Stale full-history values should now hurt, while
+// the window and cache-resident modes track the drift -- the flip side of
+// the paper's stationary Fig. 5 result.
+#include <iostream>
+#include <vector>
+
+#include "common/harness.hpp"
+
+using namespace fbc;
+using namespace fbc::bench;
+
+namespace {
+
+WorkloadConfig drift_workload(std::size_t jobs, std::size_t period) {
+  WorkloadConfig config;
+  config.cache_bytes = 64 * MiB;
+  config.num_files = 300;
+  config.min_file_bytes = 64 * KiB;
+  config.max_file_frac = 0.01;
+  config.num_requests = 200;
+  config.min_bundle_files = 1;
+  config.max_bundle_files = 8;
+  config.num_jobs = jobs;
+  config.popularity = Popularity::Zipf;
+  config.drift_period_jobs = period;
+  config.drift_rotate = 20;  // a tenth of the pool turns over per period
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_drift",
+                "History truncation under non-stationary popularity");
+  add_common_options(cli);
+  cli.parse(argc, argv);
+
+  const std::size_t jobs = cli.get_u64("jobs");
+  const auto seeds = make_seeds(cli.get_u64("seed"), cli.get_u64("seeds"));
+
+  struct Variant {
+    std::string label;
+    std::string policy;
+    std::uint64_t window;
+  };
+  const std::vector<Variant> variants{
+      {"full-history", "optfb-full", 0},
+      {"window-500", "optfb-window", 500},
+      {"cache-resident", "optfb", 0},
+      {"landlord", "landlord", 0},
+  };
+
+  TextTable table({"history", "stationary", "slow_drift", "fast_drift"});
+  for (const Variant& v : variants) {
+    std::vector<std::string> row{v.label};
+    for (std::size_t period : {std::size_t{0}, jobs / 4, jobs / 16}) {
+      RunSpec spec;
+      spec.policy = v.policy;
+      spec.history_window_jobs = v.window;
+      spec.workload = drift_workload(jobs, period);
+      spec.sim.cache_bytes = 64 * MiB;
+      spec.sim.warmup_jobs = default_warmup(jobs);
+      const Aggregate agg = run_seeds(spec, seeds);
+      row.push_back(format_double(agg.byte_miss.mean()));
+    }
+    table.add_row(row);
+  }
+
+  std::cout << "Byte miss ratio under popularity drift (Zipf, rank rotation "
+               "of 20/200 pool entries per period)\n";
+  emit(cli, table);
+  std::cout << "Expectations: drift raises the miss ratio of every "
+               "popularity-history mode; the sliding window adapts best "
+               "among them, reversing the stationary Fig. 5 tie. Under "
+               "fast drift the purely recency-based Landlord closes the "
+               "gap or overtakes -- popularity history is only an asset "
+               "when popularity is (quasi-)stationary, a boundary of the "
+               "paper's result worth knowing.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 5 reproduction: effect of truncating the request-history length on
+// the byte miss ratio. The paper's finding: restricting the candidate set
+// to the requests currently supported by the cache (while keeping global
+// popularity/degree counters) performs essentially like the full history,
+// at constant per-decision cost.
+//
+// Rows: history policy (full / window-K / cache-resident).
+// Columns: byte miss ratio under uniform and Zipf request popularity.
+#include <iostream>
+#include <vector>
+
+#include "common/harness.hpp"
+
+using namespace fbc;
+using namespace fbc::bench;
+
+namespace {
+
+WorkloadConfig base_workload(std::size_t jobs, Popularity popularity) {
+  WorkloadConfig config;
+  config.cache_bytes = 64 * MiB;
+  config.num_files = 300;
+  config.min_file_bytes = 64 * KiB;
+  config.max_file_frac = 0.01;
+  config.num_requests = 200;
+  config.min_bundle_files = 1;
+  config.max_bundle_files = 8;
+  config.num_jobs = jobs;
+  config.popularity = popularity;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig5_history",
+                "Fig. 5: byte miss ratio vs request-history truncation");
+  add_common_options(cli);
+  cli.parse(argc, argv);
+
+  const std::size_t jobs = cli.get_u64("jobs");
+  const auto seeds = make_seeds(cli.get_u64("seed"), cli.get_u64("seeds"));
+
+  struct Variant {
+    std::string label;
+    std::string policy;
+    std::uint64_t window;
+  };
+  const std::vector<Variant> variants{
+      {"full-history", "optfb-full", 0},
+      {"window-2000", "optfb-window", 2000},
+      {"window-500", "optfb-window", 500},
+      {"window-100", "optfb-window", 100},
+      {"cache-resident", "optfb", 0},
+  };
+
+  TextTable table({"history", "byte_miss_uniform", "byte_miss_zipf",
+                   "ci95_uniform", "ci95_zipf"});
+  for (const Variant& v : variants) {
+    RunSpec spec;
+    spec.policy = v.policy;
+    spec.history_window_jobs = v.window;
+    spec.sim.cache_bytes = 64 * MiB;
+    spec.sim.warmup_jobs = default_warmup(jobs);
+
+    spec.workload = base_workload(jobs, Popularity::Uniform);
+    const Aggregate uniform = run_seeds(spec, seeds);
+    spec.workload = base_workload(jobs, Popularity::Zipf);
+    const Aggregate zipf = run_seeds(spec, seeds);
+
+    table.add_row({v.label, format_double(uniform.byte_miss.mean()),
+                   format_double(zipf.byte_miss.mean()),
+                   format_double(uniform.byte_miss.ci95_halfwidth(), 2),
+                   format_double(zipf.byte_miss.ci95_halfwidth(), 2)});
+  }
+
+  std::cout << "Fig. 5: effect of varying the history length "
+               "(byte miss ratio, lower is better)\n";
+  emit(cli, table);
+  std::cout << "Expectation (paper): truncation to cache-resident requests "
+               "changes the byte miss ratio only negligibly.\n";
+  return 0;
+}

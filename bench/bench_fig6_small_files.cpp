@@ -1,0 +1,9 @@
+// Fig. 6 reproduction: byte miss ratio of OptFileBundle vs Landlord for
+// SMALL files (max file size = 1% of the cache), under (a) uniform and
+// (b) Zipf request popularity. See common/fig67.cpp for the sweep.
+#include "common/fig67.hpp"
+
+int main(int argc, char** argv) {
+  return fbc::bench::run_fig67("fig6_small_files", /*max_file_frac=*/0.01,
+                               argc, argv);
+}

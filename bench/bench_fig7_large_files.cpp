@@ -1,0 +1,9 @@
+// Fig. 7 reproduction: byte miss ratio of OptFileBundle vs Landlord for
+// LARGE files (max file size = 10% of the cache); otherwise identical to
+// the Fig. 6 sweep. See common/fig67.cpp.
+#include "common/fig67.hpp"
+
+int main(int argc, char** argv) {
+  return fbc::bench::run_fig67("fig7_large_files", /*max_file_frac=*/0.10,
+                               argc, argv);
+}

@@ -1,0 +1,95 @@
+// Fig. 9 reproduction: effect of the admission-queue length on the byte
+// miss ratio. With queue length q, the simulator accumulates q jobs and
+// OptFileBundle drains them in order of highest adjusted relative value
+// (paper §5.3). (a) uniform popularity, (b) Zipf.
+#include <iostream>
+#include <vector>
+
+#include "common/harness.hpp"
+
+using namespace fbc;
+using namespace fbc::bench;
+
+namespace {
+
+WorkloadConfig base_workload(std::size_t jobs, Popularity popularity) {
+  WorkloadConfig config;
+  config.cache_bytes = 64 * MiB;
+  config.num_files = 600;
+  config.min_file_bytes = 64 * KiB;
+  config.max_file_frac = 0.01;
+  // A pool much larger than the queue: queued duplicates are rare under
+  // uniform popularity, so any benefit of value-first scheduling comes
+  // from popularity skew, as in the paper.
+  config.num_requests = 2000;
+  config.min_bundle_files = 1;
+  config.max_bundle_files = 8;
+  config.num_jobs = jobs;
+  config.popularity = popularity;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig9_queue",
+                "Fig. 9: byte miss ratio vs admission queue length");
+  add_common_options(cli);
+  cli.parse(argc, argv);
+
+  const std::size_t jobs = cli.get_u64("jobs");
+  const auto seeds = make_seeds(cli.get_u64("seed"), cli.get_u64("seeds"));
+  const std::vector<std::size_t> queue_sweep{1, 5, 10, 25, 50, 100};
+
+  TextTable table({"queue_length", "byte_miss_uniform", "byte_miss_zipf",
+                   "hit_uniform", "hit_zipf"});
+  for (std::size_t q : queue_sweep) {
+    RunSpec spec;
+    spec.policy = "optfb";
+    spec.sim.cache_bytes = 64 * MiB;
+    spec.sim.queue_length = q;
+    spec.sim.warmup_jobs = default_warmup(jobs);
+
+    spec.workload = base_workload(jobs, Popularity::Uniform);
+    const Aggregate uniform = run_seeds(spec, seeds);
+    spec.workload = base_workload(jobs, Popularity::Zipf);
+    const Aggregate zipf = run_seeds(spec, seeds);
+
+    table.add_row({"q" + std::to_string(q),
+                   format_double(uniform.byte_miss.mean()),
+                   format_double(zipf.byte_miss.mean()),
+                   format_double(uniform.request_hit.mean()),
+                   format_double(zipf.request_hit.mean())});
+  }
+  std::cout << "Fig. 9: OptFileBundle byte miss ratio vs admission queue "
+               "length (a: uniform, b: zipf)\n";
+  emit(cli, table);
+  std::cout << "Expectation (paper): queueing helps little under uniform "
+               "popularity but lowers the byte miss ratio noticeably under "
+               "Zipf (q=100 best).\n\n";
+
+  // Fairness extension (paper §5.2's lockout remark): with a SLIDING
+  // queue, pure value-order scheduling can starve rare requests; aging
+  // bounds the worst wait at almost no byte-miss cost.
+  TextTable fairness({"scheduling", "byte_miss_zipf", "mean_wait", "max_wait"});
+  for (double aging : {0.0, 0.5, 2.0}) {
+    RunSpec spec;
+    spec.policy = "optfb";
+    spec.aging_factor = aging;
+    spec.sim.cache_bytes = 64 * MiB;
+    spec.sim.queue_length = 50;
+    spec.sim.queue_mode = QueueMode::Sliding;
+    spec.sim.warmup_jobs = default_warmup(jobs);
+    spec.workload = base_workload(jobs, Popularity::Zipf);
+    const Aggregate agg = run_seeds(spec, seeds);
+    fairness.add_row({"sliding q50, aging=" + format_double(aging),
+                      format_double(agg.byte_miss.mean()),
+                      format_double(agg.mean_wait.mean()),
+                      format_double(agg.max_wait.mean())});
+  }
+  std::cout << "Lockout avoidance under the sliding queue (Zipf):\n";
+  emit(cli, fairness);
+  std::cout << "Expectation: aging cuts max_wait sharply while byte_miss "
+               "stays within noise.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Microbenchmark (google-benchmark): per-decision computational cost of
+// the replacement policies, the §5.3 cost discussion. Each iteration
+// replays a pre-generated job stream through the simulator; the reported
+// time is dominated by select_victims() calls.
+#include <benchmark/benchmark.h>
+
+#include "cache/simulator.hpp"
+#include "core/registry.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace fbc;
+
+Workload make_workload(std::size_t num_requests, std::size_t jobs) {
+  WorkloadConfig config;
+  config.seed = 7;
+  config.cache_bytes = 32 * MiB;
+  config.num_files = 300;
+  config.min_file_bytes = 64 * KiB;
+  config.max_file_frac = 0.01;
+  config.num_requests = num_requests;
+  config.max_bundle_files = 6;
+  config.num_jobs = jobs;
+  config.popularity = Popularity::Zipf;
+  return generate_workload(config);
+}
+
+void run_policy_bench(benchmark::State& state, const std::string& name) {
+  const std::size_t num_requests = static_cast<std::size_t>(state.range(0));
+  const Workload w = make_workload(num_requests, 1000);
+  std::uint64_t decisions = 0;
+  for (auto _ : state) {
+    PolicyContext context;
+    context.catalog = &w.catalog;
+    context.jobs = w.jobs;
+    PolicyPtr policy = make_policy(name, context);
+    SimulatorConfig config{.cache_bytes = 32 * MiB};
+    const SimulationResult result =
+        simulate(config, w.catalog, *policy, w.jobs);
+    decisions += result.decisions;
+    benchmark::DoNotOptimize(result.metrics.byte_miss_ratio());
+  }
+  state.counters["decisions"] =
+      benchmark::Counter(static_cast<double>(decisions),
+                         benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.jobs.size()));
+}
+
+void BM_OptFileBundle(benchmark::State& state) {
+  run_policy_bench(state, "optfb");
+}
+void BM_OptFileBundleBasic(benchmark::State& state) {
+  run_policy_bench(state, "optfb-basic");
+}
+void BM_OptFileBundleFull(benchmark::State& state) {
+  run_policy_bench(state, "optfb-full");
+}
+void BM_Landlord(benchmark::State& state) {
+  run_policy_bench(state, "landlord");
+}
+void BM_Lru(benchmark::State& state) { run_policy_bench(state, "lru"); }
+void BM_Lfu(benchmark::State& state) { run_policy_bench(state, "lfu"); }
+
+}  // namespace
+
+// The sweep argument is the distinct-request pool size: OptFileBundle's
+// decision cost grows with the candidate count, the baselines' does not.
+BENCHMARK(BM_OptFileBundle)->Arg(50)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OptFileBundleBasic)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OptFileBundleFull)->Arg(50)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Landlord)->Arg(50)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lru)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lfu)->Arg(200)->Unit(benchmark::kMillisecond);

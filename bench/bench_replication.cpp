@@ -1,0 +1,99 @@
+// Replication extension bench (paper §1 lists "strategic data
+// replication" among the grid's performance levers): mean response time
+// and staged volume as the local replica budget grows, for OptFileBundle
+// vs Landlord, with popularity-greedy replica placement.
+#include <iostream>
+#include <vector>
+
+#include "common/harness.hpp"
+#include "grid/replica.hpp"
+#include "grid/srm.hpp"
+#include "util/rng.hpp"
+
+using namespace fbc;
+using namespace fbc::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_replication",
+                "Response time vs replica budget (greedy placement)");
+  cli.add_option("jobs", "jobs per run", "1200");
+  cli.add_option("seed", "master seed", "1");
+  cli.add_flag("csv", "emit CSV");
+  cli.parse(argc, argv);
+
+  WorkloadConfig wconfig;
+  wconfig.seed = cli.get_u64("seed");
+  wconfig.cache_bytes = 16 * GiB;
+  wconfig.num_files = 400;
+  wconfig.min_file_bytes = 128 * MiB;
+  wconfig.max_file_frac = 0.02;
+  wconfig.num_requests = 250;
+  wconfig.max_bundle_files = 5;
+  wconfig.num_jobs = cli.get_u64("jobs");
+  wconfig.popularity = Popularity::Zipf;
+  const Workload w = generate_workload(wconfig);
+
+  // Per-file access counts over the whole stream drive the placement (in
+  // deployment these come from SRM logs).
+  std::vector<std::uint64_t> access_counts(w.catalog.count(), 0);
+  for (const Request& job : w.jobs) {
+    for (FileId id : job.files) ++access_counts[id];
+  }
+
+  std::vector<GridJob> jobs;
+  Rng arrival_rng(wconfig.seed + 5);
+  double arrival = 0.0;
+  for (const Request& r : w.jobs) {
+    jobs.push_back(GridJob{r, arrival, arrival_rng.uniform_double(1.0, 4.0)});
+    arrival += arrival_rng.uniform_double(0.0, 30.0);
+  }
+
+  TextTable table({"replica_budget", "policy", "mean_response_s",
+                   "data_staged", "frac_from_replicas"});
+  const Bytes total = w.catalog.total_bytes();
+  for (double budget_frac : {0.0, 0.1, 0.25, 0.5}) {
+    const Bytes budget = static_cast<Bytes>(
+        budget_frac * static_cast<double>(total));
+    for (const std::string policy_name : {"optfb", "landlord"}) {
+      std::vector<ReplicaSite> sites{
+          ReplicaSite{"origin-wan", StorageTier{"wan", 2.0, 25.0 * MiB}, 0},
+          ReplicaSite{"local-pool",
+                      StorageTier{"disk", 0.05, 400.0 * MiB}, budget},
+      };
+      ReplicaManager manager(sites, w.catalog);
+      manager.replicate_by_popularity(access_counts);
+
+      // Fraction of demanded bytes servable from the local replica pool.
+      Bytes replicated_demand = 0, total_demand = 0;
+      for (const Request& r : w.jobs) {
+        for (FileId id : r.files) {
+          const Bytes size = w.catalog.size_of(id);
+          total_demand += size;
+          if (manager.has_replica(id, 1)) replicated_demand += size;
+        }
+      }
+
+      PolicyContext context;
+      context.catalog = &w.catalog;
+      PolicyPtr policy = make_policy(policy_name, context);
+      SrmConfig config{.cache_bytes = wconfig.cache_bytes,
+                       .transfers = TransferModel{.max_parallel = 4}};
+      StorageResourceManager srm(config, manager, *policy);
+      const SrmReport report = srm.run(jobs);
+
+      table.add_row(
+          {format_double(100.0 * budget_frac, 3) + "%", policy_name,
+           format_double(report.response_s.mean()),
+           format_bytes(report.bytes_staged),
+           format_double(static_cast<double>(replicated_demand) /
+                         static_cast<double>(total_demand))});
+    }
+  }
+
+  std::cout << "Replication sweep: local replica budget as a fraction of "
+               "the dataset (" << format_bytes(total) << ")\n";
+  emit(cli, table);
+  std::cout << "Expectations: response time falls as the replica budget "
+               "grows; bundle-aware caching and replication compound.\n";
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Shared driver for the Fig. 6 (small files) and Fig. 7 (large files)
+// sweeps: OptFileBundle vs Landlord byte miss ratio across average
+// request sizes, for uniform and Zipf popularity. The two figures differ
+// only in the maximum file size relative to the cache.
+#pragma once
+
+namespace fbc::bench {
+
+/// Runs the figure sweep and prints the two (a)/(b) tables.
+/// `max_file_frac` is the maximum file size as a fraction of the cache
+/// (0.01 reproduces Fig. 6, 0.10 reproduces Fig. 7). The bundle-size
+/// sweep is chosen so the cache spans roughly 5-130 average requests --
+/// the operating range of the paper's experiments -- which is why the
+/// large-file figure uses smaller bundles.
+int run_fig67(const char* figure, double max_file_frac, int argc,
+              char** argv);
+
+}  // namespace fbc::bench

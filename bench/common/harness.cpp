@@ -1,0 +1,61 @@
+#include "common/harness.hpp"
+
+#include <iostream>
+
+#include "util/rng.hpp"
+
+namespace fbc::bench {
+
+CacheMetrics run_one(const RunSpec& spec) {
+  const Workload w = generate_workload(spec.workload);
+  PolicyContext context;
+  context.catalog = &w.catalog;
+  context.jobs = w.jobs;
+  context.seed = spec.workload.seed ^ 0x9e3779b97f4a7c15ULL;
+  context.history_window_jobs = spec.history_window_jobs;
+  context.aging_factor = spec.aging_factor;
+  PolicyPtr policy = make_policy(spec.policy, context);
+  return simulate(spec.sim, w.catalog, *policy, w.jobs).metrics;
+}
+
+Aggregate run_seeds(RunSpec spec, std::span<const std::uint64_t> seeds) {
+  Aggregate agg;
+  for (std::uint64_t seed : seeds) {
+    spec.workload.seed = seed;
+    const CacheMetrics m = run_one(spec);
+    agg.byte_miss.add(m.byte_miss_ratio());
+    agg.request_hit.add(m.request_hit_ratio());
+    agg.moved_mib.add(m.avg_bytes_moved_per_job() / (1024.0 * 1024.0));
+    agg.mean_wait.add(m.mean_queue_wait());
+    agg.max_wait.add(m.max_queue_wait());
+  }
+  return agg;
+}
+
+std::vector<std::uint64_t> make_seeds(std::uint64_t master,
+                                      std::size_t count) {
+  Rng rng(master);
+  std::vector<std::uint64_t> seeds(count);
+  for (std::size_t i = 0; i < count; ++i) seeds[i] = rng.derive_seed(i);
+  return seeds;
+}
+
+void add_common_options(CliParser& cli) {
+  cli.add_option("jobs", "jobs per simulation run", "4000");
+  cli.add_option("seeds", "repetition seeds per sweep point", "3");
+  cli.add_option("seed", "master seed", "1");
+  cli.add_flag("csv", "emit CSV instead of the aligned table");
+}
+
+void emit(const CliParser& cli, const TextTable& table) {
+  if (cli.get_flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+std::size_t default_warmup(std::size_t jobs) { return jobs / 10; }
+
+}  // namespace fbc::bench

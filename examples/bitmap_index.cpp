@@ -1,0 +1,85 @@
+// Bit-sliced bitmap index example (paper §1.1, third motivating
+// application, after Wu et al., SSDBM'03).
+//
+// High-dimensional scientific data is indexed by one compressed bitmap
+// file per (attribute, bin). A range query "energy in [20, 35) AND
+// pt in [3, 9)" ORs together a contiguous run of bin bitmaps per
+// constrained attribute -- and all of those files must be resident
+// simultaneously to answer the query.
+//
+// The example also demonstrates trace save/replay, the mechanism for
+// feeding real SRM logs into the simulator.
+//
+// Run: ./build/examples/bitmap_index [--jobs=N]
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "cache/simulator.hpp"
+#include "core/registry.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fbc;
+
+  CliParser cli("bitmap_index", "Bit-sliced index query cache demo");
+  cli.add_option("jobs", "number of range queries", "5000");
+  cli.add_option("seed", "workload seed", "42");
+  cli.add_option("save-trace", "write the query trace to this path", "");
+  cli.parse(argc, argv);
+
+  BitmapConfig config;
+  config.seed = cli.get_u64("seed");
+  config.num_attributes = 20;
+  config.bins_per_attribute = 25;
+  config.num_jobs = cli.get_u64("jobs");
+  const Workload w = generate_bitmap_workload(config);
+
+  const Bytes cache_bytes = w.catalog.total_bytes() / 8;
+  std::cout << "Bitmap index: " << config.num_attributes << " attributes x "
+            << config.bins_per_attribute << " bins ("
+            << format_bytes(w.catalog.total_bytes())
+            << " of compressed bitmaps), " << w.pool.size()
+            << " distinct range queries, cache " << format_bytes(cache_bytes)
+            << "\n\n";
+
+  // Optionally persist the trace (replayable with load_trace()).
+  const std::string trace_path = cli.get_string("save-trace");
+  if (!trace_path.empty()) {
+    save_trace(trace_path, Trace{w.catalog, w.jobs, {}, {}});
+    std::cout << "trace written to " << trace_path << "\n";
+  }
+
+  // Round-trip the workload through the trace format to prove replay
+  // equivalence, then simulate from the replayed trace.
+  std::stringstream buffer;
+  write_trace(buffer, Trace{w.catalog, w.jobs, {}, {}});
+  const Trace replay = read_trace(buffer);
+
+  TextTable table({"policy", "request_hit", "byte_miss",
+                   "data_moved_per_query"});
+  for (const std::string name : {"optfb", "landlord", "gds-unit", "random"}) {
+    PolicyContext context;
+    context.catalog = &replay.catalog;
+    context.jobs = replay.jobs;
+    PolicyPtr policy = make_policy(name, context);
+    SimulatorConfig sim_config{.cache_bytes = cache_bytes,
+                               .warmup_jobs = replay.jobs.size() / 10};
+    const CacheMetrics m =
+        simulate(sim_config, replay.catalog, *policy, replay.jobs).metrics;
+    table.add_row(
+        {name, format_double(m.request_hit_ratio()),
+         format_double(m.byte_miss_ratio()),
+         format_bytes(static_cast<Bytes>(m.avg_bytes_moved_per_job()))});
+  }
+  table.print(std::cout);
+  std::cout << "\nQueries repeat (Zipf over the query pool), and their bin "
+               "runs overlap; bundle-aware replacement exploits both, "
+               "per-file policies only the latter.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Climate model post-processing example (paper §1.1, Fig. 1).
+//
+// A climate simulation writes one file per (variable, time-chunk):
+// temperature, humidity, the three wind components, ... Visualization and
+// analysis jobs read a physically related *group* of variables over a
+// contiguous range of chunks -- e.g. all wind components for a storm
+// period -- and every file of that window must be staged simultaneously.
+//
+// The example shows how the admission queue (Fig. 9) interacts with the
+// bundle-aware policy on this structured workload.
+//
+// Run: ./build/examples/climate_post [--jobs=N]
+#include <iostream>
+#include <vector>
+
+#include "cache/simulator.hpp"
+#include "core/registry.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fbc;
+
+  CliParser cli("climate_post", "Climate post-processing cache demo");
+  cli.add_option("jobs", "number of analysis jobs", "4000");
+  cli.add_option("seed", "workload seed", "42");
+  cli.parse(argc, argv);
+
+  ClimateConfig config;
+  config.seed = cli.get_u64("seed");
+  config.num_variables = 16;
+  config.num_chunks = 30;
+  config.num_groups = 8;
+  config.num_jobs = cli.get_u64("jobs");
+  const Workload w = generate_climate_workload(config);
+
+  const Bytes cache_bytes = w.catalog.total_bytes() / 6;
+  std::cout << "Climate workload: " << config.num_variables
+            << " variables x " << config.num_chunks << " chunks ("
+            << format_bytes(w.catalog.total_bytes()) << " total), "
+            << w.pool.size() << " distinct range queries, cache "
+            << format_bytes(cache_bytes) << "\n\n";
+
+  // Policies head-to-head, FCFS service.
+  TextTable policy_table({"policy", "request_hit", "byte_miss"});
+  for (const std::string name : {"optfb", "landlord", "lfu"}) {
+    PolicyContext context;
+    context.catalog = &w.catalog;
+    context.jobs = w.jobs;
+    PolicyPtr policy = make_policy(name, context);
+    SimulatorConfig sim_config{.cache_bytes = cache_bytes,
+                               .warmup_jobs = w.jobs.size() / 10};
+    const CacheMetrics m =
+        simulate(sim_config, w.catalog, *policy, w.jobs).metrics;
+    policy_table.add_row({name, format_double(m.request_hit_ratio()),
+                          format_double(m.byte_miss_ratio())});
+  }
+  std::cout << "FCFS service:\n";
+  policy_table.print(std::cout);
+
+  // Admission-queue study on the same stream (paper Fig. 9): batching
+  // lets OptFileBundle serve the most valuable waiting query first.
+  std::cout << "\nOptFileBundle with admission queueing:\n";
+  TextTable queue_table({"queue_length", "request_hit", "byte_miss"});
+  for (std::size_t q : {std::size_t{1}, std::size_t{10}, std::size_t{50}}) {
+    PolicyContext context;
+    context.catalog = &w.catalog;
+    PolicyPtr policy = make_policy("optfb", context);
+    SimulatorConfig sim_config{.cache_bytes = cache_bytes,
+                               .queue_length = q,
+                               .warmup_jobs = w.jobs.size() / 10};
+    const CacheMetrics m =
+        simulate(sim_config, w.catalog, *policy, w.jobs).metrics;
+    queue_table.add_row({"q" + std::to_string(q),
+                         format_double(m.request_hit_ratio()),
+                         format_double(m.byte_miss_ratio())});
+  }
+  queue_table.print(std::cout);
+  std::cout << "\nVariable groups (e.g. u/v/w wind) are kept or evicted as "
+               "units, so a visualization replaying a storm window finds "
+               "its whole bundle resident.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// HENP event-analysis example (paper §1.1, first motivating application).
+//
+// Collision events are vertically partitioned: one file per (run,
+// attribute). Physicists submit analysis jobs that combine several
+// attributes of one run ("energy x momentum x multiplicity cut"); the
+// SRM's staging cache must hold each job's whole bundle at once.
+//
+// This example generates the HENP workload, runs it through a timed SRM
+// whose files live on tape/remote MSS tiers, and compares OptFileBundle
+// with Landlord on both cache metrics and user-visible response times.
+//
+// Run: ./build/examples/henp_analysis [--jobs=N]
+#include <iostream>
+#include <vector>
+
+#include "cache/simulator.hpp"
+#include "core/registry.hpp"
+#include "grid/srm.hpp"
+#include "grid/mss.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fbc;
+
+  CliParser cli("henp_analysis", "HENP vertical-partition analysis demo");
+  cli.add_option("jobs", "number of analysis jobs", "3000");
+  cli.add_option("seed", "workload seed", "42");
+  cli.parse(argc, argv);
+
+  HenpConfig config;
+  config.seed = cli.get_u64("seed");
+  config.num_runs = 24;
+  config.num_attributes = 40;
+  config.num_templates = 12;
+  config.num_jobs = cli.get_u64("jobs");
+  const Workload w = generate_henp_workload(config);
+
+  const Bytes cache_bytes = w.catalog.total_bytes() / 5;
+  std::cout << "HENP workload: " << config.num_runs << " runs x "
+            << config.num_attributes << " attribute files ("
+            << format_bytes(w.catalog.total_bytes()) << " total), "
+            << w.pool.size() << " distinct analyses, " << w.jobs.size()
+            << " jobs, cache " << format_bytes(cache_bytes) << "\n\n";
+
+  // --- cache metrics ----------------------------------------------------
+  TextTable metrics_table({"policy", "request_hit", "byte_miss",
+                           "data_moved_per_job"});
+  for (const std::string name : {"optfb", "landlord", "lru"}) {
+    PolicyContext context;
+    context.catalog = &w.catalog;
+    context.jobs = w.jobs;
+    PolicyPtr policy = make_policy(name, context);
+    SimulatorConfig sim_config{.cache_bytes = cache_bytes,
+                               .warmup_jobs = w.jobs.size() / 10};
+    const CacheMetrics m =
+        simulate(sim_config, w.catalog, *policy, w.jobs).metrics;
+    metrics_table.add_row(
+        {name, format_double(m.request_hit_ratio()),
+         format_double(m.byte_miss_ratio()),
+         format_bytes(static_cast<Bytes>(m.avg_bytes_moved_per_job()))});
+  }
+  std::cout << "Cache metrics (post-warm-up):\n";
+  metrics_table.print(std::cout);
+
+  // --- timed SRM view -----------------------------------------------------
+  // Attribute files live on local tape; a third of the runs are replicated
+  // only at a remote site.
+  MassStorageSystem mss(default_tiers(), w.catalog);
+  for (FileId id = 0; id < w.catalog.count(); ++id) {
+    const std::size_t run = id / config.num_attributes;
+    mss.place_file(id, run % 3 == 0 ? 2u : 1u);
+  }
+
+  std::cout << "\nTimed SRM service (tape + remote tiers, 4 parallel "
+               "transfer streams):\n";
+  TextTable srm_table({"policy", "throughput_jobs_per_h", "mean_response_s",
+                       "data_staged"});
+  for (const std::string name : {"optfb", "landlord"}) {
+    std::vector<GridJob> jobs;
+    double arrival = 0.0;
+    for (const Request& r : w.jobs) {
+      jobs.push_back(GridJob{r, arrival, /*service_s=*/3.0});
+      arrival += 30.0;  // a new analysis every 30 s
+    }
+    PolicyContext context;
+    context.catalog = &w.catalog;
+    PolicyPtr policy = make_policy(name, context);
+    SrmConfig srm_config{.cache_bytes = cache_bytes,
+                         .transfers = TransferModel{.max_parallel = 4}};
+    StorageResourceManager srm(srm_config, mss, *policy);
+    const SrmReport report = srm.run(jobs);
+    srm_table.add_row({name,
+                       format_double(report.throughput_jobs_per_hour()),
+                       format_double(report.response_s.mean()),
+                       format_bytes(report.bytes_staged)});
+  }
+  srm_table.print(std::cout);
+  std::cout << "\nBundle-aware replacement keeps whole analysis templates "
+               "resident, so repeat analyses hit without re-staging from "
+               "tape.\n";
+  return 0;
+}

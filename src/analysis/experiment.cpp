@@ -1,0 +1,105 @@
+#include "analysis/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fbc {
+
+void ExperimentGrid::add_factor(const std::string& name,
+                                std::vector<std::string> levels) {
+  if (levels.empty())
+    throw std::invalid_argument("ExperimentGrid: factor '" + name +
+                                "' has no levels");
+  if (std::find(names_.begin(), names_.end(), name) != names_.end())
+    throw std::invalid_argument("ExperimentGrid: duplicate factor '" + name +
+                                "'");
+  names_.push_back(name);
+  levels_.push_back(std::move(levels));
+}
+
+std::size_t ExperimentGrid::combinations() const noexcept {
+  std::size_t total = 1;
+  for (const auto& levels : levels_) total *= levels.size();
+  return total;
+}
+
+std::vector<ExperimentPoint> ExperimentGrid::enumerate() const {
+  std::vector<ExperimentPoint> points;
+  points.reserve(combinations());
+  std::vector<std::size_t> cursor(levels_.size(), 0);
+  for (;;) {
+    ExperimentPoint point;
+    for (std::size_t f = 0; f < names_.size(); ++f) {
+      point.emplace(names_[f], levels_[f][cursor[f]]);
+    }
+    points.push_back(std::move(point));
+    // Odometer increment, last factor fastest.
+    std::size_t f = levels_.size();
+    while (f > 0) {
+      --f;
+      if (++cursor[f] < levels_[f].size()) break;
+      cursor[f] = 0;
+      if (f == 0) return points;
+    }
+    if (levels_.empty()) return points;  // single empty point
+  }
+}
+
+ResultFrame run_experiment(const ExperimentGrid& grid,
+                           const ExperimentOptions& options,
+                           const TrialFn& trial) {
+  if (options.repetitions == 0)
+    throw std::invalid_argument("run_experiment: repetitions must be >= 1");
+
+  const std::vector<ExperimentPoint> points = grid.enumerate();
+  const std::size_t total_trials = points.size() * options.repetitions;
+
+  // Derive all seeds up front so results are scheduling-independent.
+  Rng master(options.master_seed);
+  std::vector<std::uint64_t> seeds(total_trials);
+  for (std::size_t i = 0; i < total_trials; ++i) {
+    seeds[i] = master.derive_seed(i);
+  }
+
+  std::vector<Measurements> results(total_trials);
+  {
+    ThreadPool pool(options.threads);
+    pool.parallel_for(total_trials, [&](std::size_t i) {
+      results[i] = trial(points[i / options.repetitions], seeds[i]);
+    });
+  }
+
+  // Column layout from the first trial's measurement names.
+  if (results.empty())
+    throw std::logic_error("run_experiment: no trials executed");
+  std::vector<std::string> columns = grid.factor_names();
+  columns.emplace_back("seed");
+  for (const auto& [name, value] : results.front()) columns.push_back(name);
+
+  ResultFrame frame(columns);
+  for (std::size_t i = 0; i < total_trials; ++i) {
+    const ExperimentPoint& point = points[i / options.repetitions];
+    std::vector<Cell> row;
+    row.reserve(columns.size());
+    for (const std::string& factor : grid.factor_names()) {
+      row.emplace_back(point.at(factor));
+    }
+    row.emplace_back(static_cast<std::int64_t>(seeds[i]));
+    if (results[i].size() != results.front().size())
+      throw std::runtime_error(
+          "run_experiment: trials returned differing measurement sets");
+    for (std::size_t m = 0; m < results[i].size(); ++m) {
+      if (results[i][m].first != results.front()[m].first)
+        throw std::runtime_error(
+            "run_experiment: trials returned differing measurement names");
+      row.emplace_back(results[i][m].second);
+    }
+    frame.add_row(std::move(row));
+  }
+  return frame;
+}
+
+}  // namespace fbc

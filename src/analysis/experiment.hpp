@@ -1,0 +1,84 @@
+// Experiment runner: full-factorial parameter sweeps with repetition
+// seeds, fanned out across a thread pool, collected into a ResultFrame.
+//
+// Every figure in the paper's evaluation is a sweep of this shape
+// ("1000 hours of CPU time" across parameter combinations, §5); this
+// component makes such sweeps declarative:
+//
+//   ExperimentGrid grid;
+//   grid.add_factor("policy", {"optfb", "landlord"});
+//   grid.add_factor("popularity", {"uniform", "zipf"});
+//   ResultFrame frame = run_experiment(
+//       grid, {.repetitions = 5, .master_seed = 1},
+//       [&](const ExperimentPoint& p, std::uint64_t seed) {
+//         ... run one simulation ...
+//         return Measurements{{"byte_miss", value}};
+//       });
+//   frame.aggregate({"policy", "popularity"}, "byte_miss",
+//                   {Agg::Mean, Agg::Ci95}).print(std::cout);
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/frame.hpp"
+
+namespace fbc {
+
+/// One combination of factor levels, by factor name.
+using ExperimentPoint = std::map<std::string, std::string>;
+
+/// Named numeric results of one trial.
+using Measurements = std::vector<std::pair<std::string, double>>;
+
+/// A trial: runs the configuration `point` with the given seed.
+/// Must be thread-safe (trials run concurrently).
+using TrialFn =
+    std::function<Measurements(const ExperimentPoint& point,
+                               std::uint64_t seed)>;
+
+/// Full-factorial design: the cross product of all factor levels.
+class ExperimentGrid {
+ public:
+  /// Adds a factor with at least one level. Factor names must be unique.
+  void add_factor(const std::string& name, std::vector<std::string> levels);
+
+  /// Number of factor combinations (1 for an empty grid: a single point).
+  [[nodiscard]] std::size_t combinations() const noexcept;
+
+  /// Enumerates all combinations in row-major factor order.
+  [[nodiscard]] std::vector<ExperimentPoint> enumerate() const;
+
+  /// Factor names in insertion order.
+  [[nodiscard]] const std::vector<std::string>& factor_names() const noexcept {
+    return names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::string>> levels_;
+};
+
+/// Execution options for run_experiment.
+struct ExperimentOptions {
+  /// Trials per combination (distinct derived seeds).
+  std::size_t repetitions = 3;
+  /// Master seed; trial seeds derive deterministically from it, so the
+  /// whole experiment is reproducible regardless of thread scheduling.
+  std::uint64_t master_seed = 1;
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// Runs every (combination, repetition) trial and returns a frame with
+/// columns: factors..., "seed", then one column per measurement name (the
+/// set of names must be identical across trials). Row order is
+/// deterministic (combination-major), independent of scheduling.
+/// A trial that throws aborts the experiment with its exception.
+[[nodiscard]] ResultFrame run_experiment(const ExperimentGrid& grid,
+                                         const ExperimentOptions& options,
+                                         const TrialFn& trial);
+
+}  // namespace fbc

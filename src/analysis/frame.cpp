@@ -1,0 +1,174 @@
+#include "analysis/frame.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace fbc {
+
+std::string cell_to_string(const Cell& cell) {
+  if (const auto* text = std::get_if<std::string>(&cell)) return *text;
+  if (const auto* number = std::get_if<double>(&cell))
+    return format_double(*number);
+  return std::to_string(std::get<std::int64_t>(cell));
+}
+
+double cell_to_double(const Cell& cell) {
+  if (const auto* number = std::get_if<double>(&cell)) return *number;
+  if (const auto* integer = std::get_if<std::int64_t>(&cell))
+    return static_cast<double>(*integer);
+  throw std::invalid_argument("cell_to_double: cell holds text, not a number");
+}
+
+std::string to_string(Agg agg) {
+  switch (agg) {
+    case Agg::Mean: return "mean";
+    case Agg::Min: return "min";
+    case Agg::Max: return "max";
+    case Agg::Count: return "count";
+    case Agg::Ci95: return "ci95";
+    case Agg::Median: return "median";
+    case Agg::P95: return "p95";
+  }
+  return "?";
+}
+
+ResultFrame::ResultFrame(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty())
+    throw std::invalid_argument("ResultFrame: need at least one column");
+}
+
+void ResultFrame::add_row(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size())
+    throw std::invalid_argument("ResultFrame: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::size_t ResultFrame::column_index(const std::string& name) const {
+  const auto it = std::find(columns_.begin(), columns_.end(), name);
+  if (it == columns_.end())
+    throw std::invalid_argument("ResultFrame: unknown column '" + name + "'");
+  return static_cast<std::size_t>(it - columns_.begin());
+}
+
+const Cell& ResultFrame::at(std::size_t row, const std::string& column) const {
+  return rows_.at(row)[column_index(column)];
+}
+
+ResultFrame ResultFrame::filter(const std::string& column,
+                                const std::string& value) const {
+  const std::size_t idx = column_index(column);
+  ResultFrame out(columns_);
+  for (const auto& row : rows_) {
+    if (cell_to_string(row[idx]) == value) out.rows_.push_back(row);
+  }
+  return out;
+}
+
+ResultFrame ResultFrame::aggregate(const std::vector<std::string>& keys,
+                                   const std::string& value,
+                                   const std::vector<Agg>& aggs) const {
+  if (aggs.empty())
+    throw std::invalid_argument("ResultFrame::aggregate: no aggregations");
+  std::vector<std::size_t> key_idx;
+  key_idx.reserve(keys.size());
+  for (const std::string& key : keys) key_idx.push_back(column_index(key));
+  const std::size_t value_idx = column_index(value);
+
+  const bool need_values =
+      std::any_of(aggs.begin(), aggs.end(), [](Agg agg) {
+        return agg == Agg::Median || agg == Agg::P95;
+      });
+
+  // Group rows, preserving first-appearance order.
+  std::vector<std::vector<std::string>> group_keys;
+  std::vector<RunningStats> group_stats;
+  std::vector<std::vector<double>> group_values;
+  std::map<std::vector<std::string>, std::size_t> lookup;
+  for (const auto& row : rows_) {
+    std::vector<std::string> group;
+    group.reserve(key_idx.size());
+    for (std::size_t idx : key_idx) group.push_back(cell_to_string(row[idx]));
+    auto [it, inserted] = lookup.try_emplace(group, group_keys.size());
+    if (inserted) {
+      group_keys.push_back(group);
+      group_stats.emplace_back();
+      group_values.emplace_back();
+    }
+    const double observation = cell_to_double(row[value_idx]);
+    group_stats[it->second].add(observation);
+    if (need_values) group_values[it->second].push_back(observation);
+  }
+
+  std::vector<std::string> out_columns = keys;
+  for (Agg agg : aggs) out_columns.push_back(value + "_" + to_string(agg));
+  ResultFrame out(out_columns);
+  for (std::size_t g = 0; g < group_keys.size(); ++g) {
+    std::vector<Cell> row;
+    row.reserve(out_columns.size());
+    for (const std::string& key : group_keys[g]) row.emplace_back(key);
+    for (Agg agg : aggs) {
+      switch (agg) {
+        case Agg::Mean: row.emplace_back(group_stats[g].mean()); break;
+        case Agg::Min: row.emplace_back(group_stats[g].min()); break;
+        case Agg::Max: row.emplace_back(group_stats[g].max()); break;
+        case Agg::Count:
+          row.emplace_back(static_cast<std::int64_t>(group_stats[g].count()));
+          break;
+        case Agg::Ci95:
+          row.emplace_back(group_stats[g].ci95_halfwidth());
+          break;
+        case Agg::Median:
+          row.emplace_back(quantile(group_values[g], 0.5));
+          break;
+        case Agg::P95:
+          row.emplace_back(quantile(group_values[g], 0.95));
+          break;
+      }
+    }
+    out.add_row(std::move(row));
+  }
+  return out;
+}
+
+void ResultFrame::sort_by(const std::string& column) {
+  const std::size_t idx = column_index(column);
+  const bool numeric = std::all_of(
+      rows_.begin(), rows_.end(), [idx](const std::vector<Cell>& row) {
+        return !std::holds_alternative<std::string>(row[idx]);
+      });
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [idx, numeric](const auto& a, const auto& b) {
+                     if (numeric)
+                       return cell_to_double(a[idx]) < cell_to_double(b[idx]);
+                     return cell_to_string(a[idx]) < cell_to_string(b[idx]);
+                   });
+}
+
+void ResultFrame::print(std::ostream& os) const {
+  TextTable table(columns_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Cell& cell : row) cells.push_back(cell_to_string(cell));
+    table.add_row(std::move(cells));
+  }
+  table.print(os);
+}
+
+void ResultFrame::print_csv(std::ostream& os) const {
+  TextTable table(columns_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Cell& cell : row) cells.push_back(cell_to_string(cell));
+    table.add_row(std::move(cells));
+  }
+  table.print_csv(os);
+}
+
+}  // namespace fbc

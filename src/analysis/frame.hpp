@@ -1,0 +1,84 @@
+// ResultFrame: a small typed table for experiment results.
+//
+// Benchmarks and parameter sweeps produce rows of (factor levels,
+// measurements); this frame stores them, renders them (aligned text or
+// CSV), and supports the one analysis everything here needs: group rows
+// by some columns and aggregate a numeric column (mean / min / max /
+// count / ci95) across the groups -- e.g. averaging byte-miss ratios over
+// repetition seeds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace fbc {
+
+/// One table cell: text (factor level) or number (measurement).
+using Cell = std::variant<std::string, double, std::int64_t>;
+
+/// Renders any cell as text ("0.25", "landlord", "42").
+[[nodiscard]] std::string cell_to_string(const Cell& cell);
+
+/// Numeric view of a cell; throws std::invalid_argument for text cells.
+[[nodiscard]] double cell_to_double(const Cell& cell);
+
+/// Aggregations supported by ResultFrame::aggregate.
+enum class Agg { Mean, Min, Max, Count, Ci95, Median, P95 };
+
+/// Typed result table (see file comment).
+class ResultFrame {
+ public:
+  /// Creates an empty frame with named columns (at least one).
+  explicit ResultFrame(std::vector<std::string> columns);
+
+  /// Appends a row; must have exactly cols() cells.
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return columns_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+
+  /// Index of a column; throws std::invalid_argument when unknown.
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+
+  /// Cell access. Precondition: row < rows(), valid column.
+  [[nodiscard]] const Cell& at(std::size_t row,
+                               const std::string& column) const;
+
+  /// Rows where `column` renders equal to `value`.
+  [[nodiscard]] ResultFrame filter(const std::string& column,
+                                   const std::string& value) const;
+
+  /// Groups rows by `keys` (order-preserving on first appearance) and
+  /// aggregates the numeric column `value` with each requested
+  /// aggregation. Result columns: keys..., then "<value>_<agg>" per agg.
+  [[nodiscard]] ResultFrame aggregate(const std::vector<std::string>& keys,
+                                      const std::string& value,
+                                      const std::vector<Agg>& aggs) const;
+
+  /// Sorts rows by `column` ascending (numeric when the column is
+  /// numeric in every row, lexicographic otherwise). Stable.
+  void sort_by(const std::string& column);
+
+  /// Aligned text rendering.
+  void print(std::ostream& os) const;
+
+  /// CSV rendering.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Returns "mean" / "min" / "max" / "count" / "ci95".
+[[nodiscard]] std::string to_string(Agg agg);
+
+}  // namespace fbc

@@ -1,0 +1,3 @@
+// FileCatalog is header-only; this translation unit exists to compile the
+// header standalone under the project's warning set.
+#include "cache/catalog.hpp"

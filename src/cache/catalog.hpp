@@ -1,0 +1,76 @@
+// FileCatalog: the authoritative registry of files and their sizes.
+//
+// Files in the simulated grid are identified by dense FileIds so the cache
+// and the policies can use flat arrays instead of hash maps on the hot
+// path. The catalog is immutable during a simulation run; workload
+// generators populate it up front.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "cache/types.hpp"
+#include "util/bytes.hpp"
+
+namespace fbc {
+
+/// Registry mapping FileId -> size in bytes.
+class FileCatalog {
+ public:
+  FileCatalog() = default;
+
+  /// Creates a catalog from a dense size table (index == FileId).
+  explicit FileCatalog(std::vector<Bytes> sizes) : sizes_(std::move(sizes)) {}
+
+  /// Registers a new file and returns its id. Precondition: bytes > 0
+  /// (zero-size files would break adjusted-size arithmetic).
+  FileId add_file(Bytes bytes) {
+    assert(bytes > 0);
+    sizes_.push_back(bytes);
+    return static_cast<FileId>(sizes_.size() - 1);
+  }
+
+  /// Number of registered files.
+  [[nodiscard]] std::size_t count() const noexcept { return sizes_.size(); }
+
+  /// True when `id` names a registered file.
+  [[nodiscard]] bool valid(FileId id) const noexcept {
+    return id < sizes_.size();
+  }
+
+  /// Size of file `id`. Precondition: valid(id).
+  [[nodiscard]] Bytes size_of(FileId id) const noexcept {
+    assert(valid(id));
+    return sizes_[id];
+  }
+
+  /// Total size of a set of files (no dedup: caller passes canonical sets).
+  [[nodiscard]] Bytes bundle_bytes(std::span<const FileId> ids) const noexcept {
+    Bytes total = 0;
+    for (FileId id : ids) total += size_of(id);
+    return total;
+  }
+
+  /// Total size of a request's bundle.
+  [[nodiscard]] Bytes request_bytes(const Request& r) const noexcept {
+    return bundle_bytes(r.files);
+  }
+
+  /// Sum of all file sizes in the catalog.
+  [[nodiscard]] Bytes total_bytes() const noexcept {
+    Bytes total = 0;
+    for (Bytes s : sizes_) total += s;
+    return total;
+  }
+
+  /// Read-only view of the size table.
+  [[nodiscard]] std::span<const Bytes> sizes() const noexcept {
+    return sizes_;
+  }
+
+ private:
+  std::vector<Bytes> sizes_;
+};
+
+}  // namespace fbc

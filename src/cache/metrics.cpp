@@ -1,0 +1,108 @@
+#include "cache/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace fbc {
+
+void CacheMetrics::record_job(Bytes requested, Bytes missed,
+                              std::size_t files_req,
+                              std::size_t files_hit) noexcept {
+  ++jobs_;
+  if (missed == 0) ++request_hits_;
+  files_requested_ += files_req;
+  file_hits_ += files_hit;
+  bytes_requested_ += requested;
+  bytes_missed_ += missed;
+}
+
+void CacheMetrics::record_eviction(Bytes bytes) noexcept {
+  ++evictions_;
+  bytes_evicted_ += bytes;
+}
+
+void CacheMetrics::record_prefetch(Bytes bytes) noexcept {
+  bytes_prefetched_ += bytes;
+}
+
+void CacheMetrics::record_unserviceable() noexcept { ++unserviceable_; }
+
+void CacheMetrics::record_queue_wait(double services_waited) noexcept {
+  ++wait_count_;
+  wait_sum_ += services_waited;
+  wait_max_ = std::max(wait_max_, services_waited);
+}
+
+double CacheMetrics::request_hit_ratio() const noexcept {
+  if (jobs_ == 0) return 0.0;
+  return static_cast<double>(request_hits_) / static_cast<double>(jobs_);
+}
+
+double CacheMetrics::request_miss_ratio() const noexcept {
+  return 1.0 - request_hit_ratio();
+}
+
+double CacheMetrics::file_hit_ratio() const noexcept {
+  if (files_requested_ == 0) return 0.0;
+  return static_cast<double>(file_hits_) /
+         static_cast<double>(files_requested_);
+}
+
+double CacheMetrics::byte_miss_ratio() const noexcept {
+  if (bytes_requested_ == 0) return 0.0;
+  return static_cast<double>(bytes_missed_) /
+         static_cast<double>(bytes_requested_);
+}
+
+double CacheMetrics::moved_bytes_ratio() const noexcept {
+  if (bytes_requested_ == 0) return 0.0;
+  return static_cast<double>(bytes_missed_ + bytes_prefetched_) /
+         static_cast<double>(bytes_requested_);
+}
+
+double CacheMetrics::byte_hit_ratio() const noexcept {
+  return 1.0 - byte_miss_ratio();
+}
+
+double CacheMetrics::avg_bytes_moved_per_job() const noexcept {
+  if (jobs_ == 0) return 0.0;
+  return static_cast<double>(bytes_missed_ + bytes_prefetched_) /
+         static_cast<double>(jobs_);
+}
+
+double CacheMetrics::mean_queue_wait() const noexcept {
+  if (wait_count_ == 0) return 0.0;
+  return wait_sum_ / static_cast<double>(wait_count_);
+}
+
+double CacheMetrics::max_queue_wait() const noexcept { return wait_max_; }
+
+void CacheMetrics::merge(const CacheMetrics& other) noexcept {
+  jobs_ += other.jobs_;
+  request_hits_ += other.request_hits_;
+  files_requested_ += other.files_requested_;
+  file_hits_ += other.file_hits_;
+  bytes_requested_ += other.bytes_requested_;
+  bytes_missed_ += other.bytes_missed_;
+  evictions_ += other.evictions_;
+  bytes_evicted_ += other.bytes_evicted_;
+  bytes_prefetched_ += other.bytes_prefetched_;
+  unserviceable_ += other.unserviceable_;
+  wait_count_ += other.wait_count_;
+  wait_sum_ += other.wait_sum_;
+  wait_max_ = std::max(wait_max_, other.wait_max_);
+}
+
+std::string CacheMetrics::summary() const {
+  std::ostringstream oss;
+  oss << "jobs=" << jobs_ << " request_hit=" << format_double(request_hit_ratio())
+      << " byte_miss=" << format_double(byte_miss_ratio())
+      << " moved/job=" << format_bytes(static_cast<Bytes>(avg_bytes_moved_per_job()))
+      << " evictions=" << evictions_;
+  if (unserviceable_ > 0) oss << " unserviceable=" << unserviceable_;
+  return oss.str();
+}
+
+}  // namespace fbc

@@ -1,0 +1,3 @@
+// ReplacementPolicy is an interface with inline defaults; this translation
+// unit anchors its vtable/key function emission in one place.
+#include "cache/policy.hpp"

@@ -1,0 +1,180 @@
+#include "cache/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace fbc {
+
+Simulator::Simulator(const SimulatorConfig& config, const FileCatalog& catalog,
+                     ReplacementPolicy& policy)
+    : config_(config),
+      catalog_(&catalog),
+      policy_(&policy),
+      cache_(config.cache_bytes, catalog) {
+  if (config_.queue_length == 0)
+    throw std::invalid_argument("Simulator: queue_length must be >= 1");
+}
+
+void Simulator::serve_one(const Request& request, CacheMetrics& metrics) {
+  policy_->on_job_arrival(request, cache_);
+
+  const Bytes requested = catalog_->request_bytes(request);
+  if (requested > cache_.capacity()) {
+    // The bundle can never fit; the workload generators avoid this, but a
+    // user-supplied trace may not.
+    metrics.record_unserviceable();
+    FBC_LOG(Warn) << "skipping unserviceable request " << request.to_string()
+                  << " (" << format_bytes(requested) << " > cache "
+                  << format_bytes(cache_.capacity()) << ")";
+    return;
+  }
+
+  const std::vector<FileId> missing = cache_.missing_files(request);
+  if (missing.empty()) {
+    metrics.record_job(requested, 0, request.size(), request.size());
+    policy_->on_request_hit(request, cache_);
+    return;
+  }
+
+  const Bytes missing_bytes = catalog_->bundle_bytes(missing);
+  const std::size_t files_hit = request.size() - missing.size();
+
+  // Pin the already-resident part of the bundle: no policy may evict files
+  // of the job being admitted.
+  for (FileId id : request.files) {
+    if (cache_.contains(id)) cache_.pin(id);
+  }
+
+  if (cache_.free_bytes() < missing_bytes) {
+    const Bytes needed = missing_bytes - cache_.free_bytes();
+    ++result_.decisions;
+    const std::vector<FileId> victims =
+        policy_->select_victims(request, needed, cache_);
+    for (FileId victim : victims) {
+      if (request.contains(victim))
+        throw PolicyContractViolation(
+            policy_->name() + ": tried to evict a file of the incoming request");
+      if (!cache_.contains(victim))
+        throw PolicyContractViolation(
+            policy_->name() + ": victim not resident (or listed twice)");
+      if (cache_.pinned(victim))
+        throw PolicyContractViolation(policy_->name() +
+                                      ": tried to evict a pinned file");
+      const Bytes size = catalog_->size_of(victim);
+      cache_.evict(victim);
+      metrics.record_eviction(size);
+      policy_->on_file_evicted(victim);
+      ++result_.victims;
+    }
+    if (cache_.free_bytes() < missing_bytes)
+      throw PolicyContractViolation(policy_->name() +
+                                    ": victims freed insufficient space");
+  }
+
+  for (FileId id : missing) cache_.insert(id);
+  policy_->on_files_loaded(request, missing, cache_);
+
+  for (FileId id : request.files) {
+    if (cache_.pinned(id)) cache_.unpin(id);
+  }
+
+  metrics.record_job(requested, missing_bytes, request.size(), files_hit);
+
+  // Speculative loads (Algorithm 2 step 3 under untruncated history):
+  // admitted only into free space, charged as moved bytes.
+  for (FileId id : policy_->prefetch(request, cache_)) {
+    if (cache_.contains(id)) continue;
+    const Bytes size = catalog_->size_of(id);
+    if (size > cache_.free_bytes()) continue;
+    cache_.insert(id);
+    metrics.record_prefetch(size);
+  }
+  assert(cache_.used_bytes() <= cache_.capacity());
+}
+
+SimulationResult Simulator::run(std::span<const Request> jobs) {
+  if (ran_) throw std::logic_error("Simulator::run: already ran");
+  ran_ = true;
+
+  std::size_t served = 0;
+  auto metrics_for_next = [&]() -> CacheMetrics& {
+    return served < config_.warmup_jobs ? result_.warmup : result_.metrics;
+  };
+
+  if (config_.queue_length <= 1) {
+    for (const Request& job : jobs) {
+      CacheMetrics& metrics = metrics_for_next();
+      serve_one(job, metrics);
+      metrics.record_queue_wait(0.0);
+      ++served;
+    }
+    return result_;
+  }
+
+  // Queued service. Each queue entry remembers its arrival order so
+  // scheduling fairness (queue waits, lockout) can be measured.
+  struct Queued {
+    Request request;
+    std::size_t arrival;  ///< index in the submitted stream
+  };
+  std::size_t next = 0;
+  std::vector<Queued> queue;
+  std::vector<Request> requests;  // parallel view handed to the policy
+  std::vector<double> ages;
+  queue.reserve(config_.queue_length);
+
+  auto admit_until_full = [&] {
+    while (queue.size() < config_.queue_length && next < jobs.size()) {
+      queue.push_back(Queued{jobs[next], next});
+      ++next;
+    }
+  };
+  auto serve_pick = [&] {
+    requests.clear();
+    ages.clear();
+    for (const Queued& entry : queue) {
+      requests.push_back(entry.request);
+      // Age = how many services happened since this entry arrived and
+      // could first have been served.
+      ages.push_back(static_cast<double>(
+          served > entry.arrival ? served - entry.arrival : 0));
+    }
+    const std::size_t pick = policy_->choose_next(requests, ages, cache_);
+    if (pick >= queue.size())
+      throw PolicyContractViolation(policy_->name() +
+                                    ": choose_next index out of range");
+    CacheMetrics& metrics = metrics_for_next();
+    serve_one(queue[pick].request, metrics);
+    metrics.record_queue_wait(ages[pick]);
+    ++served;
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+  };
+
+  if (config_.queue_mode == QueueMode::Batch) {
+    // Accumulate a full batch, drain it completely, repeat (paper §5.3).
+    while (next < jobs.size() || !queue.empty()) {
+      admit_until_full();
+      while (!queue.empty()) serve_pick();
+    }
+  } else {
+    // Sliding window: top the queue up after every service.
+    admit_until_full();
+    while (!queue.empty()) {
+      serve_pick();
+      admit_until_full();
+    }
+  }
+  return result_;
+}
+
+SimulationResult simulate(const SimulatorConfig& config,
+                          const FileCatalog& catalog, ReplacementPolicy& policy,
+                          std::span<const Request> jobs) {
+  Simulator sim(config, catalog, policy);
+  return sim.run(jobs);
+}
+
+}  // namespace fbc

@@ -1,0 +1,55 @@
+#include "cache/types.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fbc {
+
+void Request::canonicalize() {
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+}
+
+bool Request::is_canonical() const noexcept {
+  for (std::size_t i = 1; i < files.size(); ++i) {
+    if (files[i - 1] >= files[i]) return false;
+  }
+  return true;
+}
+
+bool Request::contains(FileId id) const noexcept {
+  return std::binary_search(files.begin(), files.end(), id);
+}
+
+std::string Request::to_string() const {
+  std::ostringstream oss;
+  oss << '{';
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (i) oss << ", ";
+    oss << files[i];
+  }
+  oss << '}';
+  return oss.str();
+}
+
+std::size_t hash_file_span(std::span<const FileId> ids) noexcept {
+  // FNV-1a over the id bytes, then a finalizing mix. Stable across runs so
+  // traces hash identically everywhere.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (FileId id : ids) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (id >> shift) & 0xffU;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t RequestHash::operator()(const Request& r) const noexcept {
+  return hash_file_span(r.files);
+}
+
+}  // namespace fbc

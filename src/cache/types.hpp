@@ -1,0 +1,68 @@
+// Fundamental identifiers and the Request (file-bundle) value type shared by
+// every layer of the library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace fbc {
+
+/// Dense file identifier: index into the FileCatalog.
+using FileId = std::uint32_t;
+
+/// Sentinel for "no file".
+inline constexpr FileId kInvalidFileId =
+    std::numeric_limits<FileId>::max();
+
+/// A job's file-bundle: the set of files that must all be resident in the
+/// cache simultaneously for the job to be serviced (paper section 2,
+/// "One File-Bundle at a Time" service model).
+///
+/// Invariant (after canonicalize()): `files` is sorted and duplicate-free.
+/// Two jobs are the *same request* iff their canonical bundles are equal;
+/// this identity drives popularity counting in the request history.
+struct Request {
+  std::vector<FileId> files;
+
+  Request() = default;
+  explicit Request(std::vector<FileId> ids) : files(std::move(ids)) {
+    canonicalize();
+  }
+
+  /// Sorts and deduplicates `files`, establishing the class invariant.
+  void canonicalize();
+
+  /// True when the bundle is in canonical (sorted, unique) form.
+  [[nodiscard]] bool is_canonical() const noexcept;
+
+  /// Number of files in the bundle.
+  [[nodiscard]] std::size_t size() const noexcept { return files.size(); }
+
+  [[nodiscard]] bool empty() const noexcept { return files.empty(); }
+
+  /// Membership test by binary search. Precondition: canonical form.
+  [[nodiscard]] bool contains(FileId id) const noexcept;
+
+  friend bool operator==(const Request&, const Request&) = default;
+
+  /// Human-readable rendering "{3, 7, 12}" for logs and test failures.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// FNV-1a-style hash over the canonical file list, for use as a hash-map
+/// key in the request history L(R).
+struct RequestHash {
+  [[nodiscard]] std::size_t operator()(const Request& r) const noexcept;
+};
+
+/// Hashes an arbitrary span of file ids with the same function as
+/// RequestHash (useful for probing without materializing a Request).
+[[nodiscard]] std::size_t hash_file_span(std::span<const FileId> ids) noexcept;
+
+}  // namespace fbc

@@ -1,0 +1,30 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace fbc {
+
+double seeded_bound_factor(std::uint32_t d) noexcept {
+  const double dd = d == 0 ? 1.0 : static_cast<double>(d);
+  return 1.0 - std::exp(-1.0 / dd);
+}
+
+double greedy_bound_factor(std::uint32_t d) noexcept {
+  return 0.5 * seeded_bound_factor(d);
+}
+
+std::uint32_t max_file_degree(std::span<const SelectionItem> items) {
+  std::unordered_map<FileId, std::uint32_t> degree;
+  std::uint32_t max_degree = 0;
+  for (const SelectionItem& item : items) {
+    if (item.request == nullptr) continue;
+    for (FileId id : item.request->files) {
+      max_degree = std::max(max_degree, ++degree[id]);
+    }
+  }
+  return max_degree;
+}
+
+}  // namespace fbc

@@ -1,0 +1,29 @@
+// Theoretical approximation-bound helpers (paper §4, Theorem 4.1 and the
+// Appendix A improvement). Used by the bound-verification tests and the
+// approximation-ratio bench to annotate measured ratios with the proven
+// floors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/opt_cache_select.hpp"
+
+namespace fbc {
+
+/// The basic OptCacheSelect guarantee: total selected value is at least
+/// 1/2 (1 - e^{-1/d}) of optimal, where `d` is the maximum number of
+/// requests sharing one file. d == 0 (no sharing data) returns the d = 1
+/// bound.
+[[nodiscard]] double greedy_bound_factor(std::uint32_t d) noexcept;
+
+/// The improved bound (1 - e^{-1/d}) achievable by the Seeded(k>=2)
+/// enumeration (paper §4, after Theorem 4.1).
+[[nodiscard]] double seeded_bound_factor(std::uint32_t d) noexcept;
+
+/// Maximum file degree of an instance: the largest number of items whose
+/// bundles share one file.
+[[nodiscard]] std::uint32_t max_file_degree(
+    std::span<const SelectionItem> items);
+
+}  // namespace fbc

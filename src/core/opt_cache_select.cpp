@@ -1,0 +1,357 @@
+#include "core/opt_cache_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fbc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool is_free(std::span<const FileId> free_sorted, FileId id) noexcept {
+  return std::binary_search(free_sorted.begin(), free_sorted.end(), id);
+}
+
+/// Collects the sorted union of the chosen items' files minus the free set
+/// and fills result.files / result.file_bytes.
+void finalize_files(const FileCatalog& catalog,
+                    std::span<const SelectionItem> items,
+                    std::span<const FileId> free_sorted,
+                    SelectionResult& result) {
+  std::vector<FileId> files;
+  for (std::size_t idx : result.chosen) {
+    for (FileId id : items[idx].request->files) {
+      if (!is_free(free_sorted, id)) files.push_back(id);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  result.file_bytes = catalog.bundle_bytes(files);
+  result.files = std::move(files);
+}
+
+}  // namespace
+
+std::string to_string(SelectVariant variant) {
+  switch (variant) {
+    case SelectVariant::Basic: return "basic";
+    case SelectVariant::Resort: return "resort";
+    case SelectVariant::Seeded1: return "seeded1";
+    case SelectVariant::Seeded2: return "seeded2";
+  }
+  return "?";
+}
+
+double OptCacheSelect::adjusted_size(FileId id) const noexcept {
+  const std::uint32_t d =
+      id < degrees_.size() ? std::max<std::uint32_t>(1, degrees_[id]) : 1;
+  return static_cast<double>(catalog_->size_of(id)) / static_cast<double>(d);
+}
+
+void OptCacheSelect::apply_single_override(
+    std::span<const SelectionItem> items, Bytes capacity,
+    std::span<const FileId> free_sorted, SelectionResult& result) const {
+  // Algorithm 1 step 3: the greedy set competes with the single
+  // highest-value request that fits on its own.
+  double best_value = 0.0;
+  std::size_t best_idx = items.size();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].value <= best_value) continue;
+    Bytes alone = 0;
+    for (FileId id : items[i].request->files) {
+      if (!is_free(free_sorted, id)) alone += catalog_->size_of(id);
+    }
+    if (alone <= capacity) {
+      best_value = items[i].value;
+      best_idx = i;
+    }
+  }
+  if (best_idx < items.size() && best_value > result.total_value) {
+    result.chosen = {best_idx};
+    result.total_value = best_value;
+    result.single_request_override = true;
+    finalize_files(*catalog_, items, free_sorted, result);
+  }
+}
+
+SelectionResult OptCacheSelect::select_basic(
+    std::span<const SelectionItem> items, Bytes capacity,
+    std::span<const FileId> free_sorted) const {
+  const std::size_t n = items.size();
+  std::vector<double> rank(n);
+  std::vector<Bytes> real_size(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double adj = 0.0;
+    Bytes real = 0;
+    for (FileId id : items[i].request->files) {
+      if (is_free(free_sorted, id)) continue;
+      adj += adjusted_size(id);
+      real += catalog_->size_of(id);
+    }
+    real_size[i] = real;
+    if (items[i].value <= 0.0) {
+      rank[i] = -kInf;  // worthless items are never picked
+    } else {
+      rank[i] = adj > 0.0 ? items[i].value / adj : kInf;
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rank[a] != rank[b]) return rank[a] > rank[b];
+    return a < b;
+  });
+
+  SelectionResult result;
+  Bytes remaining = capacity;
+  for (std::size_t idx : order) {
+    if (rank[idx] == -kInf) break;  // the rest are worthless too
+    // Algorithm 1 step 2 uses the request's full (non-free) size even when
+    // some of its files were already loaded by earlier selections -- the
+    // Resort variant fixes exactly this.
+    if (real_size[idx] <= remaining) {
+      remaining -= real_size[idx];
+      result.chosen.push_back(idx);
+      result.total_value += items[idx].value;
+    }
+  }
+  finalize_files(*catalog_, items, free_sorted, result);
+  apply_single_override(items, capacity, free_sorted, result);
+  return result;
+}
+
+SelectionResult OptCacheSelect::select_resort(
+    std::span<const SelectionItem> items, Bytes capacity,
+    std::span<const FileId> free_sorted,
+    std::span<const std::size_t> seed) const {
+  const std::size_t n = items.size();
+
+  // Per-item remaining (uncovered) adjusted and real sizes, maintained
+  // incrementally as files become covered.
+  std::vector<double> adj(n, 0.0);
+  std::vector<Bytes> real(n, 0);
+  std::unordered_map<FileId, std::vector<std::uint32_t>> inverted;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (FileId id : items[i].request->files) {
+      if (is_free(free_sorted, id)) continue;
+      adj[i] += adjusted_size(id);
+      real[i] += catalog_->size_of(id);
+      inverted[id].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::vector<bool> selected(n, false), dead(n, false);
+  std::vector<std::uint32_t> version(n, 0);
+  std::vector<bool> covered_flag;  // lazily grown, indexed by FileId
+
+  auto covered = [&](FileId id) {
+    return id < covered_flag.size() && covered_flag[id];
+  };
+
+  struct HeapEntry {
+    double key;
+    std::uint32_t idx;
+    std::uint32_t version;
+  };
+  auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.key != b.key) return a.key < b.key;  // max-heap by key
+    return a.idx > b.idx;                      // then lowest index first
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(
+      cmp);
+
+  auto key_of = [&](std::size_t i) {
+    return adj[i] > 0.0 ? items[i].value / adj[i] : kInf;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (items[i].value <= 0.0) {
+      dead[i] = true;
+      continue;
+    }
+    heap.push(HeapEntry{key_of(i), static_cast<std::uint32_t>(i), 0});
+  }
+
+  SelectionResult result;
+  Bytes remaining = capacity;
+
+  auto take = [&](std::size_t i) {
+    selected[i] = true;
+    remaining -= real[i];
+    result.chosen.push_back(i);
+    result.total_value += items[i].value;
+    for (FileId id : items[i].request->files) {
+      if (is_free(free_sorted, id) || covered(id)) continue;
+      if (covered_flag.size() <= id) covered_flag.resize(id + 1, false);
+      covered_flag[id] = true;
+      const double s_adj = adjusted_size(id);
+      const Bytes s_real = catalog_->size_of(id);
+      const auto inv_it = inverted.find(id);
+      if (inv_it == inverted.end()) continue;
+      for (std::uint32_t j : inv_it->second) {
+        if (j == i || selected[j] || dead[j]) continue;
+        adj[j] -= s_adj;
+        real[j] -= s_real;
+        ++version[j];
+        heap.push(HeapEntry{key_of(j), j, version[j]});
+      }
+    }
+  };
+
+  // Forced seed (Seeded1/Seeded2 enumeration). An infeasible seed is
+  // signalled with total_value = -1 so the caller can skip it; item values
+  // are popularity counts and therefore never negative.
+  for (std::size_t idx : seed) {
+    if (selected[idx]) continue;
+    if (real[idx] > remaining) {
+      SelectionResult infeasible;
+      infeasible.total_value = -1.0;
+      return infeasible;
+    }
+    take(idx);
+  }
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const std::size_t i = top.idx;
+    if (top.version != version[i] || selected[i] || dead[i]) continue;
+    if (real[i] > remaining) {
+      // Skipped for lack of space, as in Algorithm 1 step 2.
+      dead[i] = true;
+      continue;
+    }
+    take(i);
+  }
+
+  finalize_files(*catalog_, items, free_sorted, result);
+  if (seed.empty()) {
+    apply_single_override(items, capacity, free_sorted, result);
+  }
+  return result;
+}
+
+SelectionResult OptCacheSelect::select_seeded(
+    std::span<const SelectionItem> items, Bytes capacity,
+    std::span<const FileId> free_sorted, int k) const {
+  // Baseline: the plain greedy (which already includes the step-3 single
+  // request comparison).
+  SelectionResult best = select_resort(items, capacity, free_sorted, {});
+
+  const std::size_t n = items.size();
+  std::vector<std::size_t> seed;
+  auto consider = [&](std::span<const std::size_t> forced) {
+    SelectionResult candidate =
+        select_resort(items, capacity, free_sorted, forced);
+    if (candidate.total_value > best.total_value) best = std::move(candidate);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (items[i].value <= 0.0) continue;
+    seed = {i};
+    consider(seed);
+    if (k >= 2) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (items[j].value <= 0.0) continue;
+        seed = {i, j};
+        consider(seed);
+      }
+    }
+  }
+  return best;
+}
+
+SelectionResult OptCacheSelect::select(std::span<const SelectionItem> items,
+                                       Bytes capacity, SelectVariant variant,
+                                       std::span<const FileId> free_files) const {
+  for (const SelectionItem& item : items) {
+    if (item.request == nullptr)
+      throw std::invalid_argument("OptCacheSelect: null request in items");
+    if (item.value < 0.0)
+      throw std::invalid_argument("OptCacheSelect: negative item value");
+  }
+  std::vector<FileId> free_sorted(free_files.begin(), free_files.end());
+  std::sort(free_sorted.begin(), free_sorted.end());
+  free_sorted.erase(std::unique(free_sorted.begin(), free_sorted.end()),
+                    free_sorted.end());
+
+  switch (variant) {
+    case SelectVariant::Basic:
+      return select_basic(items, capacity, free_sorted);
+    case SelectVariant::Resort:
+      return select_resort(items, capacity, free_sorted, {});
+    case SelectVariant::Seeded1:
+      return select_seeded(items, capacity, free_sorted, 1);
+    case SelectVariant::Seeded2:
+      return select_seeded(items, capacity, free_sorted, 2);
+  }
+  throw std::logic_error("OptCacheSelect: unknown variant");
+}
+
+SelectionResult exact_select(std::span<const SelectionItem> items,
+                             const FileCatalog& catalog, Bytes capacity) {
+  const std::size_t n = items.size();
+  // Order by value descending so the suffix-sum bound prunes early.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (items[a].value != items[b].value)
+      return items[a].value > items[b].value;
+    return a < b;
+  });
+  std::vector<double> suffix(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    suffix[i] = suffix[i + 1] + std::max(0.0, items[order[i]].value);
+  }
+
+  std::unordered_map<FileId, std::uint32_t> cover_count;
+  std::vector<std::size_t> current, best_set;
+  double best_value = 0.0;
+  Bytes best_bytes = 0;
+
+  // DFS over include/exclude decisions with union-size accounting.
+  auto dfs = [&](auto&& self, std::size_t pos, double value,
+                 Bytes used) -> void {
+    if (value > best_value ||
+        (value == best_value && used < best_bytes && !current.empty())) {
+      best_value = value;
+      best_bytes = used;
+      best_set = current;
+    }
+    if (pos == n) return;
+    if (value + suffix[pos] <= best_value) return;  // bound
+
+    const std::size_t idx = order[pos];
+    // Include branch (when it fits and has value).
+    if (items[idx].value > 0.0) {
+      Bytes extra = 0;
+      for (FileId id : items[idx].request->files) {
+        auto it = cover_count.find(id);
+        if (it == cover_count.end() || it->second == 0)
+          extra += catalog.size_of(id);
+      }
+      if (used + extra <= capacity) {
+        for (FileId id : items[idx].request->files) ++cover_count[id];
+        current.push_back(idx);
+        self(self, pos + 1, value + items[idx].value, used + extra);
+        current.pop_back();
+        for (FileId id : items[idx].request->files) --cover_count[id];
+      }
+    }
+    // Exclude branch.
+    self(self, pos + 1, value, used);
+  };
+  dfs(dfs, 0, 0.0, 0);
+
+  SelectionResult result;
+  result.chosen = best_set;
+  result.total_value = best_value;
+  finalize_files(catalog, items, {}, result);
+  return result;
+}
+
+}  // namespace fbc

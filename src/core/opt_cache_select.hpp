@@ -1,0 +1,114 @@
+// OptCacheSelect: the greedy heuristic at the heart of the paper
+// (Algorithm 1) plus its variants and an exact reference solver.
+//
+// Problem (File-Bundle Caching, FBC): given requests r_i with values
+// v(r_i) over files with sizes s(f) and a budget s(C), choose a subset of
+// requests of maximum total value whose files fit in s(C). NP-hard
+// (reduction from Dense-k-Subgraph, paper §4); the greedy ranks requests by
+// adjusted relative value v'(r) = v(r) / sum_f s(f)/d(f) and admits them in
+// decreasing order, finally comparing against the best single request
+// (Algorithm 1 step 3). Guarantee: >= 1/2 (1 - e^{-1/d}) of optimal, where
+// d is the maximum number of requests sharing one file (Theorem 4.1).
+//
+// Variants:
+//   Basic   -- Algorithm 1 verbatim: one sort, naive size accounting that
+//              double-counts files shared between selected requests.
+//   Resort  -- the paper's "Note": after each selection the sizes of files
+//              already chosen are treated as 0 and ranks are recomputed;
+//              implemented incrementally with an inverted file->item index
+//              so only affected items are re-keyed (no full resort).
+//   Seeded1/Seeded2 -- enumerate every 1-/2-subset as a forced seed and
+//              complete greedily, keeping the best candidate solution;
+//              realizes the improved (1 - e^{-1/d}) bound (paper §4) at
+//              O(n)/O(n^2) times the cost. Ablation/benchmark use.
+//
+// exact_select() solves small instances optimally by branch-and-bound with
+// true union-size accounting, for bound-verification tests and the
+// approximation-ratio bench.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cache/catalog.hpp"
+#include "cache/types.hpp"
+
+namespace fbc {
+
+/// One selectable request with its value. `request` is non-owning and must
+/// outlive the selection call.
+struct SelectionItem {
+  const Request* request = nullptr;
+  double value = 0.0;
+};
+
+/// Outcome of a selection.
+struct SelectionResult {
+  /// Indices into the input items, in selection order.
+  std::vector<std::size_t> chosen;
+  /// Union of the chosen bundles' files, sorted, with the caller-declared
+  /// free files excluded.
+  std::vector<FileId> files;
+  /// Sum of chosen item values.
+  double total_value = 0.0;
+  /// Actual (union) byte size of `files`.
+  Bytes file_bytes = 0;
+  /// True when Algorithm 1 step 3 replaced the greedy set with the single
+  /// highest-value request.
+  bool single_request_override = false;
+};
+
+/// Greedy-variant selector (see file comment).
+enum class SelectVariant { Basic, Resort, Seeded1, Seeded2 };
+
+/// Returns "basic" / "resort" / "seeded1" / "seeded2".
+[[nodiscard]] std::string to_string(SelectVariant variant);
+
+/// The greedy selector. Binds a catalog (file sizes) and a degree table
+/// d(f) (indexed by FileId; entries beyond its length count as degree 0).
+class OptCacheSelect {
+ public:
+  OptCacheSelect(const FileCatalog& catalog,
+                 std::span<const std::uint32_t> degrees) noexcept
+      : catalog_(&catalog), degrees_(degrees) {}
+
+  /// Selects a subset of `items` whose non-free files fit within
+  /// `capacity` bytes. Files listed in `free_files` (sorted or not; they
+  /// are copied and sorted) cost nothing -- OptFileBundle passes the
+  /// incoming request's bundle, which is staying in the cache regardless.
+  [[nodiscard]] SelectionResult select(
+      std::span<const SelectionItem> items, Bytes capacity,
+      SelectVariant variant = SelectVariant::Resort,
+      std::span<const FileId> free_files = {}) const;
+
+  /// s'(f) = s(f) / max(1, d(f)) under the bound degree table.
+  [[nodiscard]] double adjusted_size(FileId id) const noexcept;
+
+ private:
+  SelectionResult select_basic(std::span<const SelectionItem> items,
+                               Bytes capacity,
+                               std::span<const FileId> free_sorted) const;
+  SelectionResult select_resort(std::span<const SelectionItem> items,
+                                Bytes capacity,
+                                std::span<const FileId> free_sorted,
+                                std::span<const std::size_t> seed) const;
+  SelectionResult select_seeded(std::span<const SelectionItem> items,
+                                Bytes capacity,
+                                std::span<const FileId> free_sorted,
+                                int k) const;
+  void apply_single_override(std::span<const SelectionItem> items,
+                             Bytes capacity,
+                             std::span<const FileId> free_sorted,
+                             SelectionResult& result) const;
+
+  const FileCatalog* catalog_;
+  std::span<const std::uint32_t> degrees_;
+};
+
+/// Exact FBC optimum by branch-and-bound with union-size accounting.
+/// Exponential; intended for instances up to a few dozen items.
+[[nodiscard]] SelectionResult exact_select(std::span<const SelectionItem> items,
+                                           const FileCatalog& catalog,
+                                           Bytes capacity);
+
+}  // namespace fbc

@@ -1,0 +1,111 @@
+#include "core/registry.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "policies/fifo.hpp"
+#include "policies/gds.hpp"
+#include "policies/gdsf.hpp"
+#include "policies/landlord.hpp"
+#include "policies/lfu.hpp"
+#include "policies/lookahead.hpp"
+#include "policies/lru.hpp"
+#include "policies/lru_k.hpp"
+#include "policies/random_evict.hpp"
+
+namespace fbc {
+namespace {
+
+const FileCatalog& require_catalog(const PolicyContext& context,
+                                   const std::string& name) {
+  if (context.catalog == nullptr)
+    throw std::invalid_argument("make_policy(" + name +
+                                "): context.catalog is required");
+  return *context.catalog;
+}
+
+PolicyPtr make_optfb(const PolicyContext& context, const std::string& name,
+                     OptFileBundleConfig config) {
+  config.aging_factor = context.aging_factor;
+  config.history.max_entries = context.history_max_entries;
+  return std::make_unique<OptFileBundlePolicy>(require_catalog(context, name),
+                                               config);
+}
+
+}  // namespace
+
+PolicyPtr make_policy(const std::string& name, const PolicyContext& context) {
+  if (name == "optfb") {
+    return make_optfb(context, name, {});
+  }
+  if (name == "optfb-basic") {
+    OptFileBundleConfig config;
+    config.variant = SelectVariant::Basic;
+    return make_optfb(context, name, config);
+  }
+  if (name == "optfb-seeded1") {
+    OptFileBundleConfig config;
+    config.variant = SelectVariant::Seeded1;
+    return make_optfb(context, name, config);
+  }
+  if (name == "optfb-seeded2") {
+    OptFileBundleConfig config;
+    config.variant = SelectVariant::Seeded2;
+    return make_optfb(context, name, config);
+  }
+  if (name == "optfb-full") {
+    OptFileBundleConfig config;
+    config.history.mode = HistoryMode::Full;
+    config.prefetch_selected = true;
+    return make_optfb(context, name, config);
+  }
+  if (name == "optfb-window") {
+    OptFileBundleConfig config;
+    config.history.mode = HistoryMode::Window;
+    config.history.window_jobs = context.history_window_jobs;
+    config.prefetch_selected = true;
+    return make_optfb(context, name, config);
+  }
+  if (name == "optfb-bytes") {
+    OptFileBundleConfig config;
+    config.value_model = ValueModel::BytesWeighted;
+    return make_optfb(context, name, config);
+  }
+  if (name == "landlord") {
+    return std::make_unique<LandlordPolicy>(LandlordPolicy::CreditModel::Uniform);
+  }
+  if (name == "landlord-size") {
+    return std::make_unique<LandlordPolicy>(
+        LandlordPolicy::CreditModel::ProportionalToSize);
+  }
+  if (name == "lru") return std::make_unique<LruPolicy>();
+  if (name == "lru-2") return std::make_unique<LruKPolicy>(2);
+  if (name == "lru-3") return std::make_unique<LruKPolicy>(3);
+  if (name == "lfu") return std::make_unique<LfuPolicy>();
+  if (name == "fifo") return std::make_unique<FifoPolicy>();
+  if (name == "gdsf") return std::make_unique<GdsfPolicy>(true);
+  if (name == "gdsf-unit") return std::make_unique<GdsfPolicy>(false);
+  if (name == "gds-unit") return std::make_unique<GdsPolicy>(GdsCost::Unit);
+  if (name == "gds-size") return std::make_unique<GdsPolicy>(GdsCost::Size);
+  if (name == "gds-fetch")
+    return std::make_unique<GdsPolicy>(GdsCost::FetchTime);
+  if (name == "random") return std::make_unique<RandomPolicy>(context.seed);
+  if (name == "lookahead") {
+    if (context.jobs.empty())
+      throw std::invalid_argument(
+          "make_policy(lookahead): context.jobs is required");
+    return std::make_unique<LookaheadPolicy>(context.jobs);
+  }
+  throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+}
+
+std::vector<std::string> policy_names() {
+  return {"optfb",        "optfb-basic",  "optfb-seeded1", "optfb-seeded2",
+          "optfb-full",   "optfb-window", "optfb-bytes",   "landlord",
+          "landlord-size", "lru",         "lru-2",         "lru-3",
+          "lfu",          "fifo",         "gds-unit",      "gds-size",
+          "gds-fetch",    "gdsf",         "gdsf-unit",     "random",
+          "lookahead"};
+}
+
+}  // namespace fbc

@@ -1,0 +1,61 @@
+// Policy registry: creates any replacement policy by its string name.
+// The single entry point bench harnesses, examples and user code use to
+// instantiate policies uniformly.
+//
+// Known names:
+//   optfb            OptFileBundle, CacheResident history, Resort greedy
+//                    (the paper's recommended configuration)
+//   optfb-basic      ... with the Basic (single-sort) greedy
+//   optfb-seeded1    ... with the 1-seeded greedy
+//   optfb-seeded2    ... with the 2-seeded greedy (improved bound, slow)
+//   optfb-full       ... with untruncated history (+ step-3 prefetching)
+//   optfb-window     ... with sliding-window history
+//   optfb-bytes      ... with byte-weighted request values (targets byte
+//                        misses instead of request misses)
+//   landlord         bundle-adapted Landlord (paper Algorithm 3)
+//   landlord-size    Landlord with size-proportional credits
+//   lru, lfu, fifo   classic baselines adapted to bundles
+//   lru-2, lru-3     LRU-K (O'Neil et al.): K-th-reference recency
+//   gds-unit, gds-size, gds-fetch   GreedyDual-Size cost variants
+//   gdsf, gdsf-unit  GreedyDual-Size-Frequency (Cherkasova)
+//   random           uniform random eviction
+//   lookahead        clairvoyant farthest-next-use (needs the job stream)
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/catalog.hpp"
+#include "cache/policy.hpp"
+#include "core/opt_file_bundle.hpp"
+
+namespace fbc {
+
+/// Everything a policy constructor might need.
+struct PolicyContext {
+  /// Required for optfb* policies.
+  const FileCatalog* catalog = nullptr;
+  /// Seed for stochastic policies (random).
+  std::uint64_t seed = 0x5eedULL;
+  /// Future job stream; required for lookahead.
+  std::span<const Request> jobs = {};
+  /// Window length for optfb-window.
+  std::uint64_t history_window_jobs = 1000;
+  /// Queue-scheduling aging factor for optfb* policies (0 = pure value
+  /// order; see OptFileBundleConfig::aging_factor).
+  double aging_factor = 0.0;
+  /// Bounded-memory history cap for optfb* policies (0 = unbounded).
+  std::size_t history_max_entries = 0;
+};
+
+/// Creates the policy registered under `name`.
+/// Throws std::invalid_argument for unknown names or missing context.
+[[nodiscard]] PolicyPtr make_policy(const std::string& name,
+                                    const PolicyContext& context);
+
+/// All registered policy names, in display order.
+[[nodiscard]] std::vector<std::string> policy_names();
+
+}  // namespace fbc

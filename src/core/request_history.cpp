@@ -1,0 +1,142 @@
+#include "core/request_history.hpp"
+
+#include <algorithm>
+
+namespace fbc {
+
+std::string to_string(HistoryMode mode) {
+  switch (mode) {
+    case HistoryMode::Full: return "full";
+    case HistoryMode::Window: return "window";
+    case HistoryMode::CacheResident: return "cache-resident";
+  }
+  return "?";
+}
+
+RequestHistory::RequestHistory(const FileCatalog& catalog,
+                               RequestHistoryConfig config)
+    : catalog_(&catalog), config_(config) {
+  degree_.resize(catalog.count(), 0);
+}
+
+void RequestHistory::observe(const Request& request, double weight) {
+  ++observed_jobs_;
+  auto [it, inserted] = index_.try_emplace(request, entries_.size());
+  if (inserted) {
+    entries_.push_back(HistoryEntry{request, weight, observed_jobs_});
+    for (FileId id : request.files) {
+      if (degree_.size() <= id) degree_.resize(id + 1, 0);
+      max_degree_ = std::max(max_degree_, ++degree_[id]);
+    }
+    if (config_.max_entries > 0 && entries_.size() > config_.max_entries) {
+      compact();
+    }
+  } else {
+    HistoryEntry& entry = entries_[it->second];
+    entry.value += weight;
+    entry.last_seen = observed_jobs_;
+  }
+}
+
+void RequestHistory::recompute_max_degree() noexcept {
+  max_degree_ = 0;
+  for (std::uint32_t d : degree_) max_degree_ = std::max(max_degree_, d);
+}
+
+void RequestHistory::compact() {
+  // Keep the top 3/4 of entries by (value desc, recency desc); drop the
+  // rest and remove their files from the degree table.
+  const std::size_t keep = config_.max_entries - config_.max_entries / 4;
+  std::vector<std::size_t> order(entries_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::nth_element(
+      order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
+      order.end(), [this](std::size_t a, std::size_t b) {
+        if (entries_[a].value != entries_[b].value)
+          return entries_[a].value > entries_[b].value;
+        return entries_[a].last_seen > entries_[b].last_seen;
+      });
+  order.resize(keep);
+  std::sort(order.begin(), order.end());  // preserve insertion order
+
+  std::vector<bool> keep_flag(entries_.size(), false);
+  for (std::size_t i : order) keep_flag[i] = true;
+
+  std::vector<HistoryEntry> surviving;
+  surviving.reserve(keep);
+  index_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (keep_flag[i]) {
+      index_.emplace(entries_[i].request, surviving.size());
+      surviving.push_back(std::move(entries_[i]));
+    } else {
+      for (FileId id : entries_[i].request.files) --degree_[id];
+    }
+  }
+  entries_ = std::move(surviving);
+  recompute_max_degree();
+}
+
+std::uint32_t RequestHistory::degree(FileId id) const noexcept {
+  return id < degree_.size() ? degree_[id] : 0;
+}
+
+std::uint32_t RequestHistory::max_degree() const noexcept {
+  return max_degree_;
+}
+
+double RequestHistory::adjusted_size(FileId id) const noexcept {
+  const std::uint32_t d = std::max<std::uint32_t>(1, degree(id));
+  return static_cast<double>(catalog_->size_of(id)) / static_cast<double>(d);
+}
+
+double RequestHistory::adjusted_bundle_size(
+    std::span<const FileId> files) const noexcept {
+  double total = 0.0;
+  for (FileId id : files) total += adjusted_size(id);
+  return total;
+}
+
+double RequestHistory::value(const Request& request) const noexcept {
+  const auto it = index_.find(request);
+  return it == index_.end() ? 0.0 : entries_[it->second].value;
+}
+
+double RequestHistory::relative_value(const Request& request,
+                                      double extra_weight) const noexcept {
+  const double v = value(request) + extra_weight;
+  if (v <= 0.0) return 0.0;
+  const double denom = adjusted_bundle_size(request.files);
+  return denom > 0.0 ? v / denom : 0.0;
+}
+
+std::vector<const HistoryEntry*> RequestHistory::candidates(
+    const DiskCache& cache, const Request* exclude) const {
+  std::vector<const HistoryEntry*> result;
+  result.reserve(entries_.size());
+  for (const HistoryEntry& entry : entries_) {
+    if (exclude != nullptr && entry.request == *exclude) continue;
+    switch (config_.mode) {
+      case HistoryMode::Full:
+        break;
+      case HistoryMode::Window:
+        if (entry.last_seen + config_.window_jobs <= observed_jobs_) continue;
+        break;
+      case HistoryMode::CacheResident:
+        if (!cache.supports(entry.request)) continue;
+        break;
+    }
+    result.push_back(&entry);
+  }
+  return result;
+}
+
+void RequestHistory::clear() {
+  index_.clear();
+  entries_.clear();
+  std::fill(degree_.begin(), degree_.end(), 0);
+  max_degree_ = 0;
+  observed_jobs_ = 0;
+}
+
+}  // namespace fbc

@@ -1,0 +1,149 @@
+// RequestHistory: the paper's L(R) data structure.
+//
+// For every distinct request (file-bundle) ever serviced it stores the
+// value v(r) -- in the base implementation a popularity counter -- and the
+// bundle itself; per file it maintains the degree d(f), the number of
+// distinct requests that use f. From these it derives the quantities the
+// OptCacheSelect greedy ranks by:
+//
+//    adjusted file size      s'(f) = s(f) / d(f)
+//    adjusted relative value v'(r) = v(r) / sum_{f in F(r)} s'(f)
+//
+// Because the full history grows without bound (and §5.2 shows the cost of
+// selection grows with it), three truncation modes control which entries
+// are offered as *candidates* to the selector:
+//
+//   Full          -- all requests ever seen (the paper's baseline);
+//   Window(K)     -- only requests seen within the last K jobs;
+//   CacheResident -- only requests currently supported by the cache, while
+//                    popularity counters and file degrees still come from
+//                    the *global* history (the paper's recommended mode:
+//                    Fig. 5 shows the truncation costs almost nothing).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/catalog.hpp"
+#include "cache/types.hpp"
+
+namespace fbc {
+
+/// Candidate-set truncation mode (see file comment).
+enum class HistoryMode { Full, Window, CacheResident };
+
+/// Returns "full" / "window" / "cache-resident".
+[[nodiscard]] std::string to_string(HistoryMode mode);
+
+/// Configuration for RequestHistory.
+struct RequestHistoryConfig {
+  HistoryMode mode = HistoryMode::CacheResident;
+  /// Window mode only: candidates are entries seen in the last
+  /// `window_jobs` observed jobs.
+  std::uint64_t window_jobs = 1000;
+  /// Hard bound on tracked distinct requests; 0 = unbounded (the paper's
+  /// setting). When exceeded, the lowest-value (tie: stalest) quarter of
+  /// entries is dropped and their contribution is removed from the file
+  /// degrees -- a deviation from the paper's global degrees, accepted so
+  /// a production deployment has bounded memory. A dropped request that
+  /// reappears restarts with value 1.
+  std::size_t max_entries = 0;
+};
+
+/// One distinct request tracked by the history.
+struct HistoryEntry {
+  Request request;
+  /// v(r): occurrence counter (the paper notes it could also encode
+  /// priorities; see observe()'s weight parameter).
+  double value = 0.0;
+  /// Index (1-based) of the most recent job that was this request.
+  std::uint64_t last_seen = 0;
+};
+
+/// The L(R) structure (see file comment).
+class RequestHistory {
+ public:
+  /// The catalog must outlive the history.
+  explicit RequestHistory(const FileCatalog& catalog,
+                          RequestHistoryConfig config = {});
+
+  /// Records one occurrence of `request` with the given value weight
+  /// (default 1: plain popularity counting). New distinct requests bump
+  /// the degree d(f) of each of their files.
+  void observe(const Request& request, double weight = 1.0);
+
+  /// Number of jobs observed so far.
+  [[nodiscard]] std::uint64_t observed_jobs() const noexcept {
+    return observed_jobs_;
+  }
+
+  /// Number of distinct requests tracked.
+  [[nodiscard]] std::size_t distinct_requests() const noexcept {
+    return entries_.size();
+  }
+
+  /// d(f): number of distinct requests whose bundle contains `id`
+  /// (0 when the file was never requested).
+  [[nodiscard]] std::uint32_t degree(FileId id) const noexcept;
+
+  /// Largest degree over all files -- the `d` in the approximation bound.
+  [[nodiscard]] std::uint32_t max_degree() const noexcept;
+
+  /// s'(f) = s(f) / max(1, d(f)).
+  [[nodiscard]] double adjusted_size(FileId id) const noexcept;
+
+  /// Sum of adjusted sizes over a bundle.
+  [[nodiscard]] double adjusted_bundle_size(
+      std::span<const FileId> files) const noexcept;
+
+  /// v(r) for a request; 0 when never observed.
+  [[nodiscard]] double value(const Request& request) const noexcept;
+
+  /// v'(r) = v(r) / adjusted bundle size; 0 when never observed.
+  /// `extra_weight` is added to v(r) first (used when ranking a request
+  /// whose current occurrence has not been observed yet, e.g. queue
+  /// scheduling).
+  [[nodiscard]] double relative_value(const Request& request,
+                                      double extra_weight = 0.0) const noexcept;
+
+  /// Read-only view of the degree table (indexed by FileId; may be shorter
+  /// than the catalog when trailing files were never requested).
+  [[nodiscard]] std::span<const std::uint32_t> degrees() const noexcept {
+    return degree_;
+  }
+
+  /// All tracked entries (unspecified order).
+  [[nodiscard]] std::span<const HistoryEntry> entries() const noexcept {
+    return entries_;
+  }
+
+  /// The candidate entries the configured truncation mode admits for a
+  /// replacement decision against `cache`. Entries equal to
+  /// `exclude` (typically the incoming request, whose files are reserved
+  /// separately) are omitted; pass nullptr to keep everything.
+  [[nodiscard]] std::vector<const HistoryEntry*> candidates(
+      const DiskCache& cache, const Request* exclude = nullptr) const;
+
+  /// Removes all state.
+  void clear();
+
+ private:
+  /// Enforces config_.max_entries (see RequestHistoryConfig).
+  void compact();
+
+  /// Recomputes max_degree_ after degree decrements.
+  void recompute_max_degree() noexcept;
+
+  const FileCatalog* catalog_;
+  RequestHistoryConfig config_;
+  std::unordered_map<Request, std::size_t, RequestHash> index_;
+  std::vector<HistoryEntry> entries_;
+  std::vector<std::uint32_t> degree_;
+  std::uint32_t max_degree_ = 0;
+  std::uint64_t observed_jobs_ = 0;
+};
+
+}  // namespace fbc

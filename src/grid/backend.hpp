@@ -1,0 +1,25 @@
+// StorageBackend: where the SRM fetches files from when they miss the
+// disk cache. Implemented by MassStorageSystem (single placement per
+// file) and ReplicaManager (multiple replica sites, cheapest wins), so
+// the SRM and the transfer scheduler are independent of the replication
+// strategy.
+#pragma once
+
+#include "cache/catalog.hpp"
+#include "cache/types.hpp"
+
+namespace fbc {
+
+/// Abstract fetch-cost provider (see file comment).
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// The catalog file sizes are resolved against.
+  [[nodiscard]] virtual const FileCatalog& catalog() const noexcept = 0;
+
+  /// Seconds to fetch `id` into the cache over one transfer stream.
+  [[nodiscard]] virtual double fetch_seconds(FileId id) const = 0;
+};
+
+}  // namespace fbc

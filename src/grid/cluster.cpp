@@ -1,0 +1,142 @@
+#include "grid/cluster.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace fbc {
+namespace {
+
+/// splitmix64-style finalizer: decorrelates node choice from file id so
+/// id-contiguous bundles spread across nodes under Placement::Hash.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+ClusterSimulator::ClusterSimulator(
+    const ClusterConfig& config, const FileCatalog& catalog,
+    const std::function<PolicyPtr()>& policy_factory)
+    : config_(config), catalog_(&catalog) {
+  if (config.nodes == 0)
+    throw std::invalid_argument("ClusterSimulator: need at least one node");
+  if (config.node_cache_bytes == 0)
+    throw std::invalid_argument(
+        "ClusterSimulator: node_cache_bytes must be > 0");
+  caches_.reserve(config.nodes);
+  policies_.reserve(config.nodes);
+  for (std::size_t n = 0; n < config.nodes; ++n) {
+    caches_.push_back(
+        std::make_unique<DiskCache>(config.node_cache_bytes, catalog));
+    policies_.push_back(policy_factory());
+    if (policies_.back() == nullptr)
+      throw std::invalid_argument(
+          "ClusterSimulator: policy factory returned null");
+  }
+  result_.per_node.resize(config.nodes);
+}
+
+std::size_t ClusterSimulator::node_of(FileId id) const noexcept {
+  switch (config_.placement) {
+    case Placement::Hash:
+      return static_cast<std::size_t>(mix(id) % caches_.size());
+    case Placement::RoundRobin:
+      return id % caches_.size();
+  }
+  return 0;
+}
+
+ClusterResult ClusterSimulator::run(std::span<const Request> jobs) {
+  if (ran_) throw std::logic_error("ClusterSimulator::run: already ran");
+  ran_ = true;
+
+  std::vector<std::vector<FileId>> parts(caches_.size());
+  std::size_t served = 0;
+
+  for (const Request& job : jobs) {
+    CacheMetrics& metrics =
+        served < config_.warmup_jobs ? result_.warmup : result_.metrics;
+    CacheMetrics* node_metrics =
+        served < config_.warmup_jobs ? nullptr : result_.per_node.data();
+    ++served;
+
+    // Partition the bundle by node.
+    for (auto& part : parts) part.clear();
+    for (FileId id : job.files) parts[node_of(id)].push_back(id);
+
+    // Feasibility: every sub-bundle must fit its node's disk.
+    bool feasible = true;
+    for (std::size_t n = 0; n < parts.size(); ++n) {
+      if (catalog_->bundle_bytes(parts[n]) > caches_[n]->capacity()) {
+        feasible = false;
+        break;
+      }
+    }
+    const Bytes requested = catalog_->request_bytes(job);
+    if (!feasible) {
+      metrics.record_unserviceable();
+      FBC_LOG(Warn) << "cluster: sub-bundle exceeds node capacity for "
+                    << job.to_string();
+      continue;
+    }
+
+    Bytes job_missed = 0;
+    std::size_t files_hit = 0;
+    for (std::size_t n = 0; n < parts.size(); ++n) {
+      if (parts[n].empty()) continue;
+      DiskCache& cache = *caches_[n];
+      ReplacementPolicy& policy = *policies_[n];
+      Request sub{std::vector<FileId>(parts[n])};
+
+      policy.on_job_arrival(sub, cache);
+      const std::vector<FileId> missing = cache.missing_files(sub);
+      const Bytes sub_requested = catalog_->request_bytes(sub);
+      if (missing.empty()) {
+        files_hit += sub.size();
+        policy.on_request_hit(sub, cache);
+        if (node_metrics)
+          node_metrics[n].record_job(sub_requested, 0, sub.size(), sub.size());
+        continue;
+      }
+      const Bytes missing_bytes = catalog_->bundle_bytes(missing);
+      files_hit += sub.size() - missing.size();
+      job_missed += missing_bytes;
+
+      for (FileId id : sub.files) {
+        if (cache.contains(id)) cache.pin(id);
+      }
+      if (cache.free_bytes() < missing_bytes) {
+        ++result_.decisions;
+        const Bytes needed = missing_bytes - cache.free_bytes();
+        for (FileId victim : policy.select_victims(sub, needed, cache)) {
+          const Bytes size = catalog_->size_of(victim);
+          cache.evict(victim);  // throws on contract violations
+          if (node_metrics) node_metrics[n].record_eviction(size);
+          policy.on_file_evicted(victim);
+        }
+        if (cache.free_bytes() < missing_bytes)
+          throw std::runtime_error(
+              "cluster: policy freed insufficient space on node");
+      }
+      for (FileId id : missing) cache.insert(id);
+      policy.on_files_loaded(sub, missing, cache);
+      for (FileId id : sub.files) {
+        if (cache.pinned(id)) cache.unpin(id);
+      }
+      if (node_metrics)
+        node_metrics[n].record_job(sub_requested, missing_bytes, sub.size(),
+                                   sub.size() - missing.size());
+    }
+
+    metrics.record_job(requested, job_missed, job.size(), files_hit);
+  }
+  return result_;
+}
+
+}  // namespace fbc

@@ -1,0 +1,45 @@
+#include "grid/mss.hpp"
+
+#include <stdexcept>
+
+namespace fbc {
+
+std::vector<StorageTier> default_tiers() {
+  return {
+      StorageTier{"disk-pool", /*latency_s=*/0.05,
+                  /*bandwidth_bps=*/400.0 * 1024 * 1024},
+      StorageTier{"local-tape", /*latency_s=*/8.0,
+                  /*bandwidth_bps=*/120.0 * 1024 * 1024},
+      StorageTier{"remote-mss", /*latency_s=*/2.0,
+                  /*bandwidth_bps=*/25.0 * 1024 * 1024},
+  };
+}
+
+MassStorageSystem::MassStorageSystem(std::vector<StorageTier> tiers,
+                                     const FileCatalog& catalog)
+    : tiers_(std::move(tiers)), catalog_(&catalog) {
+  if (tiers_.empty())
+    throw std::invalid_argument("MassStorageSystem: need at least one tier");
+  placement_.assign(catalog.count(), 0);
+}
+
+void MassStorageSystem::place_file(FileId id, std::size_t tier_index) {
+  if (!catalog_->valid(id))
+    throw std::invalid_argument("MassStorageSystem::place_file: bad file id");
+  if (tier_index >= tiers_.size())
+    throw std::invalid_argument("MassStorageSystem::place_file: bad tier");
+  if (placement_.size() <= id) placement_.resize(id + 1, 0);
+  placement_[id] = static_cast<std::uint32_t>(tier_index);
+}
+
+std::size_t MassStorageSystem::tier_of(FileId id) const {
+  if (id >= placement_.size())
+    throw std::invalid_argument("MassStorageSystem::tier_of: bad file id");
+  return placement_[id];
+}
+
+double MassStorageSystem::fetch_seconds(FileId id) const {
+  return tiers_[tier_of(id)].fetch_seconds(catalog_->size_of(id));
+}
+
+}  // namespace fbc

@@ -1,0 +1,110 @@
+#include "grid/replica.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fbc {
+
+ReplicaManager::ReplicaManager(std::vector<ReplicaSite> sites,
+                               const FileCatalog& catalog)
+    : sites_(std::move(sites)), catalog_(&catalog) {
+  if (sites_.empty())
+    throw std::invalid_argument("ReplicaManager: need at least one site");
+  replicas_.resize(sites_.size());
+  for (auto& bitmap : replicas_) bitmap.resize(catalog.count(), false);
+  used_.resize(sites_.size(), 0);
+
+  // Order non-origin sites by fetch speed for a representative 100 MiB
+  // file, fastest first.
+  speed_order_.resize(sites_.size() > 1 ? sites_.size() - 1 : 0);
+  std::iota(speed_order_.begin(), speed_order_.end(), 1);
+  std::sort(speed_order_.begin(), speed_order_.end(),
+            [this](std::size_t a, std::size_t b) {
+              const Bytes probe = 100 * MiB;
+              return sites_[a].tier.fetch_seconds(probe) <
+                     sites_[b].tier.fetch_seconds(probe);
+            });
+}
+
+bool ReplicaManager::has_replica(FileId id, std::size_t site_index) const {
+  if (!catalog_->valid(id))
+    throw std::invalid_argument("ReplicaManager: bad file id");
+  if (site_index >= sites_.size())
+    throw std::invalid_argument("ReplicaManager: bad site index");
+  if (site_index == 0) return true;  // origin holds everything
+  return replicas_[site_index][id];
+}
+
+void ReplicaManager::add_replica(FileId id, std::size_t site_index) {
+  if (has_replica(id, site_index)) return;  // validates arguments too
+  const Bytes size = catalog_->size_of(id);
+  if (used_[site_index] + size > sites_[site_index].replica_capacity)
+    throw std::runtime_error("ReplicaManager: site '" +
+                             sites_[site_index].name +
+                             "' replica budget exceeded");
+  replicas_[site_index][id] = true;
+  used_[site_index] += size;
+}
+
+void ReplicaManager::drop_replica(FileId id, std::size_t site_index) {
+  if (site_index == 0) return;  // origin copies are permanent
+  if (!has_replica(id, site_index)) return;
+  replicas_[site_index][id] = false;
+  used_[site_index] -= catalog_->size_of(id);
+}
+
+Bytes ReplicaManager::replica_bytes(std::size_t site_index) const {
+  if (site_index >= sites_.size())
+    throw std::invalid_argument("ReplicaManager: bad site index");
+  return used_[site_index];
+}
+
+std::size_t ReplicaManager::best_site(FileId id) const {
+  if (!catalog_->valid(id))
+    throw std::invalid_argument("ReplicaManager: bad file id");
+  const Bytes size = catalog_->size_of(id);
+  std::size_t best = 0;
+  double best_time = sites_[0].tier.fetch_seconds(size);
+  for (std::size_t s = 1; s < sites_.size(); ++s) {
+    if (!replicas_[s][id]) continue;
+    const double t = sites_[s].tier.fetch_seconds(size);
+    if (t < best_time) {
+      best_time = t;
+      best = s;
+    }
+  }
+  return best;
+}
+
+double ReplicaManager::fetch_seconds(FileId id) const {
+  return sites_[best_site(id)].tier.fetch_seconds(catalog_->size_of(id));
+}
+
+void ReplicaManager::replicate_by_popularity(
+    std::span<const std::uint64_t> access_counts) {
+  // Files in decreasing popularity (stable by id for determinism).
+  std::vector<FileId> order(catalog_->count());
+  std::iota(order.begin(), order.end(), 0);
+  auto count_of = [&access_counts](FileId id) -> std::uint64_t {
+    return id < access_counts.size() ? access_counts[id] : 0;
+  };
+  std::sort(order.begin(), order.end(), [&](FileId a, FileId b) {
+    if (count_of(a) != count_of(b)) return count_of(a) > count_of(b);
+    return a < b;
+  });
+
+  for (FileId id : order) {
+    if (count_of(id) == 0) break;  // the cold tail is never replicated
+    const Bytes size = catalog_->size_of(id);
+    for (std::size_t site_index : speed_order_) {
+      if (replicas_[site_index][id]) break;  // already as fast as possible
+      if (used_[site_index] + size <= sites_[site_index].replica_capacity) {
+        add_replica(id, site_index);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace fbc

@@ -1,0 +1,90 @@
+// ReplicaManager: multi-site file replication for the data-grid substrate.
+//
+// The paper's environment section lists "usage of strategic data
+// replication" among the techniques for efficient grid data access (§1).
+// This component models it: every file permanently lives at an origin
+// site; additional replica sites with bounded replica storage can hold
+// copies, and a fetch is served by the cheapest site holding the file.
+// replicate_by_popularity() implements the standard greedy strategy:
+// hottest files first into the fastest site with room.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/backend.hpp"
+#include "grid/mss.hpp"
+
+namespace fbc {
+
+/// One replica location.
+struct ReplicaSite {
+  std::string name = "site";
+  /// Fetch cost model for this site.
+  StorageTier tier = {};
+  /// Replica storage budget; ignored for the origin (site 0), which holds
+  /// every file permanently.
+  Bytes replica_capacity = 0;
+};
+
+/// Replica placement + cheapest-site fetch costs (see file comment).
+class ReplicaManager : public StorageBackend {
+ public:
+  /// Site 0 is the origin and implicitly holds every file. At least one
+  /// site is required; the catalog must outlive the manager.
+  ReplicaManager(std::vector<ReplicaSite> sites, const FileCatalog& catalog);
+
+  [[nodiscard]] const FileCatalog& catalog() const noexcept override {
+    return *catalog_;
+  }
+
+  /// Cheapest fetch time over all sites holding `id`.
+  [[nodiscard]] double fetch_seconds(FileId id) const override;
+
+  /// The site realizing fetch_seconds(id).
+  [[nodiscard]] std::size_t best_site(FileId id) const;
+
+  /// Number of sites (including the origin).
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    return sites_.size();
+  }
+
+  [[nodiscard]] const ReplicaSite& site(std::size_t index) const {
+    return sites_.at(index);
+  }
+
+  /// True when `site_index` holds a copy of `id` (always true for the
+  /// origin).
+  [[nodiscard]] bool has_replica(FileId id, std::size_t site_index) const;
+
+  /// Creates a replica. Throws std::invalid_argument for bad ids/sites,
+  /// std::runtime_error when the site's replica budget would overflow.
+  /// Replicating onto the origin or twice is a harmless no-op.
+  void add_replica(FileId id, std::size_t site_index);
+
+  /// Drops a replica (no-op when absent; the origin copy cannot be
+  /// dropped).
+  void drop_replica(FileId id, std::size_t site_index);
+
+  /// Replica bytes currently stored at `site_index` (0 for the origin).
+  [[nodiscard]] Bytes replica_bytes(std::size_t site_index) const;
+
+  /// Greedy popularity-driven placement: walks files in decreasing
+  /// `access_count` order and replicates each onto the fastest non-origin
+  /// site that still has room and does not yet hold it. Existing replicas
+  /// are kept. `access_counts` is indexed by FileId (missing entries
+  /// count 0).
+  void replicate_by_popularity(std::span<const std::uint64_t> access_counts);
+
+ private:
+  std::vector<ReplicaSite> sites_;
+  const FileCatalog* catalog_;
+  /// replicas_[site][file] presence; site 0 unused (origin holds all).
+  std::vector<std::vector<bool>> replicas_;
+  std::vector<Bytes> used_;
+  /// Site indices (excluding origin) sorted by fetch speed for a typical
+  /// file, fastest first; used by replicate_by_popularity.
+  std::vector<std::size_t> speed_order_;
+};
+
+}  // namespace fbc

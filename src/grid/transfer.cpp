@@ -1,0 +1,32 @@
+#include "grid/transfer.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace fbc {
+
+double TransferModel::stage_seconds(std::span<const FileId> files,
+                                    const StorageBackend& mss) const {
+  if (files.empty()) return 0.0;
+  const std::size_t streams = std::max<std::size_t>(1, max_parallel);
+
+  std::vector<double> durations;
+  durations.reserve(files.size());
+  for (FileId id : files) durations.push_back(mss.fetch_seconds(id));
+  // LPT: longest first onto the least-loaded stream.
+  std::sort(durations.begin(), durations.end(), std::greater<>());
+
+  std::priority_queue<double, std::vector<double>, std::greater<>> loads;
+  for (std::size_t s = 0; s < streams; ++s) loads.push(0.0);
+  double makespan = 0.0;
+  for (double d : durations) {
+    const double load = loads.top() + d;
+    loads.pop();
+    loads.push(load);
+    makespan = std::max(makespan, load);
+  }
+  return makespan;
+}
+
+}  // namespace fbc

@@ -1,0 +1,29 @@
+// Transfer scheduling: how long staging a set of files takes when the SRM
+// runs up to `max_parallel` concurrent transfer streams.
+//
+// Staging a bundle is a classic makespan problem: each missing file is a
+// task whose duration comes from its MSS tier, and streams are identical
+// machines. We use Longest-Processing-Time-first list scheduling, the
+// standard 4/3-approximate heuristic, which is also what real transfer
+// managers effectively do.
+#pragma once
+
+#include <span>
+
+#include "cache/types.hpp"
+#include "grid/backend.hpp"
+
+namespace fbc {
+
+/// Concurrency configuration for staging transfers.
+struct TransferModel {
+  /// Number of concurrent transfer streams the SRM may open.
+  std::size_t max_parallel = 4;
+
+  /// Seconds until every file in `files` has been staged from `mss`
+  /// (LPT makespan across the streams). Empty set costs 0.
+  [[nodiscard]] double stage_seconds(std::span<const FileId> files,
+                                     const StorageBackend& mss) const;
+};
+
+}  // namespace fbc

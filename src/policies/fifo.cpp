@@ -1,0 +1,60 @@
+#include "policies/fifo.hpp"
+
+#include <stdexcept>
+
+namespace fbc {
+
+std::vector<FileId> FifoPolicy::select_victims(const Request& request,
+                                               Bytes bytes_needed,
+                                               const DiskCache& cache) {
+  std::vector<FileId> victims;
+  std::vector<FileId> deferred;  // requested or pinned: re-queued in order
+  Bytes freed = 0;
+  while (freed < bytes_needed) {
+    if (queue_.empty())
+      throw std::logic_error("fifo: queue exhausted before freeing enough");
+    const FileId id = queue_.front();
+    queue_.pop_front();
+    if (id >= queued_.size() || !queued_[id]) continue;  // stale
+    if (!cache.contains(id)) {
+      queued_[id] = false;
+      continue;
+    }
+    if (request.contains(id) || cache.pinned(id)) {
+      deferred.push_back(id);
+      continue;
+    }
+    queued_[id] = false;
+    victims.push_back(id);
+    freed += cache.catalog().size_of(id);
+  }
+  // Preserve the deferred files' seniority: they go back to the front in
+  // their original relative order.
+  for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
+    queue_.push_front(*it);
+  }
+  return victims;
+}
+
+void FifoPolicy::on_files_loaded(const Request&,
+                                 std::span<const FileId> loaded,
+                                 const DiskCache&) {
+  for (FileId id : loaded) {
+    if (queued_.size() <= id) queued_.resize(id + 1, false);
+    if (!queued_[id]) {
+      queued_[id] = true;
+      queue_.push_back(id);
+    }
+  }
+}
+
+void FifoPolicy::on_file_evicted(FileId id) {
+  if (id < queued_.size()) queued_[id] = false;
+}
+
+void FifoPolicy::reset() {
+  queue_.clear();
+  queued_.clear();
+}
+
+}  // namespace fbc

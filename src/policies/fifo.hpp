@@ -1,0 +1,35 @@
+// FIFO replacement, adapted to file-bundles: files are evicted in their
+// original load order regardless of subsequent hits. The simplest
+// size-oblivious baseline, and the lower bound any recency-based policy
+// must clear.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "cache/policy.hpp"
+
+namespace fbc {
+
+/// Bundle-adapted FIFO.
+class FifoPolicy : public ReplacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "fifo"; }
+
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, Bytes bytes_needed,
+      const DiskCache& cache) override;
+
+  void on_files_loaded(const Request& request, std::span<const FileId> loaded,
+                       const DiskCache& cache) override;
+
+  void on_file_evicted(FileId id) override;
+
+  void reset() override;
+
+ private:
+  std::deque<FileId> queue_;          ///< load order, oldest first
+  std::vector<bool> queued_;          ///< membership check
+};
+
+}  // namespace fbc

@@ -1,0 +1,109 @@
+#include "policies/gds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fbc {
+
+GdsPolicy::GdsPolicy(GdsCost cost, double latency_cost,
+                     double bandwidth_bytes_per_cost)
+    : cost_(cost),
+      latency_cost_(latency_cost),
+      bandwidth_(bandwidth_bytes_per_cost) {}
+
+std::string GdsPolicy::name() const {
+  switch (cost_) {
+    case GdsCost::Unit: return "gds-unit";
+    case GdsCost::Size: return "gds-size";
+    case GdsCost::FetchTime: return "gds-fetch";
+  }
+  return "gds";
+}
+
+double GdsPolicy::cost_of(FileId id, const DiskCache& cache) const {
+  const double size = static_cast<double>(cache.catalog().size_of(id));
+  switch (cost_) {
+    case GdsCost::Unit: return 1.0;
+    case GdsCost::Size: return size;
+    case GdsCost::FetchTime: return latency_cost_ + size / bandwidth_;
+  }
+  return 1.0;
+}
+
+void GdsPolicy::refresh(FileId id, const DiskCache& cache) {
+  if (h_.size() <= id) {
+    h_.resize(id + 1, 0.0);
+    stamp_.resize(id + 1, 0);
+    tracked_.resize(id + 1, false);
+  }
+  const double size = static_cast<double>(cache.catalog().size_of(id));
+  h_[id] = inflation_ + cost_of(id, cache) / std::max(size, 1.0);
+  stamp_[id] = next_stamp_++;
+  tracked_[id] = true;
+  heap_.push(HeapEntry{h_[id], id, stamp_[id]});
+}
+
+void GdsPolicy::on_request_hit(const Request& request, const DiskCache& cache) {
+  for (FileId id : request.files) refresh(id, cache);
+}
+
+std::vector<FileId> GdsPolicy::select_victims(const Request& request,
+                                              Bytes bytes_needed,
+                                              const DiskCache& cache) {
+  std::vector<FileId> victims;
+  std::vector<HeapEntry> deferred;  // pinned by other in-flight jobs
+  Bytes freed = 0;
+  while (freed < bytes_needed) {
+    if (heap_.empty())
+      throw std::logic_error("gds: heap exhausted before freeing enough");
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    const FileId id = top.id;
+    if (id >= stamp_.size() || stamp_[id] != top.stamp || !tracked_[id])
+      continue;
+    if (request.contains(id)) {
+      tracked_[id] = false;  // re-tracked by the refresh after admission
+      continue;
+    }
+    if (!cache.contains(id)) {
+      tracked_[id] = false;
+      continue;
+    }
+    if (cache.pinned(id)) {
+      deferred.push_back(top);
+      continue;
+    }
+    inflation_ = std::max(inflation_, top.h);
+    tracked_[id] = false;
+    victims.push_back(id);
+    freed += cache.catalog().size_of(id);
+  }
+  for (const HeapEntry& entry : deferred) heap_.push(entry);
+  return victims;
+}
+
+void GdsPolicy::on_files_loaded(const Request& request,
+                                std::span<const FileId>,
+                                const DiskCache& cache) {
+  for (FileId id : request.files) refresh(id, cache);
+}
+
+void GdsPolicy::on_file_evicted(FileId id) {
+  if (id < tracked_.size()) tracked_[id] = false;
+}
+
+void GdsPolicy::reset() {
+  inflation_ = 0.0;
+  h_.clear();
+  stamp_.clear();
+  tracked_.clear();
+  next_stamp_ = 1;
+  heap_ = {};
+}
+
+double GdsPolicy::h_value(FileId id) const noexcept {
+  if (id >= h_.size() || !tracked_[id]) return 0.0;
+  return h_[id];
+}
+
+}  // namespace fbc

@@ -1,0 +1,75 @@
+// GreedyDual-Size (Cao & Irani, USITS'97), adapted to file-bundles.
+//
+// Each cached file carries a value H = L + cost(f) / s(f), where L is a
+// global inflation level. Eviction removes the file with minimum H and
+// raises L to that H. Web caching's strongest classical policy and the
+// direct ancestor of Landlord; included as an additional popularity-style
+// baseline with a pluggable cost model.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "cache/policy.hpp"
+
+namespace fbc {
+
+/// Retrieval cost model for GreedyDual-Size.
+enum class GdsCost {
+  Unit,       ///< cost(f) = 1: minimizes miss *count* (favors small files)
+  Size,       ///< cost(f) = s(f): minimizes byte misses (H = L + 1)
+  FetchTime,  ///< cost(f) = latency + s(f)/bandwidth: wide-area fetch model
+};
+
+/// Bundle-adapted GreedyDual-Size.
+class GdsPolicy : public ReplacementPolicy {
+ public:
+  /// `latency_cost` and `bandwidth_bytes_per_cost` parameterize FetchTime;
+  /// they are ignored for the other cost models.
+  explicit GdsPolicy(GdsCost cost = GdsCost::Unit, double latency_cost = 1.0,
+                     double bandwidth_bytes_per_cost = 50.0 * 1024 * 1024);
+
+  [[nodiscard]] std::string name() const override;
+
+  void on_request_hit(const Request& request, const DiskCache& cache) override;
+
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, Bytes bytes_needed,
+      const DiskCache& cache) override;
+
+  void on_files_loaded(const Request& request, std::span<const FileId> loaded,
+                       const DiskCache& cache) override;
+
+  void on_file_evicted(FileId id) override;
+
+  void reset() override;
+
+  /// Current H-value of `id` (introspection; 0 when untracked).
+  [[nodiscard]] double h_value(FileId id) const noexcept;
+
+ private:
+  [[nodiscard]] double cost_of(FileId id, const DiskCache& cache) const;
+  void refresh(FileId id, const DiskCache& cache);
+
+  struct HeapEntry {
+    double h;
+    FileId id;
+    std::uint64_t stamp;
+    bool operator>(const HeapEntry& other) const noexcept {
+      return h > other.h;
+    }
+  };
+
+  GdsCost cost_;
+  double latency_cost_;
+  double bandwidth_;
+  double inflation_ = 0.0;
+  std::vector<double> h_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<bool> tracked_;
+  std::uint64_t next_stamp_ = 1;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+};
+
+}  // namespace fbc

@@ -1,0 +1,94 @@
+#include "policies/gdsf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fbc {
+
+void GdsfPolicy::refresh(FileId id, const DiskCache& cache) {
+  if (h_.size() <= id) {
+    h_.resize(id + 1, 0.0);
+    freq_.resize(id + 1, 0);
+    stamp_.resize(id + 1, 0);
+    tracked_.resize(id + 1, false);
+  }
+  ++freq_[id];
+  const double size = static_cast<double>(cache.catalog().size_of(id));
+  const double cost = size_cost_ ? size : 1.0;
+  h_[id] = inflation_ +
+           static_cast<double>(freq_[id]) * cost / std::max(size, 1.0);
+  stamp_[id] = next_stamp_++;
+  tracked_[id] = true;
+  heap_.push(HeapEntry{h_[id], id, stamp_[id]});
+}
+
+void GdsfPolicy::on_request_hit(const Request& request,
+                                const DiskCache& cache) {
+  for (FileId id : request.files) refresh(id, cache);
+}
+
+std::vector<FileId> GdsfPolicy::select_victims(const Request& request,
+                                               Bytes bytes_needed,
+                                               const DiskCache& cache) {
+  std::vector<FileId> victims;
+  std::vector<HeapEntry> deferred;
+  Bytes freed = 0;
+  while (freed < bytes_needed) {
+    if (heap_.empty())
+      throw std::logic_error("gdsf: heap exhausted before freeing enough");
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    const FileId id = top.id;
+    if (id >= stamp_.size() || stamp_[id] != top.stamp || !tracked_[id])
+      continue;
+    if (request.contains(id)) {
+      tracked_[id] = false;  // re-tracked by the post-admission refresh
+      continue;
+    }
+    if (!cache.contains(id)) {
+      tracked_[id] = false;
+      continue;
+    }
+    if (cache.pinned(id)) {
+      deferred.push_back(top);
+      continue;
+    }
+    inflation_ = std::max(inflation_, top.h);
+    tracked_[id] = false;
+    victims.push_back(id);
+    freed += cache.catalog().size_of(id);
+  }
+  for (const HeapEntry& entry : deferred) heap_.push(entry);
+  return victims;
+}
+
+void GdsfPolicy::on_files_loaded(const Request& request,
+                                 std::span<const FileId>,
+                                 const DiskCache& cache) {
+  for (FileId id : request.files) refresh(id, cache);
+}
+
+void GdsfPolicy::on_file_evicted(FileId id) {
+  if (id < tracked_.size()) tracked_[id] = false;
+}
+
+void GdsfPolicy::reset() {
+  inflation_ = 0.0;
+  h_.clear();
+  freq_.clear();
+  stamp_.clear();
+  tracked_.clear();
+  next_stamp_ = 1;
+  heap_ = {};
+}
+
+double GdsfPolicy::h_value(FileId id) const noexcept {
+  if (id >= h_.size() || !tracked_[id]) return 0.0;
+  return h_[id];
+}
+
+std::uint64_t GdsfPolicy::frequency(FileId id) const noexcept {
+  return id < freq_.size() ? freq_[id] : 0;
+}
+
+}  // namespace fbc

@@ -1,0 +1,71 @@
+// GreedyDual-Size-Frequency (Cherkasova, HP Labs TR-98-69), adapted to
+// file-bundles.
+//
+// Extends GreedyDual-Size with a per-file reference count:
+//     H(f) = L + freq(f) * cost(f) / s(f)
+// so hot files survive longer even when large. With cost(f) = s(f) this
+// reduces to inflated LFU; with cost(f) = 1 it trades size against
+// popularity -- the strongest per-file web-caching baseline of its era
+// and a natural extra comparator for OptFileBundle.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "cache/policy.hpp"
+
+namespace fbc {
+
+/// Bundle-adapted GreedyDual-Size-Frequency.
+class GdsfPolicy : public ReplacementPolicy {
+ public:
+  /// `size_cost` selects cost(f) = s(f) (true) or cost(f) = 1 (false).
+  explicit GdsfPolicy(bool size_cost = true) : size_cost_(size_cost) {}
+
+  [[nodiscard]] std::string name() const override {
+    return size_cost_ ? "gdsf" : "gdsf-unit";
+  }
+
+  void on_request_hit(const Request& request, const DiskCache& cache) override;
+
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, Bytes bytes_needed,
+      const DiskCache& cache) override;
+
+  void on_files_loaded(const Request& request, std::span<const FileId> loaded,
+                       const DiskCache& cache) override;
+
+  void on_file_evicted(FileId id) override;
+
+  void reset() override;
+
+  /// Current H-value (introspection; 0 when untracked).
+  [[nodiscard]] double h_value(FileId id) const noexcept;
+
+  /// Reference count of `id`.
+  [[nodiscard]] std::uint64_t frequency(FileId id) const noexcept;
+
+ private:
+  void refresh(FileId id, const DiskCache& cache);
+
+  struct HeapEntry {
+    double h;
+    FileId id;
+    std::uint64_t stamp;
+    bool operator>(const HeapEntry& other) const noexcept {
+      return h > other.h;
+    }
+  };
+
+  bool size_cost_;
+  double inflation_ = 0.0;
+  std::vector<double> h_;
+  std::vector<std::uint64_t> freq_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<bool> tracked_;
+  std::uint64_t next_stamp_ = 1;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+};
+
+}  // namespace fbc

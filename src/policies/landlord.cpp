@@ -1,0 +1,114 @@
+#include "policies/landlord.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fbc {
+
+LandlordPolicy::LandlordPolicy(CreditModel model) : model_(model) {}
+
+std::string LandlordPolicy::name() const {
+  return model_ == CreditModel::Uniform ? "landlord" : "landlord-size";
+}
+
+void LandlordPolicy::refresh(FileId id, const DiskCache& cache) {
+  if (stored_.size() <= id) {
+    stored_.resize(id + 1, 0.0);
+    stamp_.resize(id + 1, 0);
+    tracked_.resize(id + 1, false);
+  }
+  double credit_value = 1.0;
+  if (model_ == CreditModel::ProportionalToSize) {
+    // Normalize by the largest catalog file so credits stay in (0, 1].
+    const auto sizes = cache.catalog().sizes();
+    const Bytes max_size =
+        sizes.empty() ? 1 : *std::max_element(sizes.begin(), sizes.end());
+    credit_value = static_cast<double>(cache.catalog().size_of(id)) /
+                   static_cast<double>(std::max<Bytes>(max_size, 1));
+  }
+  stored_[id] = inflation_ + credit_value;
+  stamp_[id] = next_stamp_++;
+  tracked_[id] = true;
+  heap_.push(HeapEntry{stored_[id], id, stamp_[id]});
+}
+
+void LandlordPolicy::on_request_hit(const Request& request,
+                                    const DiskCache& cache) {
+  // Algorithm 3 step 4: every file of the serviced request gets a fresh
+  // credit of 1 (rent paid).
+  for (FileId id : request.files) refresh(id, cache);
+}
+
+std::vector<FileId> LandlordPolicy::select_victims(const Request& request,
+                                                   Bytes bytes_needed,
+                                                   const DiskCache& cache) {
+  std::vector<FileId> victims;
+  // Entries belonging to files pinned by other in-flight jobs (multi-slot
+  // SRM, cluster nodes) are exempt this round but must stay tracked.
+  std::vector<HeapEntry> deferred;
+  Bytes freed = 0;
+  while (freed < bytes_needed) {
+    if (heap_.empty())
+      throw std::logic_error(
+          "landlord: heap exhausted before freeing enough space");
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    const FileId id = top.id;
+    // Discard stale entries (refreshed or evicted since being pushed).
+    if (id >= stamp_.size() || stamp_[id] != top.stamp || !tracked_[id])
+      continue;
+    // Files of the incoming request are exempt from rent collection here;
+    // their credit is re-set to 1 after the admission anyway (step 4), so
+    // the popped entry can be dropped -- refresh() will push a fresh one.
+    if (request.contains(id)) {
+      tracked_[id] = false;  // invalidate; refresh() re-tracks it
+      continue;
+    }
+    if (!cache.contains(id)) {
+      tracked_[id] = false;
+      continue;
+    }
+    if (cache.pinned(id)) {
+      deferred.push_back(top);
+      continue;
+    }
+    // Uniform decrement by the minimum credit == raising the inflation
+    // level to this entry's stored credit.
+    inflation_ = std::max(inflation_, top.stored_credit);
+    tracked_[id] = false;
+    victims.push_back(id);
+    freed += cache.catalog().size_of(id);
+  }
+  for (const HeapEntry& entry : deferred) heap_.push(entry);
+  return victims;
+}
+
+void LandlordPolicy::on_files_loaded(const Request& request,
+                                     std::span<const FileId> loaded,
+                                     const DiskCache& cache) {
+  (void)loaded;
+  // Step 4: bring the files in and set credit[g] = 1 for all g in F(r_new)
+  // (both the newly loaded and the already-resident ones).
+  for (FileId id : request.files) refresh(id, cache);
+}
+
+void LandlordPolicy::on_file_evicted(FileId id) {
+  if (id < tracked_.size()) tracked_[id] = false;
+}
+
+void LandlordPolicy::reset() {
+  inflation_ = 0.0;
+  stored_.clear();
+  stamp_.clear();
+  tracked_.clear();
+  next_stamp_ = 1;
+  heap_ = {};
+}
+
+double LandlordPolicy::credit(FileId id) const noexcept {
+  if (id >= stored_.size() || !tracked_[id]) return 0.0;
+  return std::max(0.0, stored_[id] - inflation_);
+}
+
+}  // namespace fbc

@@ -1,0 +1,79 @@
+#include "policies/lfu.hpp"
+
+#include <stdexcept>
+
+namespace fbc {
+
+void LfuPolicy::reference_all(const Request& request) {
+  ++clock_;
+  for (FileId id : request.files) {
+    if (freq_.size() <= id) {
+      freq_.resize(id + 1, 0);
+      touch_.resize(id + 1, 0);
+      resident_.resize(id + 1, false);
+    }
+    if (resident_[id]) order_.erase(Key{freq_[id], touch_[id], id});
+    ++freq_[id];
+    touch_[id] = clock_;
+    if (resident_[id]) order_.insert(Key{freq_[id], touch_[id], id});
+  }
+}
+
+void LfuPolicy::on_request_hit(const Request& request, const DiskCache&) {
+  reference_all(request);
+}
+
+std::vector<FileId> LfuPolicy::select_victims(const Request& request,
+                                              Bytes bytes_needed,
+                                              const DiskCache& cache) {
+  std::vector<FileId> victims;
+  Bytes freed = 0;
+  auto it = order_.begin();
+  while (freed < bytes_needed) {
+    if (it == order_.end())
+      throw std::logic_error("lfu: candidates exhausted before freeing enough");
+    const FileId id = it->id;
+    if (request.contains(id) || cache.pinned(id)) {
+      ++it;  // exempt: requested by this job or pinned by another
+      continue;
+    }
+    victims.push_back(id);
+    freed += cache.catalog().size_of(id);
+    it = order_.erase(it);
+    resident_[id] = false;
+  }
+  return victims;
+}
+
+void LfuPolicy::on_files_loaded(const Request& request,
+                                std::span<const FileId> loaded,
+                                const DiskCache&) {
+  reference_all(request);
+  for (FileId id : loaded) {
+    if (!resident_[id]) {
+      resident_[id] = true;
+      order_.insert(Key{freq_[id], touch_[id], id});
+    }
+  }
+}
+
+void LfuPolicy::on_file_evicted(FileId id) {
+  if (id < resident_.size() && resident_[id]) {
+    order_.erase(Key{freq_[id], touch_[id], id});
+    resident_[id] = false;
+  }
+}
+
+void LfuPolicy::reset() {
+  clock_ = 0;
+  freq_.clear();
+  touch_.clear();
+  resident_.clear();
+  order_.clear();
+}
+
+std::uint64_t LfuPolicy::frequency(FileId id) const noexcept {
+  return id < freq_.size() ? freq_[id] : 0;
+}
+
+}  // namespace fbc

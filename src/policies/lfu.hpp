@@ -1,0 +1,56 @@
+// Least-Frequently-Used replacement, adapted to file-bundles.
+//
+// Tracks a per-file reference count over serviced requests and evicts the
+// least-referenced files first (ties broken by recency, oldest first).
+// This is the pure "file popularity" strategy of Table 1 that the paper's
+// worked example shows to be misguided for bundles.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "cache/policy.hpp"
+
+namespace fbc {
+
+/// Bundle-adapted LFU with LRU tie-breaking.
+class LfuPolicy : public ReplacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "lfu"; }
+
+  void on_request_hit(const Request& request, const DiskCache& cache) override;
+
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, Bytes bytes_needed,
+      const DiskCache& cache) override;
+
+  void on_files_loaded(const Request& request, std::span<const FileId> loaded,
+                       const DiskCache& cache) override;
+
+  void on_file_evicted(FileId id) override;
+
+  void reset() override;
+
+  /// Reference count of `id` (0 if never referenced).
+  [[nodiscard]] std::uint64_t frequency(FileId id) const noexcept;
+
+ private:
+  void reference_all(const Request& request);
+
+  /// (frequency, last_touch, id) ordered set acting as an updatable
+  /// min-priority structure over *resident* files.
+  struct Key {
+    std::uint64_t freq;
+    std::uint64_t touch;
+    FileId id;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  std::uint64_t clock_ = 0;
+  std::vector<std::uint64_t> freq_;
+  std::vector<std::uint64_t> touch_;
+  std::vector<bool> resident_;  ///< file currently in our ordered set
+  std::set<Key> order_;
+};
+
+}  // namespace fbc

@@ -1,0 +1,72 @@
+#include "policies/lookahead.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fbc {
+
+LookaheadPolicy::LookaheadPolicy(std::span<const Request> jobs) {
+  for (std::uint64_t j = 0; j < jobs.size(); ++j) {
+    for (FileId id : jobs[j].files) {
+      if (uses_.size() <= id) uses_.resize(id + 1);
+      uses_[id].push_back(j);
+    }
+  }
+  cursor_.assign(uses_.size(), 0);
+}
+
+void LookaheadPolicy::on_job_arrival(const Request&, const DiskCache&) {
+  ++current_job_;
+}
+
+std::uint64_t LookaheadPolicy::next_use(FileId id) const noexcept {
+  if (id >= uses_.size()) return kNever;
+  const auto& list = uses_[id];
+  std::size_t& pos = cursor_[id];
+  // current_job_ is 1-based; the job being served has index current_job_-1,
+  // so the next use is the first entry >= current_job_.
+  while (pos < list.size() && list[pos] < current_job_) ++pos;
+  return pos < list.size() ? list[pos] : kNever;
+}
+
+std::vector<FileId> LookaheadPolicy::select_victims(const Request& request,
+                                                    Bytes bytes_needed,
+                                                    const DiskCache& cache) {
+  struct Candidate {
+    std::uint64_t next;
+    Bytes size;
+    FileId id;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(cache.file_count());
+  for (FileId id : cache.resident_files()) {
+    if (request.contains(id) || cache.pinned(id)) continue;
+    candidates.push_back(Candidate{next_use(id), cache.catalog().size_of(id), id});
+  }
+  // Farthest next use first; among equals prefer freeing more bytes.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.next != b.next) return a.next > b.next;
+              if (a.size != b.size) return a.size > b.size;
+              return a.id < b.id;
+            });
+
+  std::vector<FileId> victims;
+  Bytes freed = 0;
+  for (const Candidate& c : candidates) {
+    if (freed >= bytes_needed) break;
+    victims.push_back(c.id);
+    freed += c.size;
+  }
+  if (freed < bytes_needed)
+    throw std::logic_error(
+        "lookahead: candidates exhausted before freeing enough");
+  return victims;
+}
+
+void LookaheadPolicy::reset() {
+  std::fill(cursor_.begin(), cursor_.end(), 0);
+  current_job_ = 0;
+}
+
+}  // namespace fbc

@@ -1,0 +1,50 @@
+// Clairvoyant look-ahead replacement (offline reference baseline).
+//
+// Given the full future job stream, evicts the files whose *next use* lies
+// farthest in the future (Belady's MIN generalized to sized files; ties
+// broken toward evicting larger files to free more space per decision).
+//
+// Note: per-file Belady is NOT optimal for the file-bundle problem -- the
+// offline FBC problem is NP-hard (paper §4) -- but it is a strong
+// clairvoyant reference that no online per-file policy can beat on its own
+// terms, which makes it a useful yardstick in the benches.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "cache/policy.hpp"
+
+namespace fbc {
+
+/// Offline farthest-next-use eviction.
+class LookaheadPolicy : public ReplacementPolicy {
+ public:
+  /// `jobs` must be the exact stream later passed to Simulator::run, in the
+  /// same order (FCFS only: queue reordering would invalidate the oracle).
+  explicit LookaheadPolicy(std::span<const Request> jobs);
+
+  [[nodiscard]] std::string name() const override { return "lookahead"; }
+
+  void on_job_arrival(const Request& request, const DiskCache& cache) override;
+
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, Bytes bytes_needed,
+      const DiskCache& cache) override;
+
+  void reset() override;
+
+ private:
+  /// Index of the first job > current using `id`, or kNever.
+  [[nodiscard]] std::uint64_t next_use(FileId id) const noexcept;
+
+  static constexpr std::uint64_t kNever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  std::vector<std::vector<std::uint64_t>> uses_;  ///< per-file use indices
+  mutable std::vector<std::size_t> cursor_;       ///< per-file scan position
+  std::uint64_t current_job_ = 0;                 ///< 1-based after arrival
+};
+
+}  // namespace fbc

@@ -1,0 +1,75 @@
+#include "policies/lru.hpp"
+
+#include <stdexcept>
+
+namespace fbc {
+
+void LruPolicy::touch_all(const Request& request) {
+  ++clock_;
+  for (FileId id : request.files) {
+    if (touch_.size() <= id) {
+      touch_.resize(id + 1, 0);
+      tracked_.resize(id + 1, false);
+    }
+    touch_[id] = clock_;
+    tracked_[id] = true;
+    heap_.push(HeapEntry{clock_, id});
+  }
+}
+
+void LruPolicy::on_request_hit(const Request& request, const DiskCache&) {
+  touch_all(request);
+}
+
+std::vector<FileId> LruPolicy::select_victims(const Request& request,
+                                              Bytes bytes_needed,
+                                              const DiskCache& cache) {
+  std::vector<FileId> victims;
+  std::vector<HeapEntry> deferred;  // pinned by other in-flight jobs
+  Bytes freed = 0;
+  while (freed < bytes_needed) {
+    if (heap_.empty())
+      throw std::logic_error("lru: heap exhausted before freeing enough");
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    const FileId id = top.id;
+    if (id >= touch_.size() || touch_[id] != top.touch || !tracked_[id])
+      continue;  // stale entry
+    if (request.contains(id)) continue;  // exempt; still tracked
+    if (!cache.contains(id)) {
+      tracked_[id] = false;
+      continue;
+    }
+    if (cache.pinned(id)) {
+      deferred.push_back(top);
+      continue;
+    }
+    tracked_[id] = false;
+    victims.push_back(id);
+    freed += cache.catalog().size_of(id);
+  }
+  for (const HeapEntry& entry : deferred) heap_.push(entry);
+  return victims;
+}
+
+void LruPolicy::on_files_loaded(const Request& request,
+                                std::span<const FileId>, const DiskCache&) {
+  touch_all(request);
+}
+
+void LruPolicy::on_file_evicted(FileId id) {
+  if (id < tracked_.size()) tracked_[id] = false;
+}
+
+void LruPolicy::reset() {
+  clock_ = 0;
+  touch_.clear();
+  tracked_.clear();
+  heap_ = {};
+}
+
+std::uint64_t LruPolicy::last_touch(FileId id) const noexcept {
+  return id < touch_.size() ? touch_[id] : 0;
+}
+
+}  // namespace fbc

@@ -1,0 +1,55 @@
+// Least-Recently-Used replacement, adapted to file-bundles.
+//
+// Every file of a serviced request is "touched" (hit or load alike); when
+// space is needed, the stalest non-requested files are evicted first. This
+// is the classic popularity-style baseline the paper argues is blind to
+// inter-file dependencies.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "cache/policy.hpp"
+
+namespace fbc {
+
+/// Bundle-adapted LRU.
+class LruPolicy : public ReplacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "lru"; }
+
+  void on_request_hit(const Request& request, const DiskCache& cache) override;
+
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, Bytes bytes_needed,
+      const DiskCache& cache) override;
+
+  void on_files_loaded(const Request& request, std::span<const FileId> loaded,
+                       const DiskCache& cache) override;
+
+  void on_file_evicted(FileId id) override;
+
+  void reset() override;
+
+  /// Logical timestamp of the last touch of `id` (0 if never touched).
+  [[nodiscard]] std::uint64_t last_touch(FileId id) const noexcept;
+
+ private:
+  void touch_all(const Request& request);
+
+  struct HeapEntry {
+    std::uint64_t touch;
+    FileId id;
+    bool operator>(const HeapEntry& other) const noexcept {
+      return touch > other.touch;
+    }
+  };
+
+  std::uint64_t clock_ = 0;
+  std::vector<std::uint64_t> touch_;  ///< per-file last-touch time
+  std::vector<bool> tracked_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+};
+
+}  // namespace fbc

@@ -1,0 +1,101 @@
+#include "policies/lru_k.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fbc {
+
+LruKPolicy::LruKPolicy(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("LruKPolicy: k must be >= 1");
+}
+
+std::string LruKPolicy::name() const {
+  return "lru-" + std::to_string(k_);
+}
+
+std::uint64_t LruKPolicy::backward_k_distance(FileId id) const noexcept {
+  if (id >= history_.size() || history_[id].size() < k_) return 0;
+  return history_[id].front();  // oldest of the retained K references
+}
+
+std::uint64_t LruKPolicy::key_time(FileId id) const noexcept {
+  return backward_k_distance(id);
+}
+
+void LruKPolicy::reference_all(const Request& request) {
+  ++clock_;
+  for (FileId id : request.files) {
+    if (history_.size() <= id) {
+      history_.resize(id + 1);
+      resident_.resize(id + 1, false);
+    }
+    if (resident_[id]) {
+      order_.erase(Key{key_time(id),
+                       history_[id].empty() ? 0 : history_[id].back(), id});
+    }
+    auto& refs = history_[id];
+    refs.push_back(clock_);
+    if (refs.size() > k_) refs.erase(refs.begin());
+    if (resident_[id]) {
+      order_.insert(Key{key_time(id), refs.back(), id});
+    }
+  }
+}
+
+void LruKPolicy::on_request_hit(const Request& request, const DiskCache&) {
+  reference_all(request);
+}
+
+std::vector<FileId> LruKPolicy::select_victims(const Request& request,
+                                               Bytes bytes_needed,
+                                               const DiskCache& cache) {
+  std::vector<FileId> victims;
+  Bytes freed = 0;
+  auto it = order_.begin();
+  while (freed < bytes_needed) {
+    if (it == order_.end())
+      throw std::logic_error(
+          "lru-k: candidates exhausted before freeing enough");
+    const FileId id = it->id;
+    if (request.contains(id) || cache.pinned(id)) {
+      ++it;
+      continue;
+    }
+    victims.push_back(id);
+    freed += cache.catalog().size_of(id);
+    it = order_.erase(it);
+    resident_[id] = false;
+  }
+  return victims;
+}
+
+void LruKPolicy::on_files_loaded(const Request& request,
+                                 std::span<const FileId> loaded,
+                                 const DiskCache&) {
+  reference_all(request);
+  for (FileId id : loaded) {
+    if (!resident_[id]) {
+      resident_[id] = true;
+      order_.insert(
+          Key{key_time(id), history_[id].empty() ? 0 : history_[id].back(),
+              id});
+    }
+  }
+}
+
+void LruKPolicy::on_file_evicted(FileId id) {
+  if (id < resident_.size() && resident_[id]) {
+    order_.erase(Key{key_time(id),
+                     history_[id].empty() ? 0 : history_[id].back(), id});
+    resident_[id] = false;
+  }
+}
+
+void LruKPolicy::reset() {
+  clock_ = 0;
+  history_.clear();
+  resident_.clear();
+  order_.clear();
+}
+
+}  // namespace fbc

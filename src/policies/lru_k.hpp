@@ -1,0 +1,63 @@
+// LRU-K replacement (O'Neil, O'Neil & Weikum, SIGMOD'93), adapted to
+// file-bundles.
+//
+// Evicts the file whose K-th most recent reference is oldest (files with
+// fewer than K references are evicted first, oldest single reference
+// first). K = 2 is the classic database buffer-pool configuration: it
+// filters out one-off scans that fool plain LRU.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "cache/policy.hpp"
+
+namespace fbc {
+
+/// Bundle-adapted LRU-K.
+class LruKPolicy : public ReplacementPolicy {
+ public:
+  /// Precondition: k >= 1 (k = 1 degenerates to plain LRU).
+  explicit LruKPolicy(std::size_t k = 2);
+
+  [[nodiscard]] std::string name() const override;
+
+  void on_request_hit(const Request& request, const DiskCache& cache) override;
+
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, Bytes bytes_needed,
+      const DiskCache& cache) override;
+
+  void on_files_loaded(const Request& request, std::span<const FileId> loaded,
+                       const DiskCache& cache) override;
+
+  void on_file_evicted(FileId id) override;
+
+  void reset() override;
+
+  /// The file's K-th most recent reference time (0 when it has fewer than
+  /// K references).
+  [[nodiscard]] std::uint64_t backward_k_distance(FileId id) const noexcept;
+
+ private:
+  void reference_all(const Request& request);
+  [[nodiscard]] std::uint64_t key_time(FileId id) const noexcept;
+
+  /// Eviction order: ascending (kth_ref_time, last_ref_time, id); files
+  /// with < K references have kth_ref_time 0 and therefore go first.
+  struct Key {
+    std::uint64_t kth;
+    std::uint64_t last;
+    FileId id;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  std::size_t k_;
+  std::uint64_t clock_ = 0;
+  /// Circular buffer of the last K reference times per file.
+  std::vector<std::vector<std::uint64_t>> history_;
+  std::vector<bool> resident_;
+  std::set<Key> order_;
+};
+
+}  // namespace fbc

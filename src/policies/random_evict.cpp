@@ -1,0 +1,30 @@
+#include "policies/random_evict.hpp"
+
+#include <stdexcept>
+
+namespace fbc {
+
+std::vector<FileId> RandomPolicy::select_victims(const Request& request,
+                                                 Bytes bytes_needed,
+                                                 const DiskCache& cache) {
+  // Collect eviction candidates (resident, not part of the request).
+  std::vector<FileId> candidates;
+  candidates.reserve(cache.file_count());
+  for (FileId id : cache.resident_files()) {
+    if (!request.contains(id) && !cache.pinned(id)) candidates.push_back(id);
+  }
+  rng_.shuffle(std::span<FileId>(candidates));
+
+  std::vector<FileId> victims;
+  Bytes freed = 0;
+  for (FileId id : candidates) {
+    if (freed >= bytes_needed) break;
+    victims.push_back(id);
+    freed += cache.catalog().size_of(id);
+  }
+  if (freed < bytes_needed)
+    throw std::logic_error("random: candidates exhausted before freeing enough");
+  return victims;
+}
+
+}  // namespace fbc

@@ -1,0 +1,28 @@
+// Random replacement: evicts uniformly random non-requested resident files
+// until enough space is free. The zero-information baseline that any
+// serious policy must beat.
+#pragma once
+
+#include "cache/policy.hpp"
+#include "util/rng.hpp"
+
+namespace fbc {
+
+/// Uniform random eviction.
+class RandomPolicy : public ReplacementPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 0xabcdef12345ULL) : rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, Bytes bytes_needed,
+      const DiskCache& cache) override;
+
+  void reset() override {}
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace fbc

@@ -1,0 +1,67 @@
+#include "util/bytes.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string_view>
+
+namespace fbc {
+
+std::string format_bytes(Bytes n) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double value = static_cast<double>(n);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%lluB", static_cast<unsigned long long>(n));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f%s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+Bytes parse_bytes(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("parse_bytes: empty string");
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_bytes: no number in '" + text + "'");
+  }
+  if (value < 0.0)
+    throw std::invalid_argument("parse_bytes: negative size '" + text + "'");
+  std::string_view suffix(text);
+  suffix.remove_prefix(pos);
+  while (!suffix.empty() && suffix.front() == ' ') suffix.remove_prefix(1);
+
+  double scale = 1.0;
+  if (suffix.empty() || suffix == "B" || suffix == "b") {
+    scale = 1.0;
+  } else if (suffix == "KiB" || suffix == "KB" || suffix == "K" ||
+             suffix == "kb" || suffix == "k") {
+    scale = static_cast<double>(KiB);
+  } else if (suffix == "MiB" || suffix == "MB" || suffix == "M" ||
+             suffix == "mb" || suffix == "m") {
+    scale = static_cast<double>(MiB);
+  } else if (suffix == "GiB" || suffix == "GB" || suffix == "G" ||
+             suffix == "gb" || suffix == "g") {
+    scale = static_cast<double>(GiB);
+  } else if (suffix == "TiB" || suffix == "TB" || suffix == "T" ||
+             suffix == "tb" || suffix == "t") {
+    scale = static_cast<double>(TiB);
+  } else {
+    throw std::invalid_argument("parse_bytes: unknown suffix in '" + text +
+                                "'");
+  }
+  return static_cast<Bytes>(std::llround(value * scale));
+}
+
+}  // namespace fbc

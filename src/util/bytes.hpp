@@ -1,0 +1,32 @@
+// Byte-size type, literals and human-readable formatting.
+//
+// File and cache sizes throughout the library are expressed in plain bytes
+// as 64-bit unsigned integers; this header provides the shared alias plus
+// convenience constants so configuration code reads naturally
+// (e.g. `cfg.cache_bytes = 10 * GiB`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fbc {
+
+/// Library-wide byte count type (files in a data-grid reach tens of GB, and
+/// disk caches tens of TB, so 64 bits are required).
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+inline constexpr Bytes TiB = 1024 * GiB;
+
+/// Formats a byte count with a binary-unit suffix: "512B", "1.50MiB",
+/// "2.00GiB". Chooses the largest unit with a mantissa >= 1.
+[[nodiscard]] std::string format_bytes(Bytes n);
+
+/// Parses strings like "512", "16KiB", "1.5GiB", "100MB" (decimal suffixes
+/// KB/MB/GB/TB are treated as their binary counterparts for simplicity).
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] Bytes parse_bytes(const std::string& text);
+
+}  // namespace fbc

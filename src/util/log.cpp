@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace fbc {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_write_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void log_write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[fbc %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace fbc

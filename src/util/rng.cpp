@@ -1,0 +1,117 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#ifdef _MSC_VER
+#include <intrin.h>
+#endif
+
+namespace fbc {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// 64x64 -> high 64 bits of the 128-bit product.
+inline std::uint64_t mul_high(std::uint64_t a, std::uint64_t b) noexcept {
+#ifdef _MSC_VER
+  return __umulh(a, b);
+#else
+  // __int128 is a GCC/Clang extension; silence -Wpedantic locally.
+  __extension__ using u128 = unsigned __int128;
+  return static_cast<std::uint64_t>((static_cast<u128>(a) * b) >> 64);
+#endif
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm();
+}
+
+std::uint64_t Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == std::numeric_limits<std::uint64_t>::max()) return (*this)();
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  const std::uint64_t range = span + 1;
+  std::uint64_t x = (*this)();
+  std::uint64_t hi_part = mul_high(x, range);
+  std::uint64_t lo_part = x * range;
+  if (lo_part < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (lo_part < threshold) {
+      x = (*this)();
+      hi_part = mul_high(x, range);
+      lo_part = x * range;
+    }
+  }
+  return lo + hi_part;
+}
+
+std::size_t Rng::index(std::size_t n) noexcept {
+  assert(n > 0);
+  return static_cast<std::size_t>(uniform_u64(0, n - 1));
+}
+
+double Rng::uniform_double() noexcept {
+  // 53 high bits scaled into [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_double(double lo, double hi) noexcept {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform_double();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_double() < p;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: O(k) expected draws, produces a uniform k-subset.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  auto contains = [&chosen](std::size_t v) {
+    for (std::size_t c : chosen)
+      if (c == v) return true;
+    return false;
+  };
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = static_cast<std::size_t>(uniform_u64(0, j));
+    if (!contains(t)) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::uint64_t Rng::derive_seed(std::uint64_t stream) noexcept {
+  SplitMix64 sm((*this)() ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  return sm();
+}
+
+}  // namespace fbc

@@ -1,0 +1,76 @@
+#include "workload/distributions.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace fbc {
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("AliasSampler: empty weight vector");
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w))
+      throw std::invalid_argument("AliasSampler: weights must be finite, >= 0");
+    sum += w;
+  }
+  if (sum <= 0.0)
+    throw std::invalid_argument("AliasSampler: all weights are zero");
+
+  const std::size_t n = weights.size();
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / sum;
+
+  // Vose's stable construction of the alias table.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining buckets are (numerically) exactly 1.
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const noexcept {
+  const std::size_t bucket = rng.index(prob_.size());
+  return rng.uniform_double() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+namespace {
+std::vector<double> zipf_weights(std::size_t n, double alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (alpha < 0.0)
+    throw std::invalid_argument("ZipfSampler: alpha must be >= 0");
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  }
+  return w;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha)
+    : alpha_(alpha), alias_(zipf_weights(n, alpha)) {}
+
+UniformIndexSampler::UniformIndexSampler(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("UniformIndexSampler: n must be > 0");
+}
+
+}  // namespace fbc

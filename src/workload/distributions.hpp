@@ -1,0 +1,89 @@
+// Discrete popularity distributions for workload synthesis.
+//
+// The paper evaluates the two extremes (§5.2): a uniform distribution over
+// the request pool and a Zipf distribution where the i-th most popular
+// request is drawn with probability proportional to 1/i^alpha (alpha = 1 in
+// the paper). Zipf sampling uses Walker's alias method: O(n) setup, O(1)
+// per sample, exact probabilities.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fbc {
+
+/// O(1) sampling from an arbitrary discrete distribution via Walker's
+/// alias method.
+class AliasSampler {
+ public:
+  /// Builds the alias table from non-negative `weights` (need not be
+  /// normalized; at least one must be positive, else throws).
+  explicit AliasSampler(std::span<const double> weights);
+
+  /// Draws an index with probability weight[i] / sum(weights).
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  /// Number of outcomes.
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Exact normalized probability of outcome `i`.
+  [[nodiscard]] double probability(std::size_t i) const noexcept {
+    return normalized_[i];
+  }
+
+ private:
+  std::vector<double> prob_;         // acceptance threshold per bucket
+  std::vector<std::size_t> alias_;   // fallback outcome per bucket
+  std::vector<double> normalized_;   // normalized input weights
+};
+
+/// Zipf(alpha) distribution over ranks 0..n-1 (rank 0 most popular):
+/// P(rank i) ∝ 1 / (i+1)^alpha.
+class ZipfSampler {
+ public:
+  /// Precondition: n > 0, alpha >= 0 (alpha = 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double alpha = 1.0);
+
+  /// Draws a rank.
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept {
+    return alias_.sample(rng);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return alias_.size(); }
+
+  /// Exact probability of rank `i`.
+  [[nodiscard]] double probability(std::size_t i) const noexcept {
+    return alias_.probability(i);
+  }
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  AliasSampler alias_;
+};
+
+/// Uniform distribution over 0..n-1, matching the sampler interface.
+class UniformIndexSampler {
+ public:
+  /// Precondition: n > 0.
+  explicit UniformIndexSampler(std::size_t n);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept {
+    return rng.index(n_);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] double probability(std::size_t) const noexcept {
+    return 1.0 / static_cast<double>(n_);
+  }
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace fbc

@@ -1,0 +1,54 @@
+#include "workload/file_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fbc {
+
+FileCatalog generate_file_pool(const FilePoolConfig& config, Rng& rng) {
+  if (config.num_files == 0)
+    throw std::invalid_argument("generate_file_pool: num_files must be > 0");
+  if (config.min_bytes == 0)
+    throw std::invalid_argument("generate_file_pool: min_bytes must be > 0");
+  if (config.max_bytes < config.min_bytes)
+    throw std::invalid_argument(
+        "generate_file_pool: max_bytes < min_bytes");
+
+  FileCatalog catalog;
+  switch (config.model) {
+    case FileSizeModel::Uniform:
+      for (std::size_t i = 0; i < config.num_files; ++i) {
+        catalog.add_file(rng.uniform_u64(config.min_bytes, config.max_bytes));
+      }
+      break;
+    case FileSizeModel::Fixed:
+      for (std::size_t i = 0; i < config.num_files; ++i) {
+        catalog.add_file(config.min_bytes);
+      }
+      break;
+    case FileSizeModel::LogNormal: {
+      const double lo = std::log(static_cast<double>(config.min_bytes));
+      const double hi = std::log(static_cast<double>(config.max_bytes));
+      const double mu = 0.5 * (lo + hi);
+      const double sigma = config.lognormal_sigma;
+      for (std::size_t i = 0; i < config.num_files; ++i) {
+        // Box-Muller from our deterministic RNG (std::normal_distribution
+        // is not bit-stable across standard libraries).
+        const double u1 = std::max(rng.uniform_double(), 1e-300);
+        const double u2 = rng.uniform_double();
+        const double z =
+            std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+        const double raw = std::exp(mu + sigma * z);
+        const double clamped =
+            std::clamp(raw, static_cast<double>(config.min_bytes),
+                       static_cast<double>(config.max_bytes));
+        catalog.add_file(static_cast<Bytes>(clamped));
+      }
+      break;
+    }
+  }
+  return catalog;
+}
+
+}  // namespace fbc

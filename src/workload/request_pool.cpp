@@ -1,0 +1,75 @@
+#include "workload/request_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/log.hpp"
+
+namespace fbc {
+
+std::vector<Request> generate_request_pool(const RequestPoolConfig& config,
+                                           const FileCatalog& catalog,
+                                           Rng& rng) {
+  if (config.num_requests == 0)
+    throw std::invalid_argument("generate_request_pool: num_requests == 0");
+  if (config.min_files == 0 || config.min_files > config.max_files)
+    throw std::invalid_argument(
+        "generate_request_pool: need 1 <= min_files <= max_files");
+  if (config.max_files > catalog.count())
+    throw std::invalid_argument(
+        "generate_request_pool: max_files exceeds catalog size");
+
+  std::vector<Request> pool;
+  pool.reserve(config.num_requests);
+  std::unordered_set<Request, RequestHash> seen;
+  seen.reserve(config.num_requests * 2);
+
+  // Bounded retries: in tiny combinatorial spaces distinct bundles may run
+  // out; we then return fewer than requested rather than loop forever.
+  const std::size_t max_attempts = config.num_requests * 50;
+  std::size_t attempts = 0;
+
+  while (pool.size() < config.num_requests && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t want = static_cast<std::size_t>(
+        rng.uniform_u64(config.min_files, config.max_files));
+    std::vector<std::size_t> picked =
+        rng.sample_without_replacement(catalog.count(), want);
+    std::vector<FileId> files;
+    files.reserve(picked.size());
+    for (std::size_t idx : picked) files.push_back(static_cast<FileId>(idx));
+
+    if (config.max_bundle_bytes > 0) {
+      // Trim largest-first until the bundle fits under the byte cap while
+      // keeping at least one file (single files are capped by the file
+      // pool's max size, which callers keep below the cache size).
+      std::sort(files.begin(), files.end(), [&](FileId a, FileId b) {
+        return catalog.size_of(a) < catalog.size_of(b);
+      });
+      Bytes total = catalog.bundle_bytes(files);
+      while (files.size() > 1 && total > config.max_bundle_bytes) {
+        total -= catalog.size_of(files.back());
+        files.pop_back();
+      }
+      if (total > config.max_bundle_bytes) continue;  // lone file too big
+    }
+
+    Request request(std::move(files));
+    if (request.empty()) continue;
+    if (seen.insert(request).second) {
+      pool.push_back(std::move(request));
+    }
+  }
+
+  if (pool.size() < config.num_requests) {
+    FBC_LOG(Warn) << "request pool exhausted distinct bundles: "
+                  << pool.size() << "/" << config.num_requests;
+  }
+  if (pool.empty())
+    throw std::runtime_error(
+        "generate_request_pool: could not generate any feasible bundle");
+  return pool;
+}
+
+}  // namespace fbc

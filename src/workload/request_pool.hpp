@@ -1,0 +1,41 @@
+// Request (file-bundle) pool generation.
+//
+// Each pool entry is a distinct bundle drawn over the file catalog; the job
+// stream then samples entries from this pool under a popularity
+// distribution. Mirrors §5.1: "The set of files requested by each job was
+// chosen randomly from the list of available files such that the total size
+// of the files requested was smaller than the available cache size."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cache/catalog.hpp"
+#include "cache/types.hpp"
+#include "util/rng.hpp"
+
+namespace fbc {
+
+/// Parameters for bundle pool generation.
+struct RequestPoolConfig {
+  /// Number of distinct bundles to create.
+  std::size_t num_requests = 200;
+  /// Bundle size (file count) is uniform in [min_files, max_files].
+  std::size_t min_files = 1;
+  std::size_t max_files = 10;
+  /// Upper bound on the total byte size of one bundle (typically the cache
+  /// size, or a fraction of it so several bundles fit at once).
+  Bytes max_bundle_bytes = 0;  ///< 0 means "no byte cap"
+};
+
+/// Generates a pool of distinct canonical requests over `catalog`.
+///
+/// Files are drawn uniformly without replacement; if a draw exceeds
+/// `max_bundle_bytes`, files are dropped (largest first) until it fits.
+/// Duplicate bundles are re-drawn (bounded retries), so the returned pool
+/// may be slightly smaller than requested when the combinatorial space is
+/// tiny. Throws std::invalid_argument on impossible configurations.
+[[nodiscard]] std::vector<Request> generate_request_pool(
+    const RequestPoolConfig& config, const FileCatalog& catalog, Rng& rng);
+
+}  // namespace fbc

@@ -1,0 +1,211 @@
+#include "workload/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "workload/distributions.hpp"
+
+namespace fbc {
+namespace {
+
+/// Samples the job stream over `pool` with Zipf(alpha) popularity assigned
+/// to a random permutation of pool indices, and materializes the jobs.
+void fill_jobs(Workload& w, std::size_t num_jobs, double alpha, Rng& rng) {
+  std::vector<std::size_t> rank_to_pool(w.pool.size());
+  for (std::size_t i = 0; i < rank_to_pool.size(); ++i) rank_to_pool[i] = i;
+  rng.shuffle(std::span<std::size_t>(rank_to_pool));
+  ZipfSampler zipf(w.pool.size(), alpha);
+  w.job_index.reserve(num_jobs);
+  w.jobs.reserve(num_jobs);
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    w.job_index.push_back(rank_to_pool[zipf.sample(rng)]);
+  }
+  for (std::size_t idx : w.job_index) w.jobs.push_back(w.pool[idx]);
+}
+
+/// Deduplicates pool entries, preserving first occurrence order.
+void dedup_pool(std::vector<Request>& pool) {
+  std::unordered_set<Request, RequestHash> seen;
+  std::vector<Request> unique;
+  unique.reserve(pool.size());
+  for (Request& r : pool) {
+    if (seen.insert(r).second) unique.push_back(std::move(r));
+  }
+  pool = std::move(unique);
+}
+
+}  // namespace
+
+Workload generate_henp_workload(const HenpConfig& config) {
+  if (config.num_runs == 0 || config.num_attributes == 0)
+    throw std::invalid_argument("henp: need runs and attributes");
+  if (config.min_template_attrs == 0 ||
+      config.min_template_attrs > config.max_template_attrs ||
+      config.max_template_attrs > config.num_attributes)
+    throw std::invalid_argument("henp: bad template attribute bounds");
+
+  Rng rng(config.seed);
+  Workload w;
+
+  // File layout: file(run, attr) = run * num_attributes + attr. Each run
+  // has its own event count, so all attribute files of a run scale
+  // together (larger runs -> larger files across the board).
+  std::vector<double> run_scale(config.num_runs);
+  for (double& s : run_scale) s = rng.uniform_double(0.5, 1.5);
+  for (std::size_t run = 0; run < config.num_runs; ++run) {
+    for (std::size_t attr = 0; attr < config.num_attributes; ++attr) {
+      const Bytes base = rng.uniform_u64(config.min_attr_file_bytes,
+                                         config.max_attr_file_bytes);
+      const Bytes size = std::max<Bytes>(
+          1, static_cast<Bytes>(static_cast<double>(base) * run_scale[run]));
+      w.catalog.add_file(size);
+    }
+  }
+
+  // Analysis templates: the attribute combinations the collaboration
+  // actually queries.
+  std::vector<std::vector<std::size_t>> templates;
+  templates.reserve(config.num_templates);
+  for (std::size_t t = 0; t < config.num_templates; ++t) {
+    const std::size_t count = static_cast<std::size_t>(rng.uniform_u64(
+        config.min_template_attrs, config.max_template_attrs));
+    templates.push_back(
+        rng.sample_without_replacement(config.num_attributes, count));
+  }
+
+  // Pool: one request per (run, template).
+  for (std::size_t run = 0; run < config.num_runs; ++run) {
+    for (const auto& tmpl : templates) {
+      std::vector<FileId> files;
+      files.reserve(tmpl.size());
+      for (std::size_t attr : tmpl) {
+        files.push_back(
+            static_cast<FileId>(run * config.num_attributes + attr));
+      }
+      w.pool.emplace_back(std::move(files));
+    }
+  }
+  dedup_pool(w.pool);
+  fill_jobs(w, config.num_jobs, config.zipf_alpha, rng);
+  return w;
+}
+
+Workload generate_climate_workload(const ClimateConfig& config) {
+  if (config.num_variables == 0 || config.num_chunks == 0)
+    throw std::invalid_argument("climate: need variables and chunks");
+  if (config.min_group_vars == 0 ||
+      config.min_group_vars > config.max_group_vars ||
+      config.max_group_vars > config.num_variables)
+    throw std::invalid_argument("climate: bad group bounds");
+  if (config.max_range_chunks == 0 ||
+      config.max_range_chunks > config.num_chunks)
+    throw std::invalid_argument("climate: bad range bounds");
+
+  Rng rng(config.seed);
+  Workload w;
+
+  // File layout: file(var, chunk) = var * num_chunks + chunk.
+  for (std::size_t var = 0; var < config.num_variables; ++var) {
+    for (std::size_t chunk = 0; chunk < config.num_chunks; ++chunk) {
+      w.catalog.add_file(rng.uniform_u64(config.min_chunk_file_bytes,
+                                         config.max_chunk_file_bytes));
+    }
+  }
+
+  // Variable groups read together (e.g. the wind components).
+  std::vector<std::vector<std::size_t>> groups;
+  groups.reserve(config.num_groups);
+  for (std::size_t g = 0; g < config.num_groups; ++g) {
+    const std::size_t count = static_cast<std::size_t>(
+        rng.uniform_u64(config.min_group_vars, config.max_group_vars));
+    groups.push_back(
+        rng.sample_without_replacement(config.num_variables, count));
+  }
+
+  // Pool: one request per (group, range-start, range-width) that we expect
+  // analysts to run; enumerate group x start with a random width each.
+  for (const auto& group : groups) {
+    for (std::size_t start = 0; start < config.num_chunks; ++start) {
+      const std::size_t width = static_cast<std::size_t>(
+          rng.uniform_u64(1, config.max_range_chunks));
+      const std::size_t end = std::min(start + width, config.num_chunks);
+      std::vector<FileId> files;
+      files.reserve(group.size() * (end - start));
+      for (std::size_t var : group) {
+        for (std::size_t chunk = start; chunk < end; ++chunk) {
+          files.push_back(
+              static_cast<FileId>(var * config.num_chunks + chunk));
+        }
+      }
+      w.pool.emplace_back(std::move(files));
+    }
+  }
+  dedup_pool(w.pool);
+  fill_jobs(w, config.num_jobs, config.zipf_alpha, rng);
+  return w;
+}
+
+Workload generate_bitmap_workload(const BitmapConfig& config) {
+  if (config.num_attributes == 0 || config.bins_per_attribute == 0)
+    throw std::invalid_argument("bitmap: need attributes and bins");
+  if (config.max_query_attrs == 0 ||
+      config.max_query_attrs > config.num_attributes)
+    throw std::invalid_argument("bitmap: bad query attribute bound");
+  if (config.max_range_bins == 0 ||
+      config.max_range_bins > config.bins_per_attribute)
+    throw std::invalid_argument("bitmap: bad bin range bound");
+
+  Rng rng(config.seed);
+  Workload w;
+
+  // File layout: file(attr, bin) = attr * bins + bin. Compressed bitmap
+  // sizes are skewed: bins near the middle of a value distribution are
+  // denser, so they compress worse; model with a triangular profile.
+  for (std::size_t attr = 0; attr < config.num_attributes; ++attr) {
+    for (std::size_t bin = 0; bin < config.bins_per_attribute; ++bin) {
+      const double center = static_cast<double>(config.bins_per_attribute - 1) / 2.0;
+      const double dist =
+          std::abs(static_cast<double>(bin) - center) / (center > 0 ? center : 1.0);
+      const double density = 1.0 - 0.7 * dist;  // 1 at center, 0.3 at edges
+      const Bytes base =
+          rng.uniform_u64(config.min_bitmap_bytes, config.max_bitmap_bytes);
+      const Bytes size =
+          std::max<Bytes>(1, static_cast<Bytes>(static_cast<double>(base) * density));
+      w.catalog.add_file(size);
+    }
+  }
+
+  // Query pool: each query picks 1..max_query_attrs attributes and a
+  // contiguous bin run on each; the bundle is the union of those bitmaps.
+  std::unordered_set<Request, RequestHash> seen;
+  const std::size_t max_attempts = config.num_query_pool * 50;
+  std::size_t attempts = 0;
+  while (w.pool.size() < config.num_query_pool && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t nattrs =
+        static_cast<std::size_t>(rng.uniform_u64(1, config.max_query_attrs));
+    std::vector<std::size_t> attrs =
+        rng.sample_without_replacement(config.num_attributes, nattrs);
+    std::vector<FileId> files;
+    for (std::size_t attr : attrs) {
+      const std::size_t width =
+          static_cast<std::size_t>(rng.uniform_u64(1, config.max_range_bins));
+      const std::size_t start = static_cast<std::size_t>(
+          rng.uniform_u64(0, config.bins_per_attribute - width));
+      for (std::size_t bin = start; bin < start + width; ++bin) {
+        files.push_back(
+            static_cast<FileId>(attr * config.bins_per_attribute + bin));
+      }
+    }
+    Request query(std::move(files));
+    if (seen.insert(query).second) w.pool.push_back(std::move(query));
+  }
+  if (w.pool.empty())
+    throw std::runtime_error("bitmap: could not generate any query");
+  fill_jobs(w, config.num_jobs, config.zipf_alpha, rng);
+  return w;
+}
+
+}  // namespace fbc

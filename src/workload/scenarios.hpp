@@ -1,0 +1,91 @@
+// Domain-specific workload generators modeled on the three motivating
+// applications in the paper's introduction (§1.1):
+//
+//  * HENP event analysis  -- collision events vertically partitioned into
+//    one file per attribute per experimental run; physicists combine
+//    several attributes of one run per analysis job.
+//  * Climate modeling     -- one file per (variable, time-chunk); analysis
+//    and visualization jobs read a group of physically related variables
+//    (e.g. the three wind components) across a contiguous chunk range.
+//  * Bit-sliced indexes   -- one compressed bitmap file per (attribute,
+//    bin); a range query reads a contiguous run of bins for each attribute
+//    it constrains, and all those bitmaps must be resident simultaneously.
+//
+// Unlike the random bundles of generate_workload(), these produce
+// *structured* bundles (grouped / contiguous / overlapping), which is where
+// bundle-aware replacement shines over per-file popularity.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/workload.hpp"
+
+namespace fbc {
+
+/// High Energy & Nuclear Physics analysis workload.
+struct HenpConfig {
+  std::uint64_t seed = 42;
+  Bytes cache_bytes = 10 * GiB;
+  std::size_t num_runs = 24;         ///< experimental runs
+  std::size_t num_attributes = 40;   ///< attributes per event (energy, ...)
+  /// Attribute-file size range (values for one attribute across all events
+  /// of one run).
+  Bytes min_attr_file_bytes = 4 * MiB;
+  Bytes max_attr_file_bytes = 64 * MiB;
+  /// Number of distinct analysis templates (attribute combinations that
+  /// physicists actually run, e.g. "energy x momentum x multiplicity").
+  std::size_t num_templates = 12;
+  std::size_t min_template_attrs = 2;
+  std::size_t max_template_attrs = 6;
+  std::size_t num_jobs = 10000;
+  /// Jobs pick (run, template) pairs Zipf-distributed: recent runs and
+  /// popular cuts dominate.
+  double zipf_alpha = 1.0;
+};
+
+/// Climate model post-processing workload.
+struct ClimateConfig {
+  std::uint64_t seed = 42;
+  Bytes cache_bytes = 10 * GiB;
+  std::size_t num_variables = 16;   ///< temperature, humidity, u, v, w, ...
+  std::size_t num_chunks = 30;      ///< time-partition chunks
+  Bytes min_chunk_file_bytes = 8 * MiB;
+  Bytes max_chunk_file_bytes = 32 * MiB;
+  /// Variable groups read together (wind = {u,v,w}, radiation = {...}).
+  std::size_t num_groups = 8;
+  std::size_t min_group_vars = 1;
+  std::size_t max_group_vars = 4;
+  /// Chunk-range width per job, uniform in [1, max_range_chunks].
+  std::size_t max_range_chunks = 4;
+  std::size_t num_jobs = 10000;
+  double zipf_alpha = 0.8;  ///< over (group, range-start) query pool
+};
+
+/// Bit-sliced bitmap-index query workload.
+struct BitmapConfig {
+  std::uint64_t seed = 42;
+  Bytes cache_bytes = 4 * GiB;
+  std::size_t num_attributes = 20;
+  std::size_t bins_per_attribute = 25;
+  /// Compressed bitmap file sizes (skewed: edge bins compress well).
+  Bytes min_bitmap_bytes = 1 * MiB;
+  Bytes max_bitmap_bytes = 24 * MiB;
+  /// Each query constrains 1..max_query_attrs attributes with a contiguous
+  /// bin range of width 1..max_range_bins.
+  std::size_t max_query_attrs = 3;
+  std::size_t max_range_bins = 6;
+  std::size_t num_query_pool = 400;  ///< distinct queries
+  std::size_t num_jobs = 10000;
+  double zipf_alpha = 1.0;
+};
+
+/// Builds the HENP workload described above.
+[[nodiscard]] Workload generate_henp_workload(const HenpConfig& config);
+
+/// Builds the climate post-processing workload.
+[[nodiscard]] Workload generate_climate_workload(const ClimateConfig& config);
+
+/// Builds the bitmap-index query workload.
+[[nodiscard]] Workload generate_bitmap_workload(const BitmapConfig& config);
+
+}  // namespace fbc

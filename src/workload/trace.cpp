@@ -1,0 +1,126 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fbc {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+/// Reads the next non-empty, non-comment line; returns false on EOF.
+bool next_line(std::istream& is, std::string& out, std::size_t& line_no) {
+  while (std::getline(is, out)) {
+    ++line_no;
+    const auto first = out.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (out[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  const bool timed = trace.is_timed();
+  os << (timed ? "fbc-trace v2\n" : "fbc-trace v1\n");
+  os << "files " << trace.catalog.count() << "\n";
+  for (Bytes size : trace.catalog.sizes()) os << size << "\n";
+  os << "jobs " << trace.jobs.size() << "\n";
+  for (std::size_t j = 0; j < trace.jobs.size(); ++j) {
+    if (timed) os << trace.arrival_s[j] << ' ' << trace.service_s[j] << ' ';
+    const Request& job = trace.jobs[j];
+    os << job.size();
+    for (FileId id : job.files) os << ' ' << id;
+    os << "\n";
+  }
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  write_trace(out, trace);
+  if (!out) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+Trace read_trace(std::istream& is) {
+  std::size_t line_no = 0;
+  std::string line;
+
+  if (!next_line(is, line, line_no)) fail(line_no, "empty input");
+  bool timed = false;
+  if (line.find("fbc-trace v2") != std::string::npos) {
+    timed = true;
+  } else if (line.find("fbc-trace v1") == std::string::npos) {
+    fail(line_no, "bad magic, expected 'fbc-trace v1' or 'fbc-trace v2'");
+  }
+
+  if (!next_line(is, line, line_no)) fail(line_no, "missing 'files' header");
+  std::istringstream files_header(line);
+  std::string keyword;
+  std::size_t num_files = 0;
+  if (!(files_header >> keyword >> num_files) || keyword != "files")
+    fail(line_no, "expected 'files <n>'");
+
+  Trace trace;
+  for (std::size_t i = 0; i < num_files; ++i) {
+    if (!next_line(is, line, line_no)) fail(line_no, "truncated file table");
+    std::istringstream row(line);
+    Bytes size = 0;
+    if (!(row >> size) || size == 0)
+      fail(line_no, "file size must be a positive integer");
+    trace.catalog.add_file(size);
+  }
+
+  if (!next_line(is, line, line_no)) fail(line_no, "missing 'jobs' header");
+  std::istringstream jobs_header(line);
+  std::size_t num_jobs = 0;
+  if (!(jobs_header >> keyword >> num_jobs) || keyword != "jobs")
+    fail(line_no, "expected 'jobs <m>'");
+
+  trace.jobs.reserve(num_jobs);
+  double previous_arrival = 0.0;
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    if (!next_line(is, line, line_no)) fail(line_no, "truncated job list");
+    std::istringstream row(line);
+    if (timed) {
+      double arrival = 0.0, service = 0.0;
+      if (!(row >> arrival >> service))
+        fail(line_no, "timed job needs '<arrival_s> <service_s>' prefix");
+      if (arrival < previous_arrival)
+        fail(line_no, "arrivals must be non-decreasing");
+      if (service < 0.0) fail(line_no, "service time must be >= 0");
+      previous_arrival = arrival;
+      trace.arrival_s.push_back(arrival);
+      trace.service_s.push_back(service);
+    }
+    std::size_t count = 0;
+    if (!(row >> count) || count == 0)
+      fail(line_no, "job must request at least one file");
+    std::vector<FileId> files;
+    files.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      std::uint64_t id = 0;
+      if (!(row >> id)) fail(line_no, "job row shorter than its count");
+      if (id >= trace.catalog.count()) fail(line_no, "file id out of range");
+      files.push_back(static_cast<FileId>(id));
+    }
+    std::uint64_t extra = 0;
+    if (row >> extra) fail(line_no, "job row longer than its count");
+    trace.jobs.emplace_back(std::move(files));
+  }
+  return trace;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  return read_trace(in);
+}
+
+}  // namespace fbc

@@ -1,0 +1,62 @@
+// Trace serialization: save/replay workloads as plain text.
+//
+// Format v1 (line-oriented, '#' comments allowed anywhere):
+//
+//   fbc-trace v1
+//   files <n>
+//   <size_bytes>            # one line per file, FileId == line index
+//   ...
+//   jobs <m>
+//   <k> <f_1> ... <f_k>     # one line per job: bundle size then file ids
+//   ...
+//
+// Format v2 adds wall-clock timing per job for the timed SRM:
+//
+//   fbc-trace v2
+//   files <n> ... (as v1)
+//   jobs <m>
+//   <arrival_s> <service_s> <k> <f_1> ... <f_k>
+//
+// Traces decouple workload generation from simulation, let experiments be
+// archived/exchanged, and let users feed real SRM logs into the simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cache/catalog.hpp"
+#include "cache/types.hpp"
+
+namespace fbc {
+
+/// A replayable job stream plus the catalog it references. When timed
+/// (v2), `arrival_s` and `service_s` run parallel to `jobs` (arrivals
+/// non-decreasing); untimed traces leave them empty.
+struct Trace {
+  FileCatalog catalog;
+  std::vector<Request> jobs;
+  std::vector<double> arrival_s;
+  std::vector<double> service_s;
+
+  /// True when per-job timing is present.
+  [[nodiscard]] bool is_timed() const noexcept {
+    return !arrival_s.empty() && arrival_s.size() == jobs.size() &&
+           service_s.size() == jobs.size();
+  }
+};
+
+/// Writes `trace` in the v1 text format.
+void write_trace(std::ostream& os, const Trace& trace);
+
+/// Writes `trace` to `path`; throws std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const Trace& trace);
+
+/// Parses the v1 text format. Throws std::runtime_error with a line number
+/// on malformed input (bad magic, out-of-range file ids, truncation...).
+[[nodiscard]] Trace read_trace(std::istream& is);
+
+/// Reads a trace from `path`; throws std::runtime_error on I/O failure.
+[[nodiscard]] Trace load_trace(const std::string& path);
+
+}  // namespace fbc

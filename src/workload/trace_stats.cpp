@@ -1,0 +1,99 @@
+#include "workload/trace_stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/bytes.hpp"
+#include "util/table.hpp"
+
+namespace fbc {
+
+TraceStats compute_trace_stats(const Trace& trace) {
+  TraceStats stats;
+
+  stats.file_count = trace.catalog.count();
+  stats.total_file_bytes = trace.catalog.total_bytes();
+  for (Bytes s : trace.catalog.sizes()) {
+    stats.file_bytes.add(static_cast<double>(s));
+  }
+
+  stats.job_count = trace.jobs.size();
+  std::unordered_map<Request, std::uint64_t, RequestHash> occurrences;
+  std::vector<std::uint32_t> degree(trace.catalog.count(), 0);
+  std::vector<bool> touched(trace.catalog.count(), false);
+
+  for (const Request& job : trace.jobs) {
+    stats.bundle_files.add(static_cast<double>(job.size()));
+    stats.bundle_bytes.add(
+        static_cast<double>(trace.catalog.request_bytes(job)));
+    auto [it, inserted] = occurrences.try_emplace(job, 0);
+    ++it->second;
+    if (inserted) {
+      for (FileId id : job.files) ++degree[id];
+    }
+    for (FileId id : job.files) {
+      if (!touched[id]) {
+        touched[id] = true;
+        stats.touched_bytes += trace.catalog.size_of(id);
+      }
+    }
+  }
+
+  stats.distinct_requests = occurrences.size();
+  std::vector<std::uint64_t> counts;
+  counts.reserve(occurrences.size());
+  for (const auto& [request, count] : occurrences) counts.push_back(count);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  if (!counts.empty()) {
+    stats.top_request_count = counts.front();
+    const std::size_t decile = std::max<std::size_t>(1, counts.size() / 10);
+    std::uint64_t decile_jobs = 0;
+    for (std::size_t i = 0; i < decile; ++i) decile_jobs += counts[i];
+    stats.top_decile_job_share =
+        stats.job_count == 0
+            ? 0.0
+            : static_cast<double>(decile_jobs) /
+                  static_cast<double>(stats.job_count);
+  }
+
+  for (std::size_t f = 0; f < degree.size(); ++f) {
+    if (degree[f] == 0) {
+      ++stats.unused_files;
+      continue;
+    }
+    stats.file_degree.add(static_cast<double>(degree[f]));
+    stats.max_file_degree = std::max(stats.max_file_degree, degree[f]);
+  }
+  return stats;
+}
+
+void print_trace_stats(std::ostream& os, const TraceStats& stats) {
+  TextTable table({"metric", "value"});
+  auto row = [&table](const std::string& name, const std::string& value) {
+    table.add_row({name, value});
+  };
+  row("files", std::to_string(stats.file_count));
+  row("total file bytes", format_bytes(stats.total_file_bytes));
+  row("file size mean",
+      format_bytes(static_cast<Bytes>(stats.file_bytes.mean())));
+  row("file size min/max",
+      format_bytes(static_cast<Bytes>(stats.file_bytes.min())) + " / " +
+          format_bytes(static_cast<Bytes>(stats.file_bytes.max())));
+  row("jobs", std::to_string(stats.job_count));
+  row("files per bundle (mean)", format_double(stats.bundle_files.mean()));
+  row("files per bundle (max)", format_double(stats.bundle_files.max()));
+  row("bytes per bundle (mean)",
+      format_bytes(static_cast<Bytes>(stats.bundle_bytes.mean())));
+  row("distinct requests", std::to_string(stats.distinct_requests));
+  row("most popular request count",
+      std::to_string(stats.top_request_count));
+  row("top-decile job share", format_double(stats.top_decile_job_share));
+  row("max file degree d", std::to_string(stats.max_file_degree));
+  row("mean file degree", format_double(stats.file_degree.mean()));
+  row("unused files", std::to_string(stats.unused_files));
+  row("touched bytes", format_bytes(stats.touched_bytes));
+  table.print(os);
+}
+
+}  // namespace fbc

@@ -1,0 +1,58 @@
+// Trace statistics: the workload characteristics that drive file-bundle
+// caching behaviour (paper §5.1-§5.2), computed from any Trace.
+//
+// These are what you inspect before simulating a new (possibly real)
+// trace: file-size and bundle-size distributions, request popularity skew,
+// the file sharing degrees d(f) that bound the greedy's guarantee, and
+// the footprint relative to candidate cache sizes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "workload/trace.hpp"
+
+namespace fbc {
+
+/// Aggregated characteristics of a trace (see compute_trace_stats).
+struct TraceStats {
+  // -- files --------------------------------------------------------------
+  std::size_t file_count = 0;
+  Bytes total_file_bytes = 0;
+  RunningStats file_bytes;  ///< distribution of file sizes
+
+  // -- jobs / bundles -----------------------------------------------------
+  std::size_t job_count = 0;
+  RunningStats bundle_files;  ///< files per job
+  RunningStats bundle_bytes;  ///< bytes per job
+
+  // -- distinct requests and popularity ------------------------------------
+  std::size_t distinct_requests = 0;
+  /// Occurrences of the most popular request.
+  std::uint64_t top_request_count = 0;
+  /// Fraction of jobs contributed by the 10% most popular distinct
+  /// requests (0.1 under uniform popularity, >> 0.1 under Zipf).
+  double top_decile_job_share = 0.0;
+
+  // -- file sharing (degrees) ----------------------------------------------
+  /// d(f): number of distinct requests using each file; max is the `d` of
+  /// Theorem 4.1.
+  std::uint32_t max_file_degree = 0;
+  RunningStats file_degree;  ///< over files used at least once
+  /// Files never referenced by any job.
+  std::size_t unused_files = 0;
+
+  // -- footprint ------------------------------------------------------------
+  /// Bytes of the distinct files referenced at least once.
+  Bytes touched_bytes = 0;
+};
+
+/// Scans `trace` once and computes all statistics above.
+[[nodiscard]] TraceStats compute_trace_stats(const Trace& trace);
+
+/// Pretty-prints the statistics as an aligned report.
+void print_trace_stats(std::ostream& os, const TraceStats& stats);
+
+}  // namespace fbc

@@ -1,0 +1,91 @@
+#include "workload/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/distributions.hpp"
+
+namespace fbc {
+
+std::string to_string(Popularity p) {
+  switch (p) {
+    case Popularity::Uniform: return "uniform";
+    case Popularity::Zipf: return "zipf";
+  }
+  return "?";
+}
+
+double Workload::mean_request_bytes() const {
+  if (pool.empty()) return 0.0;
+  Bytes total = 0;
+  for (const Request& r : pool) total += catalog.request_bytes(r);
+  return static_cast<double>(total) / static_cast<double>(pool.size());
+}
+
+double Workload::requests_per_cache(Bytes cache_bytes) const {
+  const double mean = mean_request_bytes();
+  if (mean <= 0.0) return 0.0;
+  return static_cast<double>(cache_bytes) / mean;
+}
+
+Workload generate_workload(const WorkloadConfig& config) {
+  if (config.cache_bytes == 0)
+    throw std::invalid_argument("generate_workload: cache_bytes must be > 0");
+  if (config.max_file_frac <= 0.0 || config.max_file_frac > 1.0)
+    throw std::invalid_argument(
+        "generate_workload: max_file_frac must be in (0, 1]");
+  if (config.max_bundle_frac <= 0.0 || config.max_bundle_frac > 1.0)
+    throw std::invalid_argument(
+        "generate_workload: max_bundle_frac must be in (0, 1]");
+
+  Rng rng(config.seed);
+  Workload w;
+
+  FilePoolConfig files;
+  files.num_files = config.num_files;
+  files.min_bytes = config.min_file_bytes;
+  files.max_bytes = std::max(
+      config.min_file_bytes,
+      static_cast<Bytes>(config.max_file_frac *
+                         static_cast<double>(config.cache_bytes)));
+  files.model = config.file_size_model;
+  w.catalog = generate_file_pool(files, rng);
+
+  RequestPoolConfig requests;
+  requests.num_requests = config.num_requests;
+  requests.min_files = config.min_bundle_files;
+  requests.max_files = std::min(config.max_bundle_files, config.num_files);
+  requests.max_bundle_bytes = static_cast<Bytes>(
+      config.max_bundle_frac * static_cast<double>(config.cache_bytes));
+  w.pool = generate_request_pool(requests, w.catalog, rng);
+
+  // Popularity ranks are assigned to a random permutation of the pool so
+  // the most popular bundle is not systematically the first generated.
+  std::vector<std::size_t> rank_to_pool(w.pool.size());
+  for (std::size_t i = 0; i < rank_to_pool.size(); ++i) rank_to_pool[i] = i;
+  rng.shuffle(std::span<std::size_t>(rank_to_pool));
+
+  w.job_index.reserve(config.num_jobs);
+  w.jobs.reserve(config.num_jobs);
+  if (config.popularity == Popularity::Zipf) {
+    ZipfSampler zipf(w.pool.size(), config.zipf_alpha);
+    for (std::size_t j = 0; j < config.num_jobs; ++j) {
+      std::size_t rank = zipf.sample(rng);
+      if (config.drift_period_jobs > 0) {
+        // Rotate the rank assignment as the campaign evolves: the request
+        // holding rank r at period p held rank r + p*rotate at period 0.
+        const std::size_t period = j / config.drift_period_jobs;
+        rank = (rank + period * config.drift_rotate) % w.pool.size();
+      }
+      w.job_index.push_back(rank_to_pool[rank]);
+    }
+  } else {
+    for (std::size_t j = 0; j < config.num_jobs; ++j) {
+      w.job_index.push_back(rank_to_pool[rng.index(w.pool.size())]);
+    }
+  }
+  for (std::size_t idx : w.job_index) w.jobs.push_back(w.pool[idx]);
+  return w;
+}
+
+}  // namespace fbc

@@ -1,0 +1,85 @@
+// End-to-end synthetic workload generation (paper §5.1-§5.2).
+//
+// A Workload bundles the three artifacts a simulation needs: the file
+// catalog, the pool of distinct requests, and the job stream (a sequence of
+// pool entries drawn under a popularity distribution). All generation is
+// driven by a single 64-bit seed, so a WorkloadConfig fully determines the
+// simulation input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/catalog.hpp"
+#include "cache/types.hpp"
+#include "workload/file_pool.hpp"
+#include "workload/request_pool.hpp"
+
+namespace fbc {
+
+/// Popularity distribution of the job stream over the request pool.
+enum class Popularity {
+  Uniform,  ///< every pool entry equally likely
+  Zipf,     ///< P(rank i) ∝ 1/(i+1)^alpha, ranks assigned randomly
+};
+
+/// Returns "uniform" / "zipf".
+[[nodiscard]] std::string to_string(Popularity p);
+
+/// Full description of a synthetic workload.
+struct WorkloadConfig {
+  /// Master seed; all randomness derives from it.
+  std::uint64_t seed = 42;
+
+  /// Cache size this workload is sized against. File sizes and bundle caps
+  /// are expressed relative to it, following the paper.
+  Bytes cache_bytes = 10 * GiB;
+
+  /// File pool: sizes uniform in [min_file_bytes, max_file_frac*cache].
+  std::size_t num_files = 1000;
+  Bytes min_file_bytes = 1 * MiB;
+  double max_file_frac = 0.01;  ///< 1% (Fig. 6) ... 10% (Fig. 7)
+  FileSizeModel file_size_model = FileSizeModel::Uniform;
+
+  /// Request pool: distinct bundles of uniform [min,max] file count, each
+  /// bundle capped at max_bundle_frac * cache bytes.
+  std::size_t num_requests = 500;
+  std::size_t min_bundle_files = 1;
+  std::size_t max_bundle_files = 10;
+  double max_bundle_frac = 1.0;
+
+  /// Job stream.
+  std::size_t num_jobs = 10000;
+  Popularity popularity = Popularity::Uniform;
+  double zipf_alpha = 1.0;
+
+  /// Non-stationary popularity (extension): every `drift_period_jobs`
+  /// jobs the rank-to-request assignment rotates by `drift_rotate`
+  /// positions, so yesterday's hot analyses cool down and new ones heat
+  /// up -- the access pattern of an evolving physics campaign. 0 keeps
+  /// the distribution stationary (the paper's setting). Only meaningful
+  /// under Zipf popularity (a rotated uniform distribution is uniform).
+  std::size_t drift_period_jobs = 0;
+  std::size_t drift_rotate = 1;
+};
+
+/// Generated workload artifacts.
+struct Workload {
+  FileCatalog catalog;
+  std::vector<Request> pool;           ///< distinct requests
+  std::vector<std::size_t> job_index;  ///< pool index per job
+  std::vector<Request> jobs;           ///< materialized job stream
+
+  /// Mean bundle byte size over the pool.
+  [[nodiscard]] double mean_request_bytes() const;
+
+  /// Cache size in "requests that fit", the paper's cache-size unit:
+  /// cache_bytes / mean_request_bytes.
+  [[nodiscard]] double requests_per_cache(Bytes cache_bytes) const;
+};
+
+/// Generates a workload from `config`. Deterministic in config.seed.
+[[nodiscard]] Workload generate_workload(const WorkloadConfig& config);
+
+}  // namespace fbc

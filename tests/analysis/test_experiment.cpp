@@ -1,0 +1,158 @@
+// Tests for the parallel experiment runner.
+#include "analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+namespace fbc {
+namespace {
+
+TEST(ExperimentGrid, CrossProduct) {
+  ExperimentGrid grid;
+  grid.add_factor("a", {"1", "2", "3"});
+  grid.add_factor("b", {"x", "y"});
+  EXPECT_EQ(grid.combinations(), 6u);
+  const auto points = grid.enumerate();
+  ASSERT_EQ(points.size(), 6u);
+  // Last factor varies fastest.
+  EXPECT_EQ(points[0].at("a"), "1");
+  EXPECT_EQ(points[0].at("b"), "x");
+  EXPECT_EQ(points[1].at("b"), "y");
+  EXPECT_EQ(points[5].at("a"), "3");
+  EXPECT_EQ(points[5].at("b"), "y");
+  // All combinations distinct.
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const auto& p : points) seen.emplace(p.at("a"), p.at("b"));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(ExperimentGrid, EmptyGridIsOnePoint) {
+  ExperimentGrid grid;
+  EXPECT_EQ(grid.combinations(), 1u);
+  EXPECT_EQ(grid.enumerate().size(), 1u);
+}
+
+TEST(ExperimentGrid, Validation) {
+  ExperimentGrid grid;
+  EXPECT_THROW(grid.add_factor("a", {}), std::invalid_argument);
+  grid.add_factor("a", {"1"});
+  EXPECT_THROW(grid.add_factor("a", {"2"}), std::invalid_argument);
+}
+
+TEST(RunExperiment, ShapeAndDeterminism) {
+  ExperimentGrid grid;
+  grid.add_factor("policy", {"p", "q"});
+  ExperimentOptions options;
+  options.repetitions = 3;
+  options.master_seed = 7;
+  options.threads = 2;
+
+  auto trial = [](const ExperimentPoint& point, std::uint64_t seed) {
+    const double bias = point.at("policy") == "p" ? 0.0 : 100.0;
+    return Measurements{{"value", bias + static_cast<double>(seed % 10)}};
+  };
+  const ResultFrame a = run_experiment(grid, options, trial);
+  const ResultFrame b = run_experiment(grid, options, trial);
+
+  EXPECT_EQ(a.rows(), 6u);
+  EXPECT_EQ(a.columns(),
+            (std::vector<std::string>{"policy", "seed", "value"}));
+  // Bit-identical across runs despite threading.
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    EXPECT_EQ(cell_to_string(a.at(r, "policy")),
+              cell_to_string(b.at(r, "policy")));
+    EXPECT_DOUBLE_EQ(cell_to_double(a.at(r, "value")),
+                     cell_to_double(b.at(r, "value")));
+    EXPECT_EQ(cell_to_string(a.at(r, "seed")),
+              cell_to_string(b.at(r, "seed")));
+  }
+  // Rows are combination-major: first three rows are policy p.
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(cell_to_string(a.at(r, "policy")), "p");
+  }
+}
+
+TEST(RunExperiment, SeedsAreDistinct) {
+  ExperimentGrid grid;
+  grid.add_factor("f", {"a", "b"});
+  ExperimentOptions options;
+  options.repetitions = 4;
+  const ResultFrame frame = run_experiment(
+      grid, options, [](const ExperimentPoint&, std::uint64_t seed) {
+        return Measurements{{"s", static_cast<double>(seed)}};
+      });
+  std::set<std::string> seeds;
+  for (std::size_t r = 0; r < frame.rows(); ++r) {
+    seeds.insert(cell_to_string(frame.at(r, "seed")));
+  }
+  EXPECT_EQ(seeds.size(), frame.rows());
+}
+
+TEST(RunExperiment, AggregationPipeline) {
+  ExperimentGrid grid;
+  grid.add_factor("policy", {"p", "q"});
+  ExperimentOptions options;
+  options.repetitions = 5;
+  const ResultFrame frame = run_experiment(
+      grid, options, [](const ExperimentPoint& point, std::uint64_t) {
+        return Measurements{
+            {"metric", point.at("policy") == "p" ? 1.0 : 3.0}};
+      });
+  const ResultFrame agg =
+      frame.aggregate({"policy"}, "metric", {Agg::Mean, Agg::Count});
+  ASSERT_EQ(agg.rows(), 2u);
+  EXPECT_DOUBLE_EQ(cell_to_double(agg.at(0, "metric_mean")), 1.0);
+  EXPECT_DOUBLE_EQ(cell_to_double(agg.at(1, "metric_mean")), 3.0);
+  EXPECT_DOUBLE_EQ(cell_to_double(agg.at(0, "metric_count")), 5.0);
+}
+
+TEST(RunExperiment, MultipleMeasurements) {
+  ExperimentGrid grid;
+  const ResultFrame frame = run_experiment(
+      grid, {.repetitions = 2}, [](const ExperimentPoint&, std::uint64_t) {
+        return Measurements{{"x", 1.0}, {"y", 2.0}};
+      });
+  EXPECT_EQ(frame.cols(), 3u);  // seed, x, y (no factors)
+  EXPECT_DOUBLE_EQ(cell_to_double(frame.at(0, "y")), 2.0);
+}
+
+TEST(RunExperiment, Validation) {
+  ExperimentGrid grid;
+  EXPECT_THROW((void)run_experiment(grid, {.repetitions = 0},
+                                    [](const ExperimentPoint&,
+                                       std::uint64_t) {
+                                      return Measurements{};
+                                    }),
+               std::invalid_argument);
+}
+
+TEST(RunExperiment, MismatchedMeasurementsRejected) {
+  ExperimentGrid grid;
+  grid.add_factor("f", {"a", "b"});
+  std::atomic<int> calls{0};
+  EXPECT_THROW(
+      (void)run_experiment(grid, {.repetitions = 1},
+                           [&calls](const ExperimentPoint&, std::uint64_t) {
+                             const int n = calls++;
+                             return n == 0 ? Measurements{{"x", 1.0}}
+                                           : Measurements{{"z", 1.0}};
+                           }),
+      std::runtime_error);
+}
+
+TEST(RunExperiment, TrialExceptionPropagates) {
+  ExperimentGrid grid;
+  grid.add_factor("f", {"a"});
+  EXPECT_THROW((void)run_experiment(
+                   grid, {.repetitions = 1},
+                   [](const ExperimentPoint&, std::uint64_t) -> Measurements {
+                     throw std::runtime_error("trial failed");
+                   }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fbc

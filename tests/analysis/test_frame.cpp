@@ -1,0 +1,119 @@
+// Tests for the ResultFrame mini-dataframe.
+#include "analysis/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fbc {
+namespace {
+
+ResultFrame sample_frame() {
+  ResultFrame frame({"policy", "seed", "byte_miss"});
+  frame.add_row({std::string("optfb"), std::int64_t{1}, 0.10});
+  frame.add_row({std::string("optfb"), std::int64_t{2}, 0.20});
+  frame.add_row({std::string("landlord"), std::int64_t{1}, 0.30});
+  frame.add_row({std::string("landlord"), std::int64_t{2}, 0.50});
+  return frame;
+}
+
+TEST(Frame, CellConversions) {
+  EXPECT_EQ(cell_to_string(Cell{std::string("abc")}), "abc");
+  EXPECT_EQ(cell_to_string(Cell{0.25}), "0.25");
+  EXPECT_EQ(cell_to_string(Cell{std::int64_t{42}}), "42");
+  EXPECT_DOUBLE_EQ(cell_to_double(Cell{0.25}), 0.25);
+  EXPECT_DOUBLE_EQ(cell_to_double(Cell{std::int64_t{42}}), 42.0);
+  EXPECT_THROW((void)cell_to_double(Cell{std::string("abc")}),
+               std::invalid_argument);
+}
+
+TEST(Frame, ConstructionAndAccess) {
+  const ResultFrame frame = sample_frame();
+  EXPECT_EQ(frame.rows(), 4u);
+  EXPECT_EQ(frame.cols(), 3u);
+  EXPECT_EQ(frame.column_index("byte_miss"), 2u);
+  EXPECT_THROW((void)frame.column_index("nope"), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(cell_to_double(frame.at(1, "byte_miss")), 0.20);
+  EXPECT_EQ(cell_to_string(frame.at(2, "policy")), "landlord");
+}
+
+TEST(Frame, RejectsBadShapes) {
+  EXPECT_THROW(ResultFrame({}), std::invalid_argument);
+  ResultFrame frame({"a", "b"});
+  EXPECT_THROW(frame.add_row({Cell{1.0}}), std::invalid_argument);
+}
+
+TEST(Frame, Filter) {
+  const ResultFrame optfb = sample_frame().filter("policy", "optfb");
+  EXPECT_EQ(optfb.rows(), 2u);
+  for (std::size_t r = 0; r < optfb.rows(); ++r) {
+    EXPECT_EQ(cell_to_string(optfb.at(r, "policy")), "optfb");
+  }
+  EXPECT_EQ(sample_frame().filter("policy", "nothing").rows(), 0u);
+}
+
+TEST(Frame, AggregateMeanMinMaxCount) {
+  const ResultFrame agg = sample_frame().aggregate(
+      {"policy"}, "byte_miss", {Agg::Mean, Agg::Min, Agg::Max, Agg::Count});
+  ASSERT_EQ(agg.rows(), 2u);
+  // First-appearance order: optfb then landlord.
+  EXPECT_EQ(cell_to_string(agg.at(0, "policy")), "optfb");
+  EXPECT_DOUBLE_EQ(cell_to_double(agg.at(0, "byte_miss_mean")), 0.15);
+  EXPECT_DOUBLE_EQ(cell_to_double(agg.at(0, "byte_miss_min")), 0.10);
+  EXPECT_DOUBLE_EQ(cell_to_double(agg.at(1, "byte_miss_mean")), 0.40);
+  EXPECT_DOUBLE_EQ(cell_to_double(agg.at(1, "byte_miss_max")), 0.50);
+  EXPECT_DOUBLE_EQ(cell_to_double(agg.at(0, "byte_miss_count")), 2.0);
+}
+
+TEST(Frame, AggregateByMultipleKeys) {
+  ResultFrame frame({"policy", "pop", "x"});
+  frame.add_row({std::string("a"), std::string("u"), 1.0});
+  frame.add_row({std::string("a"), std::string("z"), 3.0});
+  frame.add_row({std::string("a"), std::string("u"), 5.0});
+  const ResultFrame agg = frame.aggregate({"policy", "pop"}, "x", {Agg::Mean});
+  ASSERT_EQ(agg.rows(), 2u);
+  EXPECT_DOUBLE_EQ(cell_to_double(agg.at(0, "x_mean")), 3.0);  // (1+5)/2
+  EXPECT_DOUBLE_EQ(cell_to_double(agg.at(1, "x_mean")), 3.0);  // z group
+}
+
+TEST(Frame, AggregateValidation) {
+  EXPECT_THROW((void)sample_frame().aggregate({"policy"}, "byte_miss", {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)sample_frame().aggregate({"policy"}, "policy", {Agg::Mean}),
+      std::invalid_argument);  // text column is not numeric
+}
+
+TEST(Frame, AggregateQuantiles) {
+  ResultFrame frame({"g", "x"});
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    frame.add_row({std::string("a"), v});
+  }
+  const ResultFrame agg =
+      frame.aggregate({"g"}, "x", {Agg::Median, Agg::P95});
+  ASSERT_EQ(agg.rows(), 1u);
+  EXPECT_DOUBLE_EQ(cell_to_double(agg.at(0, "x_median")), 3.0);
+  EXPECT_DOUBLE_EQ(cell_to_double(agg.at(0, "x_p95")), 4.8);
+}
+
+TEST(Frame, SortByNumericAndText) {
+  ResultFrame frame = sample_frame();
+  frame.sort_by("byte_miss");
+  EXPECT_DOUBLE_EQ(cell_to_double(frame.at(0, "byte_miss")), 0.10);
+  EXPECT_DOUBLE_EQ(cell_to_double(frame.at(3, "byte_miss")), 0.50);
+  frame.sort_by("policy");
+  EXPECT_EQ(cell_to_string(frame.at(0, "policy")), "landlord");
+}
+
+TEST(Frame, Printing) {
+  std::ostringstream text, csv;
+  sample_frame().print(text);
+  sample_frame().print_csv(csv);
+  EXPECT_NE(text.str().find("byte_miss"), std::string::npos);
+  EXPECT_NE(text.str().find("landlord"), std::string::npos);
+  EXPECT_NE(csv.str().find("policy,seed,byte_miss\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,53 @@
+// Tests for FileCatalog.
+#include "cache/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbc {
+namespace {
+
+TEST(FileCatalog, AddAssignsDenseIds) {
+  FileCatalog catalog;
+  EXPECT_EQ(catalog.add_file(100), 0u);
+  EXPECT_EQ(catalog.add_file(200), 1u);
+  EXPECT_EQ(catalog.add_file(300), 2u);
+  EXPECT_EQ(catalog.count(), 3u);
+}
+
+TEST(FileCatalog, SizeLookup) {
+  FileCatalog catalog({10, 20, 30});
+  EXPECT_EQ(catalog.size_of(0), 10u);
+  EXPECT_EQ(catalog.size_of(2), 30u);
+  EXPECT_TRUE(catalog.valid(2));
+  EXPECT_FALSE(catalog.valid(3));
+  EXPECT_FALSE(catalog.valid(kInvalidFileId));
+}
+
+TEST(FileCatalog, BundleBytes) {
+  FileCatalog catalog({10, 20, 30, 40});
+  const std::vector<FileId> bundle{0, 2, 3};
+  EXPECT_EQ(catalog.bundle_bytes(bundle), 80u);
+  EXPECT_EQ(catalog.bundle_bytes(std::vector<FileId>{}), 0u);
+}
+
+TEST(FileCatalog, RequestBytes) {
+  FileCatalog catalog({10, 20, 30});
+  EXPECT_EQ(catalog.request_bytes(Request({0, 1})), 30u);
+}
+
+TEST(FileCatalog, TotalBytes) {
+  FileCatalog catalog({1, 2, 3});
+  EXPECT_EQ(catalog.total_bytes(), 6u);
+  EXPECT_EQ(FileCatalog{}.total_bytes(), 0u);
+}
+
+TEST(FileCatalog, SizesView) {
+  FileCatalog catalog({5, 6});
+  const auto view = catalog.sizes();
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0], 5u);
+  EXPECT_EQ(view[1], 6u);
+}
+
+}  // namespace
+}  // namespace fbc

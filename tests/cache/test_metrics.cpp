@@ -1,0 +1,99 @@
+// Tests for CacheMetrics counters and derived ratios.
+#include "cache/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbc {
+namespace {
+
+TEST(CacheMetrics, EmptyRatiosAreZero) {
+  CacheMetrics m;
+  EXPECT_EQ(m.jobs(), 0u);
+  EXPECT_DOUBLE_EQ(m.request_hit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.byte_miss_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.file_hit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_bytes_moved_per_job(), 0.0);
+}
+
+TEST(CacheMetrics, HitAndMissAccounting) {
+  CacheMetrics m;
+  m.record_job(/*requested=*/100, /*missed=*/0, /*files=*/2, /*hits=*/2);
+  m.record_job(/*requested=*/100, /*missed=*/60, /*files=*/2, /*hits=*/1);
+  EXPECT_EQ(m.jobs(), 2u);
+  EXPECT_EQ(m.request_hits(), 1u);
+  EXPECT_DOUBLE_EQ(m.request_hit_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(m.request_miss_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(m.file_hit_ratio(), 0.75);
+  EXPECT_DOUBLE_EQ(m.byte_miss_ratio(), 60.0 / 200.0);
+  EXPECT_DOUBLE_EQ(m.byte_hit_ratio(), 1.0 - 60.0 / 200.0);
+  EXPECT_DOUBLE_EQ(m.avg_bytes_moved_per_job(), 30.0);
+}
+
+TEST(CacheMetrics, RatioIdentities) {
+  CacheMetrics m;
+  m.record_job(500, 123, 5, 3);
+  m.record_job(300, 0, 1, 1);
+  m.record_job(700, 700, 4, 0);
+  EXPECT_DOUBLE_EQ(m.request_hit_ratio() + m.request_miss_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(m.byte_hit_ratio() + m.byte_miss_ratio(), 1.0);
+  EXPECT_GE(m.byte_miss_ratio(), 0.0);
+  EXPECT_LE(m.byte_miss_ratio(), 1.0);
+}
+
+TEST(CacheMetrics, PrefetchCountsAsMovedBytesNotAsMisses) {
+  CacheMetrics m;
+  m.record_job(1000, 200, 2, 1);
+  m.record_prefetch(300);
+  EXPECT_EQ(m.bytes_prefetched(), 300u);
+  // The paper's byte miss ratio is demand-only (§1.2)...
+  EXPECT_DOUBLE_EQ(m.byte_miss_ratio(), 200.0 / 1000.0);
+  // ...while total traffic counts the speculative loads too.
+  EXPECT_DOUBLE_EQ(m.moved_bytes_ratio(), 500.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(m.avg_bytes_moved_per_job(), 500.0);
+}
+
+TEST(CacheMetrics, EvictionCounters) {
+  CacheMetrics m;
+  m.record_eviction(100);
+  m.record_eviction(250);
+  EXPECT_EQ(m.evictions(), 2u);
+  EXPECT_EQ(m.bytes_evicted(), 350u);
+}
+
+TEST(CacheMetrics, UnserviceableCounter) {
+  CacheMetrics m;
+  m.record_unserviceable();
+  m.record_unserviceable();
+  EXPECT_EQ(m.unserviceable(), 2u);
+  EXPECT_EQ(m.jobs(), 0u);  // skipped jobs are not serviced jobs
+}
+
+TEST(CacheMetrics, MergeAddsEverything) {
+  CacheMetrics a, b;
+  a.record_job(100, 50, 2, 1);
+  a.record_eviction(10);
+  b.record_job(200, 0, 3, 3);
+  b.record_prefetch(5);
+  b.record_unserviceable();
+  a.merge(b);
+  EXPECT_EQ(a.jobs(), 2u);
+  EXPECT_EQ(a.request_hits(), 1u);
+  EXPECT_EQ(a.bytes_requested(), 300u);
+  EXPECT_EQ(a.bytes_missed(), 50u);
+  EXPECT_EQ(a.bytes_prefetched(), 5u);
+  EXPECT_EQ(a.evictions(), 1u);
+  EXPECT_EQ(a.unserviceable(), 1u);
+  EXPECT_EQ(a.files_requested(), 5u);
+  EXPECT_EQ(a.file_hits(), 4u);
+}
+
+TEST(CacheMetrics, SummaryMentionsKeyFields) {
+  CacheMetrics m;
+  m.record_job(100, 50, 1, 0);
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("jobs=1"), std::string::npos);
+  EXPECT_NE(s.find("byte_miss="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,255 @@
+// Tests for the Simulator driver: the service protocol, metric accounting,
+// warm-up separation, policy-contract enforcement and the batched queue.
+#include "cache/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "policies/lru.hpp"
+
+namespace fbc {
+namespace {
+
+/// Evicts resident non-requested files in ascending id order. Predictable
+/// for scripted assertions.
+class AscendingPolicy : public ReplacementPolicy {
+ public:
+  std::string name() const override { return "ascending"; }
+  std::vector<FileId> select_victims(const Request& request, Bytes needed,
+                                     const DiskCache& cache) override {
+    std::vector<FileId> resident(cache.resident_files().begin(),
+                                 cache.resident_files().end());
+    std::sort(resident.begin(), resident.end());
+    std::vector<FileId> victims;
+    Bytes freed = 0;
+    for (FileId id : resident) {
+      if (freed >= needed) break;
+      if (request.contains(id)) continue;
+      victims.push_back(id);
+      freed += cache.catalog().size_of(id);
+    }
+    return victims;
+  }
+};
+
+/// A policy that misbehaves in a configurable way, to test contract checks.
+class MisbehavingPolicy : public ReplacementPolicy {
+ public:
+  enum class Mode { EvictRequested, EvictNonResident, FreeTooLittle };
+  explicit MisbehavingPolicy(Mode mode) : mode_(mode) {}
+  std::string name() const override { return "misbehaving"; }
+  std::vector<FileId> select_victims(const Request& request, Bytes,
+                                     const DiskCache& cache) override {
+    switch (mode_) {
+      case Mode::EvictRequested:
+        return {request.files.front()};
+      case Mode::EvictNonResident: {
+        for (FileId id = 0; id < cache.catalog().count(); ++id) {
+          if (!cache.contains(id) && !request.contains(id)) return {id};
+        }
+        return {};
+      }
+      case Mode::FreeTooLittle:
+        return {};
+    }
+    return {};
+  }
+
+ private:
+  Mode mode_;
+};
+
+FileCatalog unit_catalog(std::size_t n) {
+  FileCatalog catalog;
+  for (std::size_t i = 0; i < n; ++i) catalog.add_file(100);
+  return catalog;
+}
+
+TEST(Simulator, ColdMissesThenHit) {
+  FileCatalog catalog = unit_catalog(4);
+  AscendingPolicy policy;
+  SimulatorConfig config{.cache_bytes = 400};
+  std::vector<Request> jobs{Request({0, 1}), Request({2}), Request({0, 1})};
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  EXPECT_EQ(result.metrics.jobs(), 3u);
+  EXPECT_EQ(result.metrics.request_hits(), 1u);  // the repeat of {0,1}
+  EXPECT_EQ(result.metrics.bytes_requested(), 500u);
+  EXPECT_EQ(result.metrics.bytes_missed(), 300u);
+  EXPECT_EQ(result.decisions, 0u);  // everything fit without eviction
+}
+
+TEST(Simulator, EvictionPathFreesSpace) {
+  FileCatalog catalog = unit_catalog(5);
+  AscendingPolicy policy;
+  SimulatorConfig config{.cache_bytes = 300};  // holds 3 unit files
+  std::vector<Request> jobs{Request({0, 1, 2}), Request({3, 4})};
+  Simulator sim(config, catalog, policy);
+  const SimulationResult result = sim.run(jobs);
+  EXPECT_EQ(result.decisions, 1u);
+  EXPECT_EQ(result.victims, 2u);  // evicted files 0 and 1
+  EXPECT_TRUE(sim.cache().contains(2));
+  EXPECT_TRUE(sim.cache().contains(3));
+  EXPECT_TRUE(sim.cache().contains(4));
+  EXPECT_EQ(result.metrics.evictions(), 2u);
+  EXPECT_EQ(result.metrics.bytes_evicted(), 200u);
+}
+
+TEST(Simulator, PartialHitAccounting) {
+  FileCatalog catalog = unit_catalog(3);
+  AscendingPolicy policy;
+  SimulatorConfig config{.cache_bytes = 300};
+  std::vector<Request> jobs{Request({0}), Request({0, 1})};
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  EXPECT_EQ(result.metrics.file_hits(), 1u);       // file 0 on job 2
+  EXPECT_EQ(result.metrics.files_requested(), 3u);
+  EXPECT_EQ(result.metrics.bytes_missed(), 200u);  // 100 + 100
+}
+
+TEST(Simulator, UnserviceableRequestIsSkipped) {
+  FileCatalog catalog = unit_catalog(5);
+  AscendingPolicy policy;
+  SimulatorConfig config{.cache_bytes = 250};
+  std::vector<Request> jobs{Request({0, 1, 2}),  // 300 > 250: skipped
+                            Request({3})};
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  EXPECT_EQ(result.metrics.unserviceable(), 1u);
+  EXPECT_EQ(result.metrics.jobs(), 1u);
+}
+
+TEST(Simulator, WarmupJobsRecordedSeparately) {
+  FileCatalog catalog = unit_catalog(4);
+  AscendingPolicy policy;
+  SimulatorConfig config{.cache_bytes = 400, .queue_length = 1,
+                         .warmup_jobs = 2};
+  std::vector<Request> jobs{Request({0}), Request({1}), Request({0}),
+                            Request({1})};
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  EXPECT_EQ(result.warmup.jobs(), 2u);
+  EXPECT_EQ(result.metrics.jobs(), 2u);
+  // Post-warm-up jobs are all hits.
+  EXPECT_EQ(result.metrics.request_hits(), 2u);
+  EXPECT_EQ(result.warmup.request_hits(), 0u);
+}
+
+TEST(Simulator, ContractEvictRequestedThrows) {
+  FileCatalog catalog = unit_catalog(4);
+  MisbehavingPolicy policy(MisbehavingPolicy::Mode::EvictRequested);
+  SimulatorConfig config{.cache_bytes = 200};
+  std::vector<Request> jobs{Request({0, 1}), Request({1, 2})};
+  EXPECT_THROW(simulate(config, catalog, policy, jobs),
+               PolicyContractViolation);
+}
+
+TEST(Simulator, ContractEvictNonResidentThrows) {
+  FileCatalog catalog = unit_catalog(5);
+  MisbehavingPolicy policy(MisbehavingPolicy::Mode::EvictNonResident);
+  SimulatorConfig config{.cache_bytes = 200};
+  std::vector<Request> jobs{Request({0, 1}), Request({2, 3})};
+  EXPECT_THROW(simulate(config, catalog, policy, jobs),
+               PolicyContractViolation);
+}
+
+TEST(Simulator, ContractFreeTooLittleThrows) {
+  FileCatalog catalog = unit_catalog(4);
+  MisbehavingPolicy policy(MisbehavingPolicy::Mode::FreeTooLittle);
+  SimulatorConfig config{.cache_bytes = 200};
+  std::vector<Request> jobs{Request({0, 1}), Request({2, 3})};
+  EXPECT_THROW(simulate(config, catalog, policy, jobs),
+               PolicyContractViolation);
+}
+
+TEST(Simulator, RunTwiceThrows) {
+  FileCatalog catalog = unit_catalog(2);
+  AscendingPolicy policy;
+  SimulatorConfig config{.cache_bytes = 200};
+  std::vector<Request> jobs{Request({0})};
+  Simulator sim(config, catalog, policy);
+  sim.run(jobs);
+  EXPECT_THROW(sim.run(jobs), std::logic_error);
+}
+
+TEST(Simulator, ZeroQueueLengthRejected) {
+  FileCatalog catalog = unit_catalog(2);
+  AscendingPolicy policy;
+  SimulatorConfig config{.cache_bytes = 200, .queue_length = 0};
+  EXPECT_THROW(Simulator(config, catalog, policy), std::invalid_argument);
+}
+
+/// Policy that serves the queue in reverse order (last queued first) and
+/// records the order in which jobs were actually serviced.
+class ReversePolicy : public AscendingPolicy {
+ public:
+  using ReplacementPolicy::choose_next;
+  std::size_t choose_next(std::span<const Request> queue,
+                          const DiskCache&) override {
+    return queue.size() - 1;
+  }
+  void on_job_arrival(const Request& request, const DiskCache&) override {
+    served.push_back(request);
+  }
+  std::vector<Request> served;
+};
+
+TEST(Simulator, QueueModeServesEveryJob) {
+  FileCatalog catalog = unit_catalog(6);
+  AscendingPolicy policy;
+  SimulatorConfig config{.cache_bytes = 600, .queue_length = 4};
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 6; ++i) jobs.push_back(Request({i}));
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  EXPECT_EQ(result.metrics.jobs(), 6u);
+}
+
+TEST(Simulator, QueueModeHonorsChooseNext) {
+  // Five jobs, queue of 3: the first batch {0,1,2} is drained in reverse,
+  // then the remaining batch {3,4} in reverse.
+  FileCatalog catalog = unit_catalog(5);
+  ReversePolicy policy;
+  SimulatorConfig config{.cache_bytes = 100, .queue_length = 3};
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 5; ++i) jobs.push_back(Request({i}));
+  simulate(config, catalog, policy, jobs);
+  std::vector<Request> expected{Request({2}), Request({1}), Request({0}),
+                                Request({4}), Request({3})};
+  EXPECT_EQ(policy.served, expected);
+}
+
+/// Policy whose choose_next returns an out-of-range index.
+class BadChooserPolicy : public AscendingPolicy {
+ public:
+  using ReplacementPolicy::choose_next;
+  std::size_t choose_next(std::span<const Request> queue,
+                          const DiskCache&) override {
+    return queue.size();  // out of range
+  }
+};
+
+TEST(Simulator, QueueModeValidatesChooseNext) {
+  FileCatalog catalog = unit_catalog(2);
+  BadChooserPolicy policy;
+  SimulatorConfig config{.cache_bytes = 200, .queue_length = 2};
+  std::vector<Request> jobs{Request({0}), Request({1})};
+  EXPECT_THROW(simulate(config, catalog, policy, jobs),
+               PolicyContractViolation);
+}
+
+TEST(Simulator, CapacityNeverExceededUnderChurn) {
+  FileCatalog catalog;
+  for (Bytes i = 0; i < 20; ++i) catalog.add_file(50 + 10 * (i % 5));
+  LruPolicy policy;
+  SimulatorConfig config{.cache_bytes = 300};
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 100; ++i) {
+    jobs.push_back(Request({static_cast<FileId>(i % 20),
+                            static_cast<FileId>((i * 7) % 20)}));
+  }
+  Simulator sim(config, catalog, policy);
+  const SimulationResult result = sim.run(jobs);
+  EXPECT_EQ(result.metrics.jobs(), 100u);
+  EXPECT_LE(sim.cache().used_bytes(), sim.cache().capacity());
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,87 @@
+// Tests for Request canonicalization, identity and hashing.
+#include "cache/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace fbc {
+namespace {
+
+TEST(Request, CanonicalizeSortsAndDedups) {
+  Request r({5, 3, 5, 1, 3});
+  EXPECT_EQ(r.files, (std::vector<FileId>{1, 3, 5}));
+  EXPECT_TRUE(r.is_canonical());
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(Request, EmptyIsCanonical) {
+  Request r;
+  EXPECT_TRUE(r.is_canonical());
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Request, IsCanonicalDetectsViolations) {
+  Request r;
+  r.files = {3, 1};  // bypass the constructor on purpose
+  EXPECT_FALSE(r.is_canonical());
+  r.files = {1, 1};
+  EXPECT_FALSE(r.is_canonical());
+  r.files = {1, 2, 9};
+  EXPECT_TRUE(r.is_canonical());
+}
+
+TEST(Request, ContainsUsesBinarySearch) {
+  Request r({10, 20, 30});
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(30));
+  EXPECT_FALSE(r.contains(15));
+  EXPECT_FALSE(r.contains(0));
+}
+
+TEST(Request, IdentityIsTheCanonicalSet) {
+  EXPECT_EQ(Request({1, 2, 3}), Request({3, 2, 1}));
+  EXPECT_EQ(Request({1, 1, 2}), Request({2, 1}));
+  EXPECT_NE(Request({1, 2}), Request({1, 2, 3}));
+}
+
+TEST(RequestHash, EqualRequestsHashEqual) {
+  RequestHash h;
+  EXPECT_EQ(h(Request({4, 7, 9})), h(Request({9, 7, 4})));
+}
+
+TEST(RequestHash, DistinctRequestsUsuallyDiffer) {
+  RequestHash h;
+  std::unordered_set<std::size_t> hashes;
+  for (FileId a = 0; a < 30; ++a) {
+    for (FileId b = a + 1; b < 30; ++b) {
+      hashes.insert(h(Request({a, b})));
+    }
+  }
+  // 435 pairs; a couple of collisions would be tolerable, mass collisions
+  // indicate a broken hash.
+  EXPECT_GT(hashes.size(), 425u);
+}
+
+TEST(RequestHash, WorksAsUnorderedMapKey) {
+  std::unordered_set<Request, RequestHash> set;
+  set.insert(Request({1, 2}));
+  set.insert(Request({2, 1}));  // duplicate
+  set.insert(Request({3}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Request({1, 2})));
+}
+
+TEST(Request, ToStringFormat) {
+  EXPECT_EQ(Request{}.to_string(), "{}");
+  EXPECT_EQ(Request({7}).to_string(), "{7}");
+  EXPECT_EQ(Request({3, 1}).to_string(), "{1, 3}");
+}
+
+TEST(HashFileSpan, MatchesRequestHash) {
+  Request r({2, 4, 6});
+  EXPECT_EQ(hash_file_span(r.files), RequestHash{}(r));
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,138 @@
+// Verification of Theorem 4.1: on random small instances, the value
+// achieved by OptCacheSelect is at least 1/2 (1 - e^{-1/d}) of the exact
+// optimum (and the Seeded2 variant at least matches the plain greedy;
+// empirically both sit far above their floors).
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/opt_cache_select.hpp"
+#include "util/rng.hpp"
+
+namespace fbc {
+namespace {
+
+TEST(BoundFactors, KnownValues) {
+  // d = 1: 1 - e^{-1} ~ 0.632; greedy floor is half of that.
+  EXPECT_NEAR(seeded_bound_factor(1), 0.6321205588, 1e-9);
+  EXPECT_NEAR(greedy_bound_factor(1), 0.3160602794, 1e-9);
+  // d = 0 is treated as d = 1 (no sharing observed).
+  EXPECT_DOUBLE_EQ(seeded_bound_factor(0), seeded_bound_factor(1));
+}
+
+TEST(BoundFactors, DecreaseWithSharing) {
+  // More sharing (larger d) weakens the guarantee.
+  for (std::uint32_t d = 1; d < 10; ++d) {
+    EXPECT_GT(seeded_bound_factor(d), seeded_bound_factor(d + 1));
+    EXPECT_GT(greedy_bound_factor(d), greedy_bound_factor(d + 1));
+  }
+  // And 1/2 relationship holds everywhere.
+  for (std::uint32_t d = 1; d < 20; ++d) {
+    EXPECT_DOUBLE_EQ(greedy_bound_factor(d), 0.5 * seeded_bound_factor(d));
+  }
+}
+
+TEST(MaxFileDegree, CountsSharing) {
+  FileCatalog catalog({1, 1, 1});
+  std::vector<Request> requests{Request({0, 1}), Request({0, 2}),
+                                Request({0})};
+  std::vector<SelectionItem> items;
+  for (const Request& r : requests) items.push_back({&r, 1.0});
+  EXPECT_EQ(max_file_degree(items), 3u);  // file 0 in all three
+  EXPECT_EQ(max_file_degree({}), 0u);
+}
+
+/// Random instance generator for the bound sweep.
+struct RandomInstance {
+  FileCatalog catalog;
+  std::vector<Request> requests;
+  std::vector<double> values;
+  std::vector<std::uint32_t> degrees;
+  Bytes capacity = 0;
+
+  explicit RandomInstance(std::uint64_t seed) {
+    Rng rng(seed);
+    const std::size_t num_files = 4 + rng.index(6);     // 4..9 files
+    const std::size_t num_requests = 3 + rng.index(10); // 3..12 requests
+    for (std::size_t f = 0; f < num_files; ++f) {
+      catalog.add_file(rng.uniform_u64(1, 20));
+    }
+    for (std::size_t r = 0; r < num_requests; ++r) {
+      const std::size_t k =
+          1 + rng.index(std::min<std::size_t>(4, num_files));
+      const auto picked = rng.sample_without_replacement(num_files, k);
+      std::vector<FileId> files;
+      for (std::size_t idx : picked) files.push_back(static_cast<FileId>(idx));
+      requests.emplace_back(std::move(files));
+      values.push_back(static_cast<double>(rng.uniform_u64(1, 10)));
+    }
+    degrees.assign(catalog.count(), 0);
+    for (const Request& r : requests) {
+      for (FileId id : r.files) ++degrees[id];
+    }
+    capacity = 1 + rng.uniform_u64(0, catalog.total_bytes());
+  }
+
+  [[nodiscard]] std::vector<SelectionItem> items() const {
+    std::vector<SelectionItem> out;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      out.push_back(SelectionItem{&requests[i], values[i]});
+    }
+    return out;
+  }
+};
+
+class ApproximationBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproximationBound, GreedyWithinProvenFactorOfOptimal) {
+  const RandomInstance inst(GetParam());
+  const auto items = inst.items();
+  OptCacheSelect selector(inst.catalog, inst.degrees);
+  const SelectionResult exact =
+      exact_select(items, inst.catalog, inst.capacity);
+  const std::uint32_t d = max_file_degree(items);
+
+  for (SelectVariant variant :
+       {SelectVariant::Basic, SelectVariant::Resort, SelectVariant::Seeded1,
+        SelectVariant::Seeded2}) {
+    const SelectionResult greedy =
+        selector.select(items, inst.capacity, variant);
+    // Never above the optimum...
+    EXPECT_LE(greedy.total_value, exact.total_value + 1e-9)
+        << to_string(variant);
+    // ...and never below the proven floor.
+    if (exact.total_value > 0.0) {
+      const double ratio = greedy.total_value / exact.total_value;
+      EXPECT_GE(ratio, greedy_bound_factor(d) - 1e-9)
+          << to_string(variant) << " d=" << d;
+    }
+    // The greedy's union must respect the budget.
+    EXPECT_LE(greedy.file_bytes, inst.capacity) << to_string(variant);
+  }
+}
+
+TEST_P(ApproximationBound, SeededDominatesPlainGreedy) {
+  const RandomInstance inst(GetParam());
+  const auto items = inst.items();
+  OptCacheSelect selector(inst.catalog, inst.degrees);
+  const double resort =
+      selector.select(items, inst.capacity, SelectVariant::Resort)
+          .total_value;
+  const double seeded1 =
+      selector.select(items, inst.capacity, SelectVariant::Seeded1)
+          .total_value;
+  const double seeded2 =
+      selector.select(items, inst.capacity, SelectVariant::Seeded2)
+          .total_value;
+  EXPECT_GE(seeded1, resort - 1e-9);
+  EXPECT_GE(seeded2, seeded1 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ApproximationBound,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace fbc

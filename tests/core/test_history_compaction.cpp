@@ -1,0 +1,109 @@
+// Tests for bounded-memory history compaction (RequestHistoryConfig::
+// max_entries extension).
+#include <gtest/gtest.h>
+
+#include "cache/simulator.hpp"
+#include "core/opt_file_bundle.hpp"
+#include "core/request_history.hpp"
+#include "workload/workload.hpp"
+
+namespace fbc {
+namespace {
+
+FileCatalog unit_catalog(std::size_t n) {
+  FileCatalog catalog;
+  for (std::size_t i = 0; i < n; ++i) catalog.add_file(100);
+  return catalog;
+}
+
+TEST(HistoryCompaction, UnboundedByDefault) {
+  FileCatalog catalog = unit_catalog(300);
+  RequestHistory history(catalog);
+  for (FileId i = 0; i < 300; ++i) history.observe(Request({i}));
+  EXPECT_EQ(history.distinct_requests(), 300u);
+}
+
+TEST(HistoryCompaction, CapsDistinctRequests) {
+  FileCatalog catalog = unit_catalog(300);
+  RequestHistoryConfig config;
+  config.max_entries = 100;
+  RequestHistory history(catalog, config);
+  for (FileId i = 0; i < 300; ++i) history.observe(Request({i}));
+  EXPECT_LE(history.distinct_requests(), 100u);
+  EXPECT_GE(history.distinct_requests(), 75u);  // compaction keeps 3/4
+}
+
+TEST(HistoryCompaction, KeepsHighValueEntries) {
+  FileCatalog catalog = unit_catalog(300);
+  RequestHistoryConfig config;
+  config.max_entries = 100;
+  RequestHistory history(catalog, config);
+  const Request hot({0, 1});
+  for (int i = 0; i < 50; ++i) history.observe(hot);
+  for (FileId i = 2; i < 280; ++i) history.observe(Request({i}));
+  EXPECT_DOUBLE_EQ(history.value(hot), 50.0);  // survived every compaction
+}
+
+TEST(HistoryCompaction, DegreesShrinkWithDroppedEntries) {
+  FileCatalog catalog = unit_catalog(300);
+  RequestHistoryConfig config;
+  config.max_entries = 100;
+  RequestHistory history(catalog, config);
+  // 150 distinct one-shot requests all touching file 0.
+  for (FileId i = 1; i < 151; ++i) history.observe(Request({0, i}));
+  // Without compaction d(0) would be 150; the cap keeps it <= 100.
+  EXPECT_LE(history.degree(0), 100u);
+  EXPECT_EQ(history.degree(0), static_cast<std::uint32_t>(
+                                   history.distinct_requests()));
+  EXPECT_EQ(history.max_degree(), history.degree(0));
+}
+
+TEST(HistoryCompaction, DroppedRequestRestartsFresh) {
+  FileCatalog catalog = unit_catalog(300);
+  RequestHistoryConfig config;
+  config.max_entries = 20;
+  RequestHistory history(catalog, config);
+  const Request victim({200});
+  history.observe(victim);
+  // Flood with newer, higher-value entries to push `victim` out.
+  for (int round = 0; round < 3; ++round) {
+    for (FileId i = 0; i < 30; ++i) {
+      history.observe(Request({i}));
+      history.observe(Request({i}));
+    }
+  }
+  EXPECT_DOUBLE_EQ(history.value(victim), 0.0);
+  history.observe(victim);
+  EXPECT_DOUBLE_EQ(history.value(victim), 1.0);
+}
+
+TEST(HistoryCompaction, OptFbRunsWithBoundedHistory) {
+  // End-to-end: a capped history keeps the policy functional and close to
+  // the unbounded one on a Zipf workload (the dropped tail is cold).
+  WorkloadConfig wconfig;
+  wconfig.seed = 3;
+  wconfig.cache_bytes = 8 * MiB;
+  wconfig.num_files = 200;
+  wconfig.min_file_bytes = 16 * KiB;
+  wconfig.max_file_frac = 0.02;
+  wconfig.num_requests = 300;
+  wconfig.num_jobs = 3000;
+  wconfig.popularity = Popularity::Zipf;
+  const Workload w = generate_workload(wconfig);
+
+  auto run = [&](std::size_t max_entries) {
+    OptFileBundleConfig pconfig;
+    pconfig.history.max_entries = max_entries;
+    OptFileBundlePolicy policy(w.catalog, pconfig);
+    SimulatorConfig config{.cache_bytes = wconfig.cache_bytes,
+                           .warmup_jobs = 300};
+    return simulate(config, w.catalog, policy, w.jobs)
+        .metrics.byte_miss_ratio();
+  };
+  const double unbounded = run(0);
+  const double bounded = run(60);
+  EXPECT_LT(bounded, unbounded * 1.25);  // within 25% of unbounded
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,311 @@
+// Tests for the OptCacheSelect greedy variants and the exact solver.
+#include "core/opt_cache_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace fbc {
+namespace {
+
+/// Helper bundling an instance: owns requests and exposes items.
+struct Instance {
+  FileCatalog catalog;
+  std::vector<Request> requests;
+  std::vector<double> values;
+  std::vector<std::uint32_t> degrees;
+
+  void add_request(std::vector<FileId> files, double value) {
+    requests.emplace_back(std::move(files));
+    values.push_back(value);
+  }
+
+  void finalize() {
+    degrees.assign(catalog.count(), 0);
+    for (const Request& r : requests) {
+      for (FileId id : r.files) ++degrees[id];
+    }
+  }
+
+  [[nodiscard]] std::vector<SelectionItem> items() const {
+    std::vector<SelectionItem> out;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      out.push_back(SelectionItem{&requests[i], values[i]});
+    }
+    return out;
+  }
+
+  [[nodiscard]] SelectionResult run(Bytes capacity, SelectVariant variant,
+                                    std::span<const FileId> free = {}) const {
+    OptCacheSelect selector(catalog, degrees);
+    return selector.select(items(), capacity, variant, free);
+  }
+};
+
+TEST(OptCacheSelect, KnapsackDegenerateCase) {
+  // Disjoint single-file requests == 0/1 knapsack; the greedy's value/size
+  // ordering solves this instance exactly.
+  Instance inst;
+  for (Bytes s : {Bytes{60}, Bytes{100}, Bytes{120}}) {
+    (void)inst.catalog.add_file(s);
+  }
+  inst.add_request({0}, 60);   // density 1.0
+  inst.add_request({1}, 100);  // density 1.0
+  inst.add_request({2}, 120);  // density 1.0
+  inst.finalize();
+  const SelectionResult result = inst.run(220, SelectVariant::Basic);
+  // Ties at equal density resolve by index: picks {0}, {1} (160 bytes),
+  // then {2} no longer fits: total value 160... but the exact optimum is
+  // {1},{2} = 220. Verify the exact solver finds 220.
+  const SelectionResult exact = exact_select(inst.items(), inst.catalog, 220);
+  EXPECT_DOUBLE_EQ(exact.total_value, 220.0);
+  EXPECT_LE(result.total_value, exact.total_value);
+  EXPECT_GE(result.total_value, 160.0);
+}
+
+TEST(OptCacheSelect, PrefersHighAdjustedRelativeValue) {
+  Instance inst;
+  for (int i = 0; i < 4; ++i) inst.catalog.add_file(100);
+  inst.add_request({0}, 10);     // v' = 10/100
+  inst.add_request({1, 2}, 10);  // v' = 10/200
+  inst.add_request({3}, 1);      // v' = 1/100
+  inst.finalize();
+  const SelectionResult result = inst.run(200, SelectVariant::Basic);
+  // Greedy order: {0}, then {1,2} fits (100+200=300 > 200? {1,2} needs 200
+  // but only 100 left -> skipped), then {3} fits.
+  ASSERT_EQ(result.chosen.size(), 2u);
+  EXPECT_EQ(result.chosen[0], 0u);
+  EXPECT_EQ(result.chosen[1], 2u);
+  EXPECT_DOUBLE_EQ(result.total_value, 11.0);
+}
+
+TEST(OptCacheSelect, SharedFilesRaiseRank) {
+  // Two requests share a popular file: its degree-adjusted size shrinks,
+  // lifting both requests' ranks above a loner of equal value.
+  Instance inst;
+  for (int i = 0; i < 3; ++i) inst.catalog.add_file(100);
+  inst.add_request({0, 1}, 5);  // shares file 0
+  inst.add_request({0, 2}, 5);  // shares file 0
+  inst.add_request({1, 2}, 5);  // no shared benefit beyond d-values
+  inst.finalize();
+  // Every file is shared by two requests: d(f) = 2, s'(f) = 50 for all.
+  OptCacheSelect selector(inst.catalog, inst.degrees);
+  EXPECT_DOUBLE_EQ(selector.adjusted_size(0), 50.0);
+  EXPECT_DOUBLE_EQ(selector.adjusted_size(1), 50.0);
+  const SelectionResult result = inst.run(300, SelectVariant::Resort);
+  // Resort: take {0,1} (covered 0,1), then {0,2} costs only file 2 (100)
+  // and fits; total union exactly 300 bytes, all three values... {1,2} is
+  // then fully covered and free. Everything is selected.
+  EXPECT_DOUBLE_EQ(result.total_value, 15.0);
+  EXPECT_EQ(result.file_bytes, 300u);
+}
+
+TEST(OptCacheSelect, BasicDoubleCountsSharedFiles) {
+  // Same instance, Basic variant: naive accounting blocks the third
+  // request even though its files are already in the union.
+  Instance inst;
+  for (int i = 0; i < 3; ++i) inst.catalog.add_file(100);
+  inst.add_request({0, 1}, 5);
+  inst.add_request({0, 2}, 5);
+  inst.add_request({1, 2}, 5);
+  inst.finalize();
+  const SelectionResult basic = inst.run(300, SelectVariant::Basic);
+  const SelectionResult resort = inst.run(300, SelectVariant::Resort);
+  EXPECT_LT(basic.total_value, resort.total_value);
+  EXPECT_DOUBLE_EQ(basic.total_value, 5.0);  // 150 + 150 > 300 after first
+}
+
+TEST(OptCacheSelect, SingleRequestOverride) {
+  // One huge request is worth more than everything the greedy packs.
+  Instance inst;
+  inst.catalog.add_file(500);  // 0: big file
+  inst.catalog.add_file(100);  // 1
+  inst.catalog.add_file(100);  // 2
+  inst.add_request({0}, 100);     // v' = 100/500 = 0.2
+  inst.add_request({1}, 30);      // v' = 0.3
+  inst.add_request({2}, 30);      // v' = 0.3
+  inst.finalize();
+  const SelectionResult result = inst.run(500, SelectVariant::Basic);
+  // Greedy picks {1}, {2} (value 60) then {0} does not fit (500 > 300).
+  // Step 3 overrides with the single request worth 100.
+  EXPECT_TRUE(result.single_request_override);
+  EXPECT_DOUBLE_EQ(result.total_value, 100.0);
+  ASSERT_EQ(result.chosen.size(), 1u);
+  EXPECT_EQ(result.chosen[0], 0u);
+}
+
+TEST(OptCacheSelect, FreeFilesCostNothing) {
+  Instance inst;
+  for (int i = 0; i < 3; ++i) inst.catalog.add_file(100);
+  inst.add_request({0, 1}, 4);
+  inst.add_request({2}, 10);
+  inst.finalize();
+  const std::vector<FileId> free{0, 1};
+  // Capacity 100 only: with {0,1} free, request 0 costs nothing and
+  // request 1 exactly fits.
+  const SelectionResult result =
+      inst.run(100, SelectVariant::Resort, free);
+  EXPECT_DOUBLE_EQ(result.total_value, 14.0);
+  // Free files are excluded from the reported byte usage.
+  EXPECT_EQ(result.file_bytes, 100u);
+  EXPECT_EQ(result.files, (std::vector<FileId>{2}));
+}
+
+TEST(OptCacheSelect, ZeroValueItemsIgnored) {
+  Instance inst;
+  inst.catalog.add_file(100);
+  inst.catalog.add_file(100);
+  inst.add_request({0}, 0.0);
+  inst.add_request({1}, 1.0);
+  inst.finalize();
+  for (SelectVariant v : {SelectVariant::Basic, SelectVariant::Resort,
+                          SelectVariant::Seeded1, SelectVariant::Seeded2}) {
+    const SelectionResult result = inst.run(200, v);
+    EXPECT_DOUBLE_EQ(result.total_value, 1.0) << to_string(v);
+    ASSERT_EQ(result.chosen.size(), 1u) << to_string(v);
+    EXPECT_EQ(result.chosen[0], 1u) << to_string(v);
+  }
+}
+
+TEST(OptCacheSelect, EmptyItemsYieldEmptySolution) {
+  Instance inst;
+  inst.catalog.add_file(100);
+  inst.finalize();
+  const SelectionResult result = inst.run(100, SelectVariant::Resort);
+  EXPECT_TRUE(result.chosen.empty());
+  EXPECT_DOUBLE_EQ(result.total_value, 0.0);
+  EXPECT_TRUE(result.files.empty());
+}
+
+TEST(OptCacheSelect, RejectsInvalidItems) {
+  Instance inst;
+  inst.catalog.add_file(100);
+  inst.add_request({0}, -1.0);
+  inst.finalize();
+  EXPECT_THROW((void)inst.run(100, SelectVariant::Basic), std::invalid_argument);
+
+  OptCacheSelect selector(inst.catalog, inst.degrees);
+  std::vector<SelectionItem> null_item{SelectionItem{nullptr, 1.0}};
+  EXPECT_THROW((void)selector.select(null_item, 100), std::invalid_argument);
+}
+
+TEST(OptCacheSelect, SeededAtLeastAsGoodAsResort) {
+  // Seeding can escape the greedy's bad first pick. Construct a trap:
+  // a high-density small request blocks the optimal big pair.
+  Instance inst;
+  inst.catalog.add_file(60);   // 0
+  inst.catalog.add_file(50);   // 1
+  inst.catalog.add_file(50);   // 2
+  inst.add_request({0}, 10);      // density highest
+  inst.add_request({1}, 7);
+  inst.add_request({2}, 7);
+  inst.finalize();
+  const SelectionResult resort = inst.run(100, SelectVariant::Resort);
+  const SelectionResult seeded1 = inst.run(100, SelectVariant::Seeded1);
+  const SelectionResult seeded2 = inst.run(100, SelectVariant::Seeded2);
+  // Greedy: {0} (10), then nothing fits (50 > 40): value 10.
+  // Optimal: {1} + {2} = 14; Seeded1 finds it by seeding {1} or {2}.
+  EXPECT_DOUBLE_EQ(resort.total_value, 10.0);
+  EXPECT_DOUBLE_EQ(seeded1.total_value, 14.0);
+  EXPECT_GE(seeded2.total_value, seeded1.total_value);
+}
+
+TEST(OptCacheSelect, VariantNames) {
+  EXPECT_EQ(to_string(SelectVariant::Basic), "basic");
+  EXPECT_EQ(to_string(SelectVariant::Resort), "resort");
+  EXPECT_EQ(to_string(SelectVariant::Seeded1), "seeded1");
+  EXPECT_EQ(to_string(SelectVariant::Seeded2), "seeded2");
+}
+
+TEST(ExactSelect, SolvesSharedFileInstanceOptimally) {
+  Instance inst;
+  for (int i = 0; i < 4; ++i) inst.catalog.add_file(100);
+  inst.add_request({0, 1}, 6);
+  inst.add_request({1, 2}, 6);
+  inst.add_request({2, 3}, 6);
+  inst.add_request({0, 3}, 1);
+  inst.finalize();
+  // Capacity 300: best is {0,1}+{1,2} or {1,2}+{2,3} = 12 (union 3 files).
+  const SelectionResult exact = exact_select(inst.items(), inst.catalog, 300);
+  EXPECT_DOUBLE_EQ(exact.total_value, 12.0);
+  EXPECT_LE(exact.file_bytes, 300u);
+}
+
+TEST(ExactSelect, UnionAccountingBeatsNaive) {
+  // Three pairwise-overlapping requests whose union is exactly capacity.
+  Instance inst;
+  for (int i = 0; i < 3; ++i) inst.catalog.add_file(100);
+  inst.add_request({0, 1}, 5);
+  inst.add_request({0, 2}, 5);
+  inst.add_request({1, 2}, 5);
+  inst.finalize();
+  const SelectionResult exact = exact_select(inst.items(), inst.catalog, 300);
+  EXPECT_DOUBLE_EQ(exact.total_value, 15.0);
+}
+
+TEST(OptCacheSelect, ZeroCapacityOnlyAdmitsFreeRequests) {
+  Instance inst;
+  inst.catalog.add_file(100);
+  inst.catalog.add_file(100);
+  inst.add_request({0}, 5);
+  inst.add_request({1}, 7);
+  inst.finalize();
+  // Capacity 0, no free files: nothing selectable.
+  const SelectionResult none = inst.run(0, SelectVariant::Resort);
+  EXPECT_TRUE(none.chosen.empty());
+  EXPECT_DOUBLE_EQ(none.total_value, 0.0);
+  // Capacity 0 but file 1 is free (incoming bundle): request 1 is free.
+  const std::vector<FileId> free{1};
+  const SelectionResult with_free =
+      inst.run(0, SelectVariant::Resort, free);
+  EXPECT_DOUBLE_EQ(with_free.total_value, 7.0);
+  EXPECT_TRUE(with_free.files.empty());  // nothing beyond the free files
+}
+
+TEST(OptCacheSelect, DeterministicAcrossRepeatedCalls) {
+  Instance inst;
+  for (int i = 0; i < 10; ++i) inst.catalog.add_file(100);
+  // Deliberately tied values and overlapping bundles.
+  inst.add_request({0, 1}, 2);
+  inst.add_request({1, 2}, 2);
+  inst.add_request({2, 3}, 2);
+  inst.add_request({4, 5}, 2);
+  inst.add_request({5, 6}, 2);
+  inst.finalize();
+  for (SelectVariant v : {SelectVariant::Basic, SelectVariant::Resort,
+                          SelectVariant::Seeded1}) {
+    const SelectionResult a = inst.run(500, v);
+    const SelectionResult b = inst.run(500, v);
+    EXPECT_EQ(a.chosen, b.chosen) << to_string(v);
+    EXPECT_EQ(a.files, b.files) << to_string(v);
+  }
+}
+
+TEST(OptCacheSelect, OversizedSingleItemNeverChosen) {
+  Instance inst;
+  inst.catalog.add_file(1000);
+  inst.catalog.add_file(10);
+  inst.add_request({0}, 100);  // huge value but cannot fit
+  inst.add_request({1}, 1);
+  inst.finalize();
+  for (SelectVariant v : {SelectVariant::Basic, SelectVariant::Resort,
+                          SelectVariant::Seeded1, SelectVariant::Seeded2}) {
+    const SelectionResult result = inst.run(100, v);
+    EXPECT_DOUBLE_EQ(result.total_value, 1.0) << to_string(v);
+    EXPECT_FALSE(result.single_request_override) << to_string(v);
+  }
+}
+
+TEST(ExactSelect, EmptyAndInfeasibleInstances) {
+  Instance inst;
+  inst.catalog.add_file(1000);
+  inst.add_request({0}, 5);
+  inst.finalize();
+  EXPECT_DOUBLE_EQ(exact_select(inst.items(), inst.catalog, 500).total_value,
+                   0.0);
+  EXPECT_DOUBLE_EQ(exact_select({}, inst.catalog, 500).total_value, 0.0);
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,75 @@
+// Tests for the policy registry/factory.
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace fbc {
+namespace {
+
+FileCatalog unit_catalog(std::size_t n) {
+  FileCatalog catalog;
+  for (std::size_t i = 0; i < n; ++i) catalog.add_file(100);
+  return catalog;
+}
+
+TEST(Registry, CreatesEveryRegisteredPolicy) {
+  FileCatalog catalog = unit_catalog(4);
+  std::vector<Request> jobs{Request({0}), Request({1})};
+  PolicyContext context;
+  context.catalog = &catalog;
+  context.jobs = jobs;
+  for (const std::string& name : policy_names()) {
+    PolicyPtr policy = make_policy(name, context);
+    ASSERT_NE(policy, nullptr) << name;
+    // The factory name matches the policy's own name prefix (optfb
+    // variants self-describe their configuration).
+    EXPECT_FALSE(policy->name().empty()) << name;
+  }
+}
+
+TEST(Registry, PolicyNamesAreDistinct) {
+  const auto names = policy_names();
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Registry, UnknownNameThrows) {
+  PolicyContext context;
+  EXPECT_THROW((void)make_policy("belady2000", context), std::invalid_argument);
+}
+
+TEST(Registry, OptfbRequiresCatalog) {
+  PolicyContext context;  // no catalog
+  EXPECT_THROW((void)make_policy("optfb", context), std::invalid_argument);
+}
+
+TEST(Registry, LookaheadRequiresJobs) {
+  FileCatalog catalog = unit_catalog(2);
+  PolicyContext context;
+  context.catalog = &catalog;
+  EXPECT_THROW((void)make_policy("lookahead", context), std::invalid_argument);
+}
+
+TEST(Registry, BaselinesNeedNoCatalog) {
+  PolicyContext context;  // empty is fine for stateless-construction ones
+  for (const std::string name :
+       {"landlord", "lru", "lfu", "gds-unit", "random"}) {
+    EXPECT_NE(make_policy(name, context), nullptr) << name;
+  }
+}
+
+TEST(Registry, OptfbVariantsDiffer) {
+  FileCatalog catalog = unit_catalog(2);
+  PolicyContext context;
+  context.catalog = &catalog;
+  EXPECT_EQ(make_policy("optfb", context)->name(), "optfb");
+  EXPECT_EQ(make_policy("optfb-basic", context)->name(), "optfb-basic");
+  EXPECT_EQ(make_policy("optfb-full", context)->name(), "optfb-full");
+  EXPECT_EQ(make_policy("optfb-window", context)->name(), "optfb-window");
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,178 @@
+// Tests for the L(R) request-history structure.
+#include "core/request_history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbc {
+namespace {
+
+FileCatalog unit_catalog(std::size_t n, Bytes each = 100) {
+  FileCatalog catalog;
+  for (std::size_t i = 0; i < n; ++i) catalog.add_file(each);
+  return catalog;
+}
+
+TEST(RequestHistory, ObserveCountsOccurrences) {
+  FileCatalog catalog = unit_catalog(5);
+  RequestHistory history(catalog);
+  const Request r({0, 1});
+  EXPECT_DOUBLE_EQ(history.value(r), 0.0);
+  history.observe(r);
+  history.observe(r);
+  history.observe(Request({2}));
+  EXPECT_DOUBLE_EQ(history.value(r), 2.0);
+  EXPECT_DOUBLE_EQ(history.value(Request({2})), 1.0);
+  EXPECT_EQ(history.observed_jobs(), 3u);
+  EXPECT_EQ(history.distinct_requests(), 2u);
+}
+
+TEST(RequestHistory, WeightedObservation) {
+  FileCatalog catalog = unit_catalog(3);
+  RequestHistory history(catalog);
+  history.observe(Request({0}), 2.5);
+  history.observe(Request({0}), 0.5);
+  EXPECT_DOUBLE_EQ(history.value(Request({0})), 3.0);
+}
+
+TEST(RequestHistory, DegreeCountsDistinctRequests) {
+  FileCatalog catalog = unit_catalog(5);
+  RequestHistory history(catalog);
+  history.observe(Request({0, 1}));
+  history.observe(Request({0, 2}));
+  history.observe(Request({0, 1}));  // repeat: degree unchanged
+  EXPECT_EQ(history.degree(0), 2u);
+  EXPECT_EQ(history.degree(1), 1u);
+  EXPECT_EQ(history.degree(2), 1u);
+  EXPECT_EQ(history.degree(4), 0u);
+  EXPECT_EQ(history.max_degree(), 2u);
+}
+
+TEST(RequestHistory, AdjustedSizes) {
+  FileCatalog catalog = unit_catalog(3, 600);
+  RequestHistory history(catalog);
+  history.observe(Request({0, 1}));
+  history.observe(Request({0, 2}));
+  history.observe(Request({0}));
+  // d(0) = 3, d(1) = d(2) = 1.
+  EXPECT_DOUBLE_EQ(history.adjusted_size(0), 200.0);
+  EXPECT_DOUBLE_EQ(history.adjusted_size(1), 600.0);
+  // Unreferenced files divide by 1.
+  EXPECT_DOUBLE_EQ(
+      history.adjusted_bundle_size(std::vector<FileId>{0, 1}), 800.0);
+}
+
+TEST(RequestHistory, RelativeValueMatchesDefinition) {
+  FileCatalog catalog = unit_catalog(3, 600);
+  RequestHistory history(catalog);
+  const Request r({0, 1});
+  history.observe(r);
+  history.observe(r);
+  // v(r) = 2, d(0) = d(1) = 1 => adjusted bundle size 1200.
+  EXPECT_DOUBLE_EQ(history.relative_value(r), 2.0 / 1200.0);
+  EXPECT_DOUBLE_EQ(history.relative_value(r, /*extra_weight=*/1.0),
+                   3.0 / 1200.0);
+  // Unseen request has relative value 0 (but extra weight revives it).
+  const Request unseen({2});
+  EXPECT_DOUBLE_EQ(history.relative_value(unseen), 0.0);
+  EXPECT_DOUBLE_EQ(history.relative_value(unseen, 1.0), 1.0 / 600.0);
+}
+
+TEST(RequestHistory, FullModeKeepsAllCandidates) {
+  FileCatalog catalog = unit_catalog(5);
+  RequestHistory history(catalog, {HistoryMode::Full, 0});
+  DiskCache cache(100, catalog);  // nothing resident
+  history.observe(Request({0}));
+  history.observe(Request({1, 2}));
+  EXPECT_EQ(history.candidates(cache).size(), 2u);
+}
+
+TEST(RequestHistory, CacheResidentModeFiltersUnsupported) {
+  FileCatalog catalog = unit_catalog(5);
+  RequestHistory history(catalog, {HistoryMode::CacheResident, 0});
+  DiskCache cache(500, catalog);
+  cache.insert(0);
+  cache.insert(1);
+  history.observe(Request({0}));        // supported
+  history.observe(Request({0, 1}));     // supported
+  history.observe(Request({1, 2}));     // 2 not resident
+  const auto candidates = history.candidates(cache);
+  ASSERT_EQ(candidates.size(), 2u);
+  for (const HistoryEntry* e : candidates) {
+    EXPECT_TRUE(cache.supports(e->request));
+  }
+}
+
+TEST(RequestHistory, CacheResidentKeepsGlobalDegrees) {
+  // Degrees and popularity survive even when the entry is filtered out of
+  // the candidate list (paper §5.2).
+  FileCatalog catalog = unit_catalog(5);
+  RequestHistory history(catalog, {HistoryMode::CacheResident, 0});
+  DiskCache cache(100, catalog);
+  history.observe(Request({2, 3}));
+  EXPECT_TRUE(history.candidates(cache).empty());
+  EXPECT_EQ(history.degree(2), 1u);
+  EXPECT_DOUBLE_EQ(history.value(Request({2, 3})), 1.0);
+}
+
+TEST(RequestHistory, WindowModeExpiresOldEntries) {
+  FileCatalog catalog = unit_catalog(5);
+  RequestHistory history(catalog, {HistoryMode::Window, 3});
+  DiskCache cache(100, catalog);
+  history.observe(Request({0}));  // job 1
+  history.observe(Request({1}));  // job 2
+  history.observe(Request({2}));  // job 3
+  history.observe(Request({3}));  // job 4: {0} is now outside the window
+  const auto candidates = history.candidates(cache);
+  ASSERT_EQ(candidates.size(), 3u);
+  for (const HistoryEntry* e : candidates) {
+    EXPECT_NE(e->request, Request({0}));
+  }
+}
+
+TEST(RequestHistory, WindowRefreshedByReoccurrence) {
+  FileCatalog catalog = unit_catalog(5);
+  RequestHistory history(catalog, {HistoryMode::Window, 3});
+  DiskCache cache(100, catalog);
+  history.observe(Request({0}));  // job 1
+  history.observe(Request({1}));  // job 2
+  history.observe(Request({0}));  // job 3: refreshes {0}
+  history.observe(Request({2}));  // job 4
+  const auto candidates = history.candidates(cache);
+  bool has_zero = false;
+  for (const HistoryEntry* e : candidates) {
+    has_zero |= (e->request == Request({0}));
+  }
+  EXPECT_TRUE(has_zero);
+}
+
+TEST(RequestHistory, ExcludeParameterOmitsTheIncomingRequest) {
+  FileCatalog catalog = unit_catalog(3);
+  RequestHistory history(catalog, {HistoryMode::Full, 0});
+  DiskCache cache(100, catalog);
+  const Request incoming({0, 1});
+  history.observe(incoming);
+  history.observe(Request({2}));
+  const auto candidates = history.candidates(cache, &incoming);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates.front()->request, Request({2}));
+}
+
+TEST(RequestHistory, ClearResetsEverything) {
+  FileCatalog catalog = unit_catalog(3);
+  RequestHistory history(catalog);
+  history.observe(Request({0, 1}));
+  history.clear();
+  EXPECT_EQ(history.observed_jobs(), 0u);
+  EXPECT_EQ(history.distinct_requests(), 0u);
+  EXPECT_EQ(history.degree(0), 0u);
+  EXPECT_EQ(history.max_degree(), 0u);
+}
+
+TEST(RequestHistory, ModeNames) {
+  EXPECT_EQ(to_string(HistoryMode::Full), "full");
+  EXPECT_EQ(to_string(HistoryMode::Window), "window");
+  EXPECT_EQ(to_string(HistoryMode::CacheResident), "cache-resident");
+}
+
+}  // namespace
+}  // namespace fbc

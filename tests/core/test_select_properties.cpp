@@ -1,0 +1,134 @@
+// Large-instance property tests for OptCacheSelect: structural invariants
+// that must hold for every variant on instances far bigger than the
+// exact-solver tests can verify.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/opt_cache_select.hpp"
+#include "util/rng.hpp"
+
+namespace fbc {
+namespace {
+
+struct BigInstance {
+  FileCatalog catalog;
+  std::vector<Request> requests;
+  std::vector<double> values;
+  std::vector<std::uint32_t> degrees;
+  std::vector<FileId> free_files;
+  Bytes capacity = 0;
+
+  explicit BigInstance(std::uint64_t seed) {
+    Rng rng(seed);
+    const std::size_t num_files = 40 + rng.index(40);
+    const std::size_t num_requests = 40 + rng.index(40);
+    for (std::size_t f = 0; f < num_files; ++f) {
+      catalog.add_file(rng.uniform_u64(1, 500));
+    }
+    for (std::size_t r = 0; r < num_requests; ++r) {
+      const std::size_t k = 1 + rng.index(6);
+      const auto picked = rng.sample_without_replacement(num_files, k);
+      std::vector<FileId> files;
+      for (std::size_t idx : picked) files.push_back(static_cast<FileId>(idx));
+      requests.emplace_back(std::move(files));
+      values.push_back(static_cast<double>(rng.uniform_u64(0, 20)));
+    }
+    degrees.assign(catalog.count(), 0);
+    for (const Request& r : requests) {
+      for (FileId id : r.files) ++degrees[id];
+    }
+    // Some free files (an incoming bundle).
+    for (std::size_t idx :
+         rng.sample_without_replacement(num_files, 1 + rng.index(5))) {
+      free_files.push_back(static_cast<FileId>(idx));
+    }
+    capacity = rng.uniform_u64(0, catalog.total_bytes() / 2);
+  }
+
+  [[nodiscard]] std::vector<SelectionItem> items() const {
+    std::vector<SelectionItem> out;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      out.push_back(SelectionItem{&requests[i], values[i]});
+    }
+    return out;
+  }
+};
+
+class SelectProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectProperties, StructuralInvariantsHoldForEveryVariant) {
+  const BigInstance inst(GetParam());
+  const auto items = inst.items();
+  OptCacheSelect selector(inst.catalog, inst.degrees);
+
+  for (SelectVariant variant : {SelectVariant::Basic, SelectVariant::Resort,
+                                SelectVariant::Seeded1}) {
+    const SelectionResult result =
+        selector.select(items, inst.capacity, variant, inst.free_files);
+
+    // Chosen indices are unique, valid, and have positive value.
+    std::set<std::size_t> unique(result.chosen.begin(), result.chosen.end());
+    EXPECT_EQ(unique.size(), result.chosen.size()) << to_string(variant);
+    double value_sum = 0.0;
+    for (std::size_t idx : result.chosen) {
+      ASSERT_LT(idx, items.size()) << to_string(variant);
+      EXPECT_GT(items[idx].value, 0.0) << to_string(variant);
+      value_sum += items[idx].value;
+    }
+    EXPECT_DOUBLE_EQ(result.total_value, value_sum) << to_string(variant);
+
+    // result.files is exactly the union of chosen bundles minus the free
+    // files, sorted and deduplicated; file_bytes matches.
+    std::set<FileId> expected;
+    for (std::size_t idx : result.chosen) {
+      for (FileId id : items[idx].request->files) expected.insert(id);
+    }
+    for (FileId id : inst.free_files) expected.erase(id);
+    std::vector<FileId> expected_sorted(expected.begin(), expected.end());
+    EXPECT_EQ(result.files, expected_sorted) << to_string(variant);
+    EXPECT_EQ(result.file_bytes, inst.catalog.bundle_bytes(result.files))
+        << to_string(variant);
+
+    // The union respects the budget.
+    EXPECT_LE(result.file_bytes, inst.capacity) << to_string(variant);
+
+    // Step 3 floor: the result is at least as valuable as the best single
+    // request that fits alone.
+    double best_single = 0.0;
+    for (const SelectionItem& item : items) {
+      Bytes alone = 0;
+      for (FileId id : item.request->files) {
+        if (!std::binary_search(inst.free_files.begin(),
+                                inst.free_files.end(), id)) {
+          alone += inst.catalog.size_of(id);
+        }
+      }
+      if (alone <= inst.capacity) best_single = std::max(best_single,
+                                                         item.value);
+    }
+    EXPECT_GE(result.total_value, best_single - 1e-9) << to_string(variant);
+  }
+}
+
+TEST_P(SelectProperties, SeededVariantsDominate) {
+  const BigInstance inst(GetParam());
+  const auto items = inst.items();
+  OptCacheSelect selector(inst.catalog, inst.degrees);
+  const double resort =
+      selector.select(items, inst.capacity, SelectVariant::Resort,
+                      inst.free_files)
+          .total_value;
+  const double seeded1 =
+      selector.select(items, inst.capacity, SelectVariant::Seeded1,
+                      inst.free_files)
+          .total_value;
+  EXPECT_GE(seeded1, resort - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectProperties,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace fbc

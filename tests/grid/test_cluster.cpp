@@ -1,0 +1,199 @@
+// Tests for the cluster-of-independent-caches substrate.
+#include "grid/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/opt_file_bundle.hpp"
+#include "policies/lru.hpp"
+
+namespace fbc {
+namespace {
+
+FileCatalog unit_catalog(std::size_t n) {
+  FileCatalog catalog;
+  for (std::size_t i = 0; i < n; ++i) catalog.add_file(100);
+  return catalog;
+}
+
+TEST(Cluster, ValidatesConfig) {
+  FileCatalog catalog = unit_catalog(4);
+  auto factory = [] { return std::make_unique<LruPolicy>(); };
+  ClusterConfig config;
+  config.nodes = 0;
+  config.node_cache_bytes = 100;
+  EXPECT_THROW(ClusterSimulator(config, catalog, factory),
+               std::invalid_argument);
+  config.nodes = 2;
+  config.node_cache_bytes = 0;
+  EXPECT_THROW(ClusterSimulator(config, catalog, factory),
+               std::invalid_argument);
+}
+
+TEST(Cluster, RoundRobinPlacementIsModular) {
+  FileCatalog catalog = unit_catalog(8);
+  ClusterConfig config;
+  config.nodes = 3;
+  config.node_cache_bytes = 300;
+  config.placement = Placement::RoundRobin;
+  ClusterSimulator cluster(config, catalog,
+                           [] { return std::make_unique<LruPolicy>(); });
+  for (FileId id = 0; id < 8; ++id) {
+    EXPECT_EQ(cluster.node_of(id), id % 3u);
+  }
+}
+
+TEST(Cluster, HashPlacementCoversAllNodes) {
+  FileCatalog catalog = unit_catalog(100);
+  ClusterConfig config;
+  config.nodes = 4;
+  config.node_cache_bytes = 300;
+  ClusterSimulator cluster(config, catalog,
+                           [] { return std::make_unique<LruPolicy>(); });
+  std::vector<int> counts(4, 0);
+  for (FileId id = 0; id < 100; ++id) {
+    const std::size_t node = cluster.node_of(id);
+    ASSERT_LT(node, 4u);
+    counts[node] += 1;
+  }
+  for (int c : counts) EXPECT_GT(c, 10);  // roughly balanced
+}
+
+TEST(Cluster, FilesLandOnTheirNode) {
+  FileCatalog catalog = unit_catalog(6);
+  ClusterConfig config;
+  config.nodes = 2;
+  config.node_cache_bytes = 400;
+  config.placement = Placement::RoundRobin;
+  ClusterSimulator cluster(config, catalog,
+                           [] { return std::make_unique<LruPolicy>(); });
+  std::vector<Request> jobs{Request({0, 1, 2, 3})};
+  cluster.run(jobs);
+  // Even ids on node 0, odd on node 1.
+  EXPECT_TRUE(cluster.node_cache(0).contains(0));
+  EXPECT_TRUE(cluster.node_cache(0).contains(2));
+  EXPECT_FALSE(cluster.node_cache(0).contains(1));
+  EXPECT_TRUE(cluster.node_cache(1).contains(1));
+  EXPECT_TRUE(cluster.node_cache(1).contains(3));
+}
+
+TEST(Cluster, RequestHitNeedsEveryNodePart) {
+  FileCatalog catalog = unit_catalog(4);
+  ClusterConfig config;
+  config.nodes = 2;
+  config.node_cache_bytes = 200;
+  config.placement = Placement::RoundRobin;
+  ClusterSimulator cluster(config, catalog,
+                           [] { return std::make_unique<LruPolicy>(); });
+  // Job 1 loads {0,1}; job 2 displaces node-1's copy of 1 via {3};
+  // the repeat of {0,1} is then only a partial hit.
+  std::vector<Request> jobs{Request({0, 1}), Request({1, 3}),
+                            Request({0, 1})};
+  const ClusterResult result = cluster.run(jobs);
+  EXPECT_EQ(result.metrics.jobs(), 3u);
+  // {0,1} repeat: 0 still on node 0, 1 still on node 1 (both fit) -> hit.
+  EXPECT_EQ(result.metrics.request_hits(), 1u);
+}
+
+TEST(Cluster, PerNodeMetricsSumToJobBytes) {
+  FileCatalog catalog = unit_catalog(12);
+  ClusterConfig config;
+  config.nodes = 3;
+  config.node_cache_bytes = 300;
+  ClusterSimulator cluster(config, catalog,
+                           [] { return std::make_unique<LruPolicy>(); });
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 50; ++i) {
+    jobs.push_back(Request({static_cast<FileId>(i % 12),
+                            static_cast<FileId>((i * 5 + 1) % 12)}));
+  }
+  const ClusterResult result = cluster.run(jobs);
+  Bytes node_requested = 0, node_missed = 0;
+  for (const CacheMetrics& m : result.per_node) {
+    node_requested += m.bytes_requested();
+    node_missed += m.bytes_missed();
+  }
+  EXPECT_EQ(node_requested, result.metrics.bytes_requested());
+  EXPECT_EQ(node_missed, result.metrics.bytes_missed());
+}
+
+TEST(Cluster, OversizedSubBundleIsUnserviceable) {
+  FileCatalog catalog = unit_catalog(4);
+  ClusterConfig config;
+  config.nodes = 2;
+  config.node_cache_bytes = 150;  // holds one file per node
+  config.placement = Placement::RoundRobin;
+  ClusterSimulator cluster(config, catalog,
+                           [] { return std::make_unique<LruPolicy>(); });
+  // {0, 2} both land on node 0: 200 bytes > 150 capacity.
+  std::vector<Request> jobs{Request({0, 2}), Request({1})};
+  const ClusterResult result = cluster.run(jobs);
+  EXPECT_EQ(result.metrics.unserviceable(), 1u);
+  EXPECT_EQ(result.metrics.jobs(), 1u);
+}
+
+TEST(Cluster, RunTwiceThrows) {
+  FileCatalog catalog = unit_catalog(2);
+  ClusterConfig config;
+  config.nodes = 1;
+  config.node_cache_bytes = 200;
+  ClusterSimulator cluster(config, catalog,
+                           [] { return std::make_unique<LruPolicy>(); });
+  std::vector<Request> jobs{Request({0})};
+  cluster.run(jobs);
+  EXPECT_THROW(cluster.run(jobs), std::logic_error);
+}
+
+TEST(Cluster, WarmupSeparation) {
+  FileCatalog catalog = unit_catalog(4);
+  ClusterConfig config;
+  config.nodes = 2;
+  config.node_cache_bytes = 400;
+  config.warmup_jobs = 1;
+  ClusterSimulator cluster(config, catalog,
+                           [] { return std::make_unique<LruPolicy>(); });
+  std::vector<Request> jobs{Request({0, 1}), Request({0, 1})};
+  const ClusterResult result = cluster.run(jobs);
+  EXPECT_EQ(result.warmup.jobs(), 1u);
+  EXPECT_EQ(result.metrics.jobs(), 1u);
+  EXPECT_EQ(result.metrics.request_hits(), 1u);
+}
+
+TEST(Cluster, BundleAwareNodesBeatLruNodes) {
+  // The paper's structured-bundle advantage survives partitioning: with
+  // per-node OptFileBundle instances each node keeps its share of hot
+  // bundles.
+  FileCatalog catalog = unit_catalog(24);
+  std::vector<Request> jobs;
+  // Three hot 4-file bundles + cold singles.
+  const std::vector<Request> hot{Request({0, 1, 2, 3}),
+                                 Request({4, 5, 6, 7}),
+                                 Request({8, 9, 10, 11})};
+  for (int round = 0; round < 60; ++round) {
+    jobs.push_back(hot[static_cast<std::size_t>(round) % 3]);
+    jobs.push_back(
+        Request({static_cast<FileId>(12 + (round * 7) % 12)}));
+  }
+
+  auto run_with = [&](auto factory) {
+    ClusterConfig config;
+    config.nodes = 2;
+    config.node_cache_bytes = 500;
+    config.warmup_jobs = 12;
+    ClusterSimulator cluster(config, catalog, factory);
+    return cluster.run(jobs).metrics;
+  };
+  const CacheMetrics lru = run_with(
+      []() -> PolicyPtr { return std::make_unique<LruPolicy>(); });
+  // Each node's policy sees sub-bundles; the catalog is shared.
+  const FileCatalog& cat = catalog;
+  const CacheMetrics optfb = run_with([&cat]() -> PolicyPtr {
+    return std::make_unique<OptFileBundlePolicy>(cat);
+  });
+  EXPECT_GE(optfb.request_hit_ratio(), lru.request_hit_ratio());
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,130 @@
+// Tests for the ReplicaManager substrate.
+#include "grid/replica.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "grid/srm.hpp"
+#include "policies/lru.hpp"
+
+namespace fbc {
+namespace {
+
+/// Origin: slow WAN; replica site: fast local disk with a budget.
+std::vector<ReplicaSite> two_sites(Bytes replica_budget) {
+  return {
+      ReplicaSite{"origin", StorageTier{"wan", 2.0, 10.0 * MiB}, 0},
+      ReplicaSite{"local", StorageTier{"disk", 0.05, 400.0 * MiB},
+                  replica_budget},
+  };
+}
+
+TEST(Replica, ValidatesConstruction) {
+  FileCatalog catalog({100});
+  EXPECT_THROW(ReplicaManager({}, catalog), std::invalid_argument);
+}
+
+TEST(Replica, OriginHoldsEverything) {
+  FileCatalog catalog({100, 200});
+  ReplicaManager manager(two_sites(1000), catalog);
+  EXPECT_TRUE(manager.has_replica(0, 0));
+  EXPECT_TRUE(manager.has_replica(1, 0));
+  EXPECT_FALSE(manager.has_replica(0, 1));
+  EXPECT_EQ(manager.best_site(0), 0u);
+}
+
+TEST(Replica, AddAndDropReplicas) {
+  FileCatalog catalog({100, 200});
+  ReplicaManager manager(two_sites(1000), catalog);
+  manager.add_replica(0, 1);
+  EXPECT_TRUE(manager.has_replica(0, 1));
+  EXPECT_EQ(manager.replica_bytes(1), 100u);
+  manager.add_replica(0, 1);  // idempotent
+  EXPECT_EQ(manager.replica_bytes(1), 100u);
+  manager.drop_replica(0, 1);
+  EXPECT_FALSE(manager.has_replica(0, 1));
+  EXPECT_EQ(manager.replica_bytes(1), 0u);
+  manager.drop_replica(0, 1);  // no-op
+  manager.drop_replica(0, 0);  // origin copies are permanent
+  EXPECT_TRUE(manager.has_replica(0, 0));
+}
+
+TEST(Replica, BudgetEnforced) {
+  FileCatalog catalog({600, 600});
+  ReplicaManager manager(two_sites(1000), catalog);
+  manager.add_replica(0, 1);
+  EXPECT_THROW(manager.add_replica(1, 1), std::runtime_error);
+}
+
+TEST(Replica, FetchUsesCheapestSite) {
+  FileCatalog catalog({100 * MiB});
+  ReplicaManager manager(two_sites(1 * GiB), catalog);
+  const double from_origin = manager.fetch_seconds(0);
+  manager.add_replica(0, 1);
+  const double from_replica = manager.fetch_seconds(0);
+  EXPECT_LT(from_replica, from_origin);
+  EXPECT_EQ(manager.best_site(0), 1u);
+}
+
+TEST(Replica, BadArgumentsThrow) {
+  FileCatalog catalog({100});
+  ReplicaManager manager(two_sites(1000), catalog);
+  EXPECT_THROW((void)manager.has_replica(5, 0), std::invalid_argument);
+  EXPECT_THROW((void)manager.has_replica(0, 9), std::invalid_argument);
+  EXPECT_THROW(manager.add_replica(5, 1), std::invalid_argument);
+  EXPECT_THROW((void)manager.replica_bytes(9), std::invalid_argument);
+  EXPECT_THROW((void)manager.best_site(5), std::invalid_argument);
+}
+
+TEST(Replica, PopularityPlacementReplicatesHotFiles) {
+  FileCatalog catalog({100, 100, 100, 100});
+  ReplicaManager manager(two_sites(250), catalog);  // room for 2 files
+  const std::vector<std::uint64_t> counts{5, 0, 9, 2};
+  manager.replicate_by_popularity(counts);
+  EXPECT_TRUE(manager.has_replica(2, 1));   // hottest
+  EXPECT_TRUE(manager.has_replica(0, 1));   // second
+  EXPECT_FALSE(manager.has_replica(3, 1));  // no room left
+  EXPECT_FALSE(manager.has_replica(1, 1));  // cold tail never replicated
+}
+
+TEST(Replica, PopularityPlacementPrefersFasterSites) {
+  FileCatalog catalog({100});
+  std::vector<ReplicaSite> sites{
+      ReplicaSite{"origin", StorageTier{"wan", 2.0, 10.0 * MiB}, 0},
+      ReplicaSite{"slow", StorageTier{"tape", 8.0, 120.0 * MiB}, 1000},
+      ReplicaSite{"fast", StorageTier{"disk", 0.05, 400.0 * MiB}, 1000},
+  };
+  ReplicaManager manager(sites, catalog);
+  const std::vector<std::uint64_t> counts{3};
+  manager.replicate_by_popularity(counts);
+  EXPECT_TRUE(manager.has_replica(0, 2));   // landed on the fast site
+  EXPECT_FALSE(manager.has_replica(0, 1));
+}
+
+TEST(Replica, SrmIntegrationReplicationCutsResponseTime) {
+  // The SRM works against a ReplicaManager exactly like against an MSS;
+  // replicating the hot files shortens staging.
+  FileCatalog catalog;
+  for (int i = 0; i < 6; ++i) catalog.add_file(100 * MiB);
+  std::vector<GridJob> jobs;
+  for (int round = 0; round < 10; ++round) {
+    jobs.push_back(GridJob{Request({0, 1}), 0.0, 1.0});
+    jobs.push_back(
+        GridJob{Request({static_cast<FileId>(2 + round % 4)}), 0.0, 1.0});
+  }
+  std::vector<std::uint64_t> counts{10, 10, 3, 3, 2, 2};
+
+  auto run = [&](bool replicate) {
+    ReplicaManager manager(two_sites(300 * MiB), catalog);
+    if (replicate) manager.replicate_by_popularity(counts);
+    LruPolicy policy;
+    SrmConfig config{.cache_bytes = 250 * MiB};  // thrashes: repeated fetch
+    StorageResourceManager srm(config, manager, policy);
+    return srm.run(jobs).response_s.mean();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,111 @@
+// Tests for SRM service-order disciplines (FCFS vs shortest-bundle-first,
+// paper §1.1).
+#include <gtest/gtest.h>
+
+#include "grid/mss.hpp"
+#include "grid/srm.hpp"
+#include "policies/lru.hpp"
+
+namespace fbc {
+namespace {
+
+/// Zero-latency unit-bandwidth tier: staging time == bytes.
+MassStorageSystem byte_clock_mss(const FileCatalog& catalog) {
+  return MassStorageSystem({StorageTier{"t", 0.0, 1.0}}, catalog);
+}
+
+TEST(SrmOrder, SjfStartsSmallJobsFirst) {
+  // Jobs arrive together: big (300 B), small (100 B). SJF serves the
+  // small one first, cutting its response dramatically.
+  FileCatalog catalog({300, 100});
+  const auto mss = byte_clock_mss(catalog);
+  SrmConfig config{.cache_bytes = 400,
+                   .transfers = TransferModel{.max_parallel = 1}};
+  config.order = ServiceOrder::ShortestBundleFirst;
+  LruPolicy policy;
+  StorageResourceManager srm(config, mss, policy);
+  std::vector<GridJob> jobs{GridJob{Request({0}), 0.0, 1.0},
+                            GridJob{Request({1}), 0.0, 1.0}};
+  const SrmReport report = srm.run(jobs);
+  // outcomes stay aligned with the input order.
+  EXPECT_DOUBLE_EQ(report.outcomes[1].start_s, 0.0);     // small first
+  EXPECT_DOUBLE_EQ(report.outcomes[1].finish_s, 101.0);
+  EXPECT_DOUBLE_EQ(report.outcomes[0].start_s, 101.0);   // big after
+  EXPECT_DOUBLE_EQ(report.outcomes[0].finish_s, 101.0 + 301.0);
+}
+
+TEST(SrmOrder, FcfsIsTheDefaultAndKeepsArrivalOrder) {
+  FileCatalog catalog({300, 100});
+  const auto mss = byte_clock_mss(catalog);
+  SrmConfig config{.cache_bytes = 400,
+                   .transfers = TransferModel{.max_parallel = 1}};
+  LruPolicy policy;
+  StorageResourceManager srm(config, mss, policy);
+  std::vector<GridJob> jobs{GridJob{Request({0}), 0.0, 1.0},
+                            GridJob{Request({1}), 0.0, 1.0}};
+  const SrmReport report = srm.run(jobs);
+  EXPECT_DOUBLE_EQ(report.outcomes[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.outcomes[1].start_s, 301.0);
+}
+
+TEST(SrmOrder, SjfDoesNotPeekAtUnarrivedJobs) {
+  // A tiny job that arrives later must not jump ahead of an already
+  // arrived bigger one (non-preemptive, no clairvoyance).
+  FileCatalog catalog({200, 50});
+  const auto mss = byte_clock_mss(catalog);
+  SrmConfig config{.cache_bytes = 400,
+                   .transfers = TransferModel{.max_parallel = 1}};
+  config.order = ServiceOrder::ShortestBundleFirst;
+  LruPolicy policy;
+  StorageResourceManager srm(config, mss, policy);
+  std::vector<GridJob> jobs{GridJob{Request({0}), 0.0, 1.0},
+                            GridJob{Request({1}), 50.0, 1.0}};
+  const SrmReport report = srm.run(jobs);
+  EXPECT_DOUBLE_EQ(report.outcomes[0].start_s, 0.0);  // only arrival at t=0
+  EXPECT_DOUBLE_EQ(report.outcomes[1].start_s, 201.0);
+}
+
+TEST(SrmOrder, SjfImprovesMeanResponseOnMixedSizes) {
+  FileCatalog catalog;
+  for (int i = 0; i < 4; ++i) catalog.add_file(400);  // big
+  for (int i = 0; i < 4; ++i) catalog.add_file(50);   // small
+  const auto mss = byte_clock_mss(catalog);
+  std::vector<GridJob> jobs;
+  for (FileId i = 0; i < 8; ++i) {
+    jobs.push_back(GridJob{Request({i}), 0.0, 1.0});
+  }
+  auto mean_response = [&](ServiceOrder order) {
+    SrmConfig config{.cache_bytes = 2000,
+                     .transfers = TransferModel{.max_parallel = 1}};
+    config.order = order;
+    LruPolicy policy;
+    StorageResourceManager srm(config, mss, policy);
+    return srm.run(jobs).response_s.mean();
+  };
+  EXPECT_LT(mean_response(ServiceOrder::ShortestBundleFirst),
+            mean_response(ServiceOrder::Fcfs));
+}
+
+TEST(SrmOrder, OutcomesAlignedWithInputUnderReordering) {
+  FileCatalog catalog({300, 100, 200});
+  const auto mss = byte_clock_mss(catalog);
+  SrmConfig config{.cache_bytes = 600,
+                   .transfers = TransferModel{.max_parallel = 1}};
+  config.order = ServiceOrder::ShortestBundleFirst;
+  LruPolicy policy;
+  StorageResourceManager srm(config, mss, policy);
+  std::vector<GridJob> jobs{GridJob{Request({0}), 0.0, 0.0},
+                            GridJob{Request({1}), 0.0, 0.0},
+                            GridJob{Request({2}), 0.0, 0.0}};
+  const SrmReport report = srm.run(jobs);
+  // Service order: 1 (100), 2 (200), 0 (300); bytes staged align by index.
+  EXPECT_EQ(report.outcomes[0].bytes_staged, 300u);
+  EXPECT_EQ(report.outcomes[1].bytes_staged, 100u);
+  EXPECT_EQ(report.outcomes[2].bytes_staged, 200u);
+  EXPECT_DOUBLE_EQ(report.outcomes[1].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.outcomes[2].start_s, 100.0);
+  EXPECT_DOUBLE_EQ(report.outcomes[0].start_s, 300.0);
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,150 @@
+// Tests for the multi-slot SRM: overlapping jobs, pinned working sets and
+// the feasibility wait.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/opt_file_bundle.hpp"
+#include "grid/srm.hpp"
+
+#include "grid/mss.hpp"
+#include "policies/lru.hpp"
+
+namespace fbc {
+namespace {
+
+/// Zero-latency unit-bandwidth tier: staging time == bytes.
+MassStorageSystem byte_clock_mss(const FileCatalog& catalog) {
+  return MassStorageSystem({StorageTier{"t", 0.0, 1.0}}, catalog);
+}
+
+TEST(SrmSlots, RejectsZeroSlots) {
+  FileCatalog catalog({100});
+  const auto mss = byte_clock_mss(catalog);
+  LruPolicy policy;
+  SrmConfig config{.cache_bytes = 100};
+  config.service_slots = 0;
+  EXPECT_THROW(StorageResourceManager(config, mss, policy),
+               std::invalid_argument);
+}
+
+TEST(SrmSlots, TwoSlotsOverlapService) {
+  FileCatalog catalog({100, 100});
+  const auto mss = byte_clock_mss(catalog);
+  LruPolicy policy;
+  SrmConfig config{.cache_bytes = 200};
+  config.service_slots = 2;
+  StorageResourceManager srm(config, mss, policy);
+  // Both jobs arrive at t=0; with two slots they stage concurrently.
+  std::vector<GridJob> jobs{GridJob{Request({0}), 0.0, 10.0},
+                            GridJob{Request({1}), 0.0, 10.0}};
+  const SrmReport report = srm.run(jobs);
+  EXPECT_DOUBLE_EQ(report.outcomes[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.outcomes[1].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.makespan_s, 110.0);  // not 220: overlapped
+}
+
+TEST(SrmSlots, SingleSlotStillSerializes) {
+  FileCatalog catalog({100, 100});
+  const auto mss = byte_clock_mss(catalog);
+  LruPolicy policy;
+  SrmConfig config{.cache_bytes = 200};  // service_slots defaults to 1
+  StorageResourceManager srm(config, mss, policy);
+  std::vector<GridJob> jobs{GridJob{Request({0}), 0.0, 10.0},
+                            GridJob{Request({1}), 0.0, 10.0}};
+  const SrmReport report = srm.run(jobs);
+  EXPECT_DOUBLE_EQ(report.outcomes[1].start_s, 110.0);
+  EXPECT_DOUBLE_EQ(report.makespan_s, 220.0);
+}
+
+TEST(SrmSlots, InFlightWorkingSetSurvivesEviction) {
+  // Slot A runs a long job over {0,1}; slot B churns through other files
+  // forcing evictions. {0,1} must remain resident the whole time.
+  FileCatalog catalog({100, 100, 100, 100, 100, 100});
+  const auto mss = byte_clock_mss(catalog);
+  LruPolicy policy;
+  SrmConfig config{.cache_bytes = 400};
+  config.service_slots = 2;
+  StorageResourceManager srm(config, mss, policy);
+  std::vector<GridJob> jobs;
+  jobs.push_back(GridJob{Request({0, 1}), 0.0, /*service_s=*/100000.0});
+  for (FileId f = 2; f < 6; ++f) {
+    jobs.push_back(GridJob{Request({f}), 0.0, 1.0});
+  }
+  // Churn again to force a second round of evictions.
+  for (FileId f = 2; f < 6; ++f) {
+    jobs.push_back(GridJob{Request({f}), 0.0, 1.0});
+  }
+  const SrmReport report = srm.run(jobs);
+  EXPECT_EQ(report.outcomes.size(), 9u);
+  // LRU would gladly have evicted the long job's files -- pinning saved
+  // them (and the run completed without a contract violation).
+  EXPECT_TRUE(srm.cache().contains(0));
+  EXPECT_TRUE(srm.cache().contains(1));
+}
+
+TEST(SrmSlots, JobWaitsWhenPinsBlockItsBundle) {
+  // Slot A pins 300 of 400 bytes until t=1000+; a 200-byte bundle cannot
+  // start until A completes even though a slot is free.
+  FileCatalog catalog({100, 100, 100, 100, 100});
+  const auto mss = byte_clock_mss(catalog);
+  LruPolicy policy;
+  SrmConfig config{.cache_bytes = 400,
+                   .transfers = TransferModel{.max_parallel = 1}};
+  config.service_slots = 2;
+  StorageResourceManager srm(config, mss, policy);
+  std::vector<GridJob> jobs{
+      GridJob{Request({0, 1, 2}), 0.0, /*service_s=*/700.0},
+      GridJob{Request({3, 4}), 0.0, /*service_s=*/1.0},
+  };
+  const SrmReport report = srm.run(jobs);
+  // Job 1: stage 300s, service 700s -> finish 1000. Job 2 needs 200 bytes
+  // alongside 300 pinned: 500 > 400, so it waits until t=1000.
+  EXPECT_DOUBLE_EQ(report.outcomes[0].finish_s, 1000.0);
+  EXPECT_DOUBLE_EQ(report.outcomes[1].start_s, 1000.0);
+}
+
+TEST(SrmSlots, ImpossiblePinConflictThrows) {
+  // A bundle that can never fit alongside a job that never finishes within
+  // the stream is detected (here: two jobs whose pins together exceed the
+  // cache and no third completion to wait for -- constructed by making the
+  // first job's pins alone exceed what the second can coexist with, while
+  // the first is the ONLY running job and its completion resolves it; a
+  // genuinely impossible case needs the bundle itself oversized, which is
+  // handled by the unserviceable path instead). So: oversized bundles are
+  // skipped, pin-waits always resolve.
+  FileCatalog catalog({500, 100});
+  const auto mss = byte_clock_mss(catalog);
+  LruPolicy policy;
+  SrmConfig config{.cache_bytes = 400};
+  config.service_slots = 2;
+  StorageResourceManager srm(config, mss, policy);
+  std::vector<GridJob> jobs{GridJob{Request({0}), 0.0, 1.0},   // oversized
+                            GridJob{Request({1}), 0.0, 1.0}};  // fine
+  const SrmReport report = srm.run(jobs);
+  EXPECT_EQ(report.response_s.count(), 1u);  // only job 2 serviced
+}
+
+TEST(SrmSlots, OptFileBundleWorksUnderConcurrency) {
+  // OptFileBundle's reorganizing evictions must respect other slots' pins.
+  FileCatalog catalog;
+  for (int i = 0; i < 12; ++i) catalog.add_file(100);
+  const auto mss = byte_clock_mss(catalog);
+  OptFileBundlePolicy policy(catalog);
+  SrmConfig config{.cache_bytes = 500};
+  config.service_slots = 3;
+  StorageResourceManager srm(config, mss, policy);
+  std::vector<GridJob> jobs;
+  for (int i = 0; i < 40; ++i) {
+    const FileId a = static_cast<FileId>(i % 12);
+    const FileId b = static_cast<FileId>((i * 5 + 2) % 12);
+    jobs.push_back(GridJob{Request({a, b}), static_cast<double>(i) * 10.0,
+                           /*service_s=*/250.0});
+  }
+  const SrmReport report = srm.run(jobs);  // throws on pin violations
+  EXPECT_EQ(report.outcomes.size(), 40u);
+  EXPECT_LE(srm.cache().used_bytes(), srm.cache().capacity());
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,81 @@
+// Tests for the parallel-stream transfer scheduler.
+#include "grid/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/mss.hpp"
+
+namespace fbc {
+namespace {
+
+/// One tier with zero latency and bandwidth 1 byte/s: fetch time == size.
+MassStorageSystem simple_mss(const FileCatalog& catalog) {
+  return MassStorageSystem({StorageTier{"t", 0.0, 1.0}}, catalog);
+}
+
+TEST(Transfer, EmptySetCostsNothing) {
+  FileCatalog catalog({10});
+  const auto mss = simple_mss(catalog);
+  TransferModel model;
+  EXPECT_DOUBLE_EQ(model.stage_seconds({}, mss), 0.0);
+}
+
+TEST(Transfer, SerialSumsDurations) {
+  FileCatalog catalog({10, 20, 30});
+  const auto mss = simple_mss(catalog);
+  TransferModel model{.max_parallel = 1};
+  const std::vector<FileId> files{0, 1, 2};
+  EXPECT_DOUBLE_EQ(model.stage_seconds(files, mss), 60.0);
+}
+
+TEST(Transfer, PerfectlyParallel) {
+  FileCatalog catalog({10, 10, 10});
+  const auto mss = simple_mss(catalog);
+  TransferModel model{.max_parallel = 3};
+  const std::vector<FileId> files{0, 1, 2};
+  EXPECT_DOUBLE_EQ(model.stage_seconds(files, mss), 10.0);
+}
+
+TEST(Transfer, LptMakespanKnownInstance) {
+  // Durations {7, 5, 4, 3, 1} on 2 streams: LPT assigns 7+3, 5+4+1 ->
+  // makespan 10.
+  FileCatalog catalog({7, 5, 4, 3, 1});
+  const auto mss = simple_mss(catalog);
+  TransferModel model{.max_parallel = 2};
+  const std::vector<FileId> files{0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(model.stage_seconds(files, mss), 10.0);
+}
+
+TEST(Transfer, MakespanAtLeastLongestFile) {
+  FileCatalog catalog({100, 1, 1, 1});
+  const auto mss = simple_mss(catalog);
+  TransferModel model{.max_parallel = 4};
+  const std::vector<FileId> files{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(model.stage_seconds(files, mss), 100.0);
+}
+
+TEST(Transfer, MoreStreamsNeverSlower) {
+  FileCatalog catalog;
+  for (Bytes i = 0; i < 12; ++i) catalog.add_file(10 + 7 * (i % 4));
+  const auto mss = simple_mss(catalog);
+  std::vector<FileId> files;
+  for (FileId id = 0; id < 12; ++id) files.push_back(id);
+  double prev = 1e18;
+  for (std::size_t streams = 1; streams <= 6; ++streams) {
+    TransferModel model{.max_parallel = streams};
+    const double t = model.stage_seconds(files, mss);
+    EXPECT_LE(t, prev + 1e-9);
+    prev = t;
+  }
+}
+
+TEST(Transfer, ZeroParallelTreatedAsOne) {
+  FileCatalog catalog({10, 20});
+  const auto mss = simple_mss(catalog);
+  TransferModel model{.max_parallel = 0};
+  const std::vector<FileId> files{0, 1};
+  EXPECT_DOUBLE_EQ(model.stage_seconds(files, mss), 30.0);
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,77 @@
+// Reproducibility: identical configurations produce bit-identical
+// workloads and metrics, end to end.
+#include <gtest/gtest.h>
+
+#include "cache/simulator.hpp"
+#include "core/registry.hpp"
+#include "workload/workload.hpp"
+
+namespace fbc {
+namespace {
+
+WorkloadConfig config_for(std::uint64_t seed) {
+  WorkloadConfig config;
+  config.seed = seed;
+  config.cache_bytes = 16 * MiB;
+  config.num_files = 150;
+  config.min_file_bytes = 32 * KiB;
+  config.max_file_frac = 0.02;
+  config.num_requests = 80;
+  config.max_bundle_files = 5;
+  config.num_jobs = 1000;
+  config.popularity = Popularity::Zipf;
+  return config;
+}
+
+struct MetricsSnapshot {
+  std::uint64_t jobs, hits;
+  Bytes requested, missed, prefetched, evicted;
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+MetricsSnapshot run(std::uint64_t seed, const std::string& policy_name,
+                    std::size_t queue) {
+  const Workload w = generate_workload(config_for(seed));
+  PolicyContext context;
+  context.catalog = &w.catalog;
+  context.jobs = w.jobs;
+  context.seed = seed;
+  PolicyPtr policy = make_policy(policy_name, context);
+  SimulatorConfig config{.cache_bytes = 16 * MiB, .queue_length = queue};
+  const CacheMetrics m =
+      simulate(config, w.catalog, *policy, w.jobs).metrics;
+  return MetricsSnapshot{m.jobs(),         m.request_hits(),
+                         m.bytes_requested(), m.bytes_missed(),
+                         m.bytes_prefetched(), m.bytes_evicted()};
+}
+
+class DeterminismByPolicy : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeterminismByPolicy, TwoRunsAreIdentical) {
+  EXPECT_EQ(run(1, GetParam(), 1), run(1, GetParam(), 1));
+}
+
+TEST_P(DeterminismByPolicy, QueueModeIsAlsoDeterministic) {
+  EXPECT_EQ(run(2, GetParam(), 10), run(2, GetParam(), 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DeterminismByPolicy,
+                         ::testing::Values("optfb", "optfb-full", "landlord",
+                                           "lru", "lfu", "gds-unit",
+                                           "random", "lookahead"));
+
+TEST(Determinism, DifferentSeedsProduceDifferentStreams) {
+  EXPECT_NE(run(1, "landlord", 1), run(2, "landlord", 1));
+}
+
+TEST(Determinism, JobsConservedAcrossQueueLengths) {
+  for (std::size_t q : {std::size_t{1}, std::size_t{5}, std::size_t{50}}) {
+    const MetricsSnapshot snapshot = run(3, "optfb", q);
+    EXPECT_EQ(snapshot.jobs, 1000u) << "queue " << q;
+    EXPECT_EQ(snapshot.requested, run(3, "optfb", 1).requested)
+        << "total requested bytes must not depend on service order";
+  }
+}
+
+}  // namespace
+}  // namespace fbc

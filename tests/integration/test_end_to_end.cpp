@@ -1,0 +1,164 @@
+// End-to-end integration: generated workloads driven through the full
+// simulator with real policies, checking metric consistency and the
+// paper's headline claim (OptFileBundle beats Landlord).
+#include <gtest/gtest.h>
+
+#include "cache/simulator.hpp"
+#include "core/opt_file_bundle.hpp"
+#include "core/registry.hpp"
+#include "policies/landlord.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/workload.hpp"
+
+namespace fbc {
+namespace {
+
+WorkloadConfig medium_config(Popularity popularity) {
+  WorkloadConfig config;
+  config.seed = 2026;
+  config.cache_bytes = 64 * MiB;
+  config.num_files = 300;
+  config.min_file_bytes = 64 * KiB;
+  config.max_file_frac = 0.01;
+  config.num_requests = 200;
+  config.min_bundle_files = 1;
+  config.max_bundle_files = 8;
+  config.num_jobs = 3000;
+  config.popularity = popularity;
+  return config;
+}
+
+CacheMetrics run_policy(const Workload& w, Bytes cache_bytes,
+                        const std::string& name) {
+  PolicyContext context;
+  context.catalog = &w.catalog;
+  context.jobs = w.jobs;
+  PolicyPtr policy = make_policy(name, context);
+  SimulatorConfig config{.cache_bytes = cache_bytes,
+                         .queue_length = 1,
+                         .warmup_jobs = w.jobs.size() / 10};
+  return simulate(config, w.catalog, *policy, w.jobs).metrics;
+}
+
+TEST(EndToEnd, MetricIdentitiesHoldForAllPolicies) {
+  const Workload w = generate_workload(medium_config(Popularity::Zipf));
+  for (const std::string name :
+       {"optfb", "landlord", "lru", "lfu", "gds-unit", "random"}) {
+    const CacheMetrics m = run_policy(w, 64 * MiB, name);
+    EXPECT_EQ(m.jobs(), w.jobs.size() - w.jobs.size() / 10) << name;
+    EXPECT_GE(m.byte_miss_ratio(), 0.0) << name;
+    EXPECT_LE(m.byte_miss_ratio(), 1.0 + 1e-9) << name;
+    EXPECT_GE(m.request_hit_ratio(), 0.0) << name;
+    EXPECT_LE(m.request_hit_ratio(), 1.0) << name;
+    EXPECT_LE(m.file_hits(), m.files_requested()) << name;
+    EXPECT_LE(m.bytes_missed(), m.bytes_requested()) << name;
+    EXPECT_EQ(m.unserviceable(), 0u) << name;
+  }
+}
+
+TEST(EndToEnd, OptFileBundleBeatsLandlordOnZipf) {
+  // The paper's headline (Figs. 6-8): OptFileBundle's byte miss ratio is
+  // consistently below Landlord's, most clearly under Zipf popularity.
+  const Workload w = generate_workload(medium_config(Popularity::Zipf));
+  const double optfb = run_policy(w, 64 * MiB, "optfb").byte_miss_ratio();
+  const double landlord =
+      run_policy(w, 64 * MiB, "landlord").byte_miss_ratio();
+  EXPECT_LT(optfb, landlord);
+}
+
+TEST(EndToEnd, OptFileBundleBeatsLandlordOnUniform) {
+  const Workload w = generate_workload(medium_config(Popularity::Uniform));
+  const double optfb = run_policy(w, 64 * MiB, "optfb").byte_miss_ratio();
+  const double landlord =
+      run_policy(w, 64 * MiB, "landlord").byte_miss_ratio();
+  EXPECT_LT(optfb, landlord);
+}
+
+TEST(EndToEnd, ZipfMissesLessThanUniform) {
+  // Skewed popularity is easier to cache for both policies (paper §5.3).
+  const Workload zipf = generate_workload(medium_config(Popularity::Zipf));
+  const Workload uniform =
+      generate_workload(medium_config(Popularity::Uniform));
+  for (const std::string name : {"optfb", "landlord"}) {
+    const double z = run_policy(zipf, 64 * MiB, name).byte_miss_ratio();
+    const double u = run_policy(uniform, 64 * MiB, name).byte_miss_ratio();
+    EXPECT_LT(z, u) << name;
+  }
+}
+
+TEST(EndToEnd, BiggerCacheNeverHurtsOptFb) {
+  const Workload w = generate_workload(medium_config(Popularity::Zipf));
+  const double small = run_policy(w, 32 * MiB, "optfb").byte_miss_ratio();
+  const double large = run_policy(w, 128 * MiB, "optfb").byte_miss_ratio();
+  EXPECT_LE(large, small + 0.02);  // allow small-sample noise
+}
+
+TEST(EndToEnd, QueueingImprovesZipf) {
+  // Fig. 9(b): longer admission queues lower the byte miss ratio under
+  // Zipf (highest-relative-value-first scheduling).
+  const Workload w = generate_workload(medium_config(Popularity::Zipf));
+  auto run_with_queue = [&](std::size_t q) {
+    OptFileBundlePolicy policy(w.catalog);
+    SimulatorConfig config{.cache_bytes = 64 * MiB,
+                           .queue_length = q,
+                           .warmup_jobs = w.jobs.size() / 10};
+    return simulate(config, w.catalog, policy, w.jobs)
+        .metrics.byte_miss_ratio();
+  };
+  const double q1 = run_with_queue(1);
+  const double q50 = run_with_queue(50);
+  EXPECT_LE(q50, q1 + 0.02);
+}
+
+TEST(EndToEnd, ScenarioWorkloadsRunCleanly) {
+  // The three domain scenarios drive the whole stack without contract
+  // violations and with sane metrics.
+  HenpConfig henp;
+  henp.num_jobs = 800;
+  const Workload hw = generate_henp_workload(henp);
+  ClimateConfig climate;
+  climate.num_jobs = 800;
+  const Workload cw = generate_climate_workload(climate);
+  BitmapConfig bitmap;
+  bitmap.num_jobs = 800;
+  const Workload bw = generate_bitmap_workload(bitmap);
+
+  for (const Workload* w : {&hw, &cw, &bw}) {
+    const Bytes cache = std::max<Bytes>(w->catalog.total_bytes() / 4, 1);
+    OptFileBundlePolicy policy(w->catalog);
+    SimulatorConfig config{.cache_bytes = cache};
+    const SimulationResult result =
+        simulate(config, w->catalog, policy, w->jobs);
+    EXPECT_EQ(result.metrics.jobs() + result.metrics.unserviceable(),
+              w->jobs.size());
+    EXPECT_GT(result.metrics.request_hit_ratio(), 0.0);
+  }
+}
+
+TEST(EndToEnd, OptFbStructuredWorkloadAdvantage) {
+  // On the structured HENP workload (fixed analysis templates), bundle
+  // awareness should clearly beat per-file Landlord.
+  HenpConfig henp;
+  henp.num_jobs = 2000;
+  const Workload w = generate_henp_workload(henp);
+  const Bytes cache = w.catalog.total_bytes() / 5;
+
+  OptFileBundlePolicy optfb(w.catalog);
+  SimulatorConfig config{.cache_bytes = cache,
+                         .queue_length = 1,
+                         .warmup_jobs = 200};
+  const double optfb_miss =
+      simulate(config, w.catalog, optfb, w.jobs).metrics.byte_miss_ratio();
+
+  LandlordPolicy landlord;
+  SimulatorConfig config2{.cache_bytes = cache,
+                          .queue_length = 1,
+                          .warmup_jobs = 200};
+  const double landlord_miss =
+      simulate(config2, w.catalog, landlord, w.jobs)
+          .metrics.byte_miss_ratio();
+  EXPECT_LT(optfb_miss, landlord_miss);
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,152 @@
+// Metamorphic properties of the whole simulation stack: transformations
+// of the input with predictable effects on the output. These catch subtle
+// accounting bugs that example-based tests miss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cache/simulator.hpp"
+#include "core/registry.hpp"
+#include "workload/workload.hpp"
+
+namespace fbc {
+namespace {
+
+struct Scenario {
+  FileCatalog catalog;
+  std::vector<Request> jobs;
+};
+
+Scenario make_scenario(std::uint64_t seed, Bytes size_scale = 1) {
+  WorkloadConfig config;
+  config.seed = seed;
+  config.cache_bytes = 4 * MiB;
+  config.num_files = 120;
+  config.min_file_bytes = 2 * KiB;
+  config.max_file_frac = 0.02;
+  config.num_requests = 80;
+  config.max_bundle_files = 5;
+  config.num_jobs = 800;
+  config.popularity = Popularity::Zipf;
+  const Workload w = generate_workload(config);
+  Scenario setup;
+  for (Bytes s : w.catalog.sizes()) setup.catalog.add_file(s * size_scale);
+  setup.jobs = w.jobs;
+  return setup;
+}
+
+CacheMetrics run(const Scenario& setup, Bytes cache_bytes,
+                 const std::string& policy_name) {
+  PolicyContext context;
+  context.catalog = &setup.catalog;
+  context.jobs = setup.jobs;
+  PolicyPtr policy = make_policy(policy_name, context);
+  SimulatorConfig config{.cache_bytes = cache_bytes};
+  return simulate(config, setup.catalog, *policy, setup.jobs).metrics;
+}
+
+class Metamorphic : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Metamorphic, ScalingAllSizesScalesBytesNotHits) {
+  // Multiplying every file size and the cache capacity by the same factor
+  // must leave hit counts identical and scale byte counters exactly.
+  const Scenario base = make_scenario(11);
+  const Scenario scaled = make_scenario(11, /*size_scale=*/3);
+  const CacheMetrics a = run(base, 4 * MiB, GetParam());
+  const CacheMetrics b = run(scaled, 12 * MiB, GetParam());
+  EXPECT_EQ(a.request_hits(), b.request_hits());
+  EXPECT_EQ(a.file_hits(), b.file_hits());
+  EXPECT_EQ(a.bytes_requested() * 3, b.bytes_requested());
+  EXPECT_EQ(a.bytes_missed() * 3, b.bytes_missed());
+  EXPECT_EQ(a.evictions(), b.evictions());
+}
+
+TEST_P(Metamorphic, CacheAsLargeAsDataMissesOnlyCold) {
+  // With capacity >= total catalog bytes, every file is fetched at most
+  // once: bytes_missed equals the bytes of distinct files touched.
+  const Scenario setup = make_scenario(12);
+  const CacheMetrics m =
+      run(setup, setup.catalog.total_bytes(), GetParam());
+  std::vector<bool> touched(setup.catalog.count(), false);
+  Bytes cold_bytes = 0;
+  for (const Request& r : setup.jobs) {
+    for (FileId id : r.files) {
+      if (!touched[id]) {
+        touched[id] = true;
+        cold_bytes += setup.catalog.size_of(id);
+      }
+    }
+  }
+  EXPECT_EQ(m.bytes_missed(), cold_bytes) << GetParam();
+  EXPECT_EQ(m.evictions(), 0u) << GetParam();
+}
+
+TEST_P(Metamorphic, DuplicatingEveryJobOnlyAddsHits) {
+  // Serving each job twice in a row: the duplicate is always a full hit,
+  // so bytes_missed is unchanged and request hits grow by the number of
+  // duplicates.
+  const Scenario setup = make_scenario(13);
+  Scenario doubled;
+  for (Bytes s : setup.catalog.sizes()) doubled.catalog.add_file(s);
+  for (const Request& r : setup.jobs) {
+    doubled.jobs.push_back(r);
+    doubled.jobs.push_back(r);
+  }
+  const CacheMetrics single = run(setup, 4 * MiB, GetParam());
+  const CacheMetrics twice = run(doubled, 4 * MiB, GetParam());
+  EXPECT_EQ(twice.bytes_missed(), single.bytes_missed()) << GetParam();
+  EXPECT_EQ(twice.request_hits(),
+            single.request_hits() + setup.jobs.size())
+      << GetParam();
+}
+
+TEST_P(Metamorphic, PrefixMissesAreAPrefixOfTheWhole) {
+  // Running only the first half of the stream produces exactly the same
+  // counters as the first half of the full run (online property: the
+  // policy cannot peek ahead). Holds for every online policy; the
+  // clairvoyant lookahead is excluded from the suite's parameter list.
+  const Scenario setup = make_scenario(14);
+  Scenario half = setup;
+  half.jobs.resize(setup.jobs.size() / 2);
+  const CacheMetrics whole_half_view = [&] {
+    PolicyContext context;
+    context.catalog = &setup.catalog;
+    context.jobs = setup.jobs;
+    PolicyPtr policy = make_policy(GetParam(), context);
+    SimulatorConfig config{.cache_bytes = 4 * MiB};
+    Simulator sim(config, setup.catalog, *policy);
+    // Run only the prefix through the same simulator instance.
+    return sim.run(std::span<const Request>(setup.jobs)
+                       .first(setup.jobs.size() / 2))
+        .metrics;
+  }();
+  const CacheMetrics prefix = run(half, 4 * MiB, GetParam());
+  EXPECT_EQ(prefix.bytes_missed(), whole_half_view.bytes_missed())
+      << GetParam();
+  EXPECT_EQ(prefix.request_hits(), whole_half_view.request_hits())
+      << GetParam();
+}
+
+TEST_P(Metamorphic, ByteConservation) {
+  // Bytes resident at the end == bytes loaded - bytes evicted.
+  const Scenario setup = make_scenario(15);
+  PolicyContext context;
+  context.catalog = &setup.catalog;
+  context.jobs = setup.jobs;
+  PolicyPtr policy = make_policy(GetParam(), context);
+  SimulatorConfig config{.cache_bytes = 4 * MiB};
+  Simulator sim(config, setup.catalog, *policy);
+  const SimulationResult result = sim.run(setup.jobs);
+  const CacheMetrics& m = result.metrics;
+  const Bytes loaded = m.bytes_missed() + m.bytes_prefetched();
+  EXPECT_EQ(sim.cache().used_bytes(), loaded - m.bytes_evicted())
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, Metamorphic,
+                         ::testing::Values("optfb", "optfb-basic",
+                                           "landlord", "lru", "lfu", "fifo",
+                                           "gds-unit", "gdsf"));
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,105 @@
+// Tests for bundle-adapted FIFO.
+#include "policies/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/simulator.hpp"
+
+namespace fbc {
+namespace {
+
+FileCatalog unit_catalog(std::size_t n) {
+  FileCatalog catalog;
+  for (std::size_t i = 0; i < n; ++i) catalog.add_file(100);
+  return catalog;
+}
+
+void serve(FifoPolicy& policy, DiskCache& cache, const Request& r) {
+  policy.on_job_arrival(r, cache);
+  const auto missing = cache.missing_files(r);
+  if (missing.empty()) {
+    policy.on_request_hit(r, cache);
+    return;
+  }
+  const Bytes missing_bytes = cache.catalog().bundle_bytes(missing);
+  if (cache.free_bytes() < missing_bytes) {
+    for (FileId v : policy.select_victims(
+             r, missing_bytes - cache.free_bytes(), cache)) {
+      cache.evict(v);
+      policy.on_file_evicted(v);
+    }
+  }
+  for (FileId id : missing) cache.insert(id);
+  policy.on_files_loaded(r, missing, cache);
+}
+
+TEST(Fifo, EvictsInLoadOrder) {
+  FileCatalog catalog = unit_catalog(5);
+  DiskCache cache(300, catalog);
+  FifoPolicy policy;
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({1}));
+  serve(policy, cache, Request({2}));
+  serve(policy, cache, Request({3}));  // evicts 0
+  EXPECT_FALSE(cache.contains(0));
+  serve(policy, cache, Request({4}));  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Fifo, HitsDoNotRenew) {
+  // Unlike LRU, a hit does not move the file back in the queue.
+  FileCatalog catalog = unit_catalog(4);
+  DiskCache cache(300, catalog);
+  FifoPolicy policy;
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({1}));
+  serve(policy, cache, Request({2}));
+  serve(policy, cache, Request({0}));  // hit: no renewal
+  serve(policy, cache, Request({3}));  // still evicts 0 (oldest load)
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Fifo, RequestedFilesKeepSeniority) {
+  // A requested file at the queue head is skipped this round but remains
+  // the next victim.
+  FileCatalog catalog = unit_catalog(5);
+  DiskCache cache(300, catalog);
+  FifoPolicy policy;
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({1}));
+  serve(policy, cache, Request({2}));
+  serve(policy, cache, Request({0, 3}));  // 0 exempt: evicts 1
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+  serve(policy, cache, Request({4}));  // 0 is again the oldest: evicted now
+  EXPECT_FALSE(cache.contains(0));
+}
+
+TEST(Fifo, ResetClears) {
+  FileCatalog catalog = unit_catalog(2);
+  DiskCache cache(200, catalog);
+  FifoPolicy policy;
+  serve(policy, cache, Request({0}));
+  policy.reset();
+  // After reset the policy has no queue; reloading must work cleanly.
+  serve(policy, cache, Request({1}));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Fifo, SimulatorChurn) {
+  FileCatalog catalog = unit_catalog(10);
+  FifoPolicy policy;
+  SimulatorConfig config{.cache_bytes = 300};
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 100; ++i) {
+    jobs.push_back(Request({static_cast<FileId>(i % 10),
+                            static_cast<FileId>((i * 3 + 2) % 10)}));
+  }
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  EXPECT_EQ(result.metrics.jobs(), 100u);
+}
+
+}  // namespace
+}  // namespace fbc

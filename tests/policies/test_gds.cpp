@@ -1,0 +1,126 @@
+// Tests for the GreedyDual-Size baseline.
+#include "policies/gds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/simulator.hpp"
+
+namespace fbc {
+namespace {
+
+void serve(GdsPolicy& policy, DiskCache& cache, const Request& r) {
+  policy.on_job_arrival(r, cache);
+  const auto missing = cache.missing_files(r);
+  if (missing.empty()) {
+    policy.on_request_hit(r, cache);
+    return;
+  }
+  const Bytes missing_bytes = cache.catalog().bundle_bytes(missing);
+  if (cache.free_bytes() < missing_bytes) {
+    for (FileId v : policy.select_victims(
+             r, missing_bytes - cache.free_bytes(), cache)) {
+      cache.evict(v);
+      policy.on_file_evicted(v);
+    }
+  }
+  for (FileId id : missing) cache.insert(id);
+  policy.on_files_loaded(r, missing, cache);
+}
+
+TEST(Gds, UnitCostEvictsLargeFilesFirst) {
+  // H = L + 1/size: the big file has the smallest H and goes first.
+  FileCatalog catalog;
+  catalog.add_file(400);  // 0: big
+  catalog.add_file(100);  // 1: small
+  catalog.add_file(100);  // 2: incoming
+  DiskCache cache(500, catalog);
+  GdsPolicy policy(GdsCost::Unit);
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({1}));
+  serve(policy, cache, Request({2}));
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Gds, SizeCostIsSizeNeutral) {
+  // H = L + size/size = L + 1 for every file: pure aging. After an
+  // eviction raises L, a refreshed file outlives an unrefreshed one.
+  FileCatalog catalog;
+  for (int i = 0; i < 5; ++i) catalog.add_file(100);
+  DiskCache cache(300, catalog);
+  GdsPolicy policy(GdsCost::Size);
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({1}));
+  serve(policy, cache, Request({2}));
+  serve(policy, cache, Request({3}));  // arbitrary victim, L rises to 1
+  std::vector<FileId> survivors;
+  for (FileId id : {0u, 1u, 2u}) {
+    if (cache.contains(id)) survivors.push_back(id);
+  }
+  ASSERT_EQ(survivors.size(), 2u);
+  serve(policy, cache, Request({survivors[0]}));  // refresh
+  serve(policy, cache, Request({4}));             // evicts survivors[1]
+  EXPECT_TRUE(cache.contains(survivors[0]));
+  EXPECT_FALSE(cache.contains(survivors[1]));
+}
+
+TEST(Gds, FetchTimeFavorsExpensivePerByteFiles) {
+  // cost = latency + size/bw. Per byte, small files are costlier, so the
+  // large file is evicted first (same direction as Unit, softer).
+  FileCatalog catalog;
+  catalog.add_file(50 * 1024 * 1024);  // 0: big
+  catalog.add_file(1024 * 1024);       // 1: small
+  catalog.add_file(1024 * 1024);       // 2: incoming
+  DiskCache cache(51 * 1024 * 1024 + 512 * 1024, catalog);
+  GdsPolicy policy(GdsCost::FetchTime, /*latency_cost=*/1.0,
+                   /*bandwidth_bytes_per_cost=*/50.0 * 1024 * 1024);
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({1}));
+  serve(policy, cache, Request({2}));
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Gds, HValueIntrospection) {
+  FileCatalog catalog;
+  catalog.add_file(100);
+  DiskCache cache(100, catalog);
+  GdsPolicy policy(GdsCost::Unit);
+  EXPECT_DOUBLE_EQ(policy.h_value(0), 0.0);
+  serve(policy, cache, Request({0}));
+  EXPECT_NEAR(policy.h_value(0), 0.01, 1e-12);  // 1/100
+}
+
+TEST(Gds, Names) {
+  EXPECT_EQ(GdsPolicy(GdsCost::Unit).name(), "gds-unit");
+  EXPECT_EQ(GdsPolicy(GdsCost::Size).name(), "gds-size");
+  EXPECT_EQ(GdsPolicy(GdsCost::FetchTime).name(), "gds-fetch");
+}
+
+TEST(Gds, ResetClears) {
+  FileCatalog catalog;
+  catalog.add_file(100);
+  DiskCache cache(100, catalog);
+  GdsPolicy policy(GdsCost::Unit);
+  serve(policy, cache, Request({0}));
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.h_value(0), 0.0);
+}
+
+TEST(Gds, SimulatorChurn) {
+  FileCatalog catalog;
+  for (Bytes i = 0; i < 15; ++i) catalog.add_file(50 + 25 * (i % 4));
+  GdsPolicy policy(GdsCost::Unit);
+  SimulatorConfig config{.cache_bytes = 500};
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 200; ++i) {
+    jobs.push_back(Request({static_cast<FileId>(i % 15),
+                            static_cast<FileId>((i * 4 + 1) % 15)}));
+  }
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  EXPECT_EQ(result.metrics.jobs(), 200u);
+}
+
+}  // namespace
+}  // namespace fbc

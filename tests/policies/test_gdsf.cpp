@@ -1,0 +1,113 @@
+// Tests for GreedyDual-Size-Frequency.
+#include "policies/gdsf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/simulator.hpp"
+
+namespace fbc {
+namespace {
+
+void serve(GdsfPolicy& policy, DiskCache& cache, const Request& r) {
+  policy.on_job_arrival(r, cache);
+  const auto missing = cache.missing_files(r);
+  if (missing.empty()) {
+    policy.on_request_hit(r, cache);
+    return;
+  }
+  const Bytes missing_bytes = cache.catalog().bundle_bytes(missing);
+  if (cache.free_bytes() < missing_bytes) {
+    for (FileId v : policy.select_victims(
+             r, missing_bytes - cache.free_bytes(), cache)) {
+      cache.evict(v);
+      policy.on_file_evicted(v);
+    }
+  }
+  for (FileId id : missing) cache.insert(id);
+  policy.on_files_loaded(r, missing, cache);
+}
+
+TEST(Gdsf, FrequencyProtectsHotFiles) {
+  // With size cost, H = L + freq: frequency dominates among equal sizes.
+  FileCatalog catalog({100, 100, 100, 100});
+  DiskCache cache(300, catalog);
+  GdsfPolicy policy(/*size_cost=*/true);
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({0}));  // freq(0) = 2 -> H = 2
+  serve(policy, cache, Request({1}));  // H = 1
+  serve(policy, cache, Request({2}));  // H = 1
+  serve(policy, cache, Request({3}));  // evicts 1 or 2, never 0
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Gdsf, UnitCostTradesSizeAgainstFrequency) {
+  // cost = 1: H = L + freq/size. A big file referenced twice (H = 2/400)
+  // still loses to a small file referenced once (H = 1/100).
+  FileCatalog catalog;
+  catalog.add_file(400);  // 0: big, hot
+  catalog.add_file(100);  // 1: small, cold
+  catalog.add_file(100);  // 2: incoming
+  DiskCache cache(500, catalog);
+  GdsfPolicy policy(/*size_cost=*/false);
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({1}));
+  serve(policy, cache, Request({2}));  // evicts 0 despite its frequency
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Gdsf, FrequencySurvivesEviction) {
+  FileCatalog catalog({100, 100});
+  DiskCache cache(100, catalog);
+  GdsfPolicy policy;
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({1}));  // evicts 0
+  EXPECT_EQ(policy.frequency(0), 1u);
+  serve(policy, cache, Request({0}));  // freq(0) = 2 despite eviction
+  EXPECT_EQ(policy.frequency(0), 2u);
+}
+
+TEST(Gdsf, HValueIntrospection) {
+  FileCatalog catalog({100});
+  DiskCache cache(100, catalog);
+  GdsfPolicy policy(/*size_cost=*/true);
+  EXPECT_DOUBLE_EQ(policy.h_value(0), 0.0);
+  serve(policy, cache, Request({0}));
+  EXPECT_DOUBLE_EQ(policy.h_value(0), 1.0);  // freq 1 x size/size
+  serve(policy, cache, Request({0}));
+  EXPECT_DOUBLE_EQ(policy.h_value(0), 2.0);
+}
+
+TEST(Gdsf, Names) {
+  EXPECT_EQ(GdsfPolicy(true).name(), "gdsf");
+  EXPECT_EQ(GdsfPolicy(false).name(), "gdsf-unit");
+}
+
+TEST(Gdsf, ResetClears) {
+  FileCatalog catalog({100});
+  DiskCache cache(100, catalog);
+  GdsfPolicy policy;
+  serve(policy, cache, Request({0}));
+  policy.reset();
+  EXPECT_EQ(policy.frequency(0), 0u);
+  EXPECT_DOUBLE_EQ(policy.h_value(0), 0.0);
+}
+
+TEST(Gdsf, SimulatorChurn) {
+  FileCatalog catalog;
+  for (Bytes i = 0; i < 15; ++i) catalog.add_file(50 + 30 * (i % 3));
+  GdsfPolicy policy;
+  SimulatorConfig config{.cache_bytes = 400};
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 200; ++i) {
+    jobs.push_back(Request({static_cast<FileId>(i % 15),
+                            static_cast<FileId>((i * 11 + 3) % 15)}));
+  }
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  EXPECT_EQ(result.metrics.jobs(), 200u);
+}
+
+}  // namespace
+}  // namespace fbc

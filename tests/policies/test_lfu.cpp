@@ -1,0 +1,135 @@
+// Tests for bundle-adapted LFU.
+#include "policies/lfu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/simulator.hpp"
+
+namespace fbc {
+namespace {
+
+FileCatalog unit_catalog(std::size_t n) {
+  FileCatalog catalog;
+  for (std::size_t i = 0; i < n; ++i) catalog.add_file(100);
+  return catalog;
+}
+
+void serve(LfuPolicy& policy, DiskCache& cache, const Request& r) {
+  policy.on_job_arrival(r, cache);
+  const auto missing = cache.missing_files(r);
+  if (missing.empty()) {
+    policy.on_request_hit(r, cache);
+    return;
+  }
+  const Bytes missing_bytes = cache.catalog().bundle_bytes(missing);
+  if (cache.free_bytes() < missing_bytes) {
+    for (FileId v : policy.select_victims(
+             r, missing_bytes - cache.free_bytes(), cache)) {
+      cache.evict(v);
+      policy.on_file_evicted(v);
+    }
+  }
+  for (FileId id : missing) cache.insert(id);
+  policy.on_files_loaded(r, missing, cache);
+}
+
+TEST(Lfu, EvictsLeastFrequent) {
+  FileCatalog catalog = unit_catalog(4);
+  DiskCache cache(300, catalog);
+  LfuPolicy policy;
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({0}));  // freq(0) = 2
+  serve(policy, cache, Request({1}));
+  serve(policy, cache, Request({1}));  // freq(1) = 2
+  serve(policy, cache, Request({2}));  // freq(2) = 1
+  serve(policy, cache, Request({3}));  // evicts 2, the least frequent
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Lfu, TiesBrokenByRecencyOldestFirst) {
+  FileCatalog catalog = unit_catalog(4);
+  DiskCache cache(300, catalog);
+  LfuPolicy policy;
+  serve(policy, cache, Request({0}));  // freq 1, oldest
+  serve(policy, cache, Request({1}));  // freq 1
+  serve(policy, cache, Request({2}));  // freq 1
+  serve(policy, cache, Request({3}));  // all tie at freq 1: evict 0
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Lfu, FrequencyAccumulatesAcrossResidency) {
+  // A file's popularity survives eviction (classic LFU with history).
+  FileCatalog catalog = unit_catalog(3);
+  DiskCache cache(200, catalog);
+  LfuPolicy policy;
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({0}));  // freq(0) = 3
+  serve(policy, cache, Request({1}));  // cache {0,1}
+  serve(policy, cache, Request({2}));  // evicts 1 (freq 1 < 3)
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(policy.frequency(0), 3u);
+  EXPECT_EQ(policy.frequency(1), 1u);
+}
+
+TEST(Lfu, NeverEvictsRequestedFiles) {
+  FileCatalog catalog = unit_catalog(3);
+  DiskCache cache(200, catalog);
+  LfuPolicy policy;
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({1}));
+  serve(policy, cache, Request({1}));
+  // {0,2}: 0 has the lowest frequency but is requested; evict 1.
+  serve(policy, cache, Request({0, 2}));
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Lfu, BundleCountsEveryFile) {
+  FileCatalog catalog = unit_catalog(3);
+  DiskCache cache(300, catalog);
+  LfuPolicy policy;
+  serve(policy, cache, Request({0, 1, 2}));
+  EXPECT_EQ(policy.frequency(0), 1u);
+  EXPECT_EQ(policy.frequency(1), 1u);
+  EXPECT_EQ(policy.frequency(2), 1u);
+  serve(policy, cache, Request({0, 1, 2}));
+  EXPECT_EQ(policy.frequency(2), 2u);
+}
+
+TEST(Lfu, ResetClears) {
+  FileCatalog catalog = unit_catalog(2);
+  DiskCache cache(200, catalog);
+  LfuPolicy policy;
+  serve(policy, cache, Request({0}));
+  policy.reset();
+  EXPECT_EQ(policy.frequency(0), 0u);
+}
+
+TEST(Lfu, SimulatorChurn) {
+  FileCatalog catalog = unit_catalog(12);
+  LfuPolicy policy;
+  SimulatorConfig config{.cache_bytes = 400};
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 150; ++i) {
+    // Files 0..2 are hot (requested every other job), the rest cold.
+    if (i % 2 == 0) {
+      jobs.push_back(Request({0, 1, 2}));
+    } else {
+      jobs.push_back(Request({static_cast<FileId>(3 + (i / 2) % 9)}));
+    }
+  }
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  // The hot trio should essentially always be resident after warm-up:
+  // at least the 74 repeat occurrences minus the first are hits.
+  EXPECT_GE(result.metrics.request_hits(), 70u);
+}
+
+}  // namespace
+}  // namespace fbc

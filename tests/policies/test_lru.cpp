@@ -1,0 +1,127 @@
+// Tests for bundle-adapted LRU.
+#include "policies/lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/simulator.hpp"
+
+namespace fbc {
+namespace {
+
+FileCatalog unit_catalog(std::size_t n) {
+  FileCatalog catalog;
+  for (std::size_t i = 0; i < n; ++i) catalog.add_file(100);
+  return catalog;
+}
+
+void serve(LruPolicy& policy, DiskCache& cache, const Request& r) {
+  policy.on_job_arrival(r, cache);
+  const auto missing = cache.missing_files(r);
+  if (missing.empty()) {
+    policy.on_request_hit(r, cache);
+    return;
+  }
+  const Bytes missing_bytes = cache.catalog().bundle_bytes(missing);
+  if (cache.free_bytes() < missing_bytes) {
+    for (FileId v : policy.select_victims(
+             r, missing_bytes - cache.free_bytes(), cache)) {
+      cache.evict(v);
+      policy.on_file_evicted(v);
+    }
+  }
+  for (FileId id : missing) cache.insert(id);
+  policy.on_files_loaded(r, missing, cache);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  FileCatalog catalog = unit_catalog(4);
+  DiskCache cache(300, catalog);
+  LruPolicy policy;
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({1}));
+  serve(policy, cache, Request({2}));
+  serve(policy, cache, Request({3}));  // evicts 0
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Lru, HitRenewsRecency) {
+  FileCatalog catalog = unit_catalog(4);
+  DiskCache cache(300, catalog);
+  LruPolicy policy;
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({1}));
+  serve(policy, cache, Request({2}));
+  serve(policy, cache, Request({0}));  // hit: 0 becomes most recent
+  serve(policy, cache, Request({3}));  // evicts 1 (now the stalest)
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Lru, BundleTouchesAllItsFiles) {
+  FileCatalog catalog = unit_catalog(5);
+  DiskCache cache(400, catalog);
+  LruPolicy policy;
+  serve(policy, cache, Request({0, 1}));
+  serve(policy, cache, Request({2}));
+  serve(policy, cache, Request({3}));
+  serve(policy, cache, Request({0, 1}));  // hit: both 0 and 1 renewed
+  serve(policy, cache, Request({4}));     // evicts 2
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(Lru, NeverEvictsRequestedFiles) {
+  FileCatalog catalog = unit_catalog(3);
+  DiskCache cache(200, catalog);
+  LruPolicy policy;
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({1}));
+  // {0,2}: 0 is both the LRU candidate and requested; must evict 1.
+  serve(policy, cache, Request({0, 2}));
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Lru, LastTouchIntrospection) {
+  FileCatalog catalog = unit_catalog(2);
+  DiskCache cache(200, catalog);
+  LruPolicy policy;
+  EXPECT_EQ(policy.last_touch(0), 0u);
+  serve(policy, cache, Request({0}));
+  const auto t0 = policy.last_touch(0);
+  EXPECT_GT(t0, 0u);
+  serve(policy, cache, Request({1}));
+  serve(policy, cache, Request({0}));
+  EXPECT_GT(policy.last_touch(0), policy.last_touch(1));
+}
+
+TEST(Lru, ResetClears) {
+  FileCatalog catalog = unit_catalog(2);
+  DiskCache cache(200, catalog);
+  LruPolicy policy;
+  serve(policy, cache, Request({0}));
+  policy.reset();
+  EXPECT_EQ(policy.last_touch(0), 0u);
+}
+
+TEST(Lru, SimulatorChurn) {
+  FileCatalog catalog = unit_catalog(10);
+  LruPolicy policy;
+  SimulatorConfig config{.cache_bytes = 300};
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 100; ++i) {
+    jobs.push_back(Request({static_cast<FileId>(i % 10)}));
+  }
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  EXPECT_EQ(result.metrics.jobs(), 100u);
+  // Cyclic scan over 10 files with space for 3: LRU always misses.
+  EXPECT_EQ(result.metrics.request_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,146 @@
+// Tests for LRU-K.
+#include "policies/lru_k.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cache/simulator.hpp"
+#include "policies/lru.hpp"
+
+namespace fbc {
+namespace {
+
+FileCatalog unit_catalog(std::size_t n) {
+  FileCatalog catalog;
+  for (std::size_t i = 0; i < n; ++i) catalog.add_file(100);
+  return catalog;
+}
+
+void serve(ReplacementPolicy& policy, DiskCache& cache, const Request& r) {
+  policy.on_job_arrival(r, cache);
+  const auto missing = cache.missing_files(r);
+  if (missing.empty()) {
+    policy.on_request_hit(r, cache);
+    return;
+  }
+  const Bytes missing_bytes = cache.catalog().bundle_bytes(missing);
+  if (cache.free_bytes() < missing_bytes) {
+    for (FileId v : policy.select_victims(
+             r, missing_bytes - cache.free_bytes(), cache)) {
+      cache.evict(v);
+      policy.on_file_evicted(v);
+    }
+  }
+  for (FileId id : missing) cache.insert(id);
+  policy.on_files_loaded(r, missing, cache);
+}
+
+TEST(LruK, RejectsZeroK) {
+  EXPECT_THROW(LruKPolicy(0), std::invalid_argument);
+}
+
+TEST(LruK, NameIncludesK) {
+  EXPECT_EQ(LruKPolicy(2).name(), "lru-2");
+  EXPECT_EQ(LruKPolicy(3).name(), "lru-3");
+}
+
+TEST(LruK, SingleReferenceFilesGoFirst) {
+  // Files with fewer than K references are evicted before any file with a
+  // full K-history, regardless of raw recency.
+  FileCatalog catalog = unit_catalog(4);
+  DiskCache cache(300, catalog);
+  LruKPolicy policy(2);
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({0}));  // 0 has 2 refs
+  serve(policy, cache, Request({1}));  // 1 ref
+  serve(policy, cache, Request({2}));  // 1 ref, most recent
+  // 0's 2nd reference is older than both single references, but plain LRU
+  // would evict 0; LRU-2 evicts 1 (the oldest <K-history file).
+  serve(policy, cache, Request({3}));
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(LruK, KthReferenceOrderingAmongFullHistories) {
+  FileCatalog catalog = unit_catalog(3);
+  DiskCache cache(200, catalog);
+  LruKPolicy policy(2);
+  // Both files get two references; 0's SECOND-most-recent reference is
+  // older than 1's.
+  serve(policy, cache, Request({0}));  // t1
+  serve(policy, cache, Request({1}));  // t2
+  serve(policy, cache, Request({1}));  // t3 (1: kth = t2)
+  serve(policy, cache, Request({0}));  // t4 (0: kth = t1)
+  serve(policy, cache, Request({2}));  // evicts 0 (kth t1 < t2)
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(LruK, BackwardDistanceIntrospection) {
+  FileCatalog catalog = unit_catalog(1);
+  DiskCache cache(100, catalog);
+  LruKPolicy policy(2);
+  EXPECT_EQ(policy.backward_k_distance(0), 0u);
+  serve(policy, cache, Request({0}));  // 1 ref: still below K
+  EXPECT_EQ(policy.backward_k_distance(0), 0u);
+  serve(policy, cache, Request({0}));  // 2 refs: kth = first ref time (1)
+  EXPECT_EQ(policy.backward_k_distance(0), 1u);
+  serve(policy, cache, Request({0}));  // window slides: kth = 2
+  EXPECT_EQ(policy.backward_k_distance(0), 2u);
+}
+
+TEST(LruK, K1DegeneratesToLru) {
+  FileCatalog catalog = unit_catalog(5);
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 40; ++i) {
+    jobs.push_back(Request({static_cast<FileId>(i % 5)}));
+    jobs.push_back(Request({static_cast<FileId>((i * 3 + 1) % 5)}));
+  }
+  SimulatorConfig config{.cache_bytes = 300};
+  LruKPolicy lru1(1);
+  LruPolicy lru;
+  const auto a = simulate(config, catalog, lru1, jobs).metrics;
+  SimulatorConfig config2{.cache_bytes = 300};
+  const auto b = simulate(config2, catalog, lru, jobs).metrics;
+  EXPECT_EQ(a.request_hits(), b.request_hits());
+  EXPECT_EQ(a.bytes_missed(), b.bytes_missed());
+}
+
+TEST(LruK, ScanResistance) {
+  // A one-off scan of cold files must not displace the hot set under
+  // LRU-2, while plain LRU loses it.
+  FileCatalog catalog = unit_catalog(12);
+  std::vector<Request> jobs;
+  auto hot = [&](std::vector<Request>& out) {
+    out.push_back(Request({0}));
+    out.push_back(Request({1}));
+    out.push_back(Request({2}));
+  };
+  hot(jobs);
+  hot(jobs);  // hot set has >= 2 references each
+  for (FileId scan = 3; scan < 12; ++scan) jobs.push_back(Request({scan}));
+  hot(jobs);  // return to the hot set
+
+  SimulatorConfig config{.cache_bytes = 400};
+  LruKPolicy lru2(2);
+  const auto with_k = simulate(config, catalog, lru2, jobs).metrics;
+  SimulatorConfig config2{.cache_bytes = 400};
+  LruPolicy lru;
+  const auto plain = simulate(config2, catalog, lru, jobs).metrics;
+  EXPECT_GT(with_k.request_hits(), plain.request_hits());
+}
+
+TEST(LruK, ResetClears) {
+  FileCatalog catalog = unit_catalog(1);
+  DiskCache cache(100, catalog);
+  LruKPolicy policy(2);
+  serve(policy, cache, Request({0}));
+  serve(policy, cache, Request({0}));
+  policy.reset();
+  EXPECT_EQ(policy.backward_k_distance(0), 0u);
+}
+
+}  // namespace
+}  // namespace fbc

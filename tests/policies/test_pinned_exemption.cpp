@@ -1,0 +1,86 @@
+// Parameterized contract test: NO policy may ever evict a pinned file.
+// Pins model the working sets of concurrently in-flight jobs (multi-slot
+// SRM, cluster nodes), which persist across replacement decisions.
+//
+// The harness follows the real simulator protocol: `bytes_needed` is
+// always missing_bytes - free_bytes for the incoming request, and the
+// incoming files are loaded after each decision.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "core/registry.hpp"
+
+namespace fbc {
+namespace {
+
+class PinnedExemption : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PinnedExemption, NeverSelectsPinnedVictims) {
+  FileCatalog catalog;
+  for (int i = 0; i < 10; ++i) catalog.add_file(100);  // resident set
+  for (int i = 0; i < 4; ++i) catalog.add_file(200);   // incoming files
+  DiskCache cache(1000, catalog);
+
+  std::vector<Request> all_jobs;
+  for (FileId i = 0; i < 14; ++i) all_jobs.push_back(Request({i}));
+
+  PolicyContext context;
+  context.catalog = &catalog;
+  context.jobs = all_jobs;
+  PolicyPtr policy = make_policy(GetParam(), context);
+
+  // Fill the cache through the proper protocol.
+  for (FileId i = 0; i < 10; ++i) {
+    Request r({i});
+    policy->on_job_arrival(r, cache);
+    cache.insert(i);
+    policy->on_files_loaded(r, std::vector<FileId>{i}, cache);
+  }
+
+  // Pin a three-file working set of a concurrent job.
+  cache.pin(2);
+  cache.pin(5);
+  cache.pin(7);
+
+  // Serve four 200-byte newcomers; each admission forces an eviction
+  // decision around the pins.
+  for (FileId f = 10; f < 14; ++f) {
+    Request incoming({f});
+    policy->on_job_arrival(incoming, cache);
+    const Bytes missing = cache.missing_bytes(incoming);
+    ASSERT_GT(missing, 0u);
+    if (cache.free_bytes() < missing) {
+      const Bytes needed = missing - cache.free_bytes();
+      Bytes freed = 0;
+      for (FileId v : policy->select_victims(incoming, needed, cache)) {
+        EXPECT_FALSE(cache.pinned(v))
+            << GetParam() << " evicted pinned file " << v;
+        EXPECT_FALSE(incoming.contains(v)) << GetParam();
+        ASSERT_TRUE(cache.contains(v)) << GetParam();
+        cache.evict(v);
+        policy->on_file_evicted(v);
+        freed += catalog.size_of(v);
+      }
+      EXPECT_GE(freed, needed) << GetParam();
+    }
+    cache.insert(f);
+    policy->on_files_loaded(incoming, std::vector<FileId>{f}, cache);
+  }
+
+  // The pinned working set survived every decision.
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(5));
+  EXPECT_TRUE(cache.contains(7));
+  EXPECT_LE(cache.used_bytes(), cache.capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PinnedExemption,
+                         ::testing::Values("optfb", "optfb-basic",
+                                           "optfb-full", "landlord",
+                                           "landlord-size", "lru", "lru-2",
+                                           "lfu", "fifo", "gds-unit",
+                                           "gds-size", "gdsf", "random",
+                                           "lookahead"));
+
+}  // namespace
+}  // namespace fbc

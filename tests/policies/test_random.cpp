@@ -1,0 +1,101 @@
+// Tests for the random-eviction baseline.
+#include "policies/random_evict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/simulator.hpp"
+
+namespace fbc {
+namespace {
+
+FileCatalog unit_catalog(std::size_t n) {
+  FileCatalog catalog;
+  for (std::size_t i = 0; i < n; ++i) catalog.add_file(100);
+  return catalog;
+}
+
+TEST(RandomPolicy, FreesEnoughSpace) {
+  FileCatalog catalog = unit_catalog(10);
+  DiskCache cache(500, catalog);
+  RandomPolicy policy(1);
+  for (FileId id = 0; id < 5; ++id) cache.insert(id);
+  const Request incoming({5, 6, 7});
+  const auto victims = policy.select_victims(incoming, 300, cache);
+  Bytes freed = 0;
+  for (FileId v : victims) {
+    EXPECT_TRUE(cache.contains(v));
+    EXPECT_FALSE(incoming.contains(v));
+    freed += catalog.size_of(v);
+  }
+  EXPECT_GE(freed, 300u);
+}
+
+TEST(RandomPolicy, NeverSelectsRequestedOrPinned) {
+  FileCatalog catalog = unit_catalog(6);
+  DiskCache cache(600, catalog);
+  RandomPolicy policy(2);
+  for (FileId id = 0; id < 6; ++id) cache.insert(id);
+  cache.pin(3);
+  const Request incoming({0, 1});
+  for (int trial = 0; trial < 50; ++trial) {
+    for (FileId v : policy.select_victims(incoming, 100, cache)) {
+      EXPECT_NE(v, 0u);
+      EXPECT_NE(v, 1u);
+      EXPECT_NE(v, 3u);
+    }
+  }
+  cache.unpin(3);
+}
+
+TEST(RandomPolicy, SameSeedSameChoices) {
+  FileCatalog catalog = unit_catalog(8);
+  auto run = [&](std::uint64_t seed) {
+    DiskCache cache(800, catalog);
+    for (FileId id = 0; id < 8; ++id) cache.insert(id);
+    RandomPolicy policy(seed);
+    return policy.select_victims(Request{}, 300, cache);
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(RandomPolicy, ChoicesVaryAcrossCalls) {
+  FileCatalog catalog = unit_catalog(10);
+  DiskCache cache(1000, catalog);
+  for (FileId id = 0; id < 10; ++id) cache.insert(id);
+  RandomPolicy policy(7);
+  std::set<FileId> seen;
+  for (int trial = 0; trial < 100; ++trial) {
+    for (FileId v : policy.select_victims(Request{}, 100, cache)) {
+      seen.insert(v);
+    }
+  }
+  // Victims should spread over most of the cache, not fixate on one file.
+  EXPECT_GE(seen.size(), 8u);
+}
+
+TEST(RandomPolicy, ExhaustionThrows) {
+  FileCatalog catalog = unit_catalog(3);
+  DiskCache cache(300, catalog);
+  RandomPolicy policy(1);
+  cache.insert(0);
+  // Asking to free more than all evictable candidates can yield.
+  EXPECT_THROW((void)policy.select_victims(Request{}, 500, cache),
+               std::logic_error);
+}
+
+TEST(RandomPolicy, SimulatorChurn) {
+  FileCatalog catalog = unit_catalog(10);
+  RandomPolicy policy(3);
+  SimulatorConfig config{.cache_bytes = 300};
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 100; ++i) {
+    jobs.push_back(Request({static_cast<FileId>(i % 10)}));
+  }
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  EXPECT_EQ(result.metrics.jobs(), 100u);
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,53 @@
+// Tests for byte-size formatting and parsing.
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fbc {
+namespace {
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(format_bytes(0), "0B");
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(1024), "1.00KiB");
+  EXPECT_EQ(format_bytes(1536), "1.50KiB");
+  EXPECT_EQ(format_bytes(3 * MiB), "3.00MiB");
+  EXPECT_EQ(format_bytes(2 * GiB), "2.00GiB");
+  EXPECT_EQ(format_bytes(5 * TiB), "5.00TiB");
+}
+
+TEST(ParseBytes, PlainAndSuffixed) {
+  EXPECT_EQ(parse_bytes("512"), 512u);
+  EXPECT_EQ(parse_bytes("512B"), 512u);
+  EXPECT_EQ(parse_bytes("2KiB"), 2 * KiB);
+  EXPECT_EQ(parse_bytes("2KB"), 2 * KiB);
+  EXPECT_EQ(parse_bytes("1.5MiB"), MiB + MiB / 2);
+  EXPECT_EQ(parse_bytes("10GiB"), 10 * GiB);
+  EXPECT_EQ(parse_bytes("1TiB"), TiB);
+  EXPECT_EQ(parse_bytes("3 MB"), 3 * MiB);  // space before suffix
+}
+
+TEST(ParseBytes, RoundTripsFormat) {
+  for (Bytes v : {Bytes{1}, Bytes{1024}, 5 * MiB, 3 * GiB}) {
+    EXPECT_EQ(parse_bytes(format_bytes(v)), v) << format_bytes(v);
+  }
+}
+
+TEST(ParseBytes, Errors) {
+  EXPECT_THROW((void)parse_bytes(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_bytes("abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_bytes("10XB"), std::invalid_argument);
+  EXPECT_THROW((void)parse_bytes("-5MB"), std::invalid_argument);
+}
+
+TEST(ByteConstants, Relationships) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * KiB);
+  EXPECT_EQ(GiB, 1024u * MiB);
+  EXPECT_EQ(TiB, 1024u * GiB);
+}
+
+}  // namespace
+}  // namespace fbc

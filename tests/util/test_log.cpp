@@ -1,0 +1,43 @@
+// Tests for the leveled logger (level gating and evaluation laziness).
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbc {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::Warn); }
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST_F(LogTest, DisabledLevelSkipsEvaluation) {
+  set_log_level(LogLevel::Error);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  FBC_LOG(Debug) << "value " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  FBC_LOG(Error) << "value " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, EnabledLevelEmitsWithoutCrashing) {
+  set_log_level(LogLevel::Debug);
+  FBC_LOG(Debug) << "debug line " << 1;
+  FBC_LOG(Info) << "info line " << 2.5;
+  FBC_LOG(Warn) << "warn line";
+  FBC_LOG(Error) << "error line";
+}
+
+}  // namespace
+}  // namespace fbc

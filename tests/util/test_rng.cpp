@@ -1,0 +1,201 @@
+// Tests for the deterministic RNG stack (SplitMix64, Xoshiro256**, and the
+// derived sampling helpers).
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace fbc {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceVector) {
+  // Reference outputs of the canonical splitmix64 for seed 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm(), 0x06C45D188009454FULL);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformU64RespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformU64DegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_u64(42, 42), 42u);
+}
+
+TEST(Rng, UniformU64FullRangeDoesNotHang) {
+  Rng rng(7);
+  // Just exercise the span == max path.
+  (void)rng.uniform_u64(0, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng(99);
+  std::array<int, 10> buckets{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    buckets[rng.uniform_u64(0, 9)] += 1;
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 10, n / 10 * 0.1);  // within 10%
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformDoubleRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_double(-5.0, 5.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<int> original = v;
+  rng.shuffle(std::span<int>(v));
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), original.begin()));
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(11);
+  std::vector<int> empty;
+  rng.shuffle(std::span<int>(empty));
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.shuffle(std::span<int>(one));
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+TEST(Rng, ShuffleMovesElements) {
+  // Over many shuffles of [0..9], element 0 should land everywhere.
+  std::set<int> positions;
+  for (int trial = 0; trial < 200; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(trial));
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    rng.shuffle(std::span<int>(v));
+    positions.insert(static_cast<int>(
+        std::find(v.begin(), v.end(), 0) - v.begin()));
+  }
+  EXPECT_EQ(positions.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementBasics) {
+  Rng rng(13);
+  const auto sample = rng.sample_without_replacement(100, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (std::size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng(13);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  EXPECT_EQ(sample, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleWithoutReplacementEmpty) {
+  Rng rng(13);
+  EXPECT_TRUE(rng.sample_without_replacement(10, 0).empty());
+}
+
+TEST(Rng, SampleWithoutReplacementCoversAllElements) {
+  // Sampling 1 of 10 many times should hit all ten values.
+  std::set<std::size_t> seen;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.sample_without_replacement(10, 1).front());
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, DeriveSeedProducesDistinctStreams) {
+  Rng parent(21);
+  const std::uint64_t s1 = parent.derive_seed(0);
+  const std::uint64_t s2 = parent.derive_seed(1);
+  EXPECT_NE(s1, s2);
+  Rng a(s1), b(s2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+// Property sweep: bounded uniforms stay in range for many (seed, range)
+// combinations.
+class RngRangeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngRangeProperty, BoundedDrawsStayInRange) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t lo = rng.uniform_u64(0, 1000);
+    const std::uint64_t hi = lo + rng.uniform_u64(0, 1000);
+    const std::uint64_t v = rng.uniform_u64(lo, hi);
+    ASSERT_GE(v, lo);
+    ASSERT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngRangeProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234567u,
+                                           0xdeadbeefULL));
+
+}  // namespace
+}  // namespace fbc

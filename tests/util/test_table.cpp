@@ -1,0 +1,68 @@
+// Tests for the aligned text table and CSV output.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fbc {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsOverlongRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 3u);
+  // Should print without throwing and contain the lone cell.
+  EXPECT_NE(t.to_string().find("1"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "x"});
+  t.add_row({"longest-name", "1"});
+  t.add_row({"n", "22"});
+  const std::string out = t.to_string();
+  std::istringstream iss(out);
+  std::string header, rule, row1, row2;
+  std::getline(iss, header);
+  std::getline(iss, rule);
+  std::getline(iss, row1);
+  std::getline(iss, row2);
+  // The second column starts at the same offset in every row.
+  EXPECT_EQ(row1.find(" 1"), row1.size() - 2);
+  const auto col2 = std::string("longest-name").size() + 2;
+  EXPECT_EQ(row1.substr(col2), "1");
+  EXPECT_EQ(row2.substr(col2), "22");
+  EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"name", "note"});
+  t.add_row({"plain", "hello"});
+  t.add_row({"with,comma", "say \"hi\""});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name,note\n"), std::string::npos);
+  EXPECT_NE(out.find("plain,hello\n"), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\",\"say \"\"hi\"\"\"\n"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableStillPrintsHeader) {
+  TextTable t({"only"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbc

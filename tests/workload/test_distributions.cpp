@@ -1,0 +1,122 @@
+// Tests for the alias sampler, Zipf and uniform popularity distributions.
+#include "workload/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fbc {
+namespace {
+
+TEST(AliasSampler, RejectsBadWeights) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{1.0, -0.5}),
+               std::invalid_argument);
+}
+
+TEST(AliasSampler, NormalizesProbabilities) {
+  AliasSampler s(std::vector<double>{1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(s.probability(1), 0.75);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(AliasSampler, EmpiricalFrequenciesMatch) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasSampler s(weights);
+  Rng rng(77);
+  std::array<int, 4> counts{};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[s.sample(rng)] += 1;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = s.probability(i);
+    const double observed = static_cast<double>(counts[i]) / n;
+    EXPECT_NEAR(observed, expected, 0.01) << "outcome " << i;
+  }
+}
+
+TEST(AliasSampler, DegenerateSingleOutcome) {
+  AliasSampler s(std::vector<double>{5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(rng), 0u);
+}
+
+TEST(AliasSampler, ZeroWeightOutcomeNeverSampled) {
+  AliasSampler s(std::vector<double>{1.0, 0.0, 1.0});
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(s.sample(rng), 1u);
+}
+
+TEST(ZipfSampler, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.1), std::invalid_argument);
+}
+
+TEST(ZipfSampler, ProbabilitiesAreMonotoneDecreasing) {
+  ZipfSampler zipf(50, 1.0);
+  for (std::size_t i = 1; i < 50; ++i) {
+    EXPECT_GT(zipf.probability(i - 1), zipf.probability(i));
+  }
+}
+
+TEST(ZipfSampler, ProbabilityRatiosFollowPowerLaw) {
+  ZipfSampler zipf(100, 1.0);
+  // P(1)/P(2) == 2, P(1)/P(10) == 10 for alpha = 1.
+  EXPECT_NEAR(zipf.probability(0) / zipf.probability(1), 2.0, 1e-9);
+  EXPECT_NEAR(zipf.probability(0) / zipf.probability(9), 10.0, 1e-9);
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(zipf.probability(i), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfSampler, EmpiricalHeadDominates) {
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(123);
+  int head = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) head += (zipf.sample(rng) < 10);
+  // With alpha=1, n=1000: P(rank < 10) ~ H(10)/H(1000) ~ 2.93/7.49 ~ 0.39.
+  const double observed = static_cast<double>(head) / n;
+  EXPECT_NEAR(observed, 0.39, 0.03);
+}
+
+TEST(UniformIndexSampler, Basics) {
+  EXPECT_THROW(UniformIndexSampler(0), std::invalid_argument);
+  UniformIndexSampler s(5);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(s.probability(3), 0.2);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(s.sample(rng), 5u);
+}
+
+// Property sweep: alias tables stay exact for random weight vectors.
+class AliasProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AliasProperty, ProbabilitiesSumToOne) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + rng.index(200);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.uniform_double(0.0, 10.0);
+  weights[rng.index(n)] += 1.0;  // ensure at least one positive
+  AliasSampler s(weights);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += s.probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // And sampling never produces out-of-range outcomes.
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(s.sample(rng), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AliasProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace fbc

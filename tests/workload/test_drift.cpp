@@ -1,0 +1,87 @@
+// Tests for non-stationary (drifting) popularity in workload generation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/workload.hpp"
+
+namespace fbc {
+namespace {
+
+WorkloadConfig base_config() {
+  WorkloadConfig config;
+  config.seed = 9;
+  config.cache_bytes = 10 * MiB;
+  config.num_files = 100;
+  config.min_file_bytes = 10 * KiB;
+  config.num_requests = 50;
+  config.num_jobs = 8000;
+  config.popularity = Popularity::Zipf;
+  return config;
+}
+
+/// Occurrences of pool entry `idx` within [begin, end) of the stream.
+std::size_t count_in_range(const Workload& w, std::size_t idx,
+                           std::size_t begin, std::size_t end) {
+  std::size_t count = 0;
+  for (std::size_t j = begin; j < end; ++j) count += (w.job_index[j] == idx);
+  return count;
+}
+
+TEST(Drift, ZeroPeriodIsStationary) {
+  WorkloadConfig with_field = base_config();
+  with_field.drift_period_jobs = 0;
+  WorkloadConfig plain = base_config();
+  EXPECT_EQ(generate_workload(with_field).job_index,
+            generate_workload(plain).job_index);
+}
+
+TEST(Drift, DriftChangesTheStream) {
+  WorkloadConfig drifting = base_config();
+  drifting.drift_period_jobs = 1000;
+  drifting.drift_rotate = 10;
+  EXPECT_NE(generate_workload(drifting).job_index,
+            generate_workload(base_config()).job_index);
+}
+
+TEST(Drift, HotSetRotatesOverTime) {
+  WorkloadConfig config = base_config();
+  config.drift_period_jobs = 2000;
+  config.drift_rotate = 10;
+  const Workload w = generate_workload(config);
+
+  // The most popular entry of the first quarter should lose most of its
+  // share by the last quarter (its rank rotated away).
+  std::map<std::size_t, std::size_t> first_counts;
+  for (std::size_t j = 0; j < 2000; ++j) first_counts[w.job_index[j]] += 1;
+  std::size_t hot = 0, hot_count = 0;
+  for (const auto& [idx, count] : first_counts) {
+    if (count > hot_count) {
+      hot = idx;
+      hot_count = count;
+    }
+  }
+  const std::size_t early = count_in_range(w, hot, 0, 2000);
+  const std::size_t late = count_in_range(w, hot, 6000, 8000);
+  EXPECT_GT(early, 200u);          // genuinely hot at the start
+  EXPECT_LT(late * 3, early);      // cooled down by at least 3x
+}
+
+TEST(Drift, StillDrawsOnlyPoolEntries) {
+  WorkloadConfig config = base_config();
+  config.drift_period_jobs = 100;
+  config.drift_rotate = 7;
+  const Workload w = generate_workload(config);
+  for (std::size_t idx : w.job_index) ASSERT_LT(idx, w.pool.size());
+}
+
+TEST(Drift, Deterministic) {
+  WorkloadConfig config = base_config();
+  config.drift_period_jobs = 500;
+  config.drift_rotate = 5;
+  EXPECT_EQ(generate_workload(config).job_index,
+            generate_workload(config).job_index);
+}
+
+}  // namespace
+}  // namespace fbc

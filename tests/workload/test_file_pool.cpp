@@ -1,0 +1,96 @@
+// Tests for file pool (catalog) generation.
+#include "workload/file_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fbc {
+namespace {
+
+TEST(FilePool, UniformSizesWithinBounds) {
+  FilePoolConfig config;
+  config.num_files = 500;
+  config.min_bytes = 10;
+  config.max_bytes = 100;
+  Rng rng(1);
+  const FileCatalog catalog = generate_file_pool(config, rng);
+  EXPECT_EQ(catalog.count(), 500u);
+  for (FileId id = 0; id < 500; ++id) {
+    EXPECT_GE(catalog.size_of(id), 10u);
+    EXPECT_LE(catalog.size_of(id), 100u);
+  }
+}
+
+TEST(FilePool, UniformCoversTheRange) {
+  FilePoolConfig config;
+  config.num_files = 2000;
+  config.min_bytes = 1;
+  config.max_bytes = 10;
+  Rng rng(2);
+  const FileCatalog catalog = generate_file_pool(config, rng);
+  Bytes lo = 10, hi = 1;
+  for (FileId id = 0; id < catalog.count(); ++id) {
+    lo = std::min(lo, catalog.size_of(id));
+    hi = std::max(hi, catalog.size_of(id));
+  }
+  EXPECT_EQ(lo, 1u);
+  EXPECT_EQ(hi, 10u);
+}
+
+TEST(FilePool, FixedModel) {
+  FilePoolConfig config;
+  config.num_files = 10;
+  config.min_bytes = 42;
+  config.max_bytes = 100;
+  config.model = FileSizeModel::Fixed;
+  Rng rng(3);
+  const FileCatalog catalog = generate_file_pool(config, rng);
+  for (FileId id = 0; id < 10; ++id) EXPECT_EQ(catalog.size_of(id), 42u);
+}
+
+TEST(FilePool, LogNormalClampedToBounds) {
+  FilePoolConfig config;
+  config.num_files = 2000;
+  config.min_bytes = 100;
+  config.max_bytes = 10000;
+  config.model = FileSizeModel::LogNormal;
+  config.lognormal_sigma = 2.0;  // wide: clamping will trigger
+  Rng rng(4);
+  const FileCatalog catalog = generate_file_pool(config, rng);
+  for (FileId id = 0; id < catalog.count(); ++id) {
+    EXPECT_GE(catalog.size_of(id), 100u);
+    EXPECT_LE(catalog.size_of(id), 10000u);
+  }
+}
+
+TEST(FilePool, DeterministicForSameSeed) {
+  FilePoolConfig config;
+  config.num_files = 100;
+  config.min_bytes = 1;
+  config.max_bytes = 1000;
+  Rng rng1(99), rng2(99);
+  const FileCatalog a = generate_file_pool(config, rng1);
+  const FileCatalog b = generate_file_pool(config, rng2);
+  ASSERT_EQ(a.count(), b.count());
+  for (FileId id = 0; id < a.count(); ++id) {
+    EXPECT_EQ(a.size_of(id), b.size_of(id));
+  }
+}
+
+TEST(FilePool, RejectsBadConfigs) {
+  Rng rng(1);
+  FilePoolConfig config;
+  config.num_files = 0;
+  EXPECT_THROW((void)generate_file_pool(config, rng), std::invalid_argument);
+  config.num_files = 1;
+  config.min_bytes = 0;
+  EXPECT_THROW((void)generate_file_pool(config, rng), std::invalid_argument);
+  config.min_bytes = 100;
+  config.max_bytes = 50;
+  EXPECT_THROW((void)generate_file_pool(config, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,115 @@
+// Tests for request (bundle) pool generation.
+#include "workload/request_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fbc {
+namespace {
+
+FileCatalog catalog_of(std::size_t n, Bytes each) {
+  FileCatalog catalog;
+  for (std::size_t i = 0; i < n; ++i) catalog.add_file(each);
+  return catalog;
+}
+
+TEST(RequestPool, GeneratesDistinctCanonicalBundles) {
+  FileCatalog catalog = catalog_of(100, 10);
+  RequestPoolConfig config;
+  config.num_requests = 50;
+  config.min_files = 2;
+  config.max_files = 6;
+  Rng rng(1);
+  const auto pool = generate_request_pool(config, catalog, rng);
+  EXPECT_EQ(pool.size(), 50u);
+  std::unordered_set<Request, RequestHash> seen;
+  for (const Request& r : pool) {
+    EXPECT_TRUE(r.is_canonical());
+    EXPECT_GE(r.size(), 2u);
+    EXPECT_LE(r.size(), 6u);
+    EXPECT_TRUE(seen.insert(r).second) << "duplicate bundle " << r.to_string();
+    for (FileId id : r.files) EXPECT_LT(id, 100u);
+  }
+}
+
+TEST(RequestPool, RespectsByteCap) {
+  FileCatalog catalog = catalog_of(100, 10);
+  RequestPoolConfig config;
+  config.num_requests = 100;
+  config.min_files = 1;
+  config.max_files = 10;
+  config.max_bundle_bytes = 35;  // at most 3 files of 10 bytes
+  Rng rng(2);
+  const auto pool = generate_request_pool(config, catalog, rng);
+  for (const Request& r : pool) {
+    EXPECT_LE(catalog.request_bytes(r), 35u);
+    EXPECT_GE(r.size(), 1u);
+  }
+}
+
+TEST(RequestPool, TinySpaceReturnsFewerDistinct) {
+  FileCatalog catalog = catalog_of(3, 10);
+  RequestPoolConfig config;
+  config.num_requests = 100;  // only 3 single-file bundles exist
+  config.min_files = 1;
+  config.max_files = 1;
+  Rng rng(3);
+  const auto pool = generate_request_pool(config, catalog, rng);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(RequestPool, DeterministicForSameSeed) {
+  FileCatalog catalog = catalog_of(50, 10);
+  RequestPoolConfig config;
+  config.num_requests = 20;
+  config.min_files = 1;
+  config.max_files = 5;
+  Rng rng1(7), rng2(7);
+  EXPECT_EQ(generate_request_pool(config, catalog, rng1),
+            generate_request_pool(config, catalog, rng2));
+}
+
+TEST(RequestPool, RejectsBadConfigs) {
+  FileCatalog catalog = catalog_of(10, 10);
+  Rng rng(1);
+  RequestPoolConfig config;
+  config.num_requests = 0;
+  EXPECT_THROW((void)generate_request_pool(config, catalog, rng),
+               std::invalid_argument);
+  config.num_requests = 1;
+  config.min_files = 0;
+  EXPECT_THROW((void)generate_request_pool(config, catalog, rng),
+               std::invalid_argument);
+  config.min_files = 5;
+  config.max_files = 3;
+  EXPECT_THROW((void)generate_request_pool(config, catalog, rng),
+               std::invalid_argument);
+  config.min_files = 1;
+  config.max_files = 11;  // > catalog size
+  EXPECT_THROW((void)generate_request_pool(config, catalog, rng),
+               std::invalid_argument);
+}
+
+TEST(RequestPool, LoneOversizedFilesAreAvoided) {
+  // One file is larger than the cap; bundles should never consist of it
+  // alone (and trimming keeps at least one file).
+  FileCatalog catalog;
+  catalog.add_file(100);  // oversize
+  for (int i = 0; i < 20; ++i) catalog.add_file(5);
+  RequestPoolConfig config;
+  config.num_requests = 30;
+  config.min_files = 1;
+  config.max_files = 4;
+  config.max_bundle_bytes = 20;
+  Rng rng(11);
+  const auto pool = generate_request_pool(config, catalog, rng);
+  for (const Request& r : pool) {
+    EXPECT_LE(catalog.request_bytes(r), 20u);
+    EXPECT_FALSE(r.contains(0)) << "oversize file survived trimming";
+  }
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,196 @@
+// Tests for the HENP / climate / bitmap-index scenario generators.
+#include "workload/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fbc {
+namespace {
+
+TEST(HenpScenario, LayoutAndBundleStructure) {
+  HenpConfig config;
+  config.num_runs = 4;
+  config.num_attributes = 10;
+  config.num_templates = 5;
+  config.min_template_attrs = 2;
+  config.max_template_attrs = 4;
+  config.num_jobs = 100;
+  const Workload w = generate_henp_workload(config);
+
+  EXPECT_EQ(w.catalog.count(), 40u);  // runs x attributes
+  EXPECT_LE(w.pool.size(), 20u);      // runs x templates (minus dup merges)
+  EXPECT_EQ(w.jobs.size(), 100u);
+
+  // Each bundle's files all belong to a single run (vertical partitioning
+  // of one run's events).
+  for (const Request& r : w.pool) {
+    EXPECT_GE(r.size(), 2u);
+    EXPECT_LE(r.size(), 4u);
+    const std::size_t run = r.files.front() / config.num_attributes;
+    for (FileId id : r.files) {
+      EXPECT_EQ(id / config.num_attributes, run) << r.to_string();
+    }
+  }
+}
+
+TEST(HenpScenario, RunScalingKeepsSizesPositive) {
+  HenpConfig config;
+  config.num_runs = 3;
+  config.num_attributes = 5;
+  config.min_template_attrs = 2;
+  config.max_template_attrs = 4;
+  config.num_jobs = 10;
+  const Workload w = generate_henp_workload(config);
+  for (FileId id = 0; id < w.catalog.count(); ++id) {
+    EXPECT_GT(w.catalog.size_of(id), 0u);
+  }
+}
+
+TEST(HenpScenario, Deterministic) {
+  HenpConfig config;
+  config.num_jobs = 50;
+  EXPECT_EQ(generate_henp_workload(config).job_index,
+            generate_henp_workload(config).job_index);
+}
+
+TEST(HenpScenario, RejectsBadConfig) {
+  HenpConfig config;
+  config.num_runs = 0;
+  EXPECT_THROW((void)generate_henp_workload(config), std::invalid_argument);
+  config = HenpConfig{};
+  config.min_template_attrs = 5;
+  config.max_template_attrs = 3;
+  EXPECT_THROW((void)generate_henp_workload(config), std::invalid_argument);
+}
+
+TEST(ClimateScenario, BundlesAreContiguousChunkRanges) {
+  ClimateConfig config;
+  config.num_variables = 6;
+  config.num_chunks = 10;
+  config.num_groups = 4;
+  config.min_group_vars = 1;
+  config.max_group_vars = 3;
+  config.max_range_chunks = 3;
+  config.num_jobs = 100;
+  const Workload w = generate_climate_workload(config);
+
+  EXPECT_EQ(w.catalog.count(), 60u);  // variables x chunks
+  EXPECT_FALSE(w.pool.empty());
+
+  for (const Request& r : w.pool) {
+    // Partition the bundle per variable and check each variable's chunks
+    // form one contiguous range, identical across the group's variables.
+    std::unordered_set<std::size_t> vars;
+    std::size_t min_chunk = config.num_chunks, max_chunk = 0;
+    for (FileId id : r.files) {
+      vars.insert(id / config.num_chunks);
+      const std::size_t chunk = id % config.num_chunks;
+      min_chunk = std::min(min_chunk, chunk);
+      max_chunk = std::max(max_chunk, chunk);
+    }
+    const std::size_t width = max_chunk - min_chunk + 1;
+    EXPECT_LE(width, config.max_range_chunks);
+    EXPECT_EQ(r.size(), vars.size() * width)
+        << "bundle is not (group x contiguous range): " << r.to_string();
+  }
+}
+
+TEST(ClimateScenario, Deterministic) {
+  ClimateConfig config;
+  config.num_jobs = 50;
+  EXPECT_EQ(generate_climate_workload(config).job_index,
+            generate_climate_workload(config).job_index);
+}
+
+TEST(ClimateScenario, RejectsBadConfig) {
+  ClimateConfig config;
+  config.max_range_chunks = 0;
+  EXPECT_THROW((void)generate_climate_workload(config), std::invalid_argument);
+  config = ClimateConfig{};
+  config.max_group_vars = config.num_variables + 1;
+  EXPECT_THROW((void)generate_climate_workload(config), std::invalid_argument);
+}
+
+TEST(BitmapScenario, QueriesAreContiguousBinRuns) {
+  BitmapConfig config;
+  config.num_attributes = 5;
+  config.bins_per_attribute = 8;
+  config.max_query_attrs = 2;
+  config.max_range_bins = 3;
+  config.num_query_pool = 50;
+  config.num_jobs = 100;
+  const Workload w = generate_bitmap_workload(config);
+
+  EXPECT_EQ(w.catalog.count(), 40u);  // attributes x bins
+  EXPECT_FALSE(w.pool.empty());
+
+  for (const Request& r : w.pool) {
+    // Group files per attribute; each group must be a contiguous bin run
+    // of width <= max_range_bins.
+    std::unordered_set<std::size_t> attrs;
+    for (FileId id : r.files) attrs.insert(id / config.bins_per_attribute);
+    EXPECT_LE(attrs.size(), config.max_query_attrs);
+    for (std::size_t attr : attrs) {
+      std::vector<std::size_t> bins;
+      for (FileId id : r.files) {
+        if (id / config.bins_per_attribute == attr)
+          bins.push_back(id % config.bins_per_attribute);
+      }
+      // Canonical request order makes bins sorted already.
+      EXPECT_LE(bins.size(), config.max_range_bins);
+      for (std::size_t k = 1; k < bins.size(); ++k) {
+        EXPECT_EQ(bins[k], bins[k - 1] + 1)
+            << "non-contiguous bin run in " << r.to_string();
+      }
+    }
+  }
+}
+
+TEST(BitmapScenario, CenterBinsAreDenser) {
+  // The triangular compressed-size profile should make center bins larger
+  // than edge bins on average.
+  BitmapConfig config;
+  config.num_attributes = 30;
+  config.bins_per_attribute = 21;
+  config.num_query_pool = 10;
+  config.num_jobs = 10;
+  const Workload w = generate_bitmap_workload(config);
+  double center_sum = 0.0, edge_sum = 0.0;
+  for (std::size_t attr = 0; attr < config.num_attributes; ++attr) {
+    center_sum += static_cast<double>(
+        w.catalog.size_of(static_cast<FileId>(attr * 21 + 10)));
+    edge_sum += static_cast<double>(
+        w.catalog.size_of(static_cast<FileId>(attr * 21)));
+  }
+  EXPECT_GT(center_sum, edge_sum);
+}
+
+TEST(BitmapScenario, Deterministic) {
+  BitmapConfig config;
+  config.num_jobs = 50;
+  EXPECT_EQ(generate_bitmap_workload(config).job_index,
+            generate_bitmap_workload(config).job_index);
+}
+
+TEST(BitmapScenario, RejectsBadConfig) {
+  BitmapConfig config;
+  config.num_attributes = 0;
+  EXPECT_THROW((void)generate_bitmap_workload(config), std::invalid_argument);
+  config = BitmapConfig{};
+  config.max_range_bins = config.bins_per_attribute + 1;
+  EXPECT_THROW((void)generate_bitmap_workload(config), std::invalid_argument);
+}
+
+TEST(Scenarios, JobsAreDrawnFromThePool) {
+  const Workload w = generate_henp_workload(HenpConfig{});
+  for (std::size_t j = 0; j < w.jobs.size(); ++j) {
+    ASSERT_LT(w.job_index[j], w.pool.size());
+    EXPECT_EQ(w.jobs[j], w.pool[w.job_index[j]]);
+  }
+}
+
+}  // namespace
+}  // namespace fbc

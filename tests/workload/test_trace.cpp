@@ -1,0 +1,160 @@
+// Tests for trace text serialization.
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "workload/workload.hpp"
+
+namespace fbc {
+namespace {
+
+Trace sample_trace() {
+  Trace trace;
+  trace.catalog.add_file(100);
+  trace.catalog.add_file(200);
+  trace.catalog.add_file(300);
+  trace.jobs.push_back(Request({0, 2}));
+  trace.jobs.push_back(Request({1}));
+  trace.jobs.push_back(Request({0, 1, 2}));
+  return trace;
+}
+
+TEST(Trace, StreamRoundTrip) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_trace(ss, original);
+  const Trace loaded = read_trace(ss);
+  ASSERT_EQ(loaded.catalog.count(), original.catalog.count());
+  for (FileId id = 0; id < original.catalog.count(); ++id) {
+    EXPECT_EQ(loaded.catalog.size_of(id), original.catalog.size_of(id));
+  }
+  EXPECT_EQ(loaded.jobs, original.jobs);
+}
+
+TEST(Trace, FileRoundTrip) {
+  const Trace original = sample_trace();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fbc_trace_test.txt").string();
+  save_trace(path, original);
+  const Trace loaded = load_trace(path);
+  EXPECT_EQ(loaded.jobs, original.jobs);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, GeneratedWorkloadRoundTrips) {
+  WorkloadConfig config;
+  config.cache_bytes = 100 * MiB;
+  config.num_files = 50;
+  config.num_requests = 30;
+  config.num_jobs = 500;
+  const Workload w = generate_workload(config);
+  Trace trace{w.catalog, w.jobs, {}, {}};
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const Trace loaded = read_trace(ss);
+  EXPECT_EQ(loaded.jobs, trace.jobs);
+}
+
+TEST(Trace, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss;
+  ss << "# a comment\n\nfbc-trace v1\n# another\nfiles 1\n\n64\n"
+     << "jobs 1\n# job follows\n2 0 0\n";
+  const Trace trace = read_trace(ss);
+  EXPECT_EQ(trace.catalog.count(), 1u);
+  // Duplicate ids canonicalize away.
+  EXPECT_EQ(trace.jobs.front(), Request({0}));
+}
+
+TEST(Trace, BadMagicRejected) {
+  std::stringstream ss("not-a-trace\nfiles 0\njobs 0\n");
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(Trace, OutOfRangeFileIdRejected) {
+  std::stringstream ss("fbc-trace v1\nfiles 1\n64\njobs 1\n1 5\n");
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(Trace, TruncatedFileTableRejected) {
+  std::stringstream ss("fbc-trace v1\nfiles 3\n64\n");
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(Trace, TruncatedJobListRejected) {
+  std::stringstream ss("fbc-trace v1\nfiles 1\n64\njobs 2\n1 0\n");
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(Trace, JobRowCountMismatchRejected) {
+  std::stringstream short_row("fbc-trace v1\nfiles 2\n64\n64\njobs 1\n2 0\n");
+  EXPECT_THROW((void)read_trace(short_row), std::runtime_error);
+  std::stringstream long_row(
+      "fbc-trace v1\nfiles 2\n64\n64\njobs 1\n1 0 1\n");
+  EXPECT_THROW((void)read_trace(long_row), std::runtime_error);
+}
+
+TEST(Trace, ZeroSizeFileRejected) {
+  std::stringstream ss("fbc-trace v1\nfiles 1\n0\njobs 0\n");
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(Trace, EmptyJobRejected) {
+  std::stringstream ss("fbc-trace v1\nfiles 1\n64\njobs 1\n0\n");
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(Trace, MissingFileRejectedOnLoad) {
+  EXPECT_THROW((void)load_trace("/nonexistent/path/trace.txt"), std::runtime_error);
+}
+
+TEST(TraceV2, TimedRoundTrip) {
+  Trace original = sample_trace();
+  original.arrival_s = {0.0, 12.5, 30.0};
+  original.service_s = {1.0, 2.5, 0.0};
+  ASSERT_TRUE(original.is_timed());
+  std::stringstream ss;
+  write_trace(ss, original);
+  EXPECT_NE(ss.str().find("fbc-trace v2"), std::string::npos);
+  const Trace loaded = read_trace(ss);
+  EXPECT_TRUE(loaded.is_timed());
+  EXPECT_EQ(loaded.jobs, original.jobs);
+  EXPECT_EQ(loaded.arrival_s, original.arrival_s);
+  EXPECT_EQ(loaded.service_s, original.service_s);
+}
+
+TEST(TraceV2, UntimedStaysV1) {
+  std::stringstream ss;
+  write_trace(ss, sample_trace());
+  EXPECT_NE(ss.str().find("fbc-trace v1"), std::string::npos);
+  EXPECT_FALSE(read_trace(ss).is_timed());
+}
+
+TEST(TraceV2, MissingTimingPrefixRejected) {
+  std::stringstream ss("fbc-trace v2\nfiles 1\n64\njobs 1\n1 0\n");
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceV2, DecreasingArrivalsRejected) {
+  std::stringstream ss(
+      "fbc-trace v2\nfiles 1\n64\njobs 2\n10 1 1 0\n5 1 1 0\n");
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceV2, NegativeServiceRejected) {
+  std::stringstream ss("fbc-trace v2\nfiles 1\n64\njobs 1\n0 -1 1 0\n");
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceV2, PartialTimingVectorsAreNotTimed) {
+  Trace trace = sample_trace();
+  trace.arrival_s = {0.0};  // wrong length
+  EXPECT_FALSE(trace.is_timed());
+}
+
+}  // namespace
+}  // namespace fbc

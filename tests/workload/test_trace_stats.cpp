@@ -1,0 +1,97 @@
+// Tests for trace statistics.
+#include "workload/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/workload.hpp"
+
+namespace fbc {
+namespace {
+
+Trace hand_trace() {
+  Trace trace;
+  trace.catalog.add_file(100);  // 0
+  trace.catalog.add_file(200);  // 1
+  trace.catalog.add_file(300);  // 2
+  trace.catalog.add_file(400);  // 3: never used
+  trace.jobs = {Request({0, 1}), Request({0, 1}), Request({0, 2}),
+                Request({2})};
+  return trace;
+}
+
+TEST(TraceStats, FileTable) {
+  const TraceStats stats = compute_trace_stats(hand_trace());
+  EXPECT_EQ(stats.file_count, 4u);
+  EXPECT_EQ(stats.total_file_bytes, 1000u);
+  EXPECT_DOUBLE_EQ(stats.file_bytes.mean(), 250.0);
+  EXPECT_DOUBLE_EQ(stats.file_bytes.min(), 100.0);
+  EXPECT_DOUBLE_EQ(stats.file_bytes.max(), 400.0);
+}
+
+TEST(TraceStats, BundleShapes) {
+  const TraceStats stats = compute_trace_stats(hand_trace());
+  EXPECT_EQ(stats.job_count, 4u);
+  EXPECT_DOUBLE_EQ(stats.bundle_files.mean(), (2 + 2 + 2 + 1) / 4.0);
+  EXPECT_DOUBLE_EQ(stats.bundle_bytes.mean(),
+                   (300 + 300 + 400 + 300) / 4.0);
+}
+
+TEST(TraceStats, PopularityAndDistinctness) {
+  const TraceStats stats = compute_trace_stats(hand_trace());
+  EXPECT_EQ(stats.distinct_requests, 3u);  // {0,1} twice
+  EXPECT_EQ(stats.top_request_count, 2u);
+}
+
+TEST(TraceStats, DegreesAndUnusedFiles) {
+  const TraceStats stats = compute_trace_stats(hand_trace());
+  // Distinct requests: {0,1}, {0,2}, {2}. Degrees: f0=2, f1=1, f2=2, f3=0.
+  EXPECT_EQ(stats.max_file_degree, 2u);
+  EXPECT_EQ(stats.unused_files, 1u);
+  EXPECT_DOUBLE_EQ(stats.file_degree.mean(), (2 + 1 + 2) / 3.0);
+  EXPECT_EQ(stats.touched_bytes, 600u);  // files 0, 1, 2
+}
+
+TEST(TraceStats, EmptyTrace) {
+  Trace trace;
+  trace.catalog.add_file(10);
+  const TraceStats stats = compute_trace_stats(trace);
+  EXPECT_EQ(stats.job_count, 0u);
+  EXPECT_EQ(stats.distinct_requests, 0u);
+  EXPECT_EQ(stats.top_request_count, 0u);
+  EXPECT_EQ(stats.unused_files, 1u);
+  EXPECT_EQ(stats.touched_bytes, 0u);
+}
+
+TEST(TraceStats, ZipfSkewShowsInTopDecile) {
+  WorkloadConfig config;
+  config.cache_bytes = 10 * MiB;
+  config.num_files = 100;
+  config.min_file_bytes = 10 * KiB;
+  config.num_requests = 100;
+  config.num_jobs = 5000;
+
+  config.popularity = Popularity::Uniform;
+  const Workload uniform = generate_workload(config);
+  config.popularity = Popularity::Zipf;
+  const Workload zipf = generate_workload(config);
+
+  const TraceStats u =
+      compute_trace_stats(Trace{uniform.catalog, uniform.jobs, {}, {}});
+  const TraceStats z = compute_trace_stats(Trace{zipf.catalog, zipf.jobs, {}, {}});
+  EXPECT_NEAR(u.top_decile_job_share, 0.1, 0.03);
+  EXPECT_GT(z.top_decile_job_share, 0.4);
+}
+
+TEST(TraceStats, PrintMentionsKeyRows) {
+  std::ostringstream oss;
+  print_trace_stats(oss, compute_trace_stats(hand_trace()));
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("max file degree d"), std::string::npos);
+  EXPECT_NE(out.find("distinct requests"), std::string::npos);
+  EXPECT_NE(out.find("jobs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,131 @@
+// Tests for end-to-end workload generation.
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+namespace fbc {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig config;
+  config.seed = 42;
+  config.cache_bytes = 1 * GiB;
+  config.num_files = 200;
+  config.min_file_bytes = 1 * MiB;
+  config.max_file_frac = 0.01;
+  config.num_requests = 100;
+  config.min_bundle_files = 1;
+  config.max_bundle_files = 5;
+  config.num_jobs = 2000;
+  return config;
+}
+
+TEST(Workload, ShapesMatchConfig) {
+  const Workload w = generate_workload(small_config());
+  EXPECT_EQ(w.catalog.count(), 200u);
+  EXPECT_EQ(w.pool.size(), 100u);
+  EXPECT_EQ(w.jobs.size(), 2000u);
+  EXPECT_EQ(w.job_index.size(), 2000u);
+  for (std::size_t idx : w.job_index) EXPECT_LT(idx, w.pool.size());
+  for (std::size_t j = 0; j < w.jobs.size(); ++j) {
+    EXPECT_EQ(w.jobs[j], w.pool[w.job_index[j]]);
+  }
+}
+
+TEST(Workload, FileSizesFollowCacheFraction) {
+  const WorkloadConfig config = small_config();
+  const Workload w = generate_workload(config);
+  const Bytes max_allowed = static_cast<Bytes>(
+      config.max_file_frac * static_cast<double>(config.cache_bytes));
+  for (FileId id = 0; id < w.catalog.count(); ++id) {
+    EXPECT_GE(w.catalog.size_of(id), config.min_file_bytes);
+    EXPECT_LE(w.catalog.size_of(id), max_allowed);
+  }
+}
+
+TEST(Workload, BundlesFitInCache) {
+  const WorkloadConfig config = small_config();
+  const Workload w = generate_workload(config);
+  for (const Request& r : w.pool) {
+    EXPECT_LE(w.catalog.request_bytes(r), config.cache_bytes);
+  }
+}
+
+TEST(Workload, DeterministicForSameSeed) {
+  const Workload a = generate_workload(small_config());
+  const Workload b = generate_workload(small_config());
+  EXPECT_EQ(a.job_index, b.job_index);
+  EXPECT_EQ(a.pool, b.pool);
+  ASSERT_EQ(a.catalog.count(), b.catalog.count());
+  for (FileId id = 0; id < a.catalog.count(); ++id) {
+    EXPECT_EQ(a.catalog.size_of(id), b.catalog.size_of(id));
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadConfig c1 = small_config(), c2 = small_config();
+  c2.seed = 43;
+  EXPECT_NE(generate_workload(c1).job_index, generate_workload(c2).job_index);
+}
+
+TEST(Workload, ZipfSkewsJobFrequencies) {
+  WorkloadConfig config = small_config();
+  config.popularity = Popularity::Zipf;
+  config.zipf_alpha = 1.0;
+  config.num_jobs = 20000;
+  const Workload w = generate_workload(config);
+
+  std::map<std::size_t, std::size_t> counts;
+  for (std::size_t idx : w.job_index) counts[idx] += 1;
+  std::size_t max_count = 0;
+  for (const auto& [idx, count] : counts) max_count = std::max(max_count, count);
+  // Under Zipf(1) over 100 requests, the most popular one gets ~19% of
+  // draws; uniform would give ~1%. 8% is a safe discriminator.
+  EXPECT_GT(static_cast<double>(max_count) / static_cast<double>(config.num_jobs),
+            0.08);
+}
+
+TEST(Workload, UniformKeepsFrequenciesFlat) {
+  WorkloadConfig config = small_config();
+  config.num_jobs = 20000;
+  const Workload w = generate_workload(config);
+  std::map<std::size_t, std::size_t> counts;
+  for (std::size_t idx : w.job_index) counts[idx] += 1;
+  for (const auto& [idx, count] : counts) {
+    EXPECT_LT(count, 400u) << "pool entry " << idx << " drawn too often";
+  }
+}
+
+TEST(Workload, MeanRequestBytesAndCacheUnits) {
+  const Workload w = generate_workload(small_config());
+  const double mean = w.mean_request_bytes();
+  EXPECT_GT(mean, 0.0);
+  const double per_cache = w.requests_per_cache(1 * GiB);
+  EXPECT_NEAR(per_cache, static_cast<double>(1 * GiB) / mean, 1e-6);
+}
+
+TEST(Workload, RejectsBadConfigs) {
+  WorkloadConfig config = small_config();
+  config.cache_bytes = 0;
+  EXPECT_THROW((void)generate_workload(config), std::invalid_argument);
+  config = small_config();
+  config.max_file_frac = 0.0;
+  EXPECT_THROW((void)generate_workload(config), std::invalid_argument);
+  config = small_config();
+  config.max_file_frac = 1.5;
+  EXPECT_THROW((void)generate_workload(config), std::invalid_argument);
+  config = small_config();
+  config.max_bundle_frac = 0.0;
+  EXPECT_THROW((void)generate_workload(config), std::invalid_argument);
+}
+
+TEST(PopularityToString, Names) {
+  EXPECT_EQ(to_string(Popularity::Uniform), "uniform");
+  EXPECT_EQ(to_string(Popularity::Zipf), "zipf");
+}
+
+}  // namespace
+}  // namespace fbc

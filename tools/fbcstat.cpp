@@ -1,0 +1,45 @@
+// fbcstat: summarize the caching-relevant characteristics of a trace.
+//
+//   fbcstat --trace=trace.txt
+//   fbcstat --trace=trace.txt --cache=10GiB   # adds footprint ratios
+#include <iostream>
+#include <stdexcept>
+
+#include "util/cli.hpp"
+#include "workload/trace_stats.hpp"
+
+using namespace fbc;
+
+int main(int argc, char** argv) {
+  CliParser cli("fbcstat", "Summarize a file-bundle trace");
+  cli.add_option("trace", "input trace path", "trace.txt");
+  cli.add_option("cache", "optional cache size for footprint ratios", "");
+
+  try {
+    cli.parse(argc, argv);
+    const Trace trace = load_trace(cli.get_string("trace"));
+    const TraceStats stats = compute_trace_stats(trace);
+    print_trace_stats(std::cout, stats);
+
+    const std::string cache_arg = cli.get_string("cache");
+    if (!cache_arg.empty()) {
+      const Bytes cache = parse_bytes(cache_arg);
+      const double footprint_ratio =
+          static_cast<double>(stats.touched_bytes) /
+          static_cast<double>(cache);
+      const double requests_per_cache =
+          stats.bundle_bytes.mean() > 0.0
+              ? static_cast<double>(cache) / stats.bundle_bytes.mean()
+              : 0.0;
+      std::cout << "\nwith a " << format_bytes(cache) << " cache:\n"
+                << "  touched working set = " << format_double(footprint_ratio)
+                << "x the cache\n"
+                << "  cache holds ~" << format_double(requests_per_cache)
+                << " average bundles (the paper's cache-size unit)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "fbcstat: " << e.what() << "\n";
+    return 1;
+  }
+}
