@@ -51,14 +51,14 @@ int main(int argc, char** argv) {
   // Optionally persist the trace (replayable with load_trace()).
   const std::string trace_path = cli.get_string("save-trace");
   if (!trace_path.empty()) {
-    save_trace(trace_path, Trace{w.catalog, w.jobs, {}, {}});
+    save_trace(trace_path, Trace{w.catalog, w.jobs, {}, {}, {}});
     std::cout << "trace written to " << trace_path << "\n";
   }
 
   // Round-trip the workload through the trace format to prove replay
   // equivalence, then simulate from the replayed trace.
   std::stringstream buffer;
-  write_trace(buffer, Trace{w.catalog, w.jobs, {}, {}});
+  write_trace(buffer, Trace{w.catalog, w.jobs, {}, {}, {}});
   const Trace replay = read_trace(buffer);
 
   TextTable table({"policy", "request_hit", "byte_miss",

@@ -19,6 +19,7 @@ Simulator::Simulator(const SimulatorConfig& config, const FileCatalog& catalog,
 }
 
 void Simulator::serve_one(const Request& request, CacheMetrics& metrics) {
+  if (observer_ != nullptr) observer_->on_job_start(request, cache_);
   policy_->on_job_arrival(request, cache_);
 
   const Bytes requested = catalog_->request_bytes(request);
@@ -29,6 +30,8 @@ void Simulator::serve_one(const Request& request, CacheMetrics& metrics) {
     FBC_LOG(Warn) << "skipping unserviceable request " << request.to_string()
                   << " (" << format_bytes(requested) << " > cache "
                   << format_bytes(cache_.capacity()) << ")";
+    if (observer_ != nullptr)
+      observer_->on_job_serviced(request, cache_, metrics);
     return;
   }
 
@@ -36,6 +39,8 @@ void Simulator::serve_one(const Request& request, CacheMetrics& metrics) {
   if (missing.empty()) {
     metrics.record_job(requested, 0, request.size(), request.size());
     policy_->on_request_hit(request, cache_);
+    if (observer_ != nullptr)
+      observer_->on_job_serviced(request, cache_, metrics);
     return;
   }
 
@@ -67,6 +72,7 @@ void Simulator::serve_one(const Request& request, CacheMetrics& metrics) {
       cache_.evict(victim);
       metrics.record_eviction(size);
       policy_->on_file_evicted(victim);
+      if (observer_ != nullptr) observer_->on_eviction(victim, cache_);
       ++result_.victims;
     }
     if (cache_.free_bytes() < missing_bytes)
@@ -93,6 +99,7 @@ void Simulator::serve_one(const Request& request, CacheMetrics& metrics) {
     metrics.record_prefetch(size);
   }
   assert(cache_.used_bytes() <= cache_.capacity());
+  if (observer_ != nullptr) observer_->on_job_serviced(request, cache_, metrics);
 }
 
 SimulationResult Simulator::run(std::span<const Request> jobs) {
@@ -111,6 +118,7 @@ SimulationResult Simulator::run(std::span<const Request> jobs) {
       metrics.record_queue_wait(0.0);
       ++served;
     }
+    if (observer_ != nullptr) observer_->on_run_complete(cache_, result_);
     return result_;
   }
 
@@ -167,13 +175,16 @@ SimulationResult Simulator::run(std::span<const Request> jobs) {
       admit_until_full();
     }
   }
+  if (observer_ != nullptr) observer_->on_run_complete(cache_, result_);
   return result_;
 }
 
 SimulationResult simulate(const SimulatorConfig& config,
                           const FileCatalog& catalog, ReplacementPolicy& policy,
-                          std::span<const Request> jobs) {
+                          std::span<const Request> jobs,
+                          SimulationObserver* observer) {
   Simulator sim(config, catalog, policy);
+  sim.set_observer(observer);
   return sim.run(jobs);
 }
 

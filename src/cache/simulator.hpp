@@ -67,6 +67,48 @@ class PolicyContractViolation : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Passive observation hook for auditing or tracing a simulation from
+/// outside the policy. The simulator invokes the callbacks below at fixed
+/// protocol points; observers see the live cache and metrics objects and
+/// must not mutate them. The invariant-audit fuzzer (`src/testing/`)
+/// attaches an InvariantAuditor here to re-check capacity, pinning and
+/// hit/miss accounting independently after every admission.
+class SimulationObserver {
+ public:
+  virtual ~SimulationObserver() = default;
+
+  /// Called at the start of servicing one job, before hit/miss resolution.
+  virtual void on_job_start(const Request& request, const DiskCache& cache) {
+    (void)request;
+    (void)cache;
+  }
+
+  /// Called after each eviction performed on behalf of a replacement
+  /// decision (the victim is already gone from `cache`).
+  virtual void on_eviction(FileId id, const DiskCache& cache) {
+    (void)id;
+    (void)cache;
+  }
+
+  /// Called after one job has been fully serviced -- admission, metrics
+  /// update and prefetch included -- or skipped as unserviceable.
+  /// `metrics` is the counter object the job was recorded into (warm-up
+  /// or measured).
+  virtual void on_job_serviced(const Request& request, const DiskCache& cache,
+                               const CacheMetrics& metrics) {
+    (void)request;
+    (void)cache;
+    (void)metrics;
+  }
+
+  /// Called once when the whole run is complete.
+  virtual void on_run_complete(const DiskCache& cache,
+                               const SimulationResult& result) {
+    (void)cache;
+    (void)result;
+  }
+};
+
 /// Single-run simulation driver (see file comment).
 class Simulator {
  public:
@@ -77,6 +119,12 @@ class Simulator {
   /// Services `jobs` in order (or via the batched queue) and returns the
   /// accumulated metrics. May be called once per Simulator instance.
   SimulationResult run(std::span<const Request> jobs);
+
+  /// Attaches an observer (nullptr detaches). Call before run(); the
+  /// observer must outlive the run.
+  void set_observer(SimulationObserver* observer) noexcept {
+    observer_ = observer;
+  }
 
   /// Post-run cache inspection (e.g. tests asserting final contents).
   [[nodiscard]] const DiskCache& cache() const noexcept { return cache_; }
@@ -89,13 +137,16 @@ class Simulator {
   ReplacementPolicy* policy_;
   DiskCache cache_;
   SimulationResult result_;
+  SimulationObserver* observer_ = nullptr;
   bool ran_ = false;
 };
 
-/// Convenience wrapper: constructs a Simulator and runs `jobs`.
+/// Convenience wrapper: constructs a Simulator and runs `jobs`, with an
+/// optional observer attached for the duration of the run.
 SimulationResult simulate(const SimulatorConfig& config,
                           const FileCatalog& catalog,
                           ReplacementPolicy& policy,
-                          std::span<const Request> jobs);
+                          std::span<const Request> jobs,
+                          SimulationObserver* observer = nullptr);
 
 }  // namespace fbc

@@ -293,7 +293,12 @@ SelectionResult OptCacheSelect::select(std::span<const SelectionItem> items,
 }
 
 SelectionResult exact_select(std::span<const SelectionItem> items,
-                             const FileCatalog& catalog, Bytes capacity) {
+                             const FileCatalog& catalog, Bytes capacity,
+                             std::uint64_t max_nodes,
+                             ExactSelectStats* stats) {
+  ExactSelectStats local_stats;
+  ExactSelectStats& search = stats != nullptr ? *stats : local_stats;
+  search = ExactSelectStats{};
   const std::size_t n = items.size();
   // Order by value descending so the suffix-sum bound prunes early.
   std::vector<std::size_t> order(n);
@@ -323,6 +328,12 @@ SelectionResult exact_select(std::span<const SelectionItem> items,
       best_set = current;
     }
     if (pos == n) return;
+    if (search.truncated) return;
+    if (max_nodes != 0 && search.nodes >= max_nodes) {
+      search.truncated = true;  // budget exhausted: keep the incumbent
+      return;
+    }
+    ++search.nodes;
     if (value + suffix[pos] <= best_value) return;  // bound
 
     const std::size_t idx = order[pos];

@@ -105,10 +105,28 @@ class OptCacheSelect {
   std::span<const std::uint32_t> degrees_;
 };
 
+/// Search statistics reported by exact_select().
+struct ExactSelectStats {
+  /// Branch-and-bound nodes expanded (include/exclude decision points).
+  std::uint64_t nodes = 0;
+  /// True when the node budget was exhausted before the search completed.
+  /// The returned result is then only a feasible lower bound on the
+  /// optimum, not a certified optimum.
+  bool truncated = false;
+};
+
 /// Exact FBC optimum by branch-and-bound with union-size accounting.
 /// Exponential; intended for instances up to a few dozen items.
+///
+/// `max_nodes` bounds the number of search nodes expanded (0 = unbounded)
+/// so adversarial instances cannot hang callers such as the fuzzer; when
+/// the budget runs out the best solution found so far is returned and
+/// `stats->truncated` is set. `stats` (optional) receives the node count
+/// and truncation flag.
 [[nodiscard]] SelectionResult exact_select(std::span<const SelectionItem> items,
                                            const FileCatalog& catalog,
-                                           Bytes capacity);
+                                           Bytes capacity,
+                                           std::uint64_t max_nodes = 0,
+                                           ExactSelectStats* stats = nullptr);
 
 }  // namespace fbc

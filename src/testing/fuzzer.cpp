@@ -1,0 +1,199 @@
+#include "testing/fuzzer.hpp"
+
+#include <filesystem>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <system_error>
+
+#include "testing/shrink.hpp"
+
+#include "core/registry.hpp"
+
+namespace fbc::testing {
+namespace {
+
+std::string queue_mode_name(QueueMode mode) {
+  return mode == QueueMode::Sliding ? "sliding" : "batch";
+}
+
+/// Stamps failure provenance onto a reproducer trace.
+void stamp(Trace& trace, const Violation& violation, std::uint64_t seed,
+           std::uint64_t iteration) {
+  trace.set_meta("oracle", violation.oracle);
+  trace.set_meta("subject", violation.subject);
+  trace.set_meta("detail", violation.detail);
+  trace.set_meta("seed", std::to_string(seed));
+  trace.set_meta("iteration", std::to_string(iteration));
+}
+
+std::string write_reproducer(const Trace& trace, const std::string& out_dir,
+                             const char* kind, std::uint64_t seed,
+                             std::uint64_t iteration, std::ostream& log) {
+  if (out_dir.empty()) return {};
+  const std::string path = out_dir + "/fbcfuzz-" + kind + "-" +
+                           std::to_string(seed) + "-" +
+                           std::to_string(iteration) + ".trace";
+  try {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);  // best effort
+    save_trace(path, trace);
+  } catch (const std::exception& e) {
+    log << "fbcfuzz: failed to write reproducer " << path << ": " << e.what()
+        << "\n";
+    return {};
+  }
+  return path;
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzConfig& config, std::ostream& log) {
+  FuzzReport report;
+  Rng master(config.seed);
+  const std::vector<std::string> policies =
+      config.policies.empty() ? policy_names() : config.policies;
+
+  // One reproducer per distinct (oracle, subject) failure class.
+  std::set<std::pair<std::string, std::string>> seen;
+  auto fresh = [&](const Violation& v) {
+    return seen.insert({v.oracle, v.subject}).second;
+  };
+  auto capped = [&] {
+    return config.max_failures != 0 &&
+           report.failures.size() >= config.max_failures;
+  };
+
+  for (std::uint64_t iter = 0; iter < config.iters && !capped(); ++iter) {
+    ++report.iterations;
+    const std::uint64_t iter_seed = master.derive_seed(iter);
+
+    if (config.run_select) {
+      Rng rng(iter_seed);
+      SelectInstance instance =
+          generate_select_instance(config.select_gen, rng);
+      ++report.select_instances;
+      SelectOracleStats stats;
+      std::vector<Violation> violations = check_select_instance(
+          instance, config.exact_node_budget, &stats);
+      if (stats.exact_truncated) ++report.exact_truncations;
+      for (const Violation& violation : violations) {
+        if (!fresh(violation) || capped()) continue;
+        log << "fbcfuzz: iter " << iter << ": " << violation.to_string()
+            << "\n";
+        SelectInstance repro = instance;
+        if (config.shrink) {
+          const std::uint64_t budget = config.exact_node_budget;
+          repro = shrink_select_instance(
+              std::move(repro), [&violation, budget](const SelectInstance& c) {
+                return contains_failure(check_select_instance(c, budget),
+                                        violation);
+              });
+        }
+        Trace trace = select_instance_to_trace(repro);
+        trace.set_meta("exact_nodes",
+                       std::to_string(config.exact_node_budget));
+        stamp(trace, violation, config.seed, iter);
+        FuzzFailure failure;
+        failure.violation = violation;
+        failure.iteration = iter;
+        failure.shrunk_jobs = repro.requests.size();
+        failure.reproducer_path = write_reproducer(
+            trace, config.out_dir, "select", config.seed, iter, log);
+        log << "fbcfuzz: shrunk to " << failure.shrunk_jobs << " request(s)";
+        if (!failure.reproducer_path.empty())
+          log << ", wrote " << failure.reproducer_path;
+        log << "\n";
+        report.failures.push_back(std::move(failure));
+      }
+    }
+
+    if (config.run_sim && !capped()) {
+      Rng rng(iter_seed ^ 0x51f7a11ceULL);
+      const SimInstance instance = generate_sim_instance(config.sim_gen, rng);
+      for (const std::string& policy : policies) {
+        if (capped()) break;
+        ++report.sim_runs;
+        std::vector<Violation> violations = check_simulation(
+            instance.trace, instance.config, policy, iter_seed);
+        for (const Violation& violation : violations) {
+          if (!fresh(violation) || capped()) continue;
+          log << "fbcfuzz: iter " << iter << ": " << violation.to_string()
+              << "\n";
+          SimInstance repro = instance;
+          if (config.shrink) {
+            const std::uint64_t seed = iter_seed;
+            repro = shrink_sim_instance(
+                std::move(repro),
+                [&violation, &policy, seed](const SimInstance& c) {
+                  return contains_failure(
+                      check_simulation(c.trace, c.config, policy, seed),
+                      violation);
+                });
+          }
+          Trace trace = repro.trace;
+          trace.set_meta("kind", "sim");
+          trace.set_meta("policy", policy);
+          trace.set_meta("cache_bytes",
+                         std::to_string(repro.config.cache_bytes));
+          trace.set_meta("queue_length",
+                         std::to_string(repro.config.queue_length));
+          trace.set_meta("queue_mode",
+                         queue_mode_name(repro.config.queue_mode));
+          trace.set_meta("warmup", std::to_string(repro.config.warmup_jobs));
+          trace.set_meta("policy_seed", std::to_string(iter_seed));
+          stamp(trace, violation, config.seed, iter);
+          FuzzFailure failure;
+          failure.violation = violation;
+          failure.iteration = iter;
+          failure.shrunk_jobs = repro.trace.jobs.size();
+          failure.reproducer_path = write_reproducer(
+              trace, config.out_dir, "sim", config.seed, iter, log);
+          log << "fbcfuzz: shrunk to " << failure.shrunk_jobs << " job(s)";
+          if (!failure.reproducer_path.empty())
+            log << ", wrote " << failure.reproducer_path;
+          log << "\n";
+          report.failures.push_back(std::move(failure));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<Violation> replay_reproducer(const Trace& trace) {
+  const std::string* kind = trace.meta_value("kind");
+  if (kind == nullptr)
+    throw std::runtime_error("replay: trace has no 'kind' meta entry");
+
+  if (*kind == "select") {
+    const SelectInstance instance = select_instance_from_trace(trace);
+    std::uint64_t budget = 0;
+    if (const std::string* nodes = trace.meta_value("exact_nodes"))
+      budget = std::stoull(*nodes);
+    return check_select_instance(instance, budget);
+  }
+  if (*kind == "sim") {
+    const std::string* policy = trace.meta_value("policy");
+    const std::string* cache_bytes = trace.meta_value("cache_bytes");
+    if (policy == nullptr || cache_bytes == nullptr)
+      throw std::runtime_error(
+          "replay: sim reproducer needs 'policy' and 'cache_bytes' meta");
+    SimulatorConfig config;
+    config.cache_bytes = std::stoull(*cache_bytes);
+    if (const std::string* queue = trace.meta_value("queue_length"))
+      config.queue_length = std::stoull(*queue);
+    if (const std::string* mode = trace.meta_value("queue_mode"))
+      config.queue_mode =
+          *mode == "sliding" ? QueueMode::Sliding : QueueMode::Batch;
+    if (const std::string* warmup = trace.meta_value("warmup"))
+      config.warmup_jobs = std::stoull(*warmup);
+    std::uint64_t seed = 0x5eedULL;
+    if (const std::string* s = trace.meta_value("policy_seed"))
+      seed = std::stoull(*s);
+    return check_simulation(trace, config, *policy, seed);
+  }
+  throw std::runtime_error("replay: unknown reproducer kind '" + *kind + "'");
+}
+
+}  // namespace fbc::testing

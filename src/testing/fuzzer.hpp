@@ -1,0 +1,72 @@
+// The differential fuzzing loop behind the fbcfuzz CLI.
+//
+// Every iteration derives an independent child seed, generates a random
+// select instance and a random simulation input, and runs the full oracle
+// battery (testing/oracles.hpp) on each. A failing iteration is shrunk to
+// a minimal reproducer (testing/shrink.hpp) and written out as a
+// self-contained v3 trace file that fbcfuzz --replay can re-check.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "testing/instance_gen.hpp"
+#include "testing/oracles.hpp"
+
+namespace fbc::testing {
+
+/// Configuration of one fuzzing campaign.
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t iters = 100;
+  /// Which oracle families run.
+  bool run_select = true;
+  bool run_sim = true;
+  /// Policies exercised by the simulation oracles; empty = every
+  /// registered policy. Names may use the "underfree:" self-test prefix.
+  std::vector<std::string> policies;
+  /// Node budget for the exact reference solver (0 = unbounded).
+  std::uint64_t exact_node_budget = 200000;
+  /// Directory reproducer traces are written into ("" = don't write).
+  std::string out_dir = ".";
+  /// Shrink failures before reporting (slower, much better reproducers).
+  bool shrink = true;
+  /// Stop the campaign after this many distinct failures (0 = never).
+  std::size_t max_failures = 8;
+  SelectGenConfig select_gen;
+  SimGenConfig sim_gen;
+};
+
+/// One caught-and-shrunk failure.
+struct FuzzFailure {
+  Violation violation;
+  std::uint64_t iteration = 0;
+  /// Path of the written reproducer trace ("" when out_dir was empty).
+  std::string reproducer_path;
+  /// Post-shrink instance size, in requests/jobs.
+  std::size_t shrunk_jobs = 0;
+};
+
+/// Campaign summary.
+struct FuzzReport {
+  std::uint64_t iterations = 0;
+  std::uint64_t select_instances = 0;
+  std::uint64_t sim_runs = 0;
+  std::uint64_t exact_truncations = 0;
+  std::vector<FuzzFailure> failures;
+
+  [[nodiscard]] bool clean() const noexcept { return failures.empty(); }
+};
+
+/// Runs the campaign, streaming one-line progress/failure notes to `log`.
+FuzzReport run_fuzz(const FuzzConfig& config, std::ostream& log);
+
+/// Re-checks a reproducer trace written by run_fuzz (meta-driven: select
+/// instances re-run the select oracles, simulation reproducers re-run
+/// check_simulation with the recorded policy and configuration). Returns
+/// the violations found, empty when the trace no longer fails.
+[[nodiscard]] std::vector<Violation> replay_reproducer(const Trace& trace);
+
+}  // namespace fbc::testing

@@ -1,0 +1,122 @@
+// Seeded random FBC instance and job-trace generation for the fuzzer.
+//
+// Two generators, both fully determined by the caller's Rng state:
+//
+//   * generate_select_instance() -- a static FBC instance (catalog,
+//     requests with values, capacity, optional free files) small enough
+//     for exact_select() to serve as a differential oracle. The hot-set
+//     knobs concentrate bundle draws on a few files, driving the maximum
+//     file degree d(f) up -- exactly the regime where the Theorem 4.1
+//     bound is loosest and greedy-variant bugs hide.
+//
+//   * generate_sim_instance() -- a replayable job trace plus a simulator
+//     configuration (cache size, queue length/mode), built over the
+//     workload/ file-pool generator with uniform or Zipf popularity.
+//     Cache capacity is sometimes drawn below the largest bundle so the
+//     unserviceable path is exercised too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cache/catalog.hpp"
+#include "cache/simulator.hpp"
+#include "cache/types.hpp"
+#include "core/opt_cache_select.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace fbc::testing {
+
+/// A self-contained static FBC selection instance.
+struct SelectInstance {
+  FileCatalog catalog;
+  std::vector<Request> requests;
+  std::vector<double> values;  ///< parallel to `requests`, >= 0, integral
+  std::vector<FileId> free_files;  ///< sorted, may be empty
+  Bytes capacity = 0;
+
+  /// Non-owning SelectionItem view; valid while `requests` is unmoved.
+  [[nodiscard]] std::vector<SelectionItem> items() const;
+
+  /// d(f) per file: how many requests' bundles contain it.
+  [[nodiscard]] std::vector<std::uint32_t> degrees() const;
+};
+
+/// Knobs for generate_select_instance(). All ranges are inclusive.
+struct SelectGenConfig {
+  std::size_t min_files = 3;
+  std::size_t max_files = 20;
+  std::size_t min_requests = 2;
+  std::size_t max_requests = 12;
+  std::size_t max_bundle_files = 5;
+  Bytes min_file_bytes = 1;
+  Bytes max_file_bytes = 64;
+  /// Shared-file overlap: with probability `hot_prob` each file pick is
+  /// drawn from the first `hot_files` catalog entries instead of the whole
+  /// catalog, raising d(f) on the hot set.
+  double hot_prob = 0.6;
+  std::size_t hot_files = 4;
+  /// Item values are uniform integers in [0, max_value] (0 exercises the
+  /// worthless-item paths).
+  std::uint64_t max_value = 12;
+  /// Probability that the instance declares free files (an incoming
+  /// bundle, as OptFileBundle passes them).
+  double free_file_prob = 0.4;
+};
+
+/// Generates one random instance; deterministic in the Rng state.
+[[nodiscard]] SelectInstance generate_select_instance(
+    const SelectGenConfig& config, Rng& rng);
+
+/// A replayable simulation input: job trace plus simulator configuration.
+struct SimInstance {
+  Trace trace;
+  SimulatorConfig config;
+};
+
+/// Knobs for generate_sim_instance(). All ranges are inclusive.
+struct SimGenConfig {
+  std::size_t min_files = 4;
+  std::size_t max_files = 24;
+  std::size_t min_pool = 3;
+  std::size_t max_pool = 12;
+  std::size_t min_jobs = 4;
+  std::size_t max_jobs = 48;
+  std::size_t max_bundle_files = 5;
+  Bytes min_file_bytes = 1;
+  Bytes max_file_bytes = 64;
+  /// Hot-set overlap, as in SelectGenConfig.
+  double hot_prob = 0.5;
+  std::size_t hot_files = 4;
+  /// Job popularity over the pool: Zipf(alpha) with probability
+  /// `zipf_prob` (alpha drawn uniform in [0.5, zipf_alpha_max]), else
+  /// uniform.
+  double zipf_prob = 0.5;
+  double zipf_alpha_max = 1.5;
+  /// Probability that the cache is drawn smaller than the largest bundle,
+  /// exercising the unserviceable path.
+  double undersized_prob = 0.1;
+  /// Queue length is uniform in [1, max_queue_length]; mode is a coin
+  /// flip between Batch and Sliding when > 1.
+  std::size_t max_queue_length = 4;
+  /// Warm-up prefix is uniform in [0, max_warmup].
+  std::size_t max_warmup = 3;
+};
+
+/// Generates one random simulation input; deterministic in the Rng state.
+[[nodiscard]] SimInstance generate_sim_instance(const SimGenConfig& config,
+                                                Rng& rng);
+
+/// Serializes a select instance as a v3 trace: one (untimed) job per
+/// request plus `kind/capacity/values/free` meta entries, so reproducers
+/// and regression fixtures are plain trace files per docs/TRACE-FORMAT.md.
+[[nodiscard]] Trace select_instance_to_trace(const SelectInstance& instance);
+
+/// Parses a trace produced by select_instance_to_trace(). Throws
+/// std::runtime_error when the required meta entries are missing or
+/// malformed.
+[[nodiscard]] SelectInstance select_instance_from_trace(const Trace& trace);
+
+}  // namespace fbc::testing

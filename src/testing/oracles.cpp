@@ -1,0 +1,276 @@
+#include "testing/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "core/bounds.hpp"
+#include "core/registry.hpp"
+
+namespace fbc::testing {
+namespace {
+
+constexpr SelectVariant kVariants[] = {SelectVariant::Basic,
+                                       SelectVariant::Resort,
+                                       SelectVariant::Seeded1,
+                                       SelectVariant::Seeded2};
+
+std::string fmt(double v) {
+  std::ostringstream oss;
+  oss << v;
+  return oss.str();
+}
+
+/// Structural checks shared by every variant (and the exact solver).
+/// `check_single_override` is off for a truncated exact solve, whose
+/// incumbent legitimately may not have reached the step-3 comparison.
+void check_structure(const SelectInstance& inst,
+                     std::span<const SelectionItem> items,
+                     std::span<const FileId> free_sorted,
+                     const SelectionResult& result, const std::string& subject,
+                     std::vector<Violation>& out,
+                     bool check_single_override = true) {
+  std::set<std::size_t> unique(result.chosen.begin(), result.chosen.end());
+  if (unique.size() != result.chosen.size()) {
+    out.push_back({"select.structure", subject, "chosen indices repeat"});
+  }
+  double value_sum = 0.0;
+  for (std::size_t idx : result.chosen) {
+    if (idx >= items.size()) {
+      out.push_back({"select.structure", subject,
+                     "chosen index " + std::to_string(idx) + " out of range"});
+      return;
+    }
+    if (items[idx].value <= 0.0) {
+      out.push_back({"select.structure", subject,
+                     "worthless item " + std::to_string(idx) + " chosen"});
+    }
+    value_sum += items[idx].value;
+  }
+  if (std::abs(result.total_value - value_sum) > 1e-9) {
+    out.push_back({"select.structure", subject,
+                   "total_value " + fmt(result.total_value) +
+                       " != recomputed sum " + fmt(value_sum)});
+  }
+
+  std::set<FileId> expected;
+  for (std::size_t idx : result.chosen) {
+    for (FileId id : items[idx].request->files) expected.insert(id);
+  }
+  for (FileId id : free_sorted) expected.erase(id);
+  const std::vector<FileId> expected_sorted(expected.begin(), expected.end());
+  if (result.files != expected_sorted) {
+    out.push_back({"select.structure", subject,
+                   "reported files are not the union of chosen bundles minus "
+                   "the free set"});
+  }
+  if (result.file_bytes != inst.catalog.bundle_bytes(result.files)) {
+    out.push_back({"select.structure", subject,
+                   "file_bytes does not match the reported file set"});
+  }
+  if (result.file_bytes > inst.capacity) {
+    out.push_back({"select.feasibility", subject,
+                   "union " + std::to_string(result.file_bytes) +
+                       " bytes exceeds budget " +
+                       std::to_string(inst.capacity)});
+  }
+
+  // Algorithm 1 step 3: at least the best single request that fits alone.
+  if (!check_single_override) return;
+  double best_single = 0.0;
+  for (const SelectionItem& item : items) {
+    Bytes alone = 0;
+    for (FileId id : item.request->files) {
+      if (!std::binary_search(free_sorted.begin(), free_sorted.end(), id)) {
+        alone += inst.catalog.size_of(id);
+      }
+    }
+    if (alone <= inst.capacity) best_single = std::max(best_single, item.value);
+  }
+  if (result.total_value + 1e-9 < best_single) {
+    out.push_back({"select.single-override", subject,
+                   "value " + fmt(result.total_value) +
+                       " below the best single fitting request " +
+                       fmt(best_single)});
+  }
+}
+
+}  // namespace
+
+bool same_failure(const Violation& a, const Violation& b) {
+  return a.oracle == b.oracle && a.subject == b.subject;
+}
+
+bool contains_failure(const std::vector<Violation>& violations,
+                      const Violation& target) {
+  return std::any_of(
+      violations.begin(), violations.end(),
+      [&](const Violation& v) { return same_failure(v, target); });
+}
+
+std::vector<Violation> check_select_instance(const SelectInstance& instance,
+                                             std::uint64_t exact_node_budget,
+                                             SelectOracleStats* stats) {
+  std::vector<Violation> out;
+  const std::vector<SelectionItem> items = instance.items();
+  const std::vector<std::uint32_t> degrees = instance.degrees();
+  OptCacheSelect selector(instance.catalog, degrees);
+
+  // Pass 1: structural/feasibility oracles under the declared free files.
+  for (SelectVariant variant : kVariants) {
+    const SelectionResult result = selector.select(
+        items, instance.capacity, variant, instance.free_files);
+    check_structure(instance, items, instance.free_files, result,
+                    to_string(variant), out);
+  }
+
+  // Pass 2: differential oracles against the exact optimum. exact_select
+  // has no free-file support, so this pass runs without free files.
+  ExactSelectStats exact_stats;
+  const SelectionResult exact = exact_select(
+      items, instance.catalog, instance.capacity, exact_node_budget,
+      &exact_stats);
+  if (stats != nullptr) {
+    stats->exact_truncated = exact_stats.truncated;
+    stats->exact_nodes = exact_stats.nodes;
+  }
+  check_structure(instance, items, {}, exact, "exact", out,
+                  /*check_single_override=*/!exact_stats.truncated);
+
+  const std::uint32_t d = max_file_degree(items);
+  const double eps = 1e-9 * std::max(1.0, exact.total_value);
+  double value_of[4] = {};
+  for (std::size_t v = 0; v < 4; ++v) {
+    const SelectionResult result =
+        selector.select(items, instance.capacity, kVariants[v], {});
+    check_structure(instance, items, {}, result, to_string(kVariants[v]), out);
+    value_of[v] = result.total_value;
+
+    if (!exact_stats.truncated && result.total_value > exact.total_value + eps) {
+      // The greedy can never beat a true optimum; exact_select is broken.
+      out.push_back({"select.exact-dominated", "exact",
+                     to_string(kVariants[v]) + " found " +
+                         fmt(result.total_value) + " > exact optimum " +
+                         fmt(exact.total_value)});
+    }
+    if (!exact_stats.truncated) {
+      const double factor = kVariants[v] == SelectVariant::Seeded2
+                                ? seeded_bound_factor(d)
+                                : greedy_bound_factor(d);
+      if (result.total_value + eps < factor * exact.total_value) {
+        out.push_back({"select.bound", to_string(kVariants[v]),
+                       "value " + fmt(result.total_value) +
+                           " below Theorem 4.1 floor " +
+                           fmt(factor * exact.total_value) + " (d=" +
+                           std::to_string(d) + ", exact=" +
+                           fmt(exact.total_value) + ")"});
+      }
+    }
+  }
+
+  // Dominance: the seeded enumerations are supersets of the plain greedy.
+  if (value_of[2] + 1e-9 < value_of[1]) {
+    out.push_back({"select.dominance", "seeded1",
+                   "seeded1 " + fmt(value_of[2]) + " below resort " +
+                       fmt(value_of[1])});
+  }
+  if (value_of[3] + 1e-9 < value_of[2]) {
+    out.push_back({"select.dominance", "seeded2",
+                   "seeded2 " + fmt(value_of[3]) + " below seeded1 " +
+                       fmt(value_of[2])});
+  }
+  return out;
+}
+
+namespace {
+
+/// Deliberately broken wrapper: drops the last victim whenever the inner
+/// policy chose more than one, under-freeing space. Exists so the fuzzer
+/// can prove to itself that capacity bugs are caught and shrunk.
+class UnderfreePolicy : public ReplacementPolicy {
+ public:
+  explicit UnderfreePolicy(PolicyPtr inner) : inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "underfree:" + inner_->name();
+  }
+  void on_job_arrival(const Request& request, const DiskCache& cache) override {
+    inner_->on_job_arrival(request, cache);
+  }
+  void on_request_hit(const Request& request, const DiskCache& cache) override {
+    inner_->on_request_hit(request, cache);
+  }
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, Bytes bytes_needed,
+      const DiskCache& cache) override {
+    std::vector<FileId> victims =
+        inner_->select_victims(request, bytes_needed, cache);
+    if (victims.size() > 1) victims.pop_back();  // the injected bug
+    return victims;
+  }
+  void on_files_loaded(const Request& request, std::span<const FileId> loaded,
+                       const DiskCache& cache) override {
+    inner_->on_files_loaded(request, loaded, cache);
+  }
+  void on_file_evicted(FileId id) override { inner_->on_file_evicted(id); }
+  [[nodiscard]] std::vector<FileId> prefetch(const Request& request,
+                                             const DiskCache& cache) override {
+    return inner_->prefetch(request, cache);
+  }
+  void reset() override { inner_->reset(); }
+
+ private:
+  PolicyPtr inner_;
+};
+
+PolicyPtr make_checked_policy(const std::string& policy_name,
+                              const PolicyContext& context) {
+  constexpr std::string_view kUnderfree = "underfree:";
+  if (policy_name.rfind(kUnderfree, 0) == 0) {
+    return make_underfree_policy(make_policy(
+        policy_name.substr(kUnderfree.size()), context));
+  }
+  return make_policy(policy_name, context);
+}
+
+}  // namespace
+
+PolicyPtr make_underfree_policy(PolicyPtr inner) {
+  return std::make_unique<UnderfreePolicy>(std::move(inner));
+}
+
+std::vector<Violation> check_simulation(const Trace& trace,
+                                        const SimulatorConfig& config,
+                                        const std::string& policy_name,
+                                        std::uint64_t seed) {
+  std::vector<Violation> out;
+  PolicyContext context;
+  context.catalog = &trace.catalog;
+  context.jobs = trace.jobs;
+  context.seed = seed;
+
+  PolicyPtr policy;
+  try {
+    policy = make_checked_policy(policy_name, context);
+  } catch (const std::exception& e) {
+    out.push_back({"sim.setup", policy_name, e.what()});
+    return out;
+  }
+
+  InvariantAuditor auditor(trace.catalog, policy_name);
+  try {
+    Simulator sim(config, trace.catalog, *policy);
+    sim.set_observer(&auditor);
+    (void)sim.run(trace.jobs);
+  } catch (const PolicyContractViolation& e) {
+    out.push_back({"sim.policy-contract", policy_name, e.what()});
+  } catch (const std::exception& e) {
+    out.push_back({"sim.exception", policy_name, e.what()});
+  }
+  out.insert(out.end(), auditor.violations().begin(),
+             auditor.violations().end());
+  return out;
+}
+
+}  // namespace fbc::testing

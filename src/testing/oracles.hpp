@@ -1,0 +1,70 @@
+// Differential oracles for the fuzzer.
+//
+// check_select_instance() runs every OptCacheSelect variant against the
+// exact branch-and-bound solver on one instance and checks:
+//   * structure  -- chosen indices unique/valid/positive-value, reported
+//     total equals the recomputed sum, `files` is exactly the union of
+//     chosen bundles minus the free files, `file_bytes` matches;
+//   * feasibility -- the chosen union fits the budget;
+//   * step-3 floor -- the result is at least the best single request that
+//     fits alone (Algorithm 1 step 3);
+//   * bounds (Theorem 4.1) -- Basic/Resort/Seeded1 reach at least
+//     1/2 (1 - e^{-1/d}) of the exact optimum and Seeded2 at least
+//     (1 - e^{-1/d}); no variant exceeds the optimum (which would convict
+//     exact_select instead);
+//   * dominance -- Seeded2 >= Seeded1 >= Resort (supersets of the same
+//     seed enumeration).
+//
+// check_simulation() replays a trace through the Simulator under one
+// registered policy with an InvariantAuditor attached, converting policy
+// contract exceptions into violations. The reserved policy-name prefix
+// "underfree:" wraps the named policy in a deliberately broken adapter
+// that drops its last victim -- a self-test hook proving the pipeline
+// catches capacity bugs (see docs/FUZZING.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "testing/audit.hpp"
+#include "testing/instance_gen.hpp"
+
+namespace fbc::testing {
+
+/// Side information from one check_select_instance() call.
+struct SelectOracleStats {
+  /// Exact solve hit its node budget: ratio oracles were skipped because
+  /// the reference value is only a lower bound.
+  bool exact_truncated = false;
+  std::uint64_t exact_nodes = 0;
+};
+
+/// Runs all select oracles on `instance` (see file comment). The exact
+/// reference solve is bounded by `exact_node_budget` nodes (0 = unbounded).
+[[nodiscard]] std::vector<Violation> check_select_instance(
+    const SelectInstance& instance, std::uint64_t exact_node_budget = 0,
+    SelectOracleStats* stats = nullptr);
+
+/// Instantiates `policy_name` (registry name, or "underfree:<name>" for
+/// the broken self-test adapter) and replays `trace` under `config` with
+/// an InvariantAuditor attached.
+[[nodiscard]] std::vector<Violation> check_simulation(
+    const Trace& trace, const SimulatorConfig& config,
+    const std::string& policy_name, std::uint64_t seed = 0x5eedULL);
+
+/// Wraps `inner` so select_victims drops its last victim whenever more
+/// than one is chosen -- under-freeing space. Exposed for the fuzzer's
+/// bug-injection self-test.
+[[nodiscard]] PolicyPtr make_underfree_policy(PolicyPtr inner);
+
+/// True when `a` and `b` refer to the same failure class (same oracle id
+/// and subject) -- the shrinking predicate's match criterion.
+[[nodiscard]] bool same_failure(const Violation& a, const Violation& b);
+
+/// True when `violations` contains a failure matching `target`.
+[[nodiscard]] bool contains_failure(const std::vector<Violation>& violations,
+                                    const Violation& target);
+
+}  // namespace fbc::testing

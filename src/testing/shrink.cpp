@@ -1,0 +1,255 @@
+#include "testing/shrink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace fbc::testing {
+namespace {
+
+/// Upper bound on full shrink rounds; each round only repeats while it
+/// makes progress, so this is a runaway guard, not a tuning knob.
+constexpr std::size_t kMaxRounds = 64;
+
+/// Rebuilds a catalog from an edited size table.
+FileCatalog catalog_with_sizes(std::vector<Bytes> sizes) {
+  return FileCatalog(std::move(sizes));
+}
+
+// Accessor shims so halve_sizes_pass works on both instance kinds.
+FileCatalog& candidate_catalog(SelectInstance& inst) { return inst.catalog; }
+FileCatalog& candidate_catalog(SimInstance& inst) {
+  return inst.trace.catalog;
+}
+
+/// Tries halving each file size (floor, min 1) while `pred` keeps failing.
+template <typename Instance, typename Pred>
+bool halve_sizes_pass(Instance& inst, FileCatalog& catalog, const Pred& pred) {
+  bool any = false;
+  for (std::size_t f = 0; f < catalog.count(); ++f) {
+    const Bytes size = catalog.size_of(static_cast<FileId>(f));
+    if (size <= 1) continue;
+    std::vector<Bytes> sizes(catalog.sizes().begin(), catalog.sizes().end());
+    sizes[f] = std::max<Bytes>(1, size / 2);
+    Instance candidate = inst;
+    candidate_catalog(candidate) = catalog_with_sizes(std::move(sizes));
+    if (pred(candidate)) {
+      inst = std::move(candidate);
+      any = true;
+    }
+  }
+  return any;
+}
+
+/// Drops chunks of `items` (halves down to singletons) while `pred` keeps
+/// failing. `erase(instance, start, count)` removes the chunk from a copy.
+template <typename Instance, typename Pred, typename SizeFn, typename EraseFn>
+bool drop_chunks_pass(Instance& inst, const Pred& pred, const SizeFn& size_of,
+                      const EraseFn& erase) {
+  bool any = false;
+  std::size_t chunk = std::max<std::size_t>(1, size_of(inst) / 2);
+  while (true) {
+    for (std::size_t start = 0; start + chunk <= size_of(inst);) {
+      if (size_of(inst) <= 1) break;  // keep at least one item
+      Instance candidate = inst;
+      erase(candidate, start, chunk);
+      if (pred(candidate)) {
+        inst = std::move(candidate);
+        any = true;
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) break;
+    chunk /= 2;
+  }
+  return any;
+}
+
+}  // namespace
+
+void compact_unused_files(Trace& trace) {
+  std::vector<bool> used(trace.catalog.count(), false);
+  for (const Request& job : trace.jobs) {
+    for (FileId id : job.files) used[id] = true;
+  }
+  std::unordered_map<FileId, FileId> remap;
+  std::vector<Bytes> sizes;
+  for (std::size_t f = 0; f < trace.catalog.count(); ++f) {
+    if (!used[f]) continue;
+    remap[static_cast<FileId>(f)] = static_cast<FileId>(sizes.size());
+    sizes.push_back(trace.catalog.size_of(static_cast<FileId>(f)));
+  }
+  if (sizes.size() == trace.catalog.count()) return;  // nothing unused
+  for (Request& job : trace.jobs) {
+    for (FileId& id : job.files) id = remap.at(id);
+    job.canonicalize();
+  }
+  trace.catalog = FileCatalog(std::move(sizes));
+}
+
+SelectInstance shrink_select_instance(SelectInstance instance,
+                                      const SelectPredicate& pred) {
+  for (std::size_t round = 0; round < kMaxRounds; ++round) {
+    bool progress = false;
+
+    // Drop whole requests (chunk-wise, then singly).
+    progress |= drop_chunks_pass(
+        instance, pred,
+        [](const SelectInstance& i) { return i.requests.size(); },
+        [](SelectInstance& i, std::size_t start, std::size_t count) {
+          i.requests.erase(
+              i.requests.begin() + static_cast<std::ptrdiff_t>(start),
+              i.requests.begin() + static_cast<std::ptrdiff_t>(start + count));
+          i.values.erase(
+              i.values.begin() + static_cast<std::ptrdiff_t>(start),
+              i.values.begin() + static_cast<std::ptrdiff_t>(start + count));
+        });
+
+    // Drop individual files from bundles (removing emptied requests).
+    for (std::size_t r = 0; r < instance.requests.size(); ++r) {
+      for (std::size_t f = 0; f < instance.requests[r].files.size();) {
+        SelectInstance candidate = instance;
+        candidate.requests[r].files.erase(
+            candidate.requests[r].files.begin() +
+            static_cast<std::ptrdiff_t>(f));
+        if (candidate.requests[r].files.empty()) {
+          candidate.requests.erase(candidate.requests.begin() +
+                                   static_cast<std::ptrdiff_t>(r));
+          candidate.values.erase(candidate.values.begin() +
+                                 static_cast<std::ptrdiff_t>(r));
+        }
+        if (pred(candidate)) {
+          instance = std::move(candidate);
+          progress = true;
+          if (r >= instance.requests.size()) break;
+        } else {
+          ++f;
+        }
+      }
+    }
+
+    // Drop free files.
+    for (std::size_t f = 0; f < instance.free_files.size();) {
+      SelectInstance candidate = instance;
+      candidate.free_files.erase(candidate.free_files.begin() +
+                                 static_cast<std::ptrdiff_t>(f));
+      if (pred(candidate)) {
+        instance = std::move(candidate);
+        progress = true;
+      } else {
+        ++f;
+      }
+    }
+
+    // Halve file sizes and item values.
+    progress |= halve_sizes_pass(instance, instance.catalog, pred);
+    for (std::size_t i = 0; i < instance.values.size(); ++i) {
+      if (instance.values[i] < 1.0) continue;
+      SelectInstance candidate = instance;
+      candidate.values[i] = std::floor(candidate.values[i] / 2.0);
+      if (pred(candidate)) {
+        instance = std::move(candidate);
+        progress = true;
+      }
+    }
+
+    if (!progress) break;
+  }
+
+  // Final semantics-preserving cleanup: drop unreferenced catalog files.
+  {
+    Trace as_trace = select_instance_to_trace(instance);
+    compact_unused_files(as_trace);
+    SelectInstance candidate = select_instance_from_trace(as_trace);
+    if (pred(candidate)) instance = std::move(candidate);
+  }
+  return instance;
+}
+
+SimInstance shrink_sim_instance(SimInstance instance,
+                                const SimPredicate& pred) {
+  for (std::size_t round = 0; round < kMaxRounds; ++round) {
+    bool progress = false;
+
+    // Drop jobs (chunk-wise, then singly).
+    progress |= drop_chunks_pass(
+        instance, pred,
+        [](const SimInstance& i) { return i.trace.jobs.size(); },
+        [](SimInstance& i, std::size_t start, std::size_t count) {
+          auto erase_range = [&](auto& v) {
+            if (v.size() != i.trace.jobs.size()) return;
+            v.erase(v.begin() + static_cast<std::ptrdiff_t>(start),
+                    v.begin() + static_cast<std::ptrdiff_t>(start + count));
+          };
+          erase_range(i.trace.arrival_s);
+          erase_range(i.trace.service_s);
+          i.trace.jobs.erase(
+              i.trace.jobs.begin() + static_cast<std::ptrdiff_t>(start),
+              i.trace.jobs.begin() +
+                  static_cast<std::ptrdiff_t>(start + count));
+        });
+
+    // Drop individual files from job bundles (removing emptied jobs).
+    for (std::size_t j = 0; j < instance.trace.jobs.size(); ++j) {
+      for (std::size_t f = 0; f < instance.trace.jobs[j].files.size();) {
+        if (instance.trace.jobs.size() == 1 &&
+            instance.trace.jobs[j].files.size() == 1) {
+          break;  // keep at least one non-empty job
+        }
+        SimInstance candidate = instance;
+        candidate.trace.jobs[j].files.erase(
+            candidate.trace.jobs[j].files.begin() +
+            static_cast<std::ptrdiff_t>(f));
+        if (candidate.trace.jobs[j].files.empty()) {
+          candidate.trace.jobs.erase(candidate.trace.jobs.begin() +
+                                     static_cast<std::ptrdiff_t>(j));
+        }
+        if (pred(candidate)) {
+          instance = std::move(candidate);
+          progress = true;
+          if (j >= instance.trace.jobs.size()) break;
+        } else {
+          ++f;
+        }
+      }
+    }
+
+    // Simplify the service configuration.
+    if (instance.config.warmup_jobs != 0) {
+      SimInstance candidate = instance;
+      candidate.config.warmup_jobs = 0;
+      if (pred(candidate)) {
+        instance = std::move(candidate);
+        progress = true;
+      }
+    }
+    if (instance.config.queue_length > 1) {
+      SimInstance candidate = instance;
+      candidate.config.queue_length = 1;
+      candidate.config.queue_mode = QueueMode::Batch;
+      if (pred(candidate)) {
+        instance = std::move(candidate);
+        progress = true;
+      }
+    }
+
+    // Halve file sizes.
+    progress |= halve_sizes_pass(instance, instance.trace.catalog, pred);
+
+    if (!progress) break;
+  }
+
+  // Drop unreferenced catalog files (semantics-preserving; verified).
+  {
+    SimInstance candidate = instance;
+    compact_unused_files(candidate.trace);
+    if (candidate.trace.catalog.count() != instance.trace.catalog.count() &&
+        pred(candidate)) {
+      instance = std::move(candidate);
+    }
+  }
+  return instance;
+}
+
+}  // namespace fbc::testing

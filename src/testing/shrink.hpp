@@ -1,0 +1,39 @@
+// Greedy reproducer shrinking (delta-debugging lite).
+//
+// Given a failing instance and a predicate that re-runs the oracle which
+// caught it, the shrinkers repeatedly try structure-reducing edits --
+// drop requests/jobs, drop files from bundles, halve file sizes, halve
+// values -- and keep every edit after which the same failure still
+// reproduces, until a fixpoint. The result is the small, human-readable
+// counterexample that gets written out as a self-contained trace file.
+//
+// Jobs are removed chunk-wise first (halves, quarters, ... down to single
+// jobs) so long traces collapse in O(n log n) predicate evaluations
+// instead of O(n^2).
+#pragma once
+
+#include <functional>
+
+#include "testing/instance_gen.hpp"
+
+namespace fbc::testing {
+
+/// Returns true when the candidate still exhibits the original failure.
+using SelectPredicate = std::function<bool(const SelectInstance&)>;
+using SimPredicate = std::function<bool(const SimInstance&)>;
+
+/// Shrinks a failing select instance to a local minimum of `pred`.
+/// `pred(instance)` must be true on entry.
+[[nodiscard]] SelectInstance shrink_select_instance(SelectInstance instance,
+                                                    const SelectPredicate& pred);
+
+/// Shrinks a failing simulation input (jobs, files, sizes) to a local
+/// minimum of `pred`. `pred(instance)` must be true on entry.
+[[nodiscard]] SimInstance shrink_sim_instance(SimInstance instance,
+                                              const SimPredicate& pred);
+
+/// Removes catalog files no job references, remapping file ids densely.
+/// Exposed for tests; the shrinkers call it after dropping bundle files.
+void compact_unused_files(Trace& trace);
+
+}  // namespace fbc::testing

@@ -24,11 +24,43 @@ bool next_line(std::istream& is, std::string& out, std::size_t& line_no) {
   return false;
 }
 
+/// Trims leading/trailing blanks from a meta value.
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
 }  // namespace
+
+const std::string* Trace::meta_value(std::string_view key) const noexcept {
+  for (const auto& [k, v] : meta) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
 
 void write_trace(std::ostream& os, const Trace& trace) {
   const bool timed = trace.is_timed();
-  os << (timed ? "fbc-trace v2\n" : "fbc-trace v1\n");
+  const bool v3 = !trace.meta.empty();
+  os << (v3 ? "fbc-trace v3\n" : timed ? "fbc-trace v2\n" : "fbc-trace v1\n");
+  if (v3) {
+    for (const auto& [key, value] : trace.meta) {
+      if (key.empty() || key.find_first_of(" \t\r\n") != std::string::npos)
+        throw std::invalid_argument("write_trace: invalid meta key '" + key +
+                                    "'");
+      if (value.find('\n') != std::string::npos)
+        throw std::invalid_argument("write_trace: meta value for '" + key +
+                                    "' contains a newline");
+    }
+    // The reserved `timed` entry is wire-format only (consumed on read).
+    os << "meta " << (trace.meta.size() + (timed ? 1 : 0)) << "\n";
+    for (const auto& [key, value] : trace.meta) {
+      os << key << ' ' << value << "\n";
+    }
+    if (timed) os << "timed 1\n";
+  }
   os << "files " << trace.catalog.count() << "\n";
   for (Bytes size : trace.catalog.sizes()) os << size << "\n";
   os << "jobs " << trace.jobs.size() << "\n";
@@ -54,20 +86,46 @@ Trace read_trace(std::istream& is) {
 
   if (!next_line(is, line, line_no)) fail(line_no, "empty input");
   bool timed = false;
-  if (line.find("fbc-trace v2") != std::string::npos) {
+  bool has_meta = false;
+  if (line.find("fbc-trace v3") != std::string::npos) {
+    has_meta = true;
+  } else if (line.find("fbc-trace v2") != std::string::npos) {
     timed = true;
   } else if (line.find("fbc-trace v1") == std::string::npos) {
-    fail(line_no, "bad magic, expected 'fbc-trace v1' or 'fbc-trace v2'");
+    fail(line_no,
+         "bad magic, expected 'fbc-trace v1', 'fbc-trace v2' or "
+         "'fbc-trace v3'");
+  }
+
+  Trace trace;
+  std::string keyword;
+  if (has_meta) {
+    if (!next_line(is, line, line_no)) fail(line_no, "missing 'meta' header");
+    std::istringstream meta_header(line);
+    std::size_t num_meta = 0;
+    if (!(meta_header >> keyword >> num_meta) || keyword != "meta")
+      fail(line_no, "expected 'meta <k>'");
+    for (std::size_t i = 0; i < num_meta; ++i) {
+      if (!next_line(is, line, line_no)) fail(line_no, "truncated meta table");
+      std::istringstream row(line);
+      std::string key;
+      if (!(row >> key)) fail(line_no, "meta entry needs a key");
+      std::string value;
+      std::getline(row, value);
+      value = trim(value);
+      if (key == "timed") {
+        timed = value == "1";  // reserved wire-format flag, not user meta
+      } else {
+        trace.set_meta(std::move(key), std::move(value));
+      }
+    }
   }
 
   if (!next_line(is, line, line_no)) fail(line_no, "missing 'files' header");
   std::istringstream files_header(line);
-  std::string keyword;
   std::size_t num_files = 0;
   if (!(files_header >> keyword >> num_files) || keyword != "files")
     fail(line_no, "expected 'files <n>'");
-
-  Trace trace;
   for (std::size_t i = 0; i < num_files; ++i) {
     if (!next_line(is, line, line_no)) fail(line_no, "truncated file table");
     std::istringstream row(line);

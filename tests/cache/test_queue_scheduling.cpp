@@ -2,6 +2,8 @@
 // accounting, and aging-based lockout avoidance (paper §5.2-§5.3).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cache/simulator.hpp"
 #include "core/opt_file_bundle.hpp"
 
@@ -147,6 +149,81 @@ TEST(QueueScheduling, AgingBoundsOptFbWaits) {
   const double without = max_wait_with_aging(0.0);
   const double with = max_wait_with_aging(2.0);
   EXPECT_LT(with, without);
+}
+
+TEST(QueueScheduling, AgingMonotoneReducesLockout) {
+  // Same stream as AgingBoundsOptFbWaits: stronger aging never makes the
+  // worst wait longer, and a strong factor beats pure value order.
+  FileCatalog catalog = unit_catalog(4);
+  std::vector<Request> jobs;
+  jobs.push_back(Request({0, 1}));
+  jobs.push_back(Request({0, 1}));
+  jobs.push_back(Request({2, 3}));  // the rare one
+  for (int i = 0; i < 40; ++i) jobs.push_back(Request({0, 1}));
+
+  auto max_wait_with_aging = [&](double aging) {
+    OptFileBundleConfig pconfig;
+    pconfig.aging_factor = aging;
+    OptFileBundlePolicy policy(catalog, pconfig);
+    SimulatorConfig config{.cache_bytes = 400,
+                           .queue_length = 5,
+                           .queue_mode = QueueMode::Sliding};
+    return simulate(config, catalog, policy, jobs).metrics.max_queue_wait();
+  };
+  const double none = max_wait_with_aging(0.0);
+  const double weak = max_wait_with_aging(0.5);
+  const double strong = max_wait_with_aging(4.0);
+  EXPECT_LE(weak, none);
+  EXPECT_LE(strong, weak);
+  EXPECT_LT(strong, none);
+  // Strong aging promotes the rare request within a few refills instead
+  // of letting it sit until the popular run ends.
+  EXPECT_LE(strong, 10.0);
+}
+
+TEST(QueueScheduling, SlidingServesEveryDuplicateOfAStarvedRequest) {
+  // Duplicates of the starving request must each be serviced once -- a
+  // scheduler that conflates identical queued requests would drop some.
+  FileCatalog catalog = unit_catalog(20);
+  GreedyMaxPolicy policy;
+  SimulatorConfig config{.cache_bytes = 2000,
+                         .queue_length = 4,
+                         .queue_mode = QueueMode::Sliding};
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 18; ++i) {
+    jobs.push_back(i % 3 == 0 ? Request({0}) : Request({i}));
+  }
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  EXPECT_EQ(result.metrics.jobs(), jobs.size());
+  EXPECT_EQ(policy.served.size(), jobs.size());
+  const auto zeros = static_cast<std::size_t>(
+      std::count(policy.served.begin(), policy.served.end(), Request({0})));
+  EXPECT_EQ(zeros, 6u);
+}
+
+TEST(QueueScheduling, SlidingQueueLengthNeverExceeded) {
+  // The sliding drain must top the queue up to at most queue_length.
+  class QueueLenPolicy : public RecordingPolicy {
+   public:
+    using ReplacementPolicy::choose_next;
+    std::size_t choose_next(std::span<const Request> queue,
+                            const DiskCache&) override {
+      max_seen = std::max(max_seen, queue.size());
+      return 0;
+    }
+    std::size_t max_seen = 0;
+  };
+  FileCatalog catalog = unit_catalog(15);
+  QueueLenPolicy policy;
+  SimulatorConfig config{.cache_bytes = 1500,
+                         .queue_length = 4,
+                         .queue_mode = QueueMode::Sliding};
+  std::vector<Request> jobs;
+  for (FileId i = 0; i < 15; ++i) jobs.push_back(Request({i}));
+  const SimulationResult result = simulate(config, catalog, policy, jobs);
+  EXPECT_EQ(result.metrics.jobs(), 15u);
+  EXPECT_LE(policy.max_seen, 4u);
+  EXPECT_GE(policy.max_seen, 2u);  // the queue really was batched
 }
 
 TEST(QueueScheduling, WaitsMergeAcrossMetrics) {

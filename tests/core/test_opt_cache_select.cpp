@@ -307,5 +307,73 @@ TEST(ExactSelect, EmptyAndInfeasibleInstances) {
   EXPECT_DOUBLE_EQ(exact_select({}, inst.catalog, 500).total_value, 0.0);
 }
 
+namespace {
+
+/// A knapsack-shaped instance big enough that the search visits many nodes.
+Instance budget_instance() {
+  Instance inst;
+  for (FileId f = 0; f < 14; ++f) {
+    (void)inst.catalog.add_file(10 + 7 * (f % 5));
+    inst.add_request({f}, 5.0 + static_cast<double>((3 * f) % 11));
+  }
+  inst.finalize();
+  return inst;
+}
+
+}  // namespace
+
+TEST(ExactSelect, UnboundedSolveReportsNodesWithoutTruncation) {
+  const Instance inst = budget_instance();
+  ExactSelectStats stats;
+  const SelectionResult exact =
+      exact_select(inst.items(), inst.catalog, 120, 0, &stats);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_GT(stats.nodes, 0u);
+  EXPECT_GT(exact.total_value, 0.0);
+}
+
+TEST(ExactSelect, TinyNodeBudgetTruncatesButStaysFeasible) {
+  const Instance inst = budget_instance();
+  const SelectionResult unbounded =
+      exact_select(inst.items(), inst.catalog, 120);
+
+  ExactSelectStats stats;
+  const SelectionResult truncated =
+      exact_select(inst.items(), inst.catalog, 120, 1, &stats);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_LE(stats.nodes, 1u);
+  // A truncated solve returns its incumbent: still feasible, never above
+  // the true optimum.
+  EXPECT_LE(truncated.file_bytes, 120u);
+  EXPECT_LE(truncated.total_value, unbounded.total_value);
+}
+
+TEST(ExactSelect, LargeNodeBudgetMatchesUnbounded) {
+  const Instance inst = budget_instance();
+  ExactSelectStats unbounded_stats;
+  const SelectionResult unbounded = exact_select(
+      inst.items(), inst.catalog, 120, 0, &unbounded_stats);
+
+  ExactSelectStats stats;
+  const SelectionResult bounded =
+      exact_select(inst.items(), inst.catalog, 120,
+                   unbounded_stats.nodes + 1, &stats);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(stats.nodes, unbounded_stats.nodes);
+  EXPECT_DOUBLE_EQ(bounded.total_value, unbounded.total_value);
+  EXPECT_EQ(bounded.chosen, unbounded.chosen);
+}
+
+TEST(ExactSelect, StatsResetBetweenCalls) {
+  const Instance inst = budget_instance();
+  ExactSelectStats stats;
+  (void)exact_select(inst.items(), inst.catalog, 120, 1, &stats);
+  ASSERT_TRUE(stats.truncated);
+  // Re-use the same stats object: a fresh unbounded solve must clear it.
+  (void)exact_select(inst.items(), inst.catalog, 120, 0, &stats);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_GT(stats.nodes, 1u);
+}
+
 }  // namespace
 }  // namespace fbc

@@ -1,0 +1,99 @@
+// Regression pins for Theorem 4.1 on fuzzer-found hard instances.
+//
+// The fixtures under tests/fixtures/ were produced by
+//   fbcfuzz --dump-hard=tests/fixtures --seed=7 --iters=2000
+// searching for the instances with the *lowest* Basic-greedy/exact value
+// ratio -- the adversarial corner of the instance space where the bound
+// has the least slack. Each fixture is a self-contained v3 trace (see
+// docs/TRACE-FORMAT.md); this test re-solves every one and asserts the
+// paper's guarantees:
+//   Basic/Resort/Seeded1 >= 1/2 (1 - e^{-1/d}) * exact
+//   Seeded2              >=     (1 - e^{-1/d}) * exact
+// plus the seeded-enumeration dominance chain.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/opt_cache_select.hpp"
+#include "testing/instance_gen.hpp"
+#include "workload/trace.hpp"
+
+namespace fbc {
+namespace {
+
+std::vector<std::string> fixture_paths() {
+  std::vector<std::string> paths;
+  const std::filesystem::path dir(FBC_FIXTURE_DIR);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("hard-select-", 0) == 0 &&
+        entry.path().extension() == ".trace") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(TheoremBoundRegression, HardInstancesRespectTheorem41) {
+  const std::vector<std::string> paths = fixture_paths();
+  ASSERT_FALSE(paths.empty()) << "no hard-select-*.trace fixtures under "
+                              << FBC_FIXTURE_DIR;
+
+  for (const std::string& path : paths) {
+    SCOPED_TRACE(path);
+    const Trace trace = load_trace(path);
+    const testing::SelectInstance instance =
+        testing::select_instance_from_trace(trace);
+    const std::vector<SelectionItem> items = instance.items();
+
+    ExactSelectStats stats;
+    const SelectionResult exact =
+        exact_select(items, instance.catalog, instance.capacity,
+                     /*max_nodes=*/2000000, &stats);
+    ASSERT_FALSE(stats.truncated)
+        << "fixture too large for the exact reference solve";
+    ASSERT_GT(exact.total_value, 0.0);
+
+    const std::uint32_t d = max_file_degree(items);
+    EXPECT_GE(d, 2u) << "hard fixtures should have shared files";
+    const double eps = 1e-9 * exact.total_value;
+
+    const std::vector<std::uint32_t> degrees = instance.degrees();
+    OptCacheSelect selector(instance.catalog, degrees);
+    const auto value_of = [&](SelectVariant variant) {
+      return selector.select(items, instance.capacity, variant, {})
+          .total_value;
+    };
+    const double basic = value_of(SelectVariant::Basic);
+    const double resort = value_of(SelectVariant::Resort);
+    const double seeded1 = value_of(SelectVariant::Seeded1);
+    const double seeded2 = value_of(SelectVariant::Seeded2);
+
+    const double greedy_floor = greedy_bound_factor(d) * exact.total_value;
+    const double seeded_floor = seeded_bound_factor(d) * exact.total_value;
+    EXPECT_GE(basic + eps, greedy_floor);
+    EXPECT_GE(resort + eps, greedy_floor);
+    EXPECT_GE(seeded1 + eps, greedy_floor);
+    EXPECT_GE(seeded2 + eps, seeded_floor);
+
+    // No greedy beats the optimum, and the enumerations dominate.
+    EXPECT_LE(basic, exact.total_value + eps);
+    EXPECT_LE(seeded2, exact.total_value + eps);
+    EXPECT_GE(seeded1 + eps, resort);
+    EXPECT_GE(seeded2 + eps, seeded1);
+
+    // The fixture records the ratio observed when it was mined; the
+    // instance must still be *hard* (well below the trivial ratio 1) or
+    // the corpus has decayed into something no longer worth pinning.
+    const double ratio = basic / exact.total_value;
+    EXPECT_LT(ratio, 0.5) << "fixture no longer adversarial";
+  }
+}
+
+}  // namespace
+}  // namespace fbc

@@ -1,0 +1,147 @@
+// Tests for the InvariantAuditor: clean wiring through the simulator plus
+// direct-hook forgeries proving each oracle actually fires.
+#include "testing/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/metrics.hpp"
+#include "core/registry.hpp"
+#include "testing/oracles.hpp"
+
+namespace fbc::testing {
+namespace {
+
+bool has_oracle(const InvariantAuditor& auditor, const std::string& oracle) {
+  return contains_failure(auditor.violations(),
+                          Violation{oracle, "forged", ""});
+}
+
+TEST(InvariantAuditor, CleanSimulationProducesNoViolations) {
+  FileCatalog catalog({4, 8, 16, 32, 4});
+  std::vector<Request> jobs = {Request{{0, 1}}, Request{{2, 3}},
+                               Request{{0, 4}}, Request{{1, 2}},
+                               Request{{0, 1}}};
+  SimulatorConfig config;
+  config.cache_bytes = 48;
+  config.warmup_jobs = 1;
+
+  PolicyContext context;
+  context.catalog = &catalog;
+  PolicyPtr policy = make_policy("lru", context);
+
+  InvariantAuditor auditor(catalog, "lru");
+  (void)simulate(config, catalog, *policy, jobs, &auditor);
+  EXPECT_TRUE(auditor.violations().empty())
+      << auditor.violations().front().to_string();
+  EXPECT_EQ(auditor.jobs_audited(), jobs.size());
+}
+
+TEST(InvariantAuditor, DetectsLeftoverPin) {
+  FileCatalog catalog({5});
+  DiskCache cache(10, catalog);
+  cache.insert(0);
+  cache.pin(0);
+
+  InvariantAuditor auditor(catalog, "forged");
+  CacheMetrics metrics;
+  const Request request{{0}};
+  auditor.on_job_start(request, cache);
+  metrics.record_job(5, 0, 1, 1);
+  auditor.on_job_serviced(request, cache, metrics);
+  EXPECT_TRUE(has_oracle(auditor, "sim.pin"));
+}
+
+TEST(InvariantAuditor, DetectsWrongMissAccounting) {
+  FileCatalog catalog({5, 7});
+  DiskCache cache(16, catalog);
+
+  InvariantAuditor auditor(catalog, "forged");
+  CacheMetrics metrics;
+  const Request request{{0, 1}};
+  auditor.on_job_start(request, cache);  // both files missing: 12 bytes
+  cache.insert(0);
+  cache.insert(1);
+  // Forge: claim only 5 of the 12 missing bytes were missed.
+  metrics.record_job(12, 5, 2, 0);
+  auditor.on_job_serviced(request, cache, metrics);
+  EXPECT_TRUE(has_oracle(auditor, "sim.accounting"));
+}
+
+TEST(InvariantAuditor, DetectsUnservicedResidencyGap) {
+  FileCatalog catalog({5, 7});
+  DiskCache cache(16, catalog);
+
+  InvariantAuditor auditor(catalog, "forged");
+  CacheMetrics metrics;
+  const Request request{{0, 1}};
+  auditor.on_job_start(request, cache);
+  cache.insert(0);  // file 1 never loaded
+  metrics.record_job(12, 12, 2, 0);
+  auditor.on_job_serviced(request, cache, metrics);
+  EXPECT_TRUE(has_oracle(auditor, "sim.residency"));
+  // The missing load also breaks byte conservation.
+  EXPECT_TRUE(has_oracle(auditor, "sim.accounting"));
+}
+
+TEST(InvariantAuditor, DetectsUnreportedEviction) {
+  FileCatalog catalog({5, 7});
+  DiskCache cache(12, catalog);
+  cache.insert(0);
+
+  InvariantAuditor auditor(catalog, "forged");
+  CacheMetrics metrics;
+  const Request first{{0}};
+  auditor.on_job_start(first, cache);
+  metrics.record_job(5, 0, 1, 1);
+  auditor.on_job_serviced(first, cache, metrics);
+
+  const Request second{{1}};
+  auditor.on_job_start(second, cache);
+  cache.evict(0);
+  auditor.on_eviction(0, cache);
+  cache.insert(1);
+  // Forge: the eviction is never recorded in the metrics.
+  metrics.record_job(7, 7, 1, 0);
+  auditor.on_job_serviced(second, cache, metrics);
+  EXPECT_TRUE(has_oracle(auditor, "sim.accounting"));
+}
+
+TEST(InvariantAuditor, DetectsPhantomEvictionCallback) {
+  FileCatalog catalog({5});
+  DiskCache cache(10, catalog);
+  cache.insert(0);
+
+  InvariantAuditor auditor(catalog, "forged");
+  // Claimed eviction while the file is still resident.
+  auditor.on_eviction(0, cache);
+  ASSERT_FALSE(auditor.violations().empty());
+  EXPECT_EQ(auditor.violations().front().oracle, "sim.eviction");
+}
+
+TEST(InvariantAuditor, DetectsVictimCountMismatchAtRunEnd) {
+  FileCatalog catalog({5});
+  DiskCache cache(10, catalog);
+
+  InvariantAuditor auditor(catalog, "forged");
+  SimulationResult result;
+  result.victims = 3;  // auditor observed none
+  auditor.on_run_complete(cache, result);
+  EXPECT_TRUE(has_oracle(auditor, "sim.accounting"));
+}
+
+TEST(InvariantAuditor, DetectsUnserviceableMarkedOnFittingJob) {
+  FileCatalog catalog({5});
+  DiskCache cache(10, catalog);
+
+  InvariantAuditor auditor(catalog, "forged");
+  CacheMetrics metrics;
+  const Request request{{0}};  // 5 bytes: fits in 10
+  auditor.on_job_start(request, cache);
+  metrics.record_unserviceable();
+  auditor.on_job_serviced(request, cache, metrics);
+  EXPECT_TRUE(has_oracle(auditor, "sim.accounting"));
+}
+
+}  // namespace
+}  // namespace fbc::testing

@@ -1,0 +1,189 @@
+// Tests for the fuzzer's seeded instance generators and the select
+// instance <-> trace serialization.
+#include "testing/instance_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "workload/trace.hpp"
+
+namespace fbc::testing {
+namespace {
+
+bool same_select(const SelectInstance& a, const SelectInstance& b) {
+  if (a.capacity != b.capacity || a.values != b.values ||
+      a.free_files != b.free_files || a.requests.size() != b.requests.size() ||
+      a.catalog.count() != b.catalog.count()) {
+    return false;
+  }
+  for (std::size_t r = 0; r < a.requests.size(); ++r) {
+    if (a.requests[r].files != b.requests[r].files) return false;
+  }
+  for (std::size_t f = 0; f < a.catalog.count(); ++f) {
+    if (a.catalog.size_of(static_cast<FileId>(f)) !=
+        b.catalog.size_of(static_cast<FileId>(f))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(InstanceGen, SelectDeterministicInSeed) {
+  const SelectGenConfig config;
+  Rng rng1(42);
+  Rng rng2(42);
+  const SelectInstance a = generate_select_instance(config, rng1);
+  const SelectInstance b = generate_select_instance(config, rng2);
+  EXPECT_TRUE(same_select(a, b));
+
+  Rng rng3(43);
+  const SelectInstance c = generate_select_instance(config, rng3);
+  // Different seed: with these knob ranges a collision is (practically)
+  // impossible; compare values as the cheapest structural fingerprint.
+  EXPECT_FALSE(same_select(a, c));
+}
+
+TEST(InstanceGen, SelectRespectsConfigRanges) {
+  SelectGenConfig config;
+  config.min_files = 5;
+  config.max_files = 8;
+  config.min_requests = 3;
+  config.max_requests = 6;
+  config.max_bundle_files = 3;
+  config.max_file_bytes = 16;
+  config.max_value = 9;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    const SelectInstance inst = generate_select_instance(config, rng);
+    EXPECT_GE(inst.catalog.count(), config.min_files);
+    EXPECT_LE(inst.catalog.count(), config.max_files);
+    EXPECT_GE(inst.requests.size(), config.min_requests);
+    EXPECT_LE(inst.requests.size(), config.max_requests);
+    ASSERT_EQ(inst.values.size(), inst.requests.size());
+    Bytes total = 0;
+    for (std::size_t f = 0; f < inst.catalog.count(); ++f) {
+      const Bytes size = inst.catalog.size_of(static_cast<FileId>(f));
+      EXPECT_GE(size, config.min_file_bytes);
+      EXPECT_LE(size, config.max_file_bytes);
+      total += size;
+    }
+    EXPECT_LE(inst.capacity, total);
+    for (const Request& request : inst.requests) {
+      EXPECT_GE(request.files.size(), 1u);
+      EXPECT_LE(request.files.size(), config.max_bundle_files);
+      for (FileId id : request.files) EXPECT_TRUE(inst.catalog.valid(id));
+    }
+    for (double value : inst.values) {
+      EXPECT_GE(value, 0.0);
+      EXPECT_LE(value, static_cast<double>(config.max_value));
+      EXPECT_EQ(value, std::floor(value)) << "values must be integral";
+    }
+    EXPECT_TRUE(std::is_sorted(inst.free_files.begin(),
+                               inst.free_files.end()));
+    for (FileId id : inst.free_files) EXPECT_TRUE(inst.catalog.valid(id));
+  }
+}
+
+TEST(InstanceGen, HotSetKnobRaisesFileDegree) {
+  SelectGenConfig hot;
+  hot.hot_prob = 1.0;
+  hot.hot_files = 2;
+  hot.min_requests = hot.max_requests = 10;
+  SelectGenConfig cold = hot;
+  cold.hot_prob = 0.0;
+  cold.min_files = cold.max_files = 20;
+
+  std::uint64_t hot_degree_sum = 0;
+  std::uint64_t cold_degree_sum = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng_hot(seed);
+    Rng rng_cold(seed);
+    const SelectInstance h = generate_select_instance(hot, rng_hot);
+    const SelectInstance c = generate_select_instance(cold, rng_cold);
+    const auto max_deg = [](const SelectInstance& inst) {
+      std::uint32_t best = 0;
+      for (std::uint32_t d : inst.degrees()) best = std::max(best, d);
+      return best;
+    };
+    hot_degree_sum += max_deg(h);
+    cold_degree_sum += max_deg(c);
+  }
+  EXPECT_GT(hot_degree_sum, cold_degree_sum);
+}
+
+TEST(InstanceGen, SimDeterministicAndValid) {
+  const SimGenConfig config;
+  Rng rng1(7);
+  Rng rng2(7);
+  const SimInstance a = generate_sim_instance(config, rng1);
+  const SimInstance b = generate_sim_instance(config, rng2);
+  EXPECT_EQ(a.trace.jobs, b.trace.jobs);
+  EXPECT_EQ(a.config.cache_bytes, b.config.cache_bytes);
+  EXPECT_EQ(a.config.queue_length, b.config.queue_length);
+
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    const SimInstance inst = generate_sim_instance(config, rng);
+    EXPECT_GE(inst.trace.jobs.size(), config.min_jobs);
+    EXPECT_LE(inst.trace.jobs.size(), config.max_jobs);
+    EXPECT_GT(inst.config.cache_bytes, 0u);
+    EXPECT_GE(inst.config.queue_length, 1u);
+    EXPECT_LE(inst.config.queue_length, config.max_queue_length);
+    EXPECT_LE(inst.config.warmup_jobs, config.max_warmup);
+    for (const Request& job : inst.trace.jobs) {
+      EXPECT_FALSE(job.files.empty());
+      for (FileId id : job.files) EXPECT_TRUE(inst.trace.catalog.valid(id));
+    }
+  }
+}
+
+TEST(InstanceGen, SelectInstanceTraceRoundTrip) {
+  Rng rng(99);
+  const SelectInstance original =
+      generate_select_instance(SelectGenConfig{}, rng);
+
+  // In-memory meta round trip.
+  const Trace direct = select_instance_to_trace(original);
+  EXPECT_TRUE(same_select(original, select_instance_from_trace(direct)));
+
+  // Full text serialization round trip.
+  std::stringstream ss;
+  write_trace(ss, direct);
+  const Trace loaded = read_trace(ss);
+  EXPECT_TRUE(same_select(original, select_instance_from_trace(loaded)));
+}
+
+TEST(InstanceGen, SelectInstanceFromTraceRejectsBadMeta) {
+  Rng rng(5);
+  const SelectInstance inst = generate_select_instance(SelectGenConfig{}, rng);
+  const Trace good = select_instance_to_trace(inst);
+
+  {
+    Trace bad = good;
+    bad.meta.erase(
+        std::remove_if(bad.meta.begin(), bad.meta.end(),
+                       [](const auto& kv) { return kv.first == "capacity"; }),
+        bad.meta.end());
+    EXPECT_THROW((void)select_instance_from_trace(bad), std::runtime_error);
+  }
+  {
+    Trace bad = good;
+    for (auto& [key, value] : bad.meta) {
+      if (key == "values") value += " 3";  // one value too many
+    }
+    EXPECT_THROW((void)select_instance_from_trace(bad), std::runtime_error);
+  }
+  {
+    Trace bad = good;
+    for (auto& [key, value] : bad.meta) {
+      if (key == "kind") value = "sim";
+    }
+    EXPECT_THROW((void)select_instance_from_trace(bad), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace fbc::testing

@@ -1,0 +1,99 @@
+// Tests for the differential select/simulation oracles.
+#include "testing/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "testing/instance_gen.hpp"
+
+namespace fbc::testing {
+namespace {
+
+SelectInstance seeded_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  return generate_select_instance(SelectGenConfig{}, rng);
+}
+
+TEST(SelectOracles, CleanOnGeneratedInstances) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const SelectInstance inst = seeded_instance(seed);
+    SelectOracleStats stats;
+    const std::vector<Violation> violations =
+        check_select_instance(inst, 0, &stats);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ": " << violations.front().to_string();
+    EXPECT_FALSE(stats.exact_truncated);
+    EXPECT_GT(stats.exact_nodes, 0u);
+  }
+}
+
+TEST(SelectOracles, TinyNodeBudgetReportsTruncation) {
+  const SelectInstance inst = seeded_instance(3);
+  SelectOracleStats stats;
+  const std::vector<Violation> violations =
+      check_select_instance(inst, 1, &stats);
+  EXPECT_TRUE(stats.exact_truncated);
+  // Ratio oracles are skipped under truncation: the only admissible
+  // violations would be structural, and this instance has none.
+  for (const Violation& v : violations) {
+    EXPECT_NE(v.oracle, "select.bound") << v.to_string();
+    EXPECT_NE(v.oracle, "select.exact-dominated") << v.to_string();
+  }
+}
+
+TEST(SelectOracles, FailureMatchingIsByOracleAndSubject) {
+  const Violation a{"select.bound", "basic", "detail one"};
+  const Violation b{"select.bound", "basic", "other detail"};
+  const Violation c{"select.bound", "seeded2", "detail one"};
+  EXPECT_TRUE(same_failure(a, b));
+  EXPECT_FALSE(same_failure(a, c));
+  EXPECT_TRUE(contains_failure({c, b}, a));
+  EXPECT_FALSE(contains_failure({c}, a));
+}
+
+TEST(SimOracles, CleanOnEveryRegisteredPolicy) {
+  Rng rng(11);
+  const SimInstance inst = generate_sim_instance(SimGenConfig{}, rng);
+  for (const std::string& name : policy_names()) {
+    const std::vector<Violation> violations =
+        check_simulation(inst.trace, inst.config, name);
+    EXPECT_TRUE(violations.empty())
+        << name << ": " << violations.front().to_string();
+  }
+}
+
+TEST(SimOracles, UnknownPolicyIsSetupViolation) {
+  Rng rng(11);
+  const SimInstance inst = generate_sim_instance(SimGenConfig{}, rng);
+  const std::vector<Violation> violations =
+      check_simulation(inst.trace, inst.config, "no-such-policy");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].oracle, "sim.setup");
+}
+
+TEST(SimOracles, UnderfreePolicyIsCaught) {
+  // A trace engineered to require multi-victim evictions: bundles of two
+  // files cycling through a catalog much larger than the cache.
+  FileCatalog catalog({10, 10, 10, 10, 10, 10});
+  std::vector<Request> jobs;
+  for (int round = 0; round < 3; ++round) {
+    jobs.push_back(Request{{0, 1}});
+    jobs.push_back(Request{{2, 3}});
+    jobs.push_back(Request{{4, 5}});
+  }
+  Trace trace{catalog, jobs, {}, {}, {}};
+  SimulatorConfig config;
+  config.cache_bytes = 25;  // fits one bundle + half of another
+
+  EXPECT_TRUE(check_simulation(trace, config, "lru").empty());
+
+  const std::vector<Violation> violations =
+      check_simulation(trace, config, "underfree:lru");
+  ASSERT_FALSE(violations.empty());
+  EXPECT_TRUE(contains_failure(
+      violations, Violation{"sim.policy-contract", "underfree:lru", ""}))
+      << violations.front().to_string();
+}
+
+}  // namespace
+}  // namespace fbc::testing

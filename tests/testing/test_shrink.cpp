@@ -1,0 +1,107 @@
+// Tests for the reproducer shrinkers: synthetic predicates with known
+// minimal cores must be reduced all the way down to them.
+#include "testing/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/instance_gen.hpp"
+
+namespace fbc::testing {
+namespace {
+
+TEST(Shrink, SelectReducesToSingleTwoFileRequest) {
+  // Failure model (id-independent, like a real re-run oracle): the
+  // instance fails iff some request bundles at least two files.
+  Rng rng(12);
+  SelectGenConfig gen;
+  gen.min_files = 12;
+  gen.max_files = 12;
+  gen.min_requests = 10;
+  gen.max_requests = 10;
+  gen.max_bundle_files = 4;
+  SelectInstance instance = generate_select_instance(gen, rng);
+  instance.requests[4].files = {2, 7, 9};
+  instance.requests[4].canonicalize();
+
+  const SelectPredicate pred = [](const SelectInstance& inst) {
+    return std::any_of(inst.requests.begin(), inst.requests.end(),
+                       [](const Request& r) { return r.size() >= 2; });
+  };
+  ASSERT_TRUE(pred(instance));
+  const SelectInstance shrunk = shrink_select_instance(instance, pred);
+  ASSERT_EQ(shrunk.requests.size(), 1u);
+  EXPECT_EQ(shrunk.requests[0].files.size(), 2u);
+  EXPECT_EQ(shrunk.values.size(), 1u);
+  EXPECT_TRUE(shrunk.free_files.empty());
+  // Size-halving bottoms out every file at 1 byte; the unused-file
+  // compaction then drops everything the surviving bundle ignores.
+  ASSERT_EQ(shrunk.catalog.count(), 2u);
+  EXPECT_EQ(shrunk.catalog.size_of(0), 1u);
+  EXPECT_EQ(shrunk.catalog.size_of(1), 1u);
+}
+
+TEST(Shrink, SelectKeepsValuesAlignedWithRequests) {
+  Rng rng(21);
+  SelectGenConfig gen;
+  gen.min_requests = 8;
+  gen.max_requests = 8;
+  SelectInstance instance = generate_select_instance(gen, rng);
+  // Failure model: at least 3 requests remain.
+  const SelectPredicate pred = [](const SelectInstance& inst) {
+    return inst.requests.size() >= 3;
+  };
+  const SelectInstance shrunk = shrink_select_instance(instance, pred);
+  EXPECT_EQ(shrunk.requests.size(), 3u);
+  EXPECT_EQ(shrunk.values.size(), shrunk.requests.size());
+}
+
+TEST(Shrink, SimReducesJobsAndConfig) {
+  Rng rng(33);
+  SimGenConfig gen;
+  gen.min_jobs = 30;
+  gen.max_jobs = 30;
+  SimInstance instance = generate_sim_instance(gen, rng);
+  instance.config.warmup_jobs = 2;
+  instance.config.queue_length = 4;
+
+  // Failure model: at least 2 jobs remain (independent of config).
+  const SimPredicate pred = [](const SimInstance& inst) {
+    return inst.trace.jobs.size() >= 2;
+  };
+  const SimInstance shrunk = shrink_sim_instance(instance, pred);
+  EXPECT_EQ(shrunk.trace.jobs.size(), 2u);
+  EXPECT_EQ(shrunk.config.warmup_jobs, 0u);
+  EXPECT_EQ(shrunk.config.queue_length, 1u);
+  for (const Request& job : shrunk.trace.jobs) {
+    EXPECT_EQ(job.files.size(), 1u);
+  }
+  for (std::size_t f = 0; f < shrunk.trace.catalog.count(); ++f) {
+    EXPECT_EQ(shrunk.trace.catalog.size_of(static_cast<FileId>(f)), 1u);
+  }
+}
+
+TEST(Shrink, CompactUnusedFilesRemapsDensely) {
+  Trace trace{FileCatalog({10, 20, 30, 40, 50}),
+              {Request{{1, 4}}, Request{{4}}},
+              {},
+              {},
+              {}};
+  compact_unused_files(trace);
+  ASSERT_EQ(trace.catalog.count(), 2u);
+  EXPECT_EQ(trace.catalog.size_of(0), 20u);
+  EXPECT_EQ(trace.catalog.size_of(1), 50u);
+  EXPECT_EQ(trace.jobs[0].files, (std::vector<FileId>{0, 1}));
+  EXPECT_EQ(trace.jobs[1].files, (std::vector<FileId>{1}));
+}
+
+TEST(Shrink, CompactIsNoOpWhenAllFilesUsed) {
+  Trace trace{FileCatalog({10, 20}), {Request{{0, 1}}}, {}, {}, {}};
+  compact_unused_files(trace);
+  EXPECT_EQ(trace.catalog.count(), 2u);
+  EXPECT_EQ(trace.jobs[0].files, (std::vector<FileId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace fbc::testing

@@ -78,8 +78,8 @@ TEST(TraceStats, ZipfSkewShowsInTopDecile) {
   const Workload zipf = generate_workload(config);
 
   const TraceStats u =
-      compute_trace_stats(Trace{uniform.catalog, uniform.jobs, {}, {}});
-  const TraceStats z = compute_trace_stats(Trace{zipf.catalog, zipf.jobs, {}, {}});
+      compute_trace_stats(Trace{uniform.catalog, uniform.jobs, {}, {}, {}});
+  const TraceStats z = compute_trace_stats(Trace{zipf.catalog, zipf.jobs, {}, {}, {}});
   EXPECT_NEAR(u.top_decile_job_share, 0.1, 0.03);
   EXPECT_GT(z.top_decile_job_share, 0.4);
 }

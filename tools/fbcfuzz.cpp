@@ -1,0 +1,207 @@
+// fbcfuzz: seeded differential fuzzer and invariant auditor.
+//
+//   fbcfuzz --seed=1 --iters=500                  # full campaign
+//   fbcfuzz --smoke                               # fixed-seed CI smoke run
+//   fbcfuzz --replay=fbcfuzz-sim-1-42.trace       # re-check a reproducer
+//   fbcfuzz --inject-bug --policies=lru           # self-test: catch + shrink
+//   fbcfuzz --dump-hard=tests/fixtures --iters=2000
+//
+// Generates random FBC instances and job traces, checks every
+// OptCacheSelect variant against the exact solver (Theorem 4.1 bounds,
+// feasibility, step-3 override) and replays traces through the simulator
+// under every registered policy with the invariant auditor attached.
+// Failures are shrunk to minimal reproducer traces. See docs/FUZZING.md.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <system_error>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "testing/fuzzer.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+using namespace fbc;
+using namespace fbc::testing;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Searches for instances where the greedy/exact ratio is worst and dumps
+/// the top `count` as fixture traces -- the source of the checked-in
+/// Theorem 4.1 regression corpus.
+int dump_hard(const std::string& dir, std::uint64_t seed, std::uint64_t iters,
+              std::uint64_t exact_budget, std::size_t count) {
+  struct Hard {
+    double ratio;
+    std::uint64_t iter;
+    SelectInstance instance;
+  };
+  std::vector<Hard> worst;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  Rng master(seed);
+  SelectGenConfig gen;
+  gen.hot_prob = 0.8;  // bias toward high-degree (hard) instances
+  gen.hot_files = 3;
+  for (std::uint64_t iter = 0; iter < iters; ++iter) {
+    Rng rng(master.derive_seed(iter));
+    SelectInstance instance = generate_select_instance(gen, rng);
+    const auto items = instance.items();
+    ExactSelectStats stats;
+    const SelectionResult exact = exact_select(
+        items, instance.catalog, instance.capacity, exact_budget, &stats);
+    if (stats.truncated || exact.total_value <= 0.0) continue;
+    const std::vector<std::uint32_t> degrees = instance.degrees();
+    OptCacheSelect selector(instance.catalog, degrees);
+    const SelectionResult greedy =
+        selector.select(items, instance.capacity, SelectVariant::Basic, {});
+    const double ratio = greedy.total_value / exact.total_value;
+    worst.push_back(Hard{ratio, iter, std::move(instance)});
+    std::sort(worst.begin(), worst.end(),
+              [](const Hard& a, const Hard& b) { return a.ratio < b.ratio; });
+    if (worst.size() > count) worst.resize(count);
+  }
+  for (const Hard& hard : worst) {
+    Trace trace = select_instance_to_trace(hard.instance);
+    trace.set_meta("exact_nodes", std::to_string(exact_budget));
+    trace.set_meta("seed", std::to_string(seed));
+    trace.set_meta("iteration", std::to_string(hard.iter));
+    std::ostringstream ratio;
+    ratio << hard.ratio;
+    trace.set_meta("basic_exact_ratio", ratio.str());
+    const std::string path =
+        dir + "/hard-select-" + std::to_string(seed) + "-" +
+        std::to_string(hard.iter) + ".trace";
+    save_trace(path, trace);
+    std::cout << "wrote " << path << " (basic/exact = " << ratio.str()
+              << ", d = " << max_file_degree(hard.instance.items()) << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("fbcfuzz",
+                "Differential fuzzer for the FBC selection algorithms and "
+                "the cache simulator");
+  cli.add_option("seed", "campaign master seed", "1");
+  cli.add_option("iters", "number of fuzzing iterations", "100");
+  cli.add_option("mode", "all|select|sim", "all");
+  cli.add_option("policies",
+                 "comma-separated policy names for the simulation oracles "
+                 "(empty = every registered policy)",
+                 "");
+  cli.add_option("exact-nodes",
+                 "branch-and-bound node budget for the exact reference "
+                 "solver (0 = unbounded)",
+                 "200000");
+  cli.add_option("out", "directory for shrunk reproducer traces", ".");
+  cli.add_option("max-failures", "stop after this many distinct failures",
+                 "8");
+  cli.add_option("replay", "re-check a reproducer trace and exit", "");
+  cli.add_option("dump-hard",
+                 "search for low greedy/exact-ratio instances and write "
+                 "them into this directory as fixtures",
+                 "");
+  cli.add_option("hard-count", "fixtures kept by --dump-hard", "3");
+  cli.add_flag("smoke", "fixed-seed quick campaign for CI (overrides "
+                        "--seed/--iters unless set explicitly)");
+  cli.add_flag("no-shrink", "report failures without shrinking");
+  cli.add_flag("inject-bug",
+               "self-test: wrap the policies in a deliberately broken "
+               "under-freeing adapter and expect the fuzzer to catch it");
+
+  try {
+    cli.parse(argc, argv);
+
+    // The fuzzer deliberately generates unserviceable requests and
+    // undersized caches; simulator warnings about them are noise here.
+    set_log_level(LogLevel::Error);
+
+    if (!cli.get_string("replay").empty()) {
+      const Trace trace = load_trace(cli.get_string("replay"));
+      const std::vector<Violation> violations = replay_reproducer(trace);
+      if (violations.empty()) {
+        std::cout << "replay: no violations (reproducer no longer fails)\n";
+        return 0;
+      }
+      for (const Violation& v : violations) {
+        std::cout << "replay: " << v.to_string() << "\n";
+      }
+      return 1;
+    }
+
+    if (!cli.get_string("dump-hard").empty()) {
+      return dump_hard(cli.get_string("dump-hard"), cli.get_u64("seed"),
+                       cli.get_u64("iters"), cli.get_u64("exact-nodes"),
+                       cli.get_u64("hard-count"));
+    }
+
+    FuzzConfig config;
+    config.seed = cli.get_u64("seed");
+    config.iters = cli.get_u64("iters");
+    if (cli.get_flag("smoke")) {
+      if (!cli.was_set("seed")) config.seed = 1;
+      if (!cli.was_set("iters")) config.iters = 300;
+    }
+    const std::string mode = cli.get_string("mode");
+    if (mode == "select") {
+      config.run_sim = false;
+    } else if (mode == "sim") {
+      config.run_select = false;
+    } else if (mode != "all") {
+      throw std::invalid_argument("unknown --mode: " + mode);
+    }
+    config.policies = split_csv(cli.get_string("policies"));
+    if (cli.get_flag("inject-bug")) {
+      if (config.policies.empty()) config.policies = {"lru"};
+      for (std::string& name : config.policies) name = "underfree:" + name;
+    }
+    config.exact_node_budget = cli.get_u64("exact-nodes");
+    config.out_dir = cli.get_string("out");
+    config.shrink = !cli.get_flag("no-shrink");
+    config.max_failures = cli.get_u64("max-failures");
+
+    const FuzzReport report = run_fuzz(config, std::cerr);
+    std::cout << "fbcfuzz: " << report.iterations << " iterations, "
+              << report.select_instances << " select instances, "
+              << report.sim_runs << " simulator runs, "
+              << report.exact_truncations << " exact-solver truncations, "
+              << report.failures.size() << " failure(s)\n";
+    for (const FuzzFailure& failure : report.failures) {
+      std::cout << "  iter " << failure.iteration << ": "
+                << failure.violation.to_string() << " [shrunk to "
+                << failure.shrunk_jobs << " request(s)";
+      if (!failure.reproducer_path.empty())
+        std::cout << ", " << failure.reproducer_path;
+      std::cout << "]\n";
+    }
+    if (cli.get_flag("inject-bug")) {
+      // Self-test inverts the exit logic: the bug must be caught.
+      if (report.clean()) {
+        std::cout << "fbcfuzz: SELF-TEST FAILED -- injected bug not caught\n";
+        return 1;
+      }
+      std::cout << "fbcfuzz: self-test ok -- injected bug caught and shrunk\n";
+      return 0;
+    }
+    return report.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "fbcfuzz: " << e.what() << "\n";
+    return 2;
+  }
+}

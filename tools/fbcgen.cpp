@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("unknown --kind: " + kind);
     }
 
-    Trace trace{w.catalog, w.jobs, {}, {}};
+    Trace trace{w.catalog, w.jobs, {}, {}, {}};
     if (cli.get_flag("timed")) {
       const double mean_gap = cli.get_double("mean-gap");
       const double service_min = cli.get_double("service-min");
