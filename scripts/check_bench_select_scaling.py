@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the incremental selection engine.
+
+Reads the JSON emitted by `bench_select_scaling --json` and fails when the
+incremental engine's per-miss rescored-entry count exceeds the reference
+engine's scanned-entry count at the largest sweep point of any policy --
+i.e. when the dirty-tracking engine has degraded to (or past) the cost of
+a full from-scratch rescore. Also re-checks that both engines reported the
+same byte-miss ratio and decision count at every point (the bench itself
+aborts on divergence; this guards against a stale or hand-edited file).
+
+Usage: check_bench_select_scaling.py [BENCH_select_scaling.json]
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_select_scaling.json"
+    with open(path) as f:
+        data = json.load(f)
+
+    points = data.get("points", [])
+    if not points:
+        print(f"{path}: no sweep points", file=sys.stderr)
+        return 1
+
+    failures = []
+    for point in points:
+        ref = point["engines"]["reference"]
+        inc = point["engines"]["incremental"]
+        where = (f"policy={point['policy']} history={point['history_entries']} "
+                 f"cache={point['cache_mib']}MiB")
+        if ref["byte_miss"] != inc["byte_miss"]:
+            failures.append(f"{where}: byte_miss diverged "
+                            f"({ref['byte_miss']} vs {inc['byte_miss']})")
+        if ref["decisions"] != inc["decisions"]:
+            failures.append(f"{where}: decision count diverged "
+                            f"({ref['decisions']} vs {inc['decisions']})")
+
+    # The gate proper: at each policy's largest sweep point the incremental
+    # engine must do less rescoring work than the reference does scanning.
+    by_policy = {}
+    for point in points:
+        key = point["policy"]
+        best = by_policy.get(key)
+        if (best is None
+                or (point["history_entries"], point["cache_mib"])
+                > (best["history_entries"], best["cache_mib"])):
+            by_policy[key] = point
+
+    for policy, point in sorted(by_policy.items()):
+        ref = point["engines"]["reference"]
+        inc = point["engines"]["incremental"]
+        rescored = inc["rescored_per_decision"]
+        scanned = ref["scanned_per_decision"]
+        verdict = "ok" if rescored <= scanned else "FAIL"
+        print(f"{policy} @ history={point['history_entries']} "
+              f"cache={point['cache_mib']}MiB: incremental rescored/dec "
+              f"{rescored:.1f} vs reference scanned/dec {scanned:.1f} "
+              f"[{verdict}]")
+        if rescored > scanned:
+            failures.append(
+                f"policy={policy}: incremental rescored/dec {rescored:.1f} "
+                f"exceeds reference scanned/dec {scanned:.1f} at the largest "
+                f"sweep point")
+
+    if failures:
+        for failure in failures:
+            print(f"check_bench_select_scaling: {failure}", file=sys.stderr)
+        return 1
+    print("check_bench_select_scaling: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

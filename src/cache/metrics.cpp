@@ -29,6 +29,10 @@ void CacheMetrics::record_prefetch(Bytes bytes) noexcept {
 
 void CacheMetrics::record_unserviceable() noexcept { ++unserviceable_; }
 
+void CacheMetrics::record_selection_cost(const SelectionCost& cost) noexcept {
+  selection_cost_.merge(cost);
+}
+
 void CacheMetrics::record_queue_wait(double services_waited) noexcept {
   ++wait_count_;
   wait_sum_ += services_waited;
@@ -90,6 +94,7 @@ void CacheMetrics::merge(const CacheMetrics& other) noexcept {
   bytes_evicted_ += other.bytes_evicted_;
   bytes_prefetched_ += other.bytes_prefetched_;
   unserviceable_ += other.unserviceable_;
+  selection_cost_.merge(other.selection_cost_);
   wait_count_ += other.wait_count_;
   wait_sum_ += other.wait_sum_;
   wait_max_ = std::max(wait_max_, other.wait_max_);

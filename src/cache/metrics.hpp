@@ -13,6 +13,28 @@
 
 namespace fbc {
 
+/// Per-arrival selection-effort counters, reported by policies that
+/// instrument their replacement decision (see ReplacementPolicy::
+/// selection_cost). Deterministic work counts, not wall-clock: they are
+/// what the scaling bench and the CI perf guard compare across engines.
+struct SelectionCost {
+  /// Replacement decisions accounted for.
+  std::uint64_t decisions = 0;
+  /// History entries examined while building the candidate list.
+  std::uint64_t candidates_scanned = 0;
+  /// Entries whose adjusted relative value v'(r) was recomputed in full.
+  std::uint64_t entries_rescored = 0;
+  /// Heap pushes + pops performed by the greedy selector.
+  std::uint64_t heap_ops = 0;
+
+  void merge(const SelectionCost& other) noexcept {
+    decisions += other.decisions;
+    candidates_scanned += other.candidates_scanned;
+    entries_rescored += other.entries_rescored;
+    heap_ops += other.heap_ops;
+  }
+};
+
 /// Accumulated counters for one simulation run.
 ///
 /// The simulator calls the record_* methods; consumers read the derived
@@ -34,6 +56,9 @@ class CacheMetrics {
 
   /// Records a job whose bundle can never fit in the cache (skipped).
   void record_unserviceable() noexcept;
+
+  /// Accumulates one replacement decision's selection effort.
+  void record_selection_cost(const SelectionCost& cost) noexcept;
 
   /// Records how many other services a queued job waited through before
   /// being served (0 under FCFS; grows when scheduling reorders it).
@@ -60,6 +85,11 @@ class CacheMetrics {
   }
   [[nodiscard]] Bytes bytes_prefetched() const noexcept {
     return bytes_prefetched_;
+  }
+  /// Selection effort accumulated over all replacement decisions (all
+  /// zeros when the policy does not report it).
+  [[nodiscard]] const SelectionCost& selection_cost() const noexcept {
+    return selection_cost_;
   }
 
   // -- derived metrics (paper §1.2) ---------------------------------------
@@ -114,6 +144,7 @@ class CacheMetrics {
   Bytes bytes_evicted_ = 0;
   Bytes bytes_prefetched_ = 0;
   std::uint64_t unserviceable_ = 0;
+  SelectionCost selection_cost_;
   std::uint64_t wait_count_ = 0;
   double wait_sum_ = 0.0;
   double wait_max_ = 0.0;

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "cache/cache.hpp"
+#include "cache/metrics.hpp"
 #include "cache/types.hpp"
 
 namespace fbc {
@@ -70,6 +71,17 @@ class ReplacementPolicy {
   /// state.
   virtual void on_file_evicted(FileId id) { (void)id; }
 
+  /// Called after the simulator admits files returned by prefetch() into
+  /// free space. `loaded` lists only the files actually inserted (already
+  /// resident or non-fitting ones were skipped). Event-driven policies
+  /// need this: prefetch is the one cache mutation not covered by
+  /// on_files_loaded / on_file_evicted.
+  virtual void on_prefetched(std::span<const FileId> loaded,
+                             const DiskCache& cache) {
+    (void)loaded;
+    (void)cache;
+  }
+
   /// Optional prefetch hook, called after `request` has been serviced.
   /// The returned files are loaded in order as long as they fit in the
   /// current free space (files that do not fit, or are already resident,
@@ -103,6 +115,13 @@ class ReplacementPolicy {
       const DiskCache& cache) {
     (void)ages;
     return choose_next(queue, cache);
+  }
+
+  /// Cumulative selection-effort counters, or nullptr when the policy does
+  /// not instrument its replacement decisions. The simulator snapshots
+  /// this around select_victims and charges the delta to CacheMetrics.
+  [[nodiscard]] virtual const SelectionCost* selection_cost() const {
+    return nullptr;
   }
 
   /// Clears all per-run state, making the instance reusable.

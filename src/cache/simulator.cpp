@@ -56,8 +56,19 @@ void Simulator::serve_one(const Request& request, CacheMetrics& metrics) {
   if (cache_.free_bytes() < missing_bytes) {
     const Bytes needed = missing_bytes - cache_.free_bytes();
     ++result_.decisions;
+    const SelectionCost* cost_counter = policy_->selection_cost();
+    const SelectionCost cost_before =
+        cost_counter != nullptr ? *cost_counter : SelectionCost{};
     const std::vector<FileId> victims =
         policy_->select_victims(request, needed, cache_);
+    if (cost_counter != nullptr) {
+      SelectionCost delta = *cost_counter;
+      delta.decisions -= cost_before.decisions;
+      delta.candidates_scanned -= cost_before.candidates_scanned;
+      delta.entries_rescored -= cost_before.entries_rescored;
+      delta.heap_ops -= cost_before.heap_ops;
+      metrics.record_selection_cost(delta);
+    }
     for (FileId victim : victims) {
       if (request.contains(victim))
         throw PolicyContractViolation(
@@ -91,13 +102,16 @@ void Simulator::serve_one(const Request& request, CacheMetrics& metrics) {
 
   // Speculative loads (Algorithm 2 step 3 under untruncated history):
   // admitted only into free space, charged as moved bytes.
+  std::vector<FileId> prefetched;
   for (FileId id : policy_->prefetch(request, cache_)) {
     if (cache_.contains(id)) continue;
     const Bytes size = catalog_->size_of(id);
     if (size > cache_.free_bytes()) continue;
     cache_.insert(id);
     metrics.record_prefetch(size);
+    prefetched.push_back(id);
   }
+  if (!prefetched.empty()) policy_->on_prefetched(prefetched, cache_);
   assert(cache_.used_bytes() <= cache_.capacity());
   if (observer_ != nullptr) observer_->on_job_serviced(request, cache_, metrics);
 }

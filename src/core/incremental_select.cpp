@@ -1,0 +1,495 @@
+#include "core/incremental_select.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace fbc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+std::string to_string(SelectEngine engine) {
+  switch (engine) {
+    case SelectEngine::Reference: return "reference";
+    case SelectEngine::Incremental: return "incremental";
+  }
+  return "?";
+}
+
+IncrementalSelector::IncrementalSelector(const FileCatalog& catalog,
+                                         RequestHistory& history)
+    : catalog_(&catalog), history_(&history) {}
+
+double IncrementalSelector::adjusted_size(FileId id) const noexcept {
+  // Mirrors OptCacheSelect::adjusted_size over the live degree table.
+  const std::span<const std::uint32_t> degrees = history_->degrees();
+  const std::uint32_t d =
+      id < degrees.size() ? std::max<std::uint32_t>(1, degrees[id]) : 1;
+  return static_cast<double>(catalog_->size_of(id)) / static_cast<double>(d);
+}
+
+bool IncrementalSelector::is_free(FileId id) const noexcept {
+  return std::binary_search(free_sorted_.begin(), free_sorted_.end(), id);
+}
+
+void IncrementalSelector::reset() {
+  synced_ = false;
+  // Everything else is rebuilt by the next sync(); epochs keep counting so
+  // stale stamps can never collide.
+}
+
+void IncrementalSelector::add_supported(std::uint32_t entry) {
+  if (supported_pos_[entry] != 0) return;
+  supported_.push_back(entry);
+  supported_pos_[entry] = static_cast<std::uint32_t>(supported_.size());
+}
+
+void IncrementalSelector::remove_supported(std::uint32_t entry) {
+  const std::uint32_t pos = supported_pos_[entry];
+  if (pos == 0) return;
+  const std::uint32_t last = supported_.back();
+  supported_[pos - 1] = last;
+  supported_pos_[last] = pos;
+  supported_.pop_back();
+  supported_pos_[entry] = 0;
+}
+
+void IncrementalSelector::grow_entry_arrays(std::size_t count) {
+  adj0_.resize(count, 0.0);
+  real0_.resize(count, 0);
+  missing_.resize(count, 0);
+  dirty_.resize(count, 1);
+  supported_pos_.resize(count, 0);
+  touch_epoch_.resize(count, 0);
+  cand_epoch_.resize(count, 0);
+  cand_pos_.resize(count, 0);
+}
+
+void IncrementalSelector::attach_entry(std::size_t index) {
+  const HistoryEntry& entry = history_->entries()[index];
+  const auto e = static_cast<std::uint32_t>(index);
+  std::uint32_t missing = 0;
+  for (FileId id : entry.request.files) {
+    if (inverted_.size() <= id) inverted_.resize(id + 1);
+    inverted_[id].push_back(e);
+    if (resident_.size() <= id) resident_.resize(id + 1, 0);
+    if (resident_[id] == 0) ++missing;
+  }
+  missing_[index] = missing;
+  dirty_[index] = 1;
+  if (missing == 0) add_supported(e);
+}
+
+void IncrementalSelector::full_rebuild() {
+  const std::span<const HistoryEntry> entries = history_->entries();
+  for (std::vector<std::uint32_t>& list : inverted_) list.clear();
+  supported_.clear();
+  adj0_.clear();
+  real0_.clear();
+  missing_.clear();
+  dirty_.clear();
+  supported_pos_.clear();
+  touch_epoch_.clear();
+  cand_epoch_.clear();
+  cand_pos_.clear();
+  grow_entry_arrays(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) attach_entry(i);
+}
+
+void IncrementalSelector::sync(const DiskCache& cache) {
+  resident_.assign(catalog_->count(), 0);
+  for (FileId id : cache.resident_files()) {
+    if (resident_.size() <= id) resident_.resize(id + 1, 0);
+    resident_[id] = 1;
+  }
+  if (covered_run_.size() < catalog_->count()) {
+    covered_run_.resize(catalog_->count(), 0);
+  }
+  full_rebuild();
+  history_->drain_journal();
+  synced_ = true;
+}
+
+void IncrementalSelector::drain_journal() {
+  const HistoryJournal& journal = history_->journal();
+  if (journal.empty()) return;
+  if (journal.remapped) {
+    // Compaction renumbered entries: every cached index is invalid.
+    full_rebuild();
+    history_->drain_journal();
+    return;
+  }
+  // Degree deltas dirty exactly the entries sharing the touched files
+  // (their cached v'(r) denominators changed). Entries added this batch
+  // are not in the inverted index yet, but attach_entry marks them dirty
+  // unconditionally.
+  for (const auto& [id, delta] : journal.degree_deltas) {
+    (void)delta;
+    if (id < inverted_.size()) {
+      for (std::uint32_t e : inverted_[id]) dirty_[e] = 1;
+    }
+  }
+  grow_entry_arrays(history_->entries().size());
+  for (std::size_t index : journal.added) attach_entry(index);
+  // Value bumps need no action: values are read live at selection time and
+  // do not enter the cached denominators.
+  history_->drain_journal();
+}
+
+void IncrementalSelector::on_files_loaded(std::span<const FileId> loaded) {
+  if (!synced_) return;  // first select() resynchronizes from the cache
+  for (FileId id : loaded) {
+    if (resident_.size() <= id) resident_.resize(id + 1, 0);
+    if (resident_[id] != 0) continue;
+    resident_[id] = 1;
+    if (id < inverted_.size()) {
+      for (std::uint32_t e : inverted_[id]) {
+        if (--missing_[e] == 0) add_supported(e);
+      }
+    }
+  }
+}
+
+void IncrementalSelector::on_file_evicted(FileId id) {
+  if (!synced_) return;
+  if (resident_.size() <= id || resident_[id] == 0) return;
+  resident_[id] = 0;
+  if (id < inverted_.size()) {
+    for (std::uint32_t e : inverted_[id]) {
+      if (missing_[e]++ == 0) remove_supported(e);
+    }
+  }
+}
+
+void IncrementalSelector::ensure_scored(std::uint32_t entry,
+                                        SelectionCost* cost) {
+  if (dirty_[entry] == 0) return;
+  // The cached denominator is the sum over ALL bundle files in bundle
+  // order -- bit-identical to what the reference computes for an entry
+  // whose bundle misses the free set, because skipping nothing preserves
+  // the addition order.
+  const HistoryEntry& he = history_->entries()[entry];
+  double adj = 0.0;
+  Bytes real = 0;
+  for (FileId id : he.request.files) {
+    adj += adjusted_size(id);
+    real += catalog_->size_of(id);
+  }
+  adj0_[entry] = adj;
+  real0_[entry] = real;
+  dirty_[entry] = 0;
+  if (cost != nullptr) ++cost->entries_rescored;
+}
+
+void IncrementalSelector::collect_candidates(const Request& incoming,
+                                             const DiskCache& cache,
+                                             SelectionCost* cost) {
+  (void)cache;
+  cand_.clear();
+  const std::span<const HistoryEntry> entries = history_->entries();
+  const std::size_t exclude = history_->entry_index(incoming);
+  const RequestHistoryConfig& config = history_->config();
+
+  if (config.mode == HistoryMode::CacheResident) {
+    // The exact supported set, put back into history order (the order the
+    // reference's full scan produces). All candidates are supported, so
+    // the supported-first partition is a no-op.
+    if (cost != nullptr) cost->candidates_scanned += supported_.size();
+    cand_.assign(supported_.begin(), supported_.end());
+    std::sort(cand_.begin(), cand_.end());
+    if (exclude != SIZE_MAX) {
+      const auto it = std::lower_bound(
+          cand_.begin(), cand_.end(), static_cast<std::uint32_t>(exclude));
+      if (it != cand_.end() && *it == exclude) cand_.erase(it);
+    }
+    return;
+  }
+
+  // Full/Window admit entries regardless of residency; replicate the
+  // reference's stable supported-first partition using the O(1)
+  // missing-count instead of cache.supports.
+  if (cost != nullptr) cost->candidates_scanned += entries.size();
+  std::vector<std::uint32_t> unsupported;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i == exclude) continue;
+    if (config.mode == HistoryMode::Window &&
+        entries[i].last_seen + config.window_jobs <=
+            history_->observed_jobs()) {
+      continue;
+    }
+    const auto e = static_cast<std::uint32_t>(i);
+    if (missing_[i] == 0) {
+      cand_.push_back(e);
+    } else {
+      unsupported.push_back(e);
+    }
+  }
+  cand_.insert(cand_.end(), unsupported.begin(), unsupported.end());
+}
+
+void IncrementalSelector::build_initial_sizes(SelectionCost* cost) {
+  // Entries whose bundle intersects the free set need a per-decision
+  // rescore that skips the free files (the reference's addition order);
+  // everyone else reuses the cached all-files sums.
+  for (FileId id : free_sorted_) {
+    if (id < inverted_.size()) {
+      for (std::uint32_t e : inverted_[id]) touch_epoch_[e] = epoch_;
+    }
+  }
+  const std::span<const HistoryEntry> entries = history_->entries();
+  const std::size_t k = cand_.size();
+  values_.resize(k);
+  adj_init_.resize(k);
+  real_init_.resize(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::uint32_t e = cand_[c];
+    cand_epoch_[e] = epoch_;
+    cand_pos_[e] = static_cast<std::uint32_t>(c);
+    values_[c] = entries[e].value;
+    if (touch_epoch_[e] == epoch_) {
+      double adj = 0.0;
+      Bytes real = 0;
+      for (FileId id : entries[e].request.files) {
+        if (is_free(id)) continue;
+        adj += adjusted_size(id);
+        real += catalog_->size_of(id);
+      }
+      adj_init_[c] = adj;
+      real_init_[c] = real;
+      if (cost != nullptr) ++cost->entries_rescored;
+    } else {
+      ensure_scored(e, cost);
+      adj_init_[c] = adj0_[e];
+      real_init_[c] = real0_[e];
+    }
+  }
+}
+
+void IncrementalSelector::finalize_files(SelectionResult& result) const {
+  const std::span<const HistoryEntry> entries = history_->entries();
+  std::vector<FileId> files;
+  for (std::size_t idx : result.chosen) {
+    for (FileId id : entries[cand_[idx]].request.files) {
+      if (!is_free(id)) files.push_back(id);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  result.file_bytes = catalog_->bundle_bytes(files);
+  result.files = std::move(files);
+}
+
+void IncrementalSelector::apply_single_override(Bytes budget,
+                                                SelectionResult& result) const {
+  // Algorithm 1 step 3, with the stand-alone size taken from the initial
+  // real sizes (integers: equal to the reference's fresh sum).
+  double best_value = 0.0;
+  std::size_t best_idx = cand_.size();
+  for (std::size_t c = 0; c < cand_.size(); ++c) {
+    if (values_[c] <= best_value) continue;
+    if (real_init_[c] <= budget) {
+      best_value = values_[c];
+      best_idx = c;
+    }
+  }
+  if (best_idx < cand_.size() && best_value > result.total_value) {
+    result.chosen = {best_idx};
+    result.total_value = best_value;
+    result.single_request_override = true;
+    finalize_files(result);
+  }
+}
+
+SelectionResult IncrementalSelector::run_basic(Bytes budget,
+                                               SelectionCost* cost) {
+  (void)cost;
+  const std::size_t k = cand_.size();
+  std::vector<double> rank(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (values_[c] <= 0.0) {
+      rank[c] = -kInf;
+    } else {
+      rank[c] = adj_init_[c] > 0.0 ? values_[c] / adj_init_[c] : kInf;
+    }
+  }
+  std::vector<std::size_t> order(k);
+  for (std::size_t c = 0; c < k; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rank[a] != rank[b]) return rank[a] > rank[b];
+    return a < b;
+  });
+
+  SelectionResult result;
+  Bytes remaining = budget;
+  for (std::size_t idx : order) {
+    if (rank[idx] == -kInf) break;
+    if (real_init_[idx] <= remaining) {
+      remaining -= real_init_[idx];
+      result.chosen.push_back(idx);
+      result.total_value += values_[idx];
+    }
+  }
+  finalize_files(result);
+  apply_single_override(budget, result);
+  return result;
+}
+
+SelectionResult IncrementalSelector::run_resort(
+    Bytes budget, std::span<const std::size_t> seed, SelectionCost* cost) {
+  const std::size_t k = cand_.size();
+  const std::span<const HistoryEntry> entries = history_->entries();
+  adj_.assign(adj_init_.begin(), adj_init_.end());
+  real_.assign(real_init_.begin(), real_init_.end());
+  selected_.assign(k, 0);
+  dead_.assign(k, 0);
+  version_.assign(k, 0);
+  ++run_id_;
+  std::uint64_t heap_ops = 0;
+
+  struct HeapEntry {
+    double key;
+    std::uint32_t idx;
+    std::uint32_t version;
+  };
+  auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.key != b.key) return a.key < b.key;  // max-heap by key
+    return a.idx > b.idx;                      // then lowest index first
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(
+      cmp);
+  auto key_of = [&](std::size_t c) {
+    return adj_[c] > 0.0 ? values_[c] / adj_[c] : kInf;
+  };
+
+  for (std::size_t c = 0; c < k; ++c) {
+    if (values_[c] <= 0.0) {
+      dead_[c] = 1;
+      continue;
+    }
+    heap.push(HeapEntry{key_of(c), static_cast<std::uint32_t>(c), 0});
+    ++heap_ops;
+  }
+
+  SelectionResult result;
+  Bytes remaining = budget;
+
+  auto take = [&](std::size_t c) {
+    selected_[c] = 1;
+    remaining -= real_[c];
+    result.chosen.push_back(c);
+    result.total_value += values_[c];
+    for (FileId id : entries[cand_[c]].request.files) {
+      if (is_free(id) || covered_run_[id] == run_id_) continue;
+      covered_run_[id] = run_id_;
+      const double s_adj = adjusted_size(id);
+      const Bytes s_real = catalog_->size_of(id);
+      if (id >= inverted_.size()) continue;
+      for (std::uint32_t e : inverted_[id]) {
+        if (cand_epoch_[e] != epoch_) continue;
+        const std::uint32_t j = cand_pos_[e];
+        if (j == c || selected_[j] != 0 || dead_[j] != 0) continue;
+        adj_[j] -= s_adj;
+        real_[j] -= s_real;
+        ++version_[j];
+        heap.push(HeapEntry{key_of(j), j, version_[j]});
+        ++heap_ops;
+      }
+    }
+  };
+
+  for (std::size_t idx : seed) {
+    if (selected_[idx] != 0) continue;
+    if (real_[idx] > remaining) {
+      if (cost != nullptr) cost->heap_ops += heap_ops;
+      SelectionResult infeasible;
+      infeasible.total_value = -1.0;
+      return infeasible;
+    }
+    take(idx);
+  }
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    ++heap_ops;
+    const std::size_t c = top.idx;
+    if (top.version != version_[c] || selected_[c] != 0 || dead_[c] != 0)
+      continue;
+    if (real_[c] > remaining) {
+      dead_[c] = 1;
+      continue;
+    }
+    take(c);
+  }
+  if (cost != nullptr) cost->heap_ops += heap_ops;
+
+  finalize_files(result);
+  if (seed.empty()) apply_single_override(budget, result);
+  return result;
+}
+
+SelectionResult IncrementalSelector::run_seeded(Bytes budget, int k,
+                                                SelectionCost* cost) {
+  SelectionResult best = run_resort(budget, {}, cost);
+  const std::size_t n = cand_.size();
+  std::vector<std::size_t> seed;
+  auto consider = [&](std::span<const std::size_t> forced) {
+    SelectionResult candidate = run_resort(budget, forced, cost);
+    if (candidate.total_value > best.total_value) best = std::move(candidate);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (values_[i] <= 0.0) continue;
+    seed = {i};
+    consider(seed);
+    if (k >= 2) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (values_[j] <= 0.0) continue;
+        seed = {i, j};
+        consider(seed);
+      }
+    }
+  }
+  return best;
+}
+
+IncrementalSelector::Selection IncrementalSelector::select(
+    const Request& incoming, std::span<const FileId> free_files, Bytes budget,
+    SelectVariant variant, const DiskCache& cache, SelectionCost* cost) {
+  if (!synced_) {
+    sync(cache);
+  } else {
+    drain_journal();
+  }
+  ++epoch_;
+
+  free_sorted_.assign(free_files.begin(), free_files.end());
+  std::sort(free_sorted_.begin(), free_sorted_.end());
+  free_sorted_.erase(std::unique(free_sorted_.begin(), free_sorted_.end()),
+                     free_sorted_.end());
+
+  collect_candidates(incoming, cache, cost);
+  build_initial_sizes(cost);
+
+  Selection out;
+  out.candidate_count = cand_.size();
+  switch (variant) {
+    case SelectVariant::Basic:
+      out.result = run_basic(budget, cost);
+      break;
+    case SelectVariant::Resort:
+      out.result = run_resort(budget, {}, cost);
+      break;
+    case SelectVariant::Seeded1:
+      out.result = run_seeded(budget, 1, cost);
+      break;
+    case SelectVariant::Seeded2:
+      out.result = run_seeded(budget, 2, cost);
+      break;
+  }
+  return out;
+}
+
+}  // namespace fbc

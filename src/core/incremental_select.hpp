@@ -1,0 +1,181 @@
+// IncrementalSelector: the incremental selection engine for the
+// OptFileBundle hot path.
+//
+// The reference path rebuilds everything per replacement decision: it
+// scans the whole history to collect candidates (testing cache.supports
+// per entry), recomputes every adjusted relative value v'(r) from scratch
+// and re-derives the file->item inverted index -- O(|L(R)|) work plus the
+// sum of all candidate bundle sizes per miss (the paper's §5.2 scaling
+// bottleneck, the reason Fig. 5 studies history truncation at all).
+//
+// This engine maintains that state *across* decisions and reconciles it
+// from two event streams instead:
+//
+//   * the RequestHistory change-journal (core/request_history.hpp):
+//     added entries, value bumps, and exact per-file degree deltas from
+//     observation and compaction. A degree delta on file f dirties only
+//     the entries containing f (found via a persistent inverted index);
+//     dirty entries are lazily rescored the next time they are candidates.
+//     A compaction remap invalidates all cached indices and forces a full
+//     rebuild -- rare by construction (at most every max_entries/4 jobs).
+//
+//   * residency events forwarded by the policy (on_files_loaded /
+//     on_file_evicted / on_prefetched): a per-file resident bitmap and a
+//     per-entry missing-file count make "is this entry supported by the
+//     cache?" an O(1) lookup, and the CacheResident candidate set is
+//     maintained as an exact set instead of being re-derived by scanning.
+//
+// Per decision the engine then pays O(|candidates|) to assemble the
+// selection (inherent: the greedy admits from all of them) but rescores
+// only entries that are dirty or whose bundles intersect the reserved
+// (free) file set, instead of all of them.
+//
+// Equivalence contract: select() returns byte-identical SelectionResults
+// to the reference path (same chosen indices, same files, bitwise-equal
+// total_value) for every SelectVariant x HistoryMode. This holds because
+//   (a) the candidate list is assembled in the exact order the reference
+//       produces (history order, mode-filtered, incoming excluded,
+//       supported-first stable partition), so item indices -- and with
+//       them every tie-break -- coincide;
+//   (b) floating-point sums are never "adjusted": a cached v'(r)
+//       denominator is only reused when it is the *same* sum (same files,
+//       same degrees, same addition order); anything else is recomputed in
+//       bundle order exactly as the reference does (FP addition is not
+//       associative, so reusing a differently-ordered sum would diverge);
+//   (c) the greedy drain itself replays the reference arithmetic: the
+//       heap comparator never lets two live distinct items compare equal
+//       (key, then index), so push-order differences cannot change the
+//       pop order, and coverage subtractions happen in the same bundle
+//       order on the same values.
+// tests/core/test_incremental_select.cpp and the fbcfuzz --engine-diff
+// campaign enforce the contract; docs/ALGORITHMS.md discusses the design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/catalog.hpp"
+#include "cache/metrics.hpp"
+#include "core/opt_cache_select.hpp"
+#include "core/request_history.hpp"
+
+namespace fbc {
+
+/// Which implementation OptFileBundlePolicy uses for its replacement
+/// decisions. Both produce identical results; Reference stays the default
+/// until the incremental engine has soaked (it is the oracle the
+/// differential tests trust).
+enum class SelectEngine { Reference, Incremental };
+
+/// Returns "reference" / "incremental".
+[[nodiscard]] std::string to_string(SelectEngine engine);
+
+/// The incremental engine (see file comment). Owned by
+/// OptFileBundlePolicy, which enables journaling on the shared history and
+/// forwards residency events.
+class IncrementalSelector {
+ public:
+  /// Outcome of one replacement decision.
+  struct Selection {
+    SelectionResult result;
+    /// Size of the candidate list (== the reference path's count).
+    std::size_t candidate_count = 0;
+  };
+
+  /// Both referents must outlive the selector. The history should have
+  /// journaling enabled before any request is observed; entries that
+  /// predate journaling are picked up by the first full sync.
+  IncrementalSelector(const FileCatalog& catalog, RequestHistory& history);
+
+  // -- residency event stream (forwarded by the policy) -------------------
+
+  /// Files inserted into the cache (demand load or prefetch admission).
+  void on_files_loaded(std::span<const FileId> loaded);
+
+  /// A resident file was evicted.
+  void on_file_evicted(FileId id);
+
+  // -- the decision -------------------------------------------------------
+
+  /// Runs the selection the reference path would run with the same inputs:
+  /// candidates from the shared history against `cache`, `incoming`
+  /// excluded, files in `free_files` free, `budget` bytes of capacity.
+  /// Counters are accumulated into `cost` when non-null.
+  [[nodiscard]] Selection select(const Request& incoming,
+                                 std::span<const FileId> free_files,
+                                 Bytes budget, SelectVariant variant,
+                                 const DiskCache& cache, SelectionCost* cost);
+
+  /// Drops all derived state; the next select() resynchronizes from the
+  /// history and cache (used by policy reset()).
+  void reset();
+
+ private:
+  // -- maintenance --------------------------------------------------------
+  void sync(const DiskCache& cache);
+  void drain_journal();
+  void full_rebuild();
+  void grow_entry_arrays(std::size_t count);
+  void attach_entry(std::size_t index);
+  void add_supported(std::uint32_t entry);
+  void remove_supported(std::uint32_t entry);
+  /// Refreshes the cached (all-files) denominator of a dirty entry.
+  void ensure_scored(std::uint32_t entry, SelectionCost* cost);
+  [[nodiscard]] double adjusted_size(FileId id) const noexcept;
+  [[nodiscard]] bool is_free(FileId id) const noexcept;
+
+  // -- per-decision selection (reference arithmetic replayed) -------------
+  void collect_candidates(const Request& incoming, const DiskCache& cache,
+                          SelectionCost* cost);
+  void build_initial_sizes(SelectionCost* cost);
+  [[nodiscard]] SelectionResult run_basic(Bytes budget, SelectionCost* cost);
+  [[nodiscard]] SelectionResult run_resort(Bytes budget,
+                                           std::span<const std::size_t> seed,
+                                           SelectionCost* cost);
+  [[nodiscard]] SelectionResult run_seeded(Bytes budget, int k,
+                                           SelectionCost* cost);
+  void finalize_files(SelectionResult& result) const;
+  void apply_single_override(Bytes budget, SelectionResult& result) const;
+
+  const FileCatalog* catalog_;
+  RequestHistory* history_;
+
+  // Persistent per-entry state, index-aligned with history entries().
+  std::vector<double> adj0_;           ///< cached sum of s'(f) over ALL files
+  std::vector<Bytes> real0_;           ///< cached sum of s(f) over ALL files
+  std::vector<std::uint32_t> missing_; ///< non-resident files of the bundle
+  std::vector<std::uint8_t> dirty_;    ///< adj0_/real0_ stale (degree change)
+
+  // Persistent file-keyed state.
+  std::vector<std::vector<std::uint32_t>> inverted_;  ///< file -> entries
+  std::vector<std::uint8_t> resident_;                ///< residency bitmap
+
+  // Exact supported-entry set (missing_ == 0), swap-remove semantics.
+  std::vector<std::uint32_t> supported_;
+  std::vector<std::uint32_t> supported_pos_;  ///< entry -> pos+1 (0 absent)
+
+  bool synced_ = false;
+
+  // Per-decision scratch, epoch-stamped so it never needs clearing.
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> touch_epoch_;  ///< entry intersects free set
+  std::vector<std::uint64_t> cand_epoch_;   ///< entry is a candidate
+  std::vector<std::uint32_t> cand_pos_;     ///< entry -> candidate index
+  std::vector<std::uint32_t> cand_;         ///< candidate -> entry index
+  std::vector<FileId> free_sorted_;
+  std::vector<double> values_;     ///< candidate values (v(r))
+  std::vector<double> adj_init_;   ///< candidate initial adjusted sizes
+  std::vector<Bytes> real_init_;   ///< candidate initial real sizes
+
+  // Per-greedy-run scratch (seeded variants run many greedy passes).
+  std::uint64_t run_id_ = 0;
+  std::vector<std::uint64_t> covered_run_;  ///< file covered in current run
+  std::vector<double> adj_;
+  std::vector<Bytes> real_;
+  std::vector<std::uint8_t> selected_;
+  std::vector<std::uint8_t> dead_;
+  std::vector<std::uint32_t> version_;
+};
+
+}  // namespace fbc

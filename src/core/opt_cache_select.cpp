@@ -80,8 +80,9 @@ void OptCacheSelect::apply_single_override(
 
 SelectionResult OptCacheSelect::select_basic(
     std::span<const SelectionItem> items, Bytes capacity,
-    std::span<const FileId> free_sorted) const {
+    std::span<const FileId> free_sorted, SelectionCost* cost) const {
   const std::size_t n = items.size();
+  if (cost != nullptr) cost->entries_rescored += n;
   std::vector<double> rank(n);
   std::vector<Bytes> real_size(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -127,9 +128,11 @@ SelectionResult OptCacheSelect::select_basic(
 
 SelectionResult OptCacheSelect::select_resort(
     std::span<const SelectionItem> items, Bytes capacity,
-    std::span<const FileId> free_sorted,
-    std::span<const std::size_t> seed) const {
+    std::span<const FileId> free_sorted, std::span<const std::size_t> seed,
+    SelectionCost* cost) const {
   const std::size_t n = items.size();
+  if (cost != nullptr) cost->entries_rescored += n;
+  std::uint64_t heap_ops = 0;
 
   // Per-item remaining (uncovered) adjusted and real sizes, maintained
   // incrementally as files become covered.
@@ -175,6 +178,7 @@ SelectionResult OptCacheSelect::select_resort(
       continue;
     }
     heap.push(HeapEntry{key_of(i), static_cast<std::uint32_t>(i), 0});
+    ++heap_ops;
   }
 
   SelectionResult result;
@@ -199,6 +203,7 @@ SelectionResult OptCacheSelect::select_resort(
         real[j] -= s_real;
         ++version[j];
         heap.push(HeapEntry{key_of(j), j, version[j]});
+        ++heap_ops;
       }
     }
   };
@@ -209,6 +214,7 @@ SelectionResult OptCacheSelect::select_resort(
   for (std::size_t idx : seed) {
     if (selected[idx]) continue;
     if (real[idx] > remaining) {
+      if (cost != nullptr) cost->heap_ops += heap_ops;
       SelectionResult infeasible;
       infeasible.total_value = -1.0;
       return infeasible;
@@ -219,6 +225,7 @@ SelectionResult OptCacheSelect::select_resort(
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
+    ++heap_ops;
     const std::size_t i = top.idx;
     if (top.version != version[i] || selected[i] || dead[i]) continue;
     if (real[i] > remaining) {
@@ -228,6 +235,7 @@ SelectionResult OptCacheSelect::select_resort(
     }
     take(i);
   }
+  if (cost != nullptr) cost->heap_ops += heap_ops;
 
   finalize_files(*catalog_, items, free_sorted, result);
   if (seed.empty()) {
@@ -238,16 +246,16 @@ SelectionResult OptCacheSelect::select_resort(
 
 SelectionResult OptCacheSelect::select_seeded(
     std::span<const SelectionItem> items, Bytes capacity,
-    std::span<const FileId> free_sorted, int k) const {
+    std::span<const FileId> free_sorted, int k, SelectionCost* cost) const {
   // Baseline: the plain greedy (which already includes the step-3 single
   // request comparison).
-  SelectionResult best = select_resort(items, capacity, free_sorted, {});
+  SelectionResult best = select_resort(items, capacity, free_sorted, {}, cost);
 
   const std::size_t n = items.size();
   std::vector<std::size_t> seed;
   auto consider = [&](std::span<const std::size_t> forced) {
     SelectionResult candidate =
-        select_resort(items, capacity, free_sorted, forced);
+        select_resort(items, capacity, free_sorted, forced, cost);
     if (candidate.total_value > best.total_value) best = std::move(candidate);
   };
   for (std::size_t i = 0; i < n; ++i) {
@@ -267,7 +275,8 @@ SelectionResult OptCacheSelect::select_seeded(
 
 SelectionResult OptCacheSelect::select(std::span<const SelectionItem> items,
                                        Bytes capacity, SelectVariant variant,
-                                       std::span<const FileId> free_files) const {
+                                       std::span<const FileId> free_files,
+                                       SelectionCost* cost) const {
   for (const SelectionItem& item : items) {
     if (item.request == nullptr)
       throw std::invalid_argument("OptCacheSelect: null request in items");
@@ -281,13 +290,13 @@ SelectionResult OptCacheSelect::select(std::span<const SelectionItem> items,
 
   switch (variant) {
     case SelectVariant::Basic:
-      return select_basic(items, capacity, free_sorted);
+      return select_basic(items, capacity, free_sorted, cost);
     case SelectVariant::Resort:
-      return select_resort(items, capacity, free_sorted, {});
+      return select_resort(items, capacity, free_sorted, {}, cost);
     case SelectVariant::Seeded1:
-      return select_seeded(items, capacity, free_sorted, 1);
+      return select_seeded(items, capacity, free_sorted, 1, cost);
     case SelectVariant::Seeded2:
-      return select_seeded(items, capacity, free_sorted, 2);
+      return select_seeded(items, capacity, free_sorted, 2, cost);
   }
   throw std::logic_error("OptCacheSelect: unknown variant");
 }

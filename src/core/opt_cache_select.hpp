@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "cache/catalog.hpp"
+#include "cache/metrics.hpp"
 #include "cache/types.hpp"
 
 namespace fbc {
@@ -76,10 +77,13 @@ class OptCacheSelect {
   /// `capacity` bytes. Files listed in `free_files` (sorted or not; they
   /// are copied and sorted) cost nothing -- OptFileBundle passes the
   /// incoming request's bundle, which is staying in the cache regardless.
+  /// When `cost` is non-null, the selection effort (full v'(r) rescores,
+  /// heap pushes/pops) is accumulated into it.
   [[nodiscard]] SelectionResult select(
       std::span<const SelectionItem> items, Bytes capacity,
       SelectVariant variant = SelectVariant::Resort,
-      std::span<const FileId> free_files = {}) const;
+      std::span<const FileId> free_files = {},
+      SelectionCost* cost = nullptr) const;
 
   /// s'(f) = s(f) / max(1, d(f)) under the bound degree table.
   [[nodiscard]] double adjusted_size(FileId id) const noexcept;
@@ -87,15 +91,17 @@ class OptCacheSelect {
  private:
   SelectionResult select_basic(std::span<const SelectionItem> items,
                                Bytes capacity,
-                               std::span<const FileId> free_sorted) const;
+                               std::span<const FileId> free_sorted,
+                               SelectionCost* cost) const;
   SelectionResult select_resort(std::span<const SelectionItem> items,
                                 Bytes capacity,
                                 std::span<const FileId> free_sorted,
-                                std::span<const std::size_t> seed) const;
+                                std::span<const std::size_t> seed,
+                                SelectionCost* cost) const;
   SelectionResult select_seeded(std::span<const SelectionItem> items,
                                 Bytes capacity,
                                 std::span<const FileId> free_sorted,
-                                int k) const;
+                                int k, SelectionCost* cost) const;
   void apply_single_override(std::span<const SelectionItem> items,
                              Bytes capacity,
                              std::span<const FileId> free_sorted,

@@ -7,7 +7,12 @@ namespace fbc {
 
 OptFileBundlePolicy::OptFileBundlePolicy(const FileCatalog& catalog,
                                          OptFileBundleConfig config)
-    : catalog_(&catalog), config_(config), history_(catalog, config.history) {}
+    : catalog_(&catalog), config_(config), history_(catalog, config.history) {
+  if (config_.engine == SelectEngine::Incremental) {
+    history_.set_journaling(true);
+    incremental_ = std::make_unique<IncrementalSelector>(catalog, history_);
+  }
+}
 
 std::string OptFileBundlePolicy::name() const {
   std::string label = "optfb";
@@ -16,6 +21,7 @@ std::string OptFileBundlePolicy::name() const {
   if (config_.history.mode != HistoryMode::CacheResident)
     label += "-" + to_string(config_.history.mode);
   if (config_.value_model == ValueModel::BytesWeighted) label += "-bytes";
+  if (config_.engine == SelectEngine::Incremental) label += "-inc";
   return label;
 }
 
@@ -61,28 +67,38 @@ std::vector<FileId> OptFileBundlePolicy::select_victims(const Request& request,
                            ? cache.capacity() - reserved_bytes
                            : 0;
 
-  std::vector<const HistoryEntry*> candidates =
-      history_.candidates(cache, &request);
-  last_candidates_ = candidates.size();
+  ++cost_.decisions;
+  if (config_.engine == SelectEngine::Incremental) {
+    IncrementalSelector::Selection selection = incremental_->select(
+        request, reserved, budget, config_.variant, cache, &cost_);
+    last_candidates_ = selection.candidate_count;
+    last_selection_ = std::move(selection.result);
+  } else {
+    std::vector<const HistoryEntry*> candidates =
+        history_.candidates(cache, &request);
+    last_candidates_ = candidates.size();
+    cost_.candidates_scanned += history_.distinct_requests();
 
-  // Stability: OptCacheSelect breaks ranking ties by item index, so list
-  // the requests currently supported by the cache first. Without this,
-  // near-tied values make successive decisions flip between equivalent
-  // bundles, churning the cache (and, under Full/Window history with
-  // prefetching, paying for the churn in moved bytes).
-  std::stable_partition(
-      candidates.begin(), candidates.end(),
-      [&cache](const HistoryEntry* e) { return cache.supports(e->request); });
+    // Stability: OptCacheSelect breaks ranking ties by item index, so list
+    // the requests currently supported by the cache first. Without this,
+    // near-tied values make successive decisions flip between equivalent
+    // bundles, churning the cache (and, under Full/Window history with
+    // prefetching, paying for the churn in moved bytes).
+    std::stable_partition(
+        candidates.begin(), candidates.end(),
+        [&cache](const HistoryEntry* e) { return cache.supports(e->request); });
 
-  std::vector<SelectionItem> items;
-  items.reserve(candidates.size());
-  for (const HistoryEntry* entry : candidates) {
-    items.push_back(SelectionItem{&entry->request, entry->value});
+    std::vector<SelectionItem> items;
+    items.reserve(candidates.size());
+    for (const HistoryEntry* entry : candidates) {
+      items.push_back(SelectionItem{&entry->request, entry->value});
+    }
+
+    OptCacheSelect selector(*catalog_, history_.degrees());
+    last_selection_ =
+        selector.select(items, budget, config_.variant, reserved, &cost_);
   }
-
-  OptCacheSelect selector(*catalog_, history_.degrees());
-  const SelectionResult keep =
-      selector.select(items, budget, config_.variant, reserved);
+  const SelectionResult& keep = last_selection_;
 
   // Step 3 (inverted): everything resident that is neither selected, nor
   // part of the incoming bundle, nor pinned elsewhere is evicted.
@@ -104,6 +120,21 @@ std::vector<FileId> OptFileBundlePolicy::select_victims(const Request& request,
     }
   }
   return victims;
+}
+
+void OptFileBundlePolicy::on_files_loaded(const Request&,
+                                          std::span<const FileId> loaded,
+                                          const DiskCache&) {
+  if (incremental_ != nullptr) incremental_->on_files_loaded(loaded);
+}
+
+void OptFileBundlePolicy::on_file_evicted(FileId id) {
+  if (incremental_ != nullptr) incremental_->on_file_evicted(id);
+}
+
+void OptFileBundlePolicy::on_prefetched(std::span<const FileId> loaded,
+                                        const DiskCache&) {
+  if (incremental_ != nullptr) incremental_->on_files_loaded(loaded);
 }
 
 std::vector<FileId> OptFileBundlePolicy::prefetch(const Request&,
@@ -139,6 +170,9 @@ std::size_t OptFileBundlePolicy::choose_next(std::span<const Request> queue,
 
 void OptFileBundlePolicy::reset() {
   history_.clear();
+  if (incremental_ != nullptr) incremental_->reset();
+  cost_ = SelectionCost{};
+  last_selection_ = SelectionResult{};
   last_candidates_ = 0;
   pending_prefetch_.clear();
 }

@@ -20,7 +20,10 @@
 // 1 / adjusted bundle size instead of all tying at zero.
 #pragma once
 
+#include <memory>
+
 #include "cache/policy.hpp"
+#include "core/incremental_select.hpp"
 #include "core/opt_cache_select.hpp"
 #include "core/request_history.hpp"
 
@@ -49,6 +52,10 @@ struct OptFileBundleConfig {
   /// waited through. 0 = pure value order (can lock out rare requests in
   /// the sliding queue, paper §5.2); > 0 bounds waiting times.
   double aging_factor = 0.0;
+  /// Which selection engine runs the replacement decision. Both produce
+  /// identical results (see core/incremental_select.hpp); Reference is the
+  /// default until the incremental engine has soaked in production.
+  SelectEngine engine = SelectEngine::Reference;
 };
 
 /// The paper's bundle-aware replacement policy (see file comment).
@@ -66,8 +73,20 @@ class OptFileBundlePolicy : public ReplacementPolicy {
       const Request& request, Bytes bytes_needed,
       const DiskCache& cache) override;
 
+  void on_files_loaded(const Request& request, std::span<const FileId> loaded,
+                       const DiskCache& cache) override;
+
+  void on_file_evicted(FileId id) override;
+
+  void on_prefetched(std::span<const FileId> loaded,
+                     const DiskCache& cache) override;
+
   [[nodiscard]] std::vector<FileId> prefetch(const Request& request,
                                              const DiskCache& cache) override;
+
+  [[nodiscard]] const SelectionCost* selection_cost() const override {
+    return &cost_;
+  }
 
   [[nodiscard]] std::size_t choose_next(std::span<const Request> queue,
                                         const DiskCache& cache) override;
@@ -89,10 +108,22 @@ class OptFileBundlePolicy : public ReplacementPolicy {
     return last_candidates_;
   }
 
+  /// Full outcome of the last replacement decision (differential testing:
+  /// the engine-diff oracle compares these field by field).
+  [[nodiscard]] const SelectionResult& last_selection() const noexcept {
+    return last_selection_;
+  }
+
+  /// The configured selection engine.
+  [[nodiscard]] SelectEngine engine() const noexcept { return config_.engine; }
+
  private:
   const FileCatalog* catalog_;
   OptFileBundleConfig config_;
   RequestHistory history_;
+  std::unique_ptr<IncrementalSelector> incremental_;
+  SelectionCost cost_;
+  SelectionResult last_selection_;
   std::size_t last_candidates_ = 0;
   std::vector<FileId> pending_prefetch_;
 };

@@ -28,6 +28,7 @@ PolicyPtr make_optfb(const PolicyContext& context, const std::string& name,
                      OptFileBundleConfig config) {
   config.aging_factor = context.aging_factor;
   config.history.max_entries = context.history_max_entries;
+  config.engine = context.select_engine;
   return std::make_unique<OptFileBundlePolicy>(require_catalog(context, name),
                                                config);
 }

@@ -48,6 +48,9 @@ struct PolicyContext {
   double aging_factor = 0.0;
   /// Bounded-memory history cap for optfb* policies (0 = unbounded).
   std::size_t history_max_entries = 0;
+  /// Selection engine for optfb* policies (Reference until the
+  /// incremental engine has soaked; see core/incremental_select.hpp).
+  SelectEngine select_engine = SelectEngine::Reference;
 };
 
 /// Creates the policy registered under `name`.

@@ -24,6 +24,10 @@ void RequestHistory::observe(const Request& request, double weight) {
   auto [it, inserted] = index_.try_emplace(request, entries_.size());
   if (inserted) {
     entries_.push_back(HistoryEntry{request, weight, observed_jobs_});
+    if (journaling_) {
+      journal_.added.push_back(entries_.size() - 1);
+      for (FileId id : request.files) journal_.degree_deltas.emplace_back(id, 1);
+    }
     for (FileId id : request.files) {
       if (degree_.size() <= id) degree_.resize(id + 1, 0);
       max_degree_ = std::max(max_degree_, ++degree_[id]);
@@ -35,6 +39,7 @@ void RequestHistory::observe(const Request& request, double weight) {
     HistoryEntry& entry = entries_[it->second];
     entry.value += weight;
     entry.last_seen = observed_jobs_;
+    if (journaling_) journal_.value_dirty.push_back(it->second);
   }
 }
 
@@ -70,11 +75,21 @@ void RequestHistory::compact() {
       index_.emplace(entries_[i].request, surviving.size());
       surviving.push_back(std::move(entries_[i]));
     } else {
+      // Dropped entries must leave the journal too, or a consumer's degree
+      // table silently drifts from the recount (the staleness bug the
+      // incremental engine exposed: degrees fed stale adjusted sizes).
+      if (journaling_) {
+        for (FileId id : entries_[i].request.files) {
+          journal_.degree_deltas.emplace_back(id, -1);
+        }
+        ++journal_.dropped;
+      }
       for (FileId id : entries_[i].request.files) --degree_[id];
     }
   }
   entries_ = std::move(surviving);
   recompute_max_degree();
+  if (journaling_) journal_.remapped = true;
 }
 
 std::uint32_t RequestHistory::degree(FileId id) const noexcept {
@@ -131,12 +146,25 @@ std::vector<const HistoryEntry*> RequestHistory::candidates(
   return result;
 }
 
+void RequestHistory::set_journaling(bool enabled) {
+  journaling_ = enabled;
+  journal_.clear();
+}
+
+std::size_t RequestHistory::entry_index(
+    const Request& request) const noexcept {
+  const auto it = index_.find(request);
+  return it == index_.end() ? SIZE_MAX : it->second;
+}
+
 void RequestHistory::clear() {
   index_.clear();
   entries_.clear();
   std::fill(degree_.begin(), degree_.end(), 0);
   max_degree_ = 0;
   observed_jobs_ = 0;
+  journal_.clear();
+  if (journaling_) journal_.remapped = true;
 }
 
 }  // namespace fbc

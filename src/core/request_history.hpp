@@ -63,6 +63,42 @@ struct HistoryEntry {
   std::uint64_t last_seen = 0;
 };
 
+/// Change-journal of history mutations since the last drain, recorded when
+/// journaling is enabled (see RequestHistory::set_journaling). Incremental
+/// consumers (core/incremental_select.hpp) drain it per replacement
+/// decision instead of re-deriving the whole history:
+///   * `added`/`value_dirty` hold entry indices (valid only while
+///     `remapped` is false -- compaction renumbers entries);
+///   * `degree_deltas` are exact per-file d(f) changes: +1 per file of a
+///     newly tracked request, -1 per file of a compaction-dropped one. A
+///     consumer applying them to its own degree table stays equal to a
+///     from-scratch recount even across compactions.
+struct HistoryJournal {
+  /// Entries appended since the last drain (indices into entries()).
+  std::vector<std::size_t> added;
+  /// Entries whose value/last_seen changed (re-observed requests).
+  std::vector<std::size_t> value_dirty;
+  /// Exact per-file degree changes, in occurrence order.
+  std::vector<std::pair<FileId, std::int32_t>> degree_deltas;
+  /// True when compaction renumbered entries: all indices recorded in this
+  /// journal (and any cached by the consumer) are invalid.
+  bool remapped = false;
+  /// Entries dropped by compaction since the last drain.
+  std::uint64_t dropped = 0;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return added.empty() && value_dirty.empty() && degree_deltas.empty() &&
+           !remapped && dropped == 0;
+  }
+  void clear() noexcept {
+    added.clear();
+    value_dirty.clear();
+    degree_deltas.clear();
+    remapped = false;
+    dropped = 0;
+  }
+};
+
 /// The L(R) structure (see file comment).
 class RequestHistory {
  public:
@@ -127,6 +163,28 @@ class RequestHistory {
   [[nodiscard]] std::vector<const HistoryEntry*> candidates(
       const DiskCache& cache, const Request* exclude = nullptr) const;
 
+  /// Starts (or stops) recording mutations into journal(). Off by default:
+  /// reference-engine users pay nothing. Toggling clears the journal.
+  void set_journaling(bool enabled);
+
+  [[nodiscard]] bool journaling() const noexcept { return journaling_; }
+
+  /// Mutations since the last drain_journal() (empty unless journaling).
+  [[nodiscard]] const HistoryJournal& journal() const noexcept {
+    return journal_;
+  }
+
+  /// Discards the journal once the consumer has applied it.
+  void drain_journal() noexcept { journal_.clear(); }
+
+  /// Index into entries() of the entry tracking `request`, or SIZE_MAX
+  /// when the request is not (or no longer) tracked.
+  [[nodiscard]] std::size_t entry_index(const Request& request) const noexcept;
+
+  [[nodiscard]] const RequestHistoryConfig& config() const noexcept {
+    return config_;
+  }
+
   /// Removes all state.
   void clear();
 
@@ -144,6 +202,8 @@ class RequestHistory {
   std::vector<std::uint32_t> degree_;
   std::uint32_t max_degree_ = 0;
   std::uint64_t observed_jobs_ = 0;
+  bool journaling_ = false;
+  HistoryJournal journal_;
 };
 
 }  // namespace fbc

@@ -1,6 +1,7 @@
 #include "testing/oracles.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <set>
 #include <sstream>
@@ -224,12 +225,153 @@ class UnderfreePolicy : public ReplacementPolicy {
   PolicyPtr inner_;
 };
 
+/// Lock-step dual-engine adapter (see make_engine_diff_policy).
+class EngineDiffPolicy : public ReplacementPolicy {
+ public:
+  EngineDiffPolicy(std::unique_ptr<OptFileBundlePolicy> reference,
+                   std::unique_ptr<OptFileBundlePolicy> incremental)
+      : ref_(std::move(reference)), inc_(std::move(incremental)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "enginediff:" + ref_->name();
+  }
+  void on_job_arrival(const Request& request, const DiskCache& cache) override {
+    ref_->on_job_arrival(request, cache);
+    inc_->on_job_arrival(request, cache);
+  }
+  void on_request_hit(const Request& request, const DiskCache& cache) override {
+    ref_->on_request_hit(request, cache);
+    inc_->on_request_hit(request, cache);
+  }
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, Bytes bytes_needed,
+      const DiskCache& cache) override {
+    const std::vector<FileId> victims_ref =
+        ref_->select_victims(request, bytes_needed, cache);
+    const std::vector<FileId> victims_inc =
+        inc_->select_victims(request, bytes_needed, cache);
+    compare_decision(request, victims_ref, victims_inc);
+    return victims_ref;
+  }
+  void on_files_loaded(const Request& request, std::span<const FileId> loaded,
+                       const DiskCache& cache) override {
+    ref_->on_files_loaded(request, loaded, cache);
+    inc_->on_files_loaded(request, loaded, cache);
+  }
+  void on_file_evicted(FileId id) override {
+    ref_->on_file_evicted(id);
+    inc_->on_file_evicted(id);
+  }
+  void on_prefetched(std::span<const FileId> loaded,
+                     const DiskCache& cache) override {
+    ref_->on_prefetched(loaded, cache);
+    inc_->on_prefetched(loaded, cache);
+  }
+  [[nodiscard]] std::vector<FileId> prefetch(const Request& request,
+                                             const DiskCache& cache) override {
+    const std::vector<FileId> pf_ref = ref_->prefetch(request, cache);
+    const std::vector<FileId> pf_inc = inc_->prefetch(request, cache);
+    if (pf_ref != pf_inc) {
+      diverge("prefetch lists differ for " + request.to_string());
+    }
+    return pf_ref;
+  }
+  [[nodiscard]] std::size_t choose_next(std::span<const Request> queue,
+                                        const DiskCache& cache) override {
+    const std::size_t pick_ref = ref_->choose_next(queue, cache);
+    const std::size_t pick_inc = inc_->choose_next(queue, cache);
+    if (pick_ref != pick_inc) diverge("choose_next picks differ");
+    return pick_ref;
+  }
+  [[nodiscard]] std::size_t choose_next(std::span<const Request> queue,
+                                        std::span<const double> ages,
+                                        const DiskCache& cache) override {
+    const std::size_t pick_ref = ref_->choose_next(queue, ages, cache);
+    const std::size_t pick_inc = inc_->choose_next(queue, ages, cache);
+    if (pick_ref != pick_inc) diverge("choose_next picks differ (aged)");
+    return pick_ref;
+  }
+  [[nodiscard]] const SelectionCost* selection_cost() const override {
+    // Charge the reference engine's effort to the metrics; the adapter is
+    // a correctness harness, not a perf subject.
+    return ref_->selection_cost();
+  }
+  void reset() override {
+    ref_->reset();
+    inc_->reset();
+  }
+
+ private:
+  [[noreturn]] void diverge(const std::string& what) const {
+    throw EngineDivergence(ref_->name() + " vs " + inc_->name() + ": " + what);
+  }
+
+  void compare_decision(const Request& request,
+                        std::span<const FileId> victims_ref,
+                        std::span<const FileId> victims_inc) const {
+    const SelectionResult& a = ref_->last_selection();
+    const SelectionResult& b = inc_->last_selection();
+    std::string what;
+    if (ref_->last_candidate_count() != inc_->last_candidate_count()) {
+      what = "candidate counts differ (" +
+             std::to_string(ref_->last_candidate_count()) + " vs " +
+             std::to_string(inc_->last_candidate_count()) + ")";
+    } else if (a.chosen != b.chosen) {
+      what = "chosen sets differ (" + std::to_string(a.chosen.size()) +
+             " vs " + std::to_string(b.chosen.size()) + " items)";
+    } else if (a.files != b.files) {
+      what = "kept file sets differ";
+    } else if (a.file_bytes != b.file_bytes) {
+      what = "kept file bytes differ";
+    } else if (std::bit_cast<std::uint64_t>(a.total_value) !=
+               std::bit_cast<std::uint64_t>(b.total_value)) {
+      // Bitwise, not epsilon: the engines promise identical arithmetic.
+      what = "total values differ (" + fmt(a.total_value) + " vs " +
+             fmt(b.total_value) + ")";
+    } else if (a.single_request_override != b.single_request_override) {
+      what = "single-request overrides differ";
+    } else if (!std::equal(victims_ref.begin(), victims_ref.end(),
+                           victims_inc.begin(), victims_inc.end())) {
+      what = "victim lists differ (" + std::to_string(victims_ref.size()) +
+             " vs " + std::to_string(victims_inc.size()) + " files)";
+    } else {
+      return;
+    }
+    diverge("decision for " + request.to_string() + ": " + what);
+  }
+
+  std::unique_ptr<OptFileBundlePolicy> ref_;
+  std::unique_ptr<OptFileBundlePolicy> inc_;
+};
+
+std::unique_ptr<OptFileBundlePolicy> make_optfb_with_engine(
+    const std::string& policy_name, const PolicyContext& context,
+    SelectEngine engine) {
+  PolicyContext engine_context = context;
+  engine_context.select_engine = engine;
+  PolicyPtr policy = make_policy(policy_name, engine_context);
+  auto* optfb = dynamic_cast<OptFileBundlePolicy*>(policy.get());
+  if (optfb == nullptr) {
+    throw std::invalid_argument("enginediff: '" + policy_name +
+                                "' is not an OptFileBundle policy");
+  }
+  (void)policy.release();
+  return std::unique_ptr<OptFileBundlePolicy>(optfb);
+}
+
 PolicyPtr make_checked_policy(const std::string& policy_name,
                               const PolicyContext& context) {
   constexpr std::string_view kUnderfree = "underfree:";
+  constexpr std::string_view kEngineDiff = "enginediff:";
   if (policy_name.rfind(kUnderfree, 0) == 0) {
     return make_underfree_policy(make_policy(
         policy_name.substr(kUnderfree.size()), context));
+  }
+  if (policy_name.rfind(kEngineDiff, 0) == 0) {
+    const std::string inner = policy_name.substr(kEngineDiff.size());
+    return make_engine_diff_policy(
+        make_optfb_with_engine(inner, context, SelectEngine::Reference),
+        make_optfb_with_engine(inner, context, SelectEngine::Incremental));
   }
   return make_policy(policy_name, context);
 }
@@ -238,6 +380,29 @@ PolicyPtr make_checked_policy(const std::string& policy_name,
 
 PolicyPtr make_underfree_policy(PolicyPtr inner) {
   return std::make_unique<UnderfreePolicy>(std::move(inner));
+}
+
+PolicyPtr make_engine_diff_policy(
+    std::unique_ptr<OptFileBundlePolicy> reference,
+    std::unique_ptr<OptFileBundlePolicy> incremental) {
+  return std::make_unique<EngineDiffPolicy>(std::move(reference),
+                                            std::move(incremental));
+}
+
+PolicyPtr make_engine_diff_policy(const FileCatalog& catalog,
+                                  OptFileBundleConfig config) {
+  config.engine = SelectEngine::Reference;
+  auto reference = std::make_unique<OptFileBundlePolicy>(catalog, config);
+  config.engine = SelectEngine::Incremental;
+  auto incremental = std::make_unique<OptFileBundlePolicy>(catalog, config);
+  return make_engine_diff_policy(std::move(reference), std::move(incremental));
+}
+
+std::vector<Violation> check_engines_agree(const Trace& trace,
+                                           const SimulatorConfig& config,
+                                           const std::string& policy_name,
+                                           std::uint64_t seed) {
+  return check_simulation(trace, config, "enginediff:" + policy_name, seed);
 }
 
 std::vector<Violation> check_simulation(const Trace& trace,
@@ -263,6 +428,8 @@ std::vector<Violation> check_simulation(const Trace& trace,
     Simulator sim(config, trace.catalog, *policy);
     sim.set_observer(&auditor);
     (void)sim.run(trace.jobs);
+  } catch (const EngineDivergence& e) {
+    out.push_back({"engine.divergence", policy_name, e.what()});
   } catch (const PolicyContractViolation& e) {
     out.push_back({"sim.policy-contract", policy_name, e.what()});
   } catch (const std::exception& e) {

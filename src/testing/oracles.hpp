@@ -24,10 +24,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "cache/policy.hpp"
+#include "core/opt_file_bundle.hpp"
 #include "testing/audit.hpp"
 #include "testing/instance_gen.hpp"
 
@@ -58,6 +61,38 @@ struct SelectOracleStats {
 /// than one is chosen -- under-freeing space. Exposed for the fuzzer's
 /// bug-injection self-test.
 [[nodiscard]] PolicyPtr make_underfree_policy(PolicyPtr inner);
+
+/// Thrown by the engine-diff adapter at the first decision where the
+/// Reference and Incremental selection engines disagree. check_simulation
+/// converts it into an "engine.divergence" violation, which the fuzzer
+/// then shrinks like any other failure.
+class EngineDivergence : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Wraps two OptFileBundle instances (Reference- and Incremental-engined,
+/// otherwise identically configured) in a lock-step adapter: every hook is
+/// forwarded to both, every decision (victims, selection result,
+/// candidate count, prefetch list, queue pick) is compared field by field,
+/// and the first mismatch throws EngineDivergence. Registered under the
+/// "enginediff:<optfb-name>" policy-name prefix (mirroring "underfree:").
+[[nodiscard]] PolicyPtr make_engine_diff_policy(
+    std::unique_ptr<OptFileBundlePolicy> reference,
+    std::unique_ptr<OptFileBundlePolicy> incremental);
+
+/// Convenience overload: builds the Reference/Incremental pair from one
+/// config (whose `engine` field is overridden per instance).
+[[nodiscard]] PolicyPtr make_engine_diff_policy(const FileCatalog& catalog,
+                                                OptFileBundleConfig config);
+
+/// The engines_agree oracle: replays `trace` under the engine-diff adapter
+/// for `policy_name` (an optfb* registry name, without prefix) and reports
+/// an "engine.divergence" violation at the first disagreement, plus any
+/// ordinary simulation violations.
+[[nodiscard]] std::vector<Violation> check_engines_agree(
+    const Trace& trace, const SimulatorConfig& config,
+    const std::string& policy_name, std::uint64_t seed = 0x5eedULL);
 
 /// True when `a` and `b` refer to the same failure class (same oracle id
 /// and subject) -- the shrinking predicate's match criterion.

@@ -120,6 +120,10 @@ int main(int argc, char** argv) {
   cli.add_option("hard-count", "fixtures kept by --dump-hard", "3");
   cli.add_flag("smoke", "fixed-seed quick campaign for CI (overrides "
                         "--seed/--iters unless set explicitly)");
+  cli.add_flag("engine-diff",
+               "campaign mode: replay every generated trace through the "
+               "Reference and Incremental selection engines in lock-step "
+               "(enginediff: adapter) and shrink any divergence");
   cli.add_flag("no-shrink", "report failures without shrinking");
   cli.add_flag("inject-bug",
                "self-test: wrap the policies in a deliberately broken "
@@ -167,6 +171,17 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("unknown --mode: " + mode);
     }
     config.policies = split_csv(cli.get_string("policies"));
+    if (cli.get_flag("engine-diff")) {
+      // Selection-instance oracles do not exercise the engines; spend the
+      // whole campaign on simulator traces under the lock-step adapter.
+      config.run_select = false;
+      if (config.policies.empty()) {
+        config.policies = {"optfb",        "optfb-basic", "optfb-seeded1",
+                           "optfb-seeded2", "optfb-full",  "optfb-window",
+                           "optfb-bytes"};
+      }
+      for (std::string& name : config.policies) name = "enginediff:" + name;
+    }
     if (cli.get_flag("inject-bug")) {
       if (config.policies.empty()) config.policies = {"lru"};
       for (std::string& name : config.policies) name = "underfree:" + name;

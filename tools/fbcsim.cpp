@@ -44,6 +44,11 @@ int main(int argc, char** argv) {
                  "0");
   cli.add_option("warmup", "warm-up jobs excluded from metrics", "0");
   cli.add_option("seed", "seed for stochastic policies", "1");
+  cli.add_option("engine",
+                 "selection engine for optfb* policies: "
+                 "reference|incremental (identical results; incremental "
+                 "rescores only dirty history entries per miss)",
+                 "reference");
   cli.add_flag("csv", "emit CSV");
 
   try {
@@ -59,6 +64,14 @@ int main(int argc, char** argv) {
       config.queue_mode = QueueMode::Sliding;
     } else if (queue_mode != "batch") {
       throw std::invalid_argument("unknown --queue-mode: " + queue_mode);
+    }
+
+    const std::string engine_name = cli.get_string("engine");
+    SelectEngine engine = SelectEngine::Reference;
+    if (engine_name == "incremental") {
+      engine = SelectEngine::Incremental;
+    } else if (engine_name != "reference") {
+      throw std::invalid_argument("unknown --engine: " + engine_name);
     }
 
     std::vector<std::string> policies;
@@ -77,6 +90,7 @@ int main(int argc, char** argv) {
       context.seed = cli.get_u64("seed");
       context.aging_factor = cli.get_double("aging");
       context.history_max_entries = cli.get_u64("history-cap");
+      context.select_engine = engine;
       PolicyPtr policy = make_policy(name, context);
       const SimulationResult result =
           simulate(config, trace.catalog, *policy, trace.jobs);
