@@ -215,9 +215,25 @@ class UnderfreePolicy : public ReplacementPolicy {
     inner_->on_files_loaded(request, loaded, cache);
   }
   void on_file_evicted(FileId id) override { inner_->on_file_evicted(id); }
+  void on_prefetched(std::span<const FileId> loaded,
+                     const DiskCache& cache) override {
+    inner_->on_prefetched(loaded, cache);
+  }
   [[nodiscard]] std::vector<FileId> prefetch(const Request& request,
                                              const DiskCache& cache) override {
     return inner_->prefetch(request, cache);
+  }
+  [[nodiscard]] std::size_t choose_next(std::span<const Request> queue,
+                                        const DiskCache& cache) override {
+    return inner_->choose_next(queue, cache);
+  }
+  [[nodiscard]] std::size_t choose_next(std::span<const Request> queue,
+                                        std::span<const double> ages,
+                                        const DiskCache& cache) override {
+    return inner_->choose_next(queue, ages, cache);
+  }
+  [[nodiscard]] const SelectionCost* selection_cost() const override {
+    return inner_->selection_cost();
   }
   void reset() override { inner_->reset(); }
 

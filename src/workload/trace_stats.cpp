@@ -43,6 +43,8 @@ TraceStats compute_trace_stats(const Trace& trace) {
   stats.distinct_requests = occurrences.size();
   std::vector<std::uint64_t> counts;
   counts.reserve(occurrences.size());
+  // Unordered iteration is fine here: counts are sorted before use, so
+  // the result does not depend on bucket order. fbclint:ignore(L005)
   for (const auto& [request, count] : occurrences) counts.push_back(count);
   std::sort(counts.begin(), counts.end(), std::greater<>());
   if (!counts.empty()) {

@@ -1,0 +1,143 @@
+// Regression tests pinning fbclint's L001 view-lifetime rule against a
+// minimized reconstruction of the PR 1 dangling-span bug (a temporary
+// degrees() vector bound to OptCacheSelect's stored span parameter).
+// These drive the rule engine directly through fbclint_lib so a refactor
+// of the linter cannot silently lose the one bug class it was built for.
+#include "fbclint/lexer.hpp"
+#include "fbclint/model.hpp"
+#include "fbclint/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fbclint {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open fixture " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Lexes the PR 1 fixture pair (API header + bug translation unit) into a
+/// project model, exactly as `fbclint src` would.
+ProjectModel pr1_model() {
+  const std::string root = std::string(FBCLINT_FIXTURE_DIR) + "/case1";
+  std::vector<SourceFile> files;
+  for (const char* rel : {"/src/core/select.hpp", "/src/core/dangling.cpp"}) {
+    const std::string path = root + rel;
+    files.push_back(lex_file(path, slurp(path)));
+  }
+  return build_model(std::move(files));
+}
+
+bool has_diag_at(const std::vector<Diagnostic>& diags, const char* rule,
+                 const char* path_suffix, int line) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.rule == rule && d.line == line &&
+           d.path.size() >= std::string(path_suffix).size() &&
+           d.path.compare(d.path.size() - std::string(path_suffix).size(),
+                          std::string::npos, path_suffix) == 0;
+  });
+}
+
+TEST(FbclintL001, ModelSeesOwningDegreesAndViewSignatures) {
+  const ProjectModel model = pr1_model();
+  // degrees() returns std::vector by value -> owning returner.
+  EXPECT_TRUE(model.owning_returners.count("degrees"));
+  // OptCacheSelect's ctor takes the span in parameter slot 1, run_select
+  // in slot 0.
+  ASSERT_TRUE(model.view_sigs.count("OptCacheSelect"));
+  EXPECT_TRUE(model.view_sigs.at("OptCacheSelect").count(1));
+  ASSERT_TRUE(model.view_sigs.count("run_select"));
+  EXPECT_TRUE(model.view_sigs.at("run_select").count(0));
+}
+
+TEST(FbclintL001, FlagsPr1ConstructorShape) {
+  // The exact PR 1 shape: `OptCacheSelect selector(catalog,
+  // history.degrees());` -- a temporary bound to a stored span.
+  const ProjectModel model = pr1_model();
+  const std::vector<Diagnostic> diags = rule_view_lifetime(model);
+  EXPECT_TRUE(has_diag_at(diags, "L001", "src/core/dangling.cpp", 10))
+      << "L001 no longer catches the PR 1 constructor shape";
+}
+
+TEST(FbclintL001, FlagsDirectCallShape) {
+  const ProjectModel model = pr1_model();
+  const std::vector<Diagnostic> diags = rule_view_lifetime(model);
+  EXPECT_TRUE(has_diag_at(diags, "L001", "src/core/dangling.cpp", 15))
+      << "L001 no longer catches a temporary passed straight to a "
+         "span-taking function";
+}
+
+TEST(FbclintL001, DoesNotFlagTheShippedFix) {
+  // PR 1's fix binds the owning value to a named local first; flagging it
+  // would make the rule unusable.
+  const ProjectModel model = pr1_model();
+  const std::vector<Diagnostic> diags = rule_view_lifetime(model);
+  for (const Diagnostic& d : diags) {
+    EXPECT_NE(d.line, 21) << d.message;
+    EXPECT_NE(d.line, 22) << d.message;
+    EXPECT_NE(d.line, 23) << d.message;
+  }
+  // And exactly the two seeded sites fire -- no noise.
+  EXPECT_EQ(diags.size(), 2u);
+}
+
+TEST(FbclintL001, AmbiguousNamesAreNotFlagged) {
+  // A name declared BOTH as owning-returning and view-returning (the
+  // production RequestHistory::degrees() returns a span while a test
+  // generator returns a vector) must drop out of owning_returners --
+  // otherwise safe call sites get flagged through name collision.
+  const std::string header =
+      "#pragma once\n"
+      "#include <span>\n"
+      "#include <vector>\n"
+      "std::vector<int> degrees();\n"
+      "std::span<const int> degrees2();\n"
+      "struct Other { std::span<const int> degrees(); };\n"
+      "void consume(std::span<const int> values);\n";
+  const std::string unit =
+      "#include \"api.hpp\"\n"
+      "void f() { consume(degrees()); }\n";
+  std::vector<SourceFile> files;
+  files.push_back(lex_file("src/api.hpp", header));
+  files.push_back(lex_file("src/use.cpp", unit));
+  const ProjectModel model = build_model(std::move(files));
+  EXPECT_FALSE(model.owning_returners.count("degrees"));
+  EXPECT_TRUE(rule_view_lifetime(model).empty());
+}
+
+TEST(FbclintL001, SuppressionCommentSilencesTheRule) {
+  const std::string header =
+      "#pragma once\n"
+      "#include <span>\n"
+      "#include <vector>\n"
+      "std::vector<int> make();\n"
+      "void consume(std::span<const int> values);\n";
+  const std::string unit =
+      "#include \"api.hpp\"\n"
+      "// fbclint:ignore(L001) -- consume() copies before returning\n"
+      "void f() { consume(make()); }\n";
+  std::vector<SourceFile> files;
+  files.push_back(lex_file("src/api.hpp", header));
+  files.push_back(lex_file("src/use.cpp", unit));
+  const ProjectModel model = build_model(std::move(files));
+
+  std::vector<Diagnostic> diags = rule_view_lifetime(model);
+  ASSERT_EQ(diags.size(), 1u);  // fires before suppression is applied
+
+  const Markers markers = collect_markers(model);
+  EXPECT_TRUE(apply_suppressions(std::move(diags), markers).empty());
+}
+
+}  // namespace
+}  // namespace fbclint

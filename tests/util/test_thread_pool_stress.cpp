@@ -1,0 +1,148 @@
+// Concurrency stress tests for the sweep thread pool, written to be run
+// under ThreadSanitizer in CI: many producer threads hammering submit()
+// while workers drain, shutdown racing in-flight work, exceptions crossing
+// the future boundary, and nested parallel_for contention.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fbc {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentSubmittersAllTasksRun) {
+  constexpr std::size_t kProducers = 8;
+  constexpr std::size_t kTasksEach = 250;
+
+  ThreadPool pool(4);
+  std::atomic<std::size_t> executed{0};
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<std::size_t>>> futures(kProducers);
+
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &executed, &futures, p] {
+      futures[p].reserve(kTasksEach);
+      for (std::size_t t = 0; t < kTasksEach; ++t) {
+        futures[p].push_back(pool.submit([&executed, p, t] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          return p * kTasksEach + t;
+        }));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+
+  for (std::size_t p = 0; p < kProducers; ++p)
+    for (std::size_t t = 0; t < kTasksEach; ++t)
+      EXPECT_EQ(futures[p][t].get(), p * kTasksEach + t);
+  EXPECT_EQ(executed.load(), kProducers * kTasksEach);
+}
+
+TEST(ThreadPoolStress, DestructorDrainsPendingTasks) {
+  // Queue far more tasks than workers, then destroy the pool immediately:
+  // every accepted task must still run (graceful drain, not abandonment).
+  constexpr std::size_t kTasks = 500;
+  std::atomic<std::size_t> executed{0};
+  {
+    ThreadPool pool(2);
+    for (std::size_t t = 0; t < kTasks; ++t)
+      pool.submit([&executed] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+  }
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPoolStress, SubmitDuringShutdownThrows) {
+  // Pin the lone worker on a blocker task so the destructor cannot finish,
+  // start destruction on a side thread, and keep submitting until the
+  // stopping_ flag is observed as a throw. Every submit happens while the
+  // destructor body is still running (the worker is blocked), so the pool
+  // object is alive for the whole loop.
+  std::atomic<bool> release_blocker{false};
+  auto pool = std::make_unique<ThreadPool>(1);
+  ThreadPool* alive = pool.get();
+  pool->submit([&release_blocker] {
+    while (!release_blocker.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+
+  std::thread destroyer([&pool] { pool.reset(); });
+  bool threw = false;
+  std::size_t accepted = 0;
+  while (!threw) {
+    try {
+      alive->submit([] {});
+      ++accepted;
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    std::this_thread::yield();
+  }
+  release_blocker.store(true, std::memory_order_release);
+  destroyer.join();
+  EXPECT_TRUE(threw);
+  // Tasks accepted before shutdown began are drained, not dropped; nothing
+  // to assert beyond clean completion under TSan.
+  (void)accepted;
+}
+
+TEST(ThreadPoolStress, TaskExceptionsPropagateThroughFutures) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i]() -> int {
+      if (i % 3 == 0) throw std::runtime_error("task failed");
+      return i;
+    }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_THROW(futures[static_cast<std::size_t>(i)].get(),
+                   std::runtime_error);
+    } else {
+      EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+    }
+  }
+  // The pool must stay usable after tasks have thrown.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolStress, ParallelForUnderContention) {
+  ThreadPool pool(4);
+  constexpr std::size_t kItems = 10000;
+  std::vector<std::size_t> out(kItems, 0);
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(kItems,
+                      [&out](std::size_t i) { out[i] += i; });
+  }
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(out[i], 5 * i);
+}
+
+TEST(ThreadPoolStress, ParallelForPropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 13)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // Subsequent work still runs.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(32, [&count](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 32u);
+}
+
+}  // namespace
+}  // namespace fbc

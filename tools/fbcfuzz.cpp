@@ -86,8 +86,9 @@ int dump_hard(const std::string& dir, std::uint64_t seed, std::uint64_t iters,
         dir + "/hard-select-" + std::to_string(seed) + "-" +
         std::to_string(hard.iter) + ".trace";
     save_trace(path, trace);
+    const std::vector<SelectionItem> items = hard.instance.items();
     std::cout << "wrote " << path << " (basic/exact = " << ratio.str()
-              << ", d = " << max_file_degree(hard.instance.items()) << ")\n";
+              << ", d = " << max_file_degree(items) << ")\n";
   }
   return 0;
 }

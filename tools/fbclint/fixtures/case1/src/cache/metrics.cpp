@@ -1,0 +1,15 @@
+#include "cache/metrics.hpp"
+
+namespace fx {
+
+void CacheMetrics::record_job() noexcept { ++jobs_; }
+
+// Seeded bug: bytes_missed_ is silently dropped by aggregation, and
+// that is what L004 must catch (the expect marker sits on the member
+// declaration in metrics.hpp).
+void CacheMetrics::merge(const CacheMetrics& other) noexcept {
+  jobs_ += other.jobs_;
+  evictions_ += other.evictions_;
+}
+
+}  // namespace fx

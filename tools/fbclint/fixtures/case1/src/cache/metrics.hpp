@@ -1,0 +1,21 @@
+// Fixture metrics: seeded L004 violations -- one counter missing from
+// merge(), one scalar counter without a default member initializer.
+#pragma once
+
+#include <cstdint>
+
+namespace fx {
+
+class CacheMetrics {
+ public:
+  void record_job() noexcept;
+  void merge(const CacheMetrics& other) noexcept;
+  [[nodiscard]] std::uint64_t jobs() const noexcept { return jobs_; }
+
+ private:
+  std::uint64_t jobs_ = 0;
+  std::uint64_t bytes_missed_ = 0;  // fbclint:expect(L004) not merged
+  std::uint64_t evictions_;         // fbclint:expect(L004) no initializer
+};
+
+}  // namespace fx

@@ -1,0 +1,38 @@
+// Fixture interface: a trimmed ReplacementPolicy. fbclint parses the
+// virtual hook list live from this definition, so the L002 expectations
+// below stay in sync with it.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fx {
+
+class DiskCache;
+struct Request;
+using FileId = unsigned;
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void on_job_arrival(const Request& request, const DiskCache& cache) {
+    (void)request;
+    (void)cache;
+  }
+  [[nodiscard]] virtual std::vector<FileId> select_victims(
+      const Request& request, unsigned long bytes_needed,
+      const DiskCache& cache) = 0;
+  virtual void on_prefetched(std::span<const FileId> loaded,
+                             const DiskCache& cache) {
+    (void)loaded;
+    (void)cache;
+  }
+  virtual void reset() {}
+};
+
+using PolicyPtr = std::unique_ptr<ReplacementPolicy>;
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Fixture interface: a trimmed SimulationObserver.
+#pragma once
+
+namespace fx {
+
+class DiskCache;
+struct Request;
+
+class SimulationObserver {
+ public:
+  virtual ~SimulationObserver() = default;
+  virtual void on_job_start(const Request& request, const DiskCache& cache) {
+    (void)request;
+    (void)cache;
+  }
+  virtual void on_eviction(unsigned id, const DiskCache& cache) {
+    (void)id;
+    (void)cache;
+  }
+};
+
+}  // namespace fx

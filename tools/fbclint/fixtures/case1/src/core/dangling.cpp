@@ -1,0 +1,27 @@
+// Minimized reconstruction of the PR 1 dangling-span bug: a temporary
+// degrees() vector bound to OptCacheSelect's span parameter. Only ASan
+// caught the original at runtime; L001 must catch it statically.
+#include "core/select.hpp"
+
+namespace fx {
+
+void pr1_bug(const FileCatalog& catalog, const RequestHistory& history) {
+  // The exact PR 1 shape: local declaration binding a temporary.
+  OptCacheSelect selector(catalog, history.degrees());  // fbclint:expect(L001)
+  (void)selector;
+}
+
+void direct_call_bug(const RequestHistory& history) {
+  run_select(history.degrees());  // fbclint:expect(L001)
+}
+
+void fixed_variant(const FileCatalog& catalog, const RequestHistory& history) {
+  // The fix shipped in PR 1: bind the owning value to a named local so
+  // it outlives the selector. Must NOT be flagged.
+  const std::vector<std::uint32_t> degrees = history.degrees();
+  OptCacheSelect selector(catalog, degrees);
+  run_select(degrees);
+  (void)selector;
+}
+
+}  // namespace fx

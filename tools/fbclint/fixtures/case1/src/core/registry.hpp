@@ -1,0 +1,15 @@
+// Fixture registry header: the PolicyContext knobs. `history_window_jobs`
+// is deliberately not surfaced by the fixture fbcsim.cpp.
+#pragma once
+
+#include <cstdint>
+
+namespace fx {
+
+struct PolicyContext {
+  std::uint64_t seed = 1;
+  double aging_factor = 0.0;
+  std::uint64_t history_window_jobs = 1000;  // fbclint:expect(L003)
+};
+
+}  // namespace fx

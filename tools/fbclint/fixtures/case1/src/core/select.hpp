@@ -1,0 +1,33 @@
+// Fixture selection API: the signatures behind the PR 1 dangling-span
+// bug. OptCacheSelect *stores* the degrees span, so a temporary argument
+// dangles as soon as the constructor's full expression ends.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fx {
+
+class FileCatalog;
+
+class RequestHistory {
+ public:
+  /// Returns the degree table BY VALUE -- the shape that made the PR 1
+  /// bug possible (the fixed production code returns a stable span).
+  [[nodiscard]] std::vector<std::uint32_t> degrees() const;
+};
+
+class OptCacheSelect {
+ public:
+  OptCacheSelect(const FileCatalog& catalog,
+                 std::span<const std::uint32_t> degrees) noexcept;
+
+ private:
+  const FileCatalog* catalog_ = nullptr;
+  std::span<const std::uint32_t> degrees_;
+};
+
+void run_select(std::span<const std::uint32_t> degrees);
+
+}  // namespace fx

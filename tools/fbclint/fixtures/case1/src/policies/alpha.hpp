@@ -1,0 +1,8 @@
+// Fixture policy that IS registered -- must not be flagged.
+#pragma once
+
+namespace fx {
+
+class AlphaPolicy {};
+
+}  // namespace fx

@@ -1,0 +1,9 @@
+// fbclint:expect(L003) -- this policy header is not #included by the
+// fixture registry.cpp, so the policy cannot be constructed by name.
+#pragma once
+
+namespace fx {
+
+class BetaPolicy {};
+
+}  // namespace fx

@@ -1,0 +1,67 @@
+// Seeded L002 violations: wrapping adapters that forget to forward hooks.
+#include "cache/policy.hpp"
+#include "cache/simulator.hpp"
+
+namespace fx {
+
+// Forwards name/select_victims/reset but swallows on_job_arrival and
+// on_prefetched: history bookkeeping in the wrapped policy silently
+// stops. Two seeded violations, flagged at the class head.
+// fbclint:expect(L002) fbclint:expect(L002)
+class ForgetfulAdapter : public ReplacementPolicy {
+ public:
+  explicit ForgetfulAdapter(PolicyPtr inner) : inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "forgetful:" + inner_->name();
+  }
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, unsigned long bytes_needed,
+      const DiskCache& cache) override {
+    return inner_->select_victims(request, bytes_needed, cache);
+  }
+  void reset() override { inner_->reset(); }
+
+ private:
+  PolicyPtr inner_;
+};
+
+// Complete adapter: forwards every hook. Must NOT be flagged.
+class CompleteAdapter : public ReplacementPolicy {
+ public:
+  explicit CompleteAdapter(PolicyPtr inner) : inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  void on_job_arrival(const Request& request, const DiskCache& cache) override {
+    inner_->on_job_arrival(request, cache);
+  }
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, unsigned long bytes_needed,
+      const DiskCache& cache) override {
+    return inner_->select_victims(request, bytes_needed, cache);
+  }
+  void on_prefetched(std::span<const FileId> loaded,
+                     const DiskCache& cache) override {
+    inner_->on_prefetched(loaded, cache);
+  }
+  void reset() override { inner_->reset(); }
+
+ private:
+  PolicyPtr inner_;
+};
+
+// Non-adapter policy (no wrapped inner): partial overrides are fine.
+class PlainPolicy : public ReplacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "plain"; }
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, unsigned long bytes_needed,
+      const DiskCache& cache) override {
+    (void)request;
+    (void)bytes_needed;
+    (void)cache;
+    return {};
+  }
+};
+
+}  // namespace fx

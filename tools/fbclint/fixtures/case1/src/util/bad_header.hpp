@@ -1,0 +1,16 @@
+// fbclint:expect(L006) -- include guard instead of #pragma once: still
+// flagged, the project standardizes on the pragma.
+#ifndef FX_BAD_HEADER_HPP
+#define FX_BAD_HEADER_HPP
+
+#include <string>
+
+using namespace std;  // fbclint:expect(L006)
+
+namespace fx {
+
+inline string shout(const string& s) { return s + "!"; }
+
+}  // namespace fx
+
+#endif

@@ -1,0 +1,37 @@
+// Seeded L005 violations: every way a simulation stops being
+// reproducible from its 64-bit seed.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace fx {
+
+unsigned wallclock_seeded() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // fbclint:expect(L005) fbclint:expect(L005)
+  return static_cast<unsigned>(std::rand());  // fbclint:expect(L005)
+}
+
+double library_generator() {
+  std::mt19937 gen(12345);  // fbclint:expect(L005)
+  return static_cast<double>(gen());
+}
+
+double order_dependent_sum(const std::unordered_map<int, double>& weights) {
+  double acc = 0.0;
+  // Floating-point addition is not associative: the total depends on
+  // bucket order.
+  for (const auto& [id, w] : weights) acc += w * acc;  // fbclint:expect(L005)
+  return acc;
+}
+
+// Suppression path: a justified unordered iteration must NOT be
+// reported once annotated (no expect marker here on purpose).
+unsigned long suppressed_count(const std::unordered_map<int, double>& weights) {
+  unsigned long n = 0;
+  // Order-independent count. fbclint:ignore(L005)
+  for (const auto& [id, w] : weights) n += id != 0 ? 1u : 0u;
+  return n;
+}
+
+}  // namespace fx

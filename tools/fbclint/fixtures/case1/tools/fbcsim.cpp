@@ -1,0 +1,17 @@
+// Fixture CLI: surfaces seed and aging_factor but forgets the
+// history_window_jobs knob (seeded L003, flagged at the PolicyContext
+// member in registry.hpp).
+#include "core/registry.hpp"
+
+namespace fx {
+
+int run_cli(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  PolicyContext context;
+  context.seed = 7;
+  context.aging_factor = 0.5;
+  return 0;
+}
+
+}  // namespace fx

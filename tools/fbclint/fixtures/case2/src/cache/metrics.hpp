@@ -1,0 +1,20 @@
+// Fixture counters with an INLINE merge (case1 exercises the
+// out-of-line path): transfer_ns_ is dropped by merge and queue_depth_
+// has no initializer.
+#pragma once
+
+#include <cstdint>
+
+namespace fx2 {
+
+struct TransferStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t transfer_ns_ = 0;  // fbclint:expect(L004)
+  double queue_depth_;             // fbclint:expect(L004) fbclint:expect(L004)
+
+  void merge(const TransferStats& other) noexcept {
+    transfers += other.transfers;
+  }
+};
+
+}  // namespace fx2

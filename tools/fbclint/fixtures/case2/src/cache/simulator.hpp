@@ -1,0 +1,25 @@
+// Fixture observer interface with a different hook set than case1: L002
+// must pick the list up from the definition, not from a hardcoded table.
+#pragma once
+
+#include <memory>
+
+namespace fx2 {
+
+class DiskCache;
+struct SimulationResult;
+
+class SimulationObserver {
+ public:
+  virtual ~SimulationObserver() = default;
+  virtual void on_tick(unsigned long now) { (void)now; }
+  virtual void on_admission(unsigned id, const DiskCache& cache) {
+    (void)id;
+    (void)cache;
+  }
+  virtual void on_run_complete(const SimulationResult& result) {
+    (void)result;
+  }
+};
+
+}  // namespace fx2

@@ -1,0 +1,14 @@
+// Fixture context: two knobs the fixture CLI forgets to surface.
+#pragma once
+
+#include <cstddef>
+
+namespace fx2 {
+
+struct PolicyContext {
+  std::size_t queue_length = 1;
+  double decay = 0.5;              // fbclint:expect(L003)
+  std::size_t shard_count = 4;     // fbclint:expect(L003)
+};
+
+}  // namespace fx2

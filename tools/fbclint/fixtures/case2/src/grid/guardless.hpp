@@ -1,0 +1,14 @@
+// fbclint:expect(L006) -- no #pragma once and no guard at all: double
+// inclusion redefines the class.
+
+#include <vector>
+
+using namespace std;  // fbclint:expect(L006)
+
+namespace fx2 {
+
+struct Shard {
+  vector<int> files;
+};
+
+}  // namespace fx2

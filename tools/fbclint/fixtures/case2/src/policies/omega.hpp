@@ -1,0 +1,8 @@
+// Registered fixture policy -- must not be flagged.
+#pragma once
+
+namespace fx2 {
+
+class OmegaPolicy {};
+
+}  // namespace fx2

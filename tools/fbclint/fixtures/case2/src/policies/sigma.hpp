@@ -1,0 +1,8 @@
+// fbclint:expect(L003) -- not #included by the fixture registry.cpp.
+#pragma once
+
+namespace fx2 {
+
+class SigmaPolicy {};
+
+}  // namespace fx2

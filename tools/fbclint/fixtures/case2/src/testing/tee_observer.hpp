@@ -1,0 +1,27 @@
+// Seeded L002: an observer tee that forwards on_tick and on_admission
+// but drops on_run_complete -- final-report consumers downstream of the
+// tee would never fire.
+#pragma once
+
+#include <memory>
+
+#include "cache/simulator.hpp"
+
+namespace fx2 {
+
+// fbclint:expect(L002)
+class TeeObserver : public SimulationObserver {
+ public:
+  explicit TeeObserver(std::unique_ptr<SimulationObserver> inner)
+      : inner_(std::move(inner)) {}
+
+  void on_tick(unsigned long now) override { inner_->on_tick(now); }
+  void on_admission(unsigned id, const DiskCache& cache) override {
+    inner_->on_admission(id, cache);
+  }
+
+ private:
+  std::unique_ptr<SimulationObserver> inner_;
+};
+
+}  // namespace fx2

@@ -1,0 +1,20 @@
+#include "util/labels.hpp"
+
+namespace fx2 {
+
+void render_titles(LabelSink& sink) {
+  sink.set_title(make_label(0));  // fbclint:expect(L001)
+}
+
+void render_axis() {
+  draw_axis(make_label(1), 0.0, 1.0);  // fbclint:expect(L001)
+}
+
+void render_fixed(LabelSink& sink) {
+  // Named local: outlives the sink's stored view. Must NOT be flagged.
+  const std::string title = make_label(2);
+  sink.set_title(title);
+  draw_axis(title, 0.0, 1.0);
+}
+
+}  // namespace fx2

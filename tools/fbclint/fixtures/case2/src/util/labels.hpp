@@ -1,0 +1,24 @@
+// Fixture string API: the string_view flavour of the L001 bug class.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace fx2 {
+
+/// Builds a fresh label -- an owning std::string by value.
+[[nodiscard]] std::string make_label(int index);
+
+/// Stores the view for later rendering (which is why a temporary
+/// argument dangles).
+class LabelSink {
+ public:
+  void set_title(std::string_view title);
+
+ private:
+  std::string_view title_;
+};
+
+void draw_axis(std::string_view label, double lo, double hi);
+
+}  // namespace fx2

@@ -1,0 +1,33 @@
+// Seeded L005 violations, second shapes: time(0), random_device,
+// random_shuffle, and unordered_set iteration.
+#include <algorithm>
+#include <ctime>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+namespace fx2 {
+
+unsigned long entropy_seed() {
+  std::random_device rd;  // fbclint:expect(L005)
+  return rd();
+}
+
+long legacy_clock_seed() {
+  return time(0);  // fbclint:expect(L005)
+}
+
+void legacy_shuffle(std::vector<int>& items) {
+  std::random_shuffle(items.begin(), items.end());  // fbclint:expect(L005)
+}
+
+int first_file(const std::unordered_set<int>& pool) {
+  int best = -1;
+  for (int id : pool) {  // fbclint:expect(L005)
+    best = id;
+    break;
+  }
+  return best;
+}
+
+}  // namespace fx2

@@ -1,0 +1,13 @@
+// Fixture CLI: only queue_length is surfaced; decay and shard_count are
+// seeded L003 gaps (flagged at their declarations in registry.hpp).
+#include "core/registry.hpp"
+
+namespace fx2 {
+
+int run_cli() {
+  PolicyContext context;
+  context.queue_length = 8;
+  return 0;
+}
+
+}  // namespace fx2

@@ -1,0 +1,484 @@
+#include "fbclint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <tuple>
+
+namespace fbclint {
+
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::Punct && t.text == text;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::Identifier && t.text == text;
+}
+
+/// True when tokens [begin, end) form exactly one call whose result is a
+/// temporary: an optional `obj.` / `ns::` chain, a final identifier, and
+/// an argument list closing at end-1. Returns the called name through
+/// `callee`.
+bool is_rvalue_call(const std::vector<Token>& toks, std::size_t begin,
+                    std::size_t end, std::string* callee) {
+  if (end - begin < 3) return false;
+  // Find the identifier directly before the first '(' of the chunk tail.
+  std::size_t i = begin;
+  std::string last_ident;
+  while (i < end && (toks[i].kind == TokKind::Identifier ||
+                     is_punct(toks[i], "::") || is_punct(toks[i], ".") ||
+                     is_punct(toks[i], "->"))) {
+    if (toks[i].kind == TokKind::Identifier) last_ident = toks[i].text;
+    ++i;
+  }
+  if (last_ident.empty() || i >= end || !is_punct(toks[i], "(")) return false;
+  if (match_forward(toks, i) != end - 1) return false;
+  *callee = last_ident;
+  return true;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> rule_view_lifetime(const ProjectModel& model) {
+  std::vector<Diagnostic> out;
+  for (const SourceFile& file : model.files) {
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Identifier) continue;
+      const auto sig = model.view_sigs.find(toks[i].text);
+      if (sig == model.view_sigs.end()) continue;
+      // Call forms: `Name(args)` and the local-binding declaration
+      // `Name var(args)` (the shape of the PR 1 bug).
+      std::size_t open = 0;
+      if (is_punct(toks[i + 1], "(")) {
+        open = i + 1;
+      } else if (toks[i + 1].kind == TokKind::Identifier &&
+                 i + 2 < toks.size() && is_punct(toks[i + 2], "(")) {
+        open = i + 2;
+      } else {
+        continue;
+      }
+      const std::size_t close = match_forward(toks, open);
+      if (close >= toks.size()) continue;
+      const auto args = split_args(toks, open, close);
+      for (const std::size_t idx : sig->second) {
+        if (idx >= args.size()) continue;
+        const auto [b, e] = args[idx];
+        // Skip the declaration site itself: a parameter list chunk names
+        // a type, not an expression.
+        std::string callee;
+        if (!is_rvalue_call(toks, b, e, &callee)) continue;
+        if (model.owning_returners.count(callee) == 0) continue;
+        out.push_back(
+            {"L001", file.path, toks[b].line,
+             "temporary returned by '" + callee + "()' is bound to the " +
+                 "view parameter #" + std::to_string(idx) + " of '" +
+                 toks[i].text +
+                 "'; the span/string_view dangles once the full expression "
+                 "ends -- bind the result to a named local first"});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> rule_hook_completeness(const ProjectModel& model) {
+  std::vector<Diagnostic> out;
+  if (model.interface_hooks.empty()) return out;
+  for (const ClassInfo& cls : model.classes) {
+    if (!cls.wraps_inner) continue;
+    for (const std::string& base : cls.bases) {
+      const auto hooks = model.interface_hooks.find(base);
+      if (hooks == model.interface_hooks.end()) continue;
+      for (const std::string& hook : hooks->second) {
+        if (cls.overrides.count(hook) > 0) continue;
+        out.push_back({"L002", cls.path, cls.line,
+                       "adapter '" + cls.name + "' wraps an inner " + base +
+                           " but does not forward the virtual hook '" + hook +
+                           "'; events will silently stop propagating"});
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Finds the body token range (open brace, close brace) of the free
+/// function `name` in `file`; returns false when absent.
+bool find_function_body(const SourceFile& file, const char* name,
+                        std::size_t* body_open, std::size_t* body_close) {
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], name) || !is_punct(toks[i + 1], "(")) continue;
+    const std::size_t close = match_forward(toks, i + 1);
+    if (close + 1 >= toks.size()) continue;
+    if (!is_punct(toks[close + 1], "{")) continue;
+    *body_open = close + 1;
+    *body_close = match_forward(toks, close + 1);
+    return *body_close < toks.size();
+  }
+  return false;
+}
+
+std::set<std::string> strings_in_range(const SourceFile& file,
+                                       std::size_t begin, std::size_t end) {
+  std::set<std::string> out;
+  for (std::size_t i = begin; i < end && i < file.tokens.size(); ++i)
+    if (file.tokens[i].kind == TokKind::String)
+      out.insert(file.tokens[i].text);
+  return out;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> rule_registry_completeness(const ProjectModel& model) {
+  std::vector<Diagnostic> out;
+  if (model.registry_cpp < 0) return out;
+  const SourceFile& registry =
+      model.files[static_cast<std::size_t>(model.registry_cpp)];
+
+  // (a) Every policy header must be #included by the registry.
+  for (const SourceFile& file : model.files) {
+    if (!file.is_header() ||
+        file.path.find("/policies/") == std::string::npos)
+      continue;
+    const std::size_t slash = file.path.rfind('/');
+    const std::string rel = "policies/" + file.path.substr(slash + 1);
+    bool included = false;
+    for (const Token& d : registry.directives)
+      if (d.text.find("include") != std::string::npos &&
+          d.text.find(rel) != std::string::npos)
+        included = true;
+    if (!included)
+      out.push_back({"L003", file.path, 1,
+                     "policy header '" + rel +
+                         "' is not #included by core/registry.cpp; the "
+                         "policy cannot be constructed by name"});
+  }
+
+  // (b) policy_names() and make_policy() must agree.
+  std::size_t names_open = 0, names_close = 0, make_open = 0, make_close = 0;
+  const bool have_names =
+      find_function_body(registry, "policy_names", &names_open, &names_close);
+  const bool have_make =
+      find_function_body(registry, "make_policy", &make_open, &make_close);
+  if (have_names && have_make) {
+    const std::set<std::string> declared =
+        strings_in_range(registry, names_open, names_close);
+    const std::set<std::string> handled =
+        strings_in_range(registry, make_open, make_close);
+    for (const std::string& name : declared) {
+      if (handled.count(name) == 0)
+        out.push_back({"L003", registry.path,
+                       registry.tokens[names_open].line,
+                       "policy name \"" + name +
+                           "\" is listed by policy_names() but never "
+                           "handled in make_policy()"});
+    }
+    // The reverse direction: every `name == "..."` comparison inside
+    // make_policy must be a declared name.
+    for (std::size_t i = make_open;
+         i + 2 < make_close && i + 2 < registry.tokens.size(); ++i) {
+      if (registry.tokens[i].kind == TokKind::Identifier &&
+          is_punct(registry.tokens[i + 1], "==") &&
+          registry.tokens[i + 2].kind == TokKind::String) {
+        const std::string& literal = registry.tokens[i + 2].text;
+        if (declared.count(literal) == 0)
+          out.push_back({"L003", registry.path, registry.tokens[i + 2].line,
+                         "make_policy() accepts \"" + literal +
+                             "\" but policy_names() does not list it"});
+      }
+    }
+  }
+
+  // (c) Every PolicyContext knob must be surfaced by the fbcsim CLI.
+  if (model.registry_hpp >= 0 && model.fbcsim_cpp >= 0) {
+    const SourceFile& hpp =
+        model.files[static_cast<std::size_t>(model.registry_hpp)];
+    const SourceFile& cli =
+        model.files[static_cast<std::size_t>(model.fbcsim_cpp)];
+    std::set<std::string> cli_idents;
+    for (const Token& t : cli.tokens)
+      if (t.kind == TokKind::Identifier) cli_idents.insert(t.text);
+    // Locate `struct PolicyContext {` and walk its members.
+    const auto& toks = hpp.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!(is_ident(toks[i], "struct") || is_ident(toks[i], "class")) ||
+          !is_ident(toks[i + 1], "PolicyContext") ||
+          !is_punct(toks[i + 2], "{"))
+        continue;
+      const std::size_t body_close = match_forward(toks, i + 2);
+      std::size_t stmt_begin = i + 3;
+      int depth = 0;
+      bool has_paren = false;
+      for (std::size_t k = i + 3; k < body_close && k < toks.size(); ++k) {
+        if (is_punct(toks[k], "{")) ++depth;
+        if (is_punct(toks[k], "}")) --depth;
+        if (is_punct(toks[k], "(")) has_paren = true;
+        if (depth == 0 && is_punct(toks[k], ";")) {
+          // Member name: identifier before '=' or before the ';'.
+          std::size_t name_idx = 0;
+          for (std::size_t m = stmt_begin; m < k; ++m) {
+            if (is_punct(toks[m], "=")) break;
+            if (toks[m].kind == TokKind::Identifier) name_idx = m;
+          }
+          if (!has_paren && name_idx != 0 &&
+              cli_idents.count(toks[name_idx].text) == 0)
+            out.push_back({"L003", hpp.path, toks[name_idx].line,
+                           "PolicyContext knob '" + toks[name_idx].text +
+                               "' is not surfaced by the fbcsim CLI"});
+          stmt_begin = k + 1;
+          has_paren = false;
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> rule_metrics_completeness(const ProjectModel& model) {
+  std::vector<Diagnostic> out;
+  if (model.metrics_hpp < 0) return out;
+  const SourceFile& hpp =
+      model.files[static_cast<std::size_t>(model.metrics_hpp)];
+  const auto& toks = hpp.tokens;
+
+  constexpr std::array kScalar = {
+      "int",    "long",     "unsigned", "short",    "char",   "bool",
+      "double", "float",    "size_t",   "int8_t",   "int16_t", "int32_t",
+      "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t", "Bytes",
+  };
+
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!(is_ident(toks[i], "class") || is_ident(toks[i], "struct")) ||
+        toks[i + 1].kind != TokKind::Identifier)
+      continue;
+    if (i > 0 && is_ident(toks[i - 1], "enum")) continue;
+    const std::string cls = toks[i + 1].text;
+    std::size_t j = i + 2;
+    while (j < toks.size() && !is_punct(toks[j], "{") && !is_punct(toks[j], ";"))
+      ++j;
+    if (j >= toks.size() || !is_punct(toks[j], "{")) continue;
+    const std::size_t body_open = j;
+    const std::size_t body_close = match_forward(toks, body_open);
+    if (body_close >= toks.size()) continue;
+
+    // Find merge()'s body: inline in the class, or out-of-line
+    // `Cls::merge` in any scanned file.
+    std::vector<Token> merge_body;
+    for (std::size_t k = body_open + 1; k + 1 < body_close; ++k) {
+      if (!is_ident(toks[k], "merge") || !is_punct(toks[k + 1], "(")) continue;
+      const std::size_t close = match_forward(toks, k + 1);
+      for (std::size_t m = close; m < std::min(close + 4, body_close); ++m) {
+        if (is_punct(toks[m], "{")) {
+          const std::size_t end = match_forward(toks, m);
+          merge_body.assign(toks.begin() + static_cast<std::ptrdiff_t>(m),
+                            toks.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(end, body_close)));
+          break;
+        }
+        if (is_punct(toks[m], ";")) break;
+      }
+      if (!merge_body.empty()) break;
+    }
+    if (merge_body.empty()) {
+      for (const SourceFile& file : model.files) {
+        const auto& ft = file.tokens;
+        for (std::size_t k = 0; k + 3 < ft.size(); ++k) {
+          if (is_ident(ft[k], cls.c_str()) && is_punct(ft[k + 1], "::") &&
+              is_ident(ft[k + 2], "merge") && is_punct(ft[k + 3], "(")) {
+            const std::size_t close = match_forward(ft, k + 3);
+            // Skip cv/noexcept qualifiers between ')' and the body.
+            for (std::size_t m = close + 1;
+                 m < std::min(close + 4, ft.size()); ++m) {
+              if (is_punct(ft[m], ";")) break;
+              if (!is_punct(ft[m], "{")) continue;
+              const std::size_t end = match_forward(ft, m);
+              if (end < ft.size())
+                merge_body.assign(
+                    ft.begin() + static_cast<std::ptrdiff_t>(m),
+                    ft.begin() + static_cast<std::ptrdiff_t>(end));
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (merge_body.empty()) continue;  // not an aggregating counter class
+
+    std::set<std::string> merged;
+    for (const Token& t : merge_body)
+      if (t.kind == TokKind::Identifier) merged.insert(t.text);
+
+    // Walk data-member statements of the class body.
+    std::size_t stmt_begin = body_open + 1;
+    int depth = 0;
+    bool has_paren = false;
+    for (std::size_t k = body_open + 1; k < body_close; ++k) {
+      if (is_punct(toks[k], "{")) ++depth;
+      if (is_punct(toks[k], "}")) --depth;
+      if (depth > 0) continue;
+      if (is_punct(toks[k], "(")) has_paren = true;
+      if (is_punct(toks[k], ":") && k > stmt_begin &&
+          (is_ident(toks[k - 1], "public") || is_ident(toks[k - 1], "private") ||
+           is_ident(toks[k - 1], "protected"))) {
+        stmt_begin = k + 1;
+        has_paren = false;
+        continue;
+      }
+      if (!is_punct(toks[k], ";")) continue;
+      if (!has_paren) {
+        std::size_t name_idx = 0;
+        bool has_init = false;
+        bool scalar = false;
+        for (std::size_t m = stmt_begin; m < k; ++m) {
+          if (is_punct(toks[m], "=")) {
+            has_init = true;
+            break;
+          }
+          if (toks[m].kind == TokKind::Identifier) {
+            name_idx = m;
+            for (const char* s : kScalar)
+              if (toks[m].text == s) scalar = true;
+          }
+        }
+        if (name_idx != 0 && !is_ident(toks[stmt_begin], "using") &&
+            !is_ident(toks[stmt_begin], "friend") &&
+            !is_ident(toks[stmt_begin], "enum")) {
+          const std::string& member = toks[name_idx].text;
+          if (merged.count(member) == 0)
+            out.push_back({"L004", hpp.path, toks[name_idx].line,
+                           "counter '" + member + "' of " + cls +
+                               " is missing from " + cls +
+                               "::merge(); multi-seed aggregation would "
+                               "silently drop it"});
+          if (scalar && !has_init)
+            out.push_back({"L004", hpp.path, toks[name_idx].line,
+                           "counter '" + member + "' of " + cls +
+                               " has no default member initializer; a "
+                               "fresh metrics object would start from "
+                               "garbage"});
+        }
+      }
+      stmt_begin = k + 1;
+      has_paren = false;
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> rule_determinism(const ProjectModel& model) {
+  std::vector<Diagnostic> out;
+  constexpr std::array kBanned = {
+      "rand",          "srand",       "random_device",
+      "mt19937",       "mt19937_64",  "default_random_engine",
+      "minstd_rand",   "minstd_rand0", "random_shuffle",
+  };
+  for (const SourceFile& file : model.files) {
+    if (file.path.find("util/rng.") != std::string::npos) continue;
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Identifier) continue;
+      for (const char* banned : kBanned) {
+        if (toks[i].text != banned) continue;
+        out.push_back({"L005", file.path, toks[i].line,
+                       "'" + toks[i].text +
+                           "' breaks seed-reproducibility; use util/rng "
+                           "(SplitMix64 / Xoshiro256**) instead"});
+      }
+      // time(nullptr) / time(NULL) / time(0)-style wall-clock seeds.
+      if (is_ident(toks[i], "time") && i + 1 < toks.size() &&
+          is_punct(toks[i + 1], "(")) {
+        const std::size_t close = match_forward(toks, i + 1);
+        if (close == i + 3 &&
+            (is_ident(toks[i + 2], "nullptr") || is_ident(toks[i + 2], "NULL") ||
+             toks[i + 2].text == "0")) {
+          out.push_back({"L005", file.path, toks[i].line,
+                         "wall-clock seed 'time(...)' breaks "
+                         "seed-reproducibility; derive seeds from the "
+                         "run's configured seed"});
+        }
+      }
+      // Range-for over an unordered container: iteration order is
+      // implementation-defined, so any order-dependent accumulation is
+      // non-deterministic across platforms.
+      if (is_ident(toks[i], "for") && i + 1 < toks.size() &&
+          is_punct(toks[i + 1], "(")) {
+        const std::size_t close = match_forward(toks, i + 1);
+        if (close >= toks.size()) continue;
+        int paren = 0, bracket = 0, brace = 0;
+        std::size_t colon = 0;
+        for (std::size_t k = i + 2; k < close; ++k) {
+          if (is_punct(toks[k], "(")) ++paren;
+          if (is_punct(toks[k], ")")) --paren;
+          if (is_punct(toks[k], "[")) ++bracket;
+          if (is_punct(toks[k], "]")) --bracket;
+          if (is_punct(toks[k], "{")) ++brace;
+          if (is_punct(toks[k], "}")) --brace;
+          if (paren == 0 && bracket == 0 && brace == 0 &&
+              is_punct(toks[k], ":")) {
+            colon = k;
+            break;
+          }
+        }
+        if (colon == 0) continue;
+        std::string range_var;
+        for (std::size_t k = colon + 1; k < close; ++k)
+          if (toks[k].kind == TokKind::Identifier) range_var = toks[k].text;
+        if (!range_var.empty() && model.unordered_vars.count(range_var) > 0 &&
+            model.ordered_vars.count(range_var) == 0) {
+          out.push_back(
+              {"L005", file.path, toks[i].line,
+               "range-for over unordered container '" + range_var +
+                   "': iteration order is implementation-defined; iterate "
+                   "a sorted copy or justify with fbclint:ignore(L005)"});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> rule_header_hygiene(const ProjectModel& model) {
+  std::vector<Diagnostic> out;
+  for (const SourceFile& file : model.files) {
+    if (!file.is_header()) continue;
+    bool pragma_once = false;
+    for (const Token& d : file.directives)
+      if (d.text.find("pragma") != std::string::npos &&
+          d.text.find("once") != std::string::npos)
+        pragma_once = true;
+    if (!pragma_once)
+      out.push_back({"L006", file.path, 1,
+                     "header is missing '#pragma once'"});
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (is_ident(toks[i], "using") && is_ident(toks[i + 1], "namespace"))
+        out.push_back({"L006", file.path, toks[i].line,
+                       "'using namespace' in a header leaks into every "
+                       "includer"});
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> run_rules(const ProjectModel& model) {
+  std::vector<Diagnostic> out;
+  for (auto* rule :
+       {rule_view_lifetime, rule_hook_completeness, rule_registry_completeness,
+        rule_metrics_completeness, rule_determinism, rule_header_hygiene}) {
+    std::vector<Diagnostic> diags = rule(model);
+    out.insert(out.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.path, a.line, a.rule, a.message) <
+           std::tie(b.path, b.line, b.rule, b.message);
+  });
+  return out;
+}
+
+}  // namespace fbclint

@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
   cli.add_option("history-cap",
                  "bounded-memory history entries for optfb* (0 = unbounded)",
                  "0");
+  cli.add_option("window", "sliding-window length in jobs for optfb-window",
+                 "1000");
   cli.add_option("warmup", "warm-up jobs excluded from metrics", "0");
   cli.add_option("seed", "seed for stochastic policies", "1");
   cli.add_option("engine",
@@ -90,6 +92,7 @@ int main(int argc, char** argv) {
       context.seed = cli.get_u64("seed");
       context.aging_factor = cli.get_double("aging");
       context.history_max_entries = cli.get_u64("history-cap");
+      context.history_window_jobs = cli.get_u64("window");
       context.select_engine = engine;
       PolicyPtr policy = make_policy(name, context);
       const SimulationResult result =
