@@ -45,10 +45,13 @@ void add_common_options(CliParser& cli) {
   cli.add_option("seeds", "repetition seeds per sweep point", "3");
   cli.add_option("seed", "master seed", "1");
   cli.add_flag("csv", "emit CSV instead of the aligned table");
+  cli.add_flag("json", "emit a JSON array instead of the aligned table");
 }
 
 void emit(const CliParser& cli, const TextTable& table) {
-  if (cli.get_flag("csv")) {
+  if (cli.get_flag("json")) {
+    table.print_json(std::cout);
+  } else if (cli.get_flag("csv")) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);

@@ -55,10 +55,11 @@ struct Aggregate {
                                                     std::size_t count);
 
 /// Registers the options shared by all figure benches
-/// (--jobs, --seeds, --seed, --csv).
+/// (--jobs, --seeds, --seed, --csv, --json).
 void add_common_options(CliParser& cli);
 
-/// Emits a finished table honoring --csv.
+/// Emits a finished table honoring --json (JSON array of row objects,
+/// the standard machine-readable bench format) and --csv.
 void emit(const CliParser& cli, const TextTable& table);
 
 /// Standard per-figure warm-up: 10% of the job stream.

@@ -1,0 +1,53 @@
+#include "service/client.hpp"
+
+namespace fbc::service {
+
+BundleClient::BundleClient(std::uint16_t port)
+    : fd_(connect_loopback(port)) {}
+
+Message BundleClient::round_trip(const Message& request) {
+  if (!fd_.valid()) throw NetError("client is disconnected");
+  if (!send_message(fd_.get(), request))
+    throw NetError("daemon closed the connection");
+  std::optional<Message> reply = recv_message(fd_.get());
+  if (!reply.has_value()) throw NetError("daemon closed the connection");
+  return std::move(*reply);
+}
+
+AcquireResult BundleClient::acquire(const std::vector<FileId>& files) {
+  const std::uint64_t cookie = next_cookie_++;
+  const Message reply = round_trip(AcquireRequestMsg{cookie, files});
+  const auto* msg = std::get_if<AcquireReplyMsg>(&reply);
+  if (msg == nullptr)
+    throw ProtocolError(std::string("expected AcquireReply, got ") +
+                        to_string(message_type(reply)));
+  if (msg->cookie != cookie)
+    throw ProtocolError("acquire reply cookie mismatch");
+  AcquireResult result;
+  result.status = msg->status;
+  result.lease = msg->lease;
+  result.request_hit = msg->request_hit != 0;
+  result.retry_after_ms = msg->retry_after_ms;
+  result.retries = msg->retries;
+  return result;
+}
+
+bool BundleClient::release(LeaseId lease) {
+  const Message reply = round_trip(ReleaseRequestMsg{lease});
+  const auto* msg = std::get_if<ReleaseReplyMsg>(&reply);
+  if (msg == nullptr)
+    throw ProtocolError(std::string("expected ReleaseReply, got ") +
+                        to_string(message_type(reply)));
+  return msg->ok != 0;
+}
+
+ServiceStats BundleClient::stats() {
+  const Message reply = round_trip(StatsRequestMsg{});
+  const auto* msg = std::get_if<StatsReplyMsg>(&reply);
+  if (msg == nullptr)
+    throw ProtocolError(std::string("expected StatsReply, got ") +
+                        to_string(message_type(reply)));
+  return msg->stats;
+}
+
+}  // namespace fbc::service

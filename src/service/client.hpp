@@ -1,0 +1,45 @@
+// BundleClient: one synchronous connection to a BundleDaemon.
+//
+// The client speaks the strict request/reply discipline the daemon
+// enforces, so a single BundleClient must not be shared across threads --
+// open one per worker (fbcload does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/net.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace fbc::service {
+
+/// Synchronous wire-protocol client (one connection, one thread).
+class BundleClient {
+ public:
+  /// Connects to a daemon on 127.0.0.1:`port`. Throws NetError on refusal.
+  explicit BundleClient(std::uint16_t port);
+
+  /// Requests a lease on `files`. Blocks until the daemon replies (which
+  /// may take the server-side queue wait plus staging time).
+  /// Throws NetError/ProtocolError if the connection breaks.
+  [[nodiscard]] AcquireResult acquire(const std::vector<FileId>& files);
+
+  /// Releases a lease. Returns false for ids the server does not know.
+  bool release(LeaseId lease);
+
+  /// Fetches the server's stats snapshot.
+  [[nodiscard]] ServiceStats stats();
+
+  /// Closes the connection (leases still held are reclaimed server-side).
+  void disconnect() noexcept { fd_.reset(); }
+
+ private:
+  /// Sends `request` and reads the single reply frame.
+  Message round_trip(const Message& request);
+
+  UniqueFd fd_;
+  std::uint64_t next_cookie_ = 1;
+};
+
+}  // namespace fbc::service

@@ -1,0 +1,106 @@
+#include "service/daemon.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace fbc::service {
+
+BundleDaemon::BundleDaemon(BundleServer& server, std::uint16_t port,
+                           std::size_t workers)
+    : server_(server), pool_(std::make_unique<ThreadPool>(workers)) {
+  // Bind in the body: listen_loopback writes port_, which a member
+  // initializer for listen_fd_ would race with port_'s own default init.
+  listen_fd_ = listen_loopback(port, &port_);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+BundleDaemon::~BundleDaemon() { stop(); }
+
+void BundleDaemon::stop() {
+  if (stopping_.exchange(true)) return;
+  // Order matters: wake queued acquires first so pool workers can finish,
+  // then unblock workers parked in recv, then unblock the acceptor, then
+  // join everything. pool_ destruction drains the remaining tasks.
+  server_.close();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    // fbclint:ignore(L005) -- shutdown order across fds is irrelevant.
+    for (const auto& [fd, unused] : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  listen_fd_.shutdown_both();
+  if (acceptor_.joinable()) acceptor_.join();
+  pool_.reset();
+  listen_fd_.reset();
+}
+
+void BundleDaemon::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;  // EINTR / transient accept failure
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    // try_submit: the pool may be shutting down under us; then we just
+    // close the connection instead of crashing the acceptor.
+    auto queued = pool_->try_submit([this, fd] { serve_connection(fd); });
+    if (!queued.has_value()) ::close(fd);
+  }
+}
+
+void BundleDaemon::serve_connection(int raw_fd) {
+  UniqueFd fd(raw_fd);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    live_fds_.emplace(fd.get(), true);
+  }
+  // Leases granted over this connection and not yet released by it.
+  std::vector<LeaseId> held;
+
+  try {
+    for (;;) {
+      std::optional<Message> message = recv_message(fd.get());
+      if (!message.has_value()) break;  // client hung up cleanly
+
+      Message reply;
+      if (auto* acq = std::get_if<AcquireRequestMsg>(&*message)) {
+        const Request request(std::move(acq->files));
+        const AcquireResult r = server_.acquire(request);
+        if (r.status == AcquireStatus::Ok) held.push_back(r.lease);
+        reply = AcquireReplyMsg{acq->cookie,    r.status,
+                                r.lease,        r.retry_after_ms,
+                                r.retries,      r.request_hit};
+      } else if (auto* rel = std::get_if<ReleaseRequestMsg>(&*message)) {
+        const bool ok = server_.release(rel->lease);
+        if (ok) std::erase(held, rel->lease);
+        reply = ReleaseReplyMsg{ok};
+      } else if (std::holds_alternative<StatsRequestMsg>(*message)) {
+        reply = StatsReplyMsg{server_.stats()};
+      } else {
+        // Reply types are server-to-client only.
+        throw ProtocolError(std::string("unexpected client message ") +
+                            to_string(message_type(*message)));
+      }
+      if (!send_message(fd.get(), reply)) break;
+    }
+  } catch (const std::exception& e) {
+    FBC_LOG(Warn) << "fbcd: dropping connection: " << e.what();
+  }
+
+  // A connection that dies holding leases must not leave its bundles
+  // pinned forever -- that would wedge every other client's admissions.
+  for (LeaseId lease : held) {
+    if (server_.release(lease)) {
+      reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  live_fds_.erase(fd.get());
+}
+
+}  // namespace fbc::service

@@ -1,0 +1,86 @@
+// Minimal POSIX socket plumbing for the serving subsystem: an owning fd
+// wrapper, full-buffer read/write loops that survive EINTR and short
+// transfers, and frame-level send/receive built on the wire protocol.
+//
+// Only loopback TCP is supported deliberately -- fbcd is a measurement
+// harness for the serving layer, not a hardened network daemon.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace fbc::service {
+
+/// Owning file descriptor (close-on-destroy, move-only).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the descriptor (idempotent).
+  void reset() noexcept;
+
+  /// shutdown(SHUT_RDWR): unblocks any thread parked in read/write on this
+  /// descriptor without racing the close.
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Thrown on socket setup/teardown failures (errno text included).
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Listens on 127.0.0.1:`port` (0 picks an ephemeral port). On return
+/// `*bound_port` holds the actual port.
+[[nodiscard]] UniqueFd listen_loopback(std::uint16_t port,
+                                       std::uint16_t* bound_port);
+
+/// Connects to 127.0.0.1:`port`.
+[[nodiscard]] UniqueFd connect_loopback(std::uint16_t port);
+
+/// Writes all of `data`, retrying short writes and EINTR.
+/// Returns false once the peer is gone (EPIPE/ECONNRESET).
+[[nodiscard]] bool write_full(int fd, const std::uint8_t* data,
+                              std::size_t len);
+
+/// Reads exactly `len` bytes. Returns false on clean EOF before the first
+/// byte; throws NetError on mid-buffer EOF or hard errors.
+[[nodiscard]] bool read_full(int fd, std::uint8_t* data, std::size_t len);
+
+/// Encodes and writes one frame. Returns false if the peer is gone.
+[[nodiscard]] bool send_message(int fd, const Message& message);
+
+/// Reads one frame. nullopt on clean EOF at a frame boundary; throws
+/// ProtocolError on malformed frames and NetError on transport errors.
+[[nodiscard]] std::optional<Message> recv_message(int fd);
+
+}  // namespace fbc::service

@@ -1,0 +1,269 @@
+#include "service/protocol.hpp"
+
+namespace fbc::service {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>* out, std::uint8_t v) {
+  out->push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  out->push_back(static_cast<std::uint8_t>(v));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+  out->push_back(static_cast<std::uint8_t>(v >> 16));
+  out->push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Bounds-checked little-endian reader over one payload.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = static_cast<std::uint32_t>(bytes_[pos_]) |
+                            static_cast<std::uint32_t>(bytes_[pos_ + 1]) << 8 |
+                            static_cast<std::uint32_t>(bytes_[pos_ + 2]) << 16 |
+                            static_cast<std::uint32_t>(bytes_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | hi << 32;
+  }
+
+  void finish() const {
+    if (pos_ != bytes_.size())
+      throw ProtocolError("trailing bytes in payload");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) throw ProtocolError("truncated payload");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void encode_stats(std::vector<std::uint8_t>* out, const ServiceStats& s) {
+  put_u64(out, s.requests);
+  put_u64(out, s.request_hits);
+  put_u64(out, s.rejected_full);
+  put_u64(out, s.timed_out);
+  put_u64(out, s.unserviceable);
+  put_u64(out, s.invalid);
+  put_u64(out, s.transfer_retries);
+  put_u64(out, s.transfer_failures);
+  put_u64(out, s.leases_granted);
+  put_u64(out, s.leases_released);
+  put_u64(out, s.active_leases);
+  put_u64(out, s.queue_depth);
+  put_u64(out, s.evictions);
+  put_u64(out, s.bytes_requested);
+  put_u64(out, s.bytes_missed);
+  put_u64(out, s.bytes_evicted);
+  put_u64(out, s.used_bytes);
+  put_u64(out, s.capacity_bytes);
+  put_u64(out, s.resident_files);
+}
+
+ServiceStats decode_stats(Reader* in) {
+  ServiceStats s;
+  s.requests = in->u64();
+  s.request_hits = in->u64();
+  s.rejected_full = in->u64();
+  s.timed_out = in->u64();
+  s.unserviceable = in->u64();
+  s.invalid = in->u64();
+  s.transfer_retries = in->u64();
+  s.transfer_failures = in->u64();
+  s.leases_granted = in->u64();
+  s.leases_released = in->u64();
+  s.active_leases = in->u64();
+  s.queue_depth = in->u64();
+  s.evictions = in->u64();
+  s.bytes_requested = in->u64();
+  s.bytes_missed = in->u64();
+  s.bytes_evicted = in->u64();
+  s.used_bytes = in->u64();
+  s.capacity_bytes = in->u64();
+  s.resident_files = in->u64();
+  return s;
+}
+
+AcquireStatus decode_status(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(AcquireStatus::Closed))
+    throw ProtocolError("unknown acquire status " + std::to_string(raw));
+  return static_cast<AcquireStatus>(raw);
+}
+
+void encode_payload(const Message& message, std::vector<std::uint8_t>* out) {
+  // Payload encoder switch: must cover every MsgType (fbclint L003).
+  switch (message_type(message)) {
+    case MsgType::AcquireRequest: {
+      const auto& m = std::get<AcquireRequestMsg>(message);
+      put_u64(out, m.cookie);
+      put_u32(out, static_cast<std::uint32_t>(m.files.size()));
+      for (FileId id : m.files) put_u32(out, id);
+      return;
+    }
+    case MsgType::AcquireReply: {
+      const auto& m = std::get<AcquireReplyMsg>(message);
+      put_u64(out, m.cookie);
+      put_u8(out, static_cast<std::uint8_t>(m.status));
+      put_u64(out, m.lease);
+      put_u32(out, m.retry_after_ms);
+      put_u32(out, m.retries);
+      put_u8(out, m.request_hit);
+      return;
+    }
+    case MsgType::ReleaseRequest: {
+      put_u64(out, std::get<ReleaseRequestMsg>(message).lease);
+      return;
+    }
+    case MsgType::ReleaseReply: {
+      put_u8(out, std::get<ReleaseReplyMsg>(message).ok);
+      return;
+    }
+    case MsgType::StatsRequest:
+      return;  // empty payload
+    case MsgType::StatsReply: {
+      encode_stats(out, std::get<StatsReplyMsg>(message).stats);
+      return;
+    }
+  }
+  throw ProtocolError("unencodable message type");
+}
+
+}  // namespace
+
+const char* to_string(MsgType type) noexcept {
+  // Name switch: must cover every MsgType (fbclint L003).
+  switch (type) {
+    case MsgType::AcquireRequest: return "AcquireRequest";
+    case MsgType::AcquireReply: return "AcquireReply";
+    case MsgType::ReleaseRequest: return "ReleaseRequest";
+    case MsgType::ReleaseReply: return "ReleaseReply";
+    case MsgType::StatsRequest: return "StatsRequest";
+    case MsgType::StatsReply: return "StatsReply";
+  }
+  return "?";
+}
+
+const char* to_string(AcquireStatus status) noexcept {
+  switch (status) {
+    case AcquireStatus::Ok: return "ok";
+    case AcquireStatus::QueueFull: return "queue-full";
+    case AcquireStatus::TimedOut: return "timed-out";
+    case AcquireStatus::Unserviceable: return "unserviceable";
+    case AcquireStatus::InvalidRequest: return "invalid-request";
+    case AcquireStatus::TransferFailed: return "transfer-failed";
+    case AcquireStatus::Closed: return "closed";
+  }
+  return "?";
+}
+
+MsgType message_type(const Message& message) noexcept {
+  // variant alternatives are declared in MsgType order (offset by 1).
+  return static_cast<MsgType>(message.index() + 1);
+}
+
+void encode_frame(const Message& message, std::vector<std::uint8_t>* out) {
+  const std::size_t header_at = out->size();
+  put_u32(out, 0);  // patched below
+  put_u8(out, static_cast<std::uint8_t>(message_type(message)));
+  const std::size_t payload_at = out->size();
+  encode_payload(message, out);
+  const auto payload_len = static_cast<std::uint32_t>(out->size() - payload_at);
+  (*out)[header_at] = static_cast<std::uint8_t>(payload_len);
+  (*out)[header_at + 1] = static_cast<std::uint8_t>(payload_len >> 8);
+  (*out)[header_at + 2] = static_cast<std::uint8_t>(payload_len >> 16);
+  (*out)[header_at + 3] = static_cast<std::uint8_t>(payload_len >> 24);
+}
+
+FrameHeader decode_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kFrameHeaderBytes)
+    throw ProtocolError("frame header must be exactly 5 bytes");
+  Reader in(bytes.first(4));
+  FrameHeader header;
+  header.payload_len = in.u32();
+  if (header.payload_len > kMaxPayloadBytes)
+    throw ProtocolError("payload length " +
+                        std::to_string(header.payload_len) +
+                        " exceeds the frame cap");
+  const std::uint8_t raw_type = bytes[4];
+  if (raw_type < static_cast<std::uint8_t>(MsgType::AcquireRequest) ||
+      raw_type > static_cast<std::uint8_t>(MsgType::StatsReply))
+    throw ProtocolError("unknown message type " + std::to_string(raw_type));
+  header.type = static_cast<MsgType>(raw_type);
+  return header;
+}
+
+Message decode_payload(MsgType type, std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  // Payload decoder switch: must cover every MsgType (fbclint L003).
+  switch (type) {
+    case MsgType::AcquireRequest: {
+      AcquireRequestMsg m;
+      m.cookie = in.u64();
+      const std::uint32_t count = in.u32();
+      if (count > (kMaxPayloadBytes - 12) / 4)
+        throw ProtocolError("file count exceeds the frame cap");
+      m.files.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) m.files.push_back(in.u32());
+      in.finish();
+      return m;
+    }
+    case MsgType::AcquireReply: {
+      AcquireReplyMsg m;
+      m.cookie = in.u64();
+      m.status = decode_status(in.u8());
+      m.lease = in.u64();
+      m.retry_after_ms = in.u32();
+      m.retries = in.u32();
+      m.request_hit = in.u8();
+      in.finish();
+      return m;
+    }
+    case MsgType::ReleaseRequest: {
+      ReleaseRequestMsg m;
+      m.lease = in.u64();
+      in.finish();
+      return m;
+    }
+    case MsgType::ReleaseReply: {
+      ReleaseReplyMsg m;
+      m.ok = in.u8();
+      in.finish();
+      return m;
+    }
+    case MsgType::StatsRequest: {
+      in.finish();
+      return StatsRequestMsg{};
+    }
+    case MsgType::StatsReply: {
+      StatsReplyMsg m;
+      m.stats = decode_stats(&in);
+      in.finish();
+      return m;
+    }
+  }
+  throw ProtocolError("undecodable message type");
+}
+
+}  // namespace fbc::service

@@ -1,0 +1,157 @@
+// fbcd wire protocol: length-prefixed binary frames over a stream socket.
+//
+// Frame layout (all integers little-endian, see docs/SERVING.md):
+//
+//   +----------------+--------+------------------------+
+//   | payload_len u32| type u8| payload (payload_len B)|
+//   +----------------+--------+------------------------+
+//
+// The protocol is deliberately minimal -- three request/reply pairs
+// (acquire a bundle lease, release a lease, snapshot server stats) -- and
+// strictly client-initiated: the server sends exactly one reply frame per
+// request frame. Unknown message types and oversized or truncated frames
+// are protocol errors; the server closes the connection.
+//
+// Every MsgType enumerator must be handled by the encoder and decoder
+// switches in protocol.cpp; fbclint's L003 rule checks that completeness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cache/types.hpp"
+
+namespace fbc::service {
+
+/// Lease handle returned by a successful acquire; 0 is never granted.
+using LeaseId = std::uint64_t;
+
+/// Frame type tag (one byte on the wire).
+enum class MsgType : std::uint8_t {
+  AcquireRequest = 1,
+  AcquireReply = 2,
+  ReleaseRequest = 3,
+  ReleaseReply = 4,
+  StatsRequest = 5,
+  StatsReply = 6,
+};
+
+/// Outcome of an acquire call (one byte on the wire).
+enum class AcquireStatus : std::uint8_t {
+  Ok = 0,              ///< bundle staged and leased
+  QueueFull = 1,       ///< backpressure: retry after retry_after_ms
+  TimedOut = 2,        ///< not admitted within the request timeout
+  Unserviceable = 3,   ///< bundle larger than the whole cache
+  InvalidRequest = 4,  ///< empty bundle or unknown file id
+  TransferFailed = 5,  ///< MSS staging failed after all retries
+  Closed = 6,          ///< server is shutting down
+};
+
+[[nodiscard]] const char* to_string(MsgType type) noexcept;
+[[nodiscard]] const char* to_string(AcquireStatus status) noexcept;
+
+/// Server counters reported by a stats snapshot. Field order is the wire
+/// order; every field is encoded as a u64.
+struct ServiceStats {
+  std::uint64_t requests = 0;        ///< acquire calls accepted for service
+  std::uint64_t request_hits = 0;    ///< whole bundle already resident
+  std::uint64_t rejected_full = 0;   ///< backpressure rejections
+  std::uint64_t timed_out = 0;       ///< queue-wait timeouts
+  std::uint64_t unserviceable = 0;   ///< bundle bigger than the cache
+  std::uint64_t invalid = 0;         ///< malformed acquire requests
+  std::uint64_t transfer_retries = 0;   ///< MSS transfer attempts retried
+  std::uint64_t transfer_failures = 0;  ///< acquires failed after retries
+  std::uint64_t leases_granted = 0;
+  std::uint64_t leases_released = 0;
+  std::uint64_t active_leases = 0;
+  std::uint64_t queue_depth = 0;     ///< waiters queued at snapshot time
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t bytes_missed = 0;    ///< demand bytes staged from the MSS
+  std::uint64_t bytes_evicted = 0;
+  std::uint64_t used_bytes = 0;
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t resident_files = 0;
+};
+
+// -- message payloads ------------------------------------------------------
+
+struct AcquireRequestMsg {
+  /// Client-chosen correlation id, echoed in the reply.
+  std::uint64_t cookie = 0;
+  std::vector<FileId> files;
+};
+
+struct AcquireReplyMsg {
+  std::uint64_t cookie = 0;
+  AcquireStatus status = AcquireStatus::Ok;
+  LeaseId lease = 0;
+  /// Backpressure hint: when status == QueueFull, wait this long before
+  /// retrying.
+  std::uint32_t retry_after_ms = 0;
+  /// MSS transfer attempts that had to be retried for this request.
+  std::uint32_t retries = 0;
+  /// True when the whole bundle was already resident (request-hit).
+  std::uint8_t request_hit = 0;
+};
+
+struct ReleaseRequestMsg {
+  LeaseId lease = 0;
+};
+
+struct ReleaseReplyMsg {
+  std::uint8_t ok = 0;
+};
+
+struct StatsRequestMsg {};
+
+struct StatsReplyMsg {
+  ServiceStats stats;
+};
+
+using Message =
+    std::variant<AcquireRequestMsg, AcquireReplyMsg, ReleaseRequestMsg,
+                 ReleaseReplyMsg, StatsRequestMsg, StatsReplyMsg>;
+
+/// Frame type of a message value.
+[[nodiscard]] MsgType message_type(const Message& message) noexcept;
+
+/// Raised by the decoder on malformed input. The daemon closes the
+/// offending connection; it never crashes the server.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error("protocol: " + what) {}
+};
+
+/// Fixed-size frame prefix: payload length + type byte.
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  MsgType type = MsgType::AcquireRequest;
+};
+
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+
+/// Upper bound on payload size (a ~1M-file bundle); larger frames are a
+/// protocol error so a corrupt length prefix cannot trigger a huge
+/// allocation.
+inline constexpr std::uint32_t kMaxPayloadBytes = 4u << 20;
+
+/// Serializes `message` as one complete frame appended to `out`.
+void encode_frame(const Message& message, std::vector<std::uint8_t>* out);
+
+/// Parses and validates a frame header from exactly kFrameHeaderBytes
+/// bytes. Throws ProtocolError for unknown types or oversized payloads.
+[[nodiscard]] FrameHeader decode_header(std::span<const std::uint8_t> bytes);
+
+/// Decodes a payload of the given type. Throws ProtocolError when the
+/// payload is truncated, has trailing garbage, or carries invalid values.
+[[nodiscard]] Message decode_payload(MsgType type,
+                                     std::span<const std::uint8_t> payload);
+
+}  // namespace fbc::service

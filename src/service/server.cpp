@@ -1,0 +1,320 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+#include "core/registry.hpp"
+#include "util/log.hpp"
+
+namespace fbc::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Bounded exponential backoff: base * 2^(attempt-1), capped at 8x base.
+std::chrono::milliseconds backoff_for(std::uint32_t base_ms,
+                                      std::uint32_t attempt) {
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt - 1, 3);
+  return std::chrono::milliseconds(
+      static_cast<std::uint64_t>(base_ms) << shift);
+}
+
+}  // namespace
+
+AdmitOrder parse_admit_order(const std::string& name) {
+  if (name == "fifo") return AdmitOrder::Fifo;
+  if (name == "value") return AdmitOrder::ValueDensity;
+  throw std::invalid_argument("unknown admit order '" + name +
+                              "' (expected fifo|value)");
+}
+
+BundleServer::BundleServer(const ServiceConfig& config,
+                           const StorageBackend& mss)
+    : config_(config),
+      mss_(&mss),
+      transfers_{.max_parallel = config.transfer_streams},
+      cache_(config.cache_bytes, mss.catalog()),
+      fail_rng_(config.seed ^ 0xf3f3f3f3f3f3f3f3ULL) {
+  if (config_.max_queue == 0)
+    throw std::invalid_argument("BundleServer: max_queue must be >= 1");
+  PolicyContext context;
+  context.catalog = &mss.catalog();
+  context.seed = config.seed;
+  policy_ = make_policy(config_.policy, context);
+}
+
+BundleServer::~BundleServer() { close(); }
+
+void BundleServer::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::size_t BundleServer::choose_locked() const {
+  if (config_.order == AdmitOrder::Fifo || queue_.size() <= 1) return 0;
+  // ValueDensity: the request with the highest already-resident byte
+  // fraction is the cheapest to admit; FIFO breaks ties (strictly-better
+  // only), so equal-density requests cannot starve each other.
+  std::size_t best = 0;
+  double best_density = -1.0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Waiter& w = *queue_[i];
+    Bytes resident = 0;
+    for (FileId id : w.request->files) {
+      if (cache_.contains(id)) resident += mss_->catalog().size_of(id);
+    }
+    const double density =
+        w.bundle_bytes == 0
+            ? 1.0
+            : static_cast<double>(resident) /
+                  static_cast<double>(w.bundle_bytes);
+    if (density > best_density) {
+      best = i;
+      best_density = density;
+    }
+  }
+  return best;
+}
+
+bool BundleServer::fits_locked(const Request& request) const {
+  const Bytes missing = cache_.missing_bytes(request);
+  if (missing <= cache_.free_bytes()) return true;
+  Bytes evictable = 0;
+  for (FileId id : cache_.resident_files()) {
+    if (!cache_.pinned(id) && !request.contains(id))
+      evictable += mss_->catalog().size_of(id);
+  }
+  return missing <= cache_.free_bytes() + evictable;
+}
+
+LeaseId BundleServer::admit_locked(const Request& request, Bytes bundle_bytes,
+                                   bool* request_hit, double* stage_s) {
+  policy_->on_job_arrival(request, cache_);
+  const std::vector<FileId> missing = cache_.missing_files(request);
+  const Bytes missing_bytes = mss_->catalog().bundle_bytes(missing);
+  metrics_.record_job(bundle_bytes, missing_bytes, request.size(),
+                      request.size() - missing.size());
+  *stage_s = 0.0;
+  if (missing.empty()) {
+    *request_hit = true;
+    policy_->on_request_hit(request, cache_);
+  } else {
+    *request_hit = false;
+    if (cache_.free_bytes() < missing_bytes) {
+      const Bytes needed = missing_bytes - cache_.free_bytes();
+      for (FileId victim : policy_->select_victims(request, needed, cache_)) {
+        metrics_.record_eviction(mss_->catalog().size_of(victim));
+        cache_.evict(victim);  // throws on a leased (pinned) file
+        policy_->on_file_evicted(victim);
+      }
+      if (cache_.free_bytes() < missing_bytes)
+        throw std::runtime_error(
+            "BundleServer: policy freed insufficient space");
+    }
+    for (FileId id : missing) cache_.insert(id);
+    policy_->on_files_loaded(request, missing, cache_);
+    *stage_s = transfers_.stage_seconds(missing, *mss_);
+  }
+  return leases_.grant(request, cache_);
+}
+
+AcquireResult BundleServer::acquire(const Request& request) {
+  AcquireResult result;
+  const FileCatalog& catalog = mss_->catalog();
+  const bool valid =
+      !request.empty() &&
+      std::all_of(request.files.begin(), request.files.end(),
+                  [&](FileId id) { return catalog.valid(id); });
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) {
+    result.status = AcquireStatus::Closed;
+    return result;
+  }
+  if (!valid) {
+    ++invalid_;
+    result.status = AcquireStatus::InvalidRequest;
+    return result;
+  }
+  const Bytes bundle_bytes = catalog.request_bytes(request);
+  if (bundle_bytes > cache_.capacity()) {
+    metrics_.record_unserviceable();
+    result.status = AcquireStatus::Unserviceable;
+    return result;
+  }
+  if (queue_.size() >= config_.max_queue) {
+    ++rejected_full_;
+    result.status = AcquireStatus::QueueFull;
+    // Load-proportional hint: deeper queue, longer suggested wait.
+    result.retry_after_ms = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, config_.retry_backoff_ms) *
+        (1 + queue_.size()));
+    return result;
+  }
+
+  Waiter waiter{&request, bundle_bytes, admissions_};
+  queue_.push_back(&waiter);
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.timeout_ms);
+  auto leave_queue = [&] {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), &waiter));
+    cv_.notify_all();
+  };
+
+  std::uint32_t failed_attempts = 0;
+  for (;;) {
+    if (closed_) {
+      leave_queue();
+      result.status = AcquireStatus::Closed;
+      return result;
+    }
+    if (queue_[choose_locked()] == &waiter && fits_locked(request)) {
+      // The simulated MSS transfer for this attempt: draw the injected
+      // failure *before* the reserve so a failed attempt leaves the cache
+      // untouched, back off, and try again bounded by max_retries.
+      if (config_.transfer_fail_prob > 0.0 &&
+          fail_rng_.bernoulli(config_.transfer_fail_prob)) {
+        ++failed_attempts;
+        if (failed_attempts > config_.max_retries) {
+          ++transfer_failures_;
+          leave_queue();
+          result.status = AcquireStatus::TransferFailed;
+          result.retries = failed_attempts - 1;
+          return result;
+        }
+        ++transfer_retries_;
+        const auto backoff =
+            backoff_for(config_.retry_backoff_ms, failed_attempts);
+        lock.unlock();
+        std::this_thread::sleep_for(backoff);
+        lock.lock();
+        continue;  // re-evaluate order and fit after the backoff
+      }
+      break;  // chosen, fits, transfer will succeed: admit
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      leave_queue();
+      ++timed_out_;
+      result.status = AcquireStatus::TimedOut;
+      result.retries = failed_attempts;
+      return result;
+    }
+  }
+
+  queue_.erase(std::find(queue_.begin(), queue_.end(), &waiter));
+  metrics_.record_queue_wait(
+      static_cast<double>(admissions_ - waiter.admissions_at_enqueue));
+  double stage_s = 0.0;
+  result.lease = admit_locked(request, bundle_bytes, &result.request_hit,
+                              &stage_s);
+  ++admissions_;
+  cv_.notify_all();
+  lock.unlock();
+
+  // Fetch phase: the bundle is reserved (pinned), so the simulated
+  // transfer can proceed without the lock while other admissions overlap.
+  if (config_.time_scale > 0.0 && stage_s > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        stage_s * config_.time_scale));
+  }
+  result.status = AcquireStatus::Ok;
+  result.retries = failed_attempts;
+  return result;
+}
+
+bool BundleServer::release(LeaseId lease) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!leases_.release(lease, cache_)) return false;
+  ++released_;
+  cv_.notify_all();
+  return true;
+}
+
+ServiceStats BundleServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats s;
+  s.requests = metrics_.jobs();
+  s.request_hits = metrics_.request_hits();
+  s.rejected_full = rejected_full_;
+  s.timed_out = timed_out_;
+  s.unserviceable = metrics_.unserviceable();
+  s.invalid = invalid_;
+  s.transfer_retries = transfer_retries_;
+  s.transfer_failures = transfer_failures_;
+  s.leases_granted = leases_.granted();
+  s.leases_released = released_;
+  s.active_leases = leases_.active();
+  s.queue_depth = queue_.size();
+  s.evictions = metrics_.evictions();
+  s.bytes_requested = metrics_.bytes_requested();
+  s.bytes_missed = metrics_.bytes_missed();
+  s.bytes_evicted = metrics_.bytes_evicted();
+  s.used_bytes = cache_.used_bytes();
+  s.capacity_bytes = cache_.capacity();
+  s.resident_files = cache_.file_count();
+  return s;
+}
+
+std::vector<std::string> BundleServer::audit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> violations;
+  const FileCatalog& catalog = mss_->catalog();
+
+  // Capacity: byte accounting must match a from-scratch recount and never
+  // exceed capacity; the resident list must be duplicate-free.
+  Bytes recount = 0;
+  std::unordered_set<FileId> seen;
+  for (FileId id : cache_.resident_files()) {
+    recount += catalog.size_of(id);
+    if (!seen.insert(id).second)
+      violations.push_back("serve.capacity: duplicate resident file " +
+                           std::to_string(id));
+  }
+  if (recount != cache_.used_bytes())
+    violations.push_back(
+        "serve.capacity: used_bytes " + std::to_string(cache_.used_bytes()) +
+        " != recomputed resident sum " + std::to_string(recount));
+  if (cache_.used_bytes() > cache_.capacity())
+    violations.push_back("serve.capacity: used exceeds capacity");
+
+  // Leases: every leased file must be resident and pinned; every pinned
+  // file must be covered by at least one live lease.
+  // fbclint:ignore(L005) -- accumulation below is order-independent.
+  for (const auto& [lease, bundle] : leases_.leases()) {
+    for (FileId id : bundle.files) {
+      if (!cache_.contains(id))
+        violations.push_back("serve.lease: lease " + std::to_string(lease) +
+                             " covers non-resident file " +
+                             std::to_string(id));
+      else if (!cache_.pinned(id))
+        violations.push_back("serve.lease: lease " + std::to_string(lease) +
+                             " covers unpinned file " + std::to_string(id));
+    }
+  }
+  for (FileId id : cache_.resident_files()) {
+    if (cache_.pinned(id) && !leases_.covers(id))
+      violations.push_back("serve.lease: pinned file " + std::to_string(id) +
+                           " has no covering lease");
+  }
+
+  // Accounting: admissions and lease counters must tie out.
+  if (leases_.granted() != metrics_.jobs())
+    violations.push_back("serve.accounting: leases granted " +
+                         std::to_string(leases_.granted()) +
+                         " != jobs admitted " +
+                         std::to_string(metrics_.jobs()));
+  if (leases_.active() != leases_.granted() - released_)
+    violations.push_back("serve.accounting: active leases inconsistent");
+  if (metrics_.request_hits() > metrics_.jobs())
+    violations.push_back("serve.accounting: more hits than jobs");
+  if (metrics_.bytes_missed() > metrics_.bytes_requested())
+    violations.push_back("serve.accounting: missed > requested bytes");
+  return violations;
+}
+
+}  // namespace fbc::service

@@ -1,0 +1,174 @@
+// BundleServer: thread-safe bundle-serving layer over the cache/policy
+// stack.
+//
+// This is the concurrent counterpart of the single-threaded SRM loop: many
+// client threads call acquire() simultaneously, each request passes through
+// a bounded admission queue, and admission itself follows a two-phase
+// protocol:
+//
+//   reserve  under the admission lock: the policy picks victims, the cache
+//            evicts them and inserts the missing files, and every bundle
+//            file is pinned through a LeaseTable lease -- from this instant
+//            no other admission can evict the bundle;
+//   fetch    outside the lock: the simulated MSS transfer runs (scaled
+//            stage time, injectable failures with bounded exponential-
+//            backoff retry before the reserve);
+//   lease    the lease id is returned to the caller, whose job runs with
+//            the bundle guaranteed resident;
+//   release  release() unpins the bundle; files become evictable once the
+//            last overlapping lease is gone.
+//
+// All *decision* logic stays in the existing engines: the replacement
+// policy chooses victims exactly as in the simulator, and CacheMetrics
+// does the accounting. The server owns only concurrency, queuing and
+// backpressure, so invariants checked by the fuzzing oracles carry over
+// unchanged (audit() re-checks them independently).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/metrics.hpp"
+#include "cache/policy.hpp"
+#include "grid/backend.hpp"
+#include "grid/transfer.hpp"
+#include "service/lease.hpp"
+#include "service/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace fbc::service {
+
+/// Order in which queued requests are admitted (the service-layer mirror
+/// of the SRM's ServiceOrder).
+enum class AdmitOrder {
+  Fifo,          ///< strict arrival order
+  ValueDensity,  ///< highest resident-byte fraction first (cheapest admit)
+};
+
+/// Parses "fifo" / "value" (throws std::invalid_argument otherwise).
+[[nodiscard]] AdmitOrder parse_admit_order(const std::string& name);
+
+/// Configuration of the serving layer. Every field here must be surfaced
+/// by both the fbcd and fbcload CLIs (enforced by fbclint L003).
+struct ServiceConfig {
+  /// Staging cache capacity.
+  Bytes cache_bytes = 1 * GiB;
+  /// Replacement policy name (core/registry.hpp).
+  std::string policy = "optfb";
+  /// Admission queue bound; acquires beyond it are rejected with a
+  /// retry-after hint instead of queuing (backpressure).
+  std::size_t max_queue = 64;
+  /// Admission order among queued requests.
+  AdmitOrder order = AdmitOrder::Fifo;
+  /// Per-request admission timeout (time waited in the queue).
+  std::uint32_t timeout_ms = 30000;
+  /// MSS transfer attempts beyond the first before giving up.
+  std::uint32_t max_retries = 3;
+  /// Base of the exponential backoff between transfer attempts; attempt k
+  /// waits retry_backoff_ms * 2^(k-1), capped at 8x the base.
+  std::uint32_t retry_backoff_ms = 10;
+  /// Probability that one simulated MSS transfer attempt fails.
+  double transfer_fail_prob = 0.0;
+  /// Wall-clock seconds slept per simulated staging second (0 = no sleep;
+  /// staging is instantaneous but still counted).
+  double time_scale = 0.0;
+  /// Parallel MSS transfer streams (grid/transfer LPT makespan).
+  std::size_t transfer_streams = 4;
+  /// Seed for the failure-injection RNG and stochastic policies.
+  std::uint64_t seed = 1;
+};
+
+/// Result of one acquire() call.
+struct AcquireResult {
+  AcquireStatus status = AcquireStatus::Ok;
+  LeaseId lease = 0;
+  bool request_hit = false;
+  std::uint32_t retry_after_ms = 0;  ///< set when status == QueueFull
+  std::uint32_t retries = 0;         ///< transfer attempts retried
+};
+
+/// Thread-safe bundle-serving layer (see file comment).
+class BundleServer {
+ public:
+  /// `mss` must outlive the server. Throws std::invalid_argument for a
+  /// zero queue bound or an unknown policy name.
+  BundleServer(const ServiceConfig& config, const StorageBackend& mss);
+  ~BundleServer();
+
+  BundleServer(const BundleServer&) = delete;
+  BundleServer& operator=(const BundleServer&) = delete;
+
+  /// Blocks until the bundle is resident and leased, the queue rejects it,
+  /// or the timeout expires. Safe to call from any number of threads.
+  [[nodiscard]] AcquireResult acquire(const Request& request);
+
+  /// Releases a lease. Returns false for unknown ids. Wakes queued
+  /// admissions that were waiting for pinned bytes to free up.
+  bool release(LeaseId lease);
+
+  /// Wakes every queued waiter with AcquireStatus::Closed and rejects
+  /// future acquires. release()/stats()/audit() keep working.
+  void close();
+
+  /// Consistent counter snapshot.
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Independently re-checks the serving invariants (capacity accounting,
+  /// lease pinning, residency of leased bundles, counter consistency) and
+  /// returns human-readable violations -- empty when healthy. The checks
+  /// mirror testing::InvariantAuditor's classes.
+  [[nodiscard]] std::vector<std::string> audit() const;
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Waiter {
+    const Request* request = nullptr;
+    Bytes bundle_bytes = 0;
+    std::uint64_t admissions_at_enqueue = 0;
+  };
+
+  /// Index into queue_ of the next request to admit under config_.order.
+  [[nodiscard]] std::size_t choose_locked() const;
+
+  /// True when `request` could be admitted right now: its missing bytes
+  /// fit into free space plus what evicting every unpinned non-bundle
+  /// resident file would release.
+  [[nodiscard]] bool fits_locked(const Request& request) const;
+
+  /// Evicts victims, inserts missing files, grants the lease and records
+  /// metrics. Returns the simulated staging seconds through `stage_s`.
+  LeaseId admit_locked(const Request& request, Bytes bundle_bytes,
+                       bool* request_hit, double* stage_s);
+
+  ServiceConfig config_;
+  const StorageBackend* mss_;
+  TransferModel transfers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  DiskCache cache_;
+  PolicyPtr policy_;
+  CacheMetrics metrics_;
+  LeaseTable leases_;
+  Rng fail_rng_;
+  std::deque<Waiter*> queue_;
+  std::uint64_t admissions_ = 0;
+  std::uint64_t rejected_full_ = 0;
+  std::uint64_t timed_out_ = 0;
+  std::uint64_t invalid_ = 0;
+  std::uint64_t transfer_retries_ = 0;
+  std::uint64_t transfer_failures_ = 0;
+  std::uint64_t released_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace fbc::service

@@ -8,6 +8,7 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 std::mutex g_write_mutex;
+LogSink g_sink;  // empty = stderr; guarded by g_write_mutex
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -29,11 +30,20 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  g_sink = std::move(sink);
+}
+
 namespace detail {
 
 void log_write(LogLevel level, const std::string& message) {
   std::lock_guard<std::mutex> lock(g_write_mutex);
-  std::fprintf(stderr, "[fbc %s] %s\n", level_name(level), message.c_str());
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    std::fprintf(stderr, "[fbc %s] %s\n", level_name(level), message.c_str());
+  }
 }
 
 }  // namespace detail

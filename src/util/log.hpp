@@ -2,11 +2,13 @@
 //
 // The simulator is a library, so logging is off (Warn) by default and all
 // output goes to stderr, keeping stdout clean for benchmark tables. The
-// level is a process-wide atomic; the logger is safe to call from sweep
-// worker threads (each message is a single formatted write).
+// level is a process-wide atomic, and every message goes through a single
+// mutex-guarded sink, so concurrent callers (sweep workers, fbcd pool
+// threads) can never interleave characters within a line.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -19,6 +21,15 @@ void set_log_level(LogLevel level) noexcept;
 
 /// Current process-wide log level.
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Where formatted log lines go. Called with the sink mutex held: calls are
+/// strictly serialized, one complete line per call, no trailing newline.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the process-wide sink (default: stderr). Passing an empty
+/// function restores the stderr sink. Swapping the sink synchronizes with
+/// in-flight log calls via the same mutex that serializes writes.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void log_write(LogLevel level, const std::string& message);

@@ -1,6 +1,10 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -65,6 +69,53 @@ void TextTable::print_csv(std::ostream& os) const {
   };
   emit_row(headers_);
   for (const auto& row : rows_) emit_row(row);
+}
+
+void TextTable::print_json(std::ostream& os) const {
+  auto escape = [](const std::string& cell) {
+    std::string out;
+    for (char ch : cell) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+            out += buf;
+          } else {
+            out += ch;
+          }
+      }
+    }
+    return out;
+  };
+  auto numeric = [](const std::string& cell) {
+    if (cell.empty()) return false;
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(cell.c_str(), &end);
+    // Reject partial parses and values JSON cannot represent (inf/nan).
+    return end == cell.c_str() + cell.size() && errno == 0 &&
+           std::isfinite(value);
+  };
+  os << "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ", ";
+      os << '"' << escape(headers_[c]) << "\": ";
+      if (numeric(rows_[r][c])) {
+        os << rows_[r][c];
+      } else {
+        os << '"' << escape(rows_[r][c]) << '"';
+      }
+    }
+    os << "}";
+  }
+  os << "\n]\n";
 }
 
 std::string TextTable::to_string() const {

@@ -39,6 +39,12 @@ class TextTable {
   /// quotes are quoted).
   void print_csv(std::ostream& os) const;
 
+  /// Writes the table as a JSON array of row objects keyed by header.
+  /// Cells that parse fully as numbers are emitted bare; everything else
+  /// becomes a JSON string. This is the machine-readable format the bench
+  /// harnesses emit under --json (see scripts/bench_to_json.py).
+  void print_json(std::ostream& os) const;
+
   /// Convenience: renders print() into a string.
   [[nodiscard]] std::string to_string() const;
 

@@ -102,6 +102,79 @@ TEST(Replica, PopularityPlacementPrefersFasterSites) {
   EXPECT_FALSE(manager.has_replica(0, 1));
 }
 
+TEST(Replica, FailedAddLeavesStateUntouched) {
+  // A rejected replica (budget overflow) must not leak partial state:
+  // occupancy, membership, and fetch routing all stay as they were.
+  FileCatalog catalog({600, 600});
+  ReplicaManager manager(two_sites(1000), catalog);
+  manager.add_replica(0, 1);
+  const double before = manager.fetch_seconds(1);
+  EXPECT_THROW(manager.add_replica(1, 1), std::runtime_error);
+  EXPECT_EQ(manager.replica_bytes(1), 600u);
+  EXPECT_FALSE(manager.has_replica(1, 1));
+  EXPECT_EQ(manager.best_site(1), 0u);
+  EXPECT_DOUBLE_EQ(manager.fetch_seconds(1), before);
+  // The freed budget from a drop can then be reused.
+  manager.drop_replica(0, 1);
+  manager.add_replica(1, 1);
+  EXPECT_EQ(manager.best_site(1), 1u);
+}
+
+TEST(Replica, DroppedReplicaFallsBackToOriginLatency) {
+  // Losing a replica (site failure / eviction) silently reroutes fetches
+  // to the origin at WAN cost -- the caller never sees an error.
+  FileCatalog catalog({100 * MiB});
+  ReplicaManager manager(two_sites(1 * GiB), catalog);
+  const double origin_cost = manager.fetch_seconds(0);
+  manager.add_replica(0, 1);
+  ASSERT_LT(manager.fetch_seconds(0), origin_cost);
+  manager.drop_replica(0, 1);
+  EXPECT_EQ(manager.best_site(0), 0u);
+  EXPECT_DOUBLE_EQ(manager.fetch_seconds(0), origin_cost);
+}
+
+TEST(Replica, SlowerReplicaNeverWorsensFetchTime) {
+  // A replica on a site slower than the origin exists but is never the
+  // best site: fetch routing picks the cheapest copy, not any copy.
+  FileCatalog catalog({100 * MiB});
+  std::vector<ReplicaSite> sites{
+      ReplicaSite{"origin", StorageTier{"disk", 0.05, 400.0 * MiB}, 0},
+      ReplicaSite{"slow", StorageTier{"tape", 8.0, 120.0 * MiB}, 1 * GiB},
+  };
+  ReplicaManager manager(sites, catalog);
+  const double origin_cost = manager.fetch_seconds(0);
+  manager.add_replica(0, 1);
+  EXPECT_EQ(manager.best_site(0), 0u);
+  EXPECT_DOUBLE_EQ(manager.fetch_seconds(0), origin_cost);
+}
+
+TEST(Replica, PopularityPlacementSkipsOversizedFilesButContinues) {
+  // The hottest file exceeds the whole replica budget; the greedy pass
+  // must move on and still replicate the next-hottest files that fit.
+  FileCatalog catalog({900, 100, 100});
+  ReplicaManager manager(two_sites(250), catalog);
+  const std::vector<std::uint64_t> counts{50, 9, 5};
+  manager.replicate_by_popularity(counts);
+  EXPECT_FALSE(manager.has_replica(0, 1));
+  EXPECT_TRUE(manager.has_replica(1, 1));
+  EXPECT_TRUE(manager.has_replica(2, 1));
+  EXPECT_EQ(manager.replica_bytes(1), 200u);
+}
+
+TEST(Replica, PopularityPlacementIsIdempotent) {
+  // Re-running placement with the same counts must keep existing replicas
+  // and not double-charge the budget.
+  FileCatalog catalog({100, 100});
+  ReplicaManager manager(two_sites(250), catalog);
+  const std::vector<std::uint64_t> counts{7, 3};
+  manager.replicate_by_popularity(counts);
+  const Bytes used = manager.replica_bytes(1);
+  manager.replicate_by_popularity(counts);
+  EXPECT_EQ(manager.replica_bytes(1), used);
+  EXPECT_TRUE(manager.has_replica(0, 1));
+  EXPECT_TRUE(manager.has_replica(1, 1));
+}
+
 TEST(Replica, SrmIntegrationReplicationCutsResponseTime) {
   // The SRM works against a ReplicaManager exactly like against an MSS;
   // replicating the hot files shortens staging.

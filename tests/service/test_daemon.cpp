@@ -1,0 +1,177 @@
+// End-to-end daemon tests over real loopback sockets: the wire protocol
+// round-trips through BundleDaemon/BundleClient, concurrent clients are
+// served correctly, dead connections get their leases reclaimed, and
+// malformed frames drop only the offending connection.
+#include "service/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "grid/mss.hpp"
+#include "service/client.hpp"
+#include "util/rng.hpp"
+
+namespace fbc::service {
+namespace {
+
+/// Daemon over a 10-file catalog on an ephemeral port.
+struct DaemonFixture {
+  FileCatalog catalog{{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}};
+  MassStorageSystem mss{default_tiers(), catalog};
+  std::unique_ptr<BundleServer> server;
+  std::unique_ptr<BundleDaemon> daemon;
+
+  explicit DaemonFixture(Bytes cache_bytes = 3000, std::size_t workers = 4) {
+    ServiceConfig config;
+    config.cache_bytes = cache_bytes;
+    config.timeout_ms = 20000;
+    server = std::make_unique<BundleServer>(config, mss);
+    daemon = std::make_unique<BundleDaemon>(*server, /*port=*/0, workers);
+  }
+};
+
+TEST(BundleDaemon, BindsEphemeralPortAndStops) {
+  DaemonFixture fx;
+  EXPECT_NE(fx.daemon->port(), 0);
+  fx.daemon->stop();
+  fx.daemon->stop();  // idempotent
+}
+
+TEST(BundleDaemon, AcquireReleaseStatsRoundTrip) {
+  DaemonFixture fx;
+  BundleClient client(fx.daemon->port());
+
+  const AcquireResult miss = client.acquire({0, 1, 2});
+  ASSERT_EQ(miss.status, AcquireStatus::Ok);
+  EXPECT_FALSE(miss.request_hit);
+  EXPECT_NE(miss.lease, 0u);
+
+  const AcquireResult hit = client.acquire({0, 1, 2});
+  ASSERT_EQ(hit.status, AcquireStatus::Ok);
+  EXPECT_TRUE(hit.request_hit);
+
+  EXPECT_TRUE(client.release(miss.lease));
+  EXPECT_TRUE(client.release(hit.lease));
+  EXPECT_FALSE(client.release(99999));
+
+  const ServiceStats stats = client.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.request_hits, 1u);
+  EXPECT_EQ(stats.active_leases, 0u);
+  EXPECT_EQ(stats.used_bytes, 600u);
+  EXPECT_TRUE(fx.server->audit().empty());
+}
+
+TEST(BundleDaemon, InvalidRequestOverTheWire) {
+  DaemonFixture fx;
+  BundleClient client(fx.daemon->port());
+  EXPECT_EQ(client.acquire({}).status, AcquireStatus::InvalidRequest);
+  EXPECT_EQ(client.acquire({12345}).status, AcquireStatus::InvalidRequest);
+}
+
+TEST(BundleDaemon, ConcurrentClientsAllSucceed) {
+  DaemonFixture fx(/*cache_bytes=*/2000, /*workers=*/6);
+  constexpr int kClients = 6;
+  constexpr int kRequests = 50;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(static_cast<std::size_t>(kClients), 0);
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&fx, &failures, c] {
+      BundleClient client(fx.daemon->port());
+      Rng rng(static_cast<std::uint64_t>(c) + 1);
+      for (int i = 0; i < kRequests; ++i) {
+        std::vector<FileId> files;
+        const std::size_t count = rng.uniform_u64(1, 3);
+        for (std::size_t f = 0; f < count; ++f)
+          files.push_back(static_cast<FileId>(rng.uniform_u64(0, 4)));
+        const AcquireResult r = client.acquire(files);
+        if (r.status != AcquireStatus::Ok || !client.release(r.lease))
+          ++failures[static_cast<std::size_t>(c)];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::size_t c = 0; c < failures.size(); ++c)
+    EXPECT_EQ(failures[c], 0) << c;
+
+  const ServiceStats stats = fx.server->stats();
+  EXPECT_EQ(stats.requests, kClients * kRequests);
+  EXPECT_EQ(stats.active_leases, 0u);
+  EXPECT_EQ(fx.daemon->connections_accepted(), kClients);
+  EXPECT_TRUE(fx.server->audit().empty());
+}
+
+TEST(BundleDaemon, ReclaimsLeasesOfDeadConnections) {
+  DaemonFixture fx;
+  {
+    BundleClient client(fx.daemon->port());
+    const AcquireResult r = client.acquire({0, 1});
+    ASSERT_EQ(r.status, AcquireStatus::Ok);
+    EXPECT_EQ(fx.server->stats().active_leases, 1u);
+    // Client goes away without releasing.
+  }
+  // The daemon must unpin the dead client's bundle.
+  for (int i = 0; i < 2000 && fx.server->stats().active_leases > 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(fx.server->stats().active_leases, 0u);
+  EXPECT_EQ(fx.daemon->leases_reclaimed(), 1u);
+  EXPECT_TRUE(fx.server->audit().empty());
+}
+
+TEST(BundleDaemon, MalformedFrameDropsOnlyThatConnection) {
+  DaemonFixture fx;
+  {
+    // Raw connection sending an unknown message type.
+    UniqueFd raw = connect_loopback(fx.daemon->port());
+    const std::uint8_t bogus[kFrameHeaderBytes] = {0, 0, 0, 0, 42};
+    ASSERT_TRUE(write_full(raw.get(), bogus, sizeof bogus));
+    // The daemon closes the connection: next read sees EOF.
+    std::uint8_t byte = 0;
+    EXPECT_FALSE(read_full(raw.get(), &byte, 1));
+  }
+  // A well-behaved client is unaffected.
+  BundleClient client(fx.daemon->port());
+  const AcquireResult r = client.acquire({4});
+  EXPECT_EQ(r.status, AcquireStatus::Ok);
+  EXPECT_TRUE(client.release(r.lease));
+}
+
+TEST(BundleDaemon, ReplyTypeFromClientIsRejected) {
+  DaemonFixture fx;
+  UniqueFd raw = connect_loopback(fx.daemon->port());
+  ASSERT_TRUE(send_message(raw.get(), ReleaseReplyMsg{1}));
+  std::uint8_t byte = 0;
+  EXPECT_FALSE(read_full(raw.get(), &byte, 1));  // connection dropped
+}
+
+TEST(BundleDaemon, StopWakesBlockedClients) {
+  DaemonFixture fx(/*cache_bytes=*/1000);
+  BundleClient holder(fx.daemon->port());
+  const AcquireResult held = holder.acquire({5});  // 600 B pinned
+  ASSERT_EQ(held.status, AcquireStatus::Ok);
+
+  std::thread blocked_client([&fx] {
+    try {
+      BundleClient client(fx.daemon->port());
+      // 900 B cannot fit next to the pinned 600 B: blocks server-side.
+      const AcquireResult r = client.acquire({8});
+      EXPECT_EQ(r.status, AcquireStatus::Closed);
+    } catch (const std::exception&) {
+      // The daemon may tear the connection down before the reply frame:
+      // also an acceptable way to unblock.
+    }
+  });
+  // Wait until the request is queued, then shut everything down.
+  for (int i = 0; i < 2000 && fx.server->stats().queue_depth == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(fx.server->stats().queue_depth, 1u);
+  fx.daemon->stop();
+  blocked_client.join();
+}
+
+}  // namespace
+}  // namespace fbc::service

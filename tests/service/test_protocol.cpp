@@ -1,0 +1,181 @@
+// Wire-protocol tests: every message type round-trips through one frame,
+// and malformed frames (truncated, oversized, trailing garbage, unknown
+// tags) raise ProtocolError instead of decoding junk.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fbc::service {
+namespace {
+
+/// Encodes one frame and decodes it back through header + payload.
+Message round_trip(const Message& message) {
+  std::vector<std::uint8_t> frame;
+  encode_frame(message, &frame);
+  EXPECT_GE(frame.size(), kFrameHeaderBytes);
+  const FrameHeader header =
+      decode_header({frame.data(), kFrameHeaderBytes});
+  EXPECT_EQ(header.payload_len, frame.size() - kFrameHeaderBytes);
+  EXPECT_EQ(header.type, message_type(message));
+  return decode_payload(header.type,
+                        {frame.data() + kFrameHeaderBytes,
+                         frame.size() - kFrameHeaderBytes});
+}
+
+TEST(Protocol, AcquireRequestRoundTrips) {
+  AcquireRequestMsg msg;
+  msg.cookie = 0xdeadbeefcafe1234ULL;
+  msg.files = {7, 0, 4294967295u, 12};
+  const Message decoded = round_trip(msg);
+  const auto& out = std::get<AcquireRequestMsg>(decoded);
+  EXPECT_EQ(out.cookie, msg.cookie);
+  EXPECT_EQ(out.files, msg.files);
+}
+
+TEST(Protocol, AcquireRequestEmptyBundleRoundTrips) {
+  const Message decoded = round_trip(AcquireRequestMsg{1, {}});
+  EXPECT_TRUE(std::get<AcquireRequestMsg>(decoded).files.empty());
+}
+
+TEST(Protocol, AcquireReplyRoundTrips) {
+  AcquireReplyMsg msg;
+  msg.cookie = 99;
+  msg.status = AcquireStatus::QueueFull;
+  msg.lease = 0x1122334455667788ULL;
+  msg.retry_after_ms = 250;
+  msg.retries = 3;
+  msg.request_hit = 1;
+  const Message decoded = round_trip(msg);
+  const auto& out = std::get<AcquireReplyMsg>(decoded);
+  EXPECT_EQ(out.cookie, 99u);
+  EXPECT_EQ(out.status, AcquireStatus::QueueFull);
+  EXPECT_EQ(out.lease, msg.lease);
+  EXPECT_EQ(out.retry_after_ms, 250u);
+  EXPECT_EQ(out.retries, 3u);
+  EXPECT_EQ(out.request_hit, 1u);
+}
+
+TEST(Protocol, ReleasePairRoundTrips) {
+  const Message request = round_trip(ReleaseRequestMsg{0xabcdef01ULL});
+  EXPECT_EQ(std::get<ReleaseRequestMsg>(request).lease, 0xabcdef01ULL);
+  const Message reply = round_trip(ReleaseReplyMsg{1});
+  EXPECT_EQ(std::get<ReleaseReplyMsg>(reply).ok, 1u);
+}
+
+TEST(Protocol, StatsPairRoundTrips) {
+  EXPECT_TRUE(std::holds_alternative<StatsRequestMsg>(
+      round_trip(StatsRequestMsg{})));
+
+  ServiceStats stats;
+  stats.requests = 1;
+  stats.request_hits = 2;
+  stats.rejected_full = 3;
+  stats.timed_out = 4;
+  stats.unserviceable = 5;
+  stats.invalid = 6;
+  stats.transfer_retries = 7;
+  stats.transfer_failures = 8;
+  stats.leases_granted = 9;
+  stats.leases_released = 10;
+  stats.active_leases = 11;
+  stats.queue_depth = 12;
+  stats.evictions = 13;
+  stats.bytes_requested = 14;
+  stats.bytes_missed = 15;
+  stats.bytes_evicted = 16;
+  stats.used_bytes = 17;
+  stats.capacity_bytes = 18;
+  stats.resident_files = 19;
+  const Message decoded = round_trip(StatsReplyMsg{stats});
+  const auto& out = std::get<StatsReplyMsg>(decoded);
+  EXPECT_EQ(out.stats.requests, 1u);
+  EXPECT_EQ(out.stats.transfer_failures, 8u);
+  EXPECT_EQ(out.stats.queue_depth, 12u);
+  EXPECT_EQ(out.stats.resident_files, 19u);
+  EXPECT_EQ(out.stats.capacity_bytes, 18u);
+}
+
+TEST(Protocol, MessageTypeMatchesVariantOrder) {
+  const Message messages[] = {AcquireRequestMsg{}, AcquireReplyMsg{},
+                              ReleaseRequestMsg{}, ReleaseReplyMsg{},
+                              StatsRequestMsg{},   StatsReplyMsg{}};
+  const MsgType expected[] = {MsgType::AcquireRequest, MsgType::AcquireReply,
+                              MsgType::ReleaseRequest, MsgType::ReleaseReply,
+                              MsgType::StatsRequest,   MsgType::StatsReply};
+  for (std::size_t i = 0; i < std::size(messages); ++i)
+    EXPECT_EQ(message_type(messages[i]), expected[i]);
+}
+
+TEST(Protocol, HeaderRejectsUnknownType) {
+  const std::uint8_t frame[kFrameHeaderBytes] = {0, 0, 0, 0, 99};
+  EXPECT_THROW((void)decode_header({frame, sizeof frame}), ProtocolError);
+  const std::uint8_t zero[kFrameHeaderBytes] = {0, 0, 0, 0, 0};
+  EXPECT_THROW((void)decode_header({zero, sizeof zero}), ProtocolError);
+}
+
+TEST(Protocol, HeaderRejectsOversizedPayload) {
+  std::vector<std::uint8_t> frame;
+  encode_frame(ReleaseRequestMsg{1}, &frame);
+  const std::uint32_t huge = kMaxPayloadBytes + 1;
+  frame[0] = static_cast<std::uint8_t>(huge);
+  frame[1] = static_cast<std::uint8_t>(huge >> 8);
+  frame[2] = static_cast<std::uint8_t>(huge >> 16);
+  frame[3] = static_cast<std::uint8_t>(huge >> 24);
+  EXPECT_THROW((void)decode_header({frame.data(), kFrameHeaderBytes}),
+               ProtocolError);
+}
+
+TEST(Protocol, PayloadRejectsTruncation) {
+  std::vector<std::uint8_t> frame;
+  encode_frame(AcquireRequestMsg{42, {1, 2, 3}}, &frame);
+  // Chop the last file id off the payload.
+  EXPECT_THROW((void)decode_payload(
+                   MsgType::AcquireRequest,
+                   {frame.data() + kFrameHeaderBytes,
+                    frame.size() - kFrameHeaderBytes - 4}),
+               ProtocolError);
+}
+
+TEST(Protocol, PayloadRejectsTrailingBytes) {
+  std::vector<std::uint8_t> frame;
+  encode_frame(ReleaseRequestMsg{7}, &frame);
+  frame.push_back(0);  // trailing garbage
+  EXPECT_THROW((void)decode_payload(MsgType::ReleaseRequest,
+                                    {frame.data() + kFrameHeaderBytes,
+                                     frame.size() - kFrameHeaderBytes}),
+               ProtocolError);
+}
+
+TEST(Protocol, PayloadRejectsAbsurdFileCount) {
+  // Hand-build an AcquireRequest payload whose count field promises more
+  // files than the frame cap allows.
+  std::vector<std::uint8_t> payload(12, 0);
+  payload[8] = 0xff;
+  payload[9] = 0xff;
+  payload[10] = 0xff;
+  payload[11] = 0xff;
+  EXPECT_THROW((void)decode_payload(MsgType::AcquireRequest,
+                                    {payload.data(), payload.size()}),
+               ProtocolError);
+}
+
+TEST(Protocol, PayloadRejectsUnknownAcquireStatus) {
+  std::vector<std::uint8_t> frame;
+  encode_frame(AcquireReplyMsg{}, &frame);
+  frame[kFrameHeaderBytes + 8] = 200;  // status byte past the cookie
+  EXPECT_THROW((void)decode_payload(MsgType::AcquireReply,
+                                    {frame.data() + kFrameHeaderBytes,
+                                     frame.size() - kFrameHeaderBytes}),
+               ProtocolError);
+}
+
+TEST(Protocol, EnumNamesAreStable) {
+  EXPECT_STREQ(to_string(MsgType::StatsReply), "StatsReply");
+  EXPECT_STREQ(to_string(AcquireStatus::QueueFull), "queue-full");
+  EXPECT_STREQ(to_string(AcquireStatus::Ok), "ok");
+}
+
+}  // namespace
+}  // namespace fbc::service

@@ -1,0 +1,324 @@
+// BundleServer tests: admission semantics (hit/miss, validation,
+// unserviceable), backpressure, timeouts, transfer failure injection with
+// bounded retries, admission-order policies, and close() semantics.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "grid/mss.hpp"
+
+namespace fbc::service {
+namespace {
+
+/// Catalog with file i of size (i+1)*100 bytes.
+FileCatalog sized_catalog(std::size_t count) {
+  std::vector<Bytes> sizes;
+  sizes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) sizes.push_back((i + 1) * 100);
+  return FileCatalog(std::move(sizes));
+}
+
+/// Polls the server until its queue depth reaches `depth` (test ordering
+/// helper; bounded so a broken server fails rather than hangs).
+void wait_for_queue_depth(const BundleServer& server, std::uint64_t depth) {
+  for (int i = 0; i < 2000; ++i) {
+    if (server.stats().queue_depth >= depth) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "queue depth never reached " << depth;
+}
+
+TEST(BundleServer, RejectsBadConfig) {
+  FileCatalog catalog = sized_catalog(3);
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.max_queue = 0;
+  EXPECT_THROW((BundleServer{config, mss}), std::invalid_argument);
+  config.max_queue = 4;
+  config.policy = "no-such-policy";
+  EXPECT_THROW((BundleServer{config, mss}), std::invalid_argument);
+}
+
+TEST(BundleServer, ParseAdmitOrder) {
+  EXPECT_EQ(parse_admit_order("fifo"), AdmitOrder::Fifo);
+  EXPECT_EQ(parse_admit_order("value"), AdmitOrder::ValueDensity);
+  EXPECT_THROW((void)parse_admit_order("lifo"), std::invalid_argument);
+}
+
+TEST(BundleServer, MissThenHitThenRelease) {
+  FileCatalog catalog = sized_catalog(5);
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1500;
+  BundleServer server(config, mss);
+
+  const AcquireResult miss = server.acquire(Request({0, 1}));
+  ASSERT_EQ(miss.status, AcquireStatus::Ok);
+  EXPECT_FALSE(miss.request_hit);
+  EXPECT_NE(miss.lease, 0u);
+
+  const AcquireResult hit = server.acquire(Request({0, 1}));
+  ASSERT_EQ(hit.status, AcquireStatus::Ok);
+  EXPECT_TRUE(hit.request_hit);
+  EXPECT_NE(hit.lease, miss.lease);
+
+  EXPECT_TRUE(server.release(miss.lease));
+  EXPECT_TRUE(server.release(hit.lease));
+  EXPECT_FALSE(server.release(miss.lease));  // double release
+  EXPECT_FALSE(server.release(12345));       // unknown lease
+
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.request_hits, 1u);
+  EXPECT_EQ(stats.active_leases, 0u);
+  EXPECT_EQ(stats.used_bytes, 300u);  // files stay resident after release
+  EXPECT_TRUE(server.audit().empty());
+}
+
+TEST(BundleServer, RejectsInvalidAndUnserviceable) {
+  FileCatalog catalog = sized_catalog(5);
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 600;
+  BundleServer server(config, mss);
+
+  EXPECT_EQ(server.acquire(Request{}).status, AcquireStatus::InvalidRequest);
+  EXPECT_EQ(server.acquire(Request({99})).status,
+            AcquireStatus::InvalidRequest);
+  // Files 3+4 total 900 bytes > 600-byte cache: never serviceable.
+  EXPECT_EQ(server.acquire(Request({3, 4})).status,
+            AcquireStatus::Unserviceable);
+
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.invalid, 2u);
+  EXPECT_EQ(stats.unserviceable, 1u);
+  EXPECT_EQ(stats.requests, 0u);
+}
+
+TEST(BundleServer, QueueFullBackpressure) {
+  FileCatalog catalog({600, 600, 600});
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1000;
+  config.max_queue = 1;
+  config.timeout_ms = 5000;
+  BundleServer server(config, mss);
+
+  // Hold file 0 leased: only 400 free, nothing evictable.
+  const AcquireResult held = server.acquire(Request({0}));
+  ASSERT_EQ(held.status, AcquireStatus::Ok);
+
+  // One waiter occupies the whole queue...
+  auto blocked = std::async(std::launch::async, [&server] {
+    return server.acquire(Request({1}));
+  });
+  wait_for_queue_depth(server, 1);
+
+  // ...so the next acquire is rejected with a retry hint, not queued.
+  const AcquireResult rejected = server.acquire(Request({2}));
+  EXPECT_EQ(rejected.status, AcquireStatus::QueueFull);
+  EXPECT_GT(rejected.retry_after_ms, 0u);
+
+  EXPECT_TRUE(server.release(held.lease));
+  const AcquireResult unblocked = blocked.get();
+  EXPECT_EQ(unblocked.status, AcquireStatus::Ok);
+  EXPECT_EQ(server.stats().rejected_full, 1u);
+  EXPECT_TRUE(server.audit().empty());
+}
+
+TEST(BundleServer, TimesOutWhenPinnedBytesNeverFree) {
+  FileCatalog catalog({600, 600});
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1000;
+  config.timeout_ms = 50;
+  BundleServer server(config, mss);
+
+  const AcquireResult held = server.acquire(Request({0}));
+  ASSERT_EQ(held.status, AcquireStatus::Ok);
+
+  // {1} needs 600 bytes; only 400 free and the lease pins the rest.
+  const AcquireResult timed_out = server.acquire(Request({1}));
+  EXPECT_EQ(timed_out.status, AcquireStatus::TimedOut);
+  EXPECT_EQ(server.stats().timed_out, 1u);
+  EXPECT_EQ(server.stats().queue_depth, 0u);  // waiter left the queue
+  EXPECT_TRUE(server.audit().empty());
+}
+
+TEST(BundleServer, TransferFailureExhaustsBoundedRetries) {
+  FileCatalog catalog = sized_catalog(3);
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1000;
+  config.transfer_fail_prob = 1.0;  // every attempt fails
+  config.max_retries = 2;
+  config.retry_backoff_ms = 1;
+  BundleServer server(config, mss);
+
+  const AcquireResult failed = server.acquire(Request({0}));
+  EXPECT_EQ(failed.status, AcquireStatus::TransferFailed);
+  EXPECT_EQ(failed.retries, 2u);  // retried max_retries times, then gave up
+
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.transfer_failures, 1u);
+  EXPECT_EQ(stats.transfer_retries, 2u);
+  EXPECT_EQ(stats.requests, 0u);      // never admitted
+  EXPECT_EQ(stats.used_bytes, 0u);    // failed attempts touch nothing
+  EXPECT_TRUE(server.audit().empty());
+}
+
+TEST(BundleServer, TransferRetriesCanSucceed) {
+  FileCatalog catalog = sized_catalog(3);
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1000;
+  config.transfer_fail_prob = 0.5;
+  config.max_retries = 64;  // practically always succeeds eventually
+  config.retry_backoff_ms = 1;
+  config.seed = 7;
+  BundleServer server(config, mss);
+
+  const AcquireResult result = server.acquire(Request({0, 1}));
+  ASSERT_EQ(result.status, AcquireStatus::Ok);
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.transfer_failures, 0u);
+  EXPECT_EQ(stats.transfer_retries, result.retries);
+  EXPECT_TRUE(server.audit().empty());
+}
+
+// Shared shape for the admission-order tests. Catalog:
+//   file0 = 600 (held lease), file1 = 500 (W1's bundle, 0% resident),
+//   file2 = 500 (W2's missing file), file3 = 100 (resident, in W2's
+//   bundle, so W2 is ~17% resident by bytes).
+// With capacity 1000 and {0} leased, both waiters are blocked (500
+// missing > 300 free + 100 evictable); once the lease is released both
+// could be admitted, so the configured order alone decides who goes
+// first -- and whoever wins pins enough bytes to keep the loser queued
+// until a second release.
+struct OrderFixture {
+  FileCatalog catalog{{600, 500, 500, 100}};
+  MassStorageSystem mss{default_tiers(), catalog};
+  std::unique_ptr<BundleServer> server;
+
+  explicit OrderFixture(AdmitOrder order) {
+    ServiceConfig config;
+    config.cache_bytes = 1000;
+    config.order = order;
+    config.timeout_ms = 20000;
+    server = std::make_unique<BundleServer>(config, mss);
+    // Make file3 resident but unpinned.
+    const AcquireResult warm = server->acquire(Request({3}));
+    if (warm.status != AcquireStatus::Ok || !server->release(warm.lease))
+      throw std::runtime_error("order fixture warm-up failed");
+  }
+};
+
+TEST(BundleServer, ValueDensityAdmitsCheapestBundleFirst) {
+  OrderFixture fx(AdmitOrder::ValueDensity);
+  BundleServer& server = *fx.server;
+
+  const AcquireResult held = server.acquire(Request({0}));
+  ASSERT_EQ(held.status, AcquireStatus::Ok);
+
+  auto w1 = std::async(std::launch::async, [&server] {
+    return server.acquire(Request({1}));
+  });
+  wait_for_queue_depth(server, 1);
+  auto w2 = std::async(std::launch::async, [&server] {
+    return server.acquire(Request({2, 3}));
+  });
+  wait_for_queue_depth(server, 2);
+
+  ASSERT_TRUE(server.release(held.lease));
+  // W2 arrived later but is partially resident: ValueDensity admits it
+  // first while W1 keeps waiting on W2's pinned bytes.
+  const AcquireResult dense = w2.get();
+  ASSERT_EQ(dense.status, AcquireStatus::Ok);
+  EXPECT_EQ(server.stats().queue_depth, 1u);  // W1 is still waiting
+
+  ASSERT_TRUE(server.release(dense.lease));
+  const AcquireResult sparse = w1.get();
+  ASSERT_EQ(sparse.status, AcquireStatus::Ok);
+  EXPECT_TRUE(server.audit().empty());
+}
+
+TEST(BundleServer, FifoAdmitsInArrivalOrder) {
+  OrderFixture fx(AdmitOrder::Fifo);
+  BundleServer& server = *fx.server;
+
+  const AcquireResult held = server.acquire(Request({0}));
+  ASSERT_EQ(held.status, AcquireStatus::Ok);
+
+  auto w1 = std::async(std::launch::async, [&server] {
+    return server.acquire(Request({1}));
+  });
+  wait_for_queue_depth(server, 1);
+  auto w2 = std::async(std::launch::async, [&server] {
+    return server.acquire(Request({2, 3}));
+  });
+  wait_for_queue_depth(server, 2);
+
+  ASSERT_TRUE(server.release(held.lease));
+  // FIFO ignores W2's resident advantage: W1 arrived first, W1 goes
+  // first, W2 stays queued behind W1's lease.
+  const AcquireResult first = w1.get();
+  ASSERT_EQ(first.status, AcquireStatus::Ok);
+  EXPECT_EQ(server.stats().queue_depth, 1u);  // W2 is still waiting
+
+  ASSERT_TRUE(server.release(first.lease));
+  const AcquireResult second = w2.get();
+  ASSERT_EQ(second.status, AcquireStatus::Ok);
+  EXPECT_TRUE(server.audit().empty());
+}
+
+TEST(BundleServer, CloseWakesQueuedWaiters) {
+  FileCatalog catalog({600, 600});
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1000;
+  config.timeout_ms = 20000;
+  BundleServer server(config, mss);
+
+  const AcquireResult held = server.acquire(Request({0}));
+  ASSERT_EQ(held.status, AcquireStatus::Ok);
+  auto blocked = std::async(std::launch::async, [&server] {
+    return server.acquire(Request({1}));
+  });
+  wait_for_queue_depth(server, 1);
+
+  server.close();
+  EXPECT_EQ(blocked.get().status, AcquireStatus::Closed);
+  EXPECT_EQ(server.acquire(Request({1})).status, AcquireStatus::Closed);
+  // Existing leases stay valid across close.
+  EXPECT_TRUE(server.release(held.lease));
+  EXPECT_TRUE(server.audit().empty());
+}
+
+TEST(BundleServer, QueueWaitMetricCountsOvertakingAdmissions) {
+  FileCatalog catalog({600, 600});
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1000;
+  config.timeout_ms = 20000;
+  BundleServer server(config, mss);
+
+  const AcquireResult held = server.acquire(Request({0}));
+  ASSERT_EQ(held.status, AcquireStatus::Ok);
+  auto blocked = std::async(std::launch::async, [&server] {
+    return server.acquire(Request({1}));
+  });
+  wait_for_queue_depth(server, 1);
+  ASSERT_TRUE(server.release(held.lease));
+  ASSERT_EQ(blocked.get().status, AcquireStatus::Ok);
+  // The blocked request watched zero other admissions but still counts
+  // as one serviced job.
+  EXPECT_EQ(server.stats().requests, 2u);
+}
+
+}  // namespace
+}  // namespace fbc::service

@@ -10,7 +10,9 @@
 #include <cstddef>
 #include <future>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 #include <thread>
 #include <vector>
 
@@ -92,6 +94,43 @@ TEST(ThreadPoolStress, SubmitDuringShutdownThrows) {
   EXPECT_TRUE(threw);
   // Tasks accepted before shutdown began are drained, not dropped; nothing
   // to assert beyond clean completion under TSan.
+  (void)accepted;
+}
+
+TEST(ThreadPoolStress, TrySubmitReturnsFutureWhileRunning) {
+  ThreadPool pool(2);
+  auto future = pool.try_submit([] { return 41 + 1; });
+  ASSERT_TRUE(future.has_value());
+  EXPECT_EQ(future->get(), 42);
+}
+
+TEST(ThreadPoolStress, TrySubmitDuringShutdownReturnsNullopt) {
+  // Same shape as SubmitDuringShutdownThrows, but the non-throwing entry
+  // point must signal rejection with nullopt instead of an exception --
+  // this is what fbcd's acceptor relies on during stop().
+  std::atomic<bool> release_blocker{false};
+  auto pool = std::make_unique<ThreadPool>(1);
+  ThreadPool* alive = pool.get();
+  pool->submit([&release_blocker] {
+    while (!release_blocker.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+
+  std::thread destroyer([&pool] { pool.reset(); });
+  std::size_t accepted = 0;
+  std::vector<std::future<int>> futures;
+  for (;;) {
+    std::optional<std::future<int>> maybe;
+    EXPECT_NO_THROW(maybe = alive->try_submit([] { return 5; }));
+    if (!maybe.has_value()) break;  // shutdown observed, never a throw
+    futures.push_back(std::move(*maybe));
+    ++accepted;
+    std::this_thread::yield();
+  }
+  release_blocker.store(true, std::memory_order_release);
+  destroyer.join();
+  // Every accepted task was drained before destruction completed.
+  for (auto& future : futures) EXPECT_EQ(future.get(), 5);
   (void)accepted;
 }
 

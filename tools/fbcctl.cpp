@@ -1,0 +1,121 @@
+// fbcctl: single-shot control client for a running fbcd.
+//
+//   fbcctl --port=7401 stats
+//   fbcctl --port=7401 acquire --files=3,7,12
+//   fbcctl --port=7401 release --lease=42
+//
+// Note acquire+exit releases the lease immediately (the daemon reclaims
+// leases of departed connections); use --hold-ms to keep it pinned for a
+// while, e.g. to watch another client queue behind it.
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "util/bytes.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace fbc;
+
+namespace {
+
+std::vector<FileId> parse_files(const std::string& list) {
+  std::vector<FileId> files;
+  std::istringstream in(list);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty())
+      files.push_back(static_cast<FileId>(std::stoul(token)));
+  }
+  return files;
+}
+
+void print_stats(const service::ServiceStats& s) {
+  TextTable table({"counter", "value"});
+  table.add_row({"requests", std::to_string(s.requests)});
+  table.add_row({"request_hits", std::to_string(s.request_hits)});
+  table.add_row({"rejected_full", std::to_string(s.rejected_full)});
+  table.add_row({"timed_out", std::to_string(s.timed_out)});
+  table.add_row({"unserviceable", std::to_string(s.unserviceable)});
+  table.add_row({"invalid", std::to_string(s.invalid)});
+  table.add_row({"transfer_retries", std::to_string(s.transfer_retries)});
+  table.add_row({"transfer_failures", std::to_string(s.transfer_failures)});
+  table.add_row({"leases_granted", std::to_string(s.leases_granted)});
+  table.add_row({"leases_released", std::to_string(s.leases_released)});
+  table.add_row({"active_leases", std::to_string(s.active_leases)});
+  table.add_row({"queue_depth", std::to_string(s.queue_depth)});
+  table.add_row({"evictions", std::to_string(s.evictions)});
+  table.add_row({"bytes_requested", format_bytes(s.bytes_requested)});
+  table.add_row({"bytes_missed", format_bytes(s.bytes_missed)});
+  table.add_row({"bytes_evicted", format_bytes(s.bytes_evicted)});
+  table.add_row({"used_bytes", format_bytes(s.used_bytes)});
+  table.add_row({"capacity_bytes", format_bytes(s.capacity_bytes)});
+  table.add_row({"resident_files", std::to_string(s.resident_files)});
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The first non-flag argument is the command; peel it off before the
+  // flag parser (CliParser rejects positionals).
+  std::string command;
+  std::vector<std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (command.empty() && arg.rfind("--", 0) != 0 && arg != "-h") {
+      command = arg;
+    } else {
+      flags.push_back(arg);
+    }
+  }
+
+  CliParser cli("fbcctl",
+                "One-shot fbcd client: fbcctl <stats|acquire|release> ...");
+  cli.add_option("port", "fbcd port on 127.0.0.1", "7401");
+  cli.add_option("files", "comma-separated file ids for acquire", "");
+  cli.add_option("lease", "lease id for release", "0");
+  cli.add_option("hold-ms", "hold an acquired lease this long", "0");
+
+  try {
+    cli.parse(flags);
+    if (command.empty()) throw std::invalid_argument("missing command");
+    service::BundleClient client(
+        static_cast<std::uint16_t>(cli.get_u64("port")));
+
+    if (command == "stats") {
+      print_stats(client.stats());
+      return 0;
+    }
+    if (command == "acquire") {
+      const service::AcquireResult r =
+          client.acquire(parse_files(cli.get_string("files")));
+      std::cout << "status=" << to_string(r.status) << " lease=" << r.lease
+                << " hit=" << (r.request_hit ? "yes" : "no")
+                << " retries=" << r.retries;
+      if (r.status == service::AcquireStatus::QueueFull)
+        std::cout << " retry_after_ms=" << r.retry_after_ms;
+      std::cout << "\n";
+      if (r.status != service::AcquireStatus::Ok) return 1;
+      const auto hold = cli.get_u64("hold-ms");
+      if (hold > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(hold));
+      client.release(r.lease);
+      return 0;
+    }
+    if (command == "release") {
+      const bool ok = client.release(cli.get_u64("lease"));
+      std::cout << (ok ? "released" : "unknown lease") << "\n";
+      return ok ? 0 : 1;
+    }
+    throw std::invalid_argument("unknown command '" + command +
+                                "' (stats|acquire|release)");
+  } catch (const std::exception& e) {
+    std::cerr << "fbcctl: error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,14 @@
+// Fixture protocol: three message types the codec switches must cover.
+#pragma once
+
+#include <cstdint>
+
+namespace fx2 {
+
+enum class MsgType : std::uint8_t {
+  Ping = 1,
+  Pong = 2,
+  Stats = 3,
+};
+
+}  // namespace fx2

@@ -1,0 +1,16 @@
+// Fixture serving config: cache_bytes and timeout_ms are surfaced by the
+// fixture serving_common.hpp; secret_knob is a seeded L003 gap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fx2 {
+
+struct ServiceConfig {
+  std::uint64_t cache_bytes = 1024;
+  std::uint64_t timeout_ms = 5000;
+  std::uint32_t secret_knob = 7;  // fbclint:expect(L003)
+};
+
+}  // namespace fx2

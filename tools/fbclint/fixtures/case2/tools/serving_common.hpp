@@ -1,0 +1,16 @@
+// Fixture serving CLI surface: flags for cache_bytes and timeout_ms only;
+// ServiceConfig::secret_knob is deliberately missing (seeded L003).
+#pragma once
+
+#include "service/server.hpp"
+
+namespace fx2 {
+
+inline ServiceConfig service_config_from_cli() {
+  ServiceConfig config;
+  config.cache_bytes = 2048;
+  config.timeout_ms = 100;
+  return config;
+}
+
+}  // namespace fx2

@@ -366,6 +366,16 @@ ProjectModel build_model(std::vector<SourceFile> files) {
       model.metrics_hpp = static_cast<int>(i);
     if (path_ends_with(f.path, "fbcsim.cpp"))
       model.fbcsim_cpp = static_cast<int>(i);
+    if (path_ends_with(f.path, "service/server.hpp"))
+      model.service_hpp = static_cast<int>(i);
+    if (path_ends_with(f.path, "service/protocol.hpp"))
+      model.protocol_hpp = static_cast<int>(i);
+    if (path_ends_with(f.path, "service/protocol.cpp"))
+      model.protocol_cpp = static_cast<int>(i);
+    if (path_ends_with(f.path, "fbcd.cpp") ||
+        path_ends_with(f.path, "fbcload.cpp") ||
+        path_ends_with(f.path, "serving_common.hpp"))
+      model.serving_tools.push_back(static_cast<int>(i));
   }
   for (const std::string& name : model.view_returners)
     model.owning_returners.erase(name);

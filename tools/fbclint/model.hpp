@@ -85,6 +85,13 @@ struct ProjectModel {
   int registry_hpp = -1;  // path ends core/registry.hpp
   int metrics_hpp = -1;   // path ends cache/metrics.hpp
   int fbcsim_cpp = -1;    // basename fbcsim.cpp
+  int service_hpp = -1;   // path ends service/server.hpp (ServiceConfig)
+  int protocol_hpp = -1;  // path ends service/protocol.hpp (MsgType)
+  int protocol_cpp = -1;  // path ends service/protocol.cpp (codec switches)
+  /// Serving-tool CLI surface: fbcd.cpp, fbcload.cpp and their shared
+  /// serving_common.hpp. ServiceConfig fields must appear somewhere in
+  /// this union (L003).
+  std::vector<int> serving_tools;
 };
 
 /// Suppression / expectation markers parsed from comments.

@@ -236,6 +236,108 @@ std::vector<Diagnostic> rule_registry_completeness(const ProjectModel& model) {
       break;
     }
   }
+
+  // (d) Every ServiceConfig field must be surfaced by the serving-tool
+  // CLIs (fbcd / fbcload, directly or via their shared serving_common).
+  if (model.service_hpp >= 0 && !model.serving_tools.empty()) {
+    const SourceFile& hpp =
+        model.files[static_cast<std::size_t>(model.service_hpp)];
+    std::set<std::string> tool_idents;
+    for (const int tool : model.serving_tools)
+      for (const Token& t :
+           model.files[static_cast<std::size_t>(tool)].tokens)
+        if (t.kind == TokKind::Identifier) tool_idents.insert(t.text);
+    const auto& toks = hpp.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!(is_ident(toks[i], "struct") || is_ident(toks[i], "class")) ||
+          !is_ident(toks[i + 1], "ServiceConfig") ||
+          !is_punct(toks[i + 2], "{"))
+        continue;
+      const std::size_t body_close = match_forward(toks, i + 2);
+      std::size_t stmt_begin = i + 3;
+      int depth = 0;
+      bool has_paren = false;
+      for (std::size_t k = i + 3; k < body_close && k < toks.size(); ++k) {
+        if (is_punct(toks[k], "{")) ++depth;
+        if (is_punct(toks[k], "}")) --depth;
+        if (is_punct(toks[k], "(")) has_paren = true;
+        if (depth == 0 && is_punct(toks[k], ";")) {
+          std::size_t name_idx = 0;
+          for (std::size_t m = stmt_begin; m < k; ++m) {
+            if (is_punct(toks[m], "=")) break;
+            if (toks[m].kind == TokKind::Identifier) name_idx = m;
+          }
+          if (!has_paren && name_idx != 0 &&
+              tool_idents.count(toks[name_idx].text) == 0)
+            out.push_back({"L003", hpp.path, toks[name_idx].line,
+                           "ServiceConfig field '" + toks[name_idx].text +
+                               "' is not surfaced by the fbcd/fbcload "
+                               "CLIs (serving_common.hpp)"});
+          stmt_begin = k + 1;
+          has_paren = false;
+        }
+      }
+      break;
+    }
+  }
+
+  // (e) Every switch over MsgType in the protocol codec must stay
+  // exhaustive: one case per enumerator and no 'default' (a default
+  // would silently swallow a newly added message type).
+  if (model.protocol_hpp >= 0 && model.protocol_cpp >= 0) {
+    const SourceFile& hpp =
+        model.files[static_cast<std::size_t>(model.protocol_hpp)];
+    const SourceFile& cpp =
+        model.files[static_cast<std::size_t>(model.protocol_cpp)];
+    std::set<std::string> enumerators;
+    const auto& ht = hpp.tokens;
+    for (std::size_t i = 0; i + 2 < ht.size(); ++i) {
+      if (!is_ident(ht[i], "enum") || !is_ident(ht[i + 1], "class") ||
+          !is_ident(ht[i + 2], "MsgType"))
+        continue;
+      std::size_t open = i + 3;
+      while (open < ht.size() && !is_punct(ht[open], "{") &&
+             !is_punct(ht[open], ";"))
+        ++open;
+      if (open >= ht.size() || !is_punct(ht[open], "{")) break;
+      const std::size_t close = match_forward(ht, open);
+      for (std::size_t k = open + 1; k < close && k < ht.size(); ++k)
+        if (ht[k].kind == TokKind::Identifier &&
+            (is_punct(ht[k - 1], "{") || is_punct(ht[k - 1], ",")))
+          enumerators.insert(ht[k].text);
+      break;
+    }
+    const auto& ct = cpp.tokens;
+    for (std::size_t i = 0; !enumerators.empty() && i + 1 < ct.size(); ++i) {
+      if (!is_ident(ct[i], "switch") || !is_punct(ct[i + 1], "(")) continue;
+      const std::size_t cond_close = match_forward(ct, i + 1);
+      if (cond_close + 1 >= ct.size() || !is_punct(ct[cond_close + 1], "{"))
+        continue;
+      const std::size_t body_close = match_forward(ct, cond_close + 1);
+      std::set<std::string> cases;
+      bool has_default = false;
+      for (std::size_t k = cond_close + 2;
+           k < body_close && k < ct.size(); ++k) {
+        if (is_ident(ct[k], "case") && k + 3 < ct.size() &&
+            is_ident(ct[k + 1], "MsgType") && is_punct(ct[k + 2], "::") &&
+            ct[k + 3].kind == TokKind::Identifier)
+          cases.insert(ct[k + 3].text);
+        if (is_ident(ct[k], "default")) has_default = true;
+      }
+      if (cases.empty()) continue;  // not a MsgType switch
+      for (const std::string& name : enumerators)
+        if (cases.count(name) == 0)
+          out.push_back({"L003", cpp.path, ct[i].line,
+                         "MsgType switch does not handle MsgType::" + name +
+                             "; the codec would reject or drop that "
+                             "message type"});
+      if (has_default)
+        out.push_back({"L003", cpp.path, ct[i].line,
+                       "MsgType switch has a 'default' label; it would "
+                       "silently swallow a newly added message type "
+                       "instead of failing the exhaustiveness check"});
+    }
+  }
   return out;
 }
 

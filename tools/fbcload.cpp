@@ -1,0 +1,236 @@
+// fbcload: N-connection load generator for fbcd.
+//
+//   # self-hosted loopback benchmark (starts fbcd in-process):
+//   fbcload --inline -c 8 -n 2000 --scenario=henp --cache=2GiB
+//
+//   # against an already-running daemon started with the SAME scenario
+//   # flags (the workload is regenerated locally from them):
+//   fbcload --port=7401 -c 8 -n 2000 --scenario=henp --cache=2GiB
+//
+// Each connection runs on its own thread with its own BundleClient and
+// replays an interleaved slice of the scenario job stream: acquire ->
+// hold -> release, honoring QueueFull retry-after backpressure hints.
+// Reports throughput and end-to-end p50/p95/p99 acquire latency; exits
+// nonzero if any request ultimately fails (the CI smoke gate).
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serving_common.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace fbc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Outcome tallies of one connection worker.
+struct WorkerResult {
+  std::vector<double> latencies_ms;  ///< successful acquires, end to end
+  std::uint64_t ok = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t queue_retries = 0;    ///< QueueFull backpressure retries
+  std::uint64_t transfer_retries = 0; ///< server-reported staging retries
+};
+
+/// Replays job indices i with i % connections == worker over one client.
+void run_worker(std::uint16_t port, const Workload& workload,
+                std::size_t worker, std::size_t connections,
+                std::size_t total_requests, std::uint64_t hold_ms,
+                WorkerResult* out) {
+  service::BundleClient client(port);
+  for (std::size_t i = worker; i < total_requests; i += connections) {
+    const Request& job = workload.jobs[i % workload.jobs.size()];
+    const auto start = Clock::now();
+    service::AcquireResult r;
+    // Honor backpressure: QueueFull is a retry hint, not a failure, but
+    // bound the loop so a wedged server cannot hang the generator.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      r = client.acquire(job.files);
+      if (r.status != service::AcquireStatus::QueueFull) break;
+      ++out->queue_retries;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max<std::uint32_t>(
+              1, r.retry_after_ms)));
+    }
+    out->transfer_retries += r.retries;
+    if (r.status != service::AcquireStatus::Ok) {
+      ++out->failed;
+      std::cerr << "fbcload: request " << i << " failed: "
+                << to_string(r.status) << "\n";
+      continue;
+    }
+    if (hold_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+    if (!client.release(r.lease)) ++out->failed;
+    const std::chrono::duration<double, std::milli> elapsed =
+        Clock::now() - start;
+    out->latencies_ms.push_back(elapsed.count());
+    ++out->ok;
+    if (r.request_hit) ++out->hits;
+  }
+}
+
+/// Percentile over a sorted sample (nearest-rank).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// Client-side sanity checks over a stats snapshot, in the spirit of the
+/// InvariantAuditor: catches a server whose counters stopped tying out.
+std::vector<std::string> check_stats(const service::ServiceStats& s) {
+  std::vector<std::string> violations;
+  if (s.used_bytes > s.capacity_bytes)
+    violations.push_back("stats: used_bytes exceeds capacity_bytes");
+  if (s.request_hits > s.requests)
+    violations.push_back("stats: request_hits exceeds requests");
+  if (s.bytes_missed > s.bytes_requested)
+    violations.push_back("stats: bytes_missed exceeds bytes_requested");
+  if (s.leases_released > s.leases_granted)
+    violations.push_back("stats: released more leases than granted");
+  if (s.active_leases != s.leases_granted - s.leases_released)
+    violations.push_back("stats: active_leases inconsistent");
+  if (s.leases_granted != s.requests)
+    violations.push_back("stats: leases_granted != requests admitted");
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Short aliases for the two flags everyone types.
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-c") {
+      arg = "--connections";
+    } else if (arg == "-n") {
+      arg = "--requests";
+    }
+    args.push_back(std::move(arg));
+  }
+
+  CliParser cli("fbcload", "Concurrent load generator for fbcd");
+  tools::add_service_options(cli);
+  tools::add_scenario_options(cli);
+  cli.add_option("port", "fbcd port (ignored with --inline)", "7401");
+  cli.add_option("connections", "concurrent client connections (-c)", "8");
+  cli.add_option("requests", "total acquire requests (-n)", "2000");
+  cli.add_option("hold-ms", "lease hold time per request", "0");
+  cli.add_option("workers", "daemon handler threads with --inline", "8");
+  cli.add_flag("inline", "start fbcd in-process on an ephemeral port");
+  cli.add_flag("json", "emit the report as JSON");
+
+  try {
+    cli.parse(args);
+    const service::ServiceConfig config = tools::service_config_from_cli(cli);
+    const Workload workload =
+        tools::build_scenario_workload(cli, config.cache_bytes);
+    const std::size_t connections = cli.get_u64("connections");
+    const std::size_t total_requests = cli.get_u64("requests");
+    const std::uint64_t hold_ms = cli.get_u64("hold-ms");
+    if (connections == 0) throw std::invalid_argument("need --connections>0");
+
+    // Self-hosted daemon for loopback benchmarking / CI smoke.
+    std::unique_ptr<MassStorageSystem> mss;
+    std::unique_ptr<service::BundleServer> server;
+    std::unique_ptr<service::BundleDaemon> daemon;
+    std::uint16_t port = static_cast<std::uint16_t>(cli.get_u64("port"));
+    if (cli.get_flag("inline")) {
+      mss = std::make_unique<MassStorageSystem>(default_tiers(),
+                                                workload.catalog);
+      tools::place_tier_mix(*mss, cli);
+      server = std::make_unique<service::BundleServer>(config, *mss);
+      daemon = std::make_unique<service::BundleDaemon>(
+          *server, /*port=*/0, cli.get_u64("workers"));
+      port = daemon->port();
+    }
+
+    std::vector<WorkerResult> results(connections);
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    const auto wall_start = Clock::now();
+    for (std::size_t w = 0; w < connections; ++w) {
+      threads.emplace_back(run_worker, port, std::cref(workload), w,
+                           connections, total_requests, hold_ms,
+                           &results[w]);
+    }
+    for (std::thread& t : threads) t.join();
+    const std::chrono::duration<double> wall = Clock::now() - wall_start;
+
+    WorkerResult total;
+    for (const WorkerResult& r : results) {
+      total.ok += r.ok;
+      total.hits += r.hits;
+      total.failed += r.failed;
+      total.queue_retries += r.queue_retries;
+      total.transfer_retries += r.transfer_retries;
+      total.latencies_ms.insert(total.latencies_ms.end(),
+                                r.latencies_ms.begin(),
+                                r.latencies_ms.end());
+    }
+    std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+
+    // Final stats snapshot + invariant checks over a fresh connection.
+    service::BundleClient probe(port);
+    const service::ServiceStats stats = probe.stats();
+    probe.disconnect();
+    std::vector<std::string> violations = check_stats(stats);
+    if (server) {
+      // Inline mode can additionally run the full server-side audit.
+      const std::vector<std::string> audit = server->audit();
+      violations.insert(violations.end(), audit.begin(), audit.end());
+    }
+
+    const double wall_s = std::max(wall.count(), 1e-9);
+    RunningStats lat;
+    for (double ms : total.latencies_ms) lat.add(ms);
+    TextTable table(
+        {"scenario", "policy", "connections", "requests", "ok", "failed",
+         "request_hit_pct", "queue_retries", "transfer_retries", "evictions",
+         "throughput_rps", "mean_ms", "p50_ms", "p95_ms", "p99_ms"});
+    table.add_row(
+        {cli.get_string("scenario"), config.policy,
+         std::to_string(connections), std::to_string(total_requests),
+         std::to_string(total.ok), std::to_string(total.failed),
+         format_double(total.ok == 0 ? 0.0
+                                     : 100.0 * static_cast<double>(total.hits) /
+                                           static_cast<double>(total.ok)),
+         std::to_string(total.queue_retries),
+         std::to_string(total.transfer_retries),
+         std::to_string(stats.evictions),
+         format_double(static_cast<double>(total.ok) / wall_s),
+         format_double(lat.mean()),
+         format_double(percentile(total.latencies_ms, 0.50)),
+         format_double(percentile(total.latencies_ms, 0.95)),
+         format_double(percentile(total.latencies_ms, 0.99))});
+    if (cli.get_flag("json")) {
+      table.print_json(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+
+    if (daemon) daemon->stop();
+    for (const std::string& v : violations)
+      std::cerr << "fbcload: INVARIANT VIOLATION: " << v << "\n";
+    if (total.failed > 0) {
+      std::cerr << "fbcload: " << total.failed << " failed requests\n";
+      return 1;
+    }
+    return violations.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "fbcload: error: " << e.what() << "\n";
+    return 1;
+  }
+}

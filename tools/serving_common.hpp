@@ -1,0 +1,127 @@
+// Shared CLI plumbing for the serving tools (fbcd, fbcload).
+//
+// Both tools must expose every ServiceConfig field as a flag (fbclint L003
+// checks the field list against the identifiers used here) and must build
+// the *same* workload from the same scenario flags: fbcd serves the
+// catalog, fbcload replays the job stream against it, and because
+// generation is seed-deterministic the two processes agree on every file
+// id and size without exchanging anything but the flags.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "grid/mss.hpp"
+#include "service/server.hpp"
+#include "util/bytes.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/workload.hpp"
+
+namespace fbc::tools {
+
+/// Registers one flag per service::ServiceConfig field.
+inline void add_service_options(CliParser& cli) {
+  cli.add_option("cache", "staging cache capacity", "1GiB");
+  cli.add_option("policy", "replacement policy name", "optfb");
+  cli.add_option("max-queue", "admission queue bound (backpressure)", "64");
+  cli.add_option("order", "admission order: fifo|value", "fifo");
+  cli.add_option("timeout-ms", "per-request admission timeout", "30000");
+  cli.add_option("max-retries", "MSS transfer retries per request", "3");
+  cli.add_option("retry-backoff-ms", "base transfer retry backoff", "10");
+  cli.add_option("fail-prob", "per-attempt MSS transfer failure prob", "0");
+  cli.add_option("time-scale",
+                 "wall seconds slept per simulated staging second", "0");
+  cli.add_option("streams", "parallel MSS transfer streams", "4");
+  cli.add_option("seed", "failure-injection / policy seed", "1");
+}
+
+/// Builds a ServiceConfig from the flags added above.
+inline service::ServiceConfig service_config_from_cli(const CliParser& cli) {
+  service::ServiceConfig config;
+  config.cache_bytes = parse_bytes(cli.get_string("cache"));
+  config.policy = cli.get_string("policy");
+  config.max_queue = cli.get_u64("max-queue");
+  config.order = service::parse_admit_order(cli.get_string("order"));
+  config.timeout_ms = static_cast<std::uint32_t>(cli.get_u64("timeout-ms"));
+  config.max_retries = static_cast<std::uint32_t>(cli.get_u64("max-retries"));
+  config.retry_backoff_ms =
+      static_cast<std::uint32_t>(cli.get_u64("retry-backoff-ms"));
+  config.transfer_fail_prob = cli.get_double("fail-prob");
+  config.time_scale = cli.get_double("time-scale");
+  config.transfer_streams = cli.get_u64("streams");
+  config.seed = cli.get_u64("seed");
+  return config;
+}
+
+/// Registers the scenario flags both serving tools share.
+inline void add_scenario_options(CliParser& cli) {
+  cli.add_option("scenario", "random|henp|climate|bitmap", "random");
+  cli.add_option("wseed", "workload generation seed", "42");
+  cli.add_option("jobs", "job-stream length", "2000");
+  cli.add_option("tier-mix",
+                 "fraction of files on tape,remote (rest on disk pool)",
+                 "0.5,0.33");
+}
+
+/// Deterministically generates the workload named by --scenario, sized
+/// against the service cache so bundles actually contend.
+inline Workload build_scenario_workload(const CliParser& cli,
+                                        Bytes cache_bytes) {
+  const std::string scenario = cli.get_string("scenario");
+  const std::uint64_t seed = cli.get_u64("wseed");
+  const std::size_t jobs = cli.get_u64("jobs");
+  if (scenario == "random") {
+    WorkloadConfig config;
+    config.seed = seed;
+    config.cache_bytes = cache_bytes;
+    config.num_jobs = jobs;
+    config.popularity = Popularity::Zipf;
+    return generate_workload(config);
+  }
+  if (scenario == "henp") {
+    HenpConfig config;
+    config.seed = seed;
+    config.cache_bytes = cache_bytes;
+    config.num_jobs = jobs;
+    return generate_henp_workload(config);
+  }
+  if (scenario == "climate") {
+    ClimateConfig config;
+    config.seed = seed;
+    config.cache_bytes = cache_bytes;
+    config.num_jobs = jobs;
+    return generate_climate_workload(config);
+  }
+  if (scenario == "bitmap") {
+    BitmapConfig config;
+    config.seed = seed;
+    config.cache_bytes = cache_bytes;
+    config.num_jobs = jobs;
+    return generate_bitmap_workload(config);
+  }
+  throw std::invalid_argument("unknown --scenario: " + scenario);
+}
+
+/// Spreads catalog files over the default three MSS tiers per --tier-mix,
+/// with the same deterministic placement fbcsrm uses.
+inline void place_tier_mix(MassStorageSystem& mss, const CliParser& cli) {
+  const std::string mix = cli.get_string("tier-mix");
+  const auto comma = mix.find(',');
+  if (comma == std::string::npos)
+    throw std::invalid_argument("--tier-mix needs 'tape,remote' fractions");
+  const double tape_frac = std::stod(mix.substr(0, comma));
+  const double remote_frac = std::stod(mix.substr(comma + 1));
+  Rng placement_rng(cli.get_u64("wseed") + 17);
+  for (FileId id = 0; id < mss.catalog().count(); ++id) {
+    const double roll = placement_rng.uniform_double();
+    if (roll < tape_frac) {
+      mss.place_file(id, 1);
+    } else if (roll < tape_frac + remote_frac) {
+      mss.place_file(id, 2);
+    }
+  }
+}
+
+}  // namespace fbc::tools
