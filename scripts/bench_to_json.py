@@ -102,8 +102,30 @@ def extract_csv_rows(text):
     return rows or None
 
 
+def parse_histogram(cell):
+    """Parses a log2-bucket histogram cell into {bucket_index: count}.
+
+    fbcload --hist and fbcsim --obs emit raw bucket columns as
+    "idx:count|idx:count" (e.g. "0:3|7:12|20:1"). Returns None when the
+    cell is not one.
+    """
+    if not isinstance(cell, str) or ":" not in cell:
+        return None
+    buckets = {}
+    for part in cell.split("|"):
+        index, sep, count = part.partition(":")
+        if not sep or not index.isdigit() or not count.isdigit():
+            return None
+        buckets[int(index)] = int(count)
+    return buckets
+
+
 def coerce(cell):
-    """Numeric cells become numbers, like TextTable::print_json."""
+    """Numeric cells become numbers, like TextTable::print_json;
+    histogram bucket cells become {bucket_index: count} dicts."""
+    buckets = parse_histogram(cell)
+    if buckets is not None:
+        return buckets
     try:
         as_float = float(cell)
     except ValueError:
@@ -161,6 +183,10 @@ def main() -> int:
         rows = parse_rows(text, path)
         extra = labels_by_input.get(index, {})
         for row in rows:
+            for key, value in row.items():
+                buckets = parse_histogram(value)
+                if buckets is not None:
+                    row[key] = buckets
             runs.append({**extra, **row})
 
     document = {"benchmark": args.name, "schema": 1, "runs": runs}

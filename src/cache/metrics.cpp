@@ -31,6 +31,9 @@ void CacheMetrics::record_unserviceable() noexcept { ++unserviceable_; }
 
 void CacheMetrics::record_selection_cost(const SelectionCost& cost) noexcept {
   selection_cost_.merge(cost);
+  scanned_hist_.record(cost.candidates_scanned);
+  rescored_hist_.record(cost.entries_rescored);
+  heap_ops_hist_.record(cost.heap_ops);
 }
 
 void CacheMetrics::record_queue_wait(double services_waited) noexcept {
@@ -95,6 +98,9 @@ void CacheMetrics::merge(const CacheMetrics& other) noexcept {
   bytes_prefetched_ += other.bytes_prefetched_;
   unserviceable_ += other.unserviceable_;
   selection_cost_.merge(other.selection_cost_);
+  scanned_hist_.merge(other.scanned_hist_);
+  rescored_hist_.merge(other.rescored_hist_);
+  heap_ops_hist_.merge(other.heap_ops_hist_);
   wait_count_ += other.wait_count_;
   wait_sum_ += other.wait_sum_;
   wait_max_ = std::max(wait_max_, other.wait_max_);

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.hpp"
 #include "util/bytes.hpp"
 
 namespace fbc {
@@ -92,6 +93,25 @@ class CacheMetrics {
     return selection_cost_;
   }
 
+  // -- per-decision selection-effort distributions ------------------------
+  //
+  // The totals above hide tail decisions; these histograms hold one
+  // observation per replacement decision, so `fbcsim --obs` can report
+  // p50/p95/p99 of the selection effort instead of only means.
+
+  /// History entries examined, per decision.
+  [[nodiscard]] const obs::Histogram& scanned_hist() const noexcept {
+    return scanned_hist_;
+  }
+  /// Entries fully rescored, per decision.
+  [[nodiscard]] const obs::Histogram& rescored_hist() const noexcept {
+    return rescored_hist_;
+  }
+  /// Heap pushes + pops, per decision.
+  [[nodiscard]] const obs::Histogram& heap_ops_hist() const noexcept {
+    return heap_ops_hist_;
+  }
+
   // -- derived metrics (paper §1.2) ---------------------------------------
 
   /// Fraction of jobs whose whole bundle was already resident.
@@ -145,6 +165,9 @@ class CacheMetrics {
   Bytes bytes_prefetched_ = 0;
   std::uint64_t unserviceable_ = 0;
   SelectionCost selection_cost_;
+  obs::Histogram scanned_hist_;
+  obs::Histogram rescored_hist_;
+  obs::Histogram heap_ops_hist_;
   std::uint64_t wait_count_ = 0;
   double wait_sum_ = 0.0;
   double wait_max_ = 0.0;

@@ -1,0 +1,26 @@
+#include "obs/counter.hpp"
+
+namespace fbc::obs {
+
+void CounterRegistry::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    counters_.emplace(std::string(name), delta);
+  else
+    it->second += delta;
+}
+
+std::uint64_t CounterRegistry::value(std::string_view name) const noexcept {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void CounterRegistry::merge(const CounterRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+}
+
+std::vector<CounterSample> CounterRegistry::snapshot() const {
+  return {counters_.begin(), counters_.end()};
+}
+
+}  // namespace fbc::obs

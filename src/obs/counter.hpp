@@ -1,0 +1,47 @@
+// Named monotonic counters with deterministic (sorted) export order.
+//
+// A CounterRegistry is the cheap complement to obs::Histogram: where a
+// histogram answers "how is this quantity distributed", a counter answers
+// "how many times did this event happen". Counters merge exactly (sums
+// add) and snapshot in lexicographic name order so two runs over the same
+// trace produce byte-identical exports (fbclint L005: no
+// unordered-container iteration anywhere in output paths).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fbc::obs {
+
+/// One exported counter: name plus monotonic value.
+using CounterSample = std::pair<std::string, std::uint64_t>;
+
+/// Registry of named monotonic counters. Not thread-safe; guard with the
+/// owner's mutex (BundleServer keeps it under obs_mu_).
+class CounterRegistry {
+ public:
+  /// Adds `delta` to the counter named `name`, creating it at zero first.
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Current value of `name`; 0 if never touched.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const noexcept;
+
+  /// Number of distinct counters.
+  [[nodiscard]] std::size_t size() const noexcept { return counters_.size(); }
+
+  /// Adds every counter of `other` into this registry. Exact: equivalent
+  /// to replaying both add() streams into one registry, in any order.
+  void merge(const CounterRegistry& other);
+
+  /// All counters in lexicographic name order (deterministic export).
+  [[nodiscard]] std::vector<CounterSample> snapshot() const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+}  // namespace fbc::obs

@@ -1,0 +1,157 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/stats.hpp"
+
+namespace fbc::obs {
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  // bit_width(0) == 0, bit_width(v) == 1 + floor(log2(v)): bucket i
+  // covers [2^(i-1), 2^i) with bucket 0 holding exactly 0.
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t i) noexcept {
+  if (i == 0) return 0;
+  return std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t i) noexcept {
+  if (i == 0) return 0;
+  if (i >= kBucketCount - 1) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << i) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBucketCount; ++i)
+    buckets_[i] += other.buckets_[i];
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::mean() const noexcept {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::size_t Histogram::bucket_of_rank(std::uint64_t k) const noexcept {
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i];
+    if (k < cumulative) return i;
+  }
+  return kBucketCount - 1;  // unreachable for k < count_
+}
+
+QuantileEstimate Histogram::quantile_bounds(double q) const noexcept {
+  QuantileEstimate out;
+  if (count_ == 0) {
+    out.estimate = std::numeric_limits<double>::quiet_NaN();
+    return out;
+  }
+  // The exact linear-interpolation quantile lies between the k_lo-th and
+  // k_hi-th smallest observations (util/stats::quantile_rank convention),
+  // so the buckets holding those two ranks bracket it.
+  const double rank = quantile_rank(count_, q);
+  const auto k_lo = static_cast<std::uint64_t>(rank);
+  const std::uint64_t k_hi =
+      rank > static_cast<double>(k_lo) ? std::min(k_lo + 1, count_ - 1) : k_lo;
+  const std::size_t b_lo = bucket_of_rank(k_lo);
+  const std::size_t b_hi = k_hi == k_lo ? b_lo : bucket_of_rank(k_hi);
+  out.lower = std::max(bucket_lower(b_lo), min());
+  out.upper = std::min(bucket_upper(b_hi), max());
+
+  // Point estimate: place each bracketing rank at its proportional
+  // position inside its (min/max-clamped) bucket, then interpolate.
+  const auto estimate_at = [this](std::uint64_t k, std::size_t b) {
+    std::uint64_t before = 0;
+    for (std::size_t i = 0; i < b; ++i) before += buckets_[i];
+    const double lo = static_cast<double>(std::max(bucket_lower(b), min()));
+    const double hi = static_cast<double>(std::min(bucket_upper(b), max()));
+    const double local = (static_cast<double>(k - before) + 0.5) /
+                         static_cast<double>(buckets_[b]);
+    return lo + local * (hi - lo);
+  };
+  const double at_lo = estimate_at(k_lo, b_lo);
+  const double at_hi = k_hi == k_lo ? at_lo : estimate_at(k_hi, b_hi);
+  const double frac = rank - static_cast<double>(k_lo);
+  out.estimate = std::clamp(at_lo + frac * (at_hi - at_lo),
+                            static_cast<double>(out.lower),
+                            static_cast<double>(out.upper));
+  return out;
+}
+
+HistogramState Histogram::state() const noexcept {
+  HistogramState s;
+  s.buckets = buckets_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max_;
+  return s;
+}
+
+std::optional<Histogram> Histogram::from_state(
+    const HistogramState& state) noexcept {
+  std::uint64_t count = 0;
+  std::size_t lowest = kHistogramBuckets;
+  std::size_t highest = 0;
+  // Achievable range of `sum` given the bucket occupancy; sum_floor
+  // saturating past u64 means no u64 sum can be valid.
+  std::uint64_t sum_floor = 0;
+  std::uint64_t sum_ceil = 0;
+  bool floor_overflow = false;
+  bool ceil_overflow = false;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    const std::uint64_t n = state.buckets[i];
+    if (n == 0) continue;
+    count += n;
+    if (lowest == kHistogramBuckets) lowest = i;
+    highest = i;
+    std::uint64_t term = 0;
+    if (__builtin_mul_overflow(n, Histogram::bucket_lower(i), &term) ||
+        __builtin_add_overflow(sum_floor, term, &sum_floor))
+      floor_overflow = true;
+    if (__builtin_mul_overflow(n, Histogram::bucket_upper(i), &term) ||
+        __builtin_add_overflow(sum_ceil, term, &sum_ceil))
+      ceil_overflow = true;
+  }
+  if (count == 0) {
+    if (state.sum != 0) return std::nullopt;
+    return Histogram{};
+  }
+  if (state.min > state.max) return std::nullopt;
+  if (bucket_index(state.min) != lowest) return std::nullopt;
+  if (bucket_index(state.max) != highest) return std::nullopt;
+  if (floor_overflow || state.sum < sum_floor) return std::nullopt;
+  if (!ceil_overflow && state.sum > sum_ceil) return std::nullopt;
+
+  Histogram h;
+  h.buckets_ = state.buckets;
+  h.count_ = count;
+  h.sum_ = state.sum;
+  h.min_ = state.min;
+  h.max_ = state.max;
+  return h;
+}
+
+}  // namespace fbc::obs

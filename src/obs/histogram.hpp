@@ -1,0 +1,134 @@
+// Fixed-boundary log2-bucket histogram: the one distribution container
+// every latency / work-count metric in this codebase records into.
+//
+// Design constraints (docs/OBSERVABILITY.md):
+//
+//   O(1) record    bucket index is std::bit_width of the value -- no
+//                  search, no allocation, no floating point;
+//   exact merge    bucket counts, count, sum, min and max all add or
+//                  min/max exactly, so merging per-thread or per-shard
+//                  histograms is associative and commutative and loses
+//                  nothing (unlike sampled reservoirs);
+//   fixed bounds   bucket boundaries are powers of two, identical in
+//                  every process forever, so histograms serialized by an
+//                  old server merge cleanly into a new reader.
+//
+// Bucket i covers [2^(i-1), 2^i); bucket 0 holds exactly the value 0 and
+// the last bucket is closed at UINT64_MAX. Quantiles from buckets are
+// *estimates*: quantile_bounds() returns hard [lower, upper] bounds that
+// provably bracket the exact sample quantile (util/stats::quantile over
+// the raw observations) plus an interpolated point estimate. The rank
+// convention funnels through util/stats::quantile_rank -- the single
+// audited percentile implementation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace fbc::obs {
+
+/// Bucket 0 plus one bucket per bit of a u64 value.
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+/// Hard bounds plus point estimate for one histogram quantile.
+struct QuantileEstimate {
+  /// The exact sample quantile is >= lower ...
+  std::uint64_t lower = 0;
+  /// ... and <= upper (both inclusive, clamped by observed min/max).
+  std::uint64_t upper = 0;
+  /// Linear interpolation inside the bracketing buckets; NaN when empty.
+  double estimate = 0.0;
+};
+
+/// Raw state of a Histogram, for serialization (see Histogram::state /
+/// Histogram::from_state).
+struct HistogramState {
+  std::array<std::uint64_t, kHistogramBuckets> buckets = {};
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< meaningless when every bucket is zero
+  std::uint64_t max = 0;  ///< meaningless when every bucket is zero
+};
+
+/// Log2-bucket histogram over unsigned 64-bit values (see file comment).
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = kHistogramBuckets;
+
+  /// Bucket index of `value`: 0 for 0, otherwise 1 + floor(log2(value)).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept;
+
+  /// Smallest value that lands in bucket `i` (0 for bucket 0).
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t i) noexcept;
+
+  /// Largest value that lands in bucket `i` (inclusive).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t i) noexcept;
+
+  /// Records one observation. O(1), never fails.
+  void record(std::uint64_t value) noexcept;
+
+  /// Adds `other`'s observations into this histogram. Exact: the result
+  /// is identical to having recorded both observation streams into one
+  /// histogram, in any order (associative and commutative).
+  void merge(const Histogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  /// Smallest observation; 0 when empty.
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ == 0 ? 0 : min_;
+  }
+  /// Largest observation; 0 when empty.
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Exact mean (sum / count); 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Count recorded into bucket `i`.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i];
+  }
+
+  /// Bounds + point estimate of the q-quantile (rank convention:
+  /// util/stats::quantile_rank). For the same observations,
+  /// util/stats::quantile is guaranteed to lie in [lower, upper].
+  /// Empty histogram: {0, 0, NaN}.
+  [[nodiscard]] QuantileEstimate quantile_bounds(double q) const noexcept;
+
+  /// Point estimate of the q-quantile (quantile_bounds().estimate).
+  [[nodiscard]] double quantile(double q) const noexcept {
+    return quantile_bounds(q).estimate;
+  }
+
+  /// Serializable raw state.
+  [[nodiscard]] HistogramState state() const noexcept;
+
+  /// Rebuilds a histogram from raw state, validating internal
+  /// consistency: min/max must land in the lowest/highest occupied
+  /// buckets, sum must be achievable from the bucket occupancy, and an
+  /// empty histogram must carry sum == 0. Returns nullopt for
+  /// inconsistent state (the wire decoder turns that into a
+  /// ProtocolError).
+  [[nodiscard]] static std::optional<Histogram> from_state(
+      const HistogramState& state) noexcept;
+
+  friend bool operator==(const Histogram& a, const Histogram& b) noexcept {
+    return a.count_ == b.count_ && a.sum_ == b.sum_ &&
+           a.buckets_ == b.buckets_ &&
+           (a.count_ == 0 || (a.min_ == b.min_ && a.max_ == b.max_));
+  }
+
+ private:
+  /// Index of the bucket holding the k-th (0-based) smallest observation.
+  [[nodiscard]] std::size_t bucket_of_rank(std::uint64_t k) const noexcept;
+
+  std::array<std::uint64_t, kBucketCount> buckets_ = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace fbc::obs

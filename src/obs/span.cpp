@@ -1,0 +1,44 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace fbc::obs {
+
+SpanRecorder::SpanRecorder(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void SpanRecorder::record(const ServingSpan& span) {
+  std::lock_guard lock(mu_);
+  ++recorded_;
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_] = span;
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<ServingSpan> SpanRecorder::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<ServingSpan> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, next_ points at the oldest element.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  return out;
+}
+
+std::uint64_t SpanRecorder::recorded() const noexcept {
+  std::lock_guard lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t SpanRecorder::dropped() const noexcept {
+  std::lock_guard lock(mu_);
+  const std::uint64_t held = ring_.size();
+  return recorded_ - std::min(recorded_, held);
+}
+
+}  // namespace fbc::obs

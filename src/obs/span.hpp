@@ -1,0 +1,65 @@
+// Per-request serving spans: the narrow-waist record of what one acquire
+// cost, stage by stage (enqueue -> admit -> reserve -> fetch -> grant).
+//
+// Histograms aggregate; spans explain. When a histogram shows a p99
+// spike, the SpanRecorder's bounded ring holds the most recent N raw
+// spans so a debugger can see *which* requests were slow and in which
+// stage. The ring is deliberately lossy-oldest-first and fixed-capacity:
+// recording is O(1), never allocates after construction, and can never
+// grow without bound under load.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fbc::obs {
+
+/// One completed (or rejected) acquire, with per-stage durations in
+/// microseconds. Stages that never ran (e.g. fetch on a full-hit, or
+/// everything after a QueueFull rejection) are zero.
+struct ServingSpan {
+  std::uint64_t request_id = 0;    ///< server-assigned, monotonic
+  std::uint32_t files = 0;         ///< bundle size in files
+  std::uint64_t bundle_bytes = 0;  ///< total bytes of the bundle
+  std::uint64_t missing_bytes = 0; ///< bytes fetched for this admission
+  std::uint32_t queue_depth = 0;   ///< waiters ahead at enqueue time
+  std::uint64_t queue_us = 0;      ///< enqueue -> admission decision
+  std::uint64_t reserve_us = 0;    ///< admission -> space reserved
+  std::uint64_t fetch_us = 0;      ///< reserve -> bundle resident
+  std::uint64_t total_us = 0;      ///< enqueue -> grant (or rejection)
+  std::uint8_t status = 0;         ///< AcquireStatus of the outcome
+};
+
+/// Fixed-capacity ring of the most recent spans. Thread-safe; all
+/// operations take one internal mutex (recording is a few stores, so the
+/// critical section is tiny even under TSan).
+class SpanRecorder {
+ public:
+  /// `capacity` == 0 disables recording entirely (recorded() still counts).
+  explicit SpanRecorder(std::size_t capacity);
+
+  /// Appends one span, evicting the oldest when full. O(1).
+  void record(const ServingSpan& span);
+
+  /// Spans currently held, oldest first.
+  [[nodiscard]] std::vector<ServingSpan> snapshot() const;
+
+  /// Total spans ever recorded (including evicted ones).
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+
+  /// Spans lost to eviction (recorded() minus what snapshot() can return).
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<ServingSpan> ring_;  ///< guarded by mu_
+  std::size_t next_ = 0;           ///< guarded by mu_; write cursor
+  std::uint64_t recorded_ = 0;     ///< guarded by mu_
+};
+
+}  // namespace fbc::obs

@@ -50,4 +50,13 @@ ServiceStats BundleClient::stats() {
   return msg->stats;
 }
 
+MetricsSnapshot BundleClient::metrics() {
+  Message reply = round_trip(MetricsRequestMsg{});
+  auto* msg = std::get_if<MetricsReplyMsg>(&reply);
+  if (msg == nullptr)
+    throw ProtocolError(std::string("expected MetricsReply, got ") +
+                        to_string(message_type(reply)));
+  return std::move(msg->metrics);
+}
+
 }  // namespace fbc::service

@@ -31,6 +31,11 @@ class BundleClient {
   /// Fetches the server's stats snapshot.
   [[nodiscard]] ServiceStats stats();
 
+  /// Fetches the server's full observability snapshot (stats, counters,
+  /// per-stage histograms). Histograms arrive validated: the decoder
+  /// rejects inconsistent bucket state as a ProtocolError.
+  [[nodiscard]] MetricsSnapshot metrics();
+
   /// Closes the connection (leases still held are reclaimed server-side).
   void disconnect() noexcept { fd_.reset(); }
 

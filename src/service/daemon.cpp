@@ -81,6 +81,8 @@ void BundleDaemon::serve_connection(int raw_fd) {
         reply = ReleaseReplyMsg{ok};
       } else if (std::holds_alternative<StatsRequestMsg>(*message)) {
         reply = StatsReplyMsg{server_.stats()};
+      } else if (std::holds_alternative<MetricsRequestMsg>(*message)) {
+        reply = MetricsReplyMsg{server_.metrics()};
       } else {
         // Reply types are server-to-client only.
         throw ProtocolError(std::string("unexpected client message ") +

@@ -46,6 +46,13 @@ class Reader {
     return lo | hi << 32;
   }
 
+  std::string str(std::size_t n) {
+    need(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
   void finish() const {
     if (pos_ != bytes_.size())
       throw ProtocolError("trailing bytes in payload");
@@ -106,6 +113,109 @@ ServiceStats decode_stats(Reader* in) {
   return s;
 }
 
+bool valid_metric_name(const std::string& name) {
+  if (name.empty() || name.size() > kMaxMetricNameBytes) return false;
+  for (char c : name)
+    if (c < 0x21 || c > 0x7e) return false;  // graphic ASCII only
+  return true;
+}
+
+void encode_metric_name(std::vector<std::uint8_t>* out,
+                        const std::string& name) {
+  if (!valid_metric_name(name))
+    throw ProtocolError("unencodable metric name \"" + name + "\"");
+  put_u8(out, static_cast<std::uint8_t>(name.size()));
+  out->insert(out->end(), name.begin(), name.end());
+}
+
+std::string decode_metric_name(Reader* in) {
+  const std::uint8_t len = in->u8();
+  std::string name = in->str(len);
+  if (!valid_metric_name(name))
+    throw ProtocolError("invalid metric name");
+  return name;
+}
+
+void encode_metrics(std::vector<std::uint8_t>* out, const MetricsSnapshot& m) {
+  encode_stats(out, m.stats);
+  if (m.counters.size() > kMaxMetricsCounters)
+    throw ProtocolError("too many counters to encode");
+  put_u32(out, static_cast<std::uint32_t>(m.counters.size()));
+  for (const auto& [name, value] : m.counters) {
+    encode_metric_name(out, name);
+    put_u64(out, value);
+  }
+  if (m.histograms.size() > kMaxMetricsHistograms)
+    throw ProtocolError("too many histograms to encode");
+  put_u8(out, static_cast<std::uint8_t>(m.histograms.size()));
+  for (const auto& named : m.histograms) {
+    encode_metric_name(out, named.name);
+    const obs::HistogramState state = named.hist.state();
+    put_u64(out, state.sum);
+    put_u64(out, state.min);
+    put_u64(out, state.max);
+    std::uint8_t nonzero = 0;
+    for (std::uint64_t c : state.buckets)
+      if (c != 0) ++nonzero;
+    put_u8(out, nonzero);
+    for (std::size_t i = 0; i < obs::kHistogramBuckets; ++i) {
+      if (state.buckets[i] == 0) continue;
+      put_u8(out, static_cast<std::uint8_t>(i));
+      put_u64(out, state.buckets[i]);
+    }
+  }
+}
+
+MetricsSnapshot decode_metrics(Reader* in) {
+  MetricsSnapshot m;
+  m.stats = decode_stats(in);
+  const std::uint32_t counter_count = in->u32();
+  if (counter_count > kMaxMetricsCounters)
+    throw ProtocolError("counter count exceeds the metrics cap");
+  m.counters.reserve(counter_count);
+  for (std::uint32_t i = 0; i < counter_count; ++i) {
+    std::string name = decode_metric_name(in);
+    if (i > 0 && name <= m.counters.back().first)
+      throw ProtocolError("counter names not strictly increasing");
+    m.counters.emplace_back(std::move(name), in->u64());
+  }
+  const std::uint8_t hist_count = in->u8();
+  if (hist_count > kMaxMetricsHistograms)
+    throw ProtocolError("histogram count exceeds the metrics cap");
+  m.histograms.reserve(hist_count);
+  for (std::uint8_t i = 0; i < hist_count; ++i) {
+    NamedHistogram named;
+    named.name = decode_metric_name(in);
+    if (i > 0 && named.name <= m.histograms.back().name)
+      throw ProtocolError("histogram names not strictly increasing");
+    obs::HistogramState state;
+    state.sum = in->u64();
+    state.min = in->u64();
+    state.max = in->u64();
+    const std::uint8_t nonzero = in->u8();
+    if (nonzero > obs::kHistogramBuckets)
+      throw ProtocolError("histogram bucket count out of range");
+    int prev = -1;
+    for (std::uint8_t b = 0; b < nonzero; ++b) {
+      const std::uint8_t index = in->u8();
+      if (index >= obs::kHistogramBuckets || static_cast<int>(index) <= prev)
+        throw ProtocolError("histogram bucket index out of order");
+      const std::uint64_t count = in->u64();
+      if (count == 0)
+        throw ProtocolError("histogram bucket with zero count");
+      state.buckets[index] = count;
+      prev = index;
+    }
+    std::optional<obs::Histogram> hist = obs::Histogram::from_state(state);
+    if (!hist)
+      throw ProtocolError("inconsistent histogram state for \"" + named.name +
+                          "\"");
+    named.hist = *hist;
+    m.histograms.push_back(std::move(named));
+  }
+  return m;
+}
+
 AcquireStatus decode_status(std::uint8_t raw) {
   if (raw > static_cast<std::uint8_t>(AcquireStatus::Closed))
     throw ProtocolError("unknown acquire status " + std::to_string(raw));
@@ -146,6 +256,12 @@ void encode_payload(const Message& message, std::vector<std::uint8_t>* out) {
       encode_stats(out, std::get<StatsReplyMsg>(message).stats);
       return;
     }
+    case MsgType::MetricsRequest:
+      return;  // empty payload
+    case MsgType::MetricsReply: {
+      encode_metrics(out, std::get<MetricsReplyMsg>(message).metrics);
+      return;
+    }
   }
   throw ProtocolError("unencodable message type");
 }
@@ -161,6 +277,8 @@ const char* to_string(MsgType type) noexcept {
     case MsgType::ReleaseReply: return "ReleaseReply";
     case MsgType::StatsRequest: return "StatsRequest";
     case MsgType::StatsReply: return "StatsReply";
+    case MsgType::MetricsRequest: return "MetricsRequest";
+    case MsgType::MetricsReply: return "MetricsReply";
   }
   return "?";
 }
@@ -208,7 +326,7 @@ FrameHeader decode_header(std::span<const std::uint8_t> bytes) {
                         " exceeds the frame cap");
   const std::uint8_t raw_type = bytes[4];
   if (raw_type < static_cast<std::uint8_t>(MsgType::AcquireRequest) ||
-      raw_type > static_cast<std::uint8_t>(MsgType::StatsReply))
+      raw_type > static_cast<std::uint8_t>(MsgType::MetricsReply))
     throw ProtocolError("unknown message type " + std::to_string(raw_type));
   header.type = static_cast<MsgType>(raw_type);
   return header;
@@ -259,6 +377,16 @@ Message decode_payload(MsgType type, std::span<const std::uint8_t> payload) {
     case MsgType::StatsReply: {
       StatsReplyMsg m;
       m.stats = decode_stats(&in);
+      in.finish();
+      return m;
+    }
+    case MsgType::MetricsRequest: {
+      in.finish();
+      return MetricsRequestMsg{};
+    }
+    case MsgType::MetricsReply: {
+      MetricsReplyMsg m;
+      m.metrics = decode_metrics(&in);
       in.finish();
       return m;
     }

@@ -6,11 +6,12 @@
 //   | payload_len u32| type u8| payload (payload_len B)|
 //   +----------------+--------+------------------------+
 //
-// The protocol is deliberately minimal -- three request/reply pairs
-// (acquire a bundle lease, release a lease, snapshot server stats) -- and
-// strictly client-initiated: the server sends exactly one reply frame per
-// request frame. Unknown message types and oversized or truncated frames
-// are protocol errors; the server closes the connection.
+// The protocol is deliberately minimal -- four request/reply pairs
+// (acquire a bundle lease, release a lease, snapshot server stats, export
+// an observability metrics snapshot) -- and strictly client-initiated: the
+// server sends exactly one reply frame per request frame. Unknown message
+// types and oversized or truncated frames are protocol errors; the server
+// closes the connection.
 //
 // Every MsgType enumerator must be handled by the encoder and decoder
 // switches in protocol.cpp; fbclint's L003 rule checks that completeness.
@@ -25,6 +26,8 @@
 #include <vector>
 
 #include "cache/types.hpp"
+#include "obs/counter.hpp"
+#include "obs/histogram.hpp"
 
 namespace fbc::service {
 
@@ -39,6 +42,8 @@ enum class MsgType : std::uint8_t {
   ReleaseReply = 4,
   StatsRequest = 5,
   StatsReply = 6,
+  MetricsRequest = 7,
+  MetricsReply = 8,
 };
 
 /// Outcome of an acquire call (one byte on the wire).
@@ -77,7 +82,36 @@ struct ServiceStats {
   std::uint64_t used_bytes = 0;
   std::uint64_t capacity_bytes = 0;
   std::uint64_t resident_files = 0;
+
+  bool operator==(const ServiceStats&) const = default;
 };
+
+/// One exported histogram, keyed by a stable metric name
+/// ("acquire.queue_us", "acquire.total_us", ...).
+struct NamedHistogram {
+  std::string name;
+  obs::Histogram hist;
+
+  bool operator==(const NamedHistogram&) const = default;
+};
+
+/// Full observability snapshot exported by MsgType::MetricsReply: the
+/// plain stats counters plus named counters and latency/size histograms.
+/// Wire format is documented in docs/OBSERVABILITY.md; every histogram is
+/// validated through obs::Histogram::from_state on decode.
+struct MetricsSnapshot {
+  ServiceStats stats;
+  std::vector<obs::CounterSample> counters;    ///< sorted by name
+  std::vector<NamedHistogram> histograms;      ///< sorted by name
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// Encoder-side caps mirrored by the decoder; frames outside these bounds
+/// are protocol errors in both directions.
+inline constexpr std::size_t kMaxMetricsCounters = 1024;
+inline constexpr std::size_t kMaxMetricsHistograms = 64;
+inline constexpr std::size_t kMaxMetricNameBytes = 64;
 
 // -- message payloads ------------------------------------------------------
 
@@ -114,9 +148,16 @@ struct StatsReplyMsg {
   ServiceStats stats;
 };
 
+struct MetricsRequestMsg {};
+
+struct MetricsReplyMsg {
+  MetricsSnapshot metrics;
+};
+
 using Message =
     std::variant<AcquireRequestMsg, AcquireReplyMsg, ReleaseRequestMsg,
-                 ReleaseReplyMsg, StatsRequestMsg, StatsReplyMsg>;
+                 ReleaseReplyMsg, StatsRequestMsg, StatsReplyMsg,
+                 MetricsRequestMsg, MetricsReplyMsg>;
 
 /// Frame type of a message value.
 [[nodiscard]] MsgType message_type(const Message& message) noexcept;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <unordered_set>
@@ -23,6 +24,14 @@ std::chrono::milliseconds backoff_for(std::uint32_t base_ms,
       static_cast<std::uint64_t>(base_ms) << shift);
 }
 
+/// Elapsed microseconds between two steady_clock instants, clamped to 0.
+std::uint64_t us_between(Clock::time_point from, Clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
 }  // namespace
 
 AdmitOrder parse_admit_order(const std::string& name) {
@@ -38,7 +47,8 @@ BundleServer::BundleServer(const ServiceConfig& config,
       mss_(&mss),
       transfers_{.max_parallel = config.transfer_streams},
       cache_(config.cache_bytes, mss.catalog()),
-      fail_rng_(config.seed ^ 0xf3f3f3f3f3f3f3f3ULL) {
+      fail_rng_(config.seed ^ 0xf3f3f3f3f3f3f3f3ULL),
+      spans_(config.span_capacity) {
   if (config_.max_queue == 0)
     throw std::invalid_argument("BundleServer: max_queue must be >= 1");
   PolicyContext context;
@@ -124,6 +134,11 @@ LeaseId BundleServer::admit_locked(const Request& request, Bytes bundle_bytes,
 }
 
 AcquireResult BundleServer::acquire(const Request& request) {
+  const auto t0 = Clock::now();
+  obs::ServingSpan span;
+  span.request_id = request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  span.files = static_cast<std::uint32_t>(request.size());
+
   AcquireResult result;
   const FileCatalog& catalog = mss_->catalog();
   const bool valid =
@@ -134,28 +149,47 @@ AcquireResult BundleServer::acquire(const Request& request) {
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_) {
     result.status = AcquireStatus::Closed;
+    span.total_us = us_between(t0, Clock::now());
+    finish_span(span, result.status, "acquire.closed");
     return result;
   }
   if (!valid) {
     ++invalid_;
     result.status = AcquireStatus::InvalidRequest;
+    span.total_us = us_between(t0, Clock::now());
+    finish_span(span, result.status, "acquire.invalid");
     return result;
   }
   const Bytes bundle_bytes = catalog.request_bytes(request);
+  span.bundle_bytes = bundle_bytes;
   if (bundle_bytes > cache_.capacity()) {
     metrics_.record_unserviceable();
     result.status = AcquireStatus::Unserviceable;
+    span.total_us = us_between(t0, Clock::now());
+    finish_span(span, result.status, "acquire.unserviceable");
     return result;
   }
   if (queue_.size() >= config_.max_queue) {
     ++rejected_full_;
     result.status = AcquireStatus::QueueFull;
-    // Load-proportional hint: deeper queue, longer suggested wait.
-    result.retry_after_ms = static_cast<std::uint32_t>(
+    // Load-proportional hint: deeper queue, longer suggested wait. The
+    // product is computed in 64 bits and saturated at the config cap (and
+    // at UINT32_MAX, the wire field's range) -- a large backoff times a
+    // deep queue must never wrap into a tiny hint (a retry storm).
+    const std::uint64_t hint =
         std::max<std::uint64_t>(1, config_.retry_backoff_ms) *
-        (1 + queue_.size()));
+        (1 + static_cast<std::uint64_t>(queue_.size()));
+    const std::uint64_t cap =
+        config_.retry_after_cap_ms == 0
+            ? std::numeric_limits<std::uint32_t>::max()
+            : config_.retry_after_cap_ms;
+    result.retry_after_ms = static_cast<std::uint32_t>(std::min(hint, cap));
+    span.queue_depth = static_cast<std::uint32_t>(queue_.size());
+    span.total_us = us_between(t0, Clock::now());
+    finish_span(span, result.status, "acquire.queue_full");
     return result;
   }
+  span.queue_depth = static_cast<std::uint32_t>(queue_.size());
 
   Waiter waiter{&request, bundle_bytes, admissions_};
   queue_.push_back(&waiter);
@@ -171,6 +205,9 @@ AcquireResult BundleServer::acquire(const Request& request) {
     if (closed_) {
       leave_queue();
       result.status = AcquireStatus::Closed;
+      span.queue_us = us_between(t0, Clock::now());
+      span.total_us = span.queue_us;
+      finish_span(span, result.status, "acquire.closed");
       return result;
     }
     if (queue_[choose_locked()] == &waiter && fits_locked(request)) {
@@ -185,6 +222,9 @@ AcquireResult BundleServer::acquire(const Request& request) {
           leave_queue();
           result.status = AcquireStatus::TransferFailed;
           result.retries = failed_attempts - 1;
+          span.queue_us = us_between(t0, Clock::now());
+          span.total_us = span.queue_us;
+          finish_span(span, result.status, "acquire.transfer_failed");
           return result;
         }
         ++transfer_retries_;
@@ -202,18 +242,25 @@ AcquireResult BundleServer::acquire(const Request& request) {
       ++timed_out_;
       result.status = AcquireStatus::TimedOut;
       result.retries = failed_attempts;
+      span.queue_us = us_between(t0, Clock::now());
+      span.total_us = span.queue_us;
+      finish_span(span, result.status, "acquire.timed_out");
       return result;
     }
   }
 
+  const auto t_admit = Clock::now();
   queue_.erase(std::find(queue_.begin(), queue_.end(), &waiter));
   metrics_.record_queue_wait(
       static_cast<double>(admissions_ - waiter.admissions_at_enqueue));
+  span.missing_bytes = cache_.missing_bytes(request);
   double stage_s = 0.0;
   result.lease = admit_locked(request, bundle_bytes, &result.request_hit,
                               &stage_s);
   ++admissions_;
   cv_.notify_all();
+  const auto t_reserved = Clock::now();
+  grant_times_.emplace(result.lease, t_reserved);
   lock.unlock();
 
   // Fetch phase: the bundle is reserved (pinned), so the simulated
@@ -224,15 +271,72 @@ AcquireResult BundleServer::acquire(const Request& request) {
   }
   result.status = AcquireStatus::Ok;
   result.retries = failed_attempts;
+
+  const auto t_end = Clock::now();
+  span.queue_us = us_between(t0, t_admit);
+  span.reserve_us = us_between(t_admit, t_reserved);
+  span.fetch_us = us_between(t_reserved, t_end);
+  span.total_us = us_between(t0, t_end);
+  {
+    // Duration histograms are Ok-grants only: their counts tie to
+    // stats().requests once in-flight acquires have drained.
+    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    queue_us_.record(span.queue_us);
+    reserve_us_.record(span.reserve_us);
+    fetch_us_.record(span.fetch_us);
+    total_us_.record(span.total_us);
+    queue_depth_.record(span.queue_depth);
+  }
+  finish_span(span, result.status, "acquire.ok");
   return result;
 }
 
 bool BundleServer::release(LeaseId lease) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!leases_.release(lease, cache_)) return false;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!leases_.release(lease, cache_)) {
+    lock.unlock();
+    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    counters_.add("release.unknown");
+    return false;
+  }
   ++released_;
+  std::uint64_t held_us = 0;
+  if (auto it = grant_times_.find(lease); it != grant_times_.end()) {
+    held_us = us_between(it->second, Clock::now());
+    grant_times_.erase(it);
+  }
   cv_.notify_all();
+  lock.unlock();
+  std::lock_guard<std::mutex> obs_lock(obs_mu_);
+  counters_.add("release.ok");
+  hold_us_.record(held_us);
   return true;
+}
+
+void BundleServer::finish_span(obs::ServingSpan span, AcquireStatus status,
+                               std::string_view counter) {
+  span.status = static_cast<std::uint8_t>(status);
+  {
+    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    counters_.add(counter);
+  }
+  spans_.record(span);
+}
+
+MetricsSnapshot BundleServer::metrics() const {
+  MetricsSnapshot m;
+  m.stats = stats();
+  std::lock_guard<std::mutex> obs_lock(obs_mu_);
+  m.counters = counters_.snapshot();
+  // Names must stay lexicographically sorted: the wire encoder enforces
+  // strictly increasing histogram names (canonical frame form).
+  m.histograms.push_back({"acquire.fetch_us", fetch_us_});
+  m.histograms.push_back({"acquire.queue_depth", queue_depth_});
+  m.histograms.push_back({"acquire.queue_us", queue_us_});
+  m.histograms.push_back({"acquire.reserve_us", reserve_us_});
+  m.histograms.push_back({"acquire.total_us", total_us_});
+  m.histograms.push_back({"lease.hold_us", hold_us_});
+  return m;
 }
 
 ServiceStats BundleServer::stats() const {

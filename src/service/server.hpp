@@ -25,12 +25,16 @@
 // unchanged (audit() re-checks them independently).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.hpp"
@@ -38,6 +42,9 @@
 #include "cache/policy.hpp"
 #include "grid/backend.hpp"
 #include "grid/transfer.hpp"
+#include "obs/counter.hpp"
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "service/lease.hpp"
 #include "service/protocol.hpp"
 #include "util/rng.hpp"
@@ -82,6 +89,11 @@ struct ServiceConfig {
   std::size_t transfer_streams = 4;
   /// Seed for the failure-injection RNG and stochastic policies.
   std::uint64_t seed = 1;
+  /// Upper bound on the QueueFull retry-after hint; 0 means no cap beyond
+  /// the UINT32_MAX saturation of the wire field.
+  std::uint32_t retry_after_cap_ms = 60000;
+  /// Most recent per-request spans kept for debugging (0 disables).
+  std::size_t span_capacity = 1024;
 };
 
 /// Result of one acquire() call.
@@ -119,6 +131,19 @@ class BundleServer {
   /// Consistent counter snapshot.
   [[nodiscard]] ServiceStats stats() const;
 
+  /// Full observability snapshot: stats() plus named counters and the
+  /// per-stage latency/size histograms (the MsgType::MetricsReply body).
+  /// Histogram counts tie to stats() once in-flight acquires have
+  /// returned: every acquire.* duration histogram then holds exactly
+  /// `requests` observations and lease.hold_us holds `leases_released`.
+  [[nodiscard]] MetricsSnapshot metrics() const;
+
+  /// Most recent per-request spans, oldest first (bounded by
+  /// ServiceConfig::span_capacity).
+  [[nodiscard]] std::vector<obs::ServingSpan> spans() const {
+    return spans_.snapshot();
+  }
+
   /// Independently re-checks the serving invariants (capacity accounting,
   /// lease pinning, residency of leased bundles, counter consistency) and
   /// returns human-readable violations -- empty when healthy. The checks
@@ -149,6 +174,12 @@ class BundleServer {
   LeaseId admit_locked(const Request& request, Bytes bundle_bytes,
                        bool* request_hit, double* stage_s);
 
+  /// Counts the outcome under obs_mu_ and records the span. Duration
+  /// histograms are recorded separately (Ok grants only) so their counts
+  /// tie exactly to stats().requests.
+  void finish_span(obs::ServingSpan span, AcquireStatus status,
+                   std::string_view counter);
+
   ServiceConfig config_;
   const StorageBackend* mss_;
   TransferModel transfers_;
@@ -169,6 +200,24 @@ class BundleServer {
   std::uint64_t transfer_failures_ = 0;
   std::uint64_t released_ = 0;
   bool closed_ = false;
+  /// Grant instant of each live lease, for the lease.hold_us histogram.
+  /// Guarded by mu_; lookups only (fbclint L005: never iterated).
+  std::unordered_map<LeaseId, std::chrono::steady_clock::time_point>
+      grant_times_;
+
+  std::atomic<std::uint64_t> request_seq_ = 0;
+
+  /// Observability state. Guarded by obs_mu_, which is always acquired
+  /// *after* mu_ (never the reverse) and held only for O(1) recording.
+  mutable std::mutex obs_mu_;
+  obs::CounterRegistry counters_;  ///< acquire.* / release.* outcomes
+  obs::Histogram queue_us_;        ///< enqueue -> admission decision
+  obs::Histogram reserve_us_;      ///< admission -> space reserved + leased
+  obs::Histogram fetch_us_;        ///< reserve -> bundle resident
+  obs::Histogram total_us_;        ///< enqueue -> grant
+  obs::Histogram hold_us_;         ///< grant -> release
+  obs::Histogram queue_depth_;     ///< waiters ahead at enqueue
+  obs::SpanRecorder spans_;        ///< bounded ring (config.span_capacity)
 };
 
 }  // namespace fbc::service

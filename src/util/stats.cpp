@@ -1,7 +1,6 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -55,13 +54,17 @@ double RunningStats::ci95_halfwidth() const noexcept {
   return 1.96 * stderr_mean();
 }
 
+double quantile_rank(std::size_t n, double q) noexcept {
+  if (n < 2) return 0.0;
+  return std::clamp(q, 0.0, 1.0) * static_cast<double>(n - 1);
+}
+
 double quantile(std::span<const double> values, double q) {
-  assert(!values.empty());
-  q = std::clamp(q, 0.0, 1.0);
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
-  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const double pos = quantile_rank(sorted.size(), q);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);

@@ -55,8 +55,21 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Fractional rank of the `q`-quantile in a sorted sample of `n`
+/// observations under the linear-interpolation convention used throughout
+/// this project: position q * (n - 1) into the 0-based sorted order, with
+/// `q` clamped to [0, 1]. Returns 0 for empty or single-element samples.
+///
+/// This is THE quantile convention. Every percentile consumer -- the
+/// batch quantile() below, obs::Histogram's bucket-walk estimate, the
+/// bench harness, fbcload -- derives its rank from here so that p95
+/// means the same thing in every report.
+[[nodiscard]] double quantile_rank(std::size_t n, double q) noexcept;
+
 /// Linear-interpolation quantile of `values` (the data is copied and
-/// sorted). `q` is clamped to [0, 1]. Precondition: values non-empty.
+/// sorted). `q` is clamped to [0, 1]. Total: an empty input returns
+/// quiet NaN (callers that cannot tolerate NaN must check emptiness
+/// themselves; formatting NaN renders as "nan", never UB).
 [[nodiscard]] double quantile(std::span<const double> values, double q);
 
 /// Arithmetic mean of `values`; 0 when empty.

@@ -1,0 +1,58 @@
+// Tests for CounterRegistry: add/value semantics, exact merge, and the
+// deterministic sorted snapshot the wire encoder depends on.
+#include "obs/counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fbc::obs {
+namespace {
+
+TEST(CounterRegistry, AddAndValue) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.value("acquire.ok"), 0u);
+  reg.add("acquire.ok");
+  reg.add("acquire.ok", 4);
+  reg.add("release.ok", 2);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.value("acquire.ok"), 5u);
+  EXPECT_EQ(reg.value("release.ok"), 2u);
+}
+
+TEST(CounterRegistry, SnapshotIsSortedByName) {
+  CounterRegistry reg;
+  reg.add("zeta", 1);
+  reg.add("alpha", 2);
+  reg.add("mid", 3);
+  const std::vector<CounterSample> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0], CounterSample("alpha", 2));
+  EXPECT_EQ(snap[1], CounterSample("mid", 3));
+  EXPECT_EQ(snap[2], CounterSample("zeta", 1));
+}
+
+TEST(CounterRegistry, MergeIsExact) {
+  CounterRegistry a, b, whole;
+  a.add("shared", 3);
+  a.add("only_a", 1);
+  b.add("shared", 4);
+  b.add("only_b", 9);
+  for (const auto& [name, v] :
+       std::vector<CounterSample>{{"shared", 7}, {"only_a", 1}, {"only_b", 9}})
+    whole.add(name, v);
+  a.merge(b);
+  EXPECT_EQ(a.snapshot(), whole.snapshot());
+  // Merging an empty registry is a no-op; merging into one adopts.
+  CounterRegistry empty;
+  a.merge(empty);
+  EXPECT_EQ(a.snapshot(), whole.snapshot());
+  empty.merge(whole);
+  EXPECT_EQ(empty.snapshot(), whole.snapshot());
+}
+
+}  // namespace
+}  // namespace fbc::obs

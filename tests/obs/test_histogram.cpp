@@ -1,0 +1,199 @@
+// Tests for the log2-bucket Histogram: bucket mapping, exact merge
+// algebra, quantile bracketing against util/stats::quantile, and
+// from_state validation (the wire decoder's consistency gate).
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fbc::obs {
+namespace {
+
+TEST(HistogramBuckets, IndexMapping) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<std::uint64_t>::max()),
+            64u);
+}
+
+TEST(HistogramBuckets, BoundsAreInclusiveAndAdjacent) {
+  EXPECT_EQ(Histogram::bucket_lower(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  for (std::size_t i = 1; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(Histogram::bucket_lower(i), Histogram::bucket_upper(i - 1) + 1)
+        << "bucket " << i;
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(i)), i);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper(i)), i);
+  }
+  EXPECT_EQ(Histogram::bucket_upper(Histogram::kBucketCount - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Histogram, RecordTracksCountSumMinMax) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  for (std::uint64_t v : {7u, 0u, 130u, 7u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 144u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 130u);
+  EXPECT_DOUBLE_EQ(h.mean(), 36.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // the 0
+  EXPECT_EQ(h.bucket_count(3), 2u);  // both 7s
+  EXPECT_EQ(h.bucket_count(8), 1u);  // 130 in [128, 256)
+}
+
+TEST(Histogram, MergeIsExact) {
+  Histogram a, b, whole;
+  for (std::uint64_t v : {1u, 5u, 9u}) {
+    a.record(v);
+    whole.record(v);
+  }
+  for (std::uint64_t v : {0u, 1000u}) {
+    b.record(v);
+    whole.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a, whole);
+}
+
+TEST(Histogram, MergeAssociativeAndCommutativeFuzzed) {
+  Rng rng(11);
+  for (int round = 0; round < 30; ++round) {
+    Histogram parts[3];
+    Histogram whole;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t v =
+          rng.uniform_u64(0, 1) == 0
+              ? rng.uniform_u64(0, 100)
+              : rng.uniform_u64(0, std::numeric_limits<std::uint32_t>::max());
+      parts[rng.uniform_u64(0, 2)].record(v);
+      whole.record(v);
+    }
+    // (a + b) + c
+    Histogram left = parts[0];
+    left.merge(parts[1]);
+    left.merge(parts[2]);
+    // c + (b + a)
+    Histogram right = parts[2];
+    Histogram inner = parts[1];
+    inner.merge(parts[0]);
+    right.merge(inner);
+    EXPECT_EQ(left, right);
+    EXPECT_EQ(left, whole);
+  }
+}
+
+TEST(Histogram, MergeWithEmptySides) {
+  Histogram a, empty;
+  a.record(42);
+  Histogram a_copy = a;
+  a.merge(empty);
+  EXPECT_EQ(a, a_copy);
+  empty.merge(a_copy);
+  EXPECT_EQ(empty, a_copy);
+}
+
+TEST(Histogram, QuantileBoundsBracketExactQuantileFuzzed) {
+  // The headline guarantee: for any sample and any q, the exact
+  // linear-interpolation quantile (util/stats::quantile over the raw
+  // values) lies within [lower, upper] of quantile_bounds(q), and the
+  // point estimate lies in the same bracket.
+  Rng rng(23);
+  for (int round = 0; round < 40; ++round) {
+    Histogram h;
+    std::vector<double> raw;
+    const int n = static_cast<int>(rng.uniform_u64(1, 400));
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t v = rng.uniform_u64(0, 1u << rng.uniform_u64(0, 31));
+      h.record(v);
+      raw.push_back(static_cast<double>(v));
+    }
+    for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+      const double exact = quantile(raw, q);
+      const QuantileEstimate bounds = h.quantile_bounds(q);
+      EXPECT_LE(static_cast<double>(bounds.lower), exact)
+          << "n=" << n << " q=" << q;
+      EXPECT_GE(static_cast<double>(bounds.upper), exact)
+          << "n=" << n << " q=" << q;
+      EXPECT_GE(bounds.estimate, static_cast<double>(bounds.lower));
+      EXPECT_LE(bounds.estimate, static_cast<double>(bounds.upper));
+    }
+  }
+}
+
+TEST(Histogram, EmptyQuantileIsNaN) {
+  Histogram h;
+  const QuantileEstimate bounds = h.quantile_bounds(0.5);
+  EXPECT_EQ(bounds.lower, 0u);
+  EXPECT_EQ(bounds.upper, 0u);
+  EXPECT_TRUE(std::isnan(bounds.estimate));
+  EXPECT_TRUE(std::isnan(h.quantile(0.99)));
+}
+
+TEST(Histogram, StateRoundTrip) {
+  Histogram h;
+  for (std::uint64_t v : {0u, 3u, 3u, 900u, 1u << 20}) h.record(v);
+  const auto back = Histogram::from_state(h.state());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, h);
+
+  const auto empty = Histogram::from_state(Histogram{}.state());
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(HistogramFromState, RejectsInconsistentState) {
+  Histogram h;
+  h.record(10);
+  h.record(100);
+
+  {
+    HistogramState s = h.state();
+    s.min = 3;  // bucket_index(3) != lowest occupied bucket
+    EXPECT_FALSE(Histogram::from_state(s).has_value());
+  }
+  {
+    HistogramState s = h.state();
+    s.max = 40;  // bucket_index(40) != highest occupied bucket
+    EXPECT_FALSE(Histogram::from_state(s).has_value());
+  }
+  {
+    HistogramState s = h.state();
+    s.min = 100;
+    s.max = 10;  // min > max
+    EXPECT_FALSE(Histogram::from_state(s).has_value());
+  }
+  {
+    HistogramState s = h.state();
+    s.sum = 5;  // below the bucket-occupancy floor (8 + 64)
+    EXPECT_FALSE(Histogram::from_state(s).has_value());
+  }
+  {
+    HistogramState s = h.state();
+    s.sum = 100000;  // above the bucket-occupancy ceiling (15 + 127)
+    EXPECT_FALSE(Histogram::from_state(s).has_value());
+  }
+  {
+    HistogramState s;  // all-zero buckets but a nonzero sum
+    s.sum = 1;
+    EXPECT_FALSE(Histogram::from_state(s).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace fbc::obs

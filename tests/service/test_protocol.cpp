@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
+
+#include "obs/histogram.hpp"
 
 namespace fbc::service {
 namespace {
@@ -100,12 +104,177 @@ TEST(Protocol, StatsPairRoundTrips) {
 TEST(Protocol, MessageTypeMatchesVariantOrder) {
   const Message messages[] = {AcquireRequestMsg{}, AcquireReplyMsg{},
                               ReleaseRequestMsg{}, ReleaseReplyMsg{},
-                              StatsRequestMsg{},   StatsReplyMsg{}};
+                              StatsRequestMsg{},   StatsReplyMsg{},
+                              MetricsRequestMsg{}, MetricsReplyMsg{}};
   const MsgType expected[] = {MsgType::AcquireRequest, MsgType::AcquireReply,
                               MsgType::ReleaseRequest, MsgType::ReleaseReply,
-                              MsgType::StatsRequest,   MsgType::StatsReply};
+                              MsgType::StatsRequest,   MsgType::StatsReply,
+                              MsgType::MetricsRequest, MsgType::MetricsReply};
   for (std::size_t i = 0; i < std::size(messages); ++i)
     EXPECT_EQ(message_type(messages[i]), expected[i]);
+}
+
+TEST(Protocol, MetricsRequestRoundTrips) {
+  EXPECT_TRUE(std::holds_alternative<MetricsRequestMsg>(
+      round_trip(MetricsRequestMsg{})));
+}
+
+TEST(Protocol, MetricsReplyRoundTrips) {
+  MetricsSnapshot m;
+  m.stats.requests = 7;
+  m.stats.leases_granted = 7;
+  m.stats.capacity_bytes = 1 << 30;
+  m.counters = {{"acquire.ok", 7}, {"release.ok", 5}};
+  obs::Histogram queue;
+  for (std::uint64_t v : {0u, 12u, 900u, 13u}) queue.record(v);
+  obs::Histogram hold;
+  hold.record(1u << 20);
+  m.histograms.push_back({"acquire.queue_us", queue});
+  m.histograms.push_back({"lease.hold_us", hold});
+
+  const Message decoded = round_trip(MetricsReplyMsg{m});
+  const auto& out = std::get<MetricsReplyMsg>(decoded);
+  EXPECT_EQ(out.metrics, m);  // exact: stats, counters and histograms
+}
+
+TEST(Protocol, MetricsReplyEmptySectionsRoundTrip) {
+  const Message decoded = round_trip(MetricsReplyMsg{});
+  const auto& out = std::get<MetricsReplyMsg>(decoded);
+  EXPECT_TRUE(out.metrics.counters.empty());
+  EXPECT_TRUE(out.metrics.histograms.empty());
+}
+
+namespace metrics_wire {
+
+/// Payload bytes of an encoded MetricsReply carrying `m`.
+std::vector<std::uint8_t> payload_of(const MetricsSnapshot& m) {
+  std::vector<std::uint8_t> frame;
+  encode_frame(MetricsReplyMsg{m}, &frame);
+  return {frame.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes),
+          frame.end()};
+}
+
+Message decode(const std::vector<std::uint8_t>& payload) {
+  return decode_payload(MsgType::MetricsReply,
+                        {payload.data(), payload.size()});
+}
+
+/// Snapshot with no counters and one single-sample histogram "h"
+/// (value 100, bucket 7). Fixed wire offsets inside the payload:
+///   [0,152)  stats (19 x u64)
+///   152      counter count (u32) == 0
+///   156      histogram count (u8) == 1
+///   157      name length (u8) == 1, 158 name byte 'h'
+///   159      sum u64, 167 min u64, 175 max u64
+///   183      nonzero bucket count (u8) == 1
+///   184      bucket index (u8) == 7, 185 bucket count u64 == 1
+MetricsSnapshot one_histogram() {
+  MetricsSnapshot m;
+  obs::Histogram h;
+  h.record(100);
+  m.histograms.push_back({"h", h});
+  return m;
+}
+
+}  // namespace metrics_wire
+
+TEST(Protocol, MetricsRejectsCounterNamesOutOfOrder) {
+  MetricsSnapshot m;
+  m.counters = {{"b", 1}, {"a", 2}};  // decoder requires strict order
+  EXPECT_THROW((void)metrics_wire::decode(metrics_wire::payload_of(m)),
+               ProtocolError);
+  m.counters = {{"dup", 1}, {"dup", 2}};  // duplicates are also rejected
+  EXPECT_THROW((void)metrics_wire::decode(metrics_wire::payload_of(m)),
+               ProtocolError);
+}
+
+TEST(Protocol, MetricsRejectsHistogramNamesOutOfOrder) {
+  MetricsSnapshot m;
+  obs::Histogram h;
+  h.record(1);
+  m.histograms.push_back({"b", h});
+  m.histograms.push_back({"a", h});
+  EXPECT_THROW((void)metrics_wire::decode(metrics_wire::payload_of(m)),
+               ProtocolError);
+}
+
+TEST(Protocol, MetricsEncoderRejectsOverCapSections) {
+  MetricsSnapshot counters;
+  for (std::size_t i = 0; i <= kMaxMetricsCounters; ++i)
+    counters.counters.emplace_back("c" + std::to_string(i), i);
+  std::vector<std::uint8_t> frame;
+  EXPECT_THROW(encode_frame(MetricsReplyMsg{counters}, &frame), ProtocolError);
+
+  MetricsSnapshot hists;
+  obs::Histogram h;
+  h.record(1);
+  for (std::size_t i = 0; i <= kMaxMetricsHistograms; ++i)
+    hists.histograms.push_back({"h" + std::to_string(i), h});
+  frame.clear();
+  EXPECT_THROW(encode_frame(MetricsReplyMsg{hists}, &frame), ProtocolError);
+}
+
+TEST(Protocol, MetricsEncoderRejectsBadNames) {
+  MetricsSnapshot m;
+  m.counters = {{"has space", 1}};  // 0x20 is outside graphic ASCII
+  std::vector<std::uint8_t> frame;
+  EXPECT_THROW(encode_frame(MetricsReplyMsg{m}, &frame), ProtocolError);
+}
+
+TEST(Protocol, MetricsRejectsBadBucketIndex) {
+  auto payload = metrics_wire::payload_of(metrics_wire::one_histogram());
+  payload[184] = 70;  // >= kHistogramBuckets
+  EXPECT_THROW((void)metrics_wire::decode(payload), ProtocolError);
+}
+
+TEST(Protocol, MetricsRejectsZeroBucketCount) {
+  auto payload = metrics_wire::payload_of(metrics_wire::one_histogram());
+  for (std::size_t i = 185; i < 193; ++i) payload[i] = 0;
+  EXPECT_THROW((void)metrics_wire::decode(payload), ProtocolError);
+}
+
+TEST(Protocol, MetricsRejectsInconsistentHistogramState) {
+  // min claims bucket 1 while the only occupied bucket is 7: the decode
+  // funnels through Histogram::from_state, which must refuse.
+  auto payload = metrics_wire::payload_of(metrics_wire::one_histogram());
+  payload[167] = 1;
+  EXPECT_THROW((void)metrics_wire::decode(payload), ProtocolError);
+
+  // sum below the bucket-occupancy floor is equally impossible.
+  payload = metrics_wire::payload_of(metrics_wire::one_histogram());
+  payload[159] = 1;
+  EXPECT_THROW((void)metrics_wire::decode(payload), ProtocolError);
+}
+
+TEST(Protocol, MetricsRejectsBadNameByteOnDecode) {
+  auto payload = metrics_wire::payload_of(metrics_wire::one_histogram());
+  payload[158] = 0x20;  // space: outside graphic ASCII
+  EXPECT_THROW((void)metrics_wire::decode(payload), ProtocolError);
+}
+
+TEST(Protocol, MetricsRejectsTruncationAndTrailingBytes) {
+  const auto payload = metrics_wire::payload_of(metrics_wire::one_histogram());
+  for (std::size_t cut : {std::size_t{1}, std::size_t{9}, std::size_t{40}}) {
+    ASSERT_LT(cut, payload.size());
+    EXPECT_THROW(
+        (void)decode_payload(MsgType::MetricsReply,
+                             {payload.data(), payload.size() - cut}),
+        ProtocolError);
+  }
+  auto trailing = payload;
+  trailing.push_back(0);
+  EXPECT_THROW((void)metrics_wire::decode(trailing), ProtocolError);
+}
+
+TEST(Protocol, MetricsRejectsOverCapCountsOnDecode) {
+  auto payload = metrics_wire::payload_of(metrics_wire::one_histogram());
+  payload[152] = 0xff;  // counter count -> 0xffff -> over kMaxMetricsCounters
+  payload[153] = 0xff;
+  EXPECT_THROW((void)metrics_wire::decode(payload), ProtocolError);
+
+  payload = metrics_wire::payload_of(metrics_wire::one_histogram());
+  payload[156] = 0xff;  // histogram count over kMaxMetricsHistograms
+  EXPECT_THROW((void)metrics_wire::decode(payload), ProtocolError);
 }
 
 TEST(Protocol, HeaderRejectsUnknownType) {

@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <future>
+#include <limits>
+#include <string_view>
 #include <thread>
+#include <vector>
 
 #include "grid/mss.hpp"
 
@@ -318,6 +322,201 @@ TEST(BundleServer, QueueWaitMetricCountsOvertakingAdmissions) {
   // The blocked request watched zero other admissions but still counts
   // as one serviced job.
   EXPECT_EQ(server.stats().requests, 2u);
+}
+
+// Regression for the retry-after truncation bug: the hint is computed in
+// 64 bits (backoff * (1 + queue depth)) and used to be static_cast down
+// to the u32 wire field. backoff = 2^31 with one waiter made the hint
+// exactly 2^32, which truncated to retry_after_ms == 0 -- "retry
+// immediately", the worst possible backpressure signal.
+TEST(BundleServer, RetryAfterSaturatesInsteadOfWrapping) {
+  FileCatalog catalog({600, 600, 600});
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1000;
+  config.max_queue = 1;
+  config.timeout_ms = 5000;
+  config.retry_backoff_ms = 2147483648u;  // 2^31
+  config.retry_after_cap_ms = 0;          // uncapped: saturate at u32 max
+  BundleServer server(config, mss);
+
+  const AcquireResult held = server.acquire(Request({0}));
+  ASSERT_EQ(held.status, AcquireStatus::Ok);
+  auto blocked = std::async(std::launch::async, [&server] {
+    return server.acquire(Request({1}));
+  });
+  wait_for_queue_depth(server, 1);
+
+  const AcquireResult rejected = server.acquire(Request({2}));
+  ASSERT_EQ(rejected.status, AcquireStatus::QueueFull);
+  EXPECT_EQ(rejected.retry_after_ms,
+            std::numeric_limits<std::uint32_t>::max());
+
+  EXPECT_TRUE(server.release(held.lease));
+  EXPECT_EQ(blocked.get().status, AcquireStatus::Ok);
+}
+
+TEST(BundleServer, RetryAfterHonorsConfiguredCap) {
+  FileCatalog catalog({600, 600, 600});
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1000;
+  config.max_queue = 1;
+  config.timeout_ms = 5000;
+  config.retry_backoff_ms = 2147483648u;
+  config.retry_after_cap_ms = 1234;
+  BundleServer server(config, mss);
+
+  const AcquireResult held = server.acquire(Request({0}));
+  ASSERT_EQ(held.status, AcquireStatus::Ok);
+  auto blocked = std::async(std::launch::async, [&server] {
+    return server.acquire(Request({1}));
+  });
+  wait_for_queue_depth(server, 1);
+
+  const AcquireResult rejected = server.acquire(Request({2}));
+  ASSERT_EQ(rejected.status, AcquireStatus::QueueFull);
+  EXPECT_EQ(rejected.retry_after_ms, 1234u);
+
+  EXPECT_TRUE(server.release(held.lease));
+  EXPECT_EQ(blocked.get().status, AcquireStatus::Ok);
+}
+
+TEST(BundleServer, MetricsTieToStatsWhenQuiescent) {
+  FileCatalog catalog = sized_catalog(5);
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1500;
+  BundleServer server(config, mss);
+
+  const AcquireResult miss = server.acquire(Request({0, 1}));
+  ASSERT_EQ(miss.status, AcquireStatus::Ok);
+  const AcquireResult hit = server.acquire(Request({0, 1}));
+  ASSERT_EQ(hit.status, AcquireStatus::Ok);
+  ASSERT_TRUE(server.release(miss.lease));
+  ASSERT_EQ(server.acquire(Request{}).status, AcquireStatus::InvalidRequest);
+
+  const MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.stats, server.stats());
+
+  const auto counter = [&m](std::string_view name) -> std::uint64_t {
+    for (const auto& [n, v] : m.counters)
+      if (n == name) return v;
+    return 0;
+  };
+  EXPECT_EQ(counter("acquire.ok"), m.stats.requests);
+  EXPECT_EQ(counter("acquire.invalid"), m.stats.invalid);
+  EXPECT_EQ(counter("release.ok"), m.stats.leases_released);
+  EXPECT_EQ(m.stats.requests, 2u);
+  EXPECT_EQ(m.stats.leases_released, 1u);
+
+  const auto histogram = [&m](std::string_view name) -> const obs::Histogram* {
+    for (const auto& named : m.histograms)
+      if (named.name == name) return &named.hist;
+    return nullptr;
+  };
+  // Every acquire.* duration histogram holds exactly one observation per
+  // granted request; lease.hold_us one per release.
+  for (const char* name : {"acquire.fetch_us", "acquire.queue_depth",
+                           "acquire.queue_us", "acquire.reserve_us",
+                           "acquire.total_us"}) {
+    const obs::Histogram* h = histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_EQ(h->count(), m.stats.requests) << name;
+  }
+  const obs::Histogram* hold = histogram("lease.hold_us");
+  ASSERT_NE(hold, nullptr);
+  EXPECT_EQ(hold->count(), m.stats.leases_released);
+
+  // Export order is lexicographic by name (the wire decoder enforces
+  // strictly increasing names).
+  for (std::size_t i = 1; i < m.histograms.size(); ++i)
+    EXPECT_LT(m.histograms[i - 1].name, m.histograms[i].name);
+  for (std::size_t i = 1; i < m.counters.size(); ++i)
+    EXPECT_LT(m.counters[i - 1].first, m.counters[i].first);
+}
+
+TEST(BundleServer, SpansRecordPerRequestStages) {
+  FileCatalog catalog = sized_catalog(5);
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1500;
+  config.span_capacity = 16;
+  BundleServer server(config, mss);
+
+  const AcquireResult miss = server.acquire(Request({0, 1}));
+  ASSERT_EQ(miss.status, AcquireStatus::Ok);
+  const AcquireResult hit = server.acquire(Request({0, 1}));
+  ASSERT_EQ(hit.status, AcquireStatus::Ok);
+  ASSERT_TRUE(server.release(hit.lease));
+
+  const std::vector<obs::ServingSpan> spans = server.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_LT(spans[0].request_id, spans[1].request_id);  // monotonic ids
+  for (const obs::ServingSpan& s : spans) {
+    EXPECT_EQ(s.status, static_cast<std::uint8_t>(AcquireStatus::Ok));
+    EXPECT_EQ(s.files, 2u);
+    EXPECT_EQ(s.bundle_bytes, 300u);
+    EXPECT_GE(s.total_us, s.queue_us);
+  }
+  EXPECT_EQ(spans[0].missing_bytes, 300u);  // cold miss fetched everything
+  EXPECT_EQ(spans[1].missing_bytes, 0u);    // full hit fetched nothing
+}
+
+TEST(BundleServer, SpanCapacityZeroDisablesTheRing) {
+  FileCatalog catalog = sized_catalog(3);
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1500;
+  config.span_capacity = 0;
+  BundleServer server(config, mss);
+
+  const AcquireResult r = server.acquire(Request({0}));
+  ASSERT_EQ(r.status, AcquireStatus::Ok);
+  EXPECT_TRUE(server.spans().empty());
+  // The histograms still record; only the raw span ring is disabled.
+  const MetricsSnapshot m = server.metrics();
+  for (const auto& named : m.histograms) {
+    if (named.name == "acquire.total_us") {
+      EXPECT_EQ(named.hist.count(), 1u);
+    }
+  }
+}
+
+TEST(BundleServer, QueueFullSpanAndCounter) {
+  FileCatalog catalog({600, 600, 600});
+  MassStorageSystem mss(default_tiers(), catalog);
+  ServiceConfig config;
+  config.cache_bytes = 1000;
+  config.max_queue = 1;
+  config.timeout_ms = 5000;
+  BundleServer server(config, mss);
+
+  const AcquireResult held = server.acquire(Request({0}));
+  ASSERT_EQ(held.status, AcquireStatus::Ok);
+  auto blocked = std::async(std::launch::async, [&server] {
+    return server.acquire(Request({1}));
+  });
+  wait_for_queue_depth(server, 1);
+  ASSERT_EQ(server.acquire(Request({2})).status, AcquireStatus::QueueFull);
+  EXPECT_TRUE(server.release(held.lease));
+  ASSERT_EQ(blocked.get().status, AcquireStatus::Ok);
+
+  const MetricsSnapshot m = server.metrics();
+  std::uint64_t queue_full = 0;
+  for (const auto& [n, v] : m.counters)
+    if (n == "acquire.queue_full") queue_full = v;
+  EXPECT_EQ(queue_full, m.stats.rejected_full);
+  EXPECT_EQ(queue_full, 1u);
+
+  bool saw_rejection_span = false;
+  for (const obs::ServingSpan& s : server.spans()) {
+    if (s.status == static_cast<std::uint8_t>(AcquireStatus::QueueFull)) {
+      saw_rejection_span = true;
+      EXPECT_EQ(s.fetch_us, 0u);  // rejected before any staging
+    }
+  }
+  EXPECT_TRUE(saw_rejection_span);
 }
 
 }  // namespace

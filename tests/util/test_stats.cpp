@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -72,6 +73,44 @@ TEST(RunningStats, MergeWithEmptySides) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeMatchesSequentialUnderFuzzedSplits) {
+  // Partition one stream into a random number of shards at random
+  // boundaries, merge the shards in order, and require the result to be
+  // indistinguishable from the single-pass accumulator.
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const int n = static_cast<int>(rng.uniform_u64(20, 500));
+    std::vector<double> values;
+    values.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      values.push_back(rng.uniform_double(-1e6, 1e6));
+
+    RunningStats whole;
+    for (double v : values) whole.add(v);
+
+    const int shards = static_cast<int>(rng.uniform_u64(1, 8));
+    RunningStats merged;
+    std::size_t at = 0;
+    for (int s = 0; s < shards; ++s) {
+      RunningStats shard;
+      const std::size_t end =
+          s + 1 == shards
+              ? values.size()
+              : std::min(values.size(),
+                         at + static_cast<std::size_t>(rng.uniform_u64(
+                                  0, static_cast<std::uint64_t>(n))));
+      for (; at < end; ++at) shard.add(values[at]);
+      merged.merge(shard);
+    }
+    ASSERT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-6);
+    EXPECT_NEAR(merged.variance(), whole.variance(),
+                1e-6 * std::max(1.0, whole.variance()));
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_EQ(merged.max(), whole.max());
+  }
+}
+
 TEST(RunningStats, Ci95ShrinksWithSamples) {
   RunningStats small, large;
   Rng rng(2);
@@ -102,6 +141,43 @@ TEST(Quantile, ClampsQ) {
 TEST(Quantile, SingleElement) {
   const std::vector<double> v{7.0};
   EXPECT_DOUBLE_EQ(quantile(v, 0.5), 7.0);
+}
+
+TEST(Quantile, EmptyReturnsNaN) {
+  // Total function: an empty sample must NOT be UB (the old
+  // assert-guarded version dereferenced sorted.front() under NDEBUG).
+  EXPECT_TRUE(std::isnan(quantile(std::vector<double>{}, 0.5)));
+  EXPECT_TRUE(std::isnan(quantile(std::vector<double>{}, 0.0)));
+  EXPECT_TRUE(std::isnan(quantile(std::vector<double>{}, 1.0)));
+}
+
+TEST(Quantile, TwoElements) {
+  const std::vector<double> v{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 20.0);
+}
+
+TEST(QuantileRank, Convention) {
+  EXPECT_DOUBLE_EQ(quantile_rank(0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_rank(1, 0.99), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_rank(101, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(quantile_rank(100, 0.95), 94.05);
+  EXPECT_DOUBLE_EQ(quantile_rank(5, -1.0), 0.0);  // q clamped
+  EXPECT_DOUBLE_EQ(quantile_rank(5, 2.0), 4.0);
+}
+
+TEST(Quantile, CrossImplementationRegression) {
+  // Pins the project-wide percentile semantics against the nearest-rank
+  // variant fbcload used to carry: for 1..100, linear interpolation gives
+  // p95 = 95.05 where nearest-rank reported 96. If this test starts
+  // failing, someone reintroduced a second percentile convention.
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(quantile(v, 0.95), 95.05);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.50), 50.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.99), 99.01);
+  EXPECT_NE(quantile(v, 0.95), 96.0);  // the old nearest-rank answer
 }
 
 TEST(MeanOf, Basics) {

@@ -1,6 +1,7 @@
 // fbcctl: single-shot control client for a running fbcd.
 //
 //   fbcctl --port=7401 stats
+//   fbcctl --port=7401 metrics
 //   fbcctl --port=7401 acquire --files=3,7,12
 //   fbcctl --port=7401 release --lease=42
 //
@@ -17,6 +18,7 @@
 #include "service/client.hpp"
 #include "util/bytes.hpp"
 #include "util/cli.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 using namespace fbc;
@@ -58,6 +60,27 @@ void print_stats(const service::ServiceStats& s) {
   table.print(std::cout);
 }
 
+void print_metrics(const service::MetricsSnapshot& m) {
+  print_stats(m.stats);
+
+  std::cout << "\n";
+  TextTable counters({"counter", "value"});
+  for (const auto& [name, value] : m.counters)
+    counters.add_row({name, std::to_string(value)});
+  counters.print(std::cout);
+
+  std::cout << "\n";
+  TextTable hists({"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+  for (const auto& named : m.histograms) {
+    const auto& h = named.hist;
+    hists.add_row({named.name, std::to_string(h.count()),
+                   format_double(h.mean()), format_double(h.quantile(0.50)),
+                   format_double(h.quantile(0.95)),
+                   format_double(h.quantile(0.99)), std::to_string(h.max())});
+  }
+  hists.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,8 +97,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  CliParser cli("fbcctl",
-                "One-shot fbcd client: fbcctl <stats|acquire|release> ...");
+  CliParser cli(
+      "fbcctl",
+      "One-shot fbcd client: fbcctl <stats|metrics|acquire|release> ...");
   cli.add_option("port", "fbcd port on 127.0.0.1", "7401");
   cli.add_option("files", "comma-separated file ids for acquire", "");
   cli.add_option("lease", "lease id for release", "0");
@@ -89,6 +113,10 @@ int main(int argc, char** argv) {
 
     if (command == "stats") {
       print_stats(client.stats());
+      return 0;
+    }
+    if (command == "metrics") {
+      print_metrics(client.metrics());
       return 0;
     }
     if (command == "acquire") {
@@ -113,7 +141,7 @@ int main(int argc, char** argv) {
       return ok ? 0 : 1;
     }
     throw std::invalid_argument("unknown command '" + command +
-                                "' (stats|acquire|release)");
+                                "' (stats|metrics|acquire|release)");
   } catch (const std::exception& e) {
     std::cerr << "fbcctl: error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,23 @@
+// Fixture obs counter registry: merge() is complete and the map member
+// is templated, so nothing here may fire -- pins the rule against false
+// positives on scalar names appearing as template arguments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace fx2 {
+
+class CounterRegistry {
+ public:
+  void merge(const CounterRegistry& other) {
+    for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+}  // namespace fx2

@@ -1,0 +1,28 @@
+// Fixture obs histogram: merge() forgets max_ -- a seeded L004
+// merge-completeness gap. The static bucket-count constant must NOT be
+// flagged (static members are not mergeable state).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fx2 {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 65;
+
+  void merge(const Histogram& other) noexcept {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = other.min_ < min_ ? other.min_ : min_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;  // fbclint:expect(L004) not merged
+};
+
+}  // namespace fx2

@@ -1,0 +1,16 @@
+// Fixture serving metrics export: metrics() reads the queue histogram
+// and the counters but forgets hold_us_ (the seeded L004 export gap in
+// server.hpp).
+#include "server.hpp"
+
+namespace fx2 {
+
+void export_histogram(const char* name, const Histogram* hist);
+void export_counters(const CounterRegistry* counters);
+
+void BundleServer::metrics() const {
+  export_histogram("queue_us", queue_us_);
+  export_counters(counters_);
+}
+
+}  // namespace fx2

@@ -372,6 +372,10 @@ ProjectModel build_model(std::vector<SourceFile> files) {
       model.protocol_hpp = static_cast<int>(i);
     if (path_ends_with(f.path, "service/protocol.cpp"))
       model.protocol_cpp = static_cast<int>(i);
+    if (path_ends_with(f.path, "obs/histogram.hpp"))
+      model.obs_histogram_hpp = static_cast<int>(i);
+    if (path_ends_with(f.path, "obs/counter.hpp"))
+      model.obs_counter_hpp = static_cast<int>(i);
     if (path_ends_with(f.path, "fbcd.cpp") ||
         path_ends_with(f.path, "fbcload.cpp") ||
         path_ends_with(f.path, "serving_common.hpp"))

@@ -88,6 +88,12 @@ struct ProjectModel {
   int service_hpp = -1;   // path ends service/server.hpp (ServiceConfig)
   int protocol_hpp = -1;  // path ends service/protocol.hpp (MsgType)
   int protocol_cpp = -1;  // path ends service/protocol.cpp (codec switches)
+  /// Observability headers: their merge()-owning classes (Histogram,
+  /// CounterRegistry) get the same L004 merge-completeness scan as
+  /// cache/metrics.hpp, and BundleServer's Histogram/CounterRegistry
+  /// members must all be exported by BundleServer::metrics().
+  int obs_histogram_hpp = -1;  // path ends obs/histogram.hpp
+  int obs_counter_hpp = -1;    // path ends obs/counter.hpp
   /// Serving-tool CLI surface: fbcd.cpp, fbcload.cpp and their shared
   /// serving_common.hpp. ServiceConfig fields must appear somewhere in
   /// this union (L003).

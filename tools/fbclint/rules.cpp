@@ -341,11 +341,124 @@ std::vector<Diagnostic> rule_registry_completeness(const ProjectModel& model) {
   return out;
 }
 
+namespace {
+
+/// L004 merge-completeness scan of one metrics-bearing header: every
+/// data member of a merge()-owning class must appear in the merge body,
+/// and scalar members need a default member initializer.
+void check_merge_completeness(const ProjectModel& model, int file_index,
+                              std::vector<Diagnostic>* out);
+
+}  // namespace
+
 std::vector<Diagnostic> rule_metrics_completeness(const ProjectModel& model) {
   std::vector<Diagnostic> out;
-  if (model.metrics_hpp < 0) return out;
-  const SourceFile& hpp =
-      model.files[static_cast<std::size_t>(model.metrics_hpp)];
+  // (a) Merge completeness over the aggregating-metrics headers: the
+  // cache accounting plus the obs distribution containers.
+  for (const int anchor :
+       {model.metrics_hpp, model.obs_histogram_hpp, model.obs_counter_hpp})
+    check_merge_completeness(model, anchor, &out);
+
+  // (b) Export completeness: every obs::Histogram / obs::CounterRegistry
+  // member of BundleServer must be read by BundleServer::metrics() -- an
+  // unexported distribution is recorded forever but can never leave the
+  // process over MsgType::MetricsReply.
+  if (model.service_hpp >= 0) {
+    const SourceFile& hpp =
+        model.files[static_cast<std::size_t>(model.service_hpp)];
+    const auto& toks = hpp.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!is_ident(toks[i], "class") ||
+          !is_ident(toks[i + 1], "BundleServer") ||
+          !is_punct(toks[i + 2], "{"))
+        continue;
+      const std::size_t body_open = i + 2;
+      const std::size_t body_close = match_forward(toks, body_open);
+      if (body_close >= toks.size()) break;
+
+      // Collect the observability members (statements naming Histogram
+      // or CounterRegistry, excluding function declarations).
+      std::vector<std::size_t> members;  // name token indices
+      std::size_t stmt_begin = body_open + 1;
+      int depth = 0;
+      bool has_paren = false;
+      for (std::size_t k = body_open + 1; k < body_close; ++k) {
+        if (is_punct(toks[k], "{")) ++depth;
+        if (is_punct(toks[k], "}")) --depth;
+        if (depth > 0) continue;
+        if (is_punct(toks[k], "(")) has_paren = true;
+        if (is_punct(toks[k], ":") && k > stmt_begin &&
+            (is_ident(toks[k - 1], "public") ||
+             is_ident(toks[k - 1], "private") ||
+             is_ident(toks[k - 1], "protected"))) {
+          stmt_begin = k + 1;
+          has_paren = false;
+          continue;
+        }
+        if (!is_punct(toks[k], ";")) continue;
+        if (!has_paren) {
+          bool is_obs_member = false;
+          std::size_t name_idx = 0;
+          for (std::size_t m = stmt_begin; m < k; ++m) {
+            if (is_punct(toks[m], "=")) break;
+            if (toks[m].kind != TokKind::Identifier) continue;
+            if (toks[m].text == "Histogram" ||
+                toks[m].text == "CounterRegistry")
+              is_obs_member = true;
+            name_idx = m;
+          }
+          if (is_obs_member && name_idx != 0) members.push_back(name_idx);
+        }
+        stmt_begin = k + 1;
+        has_paren = false;
+      }
+
+      // Identifiers read by BundleServer::metrics() (out-of-line body,
+      // any scanned file).
+      std::set<std::string> exported;
+      bool found_body = false;
+      for (const SourceFile& file : model.files) {
+        const auto& ft = file.tokens;
+        for (std::size_t k = 0; k + 3 < ft.size(); ++k) {
+          if (!is_ident(ft[k], "BundleServer") || !is_punct(ft[k + 1], "::") ||
+              !is_ident(ft[k + 2], "metrics") || !is_punct(ft[k + 3], "("))
+            continue;
+          const std::size_t close = match_forward(ft, k + 3);
+          for (std::size_t m = close + 1;
+               m < std::min(close + 4, ft.size()); ++m) {
+            if (is_punct(ft[m], ";")) break;
+            if (!is_punct(ft[m], "{")) continue;
+            const std::size_t end = match_forward(ft, m);
+            for (std::size_t t = m; t < end && t < ft.size(); ++t)
+              if (ft[t].kind == TokKind::Identifier)
+                exported.insert(ft[t].text);
+            found_body = true;
+            break;
+          }
+        }
+      }
+      for (const std::size_t name_idx : members) {
+        const std::string& member = toks[name_idx].text;
+        if (found_body && exported.count(member) > 0) continue;
+        out.push_back(
+            {"L004", hpp.path, toks[name_idx].line,
+             "observability member '" + member +
+                 "' of BundleServer is not exported by "
+                 "BundleServer::metrics(); it records forever but never "
+                 "reaches MsgType::MetricsReply or fbcctl metrics"});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void check_merge_completeness(const ProjectModel& model, int file_index,
+                              std::vector<Diagnostic>* out) {
+  if (file_index < 0) return;
+  const SourceFile& hpp = model.files[static_cast<std::size_t>(file_index)];
   const auto& toks = hpp.tokens;
 
   constexpr std::array kScalar = {
@@ -436,41 +549,47 @@ std::vector<Diagnostic> rule_metrics_completeness(const ProjectModel& model) {
         std::size_t name_idx = 0;
         bool has_init = false;
         bool scalar = false;
+        bool templated = false;
         for (std::size_t m = stmt_begin; m < k; ++m) {
           if (is_punct(toks[m], "=")) {
             has_init = true;
             break;
           }
+          // A '<' means the scalar name is a template argument (e.g.
+          // map<string, uint64_t>), not the member's own type.
+          if (is_punct(toks[m], "<")) templated = true;
           if (toks[m].kind == TokKind::Identifier) {
             name_idx = m;
             for (const char* s : kScalar)
-              if (toks[m].text == s) scalar = true;
+              if (toks[m].text == s && !templated) scalar = true;
           }
         }
         if (name_idx != 0 && !is_ident(toks[stmt_begin], "using") &&
             !is_ident(toks[stmt_begin], "friend") &&
-            !is_ident(toks[stmt_begin], "enum")) {
+            !is_ident(toks[stmt_begin], "enum") &&
+            !is_ident(toks[stmt_begin], "static")) {
           const std::string& member = toks[name_idx].text;
           if (merged.count(member) == 0)
-            out.push_back({"L004", hpp.path, toks[name_idx].line,
-                           "counter '" + member + "' of " + cls +
-                               " is missing from " + cls +
-                               "::merge(); multi-seed aggregation would "
-                               "silently drop it"});
+            out->push_back({"L004", hpp.path, toks[name_idx].line,
+                            "counter '" + member + "' of " + cls +
+                                " is missing from " + cls +
+                                "::merge(); multi-seed aggregation would "
+                                "silently drop it"});
           if (scalar && !has_init)
-            out.push_back({"L004", hpp.path, toks[name_idx].line,
-                           "counter '" + member + "' of " + cls +
-                               " has no default member initializer; a "
-                               "fresh metrics object would start from "
-                               "garbage"});
+            out->push_back({"L004", hpp.path, toks[name_idx].line,
+                            "counter '" + member + "' of " + cls +
+                                " has no default member initializer; a "
+                                "fresh metrics object would start from "
+                                "garbage"});
         }
       }
       stmt_begin = k + 1;
       has_paren = false;
     }
   }
-  return out;
 }
+
+}  // namespace
 
 std::vector<Diagnostic> rule_determinism(const ProjectModel& model) {
   std::vector<Diagnostic> out;

@@ -10,16 +10,22 @@
 // Each connection runs on its own thread with its own BundleClient and
 // replays an interleaved slice of the scenario job stream: acquire ->
 // hold -> release, honoring QueueFull retry-after backpressure hints.
-// Reports throughput and end-to-end p50/p95/p99 acquire latency; exits
-// nonzero if any request ultimately fails (the CI smoke gate).
+// Reports throughput and end-to-end p50/p95/p99 acquire latency (all
+// percentiles via util/stats::quantile -- the single project-wide
+// implementation), fetches the server's MsgType::Metrics snapshot, and
+// cross-checks the server-side span percentiles against the client-side
+// view; exits nonzero if any request ultimately fails or any check trips
+// (the CI smoke gate).
 #include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "serving_common.hpp"
+#include "obs/histogram.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "util/stats.hpp"
@@ -34,6 +40,10 @@ using Clock = std::chrono::steady_clock;
 /// Outcome tallies of one connection worker.
 struct WorkerResult {
   std::vector<double> latencies_ms;  ///< successful acquires, end to end
+  /// The same latencies floor-truncated to whole microseconds -- the
+  /// exact values a server-side histogram would have seen, so the
+  /// server-vs-client percentile cross-check compares like with like.
+  std::vector<double> latencies_us;
   std::uint64_t ok = 0;
   std::uint64_t hits = 0;
   std::uint64_t failed = 0;
@@ -71,20 +81,15 @@ void run_worker(std::uint16_t port, const Workload& workload,
     if (hold_ms > 0)
       std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
     if (!client.release(r.lease)) ++out->failed;
-    const std::chrono::duration<double, std::milli> elapsed =
-        Clock::now() - start;
-    out->latencies_ms.push_back(elapsed.count());
+    const auto elapsed = Clock::now() - start;
+    const std::chrono::duration<double, std::milli> elapsed_ms = elapsed;
+    out->latencies_ms.push_back(elapsed_ms.count());
+    out->latencies_us.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
     ++out->ok;
     if (r.request_hit) ++out->hits;
   }
-}
-
-/// Percentile over a sorted sample (nearest-rank).
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
 }
 
 /// Client-side sanity checks over a stats snapshot, in the spirit of the
@@ -104,6 +109,118 @@ std::vector<std::string> check_stats(const service::ServiceStats& s) {
   if (s.leases_granted != s.requests)
     violations.push_back("stats: leases_granted != requests admitted");
   return violations;
+}
+
+/// Looks up a named counter in a metrics snapshot (0 when absent).
+std::uint64_t counter_of(const service::MetricsSnapshot& m,
+                         const std::string& name) {
+  for (const auto& [counter, value] : m.counters)
+    if (counter == name) return value;
+  return 0;
+}
+
+/// Looks up a named histogram (nullptr when absent).
+const obs::Histogram* histogram_of(const service::MetricsSnapshot& m,
+                                   const std::string& name) {
+  for (const auto& named : m.histograms)
+    if (named.name == name) return &named.hist;
+  return nullptr;
+}
+
+/// Server-vs-client observability cross-checks. Only meaningful when this
+/// fbcload produced every request the server ever admitted
+/// (stats.requests == client_ok, always true for --inline); skipped
+/// silently otherwise.
+///
+/// The percentile check rests on per-request nesting: the server's
+/// enqueue->grant span lies inside the client's acquire->release window,
+/// so the k-th smallest server duration is <= the k-th smallest client
+/// duration, and therefore every server quantile *lower bound* (the
+/// histogram bracket) must be <= the exact client quantile computed by
+/// util/stats::quantile over the same floor-truncated microsecond values.
+std::vector<std::string> check_metrics(const service::MetricsSnapshot& m,
+                                       const std::vector<double>& client_us,
+                                       std::uint64_t client_ok) {
+  std::vector<std::string> violations;
+  if (m.stats.requests != client_ok || client_ok == 0) return violations;
+
+  const struct {
+    const char* name;
+    std::uint64_t expected;
+  } counts[] = {
+      {"acquire.fetch_us", m.stats.requests},
+      {"acquire.queue_depth", m.stats.requests},
+      {"acquire.queue_us", m.stats.requests},
+      {"acquire.reserve_us", m.stats.requests},
+      {"acquire.total_us", m.stats.requests},
+      {"lease.hold_us", m.stats.leases_released},
+  };
+  for (const auto& [name, expected] : counts) {
+    const obs::Histogram* hist = histogram_of(m, name);
+    if (hist == nullptr) {
+      violations.push_back(std::string("metrics: histogram ") + name +
+                           " missing from the snapshot");
+    } else if (hist->count() != expected) {
+      violations.push_back(std::string("metrics: histogram ") + name +
+                           " count " + std::to_string(hist->count()) +
+                           " != expected " + std::to_string(expected));
+    }
+  }
+  if (counter_of(m, "acquire.ok") != m.stats.requests)
+    violations.push_back("metrics: counter acquire.ok != stats.requests");
+  if (counter_of(m, "release.ok") != m.stats.leases_released)
+    violations.push_back(
+        "metrics: counter release.ok != stats.leases_released");
+  if (counter_of(m, "acquire.queue_full") != m.stats.rejected_full)
+    violations.push_back(
+        "metrics: counter acquire.queue_full != stats.rejected_full");
+  if (counter_of(m, "acquire.timed_out") != m.stats.timed_out)
+    violations.push_back(
+        "metrics: counter acquire.timed_out != stats.timed_out");
+
+  const obs::Histogram* total = histogram_of(m, "acquire.total_us");
+  if (total != nullptr && total->count() == client_us.size()) {
+    for (double q : {0.50, 0.95, 0.99}) {
+      const double client_q = quantile(client_us, q);
+      const obs::QuantileEstimate server_q = total->quantile_bounds(q);
+      if (static_cast<double>(server_q.lower) > client_q) {
+        std::ostringstream oss;
+        oss << "metrics: server p" << static_cast<int>(q * 100)
+            << " lower bound " << server_q.lower
+            << "us exceeds client-side quantile " << client_q << "us";
+        violations.push_back(oss.str());
+      }
+    }
+  }
+  return violations;
+}
+
+/// Renders the metrics histograms, with raw "idx:count|idx:count" bucket
+/// cells that scripts/bench_to_json.py parses back into dicts.
+void print_histograms(const service::MetricsSnapshot& m, bool as_json) {
+  TextTable table(
+      {"histogram", "count", "mean", "p50", "p95", "p99", "max", "buckets"});
+  for (const auto& named : m.histograms) {
+    const auto& h = named.hist;
+    std::ostringstream buckets;
+    bool first = true;
+    for (std::size_t i = 0; i < obs::Histogram::kBucketCount; ++i) {
+      if (h.bucket_count(i) == 0) continue;
+      if (!first) buckets << "|";
+      buckets << i << ":" << h.bucket_count(i);
+      first = false;
+    }
+    table.add_row({named.name, std::to_string(h.count()),
+                   format_double(h.mean()), format_double(h.quantile(0.50)),
+                   format_double(h.quantile(0.95)),
+                   format_double(h.quantile(0.99)), std::to_string(h.max()),
+                   buckets.str()});
+  }
+  if (as_json) {
+    table.print_json(std::cout);
+  } else {
+    table.print(std::cout);
+  }
 }
 
 }  // namespace
@@ -131,6 +248,7 @@ int main(int argc, char** argv) {
   cli.add_option("workers", "daemon handler threads with --inline", "8");
   cli.add_flag("inline", "start fbcd in-process on an ephemeral port");
   cli.add_flag("json", "emit the report as JSON");
+  cli.add_flag("hist", "also print the server-side metrics histograms");
 
   try {
     cli.parse(args);
@@ -179,14 +297,23 @@ int main(int argc, char** argv) {
       total.latencies_ms.insert(total.latencies_ms.end(),
                                 r.latencies_ms.begin(),
                                 r.latencies_ms.end());
+      total.latencies_us.insert(total.latencies_us.end(),
+                                r.latencies_us.begin(),
+                                r.latencies_us.end());
     }
-    std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
 
-    // Final stats snapshot + invariant checks over a fresh connection.
+    // Final metrics snapshot (exercises the MsgType::Metrics round-trip)
+    // + invariant checks over a fresh connection.
     service::BundleClient probe(port);
-    const service::ServiceStats stats = probe.stats();
+    const service::MetricsSnapshot metrics = probe.metrics();
+    const service::ServiceStats& stats = metrics.stats;
     probe.disconnect();
     std::vector<std::string> violations = check_stats(stats);
+    {
+      const std::vector<std::string> more =
+          check_metrics(metrics, total.latencies_us, total.ok);
+      violations.insert(violations.end(), more.begin(), more.end());
+    }
     if (server) {
       // Inline mode can additionally run the full server-side audit.
       const std::vector<std::string> audit = server->audit();
@@ -196,10 +323,19 @@ int main(int argc, char** argv) {
     const double wall_s = std::max(wall.count(), 1e-9);
     RunningStats lat;
     for (double ms : total.latencies_ms) lat.add(ms);
+    // Server-side span percentiles (point estimates, converted to ms) next
+    // to the client-observed ones: the gap between the columns is the
+    // client-side overhead (socket round-trips plus release).
+    const obs::Histogram* srv = histogram_of(metrics, "acquire.total_us");
+    const auto srv_ms = [&](double q) {
+      if (srv == nullptr || srv->empty()) return std::string("nan");
+      return format_double(srv->quantile(q) / 1000.0);
+    };
     TextTable table(
         {"scenario", "policy", "connections", "requests", "ok", "failed",
          "request_hit_pct", "queue_retries", "transfer_retries", "evictions",
-         "throughput_rps", "mean_ms", "p50_ms", "p95_ms", "p99_ms"});
+         "throughput_rps", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+         "srv_p50_ms", "srv_p95_ms", "srv_p99_ms"});
     table.add_row(
         {cli.get_string("scenario"), config.policy,
          std::to_string(connections), std::to_string(total_requests),
@@ -212,13 +348,18 @@ int main(int argc, char** argv) {
          std::to_string(stats.evictions),
          format_double(static_cast<double>(total.ok) / wall_s),
          format_double(lat.mean()),
-         format_double(percentile(total.latencies_ms, 0.50)),
-         format_double(percentile(total.latencies_ms, 0.95)),
-         format_double(percentile(total.latencies_ms, 0.99))});
+         format_double(quantile(total.latencies_ms, 0.50)),
+         format_double(quantile(total.latencies_ms, 0.95)),
+         format_double(quantile(total.latencies_ms, 0.99)),
+         srv_ms(0.50), srv_ms(0.95), srv_ms(0.99)});
     if (cli.get_flag("json")) {
       table.print_json(std::cout);
     } else {
       table.print(std::cout);
+    }
+    if (cli.get_flag("hist")) {
+      std::cout << "\n";
+      print_histograms(metrics, cli.get_flag("json"));
     }
 
     if (daemon) daemon->stop();

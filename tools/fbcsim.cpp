@@ -3,13 +3,17 @@
 //
 //   fbcsim --trace=trace.txt --policy=optfb --cache=10GiB
 //   fbcsim --trace=trace.txt --policy=all --cache=10GiB --csv
+//   fbcsim --trace=trace.txt --policy=optfb --obs
 //
-// --policy=all compares every registered policy on the same trace.
+// --policy=all compares every registered policy on the same trace;
+// --obs appends per-decision selection-effort distributions (p50/p95/p99
+// from the CacheMetrics histograms, not just totals).
 #include <iostream>
 #include <stdexcept>
 
 #include "cache/simulator.hpp"
 #include "core/registry.hpp"
+#include "obs/histogram.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -26,6 +30,26 @@ void add_result_row(TextTable& table, const std::string& name,
                  format_double(m.byte_miss_ratio()),
                  format_bytes(static_cast<Bytes>(m.avg_bytes_moved_per_job())),
                  std::to_string(m.evictions()), std::to_string(decisions)});
+}
+
+void add_obs_rows(TextTable& table, const std::string& policy,
+                  const CacheMetrics& m) {
+  const struct {
+    const char* metric;
+    const obs::Histogram* hist;
+  } rows[] = {
+      {"candidates_scanned", &m.scanned_hist()},
+      {"entries_rescored", &m.rescored_hist()},
+      {"heap_ops", &m.heap_ops_hist()},
+  };
+  for (const auto& [metric, hist] : rows) {
+    table.add_row({policy, metric, std::to_string(hist->count()),
+                   format_double(hist->mean()),
+                   format_double(hist->quantile(0.50)),
+                   format_double(hist->quantile(0.95)),
+                   format_double(hist->quantile(0.99)),
+                   std::to_string(hist->max())});
+  }
 }
 
 }  // namespace
@@ -52,6 +76,7 @@ int main(int argc, char** argv) {
                  "rescores only dirty history entries per miss)",
                  "reference");
   cli.add_flag("csv", "emit CSV");
+  cli.add_flag("obs", "report per-decision selection-effort distributions");
 
   try {
     cli.parse(argc, argv);
@@ -85,6 +110,8 @@ int main(int argc, char** argv) {
 
     TextTable table({"policy", "jobs", "request_hit", "byte_miss",
                      "moved_per_job", "evictions", "decisions"});
+    TextTable obs_table({"policy", "metric", "count", "mean", "p50", "p95",
+                         "p99", "max"});
     for (const std::string& name : policies) {
       PolicyContext context;
       context.catalog = &trace.catalog;
@@ -98,11 +125,17 @@ int main(int argc, char** argv) {
       const SimulationResult result =
           simulate(config, trace.catalog, *policy, trace.jobs);
       add_result_row(table, name, result.metrics, result.decisions);
+      if (cli.get_flag("obs")) add_obs_rows(obs_table, name, result.metrics);
     }
     if (cli.get_flag("csv")) {
       table.print_csv(std::cout);
+      if (cli.get_flag("obs")) obs_table.print_csv(std::cout);
     } else {
       table.print(std::cout);
+      if (cli.get_flag("obs")) {
+        std::cout << "\n";
+        obs_table.print(std::cout);
+      }
     }
     return 0;
   } catch (const std::exception& e) {

@@ -35,6 +35,11 @@ inline void add_service_options(CliParser& cli) {
                  "wall seconds slept per simulated staging second", "0");
   cli.add_option("streams", "parallel MSS transfer streams", "4");
   cli.add_option("seed", "failure-injection / policy seed", "1");
+  cli.add_option("retry-cap-ms",
+                 "cap on the QueueFull retry-after hint (0 = uncapped)",
+                 "60000");
+  cli.add_option("span-capacity",
+                 "per-request spans kept for debugging (0 disables)", "1024");
 }
 
 /// Builds a ServiceConfig from the flags added above.
@@ -52,6 +57,9 @@ inline service::ServiceConfig service_config_from_cli(const CliParser& cli) {
   config.time_scale = cli.get_double("time-scale");
   config.transfer_streams = cli.get_u64("streams");
   config.seed = cli.get_u64("seed");
+  config.retry_after_cap_ms =
+      static_cast<std::uint32_t>(cli.get_u64("retry-cap-ms"));
+  config.span_capacity = cli.get_u64("span-capacity");
   return config;
 }
 
