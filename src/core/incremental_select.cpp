@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
+#include <stdexcept>
 
 namespace fbc {
 namespace {
@@ -17,6 +17,13 @@ std::string to_string(SelectEngine engine) {
     case SelectEngine::Incremental: return "incremental";
   }
   return "?";
+}
+
+SelectEngine parse_select_engine(const std::string& name) {
+  if (name == "reference") return SelectEngine::Reference;
+  if (name == "incremental") return SelectEngine::Incremental;
+  throw std::invalid_argument("unknown selection engine '" + name +
+                              "' (expected reference|incremental)");
 }
 
 IncrementalSelector::IncrementalSelector(const FileCatalog& catalog,
@@ -349,17 +356,21 @@ SelectionResult IncrementalSelector::run_resort(
   ++run_id_;
   std::uint64_t heap_ops = 0;
 
-  struct HeapEntry {
-    double key;
-    std::uint32_t idx;
-    std::uint32_t version;
-  };
   auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
     if (a.key != b.key) return a.key < b.key;  // max-heap by key
     return a.idx > b.idx;                      // then lowest index first
   };
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(
-      cmp);
+  // Reused member storage: push_heap/pop_heap with the same comparator is
+  // operation-for-operation what std::priority_queue does, so pop order
+  // (and thus the chosen set) is identical -- minus the per-call
+  // allocation, which shows up on the serving hot path where this runs
+  // once per cache miss.
+  heap_.clear();
+  auto heap_push = [&](HeapEntry e) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), cmp);
+    ++heap_ops;
+  };
   auto key_of = [&](std::size_t c) {
     return adj_[c] > 0.0 ? values_[c] / adj_[c] : kInf;
   };
@@ -369,8 +380,7 @@ SelectionResult IncrementalSelector::run_resort(
       dead_[c] = 1;
       continue;
     }
-    heap.push(HeapEntry{key_of(c), static_cast<std::uint32_t>(c), 0});
-    ++heap_ops;
+    heap_push(HeapEntry{key_of(c), static_cast<std::uint32_t>(c), 0});
   }
 
   SelectionResult result;
@@ -394,8 +404,7 @@ SelectionResult IncrementalSelector::run_resort(
         adj_[j] -= s_adj;
         real_[j] -= s_real;
         ++version_[j];
-        heap.push(HeapEntry{key_of(j), j, version_[j]});
-        ++heap_ops;
+        heap_push(HeapEntry{key_of(j), j, version_[j]});
       }
     }
   };
@@ -411,9 +420,10 @@ SelectionResult IncrementalSelector::run_resort(
     take(idx);
   }
 
-  while (!heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const HeapEntry top = heap_.back();
+    heap_.pop_back();
     ++heap_ops;
     const std::size_t c = top.idx;
     if (top.version != version_[c] || selected_[c] != 0 || dead_[c] != 0)

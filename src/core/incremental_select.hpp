@@ -71,6 +71,11 @@ enum class SelectEngine { Reference, Incremental };
 /// Returns "reference" / "incremental".
 [[nodiscard]] std::string to_string(SelectEngine engine);
 
+/// Parses "reference" / "incremental" (throws std::invalid_argument
+/// otherwise). The inverse of to_string, shared by every CLI that exposes
+/// an engine knob (fbcsim --engine, fbcd/fbcload --engine).
+[[nodiscard]] SelectEngine parse_select_engine(const std::string& name);
+
 /// The incremental engine (see file comment). Owned by
 /// OptFileBundlePolicy, which enables journaling on the shared history and
 /// forwards residency events.
@@ -176,6 +181,15 @@ class IncrementalSelector {
   std::vector<std::uint8_t> selected_;
   std::vector<std::uint8_t> dead_;
   std::vector<std::uint32_t> version_;
+
+  /// run_resort's lazy-deletion heap node: candidate index plus its
+  /// version at push time (stale versions are skipped on pop).
+  struct HeapEntry {
+    double key;
+    std::uint32_t idx;
+    std::uint32_t version;
+  };
+  std::vector<HeapEntry> heap_;  ///< reused heap storage (cleared per run)
 };
 
 }  // namespace fbc

@@ -10,6 +10,12 @@ void CounterRegistry::add(std::string_view name, std::uint64_t delta) {
     it->second += delta;
 }
 
+std::uint64_t* CounterRegistry::slot(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) it = counters_.emplace(std::string(name), 0).first;
+  return &it->second;
+}
+
 std::uint64_t CounterRegistry::value(std::string_view name) const noexcept {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;

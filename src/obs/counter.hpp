@@ -27,6 +27,13 @@ class CounterRegistry {
   /// Adds `delta` to the counter named `name`, creating it at zero first.
   void add(std::string_view name, std::uint64_t delta = 1);
 
+  /// Pre-resolved handle for hot paths: the value cell of `name`,
+  /// created at zero first. The pointer stays valid for the registry's
+  /// lifetime (std::map nodes are stable); callers still synchronize
+  /// writes through it exactly like add() -- typically by resolving once
+  /// at construction and bumping under the owner's mutex.
+  [[nodiscard]] std::uint64_t* slot(std::string_view name);
+
   /// Current value of `name`; 0 if never touched.
   [[nodiscard]] std::uint64_t value(std::string_view name) const noexcept;
 

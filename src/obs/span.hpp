@@ -28,6 +28,7 @@ struct ServingSpan {
   std::uint64_t queue_us = 0;      ///< enqueue -> admission decision
   std::uint64_t reserve_us = 0;    ///< admission -> space reserved
   std::uint64_t fetch_us = 0;      ///< reserve -> bundle resident
+  std::uint64_t coalesce_us = 0;   ///< blocked on an overlapping transfer
   std::uint64_t total_us = 0;      ///< enqueue -> grant (or rejection)
   std::uint8_t status = 0;         ///< AcquireStatus of the outcome
 };

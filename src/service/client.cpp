@@ -2,14 +2,18 @@
 
 namespace fbc::service {
 
-BundleClient::BundleClient(std::uint16_t port)
-    : fd_(connect_loopback(port)) {}
+BundleClient::BundleClient(std::uint16_t port, bool legacy_wire)
+    : fd_(connect_loopback(port)), legacy_wire_(legacy_wire) {}
+
+std::optional<Message> BundleClient::read_reply() {
+  return legacy_wire_ ? recv_message(fd_.get()) : reader_.next(fd_.get());
+}
 
 Message BundleClient::round_trip(const Message& request) {
   if (!fd_.valid()) throw NetError("client is disconnected");
   if (!send_message(fd_.get(), request))
     throw NetError("daemon closed the connection");
-  std::optional<Message> reply = recv_message(fd_.get());
+  std::optional<Message> reply = read_reply();
   if (!reply.has_value()) throw NetError("daemon closed the connection");
   return std::move(*reply);
 }
@@ -29,6 +33,45 @@ AcquireResult BundleClient::acquire(const std::vector<FileId>& files) {
   result.request_hit = msg->request_hit != 0;
   result.retry_after_ms = msg->retry_after_ms;
   result.retries = msg->retries;
+  return result;
+}
+
+AcquireResult BundleClient::release_acquire(LeaseId lease,
+                                            const std::vector<FileId>& files,
+                                            bool* released) {
+  if (!fd_.valid()) throw NetError("client is disconnected");
+  const std::uint64_t cookie = next_cookie_++;
+  // Both frames in one buffer, one send: a single packet and a single
+  // daemon wake-up. Replies come back in request order per the strict
+  // sequential connection discipline.
+  send_buf_.clear();
+  encode_frame(ReleaseRequestMsg{lease}, &send_buf_);
+  encode_frame(AcquireRequestMsg{cookie, files}, &send_buf_);
+  if (!write_full(fd_.get(), send_buf_.data(), send_buf_.size()))
+    throw NetError("daemon closed the connection");
+  std::optional<Message> release_reply = read_reply();
+  if (!release_reply.has_value())
+    throw NetError("daemon closed the connection");
+  const auto* rel = std::get_if<ReleaseReplyMsg>(&*release_reply);
+  if (rel == nullptr)
+    throw ProtocolError(std::string("expected ReleaseReply, got ") +
+                        to_string(message_type(*release_reply)));
+  if (released != nullptr) *released = rel->ok != 0;
+  std::optional<Message> acquire_reply = read_reply();
+  if (!acquire_reply.has_value())
+    throw NetError("daemon closed the connection");
+  const auto* acq = std::get_if<AcquireReplyMsg>(&*acquire_reply);
+  if (acq == nullptr)
+    throw ProtocolError(std::string("expected AcquireReply, got ") +
+                        to_string(message_type(*acquire_reply)));
+  if (acq->cookie != cookie)
+    throw ProtocolError("acquire reply cookie mismatch");
+  AcquireResult result;
+  result.status = acq->status;
+  result.lease = acq->lease;
+  result.request_hit = acq->request_hit != 0;
+  result.retry_after_ms = acq->retry_after_ms;
+  result.retries = acq->retries;
   return result;
 }
 

@@ -18,7 +18,10 @@ namespace fbc::service {
 class BundleClient {
  public:
   /// Connects to a daemon on 127.0.0.1:`port`. Throws NetError on refusal.
-  explicit BundleClient(std::uint16_t port);
+  /// `legacy_wire` reads replies with unbuffered per-frame recvs (the
+  /// pre-batching transport) -- the serving bench baseline leg, matching
+  /// ServiceConfig::legacy_wire on the daemon side.
+  explicit BundleClient(std::uint16_t port, bool legacy_wire = false);
 
   /// Requests a lease on `files`. Blocks until the daemon replies (which
   /// may take the server-side queue wait plus staging time).
@@ -27,6 +30,18 @@ class BundleClient {
 
   /// Releases a lease. Returns false for ids the server does not know.
   bool release(LeaseId lease);
+
+  /// Pipelines release(lease) + acquire(files) into one wire round trip:
+  /// both request frames are written back-to-back, then both replies are
+  /// read in order. The daemon handles a connection's messages strictly
+  /// sequentially, so the release is fully applied before the acquire is
+  /// considered -- semantically identical to release() then acquire(),
+  /// minus one network round trip, which is the dominant per-job cost of
+  /// the serving hot path for small bundles. `released` (optional)
+  /// receives the release outcome.
+  [[nodiscard]] AcquireResult release_acquire(
+      LeaseId lease, const std::vector<FileId>& files,
+      bool* released = nullptr);
 
   /// Fetches the server's stats snapshot.
   [[nodiscard]] ServiceStats stats();
@@ -43,7 +58,13 @@ class BundleClient {
   /// Sends `request` and reads the single reply frame.
   Message round_trip(const Message& request);
 
+  /// Reads one reply frame (buffered, or per-frame in legacy mode).
+  std::optional<Message> read_reply();
+
   UniqueFd fd_;
+  bool legacy_wire_ = false;
+  FrameReader reader_;  ///< buffered: batched replies cost one recv
+  std::vector<std::uint8_t> send_buf_;  ///< reused burst-encode scratch
   std::uint64_t next_cookie_ = 1;
 };
 

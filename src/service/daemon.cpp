@@ -46,6 +46,7 @@ void BundleDaemon::accept_loop() {
       continue;  // EINTR / transient accept failure
     }
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    set_nodelay(fd);  // replies pipeline; Nagle would stall the 2nd frame
     // try_submit: the pool may be shutting down under us; then we just
     // close the connection instead of crashing the acceptor.
     auto queued = pool_->try_submit([this, fd] { serve_connection(fd); });
@@ -62,33 +63,66 @@ void BundleDaemon::serve_connection(int raw_fd) {
   // Leases granted over this connection and not yet released by it.
   std::vector<LeaseId> held;
 
-  try {
+  const auto handle = [&](Message& message) -> Message {
+    if (auto* acq = std::get_if<AcquireRequestMsg>(&message)) {
+      const Request request(std::move(acq->files));
+      const AcquireResult r = server_.acquire(request);
+      if (r.status == AcquireStatus::Ok) held.push_back(r.lease);
+      return AcquireReplyMsg{acq->cookie,    r.status,
+                             r.lease,        r.retry_after_ms,
+                             r.retries,      r.request_hit};
+    }
+    if (auto* rel = std::get_if<ReleaseRequestMsg>(&message)) {
+      const bool ok = server_.release(rel->lease);
+      if (ok) std::erase(held, rel->lease);
+      return ReleaseReplyMsg{ok};
+    }
+    if (std::holds_alternative<StatsRequestMsg>(message))
+      return StatsReplyMsg{server_.stats()};
+    if (std::holds_alternative<MetricsRequestMsg>(message))
+      return MetricsReplyMsg{server_.metrics()};
+    // Reply types are server-to-client only.
+    throw ProtocolError(std::string("unexpected client message ") +
+                        to_string(message_type(message)));
+  };
+
+  // Baseline transport for the serving bench: unbuffered one-frame
+  // reads, one send per reply, no burst draining.
+  const auto serve_legacy = [&] {
     for (;;) {
       std::optional<Message> message = recv_message(fd.get());
       if (!message.has_value()) break;  // client hung up cleanly
+      if (!send_message(fd.get(), handle(*message))) break;
+    }
+  };
 
-      Message reply;
-      if (auto* acq = std::get_if<AcquireRequestMsg>(&*message)) {
-        const Request request(std::move(acq->files));
-        const AcquireResult r = server_.acquire(request);
-        if (r.status == AcquireStatus::Ok) held.push_back(r.lease);
-        reply = AcquireReplyMsg{acq->cookie,    r.status,
-                                r.lease,        r.retry_after_ms,
-                                r.retries,      r.request_hit};
-      } else if (auto* rel = std::get_if<ReleaseRequestMsg>(&*message)) {
-        const bool ok = server_.release(rel->lease);
-        if (ok) std::erase(held, rel->lease);
-        reply = ReleaseReplyMsg{ok};
-      } else if (std::holds_alternative<StatsRequestMsg>(*message)) {
-        reply = StatsReplyMsg{server_.stats()};
-      } else if (std::holds_alternative<MetricsRequestMsg>(*message)) {
-        reply = MetricsReplyMsg{server_.metrics()};
-      } else {
-        // Reply types are server-to-client only.
-        throw ProtocolError(std::string("unexpected client message ") +
-                            to_string(message_type(*message)));
-      }
-      if (!send_message(fd.get(), reply)) break;
+  // Batched transport: handle the message in hand plus every burst-mate
+  // the last recv already pulled into the reader (pipelined clients
+  // write several frames per burst in one send), then flush all replies
+  // in one send -- one packet and one client wake-up per burst instead
+  // of one per request. The drain is syscall-free: with one outstanding
+  // burst per connection, probing the socket after the last frame would
+  // always come back empty.
+  const auto serve_batched = [&] {
+    FrameReader reader;
+    std::vector<std::uint8_t> replies;
+    std::optional<Message> message = reader.next(fd.get());
+    while (message.has_value()) {
+      replies.clear();
+      Message in_hand = std::move(*message);
+      do {
+        encode_frame(handle(in_hand), &replies);
+      } while (reader.buffered_next(&in_hand));
+      if (!write_full(fd.get(), replies.data(), replies.size())) break;
+      message = reader.next(fd.get());
+    }
+  };
+
+  try {
+    if (server_.config().legacy_wire) {
+      serve_legacy();
+    } else {
+      serve_batched();
     }
   } catch (const std::exception& e) {
     FBC_LOG(Warn) << "fbcd: dropping connection: " << e.what();

@@ -13,8 +13,13 @@
 // admission mutex, which also guards the cache.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "service/protocol.hpp"
@@ -57,6 +62,95 @@ class LeaseTable {
  private:
   std::unordered_map<LeaseId, Request> leases_;
   LeaseId next_ = 1;
+};
+
+/// Thread-safe sharded lease registry for the concurrent serving path.
+///
+/// Two independent shard arrays, each shard with its own mutex:
+///   * lease shards, keyed by lease id: id -> bundle, for grant/take;
+///   * file shards, keyed by file id: per-file count of covering leases,
+///     so covers() is an O(1) lookup instead of a scan over every lease.
+///
+/// Unlike LeaseTable this class does NOT touch the DiskCache: cache pins
+/// stay under the server's admission mutex (they interact with eviction
+/// decisions), while the lease bookkeeping here -- the hash-map inserts,
+/// Request copies and coverage counts -- runs under the small per-shard
+/// locks only. Counters (granted/active) are atomics, so stats snapshots
+/// never serialize against admissions. Shard locks are leaves: no method
+/// acquires any other lock while holding one, so callers may invoke any
+/// method while holding their own locks without ordering concerns.
+class ShardedLeaseTable {
+ public:
+  /// `shards` is clamped to at least 1.
+  explicit ShardedLeaseTable(std::size_t shards);
+
+  /// Records a lease over `request` and returns its id (dense from 1,
+  /// never reused). The caller is responsible for pinning the files.
+  [[nodiscard]] LeaseId grant(const Request& request);
+
+  /// Removes the lease and returns its bundle, or std::nullopt for
+  /// unknown (or already taken) ids. The caller unpins the files.
+  [[nodiscard]] std::optional<Request> take(LeaseId id);
+
+  /// True when at least one live lease covers file `id`.
+  [[nodiscard]] bool covers(FileId id) const;
+
+  /// Number of live leases covering file `id`.
+  [[nodiscard]] std::uint32_t cover_count(FileId id) const;
+
+  /// The bundle held by a lease (copy), or std::nullopt for unknown ids.
+  [[nodiscard]] std::optional<Request> bundle(LeaseId id) const;
+
+  /// Outstanding lease count.
+  [[nodiscard]] std::size_t active() const noexcept {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Total leases ever granted.
+  [[nodiscard]] std::uint64_t granted() const noexcept {
+    return next_.load(std::memory_order_acquire) - 1;
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return lease_shards_.size();
+  }
+
+  /// Copy of the live table (audits; not a consistent point-in-time
+  /// snapshot across shards unless the caller has quiesced mutators).
+  [[nodiscard]] std::vector<std::pair<LeaseId, Request>> snapshot() const;
+
+  /// Removes every lease and returns the bundles (server shutdown).
+  std::vector<Request> take_all();
+
+ private:
+  struct LeaseShard {
+    mutable std::mutex mu;
+    std::unordered_map<LeaseId, Request> leases;
+  };
+  struct FileShard {
+    mutable std::mutex mu;
+    std::unordered_map<FileId, std::uint32_t> covers;
+  };
+
+  [[nodiscard]] LeaseShard& lease_shard(LeaseId id) noexcept {
+    return lease_shards_[id % lease_shards_.size()];
+  }
+  [[nodiscard]] const LeaseShard& lease_shard(LeaseId id) const noexcept {
+    return lease_shards_[id % lease_shards_.size()];
+  }
+  [[nodiscard]] FileShard& file_shard(FileId id) noexcept {
+    return file_shards_[id % file_shards_.size()];
+  }
+  [[nodiscard]] const FileShard& file_shard(FileId id) const noexcept {
+    return file_shards_[id % file_shards_.size()];
+  }
+  void add_cover(const Request& request);
+  void drop_cover(const Request& request);
+
+  std::vector<LeaseShard> lease_shards_;
+  std::vector<FileShard> file_shards_;
+  std::atomic<LeaseId> next_ = 1;
+  std::atomic<std::size_t> active_ = 0;
 };
 
 }  // namespace fbc::service

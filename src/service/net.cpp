@@ -71,10 +71,14 @@ UniqueFd connect_loopback(std::uint16_t port) {
     if (errno == EINTR) continue;
     throw_errno("connect(127.0.0.1:" + std::to_string(port) + ")");
   }
-  const int one = 1;
   // Request/reply protocol: disable Nagle so small frames round-trip fast.
-  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  set_nodelay(fd.get());
   return fd;
+}
+
+void set_nodelay(int fd) noexcept {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
 bool write_full(int fd, const std::uint8_t* data, std::size_t len) {
@@ -109,6 +113,91 @@ bool read_full(int fd, std::uint8_t* data, std::size_t len) {
     got += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+FrameReader::Fill FrameReader::fill(int fd, bool block) {
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // creep rightward forever on a long-lived connection.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  constexpr std::size_t kChunk = 16 * 1024;
+  const std::size_t old_size = buf_.size();
+  buf_.resize(old_size + kChunk);
+  for (;;) {
+    const ssize_t n =
+        ::recv(fd, buf_.data() + old_size, kChunk, block ? 0 : MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      buf_.resize(old_size);
+      if (!block && (errno == EAGAIN || errno == EWOULDBLOCK))
+        return Fill::Empty;
+      if (errno == ECONNRESET) return Fill::Eof;
+      throw_errno("recv");
+    }
+    buf_.resize(old_size + static_cast<std::size_t>(n));
+    return n == 0 ? Fill::Eof : Fill::Data;
+  }
+}
+
+std::optional<Message> FrameReader::take() {
+  if (have() < kFrameHeaderBytes) return std::nullopt;
+  const FrameHeader header =
+      decode_header({buf_.data() + pos_, kFrameHeaderBytes});
+  if (have() < kFrameHeaderBytes + header.payload_len) return std::nullopt;
+  Message message = decode_payload(
+      header.type,
+      {buf_.data() + pos_ + kFrameHeaderBytes, header.payload_len});
+  pos_ += kFrameHeaderBytes + header.payload_len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return message;
+}
+
+std::optional<Message> FrameReader::next(int fd) {
+  for (;;) {
+    if (std::optional<Message> message = take()) return message;
+    switch (fill(fd, /*block=*/true)) {
+      case Fill::Data:
+        break;
+      case Fill::Eof:
+        if (have() == 0) return std::nullopt;
+        throw NetError("connection closed mid-frame");
+      case Fill::Empty:
+        break;  // unreachable: blocking fill never reports Empty
+    }
+  }
+}
+
+bool FrameReader::buffered_next(Message* out) {
+  std::optional<Message> message = take();
+  if (!message.has_value()) return false;
+  *out = std::move(*message);
+  return true;
+}
+
+TryRecv FrameReader::try_next(int fd, Message* out) {
+  for (;;) {
+    if (std::optional<Message> message = take()) {
+      *out = std::move(*message);
+      return TryRecv::Got;
+    }
+    // A partial frame in the buffer means the peer committed to it;
+    // finish it with a blocking read. Only a clean boundary probes.
+    switch (fill(fd, /*block=*/have() > 0)) {
+      case Fill::Data:
+        break;
+      case Fill::Empty:
+        return TryRecv::Empty;
+      case Fill::Eof:
+        if (have() == 0) return TryRecv::Eof;
+        throw NetError("connection closed mid-frame");
+    }
+  }
 }
 
 bool send_message(int fd, const Message& message) {

@@ -47,14 +47,25 @@ BundleServer::BundleServer(const ServiceConfig& config,
       mss_(&mss),
       transfers_{.max_parallel = config.transfer_streams},
       cache_(config.cache_bytes, mss.catalog()),
+      leases_(config.lease_shards),
       fail_rng_(config.seed ^ 0xf3f3f3f3f3f3f3f3ULL),
-      spans_(config.span_capacity) {
+      spans_(config.span_capacity),
+      acquire_ok_slot_(counters_.slot("acquire.ok")),
+      release_ok_slot_(counters_.slot("release.ok")),
+      release_unknown_slot_(counters_.slot("release.unknown")),
+      transfers_slot_(counters_.slot("fetch.transfers")),
+      coalesced_slot_(counters_.slot("acquire.coalesced")) {
   if (config_.max_queue == 0)
     throw std::invalid_argument("BundleServer: max_queue must be >= 1");
+  if (config_.admission_batch == 0)
+    throw std::invalid_argument("BundleServer: admission_batch must be >= 1");
   PolicyContext context;
   context.catalog = &mss.catalog();
   context.seed = config.seed;
-  policy_ = make_policy(config_.policy, context);
+  context.select_engine = config_.engine;
+  policy_ = config_.policy_factory
+                ? config_.policy_factory(config_.policy, context)
+                : make_policy(config_.policy, context);
 }
 
 BundleServer::~BundleServer() { close(); }
@@ -63,6 +74,17 @@ void BundleServer::close() {
   std::lock_guard<std::mutex> lock(mu_);
   closed_ = true;
   cv_.notify_all();
+}
+
+void BundleServer::set_admission_paused(bool paused) {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = paused;
+  cv_.notify_all();
+}
+
+bool BundleServer::admission_paused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paused_;
 }
 
 std::size_t BundleServer::choose_locked() const {
@@ -103,11 +125,13 @@ bool BundleServer::fits_locked(const Request& request) const {
 }
 
 LeaseId BundleServer::admit_locked(const Request& request, Bytes bundle_bytes,
-                                   bool* request_hit, double* stage_s) {
+                                   bool* request_hit, double* stage_s,
+                                   std::vector<FileId>* fetched,
+                                   Bytes* missing_bytes) {
   policy_->on_job_arrival(request, cache_);
-  const std::vector<FileId> missing = cache_.missing_files(request);
-  const Bytes missing_bytes = mss_->catalog().bundle_bytes(missing);
-  metrics_.record_job(bundle_bytes, missing_bytes, request.size(),
+  std::vector<FileId> missing = cache_.missing_files(request);
+  *missing_bytes = mss_->catalog().bundle_bytes(missing);
+  metrics_.record_job(bundle_bytes, *missing_bytes, request.size(),
                       request.size() - missing.size());
   *stage_s = 0.0;
   if (missing.empty()) {
@@ -115,22 +139,74 @@ LeaseId BundleServer::admit_locked(const Request& request, Bytes bundle_bytes,
     policy_->on_request_hit(request, cache_);
   } else {
     *request_hit = false;
-    if (cache_.free_bytes() < missing_bytes) {
-      const Bytes needed = missing_bytes - cache_.free_bytes();
+    if (cache_.free_bytes() < *missing_bytes) {
+      const Bytes needed = *missing_bytes - cache_.free_bytes();
       for (FileId victim : policy_->select_victims(request, needed, cache_)) {
         metrics_.record_eviction(mss_->catalog().size_of(victim));
         cache_.evict(victim);  // throws on a leased (pinned) file
         policy_->on_file_evicted(victim);
       }
-      if (cache_.free_bytes() < missing_bytes)
+      if (cache_.free_bytes() < *missing_bytes)
         throw std::runtime_error(
             "BundleServer: policy freed insufficient space");
     }
     for (FileId id : missing) cache_.insert(id);
     policy_->on_files_loaded(request, missing, cache_);
     *stage_s = transfers_.stage_seconds(missing, *mss_);
+    // Register the transfer as in-flight before anyone else can be
+    // granted an overlapping bundle: begin_fetch under mu_ closes the
+    // window between "reserved (files look resident)" and "in-flight set
+    // updated". The coalescer mutex is a leaf, so mu_ -> coalescer is the
+    // only order that ever occurs.
+    if (config_.coalesce) coalescer_.begin_fetch(missing);
   }
-  return leases_.grant(request, cache_);
+  const LeaseId lease = leases_.grant(request);
+  for (FileId id : request.files) cache_.pin(id);
+  *fetched = std::move(missing);
+  return lease;
+}
+
+std::size_t BundleServer::drain_locked() {
+  if (paused_ || closed_) return 0;
+  std::size_t admitted = 0;
+  while (admitted < config_.admission_batch && !queue_.empty()) {
+    const std::size_t idx = choose_locked();
+    Waiter& head = *queue_[idx];
+    // A head sleeping off a failed transfer attempt blocks the line, just
+    // as it does in the serial server (where it holds its place in queue_
+    // across the backoff sleep).
+    if (head.state == Waiter::State::Backoff) break;
+    if (!fits_locked(*head.request)) break;
+    // The simulated MSS transfer draw for this attempt happens *before*
+    // the reserve, exactly as in the serial path, so a failed attempt
+    // leaves the cache untouched. Only the chosen head ever draws, which
+    // keeps the fail_rng_ sequence identical across batch sizes.
+    if (config_.transfer_fail_prob > 0.0 &&
+        fail_rng_.bernoulli(config_.transfer_fail_prob)) {
+      ++head.failed_attempts;
+      head.state = Waiter::State::Backoff;
+      cv_.notify_all();
+      break;  // head-of-line: nothing behind it admits this pass
+    }
+    head.t_admit = Clock::now();
+    queue_.erase(queue_.begin() + idx);
+    metrics_.record_queue_wait(
+        static_cast<double>(admissions_ - head.admissions_at_enqueue));
+    head.lease = admit_locked(*head.request, head.bundle_bytes,
+                              &head.request_hit, &head.stage_s, &head.fetched,
+                              &head.missing_bytes);
+    ++admissions_;
+    head.t_reserved = Clock::now();
+    grant_times_.emplace(head.lease, head.t_reserved);
+    head.state = Waiter::State::Admitted;
+    ++admitted;
+  }
+  if (admitted > 0) {
+    cv_.notify_all();
+    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    batch_size_.record(admitted);
+  }
+  return admitted;
 }
 
 AcquireResult BundleServer::acquire(const Request& request) {
@@ -191,7 +267,10 @@ AcquireResult BundleServer::acquire(const Request& request) {
   }
   span.queue_depth = static_cast<std::uint32_t>(queue_.size());
 
-  Waiter waiter{&request, bundle_bytes, admissions_};
+  Waiter waiter;
+  waiter.request = &request;
+  waiter.bundle_bytes = bundle_bytes;
+  waiter.admissions_at_enqueue = admissions_;
   queue_.push_back(&waiter);
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(config_.timeout_ms);
@@ -200,8 +279,13 @@ AcquireResult BundleServer::acquire(const Request& request) {
     cv_.notify_all();
   };
 
-  std::uint32_t failed_attempts = 0;
+  // Admission loop. Whichever waiter thread holds mu_ drains the queue
+  // (drain_locked) for everyone, so this thread may be admitted while
+  // asleep in cv_.wait -- after every wake the *state* decides, never the
+  // wait's own return reason (a timeout that raced an admission must
+  // still take the grant: the lease already exists).
   for (;;) {
+    if (waiter.state == Waiter::State::Admitted) break;
     if (closed_) {
       leave_queue();
       result.status = AcquireStatus::Closed;
@@ -210,38 +294,39 @@ AcquireResult BundleServer::acquire(const Request& request) {
       finish_span(span, result.status, "acquire.closed");
       return result;
     }
-    if (queue_[choose_locked()] == &waiter && fits_locked(request)) {
-      // The simulated MSS transfer for this attempt: draw the injected
-      // failure *before* the reserve so a failed attempt leaves the cache
-      // untouched, back off, and try again bounded by max_retries.
-      if (config_.transfer_fail_prob > 0.0 &&
-          fail_rng_.bernoulli(config_.transfer_fail_prob)) {
-        ++failed_attempts;
-        if (failed_attempts > config_.max_retries) {
-          ++transfer_failures_;
-          leave_queue();
-          result.status = AcquireStatus::TransferFailed;
-          result.retries = failed_attempts - 1;
-          span.queue_us = us_between(t0, Clock::now());
-          span.total_us = span.queue_us;
-          finish_span(span, result.status, "acquire.transfer_failed");
-          return result;
-        }
-        ++transfer_retries_;
-        const auto backoff =
-            backoff_for(config_.retry_backoff_ms, failed_attempts);
-        lock.unlock();
-        std::this_thread::sleep_for(backoff);
-        lock.lock();
-        continue;  // re-evaluate order and fit after the backoff
+    if (waiter.state == Waiter::State::Backoff) {
+      // A drain pass chose this waiter and its transfer draw failed.
+      if (waiter.failed_attempts > config_.max_retries) {
+        ++transfer_failures_;
+        leave_queue();
+        result.status = AcquireStatus::TransferFailed;
+        result.retries = waiter.failed_attempts - 1;
+        span.queue_us = us_between(t0, Clock::now());
+        span.total_us = span.queue_us;
+        finish_span(span, result.status, "acquire.transfer_failed");
+        return result;
       }
-      break;  // chosen, fits, transfer will succeed: admit
+      ++transfer_retries_;
+      const auto backoff =
+          backoff_for(config_.retry_backoff_ms, waiter.failed_attempts);
+      lock.unlock();  // keep our place in queue_, release mu_ for the sleep
+      std::this_thread::sleep_for(backoff);
+      lock.lock();
+      waiter.state = Waiter::State::Queued;
+      drain_locked();
+      continue;
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    // A drain pass can change *our own* state (admit us, or mark us
+    // Backoff after a failed draw) -- re-check before sleeping, or the
+    // notify that happened inside drain_locked is a lost wakeup.
+    if (drain_locked() > 0 || waiter.state != Waiter::State::Queued) continue;
+    const auto wait_result = cv_.wait_until(lock, deadline);
+    if (waiter.state != Waiter::State::Queued) continue;
+    if (wait_result == std::cv_status::timeout) {
       leave_queue();
       ++timed_out_;
       result.status = AcquireStatus::TimedOut;
-      result.retries = failed_attempts;
+      result.retries = waiter.failed_attempts;
       span.queue_us = us_between(t0, Clock::now());
       span.total_us = span.queue_us;
       finish_span(span, result.status, "acquire.timed_out");
@@ -249,33 +334,39 @@ AcquireResult BundleServer::acquire(const Request& request) {
     }
   }
 
-  const auto t_admit = Clock::now();
-  queue_.erase(std::find(queue_.begin(), queue_.end(), &waiter));
-  metrics_.record_queue_wait(
-      static_cast<double>(admissions_ - waiter.admissions_at_enqueue));
-  span.missing_bytes = cache_.missing_bytes(request);
-  double stage_s = 0.0;
-  result.lease = admit_locked(request, bundle_bytes, &result.request_hit,
-                              &stage_s);
-  ++admissions_;
-  cv_.notify_all();
-  const auto t_reserved = Clock::now();
-  grant_times_.emplace(result.lease, t_reserved);
+  result.lease = waiter.lease;
+  result.request_hit = waiter.request_hit;
+  result.retries = waiter.failed_attempts;
+  span.missing_bytes = waiter.missing_bytes;
+  const double stage_s = waiter.stage_s;
+  const std::vector<FileId> fetched = std::move(waiter.fetched);
+  const auto t_admit = waiter.t_admit;
+  const auto t_reserved = waiter.t_reserved;
   lock.unlock();
 
   // Fetch phase: the bundle is reserved (pinned), so the simulated
   // transfer can proceed without the lock while other admissions overlap.
-  if (config_.time_scale > 0.0 && stage_s > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(
-        stage_s * config_.time_scale));
+  CoalesceWait cwait;
+  if (!fetched.empty()) {
+    if (config_.time_scale > 0.0 && stage_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          stage_s * config_.time_scale));
+    }
+    if (config_.coalesce) coalescer_.complete_fetch(fetched);
+  }
+  const auto t_fetched = Clock::now();
+  if (config_.coalesce) {
+    // Our own files are complete by now; this blocks only when another
+    // admission's transfer still has part of our bundle in flight.
+    cwait = coalescer_.wait_for(request.files);
   }
   result.status = AcquireStatus::Ok;
-  result.retries = failed_attempts;
 
   const auto t_end = Clock::now();
   span.queue_us = us_between(t0, t_admit);
   span.reserve_us = us_between(t_admit, t_reserved);
-  span.fetch_us = us_between(t_reserved, t_end);
+  span.fetch_us = us_between(t_reserved, t_fetched);
+  span.coalesce_us = cwait.wait_us;
   span.total_us = us_between(t0, t_end);
   {
     // Duration histograms are Ok-grants only: their counts tie to
@@ -286,19 +377,31 @@ AcquireResult BundleServer::acquire(const Request& request) {
     fetch_us_.record(span.fetch_us);
     total_us_.record(span.total_us);
     queue_depth_.record(span.queue_depth);
+    if (!fetched.empty()) ++*transfers_slot_;
+    if (cwait.waited_files > 0) {
+      ++*coalesced_slot_;
+      coalesce_us_.record(span.coalesce_us);
+    }
+    ++*acquire_ok_slot_;
   }
-  finish_span(span, result.status, "acquire.ok");
+  span.status = static_cast<std::uint8_t>(result.status);
+  spans_.record(span);
   return result;
 }
 
 bool BundleServer::release(LeaseId lease) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (!leases_.release(lease, cache_)) {
+  // take() nests the lease-shard lock under mu_ (the one place that
+  // order occurs; the reverse never does). Holding mu_ across the unpin
+  // keeps "lease gone" and "pins gone" atomic for audits and admissions.
+  std::optional<Request> bundle = leases_.take(lease);
+  if (!bundle.has_value()) {
     lock.unlock();
     std::lock_guard<std::mutex> obs_lock(obs_mu_);
-    counters_.add("release.unknown");
+    ++*release_unknown_slot_;
     return false;
   }
+  for (FileId id : bundle->files) cache_.unpin(id);
   ++released_;
   std::uint64_t held_us = 0;
   if (auto it = grant_times_.find(lease); it != grant_times_.end()) {
@@ -308,7 +411,7 @@ bool BundleServer::release(LeaseId lease) {
   cv_.notify_all();
   lock.unlock();
   std::lock_guard<std::mutex> obs_lock(obs_mu_);
-  counters_.add("release.ok");
+  ++*release_ok_slot_;
   hold_us_.record(held_us);
   return true;
 }
@@ -323,6 +426,14 @@ void BundleServer::finish_span(obs::ServingSpan span, AcquireStatus status,
   spans_.record(span);
 }
 
+std::vector<FileId> BundleServer::resident_files() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto resident = cache_.resident_files();
+  std::vector<FileId> files(resident.begin(), resident.end());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
 MetricsSnapshot BundleServer::metrics() const {
   MetricsSnapshot m;
   m.stats = stats();
@@ -330,11 +441,13 @@ MetricsSnapshot BundleServer::metrics() const {
   m.counters = counters_.snapshot();
   // Names must stay lexicographically sorted: the wire encoder enforces
   // strictly increasing histogram names (canonical frame form).
+  m.histograms.push_back({"acquire.coalesce_us", coalesce_us_});
   m.histograms.push_back({"acquire.fetch_us", fetch_us_});
   m.histograms.push_back({"acquire.queue_depth", queue_depth_});
   m.histograms.push_back({"acquire.queue_us", queue_us_});
   m.histograms.push_back({"acquire.reserve_us", reserve_us_});
   m.histograms.push_back({"acquire.total_us", total_us_});
+  m.histograms.push_back({"admit.batch_size", batch_size_});
   m.histograms.push_back({"lease.hold_us", hold_us_});
   return m;
 }
@@ -387,9 +500,11 @@ std::vector<std::string> BundleServer::audit() const {
     violations.push_back("serve.capacity: used exceeds capacity");
 
   // Leases: every leased file must be resident and pinned; every pinned
-  // file must be covered by at least one live lease.
-  // fbclint:ignore(L005) -- accumulation below is order-independent.
-  for (const auto& [lease, bundle] : leases_.leases()) {
+  // file must be covered by at least one live lease. Shard locks nest
+  // under mu_ here, and because grants and releases mutate the table only
+  // while holding mu_ themselves, the snapshot is point-in-time
+  // consistent.
+  for (const auto& [lease, bundle] : leases_.snapshot()) {
     for (FileId id : bundle.files) {
       if (!cache_.contains(id))
         violations.push_back("serve.lease: lease " + std::to_string(lease) +

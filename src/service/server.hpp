@@ -8,21 +8,43 @@
 //
 //   reserve  under the admission lock: the policy picks victims, the cache
 //            evicts them and inserts the missing files, and every bundle
-//            file is pinned through a LeaseTable lease -- from this instant
-//            no other admission can evict the bundle;
+//            file is pinned through a lease -- from this instant no other
+//            admission can evict the bundle;
 //   fetch    outside the lock: the simulated MSS transfer runs (scaled
 //            stage time, injectable failures with bounded exponential-
-//            backoff retry before the reserve);
+//            backoff retry before the reserve); concurrent admissions
+//            whose bundles overlap an in-flight transfer wait on that one
+//            transfer through the FetchCoalescer instead of starting
+//            their jobs before the bytes arrive;
 //   lease    the lease id is returned to the caller, whose job runs with
 //            the bundle guaranteed resident;
 //   release  release() unpins the bundle; files become evictable once the
 //            last overlapping lease is gone.
 //
+// Admission is *batched*: whichever waiter thread holds the admission
+// mutex drains up to ServiceConfig::admission_batch queued entries in one
+// pass (drain_locked), admitting each in exactly the order the serial
+// one-at-a-time server would (choose_locked per entry, FIFO or
+// value-density), granting the lease, and handing the entry back to its
+// own thread for the fetch phase. One lock acquisition -- and, with the
+// incremental selection engine, one cheap dirty-entry rescore -- is
+// amortized across up to k grants. Batching is decision-equivalent to
+// admission_batch=1 by construction: the per-entry choose/fit/admit
+// sequence is byte-identical, only the lock round-trips between entries
+// disappear (testing/sched_sim pins this equivalence).
+//
 // All *decision* logic stays in the existing engines: the replacement
-// policy chooses victims exactly as in the simulator, and CacheMetrics
-// does the accounting. The server owns only concurrency, queuing and
-// backpressure, so invariants checked by the fuzzing oracles carry over
-// unchanged (audit() re-checks them independently).
+// policy chooses victims exactly as in the simulator (ServiceConfig::
+// engine selects the reference or incremental OptFileBundle selector,
+// and shadow_diff runs both in lock-step, asserting bit-identical
+// decisions), and CacheMetrics does the accounting. The server owns only
+// concurrency, queuing and backpressure, so invariants checked by the
+// fuzzing oracles carry over unchanged (audit() re-checks them
+// independently).
+//
+// Lock order: mu_ -> lease shard locks -> obs_mu_. The ShardedLeaseTable
+// and FetchCoalescer locks are leaves; neither is ever held while taking
+// mu_.
 #pragma once
 
 #include <atomic>
@@ -30,6 +52,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -40,11 +63,13 @@
 #include "cache/cache.hpp"
 #include "cache/metrics.hpp"
 #include "cache/policy.hpp"
+#include "core/registry.hpp"
 #include "grid/backend.hpp"
 #include "grid/transfer.hpp"
 #include "obs/counter.hpp"
 #include "obs/histogram.hpp"
 #include "obs/span.hpp"
+#include "service/coalesce.hpp"
 #include "service/lease.hpp"
 #include "service/protocol.hpp"
 #include "util/rng.hpp"
@@ -94,6 +119,43 @@ struct ServiceConfig {
   std::uint32_t retry_after_cap_ms = 60000;
   /// Most recent per-request spans kept for debugging (0 disables).
   std::size_t span_capacity = 1024;
+  /// Selection engine for optfb* policies. The serving hot path defaults
+  /// to Incremental (per-decision cost stays ~flat as the history grows);
+  /// shadow_diff and the sched_sim equivalence suites pin its decisions
+  /// against the Reference engine.
+  SelectEngine engine = SelectEngine::Incremental;
+  /// Queue entries admitted per drain pass under one admission-lock hold
+  /// (the paper's admission-queue scheduling section, batched): 1 replays
+  /// the serial one-at-a-time server exactly; larger values amortize the
+  /// lock and the selection re-score across up to this many grants with
+  /// identical decisions.
+  std::size_t admission_batch = 8;
+  /// Shards of the lease table (lease- and file-keyed maps); lease
+  /// bookkeeping locks are per-shard, never the admission mutex.
+  std::size_t lease_shards = 16;
+  /// Coalesce concurrent fetches: a granted request whose bundle overlaps
+  /// a transfer still in flight waits for that transfer instead of
+  /// starting its job before the bytes arrive (0 disables, restoring the
+  /// pre-coalescing fire-and-forget grant).
+  bool coalesce = true;
+  /// Debug/test builds: run the Reference engine in lock-step shadow next
+  /// to the configured one and assert bit-identical decisions (requires a
+  /// policy_factory that honors it, e.g. the serving tools' --shadow-diff
+  /// wiring through testing::make_shadow_policy; a divergence throws out
+  /// of acquire()).
+  bool shadow_diff = false;
+  /// Pre-batching wire loop: one frame per recv pair and one send per
+  /// reply, exactly the serial transport this PR series replaced. The
+  /// serving bench gate runs its baseline leg with this on so the
+  /// speedup is measured against the old stack, not a hybrid.
+  bool legacy_wire = false;
+  /// Optional policy constructor override. When set, the server builds
+  /// its replacement policy through this hook instead of make_policy --
+  /// the seam the shadow_diff mode and the deterministic test harness use
+  /// to inject instrumented policies without the service library
+  /// depending on the testing library.
+  std::function<PolicyPtr(const std::string&, const PolicyContext&)>
+      policy_factory;
 };
 
 /// Result of one acquire() call.
@@ -128,15 +190,33 @@ class BundleServer {
   /// future acquires. release()/stats()/audit() keep working.
   void close();
 
+  /// Test hook for the deterministic scheduling harness: while paused, no
+  /// drain pass runs, so acquires enqueue (or reject on a full queue) but
+  /// never admit. Unpausing wakes every waiter and drains normally. The
+  /// hook makes queue composition -- and therefore the admission order,
+  /// which is a pure function of queue content under mu_ -- independent
+  /// of thread scheduling.
+  void set_admission_paused(bool paused);
+
+  [[nodiscard]] bool admission_paused() const;
+
   /// Consistent counter snapshot.
   [[nodiscard]] ServiceStats stats() const;
 
   /// Full observability snapshot: stats() plus named counters and the
   /// per-stage latency/size histograms (the MsgType::MetricsReply body).
   /// Histogram counts tie to stats() once in-flight acquires have
-  /// returned: every acquire.* duration histogram then holds exactly
-  /// `requests` observations and lease.hold_us holds `leases_released`.
+  /// returned: every acquire.{queue,reserve,fetch,total}_us histogram
+  /// then holds exactly `requests` observations and lease.hold_us holds
+  /// `leases_released`. acquire.coalesce_us counts only grants that
+  /// blocked on an overlapping transfer, and admit.batch_size counts
+  /// drain passes that admitted at least one waiter.
   [[nodiscard]] MetricsSnapshot metrics() const;
+
+  /// Sorted snapshot of the resident file set. The deterministic
+  /// scheduling harness (testing/sched_sim) compares this as the "final
+  /// cache state" between batched and serial replays of one schedule.
+  [[nodiscard]] std::vector<FileId> resident_files() const;
 
   /// Most recent per-request spans, oldest first (bounded by
   /// ServiceConfig::span_capacity).
@@ -156,9 +236,31 @@ class BundleServer {
 
  private:
   struct Waiter {
+    enum class State {
+      Queued,    ///< in queue_, not yet admitted
+      Admitted,  ///< reserved + leased by a drain pass; owner runs the fetch
+      Backoff,   ///< failed a transfer draw; sleeping before re-queueing
+    };
+
     const Request* request = nullptr;
     Bytes bundle_bytes = 0;
     std::uint64_t admissions_at_enqueue = 0;
+    State state = State::Queued;
+    /// Outcome of admission, filled in by the draining thread (which may
+    /// be a different thread than the waiter's own) under mu_.
+    LeaseId lease = 0;
+    bool request_hit = false;
+    double stage_s = 0.0;
+    Bytes missing_bytes = 0;
+    /// Files this admission actually stages (missing at reserve time);
+    /// the coalescer keys in-flight transfers on them.
+    std::vector<FileId> fetched;
+    std::uint32_t failed_attempts = 0;
+    /// Stage boundary instants stamped by the draining thread so span
+    /// timings survive batched admission (the waiter may be asleep in
+    /// cv_.wait while another thread admits it).
+    std::chrono::steady_clock::time_point t_admit{};
+    std::chrono::steady_clock::time_point t_reserved{};
   };
 
   /// Index into queue_ of the next request to admit under config_.order.
@@ -169,14 +271,23 @@ class BundleServer {
   /// resident file would release.
   [[nodiscard]] bool fits_locked(const Request& request) const;
 
+  /// Admits up to config_.admission_batch queued waiters in the exact
+  /// order the serial server would (choose_locked -> failure draw ->
+  /// fits_locked -> admit), marking each Admitted and notifying. Stops
+  /// early when the chosen head does not fit, is backing off, or fails
+  /// its transfer draw (head-of-line semantics are part of the decision
+  /// contract). Returns the number admitted.
+  std::size_t drain_locked();
+
   /// Evicts victims, inserts missing files, grants the lease and records
   /// metrics. Returns the simulated staging seconds through `stage_s`.
   LeaseId admit_locked(const Request& request, Bytes bundle_bytes,
-                       bool* request_hit, double* stage_s);
+                       bool* request_hit, double* stage_s,
+                       std::vector<FileId>* fetched, Bytes* missing_bytes);
 
-  /// Counts the outcome under obs_mu_ and records the span. Duration
-  /// histograms are recorded separately (Ok grants only) so their counts
-  /// tie exactly to stats().requests.
+  /// Counts the outcome under obs_mu_ and records the span (error paths;
+  /// the Ok-grant path folds its counter bump into the same obs_mu_
+  /// section as the duration histograms so a grant costs one lock).
   void finish_span(obs::ServingSpan span, AcquireStatus status,
                    std::string_view counter);
 
@@ -189,7 +300,8 @@ class BundleServer {
   DiskCache cache_;
   PolicyPtr policy_;
   CacheMetrics metrics_;
-  LeaseTable leases_;
+  ShardedLeaseTable leases_;
+  FetchCoalescer coalescer_;
   Rng fail_rng_;
   std::deque<Waiter*> queue_;
   std::uint64_t admissions_ = 0;
@@ -200,6 +312,7 @@ class BundleServer {
   std::uint64_t transfer_failures_ = 0;
   std::uint64_t released_ = 0;
   bool closed_ = false;
+  bool paused_ = false;  ///< test hook: freeze drain passes (see setter)
   /// Grant instant of each live lease, for the lease.hold_us histogram.
   /// Guarded by mu_; lookups only (fbclint L005: never iterated).
   std::unordered_map<LeaseId, std::chrono::steady_clock::time_point>
@@ -214,10 +327,20 @@ class BundleServer {
   obs::Histogram queue_us_;        ///< enqueue -> admission decision
   obs::Histogram reserve_us_;      ///< admission -> space reserved + leased
   obs::Histogram fetch_us_;        ///< reserve -> bundle resident
+  obs::Histogram coalesce_us_;     ///< blocked on an overlapping transfer
   obs::Histogram total_us_;        ///< enqueue -> grant
   obs::Histogram hold_us_;         ///< grant -> release
   obs::Histogram queue_depth_;     ///< waiters ahead at enqueue
+  obs::Histogram batch_size_;      ///< admissions per non-empty drain pass
   obs::SpanRecorder spans_;        ///< bounded ring (config.span_capacity)
+  /// Pre-resolved cells for the per-grant counters (CounterRegistry::slot
+  /// pointers into counters_; map nodes are stable). Bumped under obs_mu_
+  /// exactly like counters_.add(), minus the string lookup per request.
+  std::uint64_t* acquire_ok_slot_;
+  std::uint64_t* release_ok_slot_;
+  std::uint64_t* release_unknown_slot_;
+  std::uint64_t* transfers_slot_;
+  std::uint64_t* coalesced_slot_;
 };
 
 }  // namespace fbc::service

@@ -1,6 +1,7 @@
 #include "testing/fuzzer.hpp"
 
 #include <filesystem>
+#include <optional>
 #include <ostream>
 #include <set>
 #include <stdexcept>
@@ -15,6 +16,38 @@ namespace {
 
 std::string queue_mode_name(QueueMode mode) {
   return mode == QueueMode::Sliding ? "sliding" : "batch";
+}
+
+/// ServiceConfig for the serving family: optfb on the Incremental engine
+/// with the Reference engine attached as a lock-step shadow, so one
+/// replay checks both batching equivalence and engine equivalence.
+service::ServiceConfig serve_config(std::uint64_t seed) {
+  service::ServiceConfig config;
+  config.policy = "optfb";
+  config.engine = SelectEngine::Incremental;
+  config.seed = seed;
+  config.policy_factory = [](const std::string& name,
+                             const PolicyContext& context) {
+    return make_shadow_policy("enginediff:" + name, context);
+  };
+  return config;
+}
+
+/// Runs the serial-vs-batched replay pair; returns the violation caught,
+/// if any. EngineDivergence surfaces as its own oracle class.
+std::optional<Violation> check_schedule(const SchedInstance& instance,
+                                        std::size_t batch,
+                                        std::uint64_t seed) {
+  try {
+    if (std::optional<std::string> diff =
+            check_batch_equivalence(instance, batch, serve_config(seed)))
+      return Violation{"serve_batch_equivalence", "optfb", *diff};
+  } catch (const EngineDivergence& e) {
+    return Violation{"serve_engine_diff", "optfb", e.what()};
+  } catch (const std::exception& e) {
+    return Violation{"serve_replay", "optfb", e.what()};
+  }
+  return std::nullopt;
 }
 
 /// Stamps failure provenance onto a reproducer trace.
@@ -108,6 +141,46 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream& log) {
       }
     }
 
+    if (config.run_serve && !capped()) {
+      Rng rng(iter_seed ^ 0x5e47ed1f5ULL);
+      const SchedInstance instance =
+          generate_sched_instance(config.sched_gen, rng);
+      const std::size_t batch = 2 + rng.index(7);  // admission_batch 2..8
+      ++report.serve_runs;
+      std::optional<Violation> violation =
+          check_schedule(instance, batch, iter_seed);
+      if (violation.has_value() && fresh(*violation) && !capped()) {
+        log << "fbcfuzz: iter " << iter << ": " << violation->to_string()
+            << "\n";
+        SchedInstance repro = instance;
+        if (config.shrink) {
+          const std::string oracle = violation->oracle;
+          repro = shrink_sched_instance(
+              std::move(repro),
+              [batch, iter_seed, &oracle](const SchedInstance& c) {
+                const std::optional<Violation> v =
+                    check_schedule(c, batch, iter_seed);
+                return v.has_value() && v->oracle == oracle;
+              });
+        }
+        Trace trace = sched_instance_to_trace(repro);
+        trace.set_meta("batch", std::to_string(batch));
+        trace.set_meta("serve_seed", std::to_string(iter_seed));
+        stamp(trace, *violation, config.seed, iter);
+        FuzzFailure failure;
+        failure.violation = std::move(*violation);
+        failure.iteration = iter;
+        failure.shrunk_jobs = repro.ops.size();
+        failure.reproducer_path = write_reproducer(
+            trace, config.out_dir, "serve", config.seed, iter, log);
+        log << "fbcfuzz: shrunk to " << failure.shrunk_jobs << " op(s)";
+        if (!failure.reproducer_path.empty())
+          log << ", wrote " << failure.reproducer_path;
+        log << "\n";
+        report.failures.push_back(std::move(failure));
+      }
+    }
+
     if (config.run_sim && !capped()) {
       Rng rng(iter_seed ^ 0x51f7a11ceULL);
       const SimInstance instance = generate_sim_instance(config.sim_gen, rng);
@@ -172,6 +245,18 @@ std::vector<Violation> replay_reproducer(const Trace& trace) {
     if (const std::string* nodes = trace.meta_value("exact_nodes"))
       budget = std::stoull(*nodes);
     return check_select_instance(instance, budget);
+  }
+  if (*kind == "serve") {
+    const SchedInstance instance = sched_instance_from_trace(trace);
+    std::size_t batch = 4;
+    if (const std::string* b = trace.meta_value("batch"))
+      batch = std::stoull(*b);
+    std::uint64_t seed = 1;
+    if (const std::string* s = trace.meta_value("serve_seed"))
+      seed = std::stoull(*s);
+    if (std::optional<Violation> v = check_schedule(instance, batch, seed))
+      return {std::move(*v)};
+    return {};
   }
   if (*kind == "sim") {
     const std::string* policy = trace.meta_value("policy");

@@ -14,6 +14,7 @@
 
 #include "testing/instance_gen.hpp"
 #include "testing/oracles.hpp"
+#include "testing/sched_sim.hpp"
 
 namespace fbc::testing {
 
@@ -24,6 +25,12 @@ struct FuzzConfig {
   /// Which oracle families run.
   bool run_select = true;
   bool run_sim = true;
+  /// Serving family (fbcfuzz --serve-diff): replays a random multi-client
+  /// schedule against a real BundleServer, serial vs batched admission,
+  /// with the Reference engine shadowing the Incremental one in lock-step.
+  /// Catches batching divergences and engine divergences on the actual
+  /// concurrent hot path rather than in the single-threaded simulator.
+  bool run_serve = false;
   /// Policies exercised by the simulation oracles; empty = every
   /// registered policy. Names may use the "underfree:" self-test prefix.
   std::vector<std::string> policies;
@@ -37,6 +44,7 @@ struct FuzzConfig {
   std::size_t max_failures = 8;
   SelectGenConfig select_gen;
   SimGenConfig sim_gen;
+  SchedGenConfig sched_gen;
 };
 
 /// One caught-and-shrunk failure.
@@ -54,6 +62,7 @@ struct FuzzReport {
   std::uint64_t iterations = 0;
   std::uint64_t select_instances = 0;
   std::uint64_t sim_runs = 0;
+  std::uint64_t serve_runs = 0;
   std::uint64_t exact_truncations = 0;
   std::vector<FuzzFailure> failures;
 

@@ -398,6 +398,11 @@ PolicyPtr make_underfree_policy(PolicyPtr inner) {
   return std::make_unique<UnderfreePolicy>(std::move(inner));
 }
 
+PolicyPtr make_shadow_policy(const std::string& policy_name,
+                             const PolicyContext& context) {
+  return make_checked_policy(policy_name, context);
+}
+
 PolicyPtr make_engine_diff_policy(
     std::unique_ptr<OptFileBundlePolicy> reference,
     std::unique_ptr<OptFileBundlePolicy> incremental) {

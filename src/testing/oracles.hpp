@@ -31,6 +31,7 @@
 
 #include "cache/policy.hpp"
 #include "core/opt_file_bundle.hpp"
+#include "core/registry.hpp"
 #include "testing/audit.hpp"
 #include "testing/instance_gen.hpp"
 
@@ -85,6 +86,16 @@ class EngineDivergence : public std::runtime_error {
 /// config (whose `engine` field is overridden per instance).
 [[nodiscard]] PolicyPtr make_engine_diff_policy(const FileCatalog& catalog,
                                                 OptFileBundleConfig config);
+
+/// Policy factory understanding the testing prefixes: "underfree:<name>"
+/// and "enginediff:<optfb-name>" build the corresponding checked adapter,
+/// anything else falls through to make_policy. This is the function the
+/// serving tools install as ServiceConfig::policy_factory when
+/// --shadow-diff is set, so a BundleServer runs the Reference engine in
+/// lock-step shadow of the Incremental one and throws EngineDivergence
+/// out of acquire() at the first disagreeing decision.
+[[nodiscard]] PolicyPtr make_shadow_policy(const std::string& policy_name,
+                                           const PolicyContext& context);
 
 /// The engines_agree oracle: replays `trace` under the engine-diff adapter
 /// for `policy_name` (an optfb* registry name, without prefix) and reports

@@ -1,0 +1,166 @@
+// Deterministic multi-client scheduling harness for BundleServer.
+//
+// The batched admission path must be *observationally identical* to the
+// serial one: same grants, same hit flags, same evictions, same final
+// cache state, for any interleaving of concurrent clients. Plain
+// multi-threaded stress tests cannot pin that down -- the OS scheduler
+// randomizes enqueue order, so two runs of the "same" test legitimately
+// differ and a real batching bug hides in the noise.
+//
+// SchedSim removes the scheduler from the picture. A schedule is a flat,
+// seed-generated list of client operations replayed in *waves*: admission
+// is paused (BundleServer::set_admission_paused), each wave's acquires
+// are enqueued one at a time -- the driver waits until a request is
+// visibly queued (or already rejected) before issuing the next -- then
+// admission resumes and the wave drains. Queue composition is therefore a
+// pure function of the schedule, and since admission decisions are made
+// under the server lock in queue order, the entire outcome (grant
+// sequence, hits, evictions, final residency) is reproducible bit for
+// bit from (schedule, ServiceConfig). Time is virtual throughout: the
+// server runs at time_scale = 0, so simulated staging costs no wall
+// clock and timeouts never race.
+//
+// That determinism is what makes the equivalence check meaningful:
+// replaying one schedule at admission_batch = 1 and admission_batch = k
+// must produce byte-identical SchedOutcomes, and when it does not, the
+// failing schedule shrinks (delta-debugging over ops, then over bundle
+// files) to a minimal reproducer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/catalog.hpp"
+#include "cache/types.hpp"
+#include "service/server.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace fbc::testing {
+
+/// One client-issued operation in a schedule.
+struct SchedOp {
+  std::uint32_t client = 0;
+  /// Release the client's oldest held lease before acquiring (no-op when
+  /// the client holds nothing at that point in the replay).
+  bool release_oldest = false;
+  Request request;
+
+  bool operator==(const SchedOp&) const = default;
+};
+
+/// A self-contained schedule: catalog, cache size, and the op list.
+struct SchedInstance {
+  FileCatalog catalog;
+  Bytes cache_bytes = 0;
+  /// Acquires enqueued per admission wave (>= 1). Waves model "k clients
+  /// arrive while the server is busy"; a wave of 1 degenerates to fully
+  /// serial arrival.
+  std::size_t wave = 4;
+  std::vector<SchedOp> ops;
+};
+
+/// Knobs for generate_sched_instance(). All ranges are inclusive.
+struct SchedGenConfig {
+  std::size_t min_files = 4;
+  std::size_t max_files = 24;
+  std::size_t min_ops = 4;
+  std::size_t max_ops = 40;
+  std::size_t max_clients = 4;
+  std::size_t max_bundle_files = 4;
+  std::size_t max_wave = 6;
+  Bytes min_file_bytes = 1;
+  Bytes max_file_bytes = 64;
+  /// Hot-set overlap (as in SelectGenConfig): concentrated bundle draws
+  /// drive file sharing up, which is where batched eviction decisions can
+  /// diverge from serial ones.
+  double hot_prob = 0.6;
+  std::size_t hot_files = 4;
+  /// Probability an op releases the client's oldest lease first. Releases
+  /// interleaved with queued acquires exercise the "space freed while the
+  /// queue is non-empty" drain paths.
+  double release_prob = 0.5;
+};
+
+/// Generates one random schedule; deterministic in the Rng state. The
+/// cache is sized to fit the largest bundle but not the whole catalog,
+/// so replays actually evict -- and never below feasible_cache_floor(),
+/// so every wave resolves (see below).
+[[nodiscard]] SchedInstance generate_sched_instance(
+    const SchedGenConfig& config, Rng& rng);
+
+/// Smallest capacity at which every admission in the replay is feasible
+/// at its turn: the maximum over ops of (pinned union bytes at that op's
+/// admission + its bundle bytes), simulating the exact wave replay order
+/// (releases first, then admissions, both in op order). At or above this
+/// floor no waiter ever needs a release from a *later* wave to fit, so a
+/// wave's threads always join without timing out -- the property that
+/// keeps replays deterministic (admission-timeout ordering is the one
+/// wall-clock race the harness cannot pin).
+[[nodiscard]] Bytes feasible_cache_floor(const SchedInstance& instance);
+
+/// Outcome of one op, in schedule order.
+struct GrantRecord {
+  std::uint32_t client = 0;
+  std::uint8_t status = 0;  ///< service::AcquireStatus
+  std::uint8_t hit = 0;     ///< whole bundle was resident at admission
+
+  bool operator==(const GrantRecord&) const = default;
+};
+
+/// Everything the equivalence check compares between two replays.
+struct SchedOutcome {
+  std::vector<GrantRecord> grants;  ///< one per op, schedule order
+  std::vector<FileId> resident;     ///< sorted final resident set
+  std::uint64_t requests = 0;       ///< grants (stats().requests)
+  std::uint64_t request_hits = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejected_full = 0;
+
+  bool operator==(const SchedOutcome&) const = default;
+};
+
+/// Renders an outcome as one line per grant plus the summary counters
+/// (mismatch diagnostics and reproducer dumps).
+[[nodiscard]] std::string to_string(const SchedOutcome& outcome);
+
+/// Replays `instance` against a real BundleServer in deterministic waves
+/// (see file comment). `config` supplies everything but cache_bytes
+/// (taken from the instance); order is forced to Fifo and time_scale to 0
+/// -- the two knobs that would reintroduce wall-clock dependence. All
+/// leases still held at the end are released (clients in index order)
+/// before the final cache state is captured. Any server-side audit
+/// violation after the replay throws std::runtime_error.
+[[nodiscard]] SchedOutcome run_schedule(const SchedInstance& instance,
+                                        service::ServiceConfig config);
+
+/// Replays `instance` serially (admission_batch = 1) and batched
+/// (admission_batch = `batch`) and returns a human-readable description
+/// of the first divergence, or std::nullopt when the outcomes are
+/// identical. `config` seeds both replays.
+[[nodiscard]] std::optional<std::string> check_batch_equivalence(
+    const SchedInstance& instance, std::size_t batch,
+    const service::ServiceConfig& config);
+
+/// Shrinks a failing schedule to a local minimum of `pred` (true = still
+/// failing): ops are dropped chunk-wise (halves down to singles), then
+/// individual files are dropped from bundles. `pred(instance)` must be
+/// true on entry.
+using SchedPredicate = std::function<bool(const SchedInstance&)>;
+[[nodiscard]] SchedInstance shrink_sched_instance(SchedInstance instance,
+                                                  const SchedPredicate& pred);
+
+/// Serializes a schedule as a v3 trace (kind=serve): one job per op, plus
+/// clients/releases CSVs and wave/cache_bytes meta entries -- the fbcfuzz
+/// reproducer format, replayable with fbcfuzz --replay.
+[[nodiscard]] Trace sched_instance_to_trace(const SchedInstance& instance);
+
+/// Parses a trace produced by sched_instance_to_trace(). Throws
+/// std::runtime_error when required meta entries are missing/malformed.
+[[nodiscard]] SchedInstance sched_instance_from_trace(const Trace& trace);
+
+}  // namespace fbc::testing

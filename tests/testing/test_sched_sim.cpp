@@ -1,0 +1,215 @@
+// SchedSim harness tests: feasibility-floor math on hand-built schedules,
+// replay determinism against a real BundleServer, batched-vs-serial
+// equivalence across seeds (with and without the Reference engine
+// shadowing the Incremental one), reproducer-trace round-trips, and
+// delta-debugging shrink behavior.
+#include "testing/sched_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "testing/oracles.hpp"
+#include "util/rng.hpp"
+
+namespace fbc::testing {
+namespace {
+
+/// Base serving config for replays: optfb on the incremental engine, like
+/// the fbcfuzz --serve-diff campaign (cache_bytes comes from the
+/// instance; run_schedule forces Fifo order and time_scale = 0 itself).
+service::ServiceConfig replay_config(std::uint64_t seed) {
+  service::ServiceConfig config;
+  config.policy = "optfb";
+  config.engine = SelectEngine::Incremental;
+  config.seed = seed;
+  return config;
+}
+
+/// Same, with the Reference engine attached in lock-step shadow: any
+/// decision divergence throws EngineDivergence out of the replay.
+service::ServiceConfig shadow_config(std::uint64_t seed) {
+  service::ServiceConfig config = replay_config(seed);
+  config.policy_factory = [](const std::string& name,
+                             const PolicyContext& context) {
+    return make_shadow_policy("enginediff:" + name, context);
+  };
+  return config;
+}
+
+/// Two disjoint single-file bundles on one client: op 1 releases op 0's
+/// lease first, so the pin overlap -- and therefore the feasibility
+/// floor -- depends only on how the ops split into waves.
+SchedInstance two_file_instance(std::size_t wave) {
+  SchedInstance instance;
+  instance.catalog = FileCatalog({10, 20});
+  instance.wave = wave;
+  SchedOp first;
+  first.client = 0;
+  first.request = Request({0});
+  SchedOp second;
+  second.client = 0;
+  second.release_oldest = true;
+  second.request = Request({1});
+  instance.ops = {first, second};
+  instance.cache_bytes = feasible_cache_floor(instance);
+  return instance;
+}
+
+TEST(FeasibleCacheFloor, SerialWavesReleaseBeforeTheNextAdmission) {
+  // wave = 1: op 1's release runs in its own wave, before its admission,
+  // so file 0 (10 B) is unpinned when bundle {1} (20 B) is admitted.
+  EXPECT_EQ(feasible_cache_floor(two_file_instance(1)), 20u);
+}
+
+TEST(FeasibleCacheFloor, SameWaveReleasesCannotFreeTheWaveOwnPins) {
+  // wave = 2: both ops share a wave. Releases run during the paused
+  // enqueue phase -- before ANY admission of the wave -- and the client
+  // holds nothing at that point, so the release is a no-op and op 1 must
+  // fit alongside op 0's freshly pinned 10 B: floor = 10 + 20.
+  EXPECT_EQ(feasible_cache_floor(two_file_instance(2)), 30u);
+}
+
+TEST(FeasibleCacheFloor, PinsStackAcrossClients) {
+  SchedInstance instance;
+  instance.catalog = FileCatalog({10, 20, 40});
+  instance.wave = 3;
+  for (std::uint32_t client = 0; client < 3; ++client) {
+    SchedOp op;
+    op.client = client;
+    op.request = Request({static_cast<FileId>(client)});
+    instance.ops.push_back(op);
+  }
+  // No releases: the third admission sees 10 + 20 pinned plus its own 40.
+  EXPECT_EQ(feasible_cache_floor(instance), 70u);
+}
+
+TEST(SchedSim, GeneratorRespectsBoundsAndFeasibility) {
+  SchedGenConfig gen;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const SchedInstance instance = generate_sched_instance(gen, rng);
+    EXPECT_GE(instance.ops.size(), gen.min_ops);
+    EXPECT_LE(instance.ops.size(), gen.max_ops);
+    EXPECT_GE(instance.catalog.count(), gen.min_files);
+    EXPECT_LE(instance.catalog.count(), gen.max_files);
+    EXPECT_GE(instance.wave, 1u);
+    EXPECT_LE(instance.wave, gen.max_wave);
+    // Every wave must be admissible at the generated capacity -- the
+    // property that keeps replays deterministic (no timeout races).
+    EXPECT_GE(instance.cache_bytes, feasible_cache_floor(instance));
+    for (const SchedOp& op : instance.ops) {
+      EXPECT_LT(op.client, gen.max_clients);
+      ASSERT_FALSE(op.request.files.empty());
+      for (FileId id : op.request.files) ASSERT_LT(id, instance.catalog.count());
+    }
+  }
+}
+
+TEST(SchedSim, ReplayIsDeterministic) {
+  SchedGenConfig gen;
+  Rng rng(7);
+  const SchedInstance instance = generate_sched_instance(gen, rng);
+  const SchedOutcome a = run_schedule(instance, replay_config(7));
+  const SchedOutcome b = run_schedule(instance, replay_config(7));
+  EXPECT_EQ(a, b) << "--- first ---\n"
+                  << to_string(a) << "--- second ---\n"
+                  << to_string(b);
+  EXPECT_EQ(a.grants.size(), instance.ops.size());
+  EXPECT_GT(a.requests, 0u);
+  EXPECT_FALSE(to_string(a).empty());
+}
+
+TEST(SchedSim, BatchedMatchesSerialAcrossSeeds) {
+  SchedGenConfig gen;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const SchedInstance instance = generate_sched_instance(gen, rng);
+    const std::size_t batch = 2 + seed % 7;
+    const std::optional<std::string> diff =
+        check_batch_equivalence(instance, batch, replay_config(seed));
+    EXPECT_FALSE(diff.has_value())
+        << "seed " << seed << " batch " << batch << ":\n"
+        << *diff;
+  }
+}
+
+TEST(SchedSim, ShadowEngineStaysInLockStepAcrossSeeds) {
+  // Same equivalence sweep, but with the Reference engine shadowing the
+  // Incremental one inside both replays: a single diverging eviction
+  // decision throws EngineDivergence and fails the test.
+  SchedGenConfig gen;
+  for (std::uint64_t seed = 100; seed < 125; ++seed) {
+    Rng rng(seed);
+    const SchedInstance instance = generate_sched_instance(gen, rng);
+    const std::optional<std::string> diff =
+        check_batch_equivalence(instance, 4, shadow_config(seed));
+    EXPECT_FALSE(diff.has_value()) << "seed " << seed << ":\n" << *diff;
+  }
+}
+
+TEST(SchedSim, TraceRoundTripPreservesTheSchedule) {
+  SchedGenConfig gen;
+  Rng rng(11);
+  const SchedInstance instance = generate_sched_instance(gen, rng);
+  const Trace trace = sched_instance_to_trace(instance);
+  const SchedInstance parsed = sched_instance_from_trace(trace);
+
+  EXPECT_EQ(parsed.wave, instance.wave);
+  EXPECT_EQ(parsed.cache_bytes, instance.cache_bytes);
+  ASSERT_EQ(parsed.catalog.count(), instance.catalog.count());
+  for (FileId id = 0; id < instance.catalog.count(); ++id)
+    EXPECT_EQ(parsed.catalog.size_of(id), instance.catalog.size_of(id));
+  EXPECT_EQ(parsed.ops, instance.ops);
+
+  // And the round-tripped schedule replays to the same outcome.
+  EXPECT_EQ(run_schedule(parsed, replay_config(11)),
+            run_schedule(instance, replay_config(11)));
+}
+
+TEST(SchedSim, ShrinkMinimizesToThePredicateCore) {
+  // Structural predicate ("some bundle contains file 3"): shrinking must
+  // drop every other op and every other file from the surviving bundle.
+  SchedInstance instance;
+  instance.catalog = FileCatalog({8, 8, 8, 8, 8});
+  instance.wave = 2;
+  const std::vector<std::vector<FileId>> bundles = {
+      {0, 1}, {2}, {1, 3, 4}, {0}, {2, 4}, {3}};
+  for (std::size_t i = 0; i < bundles.size(); ++i) {
+    SchedOp op;
+    op.client = static_cast<std::uint32_t>(i % 2);
+    op.release_oldest = (i % 3 == 0);
+    op.request = Request(std::vector<FileId>(bundles[i]));
+    instance.ops.push_back(std::move(op));
+  }
+  instance.cache_bytes = feasible_cache_floor(instance);
+
+  const SchedPredicate has_file_3 = [](const SchedInstance& candidate) {
+    return std::any_of(
+        candidate.ops.begin(), candidate.ops.end(), [](const SchedOp& op) {
+          return std::find(op.request.files.begin(), op.request.files.end(),
+                           FileId{3}) != op.request.files.end();
+        });
+  };
+  const SchedInstance shrunk =
+      shrink_sched_instance(instance, has_file_3);
+  ASSERT_EQ(shrunk.ops.size(), 1u);
+  EXPECT_EQ(shrunk.ops[0].request.files, std::vector<FileId>({3}));
+  // Shrinking keeps candidates feasible, so the reproducer still replays
+  // deterministically.
+  EXPECT_GE(shrunk.cache_bytes, feasible_cache_floor(shrunk));
+}
+
+TEST(SchedSim, ShrinkRejectsAPassingInput) {
+  const SchedInstance instance = two_file_instance(1);
+  EXPECT_THROW(
+      (void)shrink_sched_instance(instance,
+                                  [](const SchedInstance&) { return false; }),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fbc::testing

@@ -1,0 +1,115 @@
+// Serving-tool plumbing tests: the RetryBudget that caps cumulative
+// QueueFull backoff at the per-request timeout (the fbcload retry
+// regression), and the flag -> ServiceConfig mapping both serving tools
+// share (the surface fbclint L003 audits).
+#include "tools/serving_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fbc::tools {
+namespace {
+
+TEST(RetryBudget, HonorsTheServerHintWithinBudget) {
+  RetryBudget budget(100);
+  EXPECT_EQ(budget.next_delay(30), std::optional<std::uint64_t>(30));
+  EXPECT_EQ(budget.remaining_ms(), 70u);
+}
+
+TEST(RetryBudget, ZeroHintStillYieldsAtLeastOneMillisecond) {
+  // A zero retry_after_ms hint must not turn the client into a busy
+  // spinner against a loaded server.
+  RetryBudget budget(10);
+  EXPECT_EQ(budget.next_delay(0), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(budget.remaining_ms(), 9u);
+}
+
+TEST(RetryBudget, LastDelayIsClampedToWhatIsLeft) {
+  RetryBudget budget(40);
+  EXPECT_EQ(budget.next_delay(25), std::optional<std::uint64_t>(25));
+  // Hint exceeds the 15ms left: sleep only the remainder...
+  EXPECT_EQ(budget.next_delay(25), std::optional<std::uint64_t>(15));
+  // ...then give up instead of sleeping past the request timeout.
+  EXPECT_EQ(budget.next_delay(25), std::nullopt);
+  EXPECT_EQ(budget.remaining_ms(), 0u);
+}
+
+TEST(RetryBudget, ZeroTimeoutNeverRetries) {
+  RetryBudget budget(0);
+  EXPECT_EQ(budget.next_delay(1), std::nullopt);
+}
+
+TEST(RetryBudget, CumulativeSleepNeverExceedsTheTimeout) {
+  // The regression this class exists for: N attempts x a deep-queue hint
+  // must not sleep N * hint. Whatever hints the server hands out, the
+  // total sleep is bounded by the construction-time budget.
+  constexpr std::uint64_t kTimeoutMs = 250;
+  RetryBudget budget(kTimeoutMs);
+  std::uint64_t slept = 0;
+  std::size_t attempts = 0;
+  const std::uint32_t hints[] = {0, 90, 7, 1000, 90, 90, 90};
+  for (std::size_t i = 0;; i = (i + 1) % std::size(hints)) {
+    const std::optional<std::uint64_t> delay = budget.next_delay(hints[i]);
+    if (!delay.has_value()) break;
+    slept += *delay;
+    ++attempts;
+    ASSERT_LT(attempts, 1000u) << "budget failed to exhaust";
+  }
+  EXPECT_EQ(slept, kTimeoutMs);  // budget spent exactly, never exceeded
+  EXPECT_EQ(budget.remaining_ms(), 0u);
+}
+
+TEST(ServingCommon, ServiceFlagsMapOntoEveryConfigField) {
+  CliParser cli("test", "flag mapping");
+  add_service_options(cli);
+  cli.parse({"--cache=2MiB", "--policy=lru", "--max-queue=9",
+             "--order=value", "--timeout-ms=1234", "--max-retries=5",
+             "--retry-backoff-ms=20", "--fail-prob=0.25", "--time-scale=0",
+             "--streams=2", "--seed=77", "--retry-cap-ms=500",
+             "--span-capacity=32", "--engine=reference",
+             "--admission-batch=3", "--lease-shards=5", "--no-coalesce",
+             "--shadow-diff", "--legacy-wire"});
+  const service::ServiceConfig config = service_config_from_cli(cli);
+  EXPECT_EQ(config.cache_bytes, 2u * MiB);
+  EXPECT_EQ(config.policy, "lru");
+  EXPECT_EQ(config.max_queue, 9u);
+  EXPECT_EQ(config.order, service::AdmitOrder::ValueDensity);
+  EXPECT_EQ(config.timeout_ms, 1234u);
+  EXPECT_EQ(config.max_retries, 5u);
+  EXPECT_EQ(config.retry_backoff_ms, 20u);
+  EXPECT_DOUBLE_EQ(config.transfer_fail_prob, 0.25);
+  EXPECT_EQ(config.transfer_streams, 2u);
+  EXPECT_EQ(config.seed, 77u);
+  EXPECT_EQ(config.retry_after_cap_ms, 500u);
+  EXPECT_EQ(config.span_capacity, 32u);
+  EXPECT_EQ(config.engine, SelectEngine::Reference);
+  EXPECT_EQ(config.admission_batch, 3u);
+  EXPECT_EQ(config.lease_shards, 5u);
+  EXPECT_FALSE(config.coalesce);
+  EXPECT_TRUE(config.shadow_diff);
+  EXPECT_TRUE(config.legacy_wire);
+  // --shadow-diff must install the enginediff policy factory, or the
+  // flag would silently do nothing at the server.
+  EXPECT_TRUE(static_cast<bool>(config.policy_factory));
+}
+
+TEST(ServingCommon, DefaultsKeepTheOptimizedServingPath) {
+  CliParser cli("test", "defaults");
+  add_service_options(cli);
+  cli.parse(std::vector<std::string>{});
+  const service::ServiceConfig config = service_config_from_cli(cli);
+  EXPECT_EQ(config.engine, SelectEngine::Incremental);
+  EXPECT_GT(config.admission_batch, 1u);
+  EXPECT_GT(config.lease_shards, 1u);
+  EXPECT_TRUE(config.coalesce);
+  EXPECT_FALSE(config.shadow_diff);
+  EXPECT_FALSE(config.legacy_wire);
+  EXPECT_FALSE(static_cast<bool>(config.policy_factory));
+}
+
+}  // namespace
+}  // namespace fbc::tools

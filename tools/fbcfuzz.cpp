@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
                 "the cache simulator");
   cli.add_option("seed", "campaign master seed", "1");
   cli.add_option("iters", "number of fuzzing iterations", "100");
-  cli.add_option("mode", "all|select|sim", "all");
+  cli.add_option("mode", "all|select|sim|serve", "all");
   cli.add_option("policies",
                  "comma-separated policy names for the simulation oracles "
                  "(empty = every registered policy)",
@@ -125,6 +125,11 @@ int main(int argc, char** argv) {
                "campaign mode: replay every generated trace through the "
                "Reference and Incremental selection engines in lock-step "
                "(enginediff: adapter) and shrink any divergence");
+  cli.add_flag("serve-diff",
+               "campaign mode: replay random multi-client schedules "
+               "against a real BundleServer, serial vs batched admission, "
+               "with the Reference engine shadowing the Incremental one; "
+               "shrink any divergence (same as --mode=serve)");
   cli.add_flag("no-shrink", "report failures without shrinking");
   cli.add_flag("inject-bug",
                "self-test: wrap the policies in a deliberately broken "
@@ -168,8 +173,17 @@ int main(int argc, char** argv) {
       config.run_sim = false;
     } else if (mode == "sim") {
       config.run_select = false;
+    } else if (mode == "serve") {
+      config.run_select = false;
+      config.run_sim = false;
+      config.run_serve = true;
     } else if (mode != "all") {
       throw std::invalid_argument("unknown --mode: " + mode);
+    }
+    if (cli.get_flag("serve-diff")) {
+      config.run_select = false;
+      config.run_sim = false;
+      config.run_serve = true;
     }
     config.policies = split_csv(cli.get_string("policies"));
     if (cli.get_flag("engine-diff")) {
@@ -196,6 +210,7 @@ int main(int argc, char** argv) {
     std::cout << "fbcfuzz: " << report.iterations << " iterations, "
               << report.select_instances << " select instances, "
               << report.sim_runs << " simulator runs, "
+              << report.serve_runs << " serving schedules, "
               << report.exact_truncations << " exact-solver truncations, "
               << report.failures.size() << " failure(s)\n";
     for (const FuzzFailure& failure : report.failures) {

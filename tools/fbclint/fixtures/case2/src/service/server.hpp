@@ -1,8 +1,12 @@
-// Fixture serving config: cache_bytes and timeout_ms are surfaced by the
-// fixture serving_common.hpp; secret_knob is a seeded L003 gap.
+// Fixture serving config: cache_bytes, timeout_ms and admission_batch are
+// surfaced by the fixture serving_common.hpp; secret_knob and lease_shards
+// are seeded L003 gaps. policy_factory is a callable member -- exempt from
+// the flag-surface requirement (function-typed fields are injection seams,
+// not CLI knobs) -- so it must NOT fire.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace fx2 {
@@ -11,6 +15,9 @@ struct ServiceConfig {
   std::uint64_t cache_bytes = 1024;
   std::uint64_t timeout_ms = 5000;
   std::uint32_t secret_knob = 7;  // fbclint:expect(L003)
+  std::uint64_t admission_batch = 8;
+  std::uint64_t lease_shards = 16;  // fbclint:expect(L003)
+  std::function<void(const std::string&)> policy_factory;
 };
 
 class Histogram;

@@ -1,5 +1,6 @@
-// Fixture serving CLI surface: flags for cache_bytes and timeout_ms only;
-// ServiceConfig::secret_knob is deliberately missing (seeded L003).
+// Fixture serving CLI surface: flags for cache_bytes, timeout_ms and
+// admission_batch only; ServiceConfig::secret_knob and ::lease_shards are
+// deliberately missing (seeded L003).
 #pragma once
 
 #include "service/server.hpp"
@@ -10,6 +11,7 @@ inline ServiceConfig service_config_from_cli() {
   ServiceConfig config;
   config.cache_bytes = 2048;
   config.timeout_ms = 100;
+  config.admission_batch = 4;
   return config;
 }
 

@@ -52,24 +52,54 @@ struct WorkerResult {
 };
 
 /// Replays job indices i with i % connections == worker over one client.
+///
+/// With `pipeline` (the default), job i's release and job i+1's acquire
+/// travel in one wire round trip (BundleClient::release_acquire), halving
+/// the per-job round trips -- the dominant loopback cost for small
+/// bundles. Latency accounting keeps the nesting the server-vs-client
+/// percentile cross-check relies on: a job's window opens just before the
+/// frame carrying its acquire is written (for pipelined jobs, inside the
+/// previous job's combined call) and closes when its release reply is
+/// read, so the server-side enqueue->grant span always lies inside it.
 void run_worker(std::uint16_t port, const Workload& workload,
                 std::size_t worker, std::size_t connections,
                 std::size_t total_requests, std::uint64_t hold_ms,
+                std::uint64_t timeout_ms, bool pipeline, bool legacy_wire,
                 WorkerResult* out) {
-  service::BundleClient client(port);
+  service::BundleClient client(port, legacy_wire);
+
+  // Honor backpressure: QueueFull is a retry hint, not a failure. Each
+  // retry sleeps the server's load-proportional hint, but the *cumulative*
+  // sleep is capped at the per-request admission timeout (RetryBudget), so
+  // a wedged server fails requests instead of hanging the generator.
+  const auto retry_queue_full = [&](service::AcquireResult r,
+                                    const Request& job) {
+    tools::RetryBudget budget(timeout_ms);
+    while (r.status == service::AcquireStatus::QueueFull) {
+      const auto delay = budget.next_delay(r.retry_after_ms);
+      if (!delay.has_value()) break;  // budget spent: report the failure
+      ++out->queue_retries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(*delay));
+      r = client.acquire(job.files);
+    }
+    return r;
+  };
+
+  bool have_next = false;              // next job already acquired?
+  service::AcquireResult next_result;  // ... its result
+  Clock::time_point next_start{};      // ... and when its acquire was sent
+
   for (std::size_t i = worker; i < total_requests; i += connections) {
     const Request& job = workload.jobs[i % workload.jobs.size()];
-    const auto start = Clock::now();
+    Clock::time_point start;
     service::AcquireResult r;
-    // Honor backpressure: QueueFull is a retry hint, not a failure, but
-    // bound the loop so a wedged server cannot hang the generator.
-    for (int attempt = 0; attempt < 1000; ++attempt) {
-      r = client.acquire(job.files);
-      if (r.status != service::AcquireStatus::QueueFull) break;
-      ++out->queue_retries;
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(std::max<std::uint32_t>(
-              1, r.retry_after_ms)));
+    if (have_next) {
+      start = next_start;
+      r = next_result;
+      have_next = false;
+    } else {
+      start = Clock::now();
+      r = retry_queue_full(client.acquire(job.files), job);
     }
     out->transfer_retries += r.retries;
     if (r.status != service::AcquireStatus::Ok) {
@@ -80,7 +110,21 @@ void run_worker(std::uint16_t port, const Workload& workload,
     }
     if (hold_ms > 0)
       std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
-    if (!client.release(r.lease)) ++out->failed;
+
+    bool released;
+    const std::size_t next_index = i + connections;
+    if (pipeline && next_index < total_requests) {
+      const Request& next_job =
+          workload.jobs[next_index % workload.jobs.size()];
+      next_start = Clock::now();
+      next_result = retry_queue_full(
+          client.release_acquire(r.lease, next_job.files, &released),
+          next_job);
+      have_next = true;
+    } else {
+      released = client.release(r.lease);
+    }
+    if (!released) ++out->failed;
     const auto elapsed = Clock::now() - start;
     const std::chrono::duration<double, std::milli> elapsed_ms = elapsed;
     out->latencies_ms.push_back(elapsed_ms.count());
@@ -177,6 +221,32 @@ std::vector<std::string> check_metrics(const service::MetricsSnapshot& m,
   if (counter_of(m, "acquire.timed_out") != m.stats.timed_out)
     violations.push_back(
         "metrics: counter acquire.timed_out != stats.timed_out");
+  if (counter_of(m, "fetch.transfers") !=
+      m.stats.requests - m.stats.request_hits)
+    violations.push_back(
+        "metrics: counter fetch.transfers != stats misses "
+        "(requests - request_hits)");
+
+  // Batched-admission tie-outs: every grant is counted in exactly one
+  // non-empty drain pass, so the batch-size histogram's *sum* equals the
+  // grant count; the coalesce-wait histogram records exactly the grants
+  // that blocked (the acquire.coalesced counter).
+  const obs::Histogram* batch = histogram_of(m, "admit.batch_size");
+  if (batch == nullptr) {
+    violations.push_back("metrics: histogram admit.batch_size missing");
+  } else if (batch->sum() != m.stats.requests) {
+    violations.push_back("metrics: admit.batch_size sum " +
+                         std::to_string(batch->sum()) +
+                         " != stats.requests " +
+                         std::to_string(m.stats.requests));
+  }
+  const obs::Histogram* coalesce = histogram_of(m, "acquire.coalesce_us");
+  if (coalesce == nullptr) {
+    violations.push_back("metrics: histogram acquire.coalesce_us missing");
+  } else if (coalesce->count() != counter_of(m, "acquire.coalesced")) {
+    violations.push_back(
+        "metrics: acquire.coalesce_us count != acquire.coalesced counter");
+  }
 
   const obs::Histogram* total = histogram_of(m, "acquire.total_us");
   if (total != nullptr && total->count() == client_us.size()) {
@@ -249,6 +319,9 @@ int main(int argc, char** argv) {
   cli.add_flag("inline", "start fbcd in-process on an ephemeral port");
   cli.add_flag("json", "emit the report as JSON");
   cli.add_flag("hist", "also print the server-side metrics histograms");
+  cli.add_flag("no-pipeline",
+               "one round trip per RPC (serial release, pre-batching "
+               "client behavior; bench baseline mode)");
 
   try {
     cli.parse(args);
@@ -282,7 +355,9 @@ int main(int argc, char** argv) {
     for (std::size_t w = 0; w < connections; ++w) {
       threads.emplace_back(run_worker, port, std::cref(workload), w,
                            connections, total_requests, hold_ms,
-                           &results[w]);
+                           cli.get_u64("timeout-ms"),
+                           !cli.get_flag("no-pipeline"),
+                           config.legacy_wire, &results[w]);
     }
     for (std::thread& t : threads) t.join();
     const std::chrono::duration<double> wall = Clock::now() - wall_start;

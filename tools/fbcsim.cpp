@@ -93,13 +93,8 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("unknown --queue-mode: " + queue_mode);
     }
 
-    const std::string engine_name = cli.get_string("engine");
-    SelectEngine engine = SelectEngine::Reference;
-    if (engine_name == "incremental") {
-      engine = SelectEngine::Incremental;
-    } else if (engine_name != "reference") {
-      throw std::invalid_argument("unknown --engine: " + engine_name);
-    }
+    const SelectEngine engine =
+        parse_select_engine(cli.get_string("engine"));
 
     std::vector<std::string> policies;
     if (cli.get_string("policy") == "all") {

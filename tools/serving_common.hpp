@@ -8,11 +8,17 @@
 // id and size without exchanging anything but the flags.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "core/incremental_select.hpp"
+#include "core/registry.hpp"
 #include "grid/mss.hpp"
 #include "service/server.hpp"
+#include "testing/oracles.hpp"
 #include "util/bytes.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -40,6 +46,19 @@ inline void add_service_options(CliParser& cli) {
                  "60000");
   cli.add_option("span-capacity",
                  "per-request spans kept for debugging (0 disables)", "1024");
+  cli.add_option("engine", "optfb selection engine: reference|incremental",
+                 "incremental");
+  cli.add_option("admission-batch",
+                 "queue entries admitted per drain pass (1 = serial)", "8");
+  cli.add_option("lease-shards", "lease-table shard count", "16");
+  cli.add_flag("no-coalesce",
+               "disable single-flight waiting on overlapping fetches");
+  cli.add_flag("shadow-diff",
+               "run the Reference engine in lock-step shadow and assert "
+               "bit-identical decisions (debug)");
+  cli.add_flag("legacy-wire",
+               "pre-batching transport: unbuffered per-frame reads, one "
+               "send per reply (bench baseline mode)");
 }
 
 /// Builds a ServiceConfig from the flags added above.
@@ -60,8 +79,61 @@ inline service::ServiceConfig service_config_from_cli(const CliParser& cli) {
   config.retry_after_cap_ms =
       static_cast<std::uint32_t>(cli.get_u64("retry-cap-ms"));
   config.span_capacity = cli.get_u64("span-capacity");
+  config.engine = parse_select_engine(cli.get_string("engine"));
+  config.admission_batch = cli.get_u64("admission-batch");
+  config.lease_shards = cli.get_u64("lease-shards");
+  config.coalesce = !cli.get_flag("no-coalesce");
+  config.shadow_diff = cli.get_flag("shadow-diff");
+  config.legacy_wire = cli.get_flag("legacy-wire");
+  if (config.shadow_diff) {
+    // The server itself cannot depend on the testing library; install its
+    // prefix-aware factory so "enginediff:<policy>" wraps the configured
+    // policy in the lock-step Reference-vs-Incremental adapter.
+    config.policy_factory = [](const std::string& name,
+                               const PolicyContext& context) {
+      return testing::make_shadow_policy("enginediff:" + name, context);
+    };
+  }
   return config;
 }
+
+/// Client-side budget for QueueFull backpressure retries.
+///
+/// The server's retry_after_ms hint is load-proportional, so honoring it
+/// verbatim is right -- but a naive "sleep the hint, up to N attempts"
+/// loop can sleep N * hint total, far past the request's own admission
+/// timeout (the bug this class replaces: 1000 attempts x a deep-queue
+/// hint is tens of minutes against a wedged server). The budget caps the
+/// *cumulative* sleep at the per-request timeout: each retry sleeps
+/// min(hint, budget left), and once the budget is spent the request is
+/// reported failed instead of retried.
+class RetryBudget {
+ public:
+  /// `timeout_ms` is the total sleep allowance across all retries of one
+  /// request (normally ServiceConfig::timeout_ms).
+  explicit RetryBudget(std::uint64_t timeout_ms) : remaining_ms_(timeout_ms) {}
+
+  /// Milliseconds to sleep before the next attempt, honoring the server
+  /// hint (clamped up to 1ms -- a zero hint must still yield), or
+  /// std::nullopt when the budget is exhausted and the caller should give
+  /// up.
+  [[nodiscard]] std::optional<std::uint64_t> next_delay(
+      std::uint32_t retry_after_ms) {
+    if (remaining_ms_ == 0) return std::nullopt;
+    const std::uint64_t hint = std::max<std::uint64_t>(1, retry_after_ms);
+    const std::uint64_t delay = std::min(hint, remaining_ms_);
+    remaining_ms_ -= delay;
+    return delay;
+  }
+
+  /// Sleep budget still available.
+  [[nodiscard]] std::uint64_t remaining_ms() const noexcept {
+    return remaining_ms_;
+  }
+
+ private:
+  std::uint64_t remaining_ms_;
+};
 
 /// Registers the scenario flags both serving tools share.
 inline void add_scenario_options(CliParser& cli) {
