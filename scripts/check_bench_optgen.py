@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the incremental BundleOPTgen oracle.
+
+Reads the JSON emitted by `bench_optgen --json` and fails when:
+
+* the incremental oracle's per-job slice count grows super-linearly --
+  its growth factor between the smallest and largest sweep point must be
+  at most half the trace-length growth factor (the cost is bounded by
+  reuse-gap lengths, clipped to the window, so it must plateau);
+* the brute-force reference does not cost more per job than the
+  incremental oracle at the largest sweep point (the reference re-scans
+  the whole prefix per job: if it is ever cheaper, the counters are
+  mislabeled or the file is stale);
+* any point reports zero slices (an empty or degenerate sweep).
+
+Usage: check_bench_optgen.py [BENCH_optgen.json]
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_optgen.json"
+    with open(path) as f:
+        data = json.load(f)
+
+    points = sorted(data.get("points", []), key=lambda p: p["jobs"])
+    if len(points) < 2:
+        print(f"{path}: need at least two sweep points", file=sys.stderr)
+        return 1
+
+    failures = []
+    for point in points:
+        if point["incremental"]["slices"] == 0:
+            failures.append(f"jobs={point['jobs']}: zero incremental slices")
+        if point["reference"]["slices"] == 0:
+            failures.append(f"jobs={point['jobs']}: zero reference slices")
+
+    small, large = points[0], points[-1]
+    job_growth = large["jobs"] / small["jobs"]
+    inc_small = small["incremental"]["slices_per_job"]
+    inc_large = large["incremental"]["slices_per_job"]
+    inc_growth = inc_large / inc_small if inc_small > 0 else float("inf")
+    verdict = "ok" if inc_growth <= 0.5 * job_growth else "FAIL"
+    print(f"incremental slices/job: {inc_small:.1f} @ {small['jobs']} jobs -> "
+          f"{inc_large:.1f} @ {large['jobs']} jobs "
+          f"(growth {inc_growth:.2f}x vs jobs {job_growth:.2f}x) [{verdict}]")
+    if inc_growth > 0.5 * job_growth:
+        failures.append(
+            f"incremental slices/job grew {inc_growth:.2f}x over a "
+            f"{job_growth:.2f}x longer trace -- not sub-linear")
+
+    ref_large = large["reference"]["slices_per_job"]
+    verdict = "ok" if ref_large > inc_large else "FAIL"
+    print(f"largest point: reference {ref_large:.1f} slices/job vs "
+          f"incremental {inc_large:.1f} [{verdict}]")
+    if ref_large <= inc_large:
+        failures.append(
+            f"reference slices/job ({ref_large:.1f}) not above the "
+            f"incremental oracle ({inc_large:.1f}) at the largest point")
+
+    if failures:
+        for failure in failures:
+            print(f"check_bench_optgen: {failure}", file=sys.stderr)
+        return 1
+    print("check_bench_optgen: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

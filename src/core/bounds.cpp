@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <unordered_map>
+#include <vector>
 
 namespace fbc {
 
@@ -25,6 +27,53 @@ std::uint32_t max_file_degree(std::span<const SelectionItem> items) {
     }
   }
   return max_degree;
+}
+
+RepeatBound clairvoyant_upper_bound(const FileCatalog& catalog,
+                                    std::span<const Request> jobs,
+                                    Bytes capacity) {
+  RepeatBound bound;
+  std::vector<char> seen(catalog.count(), 0);
+  std::vector<std::uint64_t> degree(catalog.count(), 0);
+  for (const Request& job : jobs) {
+    const Bytes bundle = catalog.request_bytes(job);
+    bool hit = bundle <= capacity;
+    if (hit) {
+      for (FileId f : job.files) {
+        if (seen[f] == 0) {
+          hit = false;
+          break;
+        }
+      }
+    }
+    for (FileId f : job.files) {
+      seen[f] = 1;
+      ++degree[f];
+    }
+    if (hit) {
+      // Degree-adjusted density with d(f) including this occurrence,
+      // matching BundleOPTgen's accounting.
+      double denom = 0.0;
+      for (FileId f : job.files) {
+        denom += static_cast<double>(catalog.size_of(f)) /
+                 static_cast<double>(degree[f]);
+      }
+      ++bound.hits;
+      bound.hit_bytes += bundle;
+      bound.density_value +=
+          denom > 0.0 ? static_cast<double>(bundle) / denom : 0.0;
+    }
+  }
+  return bound;
+}
+
+std::uint64_t naive_repeat_upper_bound(std::span<const Request> jobs) {
+  std::uint64_t hits = 0;
+  std::set<std::vector<FileId>> seen;
+  for (const Request& job : jobs) {
+    if (!seen.insert(job.files).second) ++hits;
+  }
+  return hits;
 }
 
 }  // namespace fbc

@@ -1,13 +1,15 @@
 // Theoretical approximation-bound helpers (paper §4, Theorem 4.1 and the
-// Appendix A improvement). Used by the bound-verification tests and the
-// approximation-ratio bench to annotate measured ratios with the proven
-// floors.
+// Appendix A improvement) plus clairvoyant hit-rate upper bounds for whole
+// job streams. Used by the bound-verification tests, the approximation-ratio
+// bench, and the fbcsim/fbcstat upper-bound reporters.
 #pragma once
 
 #include <cstdint>
 #include <span>
 
+#include "cache/catalog.hpp"
 #include "core/opt_cache_select.hpp"
+#include "util/bytes.hpp"
 
 namespace fbc {
 
@@ -25,5 +27,32 @@ namespace fbc {
 /// bundles share one file.
 [[nodiscard]] std::uint32_t max_file_degree(
     std::span<const SelectionItem> items);
+
+/// A clairvoyant hit-rate upper bound for a job stream, accumulated at the
+/// three weightings used throughout the project: request count, bundle
+/// bytes (the paper's value v(r)) and the degree-adjusted value density
+/// v'(r) = v(r) / sum_f s(f)/d(f) -- the paper's value-density objective.
+struct RepeatBound {
+  std::uint64_t hits = 0;
+  Bytes hit_bytes = 0;
+  double density_value = 0.0;
+};
+
+/// The lookahead (clairvoyant) upper bound, aligned with the paper's
+/// bundle-value objective: job t can be a hit only if its bundle fits the
+/// cache AND every one of its files appeared in some earlier job (empty
+/// bundles are trivial hits). An upper bound on the hits of every policy
+/// under FCFS service; by construction it dominates all three BundleOPTgen
+/// bound levels (core/optgen), which refine it with occupancy feasibility.
+[[nodiscard]] RepeatBound clairvoyant_upper_bound(const FileCatalog& catalog,
+                                                  std::span<const Request> jobs,
+                                                  Bytes capacity);
+
+/// The naive unweighted form this replaced: counts jobs whose *exact*
+/// request was seen before, ignoring capacity, file overlap and bundle
+/// value. Kept only so the old-vs-new regression test can pin how far the
+/// unweighted report diverged from the paper-aligned bound.
+[[nodiscard]] std::uint64_t naive_repeat_upper_bound(
+    std::span<const Request> jobs);
 
 }  // namespace fbc

@@ -1,0 +1,218 @@
+#include "core/optgen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fbc {
+
+BundleOPTgen::BundleOPTgen(const FileCatalog& catalog,
+                           const OptgenConfig& config)
+    : catalog_(&catalog), config_(config) {
+  if (config_.capacity == 0) {
+    throw std::invalid_argument("BundleOPTgen: capacity must be > 0");
+  }
+  if (config_.window_quanta == 0) {
+    throw std::invalid_argument("BundleOPTgen: window_quanta must be > 0");
+  }
+  forced_.assign(config_.window_quanta, 0);
+  committed_.assign(config_.window_quanta, 0);
+  need_.assign(config_.window_quanta, 0);
+  need_epoch_.assign(config_.window_quanta, 0);
+  last_any_.assign(catalog.count(), kNever);
+  last_serviced_.assign(catalog.count(), kNever);
+  degree_.assign(catalog.count(), 0);
+}
+
+void BundleOPTgen::reset() {
+  now_ = 0;
+  std::fill(forced_.begin(), forced_.end(), Bytes{0});
+  std::fill(committed_.begin(), committed_.end(), Bytes{0});
+  std::fill(need_.begin(), need_.end(), Bytes{0});
+  std::fill(need_epoch_.begin(), need_epoch_.end(), std::uint64_t{0});
+  touched_.clear();
+  std::fill(last_any_.begin(), last_any_.end(), kNever);
+  std::fill(last_serviced_.begin(), last_serviced_.end(), kNever);
+  std::fill(degree_.begin(), degree_.end(), std::uint64_t{0});
+  have_serviced_ = false;
+  last_serviced_job_ = kNever;
+  last_serviced_files_.clear();
+  stats_ = OptgenStats{};
+}
+
+Bytes BundleOPTgen::occupancy_at(std::uint64_t u) const noexcept {
+  if (u >= now_) return 0;
+  if (now_ - u > config_.window_quanta) return 0;
+  const std::size_t s = slot(u);
+  return forced_[s] + committed_[s];
+}
+
+void BundleOPTgen::add_need(std::uint64_t u, Bytes bytes) {
+  const std::size_t s = slot(u);
+  // The verdict epoch is now_ + 1 so the zero-initialized stamps never
+  // collide with a live verdict.
+  if (need_epoch_[s] != now_ + 1) {
+    need_epoch_[s] = now_ + 1;
+    need_[s] = 0;
+    touched_.push_back(u);
+  }
+  need_[s] += bytes;
+  ++stats_.slices_scanned;
+}
+
+OptgenVerdict BundleOPTgen::observe(const Request& request) {
+  assert(request.is_canonical());
+  const std::uint64_t t = now_;
+  const std::uint64_t window = config_.window_quanta;
+  const std::uint64_t wstart = t >= window ? t - window : 0;
+  const Bytes capacity = config_.capacity;
+  const Bytes bundle = catalog_->request_bytes(request);
+
+  OptgenVerdict verdict;
+  verdict.serviced = bundle <= capacity;
+
+  if (request.empty()) {
+    // An empty bundle is trivially resident: every policy hits it, and so
+    // does every oracle level.
+    verdict.opt_hit = true;
+    verdict.demand_feasible = true;
+    verdict.reuse_feasible = true;
+  } else if (verdict.serviced) {
+    // Level 3 (reuse): every file appeared before, some earlier job was
+    // serviced, and this bundle unions with the last serviced bundle
+    // within capacity. When the last serviced job is older than the
+    // window the union check is clipped (feasible, truncated).
+    bool all_seen = true;
+    for (FileId f : request.files) {
+      if (last_any_[f] == kNever) {
+        all_seen = false;
+        break;
+      }
+    }
+    if (all_seen && have_serviced_) {
+      if (last_serviced_job_ < wstart) {
+        verdict.truncated = true;
+        verdict.reuse_feasible = true;
+      } else {
+        Bytes union_bytes = bundle;
+        for (FileId f : last_serviced_files_) {
+          if (!request.contains(f)) union_bytes += catalog_->size_of(f);
+        }
+        verdict.reuse_feasible = union_bytes <= capacity;
+      }
+    }
+
+    // Levels 2 and 1 nest inside level 3 by construction (the proofs in
+    // docs/OPTGEN.md show the implications also hold mathematically).
+    if (verdict.reuse_feasible) {
+      bool all_prev_serviced = true;
+      for (FileId f : request.files) {
+        if (last_serviced_[f] == kNever) {
+          all_prev_serviced = false;
+          break;
+        }
+      }
+      if (all_prev_serviced) {
+        touched_.clear();
+        for (FileId f : request.files) {
+          const std::uint64_t p = last_serviced_[f];
+          std::uint64_t lo = p + 1;
+          if (lo < wstart) {
+            verdict.truncated = true;
+            lo = wstart;
+          }
+          const Bytes size = catalog_->size_of(f);
+          for (std::uint64_t u = lo; u < t; ++u) add_need(u, size);
+        }
+        bool demand_ok = true;
+        for (std::uint64_t u : touched_) {
+          ++stats_.slices_scanned;
+          if (forced_[slot(u)] + need_[slot(u)] > capacity) {
+            demand_ok = false;
+            break;
+          }
+        }
+        verdict.demand_feasible = demand_ok;
+        if (demand_ok) {
+          bool opt_ok = true;
+          for (std::uint64_t u : touched_) {
+            ++stats_.slices_scanned;
+            const std::size_t s = slot(u);
+            if (forced_[s] + committed_[s] + need_[s] > capacity) {
+              opt_ok = false;
+              break;
+            }
+          }
+          verdict.opt_hit = opt_ok;
+          if (opt_ok) {
+            for (std::uint64_t u : touched_) {
+              ++stats_.slices_scanned;
+              const std::size_t s = slot(u);
+              committed_[s] += need_[s];
+              stats_.peak_occupancy =
+                  std::max(stats_.peak_occupancy, forced_[s] + committed_[s]);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Record this occurrence. Quantum t's ring slot previously belonged to
+  // quantum t - window, which just left the horizon.
+  const std::size_t ts = slot(t);
+  forced_[ts] = verdict.serviced ? bundle : 0;
+  committed_[ts] = 0;
+  stats_.peak_occupancy = std::max(stats_.peak_occupancy, forced_[ts]);
+  for (FileId f : request.files) {
+    assert(catalog_->valid(f));
+    last_any_[f] = t;
+    ++degree_[f];
+  }
+  if (verdict.serviced) {
+    for (FileId f : request.files) last_serviced_[f] = t;
+    have_serviced_ = true;
+    last_serviced_job_ = t;
+    last_serviced_files_.assign(request.files.begin(), request.files.end());
+  }
+  now_ = t + 1;
+
+  // Statistics. Density weighting uses the degree counts *including* this
+  // occurrence, so d(f) >= 1.
+  ++stats_.jobs;
+  if (verdict.serviced) ++stats_.serviced;
+  if (verdict.truncated) ++stats_.truncated_intervals;
+  if (verdict.reuse_feasible) {
+    double denom = 0.0;
+    for (FileId f : request.files) {
+      denom += static_cast<double>(catalog_->size_of(f)) /
+               static_cast<double>(degree_[f]);
+    }
+    const double density =
+        denom > 0.0 ? static_cast<double>(bundle) / denom : 0.0;
+    ++stats_.reuse_hits;
+    stats_.reuse_hit_bytes += bundle;
+    stats_.reuse_density_value += density;
+    if (verdict.demand_feasible) {
+      ++stats_.demand_hits;
+      stats_.demand_hit_bytes += bundle;
+      stats_.demand_density_value += density;
+    }
+    if (verdict.opt_hit) {
+      ++stats_.opt_hits;
+      stats_.opt_hit_bytes += bundle;
+      stats_.opt_density_value += density;
+    }
+  }
+  return verdict;
+}
+
+OptgenStats replay_optgen(const FileCatalog& catalog,
+                          std::span<const Request> jobs,
+                          const OptgenConfig& config) {
+  BundleOPTgen oracle(catalog, config);
+  for (const Request& job : jobs) oracle.observe(job);
+  return oracle.stats();
+}
+
+}  // namespace fbc

@@ -1,0 +1,172 @@
+// BundleOPTgen: an online OPT occupancy oracle for file-bundle caching.
+//
+// The bundle analogue of ChampSim's OPTgen. Every observed job occupies one
+// time quantum; for each arriving request the oracle asks "could an optimal
+// (or any) schedule have kept this bundle's files resident since their
+// previous occurrences?" and answers with THREE nested verdicts, tightest
+// first:
+//
+//   opt_hit         -- the classic OPTgen greedy: admit the reuse interval
+//                      iff forced + committed occupancy stays within
+//                      capacity at every quantum of the gap, then commit
+//                      the bundle's bytes to those quanta. A heuristic
+//                      estimate of OPT's hit schedule (exact Belady for
+//                      unit-size single-file workloads).
+//   demand_feasible -- a *necessary* condition for any demand-only (non
+//                      prefetching) FCFS policy to hit: each file must have
+//                      a previous serviced occurrence, and at every quantum
+//                      of each file's reuse gap the forced occupancy (the
+//                      bundle bytes of the job serviced at that quantum)
+//                      plus the gap files' bytes must fit the cache.
+//                      Hence demand-hits upper-bound every such policy.
+//   reuse_feasible  -- a *necessary* condition for ANY policy (prefetching
+//                      included) to hit under FCFS: every file appeared in
+//                      some earlier job, some earlier job was serviced, and
+//                      the union of this bundle with the last serviced
+//                      job's bundle fits the cache.
+//
+// Structural nesting (see docs/OPTGEN.md for the proofs):
+//
+//   opt_hit  =>  demand_feasible  =>  reuse_feasible  =>  clairvoyant
+//
+// where "clairvoyant" is the repeat-based lookahead bound in core/bounds.
+// A key invariant making the committed occupancy exact: per-file commitment
+// intervals never overlap (a file's gap is delimited by its own serviced
+// occurrences), so forced[u] + committed[u] counts every retained file's
+// bytes exactly once.
+//
+// Occupancy is kept in a ring buffer of `window_quanta` quanta; reuse gaps
+// reaching further back are clipped to the window (clipped quanta are
+// treated as feasible, so the bound stays an upper bound; the verdict's
+// `truncated` flag records the loss of precision).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/catalog.hpp"
+#include "cache/types.hpp"
+#include "util/bytes.hpp"
+
+namespace fbc {
+
+/// Tuning knobs for the oracle.
+struct OptgenConfig {
+  /// Cache capacity the oracle reasons about. Precondition: > 0.
+  Bytes capacity = 0;
+  /// Ring-buffer horizon: reuse gaps longer than this many jobs are
+  /// clipped (clipped quanta count as feasible). Precondition: > 0.
+  std::size_t window_quanta = 4096;
+};
+
+/// Per-request oracle answer. All hit levels imply `serviced`.
+struct OptgenVerdict {
+  /// Bundle fits the cache at all (mirrors the simulator's serviceability
+  /// rule: unserviceable jobs load nothing and evict nothing).
+  bool serviced = false;
+  /// Level 1 (tightest): the OPTgen greedy committed this reuse interval.
+  bool opt_hit = false;
+  /// Level 2: necessary condition for a demand-only FCFS policy hit.
+  bool demand_feasible = false;
+  /// Level 3: necessary condition for any FCFS policy hit.
+  bool reuse_feasible = false;
+  /// Some reuse gap (or the last serviced job) fell outside the window.
+  bool truncated = false;
+
+  friend bool operator==(const OptgenVerdict&, const OptgenVerdict&) = default;
+};
+
+/// Cumulative oracle statistics. Hit values are accumulated at three
+/// weights: request count, bundle bytes (the paper's value v(r) = bytes
+/// saved), and degree-adjusted value density v'(r) = v(r) / sum s'(f) with
+/// s'(f) = s(f) / d(f) (paper section 3's value-density objective; d(f) is
+/// the file's online occurrence count).
+struct OptgenStats {
+  std::uint64_t jobs = 0;
+  std::uint64_t serviced = 0;
+  std::uint64_t opt_hits = 0;
+  std::uint64_t demand_hits = 0;
+  std::uint64_t reuse_hits = 0;
+  Bytes opt_hit_bytes = 0;
+  Bytes demand_hit_bytes = 0;
+  Bytes reuse_hit_bytes = 0;
+  double opt_density_value = 0.0;
+  double demand_density_value = 0.0;
+  double reuse_density_value = 0.0;
+  /// Number of verdicts whose gaps were clipped to the window.
+  std::uint64_t truncated_intervals = 0;
+  /// Ring-buffer quanta visited while scanning/committing gaps -- the
+  /// oracle's deterministic cost counter (bench_optgen's metric).
+  std::uint64_t slices_scanned = 0;
+  /// Largest forced + committed occupancy ever reached at one quantum.
+  Bytes peak_occupancy = 0;
+};
+
+/// Online incremental OPT occupancy oracle (see file comment).
+class BundleOPTgen {
+ public:
+  /// The catalog must outlive the oracle.
+  /// Preconditions: config.capacity > 0, config.window_quanta > 0.
+  BundleOPTgen(const FileCatalog& catalog, const OptgenConfig& config);
+
+  /// Observes the next job in arrival order and returns its verdict.
+  /// Quanta advance by one per call.
+  OptgenVerdict observe(const Request& request);
+
+  [[nodiscard]] const OptgenStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const OptgenConfig& config() const noexcept { return config_; }
+
+  /// Number of jobs observed so far (== the next quantum index).
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+
+  /// Forced + committed occupancy at quantum `u`, or 0 when `u` is outside
+  /// the current window. Exposed for capacity-invariant checks.
+  [[nodiscard]] Bytes occupancy_at(std::uint64_t u) const noexcept;
+
+  /// Clears all state, making the instance reusable.
+  void reset();
+
+ private:
+  [[nodiscard]] std::size_t slot(std::uint64_t u) const noexcept {
+    return static_cast<std::size_t>(u % config_.window_quanta);
+  }
+  /// Marks quantum `u`'s slot needed by `bytes` for the current verdict,
+  /// lazily resetting stale scratch state.
+  void add_need(std::uint64_t u, Bytes bytes);
+
+  const FileCatalog* catalog_;
+  OptgenConfig config_;
+
+  std::uint64_t now_ = 0;
+  // Ring buffers indexed by quantum % window. forced_[slot(u)] is the
+  // bundle bytes of the job serviced at quantum u (0 when unserviceable);
+  // committed_[slot(u)] is the bytes the OPTgen greedy retained across u.
+  std::vector<Bytes> forced_;
+  std::vector<Bytes> committed_;
+  // Scratch per-verdict gap demand, epoch-stamped so it resets lazily.
+  std::vector<Bytes> need_;
+  std::vector<std::uint64_t> need_epoch_;
+  std::vector<std::uint64_t> touched_;  // quanta with need_ > 0, ascending
+
+  static constexpr std::uint64_t kNever = ~0ULL;
+  // Per-file quantum of the last occurrence in any job / in a serviced
+  // job, and the online occurrence count d(f).
+  std::vector<std::uint64_t> last_any_;
+  std::vector<std::uint64_t> last_serviced_;
+  std::vector<std::uint64_t> degree_;
+
+  bool have_serviced_ = false;
+  std::uint64_t last_serviced_job_ = kNever;
+  std::vector<FileId> last_serviced_files_;
+
+  OptgenStats stats_;
+};
+
+/// Convenience: replays `jobs` through a fresh oracle and returns the final
+/// statistics (the fbcsim/fbcstat upper-bound reporter).
+[[nodiscard]] OptgenStats replay_optgen(const FileCatalog& catalog,
+                                        std::span<const Request> jobs,
+                                        const OptgenConfig& config);
+
+}  // namespace fbc

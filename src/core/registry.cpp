@@ -3,6 +3,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/optgen.hpp"
+#include "policies/adaptive.hpp"
 #include "policies/fifo.hpp"
 #include "policies/gds.hpp"
 #include "policies/gdsf.hpp"
@@ -91,6 +93,32 @@ PolicyPtr make_policy(const std::string& name, const PolicyContext& context) {
   if (name == "gds-fetch")
     return std::make_unique<GdsPolicy>(GdsCost::FetchTime);
   if (name == "random") return std::make_unique<RandomPolicy>(context.seed);
+  if (name == "adaptive") {
+    const FileCatalog& catalog = require_catalog(context, name);
+    std::vector<AdaptiveContender> contenders;
+    for (const char* contender : {"optfb", "landlord", "gdsf"}) {
+      contenders.push_back(AdaptiveContender{
+          contender, make_policy(contender, context),
+          make_policy(contender, context)});
+    }
+    AdaptiveConfig config;
+    config.seed = context.seed;
+    config.sample_period = context.duel_sample_period;
+    config.phase_jobs = context.duel_phase_jobs;
+    // The training signal: a BundleOPTgen oracle fed the same sampled
+    // subsequence the shadow caches replay, created lazily once the real
+    // cache capacity is known.
+    AdaptivePolicy::OracleFactory oracle = [&catalog](Bytes capacity) {
+      auto gen = std::make_shared<BundleOPTgen>(
+          catalog, OptgenConfig{capacity, /*window_quanta=*/4096});
+      return [gen](const Request& request) {
+        return gen->observe(request).opt_hit;
+      };
+    };
+    return std::make_unique<AdaptivePolicy>(catalog, config,
+                                            std::move(contenders),
+                                            std::move(oracle));
+  }
   if (name == "lookahead") {
     if (context.jobs.empty())
       throw std::invalid_argument(
@@ -106,7 +134,7 @@ std::vector<std::string> policy_names() {
           "landlord-size", "lru",         "lru-2",         "lru-3",
           "lfu",          "fifo",         "gds-unit",      "gds-size",
           "gds-fetch",    "gdsf",         "gdsf-unit",     "random",
-          "lookahead"};
+          "lookahead",    "adaptive"};
 }
 
 }  // namespace fbc

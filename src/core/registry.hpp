@@ -20,6 +20,9 @@
 //   gdsf, gdsf-unit  GreedyDual-Size-Frequency (Cherkasova)
 //   random           uniform random eviction
 //   lookahead        clairvoyant farthest-next-use (needs the job stream)
+//   adaptive         set-dueling meta-policy: OptFileBundle vs Landlord vs
+//                    GDSF on sampled request subsets, scored against the
+//                    BundleOPTgen oracle, following the per-phase winner
 #pragma once
 
 #include <optional>
@@ -51,6 +54,11 @@ struct PolicyContext {
   /// Selection engine for optfb* policies (Reference until the
   /// incremental engine has soaked; see core/incremental_select.hpp).
   SelectEngine select_engine = SelectEngine::Reference;
+  /// adaptive: one request in `duel_sample_period` joins the set-dueling
+  /// sample replayed through the shadow caches and the OPT oracle.
+  std::size_t duel_sample_period = 8;
+  /// adaptive: leader re-election interval, in arrivals.
+  std::size_t duel_phase_jobs = 64;
 };
 
 /// Creates the policy registered under `name`.

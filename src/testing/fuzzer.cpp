@@ -4,6 +4,7 @@
 #include <optional>
 #include <ostream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <system_error>
 
@@ -48,6 +49,16 @@ std::optional<Violation> check_schedule(const SchedInstance& instance,
     return Violation{"serve_replay", "optfb", e.what()};
   }
   return std::nullopt;
+}
+
+/// Space-joined policy list for reproducer meta.
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ' ';
+    out += name;
+  }
+  return out;
 }
 
 /// Stamps failure provenance onto a reproducer trace.
@@ -181,6 +192,61 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream& log) {
       }
     }
 
+    if (config.run_optgen && !capped()) {
+      Rng rng(iter_seed ^ 0x0917a6e41ULL);
+      SimGenConfig gen = config.sim_gen;
+      gen.drift_prob = 0.5;  // phase changes stress the oracle's window
+      SimInstance instance = generate_sim_instance(gen, rng);
+      // The oracle's service model is FCFS with no warm-up.
+      instance.config.queue_length = 1;
+      instance.config.queue_mode = QueueMode::Batch;
+      instance.config.warmup_jobs = 0;
+      OptgenCheckConfig check;
+      check.cache_bytes = instance.config.cache_bytes;
+      // Occasionally draw a tiny ring buffer so the interval-clipping
+      // paths (truncated verdicts) are differential-tested too.
+      check.window_quanta = rng.bernoulli(0.25) ? 1 + rng.index(16) : 4096;
+      check.policies = policies;
+      check.seed = iter_seed;
+      ++report.optgen_runs;
+      std::vector<Violation> violations = check_optgen(instance.trace, check);
+      for (const Violation& violation : violations) {
+        if (!fresh(violation) || capped()) continue;
+        log << "fbcfuzz: iter " << iter << ": " << violation.to_string()
+            << "\n";
+        SimInstance repro = instance;
+        if (config.shrink) {
+          OptgenCheckConfig shrink_check = check;
+          repro = shrink_sim_instance(
+              std::move(repro),
+              [&violation, shrink_check](const SimInstance& c) mutable {
+                shrink_check.cache_bytes = c.config.cache_bytes;
+                return contains_failure(check_optgen(c.trace, shrink_check),
+                                        violation);
+              });
+        }
+        Trace trace = repro.trace;
+        trace.set_meta("kind", "optgen");
+        trace.set_meta("cache_bytes",
+                       std::to_string(repro.config.cache_bytes));
+        trace.set_meta("window", std::to_string(check.window_quanta));
+        trace.set_meta("policies", join_names(policies));
+        trace.set_meta("policy_seed", std::to_string(iter_seed));
+        stamp(trace, violation, config.seed, iter);
+        FuzzFailure failure;
+        failure.violation = violation;
+        failure.iteration = iter;
+        failure.shrunk_jobs = repro.trace.jobs.size();
+        failure.reproducer_path = write_reproducer(
+            trace, config.out_dir, "optgen", config.seed, iter, log);
+        log << "fbcfuzz: shrunk to " << failure.shrunk_jobs << " job(s)";
+        if (!failure.reproducer_path.empty())
+          log << ", wrote " << failure.reproducer_path;
+        log << "\n";
+        report.failures.push_back(std::move(failure));
+      }
+    }
+
     if (config.run_sim && !capped()) {
       Rng rng(iter_seed ^ 0x51f7a11ceULL);
       const SimInstance instance = generate_sim_instance(config.sim_gen, rng);
@@ -257,6 +323,24 @@ std::vector<Violation> replay_reproducer(const Trace& trace) {
     if (std::optional<Violation> v = check_schedule(instance, batch, seed))
       return {std::move(*v)};
     return {};
+  }
+  if (*kind == "optgen") {
+    const std::string* cache_bytes = trace.meta_value("cache_bytes");
+    if (cache_bytes == nullptr)
+      throw std::runtime_error(
+          "replay: optgen reproducer needs 'cache_bytes' meta");
+    OptgenCheckConfig check;
+    check.cache_bytes = std::stoull(*cache_bytes);
+    if (const std::string* window = trace.meta_value("window"))
+      check.window_quanta = std::stoull(*window);
+    if (const std::string* names = trace.meta_value("policies")) {
+      std::istringstream row(*names);
+      std::string name;
+      while (row >> name) check.policies.push_back(name);
+    }
+    if (const std::string* s = trace.meta_value("policy_seed"))
+      check.seed = std::stoull(*s);
+    return check_optgen(trace, check);
   }
   if (*kind == "sim") {
     const std::string* policy = trace.meta_value("policy");

@@ -31,6 +31,12 @@ struct FuzzConfig {
   /// Catches batching divergences and engine divergences on the actual
   /// concurrent hot path rather than in the single-threaded simulator.
   bool run_serve = false;
+  /// OPTgen family (fbcfuzz --optgen-diff): generates a drift-heavy FCFS
+  /// trace, differential-tests the incremental BundleOPTgen against the
+  /// brute-force interval-scan reference, and checks the capacity /
+  /// nesting-chain / clairvoyant-bound / policy-dominance oracles
+  /// (testing/oracles.hpp check_optgen). Mirrors --engine-diff.
+  bool run_optgen = false;
   /// Policies exercised by the simulation oracles; empty = every
   /// registered policy. Names may use the "underfree:" self-test prefix.
   std::vector<std::string> policies;
@@ -63,6 +69,7 @@ struct FuzzReport {
   std::uint64_t select_instances = 0;
   std::uint64_t sim_runs = 0;
   std::uint64_t serve_runs = 0;
+  std::uint64_t optgen_runs = 0;
   std::uint64_t exact_truncations = 0;
   std::vector<FuzzFailure> failures;
 

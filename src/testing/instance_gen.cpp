@@ -128,16 +128,32 @@ SimInstance generate_sim_instance(const SimGenConfig& config, Rng& rng) {
       uniform_size(std::max<std::size_t>(1, config.min_jobs), config.max_jobs,
                    rng);
   inst.trace.jobs.reserve(num_jobs);
+
+  // Mid-trace popularity drift: from the halfway point on, rotate the pool
+  // indexing by half the pool so the popular bundles swap identity -- a
+  // phase change for adaptive policies and the OPTgen window. The guard
+  // short-circuits before touching the Rng when the knob is off, keeping
+  // existing seeded streams byte-identical.
+  std::size_t drift_at = num_jobs;
+  std::size_t drift_shift = 0;
+  if (config.drift_prob > 0 && rng.bernoulli(config.drift_prob)) {
+    drift_at = num_jobs / 2;
+    drift_shift = pool.size() / 2;
+  }
+  const auto pool_index = [&](std::size_t raw, std::size_t j) {
+    return j >= drift_at ? (raw + drift_shift) % pool.size() : raw;
+  };
+
   if (rng.bernoulli(config.zipf_prob)) {
     const double alpha =
         rng.uniform_double(0.5, std::max(0.5, config.zipf_alpha_max));
     ZipfSampler zipf(pool.size(), alpha);
     for (std::size_t j = 0; j < num_jobs; ++j) {
-      inst.trace.jobs.push_back(pool[zipf.sample(rng)]);
+      inst.trace.jobs.push_back(pool[pool_index(zipf.sample(rng), j)]);
     }
   } else {
     for (std::size_t j = 0; j < num_jobs; ++j) {
-      inst.trace.jobs.push_back(pool[rng.index(pool.size())]);
+      inst.trace.jobs.push_back(pool[pool_index(rng.index(pool.size()), j)]);
     }
   }
 

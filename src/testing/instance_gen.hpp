@@ -98,6 +98,12 @@ struct SimGenConfig {
   /// Probability that the cache is drawn smaller than the largest bundle,
   /// exercising the unserviceable path.
   double undersized_prob = 0.1;
+  /// Probability of a mid-trace popularity drift: halfway through the job
+  /// stream the pool indexing rotates by half the pool, so the popular
+  /// bundles swap identity (a phase change for adaptive policies and the
+  /// OPTgen window). 0 leaves the Rng stream byte-identical to the
+  /// pre-drift generator, preserving seeded reproducers.
+  double drift_prob = 0.0;
   /// Queue length is uniform in [1, max_queue_length]; mode is a coin
   /// flip between Batch and Sliding when > 1.
   std::size_t max_queue_length = 4;

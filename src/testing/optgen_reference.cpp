@@ -1,0 +1,198 @@
+#include "testing/optgen_reference.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace fbc::testing {
+namespace {
+
+constexpr std::uint64_t kNever = ~0ULL;
+
+/// Last job index < t whose bundle contains `f` (any job), or kNever.
+std::uint64_t scan_last_any(std::span<const Request> jobs, std::size_t t,
+                            FileId f, OptgenStats& stats) {
+  for (std::size_t j = t; j-- > 0;) {
+    ++stats.slices_scanned;
+    if (jobs[j].contains(f)) return j;
+  }
+  return kNever;
+}
+
+/// Last serviced job index < t whose bundle contains `f`, or kNever.
+std::uint64_t scan_last_serviced(std::span<const Request> jobs,
+                                 std::span<const char> serviced, std::size_t t,
+                                 FileId f, OptgenStats& stats) {
+  for (std::size_t j = t; j-- > 0;) {
+    ++stats.slices_scanned;
+    if (serviced[j] != 0 && jobs[j].contains(f)) return j;
+  }
+  return kNever;
+}
+
+}  // namespace
+
+OptgenReferenceResult reference_optgen(const FileCatalog& catalog,
+                                       std::span<const Request> jobs,
+                                       const OptgenConfig& config) {
+  if (config.capacity == 0) {
+    throw std::invalid_argument("reference_optgen: capacity must be > 0");
+  }
+  if (config.window_quanta == 0) {
+    throw std::invalid_argument("reference_optgen: window_quanta must be > 0");
+  }
+  OptgenReferenceResult result;
+  result.verdicts.reserve(jobs.size());
+  result.forced.assign(jobs.size(), 0);
+  result.committed.assign(jobs.size(), 0);
+  std::vector<char> serviced_flags(jobs.size(), 0);
+  OptgenStats& stats = result.stats;
+  const Bytes capacity = config.capacity;
+  const std::uint64_t window = config.window_quanta;
+
+  for (std::size_t t = 0; t < jobs.size(); ++t) {
+    const Request& request = jobs[t];
+    const Bytes bundle = catalog.request_bytes(request);
+    const std::uint64_t wstart = t >= window ? t - window : 0;
+
+    OptgenVerdict verdict;
+    verdict.serviced = bundle <= capacity;
+
+    // Last serviced job before t, by backward scan.
+    std::uint64_t last_serviced_job = kNever;
+    for (std::size_t j = t; j-- > 0;) {
+      ++stats.slices_scanned;
+      if (serviced_flags[j] != 0) {
+        last_serviced_job = j;
+        break;
+      }
+    }
+
+    if (request.empty()) {
+      verdict.opt_hit = true;
+      verdict.demand_feasible = true;
+      verdict.reuse_feasible = true;
+    } else if (verdict.serviced) {
+      bool all_seen = true;
+      for (FileId f : request.files) {
+        if (scan_last_any(jobs, t, f, stats) == kNever) {
+          all_seen = false;
+          break;
+        }
+      }
+      if (all_seen && last_serviced_job != kNever) {
+        if (last_serviced_job < wstart) {
+          verdict.truncated = true;
+          verdict.reuse_feasible = true;
+        } else {
+          Bytes union_bytes = bundle;
+          for (FileId f :
+               jobs[static_cast<std::size_t>(last_serviced_job)].files) {
+            if (!request.contains(f)) union_bytes += catalog.size_of(f);
+          }
+          verdict.reuse_feasible = union_bytes <= capacity;
+        }
+      }
+
+      if (verdict.reuse_feasible) {
+        bool all_prev_serviced = true;
+        std::vector<std::uint64_t> prev(request.files.size(), kNever);
+        for (std::size_t i = 0; i < request.files.size(); ++i) {
+          prev[i] = scan_last_serviced(jobs, serviced_flags, t,
+                                       request.files[i], stats);
+          if (prev[i] == kNever) {
+            all_prev_serviced = false;
+            break;
+          }
+        }
+        if (all_prev_serviced) {
+          // Per-quantum gap demand over the (window-clipped) reuse gaps.
+          std::vector<Bytes> need(t, 0);
+          for (std::size_t i = 0; i < request.files.size(); ++i) {
+            std::uint64_t lo = prev[i] + 1;
+            if (lo < wstart) {
+              verdict.truncated = true;
+              lo = wstart;
+            }
+            const Bytes size = catalog.size_of(request.files[i]);
+            for (std::uint64_t u = lo; u < t; ++u) {
+              need[static_cast<std::size_t>(u)] += size;
+            }
+          }
+          bool demand_ok = true;
+          for (std::uint64_t u = wstart; u < t; ++u) {
+            const auto s = static_cast<std::size_t>(u);
+            if (need[s] == 0) continue;
+            if (result.forced[s] + need[s] > capacity) {
+              demand_ok = false;
+              break;
+            }
+          }
+          verdict.demand_feasible = demand_ok;
+          if (demand_ok) {
+            bool opt_ok = true;
+            for (std::uint64_t u = wstart; u < t; ++u) {
+              const auto s = static_cast<std::size_t>(u);
+              if (need[s] == 0) continue;
+              if (result.forced[s] + result.committed[s] + need[s] >
+                  capacity) {
+                opt_ok = false;
+                break;
+              }
+            }
+            verdict.opt_hit = opt_ok;
+            if (opt_ok) {
+              for (std::uint64_t u = wstart; u < t; ++u) {
+                const auto s = static_cast<std::size_t>(u);
+                if (need[s] == 0) continue;
+                result.committed[s] += need[s];
+                stats.peak_occupancy =
+                    std::max(stats.peak_occupancy,
+                             result.forced[s] + result.committed[s]);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    result.forced[t] = verdict.serviced ? bundle : 0;
+    serviced_flags[t] = verdict.serviced ? 1 : 0;
+    stats.peak_occupancy = std::max(stats.peak_occupancy, result.forced[t]);
+
+    ++stats.jobs;
+    if (verdict.serviced) ++stats.serviced;
+    if (verdict.truncated) ++stats.truncated_intervals;
+    if (verdict.reuse_feasible) {
+      // Online degree d(f): occurrences in jobs[0..t] inclusive.
+      double denom = 0.0;
+      for (FileId f : request.files) {
+        std::uint64_t d = 0;
+        for (std::size_t j = 0; j <= t; ++j) {
+          if (jobs[j].contains(f)) ++d;
+        }
+        denom += static_cast<double>(catalog.size_of(f)) /
+                 static_cast<double>(d);
+      }
+      const double density =
+          denom > 0.0 ? static_cast<double>(bundle) / denom : 0.0;
+      ++stats.reuse_hits;
+      stats.reuse_hit_bytes += bundle;
+      stats.reuse_density_value += density;
+      if (verdict.demand_feasible) {
+        ++stats.demand_hits;
+        stats.demand_hit_bytes += bundle;
+        stats.demand_density_value += density;
+      }
+      if (verdict.opt_hit) {
+        ++stats.opt_hits;
+        stats.opt_hit_bytes += bundle;
+        stats.opt_density_value += density;
+      }
+    }
+    result.verdicts.push_back(verdict);
+  }
+  return result;
+}
+
+}  // namespace fbc::testing

@@ -1,0 +1,41 @@
+// Brute-force reference implementation of the BundleOPTgen oracle.
+//
+// Recomputes every per-request quantity (last occurrences, degrees, the
+// last serviced job) by scanning the full job history backwards -- O(n*m)
+// per decision -- and keeps full-length occupancy vectors instead of the
+// incremental oracle's ring buffer. Window clipping is applied with the
+// same arithmetic, so on any trace the reference must agree with
+// core/optgen *field for field*: every verdict, every statistic (except
+// the implementation-specific `slices_scanned` cost counter) and the
+// occupancy of every in-window quantum. `fbcfuzz --optgen-diff`
+// differential-tests the two, mirroring how `--engine-diff` pinned the
+// incremental selection engine against the reference selector.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cache/catalog.hpp"
+#include "cache/types.hpp"
+#include "core/optgen.hpp"
+
+namespace fbc::testing {
+
+/// Full replay output of the reference oracle.
+struct OptgenReferenceResult {
+  /// One verdict per job, in arrival order.
+  std::vector<OptgenVerdict> verdicts;
+  /// Final statistics; `slices_scanned` counts the reference's own
+  /// history-scan steps (not comparable to the incremental oracle's).
+  OptgenStats stats;
+  /// Full-length occupancy: forced[u] / committed[u] for quantum u.
+  std::vector<Bytes> forced;
+  std::vector<Bytes> committed;
+};
+
+/// Replays `jobs` through the brute-force oracle.
+[[nodiscard]] OptgenReferenceResult reference_optgen(
+    const FileCatalog& catalog, std::span<const Request> jobs,
+    const OptgenConfig& config);
+
+}  // namespace fbc::testing

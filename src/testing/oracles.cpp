@@ -7,7 +7,9 @@
 #include <sstream>
 
 #include "core/bounds.hpp"
+#include "core/optgen.hpp"
 #include "core/registry.hpp"
+#include "testing/optgen_reference.hpp"
 
 namespace fbc::testing {
 namespace {
@@ -458,6 +460,205 @@ std::vector<Violation> check_simulation(const Trace& trace,
   }
   out.insert(out.end(), auditor.violations().begin(),
              auditor.violations().end());
+  return out;
+}
+
+namespace {
+
+/// Policies whose hits the *demand* bound provably dominates: every
+/// registered policy that never prefetches. The prefetch-capable ones
+/// (optfb-full / optfb-window step-3 prefetching, clairvoyant lookahead)
+/// are only covered by the reuse bound.
+bool demand_dominated(const std::string& policy_name) {
+  // Strip the testing prefixes; the adapters forward the inner policy's
+  // prefetch behaviour unchanged.
+  std::string name = policy_name;
+  const std::size_t colon = name.rfind(':');
+  if (colon != std::string::npos) name = name.substr(colon + 1);
+  return name != "optfb-full" && name != "optfb-window" && name != "lookahead";
+}
+
+std::string verdict_to_string(const OptgenVerdict& v) {
+  std::ostringstream oss;
+  oss << "{serviced=" << v.serviced << " opt=" << v.opt_hit
+      << " demand=" << v.demand_feasible << " reuse=" << v.reuse_feasible
+      << " truncated=" << v.truncated << "}";
+  return oss.str();
+}
+
+void diff_stat(const std::string& field, std::uint64_t incremental,
+               std::uint64_t reference, std::vector<Violation>& out) {
+  if (incremental == reference) return;
+  out.push_back({"optgen.divergence", "stats",
+                 field + ": incremental " + std::to_string(incremental) +
+                     " vs reference " + std::to_string(reference)});
+}
+
+/// Density sums must agree *bitwise*: both implementations perform the
+/// identical floating-point operation sequence.
+void diff_stat_bits(const std::string& field, double incremental,
+                    double reference, std::vector<Violation>& out) {
+  if (std::bit_cast<std::uint64_t>(incremental) ==
+      std::bit_cast<std::uint64_t>(reference)) {
+    return;
+  }
+  out.push_back({"optgen.divergence", "stats",
+                 field + ": incremental " + fmt(incremental) +
+                     " vs reference " + fmt(reference)});
+}
+
+}  // namespace
+
+std::vector<Violation> check_optgen(const Trace& trace,
+                                    const OptgenCheckConfig& config) {
+  std::vector<Violation> out;
+  const OptgenConfig oracle_config{config.cache_bytes, config.window_quanta};
+
+  // Incremental replay, collecting per-job verdicts.
+  BundleOPTgen oracle(trace.catalog, oracle_config);
+  std::vector<OptgenVerdict> verdicts;
+  verdicts.reserve(trace.jobs.size());
+  for (const Request& job : trace.jobs) verdicts.push_back(oracle.observe(job));
+  const OptgenStats& stats = oracle.stats();
+
+  // Brute-force reference replay.
+  const OptgenReferenceResult ref =
+      reference_optgen(trace.catalog, trace.jobs, oracle_config);
+
+  // Oracle 1: incremental vs reference divergence -- verdicts, final
+  // statistics (minus the implementation-specific cost counter) and every
+  // in-window occupancy must agree exactly.
+  for (std::size_t t = 0; t < trace.jobs.size(); ++t) {
+    if (verdicts[t] != ref.verdicts[t]) {
+      out.push_back({"optgen.divergence", "verdict",
+                     "job " + std::to_string(t) + ": incremental " +
+                         verdict_to_string(verdicts[t]) + " vs reference " +
+                         verdict_to_string(ref.verdicts[t])});
+      break;  // later verdicts diverge transitively; report the first
+    }
+  }
+  diff_stat("jobs", stats.jobs, ref.stats.jobs, out);
+  diff_stat("serviced", stats.serviced, ref.stats.serviced, out);
+  diff_stat("opt_hits", stats.opt_hits, ref.stats.opt_hits, out);
+  diff_stat("demand_hits", stats.demand_hits, ref.stats.demand_hits, out);
+  diff_stat("reuse_hits", stats.reuse_hits, ref.stats.reuse_hits, out);
+  diff_stat("opt_hit_bytes", stats.opt_hit_bytes, ref.stats.opt_hit_bytes,
+            out);
+  diff_stat("demand_hit_bytes", stats.demand_hit_bytes,
+            ref.stats.demand_hit_bytes, out);
+  diff_stat("reuse_hit_bytes", stats.reuse_hit_bytes,
+            ref.stats.reuse_hit_bytes, out);
+  diff_stat_bits("opt_density_value", stats.opt_density_value,
+                 ref.stats.opt_density_value, out);
+  diff_stat_bits("demand_density_value", stats.demand_density_value,
+                 ref.stats.demand_density_value, out);
+  diff_stat_bits("reuse_density_value", stats.reuse_density_value,
+                 ref.stats.reuse_density_value, out);
+  diff_stat("truncated_intervals", stats.truncated_intervals,
+            ref.stats.truncated_intervals, out);
+  diff_stat("peak_occupancy", stats.peak_occupancy, ref.stats.peak_occupancy,
+            out);
+  const std::uint64_t n = trace.jobs.size();
+  const std::uint64_t wstart =
+      n >= config.window_quanta ? n - config.window_quanta : 0;
+  for (std::uint64_t u = wstart; u < n; ++u) {
+    const auto s = static_cast<std::size_t>(u);
+    const Bytes expect = ref.forced[s] + ref.committed[s];
+    if (oracle.occupancy_at(u) != expect) {
+      out.push_back({"optgen.divergence", "occupancy",
+                     "quantum " + std::to_string(u) + ": incremental " +
+                         std::to_string(oracle.occupancy_at(u)) +
+                         " vs reference " + std::to_string(expect)});
+      break;
+    }
+  }
+
+  // Oracle 2: the committed schedule is feasible -- occupancy never
+  // exceeds capacity at any quantum (checked against the reference's
+  // full-length, unclipped occupancy vectors).
+  for (std::size_t u = 0; u < ref.forced.size(); ++u) {
+    if (ref.forced[u] + ref.committed[u] > config.cache_bytes) {
+      out.push_back({"optgen.capacity", "optgen",
+                     "quantum " + std::to_string(u) + ": occupancy " +
+                         std::to_string(ref.forced[u] + ref.committed[u]) +
+                         " exceeds capacity " +
+                         std::to_string(config.cache_bytes)});
+      break;
+    }
+  }
+
+  // Oracle 3: the per-verdict nesting chain.
+  for (std::size_t t = 0; t < verdicts.size(); ++t) {
+    const OptgenVerdict& v = verdicts[t];
+    const bool chain_ok = (!v.opt_hit || v.demand_feasible) &&
+                          (!v.demand_feasible || v.reuse_feasible) &&
+                          (!v.reuse_feasible || v.serviced);
+    if (!chain_ok) {
+      out.push_back({"optgen.chain", "optgen",
+                     "job " + std::to_string(t) + ": broken nesting " +
+                         verdict_to_string(v)});
+      break;
+    }
+  }
+
+  // Oracle 4: the clairvoyant repeat bound (core/bounds) dominates every
+  // oracle level.
+  const RepeatBound clair =
+      clairvoyant_upper_bound(trace.catalog, trace.jobs, config.cache_bytes);
+  if (stats.reuse_hits > clair.hits || stats.demand_hits > clair.hits ||
+      stats.opt_hits > clair.hits) {
+    out.push_back(
+        {"optgen.lookahead", "optgen",
+         "hits opt/demand/reuse " + std::to_string(stats.opt_hits) + "/" +
+             std::to_string(stats.demand_hits) + "/" +
+             std::to_string(stats.reuse_hits) + " exceed clairvoyant bound " +
+             std::to_string(clair.hits)});
+  }
+  if (stats.reuse_hit_bytes > clair.hit_bytes) {
+    out.push_back({"optgen.lookahead", "optgen",
+                   "reuse hit bytes " + std::to_string(stats.reuse_hit_bytes) +
+                       " exceed clairvoyant bound " +
+                       std::to_string(clair.hit_bytes)});
+  }
+
+  // Oracle 5: dominance over every replayed online policy. The replays
+  // run FCFS with no warm-up, matching the oracle's service model.
+  SimulatorConfig sim_config;
+  sim_config.cache_bytes = config.cache_bytes;
+  sim_config.queue_length = 1;
+  sim_config.warmup_jobs = 0;
+  PolicyContext context;
+  context.catalog = &trace.catalog;
+  context.jobs = trace.jobs;
+  context.seed = config.seed;
+  for (const std::string& policy_name : config.policies) {
+    PolicyPtr policy;
+    try {
+      policy = make_checked_policy(policy_name, context);
+    } catch (const std::exception& e) {
+      out.push_back({"optgen.sim", policy_name, e.what()});
+      continue;
+    }
+    SimulationResult result;
+    try {
+      result = simulate(sim_config, trace.catalog, *policy, trace.jobs);
+    } catch (const std::exception& e) {
+      out.push_back({"optgen.sim", policy_name, e.what()});
+      continue;
+    }
+    const std::uint64_t hits = result.metrics.request_hits();
+    if (hits > stats.reuse_hits) {
+      out.push_back({"optgen.dominance", policy_name,
+                     "policy hits " + std::to_string(hits) +
+                         " exceed the reuse bound " +
+                         std::to_string(stats.reuse_hits)});
+    } else if (demand_dominated(policy_name) && hits > stats.demand_hits) {
+      out.push_back({"optgen.dominance", policy_name,
+                     "policy hits " + std::to_string(hits) +
+                         " exceed the demand bound " +
+                         std::to_string(stats.demand_hits)});
+    }
+  }
   return out;
 }
 

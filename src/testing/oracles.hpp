@@ -105,6 +105,36 @@ class EngineDivergence : public std::runtime_error {
     const Trace& trace, const SimulatorConfig& config,
     const std::string& policy_name, std::uint64_t seed = 0x5eedULL);
 
+/// Configuration for the BundleOPTgen cross-check.
+struct OptgenCheckConfig {
+  /// Cache capacity the oracle and the policy replays use. Required, > 0.
+  Bytes cache_bytes = 0;
+  /// Oracle ring-buffer horizon.
+  std::size_t window_quanta = 4096;
+  /// Policies replayed (FCFS, no warm-up) for the dominance oracle; the
+  /// testing prefixes ("underfree:", "enginediff:") are understood.
+  std::vector<std::string> policies;
+  /// Seed passed to the policy context (stochastic policies).
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// The OPTgen oracle cross-check, run on every optgen-family fuzz trace:
+///   * divergence -- the incremental BundleOPTgen and the brute-force
+///     interval-scan reference must agree on every verdict, every final
+///     statistic (except the cost counter) and every in-window occupancy
+///     ("optgen.divergence");
+///   * capacity -- forced + committed occupancy never exceeds the cache
+///     capacity at any quantum ("optgen.capacity");
+///   * chain -- per-verdict nesting opt_hit => demand_feasible =>
+///     reuse_feasible => serviced ("optgen.chain");
+///   * lookahead -- the oracle's bounds never exceed the clairvoyant
+///     repeat bound from core/bounds ("optgen.lookahead");
+///   * dominance -- every replayed online policy's request hits stay <=
+///     the reuse bound, and <= the demand bound for non-prefetching
+///     policies ("optgen.dominance").
+[[nodiscard]] std::vector<Violation> check_optgen(
+    const Trace& trace, const OptgenCheckConfig& config);
+
 /// True when `a` and `b` refer to the same failure class (same oracle id
 /// and subject) -- the shrinking predicate's match criterion.
 [[nodiscard]] bool same_failure(const Violation& a, const Violation& b);

@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
                 "the cache simulator");
   cli.add_option("seed", "campaign master seed", "1");
   cli.add_option("iters", "number of fuzzing iterations", "100");
-  cli.add_option("mode", "all|select|sim|serve", "all");
+  cli.add_option("mode", "all|select|sim|serve|optgen", "all");
   cli.add_option("policies",
                  "comma-separated policy names for the simulation oracles "
                  "(empty = every registered policy)",
@@ -130,6 +130,12 @@ int main(int argc, char** argv) {
                "against a real BundleServer, serial vs batched admission, "
                "with the Reference engine shadowing the Incremental one; "
                "shrink any divergence (same as --mode=serve)");
+  cli.add_flag("optgen-diff",
+               "campaign mode: generate drift-heavy FCFS traces and "
+               "differential-test the incremental BundleOPTgen occupancy "
+               "oracle against its brute-force interval-scan reference, "
+               "plus the capacity / nesting / clairvoyant-bound / "
+               "policy-dominance oracles (same as --mode=optgen)");
   cli.add_flag("no-shrink", "report failures without shrinking");
   cli.add_flag("inject-bug",
                "self-test: wrap the policies in a deliberately broken "
@@ -177,6 +183,10 @@ int main(int argc, char** argv) {
       config.run_select = false;
       config.run_sim = false;
       config.run_serve = true;
+    } else if (mode == "optgen") {
+      config.run_select = false;
+      config.run_sim = false;
+      config.run_optgen = true;
     } else if (mode != "all") {
       throw std::invalid_argument("unknown --mode: " + mode);
     }
@@ -184,6 +194,11 @@ int main(int argc, char** argv) {
       config.run_select = false;
       config.run_sim = false;
       config.run_serve = true;
+    }
+    if (cli.get_flag("optgen-diff")) {
+      config.run_select = false;
+      config.run_sim = false;
+      config.run_optgen = true;
     }
     config.policies = split_csv(cli.get_string("policies"));
     if (cli.get_flag("engine-diff")) {
@@ -211,6 +226,7 @@ int main(int argc, char** argv) {
               << report.select_instances << " select instances, "
               << report.sim_runs << " simulator runs, "
               << report.serve_runs << " serving schedules, "
+              << report.optgen_runs << " optgen cross-checks, "
               << report.exact_truncations << " exact-solver truncations, "
               << report.failures.size() << " failure(s)\n";
     for (const FuzzFailure& failure : report.failures) {

@@ -4,14 +4,21 @@
 //   fbcsim --trace=trace.txt --policy=optfb --cache=10GiB
 //   fbcsim --trace=trace.txt --policy=all --cache=10GiB --csv
 //   fbcsim --trace=trace.txt --policy=optfb --obs
+//   fbcsim --trace=trace.txt --policy=adaptive --duel-sample=4 --duel-phase=32
+//   fbcsim --trace=trace.txt --cache=10GiB --optgen
 //
 // --policy=all compares every registered policy on the same trace;
 // --obs appends per-decision selection-effort distributions (p50/p95/p99
-// from the CacheMetrics histograms, not just totals).
+// from the CacheMetrics histograms, not just totals); --optgen appends
+// the BundleOPTgen offline upper bounds (opt/demand/reuse occupancy
+// levels plus the clairvoyant repeat bound) for the same capacity, the
+// yardstick every policy row can be read against.
 #include <iostream>
 #include <stdexcept>
 
 #include "cache/simulator.hpp"
+#include "core/bounds.hpp"
+#include "core/optgen.hpp"
 #include "core/registry.hpp"
 #include "obs/histogram.hpp"
 #include "util/cli.hpp"
@@ -75,8 +82,19 @@ int main(int argc, char** argv) {
                  "reference|incremental (identical results; incremental "
                  "rescores only dirty history entries per miss)",
                  "reference");
+  cli.add_option("duel-sample",
+                 "adaptive: one request in N joins the set-dueling sample",
+                 "8");
+  cli.add_option("duel-phase",
+                 "adaptive: leader re-election interval, in arrivals", "64");
+  cli.add_option("optgen-window",
+                 "BundleOPTgen ring-buffer horizon, in jobs (--optgen)",
+                 "4096");
   cli.add_flag("csv", "emit CSV");
   cli.add_flag("obs", "report per-decision selection-effort distributions");
+  cli.add_flag("optgen",
+               "append the BundleOPTgen offline upper bounds (FCFS replay "
+               "at --cache capacity) and the clairvoyant repeat bound");
 
   try {
     cli.parse(argc, argv);
@@ -116,20 +134,56 @@ int main(int argc, char** argv) {
       context.history_max_entries = cli.get_u64("history-cap");
       context.history_window_jobs = cli.get_u64("window");
       context.select_engine = engine;
+      context.duel_sample_period = cli.get_u64("duel-sample");
+      context.duel_phase_jobs = cli.get_u64("duel-phase");
       PolicyPtr policy = make_policy(name, context);
       const SimulationResult result =
           simulate(config, trace.catalog, *policy, trace.jobs);
       add_result_row(table, name, result.metrics, result.decisions);
       if (cli.get_flag("obs")) add_obs_rows(obs_table, name, result.metrics);
     }
+    // Offline upper bounds for the same capacity: the three OPTgen
+    // occupancy levels (nested opt <= demand <= reuse) and the clairvoyant
+    // repeat bound that dominates all of them.
+    TextTable bound_table(
+        {"bound", "hits", "hit_ratio", "hit_bytes", "density_value"});
+    if (cli.get_flag("optgen")) {
+      const OptgenConfig optgen_config{
+          cache, static_cast<std::size_t>(cli.get_u64("optgen-window"))};
+      const OptgenStats og =
+          replay_optgen(trace.catalog, trace.jobs, optgen_config);
+      const RepeatBound clair =
+          clairvoyant_upper_bound(trace.catalog, trace.jobs, cache);
+      const double jobs = static_cast<double>(og.jobs);
+      const auto add_bound = [&](const std::string& name, std::uint64_t hits,
+                                 Bytes hit_bytes, double density) {
+        bound_table.add_row(
+            {name, std::to_string(hits),
+             format_double(jobs > 0 ? static_cast<double>(hits) / jobs : 0.0),
+             format_bytes(hit_bytes), format_double(density)});
+      };
+      add_bound("optgen-opt", og.opt_hits, og.opt_hit_bytes,
+                og.opt_density_value);
+      add_bound("optgen-demand", og.demand_hits, og.demand_hit_bytes,
+                og.demand_density_value);
+      add_bound("optgen-reuse", og.reuse_hits, og.reuse_hit_bytes,
+                og.reuse_density_value);
+      add_bound("clairvoyant", clair.hits, clair.hit_bytes,
+                clair.density_value);
+    }
     if (cli.get_flag("csv")) {
       table.print_csv(std::cout);
       if (cli.get_flag("obs")) obs_table.print_csv(std::cout);
+      if (cli.get_flag("optgen")) bound_table.print_csv(std::cout);
     } else {
       table.print(std::cout);
       if (cli.get_flag("obs")) {
         std::cout << "\n";
         obs_table.print(std::cout);
+      }
+      if (cli.get_flag("optgen")) {
+        std::cout << "\n";
+        bound_table.print(std::cout);
       }
     }
     return 0;

@@ -1,10 +1,13 @@
 // fbcstat: summarize the caching-relevant characteristics of a trace.
 //
 //   fbcstat --trace=trace.txt
-//   fbcstat --trace=trace.txt --cache=10GiB   # adds footprint ratios
+//   fbcstat --trace=trace.txt --cache=10GiB   # adds footprint ratios and
+//                                             # the OPTgen hit upper bounds
 #include <iostream>
 #include <stdexcept>
 
+#include "core/bounds.hpp"
+#include "core/optgen.hpp"
 #include "util/cli.hpp"
 #include "workload/trace_stats.hpp"
 
@@ -36,6 +39,32 @@ int main(int argc, char** argv) {
                 << "x the cache\n"
                 << "  cache holds ~" << format_double(requests_per_cache)
                 << " average bundles (the paper's cache-size unit)\n";
+
+      // How much of the trace any online policy could possibly hit at
+      // this capacity: the BundleOPTgen occupancy bounds (opt <= demand
+      // <= reuse) and the clairvoyant repeat ceiling above them all.
+      const OptgenStats og =
+          replay_optgen(trace.catalog, trace.jobs, OptgenConfig{cache, 4096});
+      const RepeatBound clair =
+          clairvoyant_upper_bound(trace.catalog, trace.jobs, cache);
+      const double jobs =
+          og.jobs > 0 ? static_cast<double>(og.jobs) : 1.0;
+      const auto ratio = [jobs](std::uint64_t hits) {
+        return format_double(static_cast<double>(hits) / jobs);
+      };
+      std::cout << "  OPTgen hit-ratio upper bounds:\n"
+                << "    opt (committed occupancy) = " << ratio(og.opt_hits)
+                << "\n"
+                << "    demand (gap feasibility)  = " << ratio(og.demand_hits)
+                << "\n"
+                << "    reuse (any prior use)     = " << ratio(og.reuse_hits)
+                << "\n"
+                << "    clairvoyant repeat bound  = " << ratio(clair.hits)
+                << "\n";
+      if (og.truncated_intervals > 0) {
+        std::cout << "    (" << og.truncated_intervals
+                  << " intervals clipped by the 4096-job window)\n";
+      }
     }
     return 0;
   } catch (const std::exception& e) {
