@@ -20,8 +20,9 @@ namespace fbc::obs {
 /// One exported counter: name plus monotonic value.
 using CounterSample = std::pair<std::string, std::uint64_t>;
 
-/// Registry of named monotonic counters. Not thread-safe; guard with the
-/// owner's mutex (BundleServer keeps it under obs_mu_).
+/// Registry of named monotonic counters. Not thread-safe; the owner
+/// declares the guarding mutex with an fbc:guards annotation on its own
+/// member (see BundleServer::obs_mu_), which fbclint L007 enforces.
 class CounterRegistry {
  public:
   /// Adds `delta` to the counter named `name`, creating it at zero first.

@@ -9,7 +9,7 @@ SpanRecorder::SpanRecorder(std::size_t capacity) : capacity_(capacity) {
 }
 
 void SpanRecorder::record(const ServingSpan& span) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(ring_mu_);
   ++recorded_;
   if (capacity_ == 0) return;
   if (ring_.size() < capacity_) {
@@ -21,7 +21,7 @@ void SpanRecorder::record(const ServingSpan& span) {
 }
 
 std::vector<ServingSpan> SpanRecorder::snapshot() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(ring_mu_);
   std::vector<ServingSpan> out;
   out.reserve(ring_.size());
   // Once the ring has wrapped, next_ points at the oldest element.
@@ -31,12 +31,12 @@ std::vector<ServingSpan> SpanRecorder::snapshot() const {
 }
 
 std::uint64_t SpanRecorder::recorded() const noexcept {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(ring_mu_);
   return recorded_;
 }
 
 std::uint64_t SpanRecorder::dropped() const noexcept {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(ring_mu_);
   const std::uint64_t held = ring_.size();
   return recorded_ - std::min(recorded_, held);
 }

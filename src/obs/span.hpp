@@ -57,10 +57,10 @@ class SpanRecorder {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<ServingSpan> ring_;  ///< guarded by mu_
-  std::size_t next_ = 0;           ///< guarded by mu_; write cursor
-  std::uint64_t recorded_ = 0;     ///< guarded by mu_
+  mutable std::mutex ring_mu_;
+  std::vector<ServingSpan> ring_;  ///< guarded by ring_mu_
+  std::size_t next_ = 0;           ///< guarded by ring_mu_; write cursor
+  std::uint64_t recorded_ = 0;     ///< guarded by ring_mu_
 };
 
 }  // namespace fbc::obs

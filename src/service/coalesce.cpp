@@ -6,7 +6,7 @@ namespace fbc::service {
 
 void FetchCoalescer::begin_fetch(std::span<const FileId> files) {
   if (files.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(inflight_mu_);
   ++transfers_;
   for (FileId id : files) ++in_flight_[id];
 }
@@ -14,7 +14,7 @@ void FetchCoalescer::begin_fetch(std::span<const FileId> files) {
 void FetchCoalescer::complete_fetch(std::span<const FileId> files) {
   if (files.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<OrderedMutex> lock(inflight_mu_);
     for (FileId id : files) {
       const auto it = in_flight_.find(id);
       if (it != in_flight_.end() && --it->second == 0) in_flight_.erase(it);
@@ -26,7 +26,7 @@ void FetchCoalescer::complete_fetch(std::span<const FileId> files) {
 CoalesceWait FetchCoalescer::wait_for(std::span<const FileId> files) {
   CoalesceWait result;
   if (files.empty()) return result;
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<OrderedMutex> lock(inflight_mu_);
   std::size_t overlapping = 0;
   for (FileId id : files) {
     if (in_flight_.count(id) != 0) ++overlapping;
@@ -49,17 +49,17 @@ CoalesceWait FetchCoalescer::wait_for(std::span<const FileId> files) {
 }
 
 std::uint64_t FetchCoalescer::transfers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(inflight_mu_);
   return transfers_;
 }
 
 std::uint64_t FetchCoalescer::coalesced_waits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(inflight_mu_);
   return coalesced_waits_;
 }
 
 std::size_t FetchCoalescer::in_flight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(inflight_mu_);
   return in_flight_.size();
 }
 

@@ -12,18 +12,19 @@
 // bundle intersects an in-flight set blocks on that one transfer instead
 // of issuing -- or skipping -- its own.
 //
-// The internal mutex is a leaf: it is never held while any other lock is
-// taken, and waits happen outside the server's admission mutex entirely,
-// so coalescing adds no contention to the grant path.
+// The internal mutex (level 30 in the docs/SERVING.md lock hierarchy) is
+// a leaf: it is never held while any other lock is taken, and waits
+// happen outside the server's admission mutex entirely, so coalescing
+// adds no contention to the grant path.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 
 #include "cache/types.hpp"
+#include "util/ordered_mutex.hpp"
 
 namespace fbc::service {
 
@@ -47,7 +48,9 @@ class FetchCoalescer {
 
   /// Blocks until no file of `files` is in-flight. Returns what was
   /// waited on; zero-valued when nothing overlapped (the fast path: one
-  /// lock acquisition, no wait).
+  /// lock acquisition, no wait). May block indefinitely, so the caller
+  /// must not hold the admission mutex.
+  // fbc:excludes(mu_) fbc:blocking
   [[nodiscard]] CoalesceWait wait_for(std::span<const FileId> files);
 
   /// Total transfers begun (begin_fetch calls).
@@ -60,12 +63,14 @@ class FetchCoalescer {
   [[nodiscard]] std::size_t in_flight() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  /// file -> number of transfers currently staging it (guarded by mu_).
+  // fbc:lock-level(30)
+  // fbc:guards(in_flight_, transfers_, coalesced_waits_)
+  mutable OrderedMutex inflight_mu_{30, "FetchCoalescer::inflight_mu_"};
+  std::condition_variable_any cv_;
+  /// file -> number of transfers currently staging it.
   std::unordered_map<FileId, std::uint32_t> in_flight_;
-  std::uint64_t transfers_ = 0;        ///< guarded by mu_
-  std::uint64_t coalesced_waits_ = 0;  ///< guarded by mu_
+  std::uint64_t transfers_ = 0;
+  std::uint64_t coalesced_waits_ = 0;
 };
 
 }  // namespace fbc::service

@@ -28,7 +28,7 @@ void BundleDaemon::stop() {
   // join everything. pool_ destruction drains the remaining tasks.
   server_.close();
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    std::lock_guard<OrderedMutex> lock(conn_mu_);
     // fbclint:ignore(L005) -- shutdown order across fds is irrelevant.
     for (const auto& [fd, unused] : live_fds_) ::shutdown(fd, SHUT_RDWR);
   }
@@ -57,7 +57,7 @@ void BundleDaemon::accept_loop() {
 void BundleDaemon::serve_connection(int raw_fd) {
   UniqueFd fd(raw_fd);
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    std::lock_guard<OrderedMutex> lock(conn_mu_);
     live_fds_.emplace(fd.get(), true);
   }
   // Leases granted over this connection and not yet released by it.
@@ -135,7 +135,7 @@ void BundleDaemon::serve_connection(int raw_fd) {
       reclaimed_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  std::lock_guard<OrderedMutex> lock(conn_mu_);
   live_fds_.erase(fd.get());
 }
 

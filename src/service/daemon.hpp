@@ -19,6 +19,7 @@
 
 #include "service/net.hpp"
 #include "service/server.hpp"
+#include "util/ordered_mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fbc::service {
@@ -65,8 +66,11 @@ class BundleDaemon {
   std::atomic<std::uint64_t> reclaimed_{0};
 
   // Live connection fds, so stop() can shutdown() them and unblock the
-  // workers parked in recv. Guarded by conn_mu_.
-  std::mutex conn_mu_;
+  // workers parked in recv. Held only over map ops and the (non-blocking)
+  // shutdown() syscall, never across server_ calls.
+  // fbc:lock-level(70)
+  // fbc:guards(live_fds_)
+  OrderedMutex conn_mu_{70, "BundleDaemon::conn_mu_"};
   std::unordered_map<int, bool> live_fds_;
 
   std::unique_ptr<ThreadPool> pool_;

@@ -47,7 +47,7 @@ ShardedLeaseTable::ShardedLeaseTable(std::size_t shards)
 void ShardedLeaseTable::add_cover(const Request& request) {
   for (FileId id : request.files) {
     FileShard& shard = file_shard(id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<OrderedMutex> lock(shard.file_mu);
     ++shard.covers[id];
   }
 }
@@ -55,7 +55,7 @@ void ShardedLeaseTable::add_cover(const Request& request) {
 void ShardedLeaseTable::drop_cover(const Request& request) {
   for (FileId id : request.files) {
     FileShard& shard = file_shard(id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<OrderedMutex> lock(shard.file_mu);
     const auto it = shard.covers.find(id);
     if (it != shard.covers.end() && --it->second == 0) shard.covers.erase(it);
   }
@@ -65,7 +65,7 @@ LeaseId ShardedLeaseTable::grant(const Request& request) {
   const LeaseId id = next_.fetch_add(1, std::memory_order_acq_rel);
   {
     LeaseShard& shard = lease_shard(id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<OrderedMutex> lock(shard.lease_mu);
     shard.leases.emplace(id, request);
   }
   add_cover(request);
@@ -77,7 +77,7 @@ std::optional<Request> ShardedLeaseTable::take(LeaseId id) {
   std::optional<Request> bundle;
   {
     LeaseShard& shard = lease_shard(id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<OrderedMutex> lock(shard.lease_mu);
     const auto it = shard.leases.find(id);
     if (it == shard.leases.end()) return std::nullopt;
     bundle = std::move(it->second);
@@ -94,14 +94,14 @@ bool ShardedLeaseTable::covers(FileId id) const {
 
 std::uint32_t ShardedLeaseTable::cover_count(FileId id) const {
   const FileShard& shard = file_shard(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<OrderedMutex> lock(shard.file_mu);
   const auto it = shard.covers.find(id);
   return it == shard.covers.end() ? 0 : it->second;
 }
 
 std::optional<Request> ShardedLeaseTable::bundle(LeaseId id) const {
   const LeaseShard& shard = lease_shard(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<OrderedMutex> lock(shard.lease_mu);
   const auto it = shard.leases.find(id);
   if (it == shard.leases.end()) return std::nullopt;
   return it->second;
@@ -110,7 +110,7 @@ std::optional<Request> ShardedLeaseTable::bundle(LeaseId id) const {
 std::vector<std::pair<LeaseId, Request>> ShardedLeaseTable::snapshot() const {
   std::vector<std::pair<LeaseId, Request>> out;
   for (const LeaseShard& shard : lease_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<OrderedMutex> lock(shard.lease_mu);
     // fbclint:ignore(L005) -- collection only; callers sort by lease id.
     for (const auto& [id, request] : shard.leases) out.emplace_back(id, request);
   }

@@ -23,6 +23,7 @@
 
 #include "cache/cache.hpp"
 #include "service/protocol.hpp"
+#include "util/ordered_mutex.hpp"
 
 namespace fbc::service {
 
@@ -124,11 +125,19 @@ class ShardedLeaseTable {
 
  private:
   struct LeaseShard {
-    mutable std::mutex mu;
+    // fbc:lock-level(20)
+    // fbc:guards(leases)
+    mutable OrderedMutex lease_mu{20, "ShardedLeaseTable::lease_mu"};
     std::unordered_map<LeaseId, Request> leases;
   };
   struct FileShard {
-    mutable std::mutex mu;
+    // Distinct level from lease_mu even though neither nests inside the
+    // other today (grant/take drop the lease shard before touching
+    // coverage): a same-level pair would make any future nesting an
+    // instant violation instead of a reviewed decision.
+    // fbc:lock-level(22)
+    // fbc:guards(covers)
+    mutable OrderedMutex file_mu{22, "ShardedLeaseTable::file_mu"};
     std::unordered_map<FileId, std::uint32_t> covers;
   };
 

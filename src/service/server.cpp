@@ -71,19 +71,19 @@ BundleServer::BundleServer(const ServiceConfig& config,
 BundleServer::~BundleServer() { close(); }
 
 void BundleServer::close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   closed_ = true;
   cv_.notify_all();
 }
 
 void BundleServer::set_admission_paused(bool paused) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   paused_ = paused;
   cv_.notify_all();
 }
 
 bool BundleServer::admission_paused() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   return paused_;
 }
 
@@ -203,7 +203,7 @@ std::size_t BundleServer::drain_locked() {
   }
   if (admitted > 0) {
     cv_.notify_all();
-    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    std::lock_guard<OrderedMutex> obs_lock(obs_mu_);
     batch_size_.record(admitted);
   }
   return admitted;
@@ -222,7 +222,7 @@ AcquireResult BundleServer::acquire(const Request& request) {
       std::all_of(request.files.begin(), request.files.end(),
                   [&](FileId id) { return catalog.valid(id); });
 
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<OrderedMutex> lock(mu_);
   if (closed_) {
     result.status = AcquireStatus::Closed;
     span.total_us = us_between(t0, Clock::now());
@@ -371,7 +371,7 @@ AcquireResult BundleServer::acquire(const Request& request) {
   {
     // Duration histograms are Ok-grants only: their counts tie to
     // stats().requests once in-flight acquires have drained.
-    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    std::lock_guard<OrderedMutex> obs_lock(obs_mu_);
     queue_us_.record(span.queue_us);
     reserve_us_.record(span.reserve_us);
     fetch_us_.record(span.fetch_us);
@@ -390,14 +390,14 @@ AcquireResult BundleServer::acquire(const Request& request) {
 }
 
 bool BundleServer::release(LeaseId lease) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<OrderedMutex> lock(mu_);
   // take() nests the lease-shard lock under mu_ (the one place that
   // order occurs; the reverse never does). Holding mu_ across the unpin
   // keeps "lease gone" and "pins gone" atomic for audits and admissions.
   std::optional<Request> bundle = leases_.take(lease);
   if (!bundle.has_value()) {
     lock.unlock();
-    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    std::lock_guard<OrderedMutex> obs_lock(obs_mu_);
     ++*release_unknown_slot_;
     return false;
   }
@@ -410,7 +410,7 @@ bool BundleServer::release(LeaseId lease) {
   }
   cv_.notify_all();
   lock.unlock();
-  std::lock_guard<std::mutex> obs_lock(obs_mu_);
+  std::lock_guard<OrderedMutex> obs_lock(obs_mu_);
   ++*release_ok_slot_;
   hold_us_.record(held_us);
   return true;
@@ -420,14 +420,14 @@ void BundleServer::finish_span(obs::ServingSpan span, AcquireStatus status,
                                std::string_view counter) {
   span.status = static_cast<std::uint8_t>(status);
   {
-    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    std::lock_guard<OrderedMutex> obs_lock(obs_mu_);
     counters_.add(counter);
   }
   spans_.record(span);
 }
 
 std::vector<FileId> BundleServer::resident_files() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   const auto resident = cache_.resident_files();
   std::vector<FileId> files(resident.begin(), resident.end());
   std::sort(files.begin(), files.end());
@@ -437,7 +437,7 @@ std::vector<FileId> BundleServer::resident_files() const {
 MetricsSnapshot BundleServer::metrics() const {
   MetricsSnapshot m;
   m.stats = stats();
-  std::lock_guard<std::mutex> obs_lock(obs_mu_);
+  std::lock_guard<OrderedMutex> obs_lock(obs_mu_);
   m.counters = counters_.snapshot();
   // Names must stay lexicographically sorted: the wire encoder enforces
   // strictly increasing histogram names (canonical frame form).
@@ -453,7 +453,7 @@ MetricsSnapshot BundleServer::metrics() const {
 }
 
 ServiceStats BundleServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   ServiceStats s;
   s.requests = metrics_.jobs();
   s.request_hits = metrics_.request_hits();
@@ -478,7 +478,7 @@ ServiceStats BundleServer::stats() const {
 }
 
 std::vector<std::string> BundleServer::audit() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   std::vector<std::string> violations;
   const FileCatalog& catalog = mss_->catalog();
 

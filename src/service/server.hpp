@@ -42,9 +42,11 @@
 // fuzzing oracles carry over unchanged (audit() re-checks them
 // independently).
 //
-// Lock order: mu_ -> lease shard locks -> obs_mu_. The ShardedLeaseTable
-// and FetchCoalescer locks are leaves; neither is ever held while taking
-// mu_.
+// Lock order: see the "Lock hierarchy" table in docs/SERVING.md. Every
+// mutex in this layer is a util/ordered_mutex.hpp OrderedMutex carrying
+// its level from that table; fbclint L007 checks the order statically
+// from the fbc:lock-level annotations below, and FBC_LOCK_CHECK builds
+// abort at runtime on any inversion.
 #pragma once
 
 #include <atomic>
@@ -72,6 +74,7 @@
 #include "service/coalesce.hpp"
 #include "service/lease.hpp"
 #include "service/protocol.hpp"
+#include "util/ordered_mutex.hpp"
 #include "util/rng.hpp"
 
 namespace fbc::service {
@@ -264,11 +267,13 @@ class BundleServer {
   };
 
   /// Index into queue_ of the next request to admit under config_.order.
+  // fbc:requires(mu_)
   [[nodiscard]] std::size_t choose_locked() const;
 
   /// True when `request` could be admitted right now: its missing bytes
   /// fit into free space plus what evicting every unpinned non-bundle
   /// resident file would release.
+  // fbc:requires(mu_)
   [[nodiscard]] bool fits_locked(const Request& request) const;
 
   /// Admits up to config_.admission_batch queued waiters in the exact
@@ -277,10 +282,12 @@ class BundleServer {
   /// early when the chosen head does not fit, is backing off, or fails
   /// its transfer draw (head-of-line semantics are part of the decision
   /// contract). Returns the number admitted.
+  // fbc:requires(mu_)
   std::size_t drain_locked();
 
   /// Evicts victims, inserts missing files, grants the lease and records
   /// metrics. Returns the simulated staging seconds through `stage_s`.
+  // fbc:requires(mu_)
   LeaseId admit_locked(const Request& request, Bytes bundle_bytes,
                        bool* request_hit, double* stage_s,
                        std::vector<FileId>* fetched, Bytes* missing_bytes);
@@ -295,8 +302,13 @@ class BundleServer {
   const StorageBackend* mss_;
   TransferModel transfers_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  // Admission lock (level 10 in the docs/SERVING.md lock hierarchy).
+  // fbc:lock-level(10)
+  // fbc:guards(cache_, policy_, metrics_, fail_rng_, queue_, admissions_)
+  // fbc:guards(rejected_full_, timed_out_, invalid_, transfer_retries_)
+  // fbc:guards(transfer_failures_, released_, closed_, paused_, grant_times_)
+  mutable OrderedMutex mu_{10, "BundleServer::mu_"};
+  std::condition_variable_any cv_;
   DiskCache cache_;
   PolicyPtr policy_;
   CacheMetrics metrics_;
@@ -321,8 +333,14 @@ class BundleServer {
   std::atomic<std::uint64_t> request_seq_ = 0;
 
   /// Observability state. Guarded by obs_mu_, which is always acquired
-  /// *after* mu_ (never the reverse) and held only for O(1) recording.
-  mutable std::mutex obs_mu_;
+  /// *after* mu_ (never the reverse -- level 40 vs 10) and held only for
+  /// O(1) recording.
+  // fbc:lock-level(40)
+  // fbc:guards(counters_, queue_us_, reserve_us_, fetch_us_, coalesce_us_)
+  // fbc:guards(total_us_, hold_us_, queue_depth_, batch_size_)
+  // fbc:guards(acquire_ok_slot_, release_ok_slot_, release_unknown_slot_)
+  // fbc:guards(transfers_slot_, coalesced_slot_)
+  mutable OrderedMutex obs_mu_{40, "BundleServer::obs_mu_"};
   obs::CounterRegistry counters_;  ///< acquire.* / release.* outcomes
   obs::Histogram queue_us_;        ///< enqueue -> admission decision
   obs::Histogram reserve_us_;      ///< admission -> space reserved + leased

@@ -3,12 +3,18 @@
 #include <cstdio>
 #include <mutex>
 
+#include "util/ordered_mutex.hpp"
+
 namespace fbc {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
-std::mutex g_write_mutex;
-LogSink g_sink;  // empty = stderr; guarded by g_write_mutex
+// Logging may happen from anywhere, including under every other lock in
+// the hierarchy, so the write mutex sits at the very bottom (level 90).
+// fbc:lock-level(90)
+// fbc:guards(g_sink)
+OrderedMutex g_write_mutex{90, "log::g_write_mutex"};
+LogSink g_sink;  // empty = stderr
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -31,14 +37,14 @@ LogLevel log_level() noexcept {
 }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::lock_guard<OrderedMutex> lock(g_write_mutex);
   g_sink = std::move(sink);
 }
 
 namespace detail {
 
 void log_write(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::lock_guard<OrderedMutex> lock(g_write_mutex);
   if (g_sink) {
     g_sink(level, message);
   } else {

@@ -1,0 +1,108 @@
+#include "util/ordered_mutex.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fbc {
+
+namespace {
+
+#ifdef FBC_LOCK_CHECK
+constexpr bool kCheckDefault = true;
+#else
+constexpr bool kCheckDefault = false;
+#endif
+
+std::atomic<bool> g_check_enabled{kCheckDefault};
+std::atomic<LockViolationHandler> g_handler{nullptr};
+
+/// Per-thread stack of held locks. Fixed capacity: the documented
+/// hierarchy has well under 16 levels, and a deeper chain is itself a
+/// discipline smell -- overflow entries are silently untracked rather
+/// than reallocating under a lock operation.
+constexpr std::size_t kMaxHeld = 16;
+
+struct HeldStack {
+  const OrderedMutex* held[kMaxHeld];
+  std::size_t size = 0;
+};
+
+thread_local HeldStack t_held;
+
+void report_violation(const OrderedMutex& held, const OrderedMutex& acquiring) {
+  const LockViolationHandler handler =
+      g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(held.name(), held.level(), acquiring.name(), acquiring.level());
+    return;
+  }
+  std::fprintf(stderr,
+               "fbc: lock-order violation: acquiring '%s' (level %d) while "
+               "holding '%s' (level %d); levels must strictly increase "
+               "(docs/SERVING.md lock hierarchy)\n",
+               acquiring.name(), acquiring.level(), held.name(), held.level());
+  std::abort();
+}
+
+/// Checks `m` against every held lock, then records it. Called before the
+/// underlying mutex is acquired so an inversion is reported instead of
+/// deadlocking.
+void check_and_push(const OrderedMutex& m) {
+  for (std::size_t i = 0; i < t_held.size; ++i) {
+    if (t_held.held[i]->level() >= m.level()) {
+      report_violation(*t_held.held[i], m);
+      break;  // handler returned: report once, then proceed
+    }
+  }
+  if (t_held.size < kMaxHeld) t_held.held[t_held.size++] = &m;
+}
+
+void pop(const OrderedMutex& m) {
+  // unique_lock allows out-of-order release; remove the most recent entry
+  // for this mutex, wherever it sits.
+  for (std::size_t i = t_held.size; i-- > 0;) {
+    if (t_held.held[i] == &m) {
+      for (std::size_t j = i + 1; j < t_held.size; ++j)
+        t_held.held[j - 1] = t_held.held[j];
+      --t_held.size;
+      return;
+    }
+  }
+}
+
+bool checking() noexcept {
+  return g_check_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void set_lock_check(bool enabled) noexcept {
+  g_check_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool lock_check_enabled() noexcept { return checking(); }
+
+void set_lock_violation_handler(LockViolationHandler handler) noexcept {
+  g_handler.store(handler, std::memory_order_release);
+}
+
+std::size_t held_lock_depth() noexcept { return t_held.size; }
+
+void OrderedMutex::lock() {
+  if (checking()) check_and_push(*this);
+  mu_.lock();
+}
+
+void OrderedMutex::unlock() {
+  mu_.unlock();
+  if (checking()) pop(*this);
+}
+
+bool OrderedMutex::try_lock() {
+  if (!mu_.try_lock()) return false;
+  if (checking()) check_and_push(*this);
+  return true;
+}
+
+}  // namespace fbc

@@ -1,0 +1,76 @@
+// OrderedMutex: a mutex with a static acquisition level, runtime-checked.
+//
+// Every lock in the serving layer carries a level from the documented
+// hierarchy (docs/SERVING.md "Lock hierarchy"); a thread may only acquire
+// locks with strictly increasing levels. The same discipline is checked
+// twice:
+//
+//   * statically, by fbclint rule L007, which reads the machine-readable
+//     `// fbc:lock-level(N)` annotation next to each declaration;
+//   * dynamically, by this wrapper: when checking is enabled, each thread
+//     keeps a stack of held locks, and acquiring a lock whose level is not
+//     strictly greater than every held level reports both lock names and
+//     aborts (a same-level acquire -- including a recursive one -- counts
+//     as a violation too).
+//
+// Checking costs one relaxed atomic load per lock/unlock when disabled.
+// It is enabled by default in builds configured with -DFBC_LOCK_CHECK=ON
+// (CI's sanitizer matrix does this) and can be toggled at runtime with
+// set_lock_check(); tests that exercise the checker itself install a
+// violation handler through set_lock_violation_handler() instead of dying.
+//
+// The declared level must match the constructor literal -- fbclint L007
+// cross-checks the annotation against the `{N, "name"}` initializer.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+namespace fbc {
+
+/// Called on a lock-order violation with the offending pair: the lock
+/// already held and the lock being acquired. The default (nullptr)
+/// prints both names to stderr and aborts.
+using LockViolationHandler = void (*)(const char* held_name, int held_level,
+                                      const char* acquiring_name,
+                                      int acquiring_level);
+
+/// Enables/disables the per-thread order checking at runtime. The initial
+/// value is ON in FBC_LOCK_CHECK builds, OFF otherwise.
+void set_lock_check(bool enabled) noexcept;
+[[nodiscard]] bool lock_check_enabled() noexcept;
+
+/// Test seam: replaces abort-on-violation. nullptr restores the default.
+/// When the handler returns, the acquisition proceeds (the handler has
+/// acknowledged the violation), so tests can observe without dying.
+void set_lock_violation_handler(LockViolationHandler handler) noexcept;
+
+/// Number of OrderedMutex locks the calling thread currently holds
+/// (0 when checking is disabled -- the stack is not maintained then).
+[[nodiscard]] std::size_t held_lock_depth() noexcept;
+
+/// std::mutex with a level and a name (see file comment). Satisfies
+/// Lockable, so lock_guard/unique_lock/scoped_lock and
+/// condition_variable_any work unchanged.
+class OrderedMutex {
+ public:
+  OrderedMutex(int level, const char* name) noexcept
+      : level_(level), name_(name) {}
+
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  void lock();
+  void unlock();
+  [[nodiscard]] bool try_lock();
+
+  [[nodiscard]] int level() const noexcept { return level_; }
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+ private:
+  std::mutex mu_;
+  int level_;
+  const char* name_;
+};
+
+}  // namespace fbc

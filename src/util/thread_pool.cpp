@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<OrderedMutex> lock(pool_mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -27,7 +27,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<OrderedMutex> lock(pool_mu_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());

@@ -11,11 +11,12 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/ordered_mutex.hpp"
 
 namespace fbc {
 
@@ -46,7 +47,7 @@ class ThreadPool {
         });
     std::future<Result> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<OrderedMutex> lock(pool_mu_);
       if (stopping_)
         throw std::runtime_error("ThreadPool: submit after shutdown");
       tasks_.emplace([task] { (*task)(); });
@@ -70,7 +71,7 @@ class ThreadPool {
         });
     std::future<Result> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<OrderedMutex> lock(pool_mu_);
       if (stopping_) return std::nullopt;
       tasks_.emplace([task] { (*task)(); });
     }
@@ -87,8 +88,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  // fbc:lock-level(60)
+  // fbc:guards(tasks_, stopping_)
+  OrderedMutex pool_mu_{60, "ThreadPool::pool_mu_"};
+  std::condition_variable_any cv_;
   bool stopping_ = false;
 };
 

@@ -139,5 +139,160 @@ TEST(FbclintL001, SuppressionCommentSilencesTheRule) {
   EXPECT_TRUE(apply_suppressions(std::move(diags), markers).empty());
 }
 
+/// Lexes the case3 lock-discipline fixture pair into a project model.
+ProjectModel case3_model() {
+  const std::string root = std::string(FBCLINT_FIXTURE_DIR) + "/case3";
+  std::vector<SourceFile> files;
+  for (const char* rel : {"/src/grid/locks.hpp", "/src/grid/hier.hpp"}) {
+    const std::string path = root + rel;
+    files.push_back(lex_file(path, slurp(path)));
+  }
+  return build_model(std::move(files));
+}
+
+/// Lexes the case2 service fixture (anchors + codec + wire docs on disk)
+/// into a project model, as `fbclint <fixture>/case2` would.
+ProjectModel case2_model() {
+  const std::string root = std::string(FBCLINT_FIXTURE_DIR) + "/case2";
+  std::vector<SourceFile> files;
+  for (const char* rel :
+       {"/src/service/server.hpp", "/src/service/server.cpp",
+        "/src/service/protocol.hpp", "/src/service/protocol.cpp"}) {
+    const std::string path = root + rel;
+    files.push_back(lex_file(path, slurp(path)));
+  }
+  return build_model(std::move(files));
+}
+
+TEST(FbclintL007, ModelParsesLockAnnotations) {
+  const ProjectModel model = case3_model();
+  const LockInfo* table = nullptr;
+  const LockInfo* stats = nullptr;
+  const LockInfo* journal = nullptr;
+  for (const LockInfo& lock : model.locks) {
+    if (lock.name == "table_mu_") table = &lock;
+    if (lock.name == "stats_mu_") stats = &lock;
+    if (lock.name == "journal_mu_") journal = &lock;
+  }
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->level, 10);
+  EXPECT_EQ(table->owner, "Store");
+  ASSERT_EQ(table->guards.size(), 1u);
+  EXPECT_EQ(table->guards[0], "items_");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->level, 40);
+  // journal_mu_ carries both the annotation level and the drifted
+  // OrderedMutex constructor literal.
+  ASSERT_NE(journal, nullptr);
+  EXPECT_EQ(journal->level, 20);
+  EXPECT_EQ(journal->ctor_level, 30);
+
+  ASSERT_TRUE(model.fn_locks.count("count_locked"));
+  EXPECT_TRUE(model.fn_locks.at("count_locked").needs.count("table_mu_"));
+  ASSERT_TRUE(model.fn_locks.count("compact"));
+  EXPECT_TRUE(model.fn_locks.at("compact").excludes.count("table_mu_"));
+  ASSERT_TRUE(model.fn_locks.count("flush_all"));
+  EXPECT_TRUE(model.fn_locks.at("flush_all").blocking);
+}
+
+TEST(FbclintL007, CatchesEverySeededDisciplineViolation) {
+  const ProjectModel model = case3_model();
+  const std::vector<Diagnostic> diags = rule_lock_discipline(model);
+  // locks.hpp: inversion, recursion, guard-coverage gap, sleep under
+  // lock, requires violation, excludes violation.
+  EXPECT_TRUE(has_diag_at(diags, "L007", "src/grid/locks.hpp", 49));
+  EXPECT_TRUE(has_diag_at(diags, "L007", "src/grid/locks.hpp", 57));
+  EXPECT_TRUE(has_diag_at(diags, "L007", "src/grid/locks.hpp", 63));
+  EXPECT_TRUE(has_diag_at(diags, "L007", "src/grid/locks.hpp", 70));
+  EXPECT_TRUE(has_diag_at(diags, "L007", "src/grid/locks.hpp", 78));
+  EXPECT_TRUE(has_diag_at(diags, "L007", "src/grid/locks.hpp", 87));
+  // hier.hpp: fbc:blocking call under a lock, annotation/initializer
+  // drift.
+  EXPECT_TRUE(has_diag_at(diags, "L007", "src/grid/hier.hpp", 29));
+  EXPECT_TRUE(has_diag_at(diags, "L007", "src/grid/hier.hpp", 36));
+  // ...and nothing else: the clean methods (put, wait_nonempty,
+  // merge_stats, size) stay silent.
+  EXPECT_EQ(diags.size(), 8u);
+}
+
+TEST(FbclintL007, FlagsRepoStyleOrderedMutexInversion) {
+  // The repo idiom: fbc::OrderedMutex members with matching
+  // fbc:lock-level annotations. bad() acquires 40 then 10 -- exactly the
+  // obs_mu_ -> mu_ inversion the rule exists to catch; good() is the
+  // same pair in hierarchy order and must not fire.
+  const std::string header =
+      "#pragma once\n"
+      "#include <mutex>\n"
+      "#include \"util/ordered_mutex.hpp\"\n"
+      "struct S {\n"
+      "  void good() {\n"
+      "    std::lock_guard<fbc::OrderedMutex> a(mu_);\n"
+      "    std::lock_guard<fbc::OrderedMutex> b(obs_mu_);\n"
+      "  }\n"
+      "  void bad() {\n"
+      "    std::lock_guard<fbc::OrderedMutex> a(obs_mu_);\n"
+      "    std::lock_guard<fbc::OrderedMutex> b(mu_);\n"
+      "  }\n"
+      "  // fbc:lock-level(10)\n"
+      "  mutable fbc::OrderedMutex mu_{10, \"S::mu_\"};\n"
+      "  // fbc:lock-level(40)\n"
+      "  mutable fbc::OrderedMutex obs_mu_{40, \"S::obs_mu_\"};\n"
+      "};\n";
+  std::vector<SourceFile> files;
+  files.push_back(lex_file("src/s.hpp", header));
+  const ProjectModel model = build_model(std::move(files));
+  const std::vector<Diagnostic> diags = rule_lock_discipline(model);
+  ASSERT_EQ(diags.size(), 1u) << (diags.empty() ? "" : diags[0].message);
+  EXPECT_TRUE(has_diag_at(diags, "L007", "src/s.hpp", 11));
+}
+
+TEST(FbclintL007, UnlockRelockKeepsTrackingTheGuard) {
+  // The BundleServer::acquire() shape that produced the rule's only two
+  // repo false positives during bring-up: unique_lock, explicit
+  // unlock(), a sleep while NOT holding the lock, relock(), then a call
+  // requiring the lock. All four steps are legal and must stay silent.
+  const std::string header =
+      "#pragma once\n"
+      "#include <mutex>\n"
+      "#include <thread>\n"
+      "struct S {\n"
+      "  void drain() {\n"
+      "    std::unique_lock<std::mutex> lock(mu_);\n"
+      "    step_locked();\n"
+      "    lock.unlock();\n"
+      "    std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+      "    lock.lock();\n"
+      "    step_locked();\n"
+      "  }\n"
+      "  // fbc:requires(mu_)\n"
+      "  void step_locked();\n"
+      "  // fbc:lock-level(10)\n"
+      "  std::mutex mu_;\n"
+      "};\n";
+  std::vector<SourceFile> files;
+  files.push_back(lex_file("src/s.hpp", header));
+  const ProjectModel model = build_model(std::move(files));
+  const std::vector<Diagnostic> diags = rule_lock_discipline(model);
+  EXPECT_TRUE(diags.empty()) << (diags.empty() ? "" : diags[0].message);
+}
+
+TEST(FbclintL008, CatchesEverySeededCoherenceGap) {
+  const ProjectModel model = case2_model();
+  const std::vector<Diagnostic> diags = rule_wire_coherence(model);
+  // protocol.hpp: missing | 2 | Pong | doc row, StatsReply field-count
+  // drift at the struct line, and the evictions field both unset by
+  // stats() and unnamed by the codec (two diags on the field's line).
+  EXPECT_TRUE(has_diag_at(diags, "L008", "service/protocol.hpp", 10));
+  EXPECT_TRUE(has_diag_at(diags, "L008", "service/protocol.hpp", 18));
+  EXPECT_TRUE(has_diag_at(diags, "L008", "service/protocol.hpp", 22));
+  EXPECT_EQ(std::count_if(diags.begin(), diags.end(),
+                          [](const Diagnostic& d) { return d.line == 22; }),
+            2)
+      << "evictions should draw one stats() diag and one codec diag";
+  // server.cpp: the undocumented svc.hold_us metric literal.
+  EXPECT_TRUE(has_diag_at(diags, "L008", "service/server.cpp", 34));
+  EXPECT_EQ(diags.size(), 5u);
+}
+
 }  // namespace
 }  // namespace fbclint

@@ -1,0 +1,164 @@
+// Tests for the OrderedMutex runtime lock-hierarchy checker
+// (util/ordered_mutex). The violation tests install a handler through the
+// set_lock_violation_handler() seam so they can observe the offending
+// pair without dying; the death test leaves the default abort handler in
+// place and pins the FBC_LOCK_CHECK failure mode end to end -- a
+// deliberate obs_mu_(40) -> mu_(10) inversion must kill the process with
+// both lock names in the message. None of the locals here carry
+// fbc:lock-level annotations, so fbclint L007 (which checks the same
+// discipline statically) stays silent on this file by design.
+#include "util/ordered_mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+
+namespace fbc {
+namespace {
+
+struct Violation {
+  bool fired = false;
+  std::string held_name;
+  int held_level = 0;
+  std::string acquiring_name;
+  int acquiring_level = 0;
+};
+
+// The handler seam takes a plain function pointer, so the capture goes
+// through a file-scope slot instead of a lambda capture.
+Violation g_violation;  // NOLINT(*-non-const-global-variables)
+
+void record_violation(const char* held_name, int held_level,
+                      const char* acquiring_name, int acquiring_level) {
+  g_violation.fired = true;
+  g_violation.held_name = held_name;
+  g_violation.held_level = held_level;
+  g_violation.acquiring_name = acquiring_name;
+  g_violation.acquiring_level = acquiring_level;
+}
+
+/// Enables checking with the recording handler for the test's duration,
+/// then restores the build-configured default state.
+class OrderedMutexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_violation = Violation{};
+    prev_enabled_ = lock_check_enabled();
+    set_lock_check(true);
+    set_lock_violation_handler(&record_violation);
+  }
+  void TearDown() override {
+    set_lock_violation_handler(nullptr);
+    set_lock_check(prev_enabled_);
+  }
+
+ private:
+  bool prev_enabled_ = false;
+};
+
+TEST_F(OrderedMutexTest, IncreasingLevelsPassAndTrackDepth) {
+  OrderedMutex low{10, "test::mu_"};
+  OrderedMutex high{40, "test::obs_mu_"};
+  EXPECT_EQ(held_lock_depth(), 0u);
+  {
+    std::lock_guard<OrderedMutex> a(low);
+    EXPECT_EQ(held_lock_depth(), 1u);
+    {
+      std::lock_guard<OrderedMutex> b(high);
+      EXPECT_EQ(held_lock_depth(), 2u);
+    }
+    EXPECT_EQ(held_lock_depth(), 1u);
+  }
+  EXPECT_EQ(held_lock_depth(), 0u);
+  EXPECT_FALSE(g_violation.fired);
+}
+
+TEST_F(OrderedMutexTest, ScopedLockAndCondvarIdiomsStayClean) {
+  // The Lockable surface the serving layer actually uses: scoped_lock
+  // over two levels in order, and unique_lock unlock/relock.
+  OrderedMutex low{20, "test::lease_mu"};
+  OrderedMutex high{60, "test::pool_mu_"};
+  {
+    std::scoped_lock both(low, high);
+    EXPECT_EQ(held_lock_depth(), 2u);
+  }
+  std::unique_lock<OrderedMutex> lock(low);
+  lock.unlock();
+  EXPECT_EQ(held_lock_depth(), 0u);
+  lock.lock();
+  EXPECT_EQ(held_lock_depth(), 1u);
+  lock.unlock();
+  EXPECT_FALSE(g_violation.fired);
+}
+
+TEST_F(OrderedMutexTest, InversionReportsBothLocks) {
+  OrderedMutex low{10, "test::mu_"};
+  OrderedMutex high{40, "test::obs_mu_"};
+  std::lock_guard<OrderedMutex> a(high);
+  std::lock_guard<OrderedMutex> b(low);  // 40 held, acquiring 10
+  ASSERT_TRUE(g_violation.fired);
+  EXPECT_EQ(g_violation.held_name, "test::obs_mu_");
+  EXPECT_EQ(g_violation.held_level, 40);
+  EXPECT_EQ(g_violation.acquiring_name, "test::mu_");
+  EXPECT_EQ(g_violation.acquiring_level, 10);
+}
+
+TEST_F(OrderedMutexTest, SameLevelAcquireIsAViolation) {
+  // Levels must strictly increase: an equal-level pair is the same class
+  // of bug as a recursive acquire (which L007 also catches statically --
+  // exercising a real recursive std::mutex lock here would deadlock).
+  OrderedMutex a{30, "test::inflight_a"};
+  OrderedMutex b{30, "test::inflight_b"};
+  std::lock_guard<OrderedMutex> hold(a);
+  std::lock_guard<OrderedMutex> same(b);
+  ASSERT_TRUE(g_violation.fired);
+  EXPECT_EQ(g_violation.held_name, "test::inflight_a");
+  EXPECT_EQ(g_violation.acquiring_name, "test::inflight_b");
+}
+
+TEST_F(OrderedMutexTest, TryLockSuccessIsOrderChecked) {
+  OrderedMutex low{10, "test::mu_"};
+  OrderedMutex high{40, "test::obs_mu_"};
+  std::lock_guard<OrderedMutex> hold(high);
+  ASSERT_TRUE(low.try_lock());
+  EXPECT_TRUE(g_violation.fired);
+  EXPECT_EQ(g_violation.acquiring_name, "test::mu_");
+  low.unlock();
+}
+
+TEST_F(OrderedMutexTest, DisabledCheckIsSilentAndKeepsNoStack) {
+  set_lock_check(false);
+  OrderedMutex low{10, "test::mu_"};
+  OrderedMutex high{40, "test::obs_mu_"};
+  std::lock_guard<OrderedMutex> a(high);
+  std::lock_guard<OrderedMutex> b(low);  // inverted, but checking is off
+  EXPECT_FALSE(g_violation.fired);
+  EXPECT_EQ(held_lock_depth(), 0u);
+}
+
+// Runs without the fixture: default abort handler, checking forced on.
+// This is the runtime half of the acceptance criterion -- the same
+// obs_mu_ -> mu_ inversion fbclint L007 catches statically must abort
+// here with both names identifying the offending pair.
+// Runs in the death-test child: default abort handler, checking forced
+// on, then the deliberate inversion.
+void acquire_inverted_with_default_handler() {
+  set_lock_violation_handler(nullptr);
+  set_lock_check(true);
+  OrderedMutex low{10, "test::mu_"};
+  OrderedMutex high{40, "test::obs_mu_"};
+  std::lock_guard<OrderedMutex> a(high);
+  std::lock_guard<OrderedMutex> b(low);
+}
+
+TEST(OrderedMutexDeathTest, InversionAbortsWithBothNamesByDefault) {
+#if GTEST_HAS_DEATH_TEST
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+#endif
+  EXPECT_DEATH_IF_SUPPORTED(acquire_inverted_with_default_handler(),
+                            "acquiring 'test::mu_'.*holding 'test::obs_mu_'");
+}
+
+}  // namespace
+}  // namespace fbc

@@ -7,12 +7,18 @@
 // Exit code 0 = clean (or self-test fully green), 1 = violations found
 // (or seeded violations missed), 2 = usage/IO error.
 //
+// Output formats: the default is `path:line: [rule] message`;
+// `--format=github` emits GitHub Actions `::error` workflow commands so
+// findings annotate the PR diff; `--json` emits a machine-readable array.
+//
 // Rules (docs/STATIC-ANALYSIS.md): L001 view-lifetime, L002 hook
 // completeness, L003 registry/CLI completeness, L004 metrics completeness,
-// L005 determinism, L006 header hygiene. Suppress a finding with a
-// `// fbclint:ignore(LNNN)` comment on the offending line or the line
+// L005 determinism, L006 header hygiene, L007 lock discipline, L008
+// wire/stat coherence. Suppress a finding with a `// fbclint:ignore(LNNN)`
+// comment (alias: `fbclint:allow`) on the offending line or the line
 // above it.
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -78,10 +84,70 @@ ProjectModel lint_paths(const std::vector<std::string>& roots,
   return build_model(std::move(files));
 }
 
-void print_diags(const std::vector<Diagnostic>& diags) {
-  for (const Diagnostic& d : diags)
-    std::cout << d.path << ":" << d.line << ": [" << d.rule << "] "
-              << d.message << "\n";
+enum class Format { Plain, Github, Json };
+
+/// JSON / workflow-command string escaping. GitHub workflow commands
+/// additionally percent-encode their own metacharacters so a message
+/// containing '%' or a newline cannot smuggle in a second command.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string github_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void print_diags(const std::vector<Diagnostic>& diags, Format format) {
+  if (format == Format::Json) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+      const Diagnostic& d = diags[i];
+      std::cout << (i == 0 ? "" : ",") << "\n  {\"rule\": \"" << d.rule
+                << "\", \"path\": \"" << json_escape(d.path)
+                << "\", \"line\": " << d.line << ", \"message\": \""
+                << json_escape(d.message) << "\"}";
+    }
+    std::cout << (diags.empty() ? "]\n" : "\n]\n");
+    return;
+  }
+  for (const Diagnostic& d : diags) {
+    if (format == Format::Github) {
+      std::cout << "::error file=" << d.path << ",line=" << d.line
+                << ",title=fbclint " << d.rule
+                << "::" << github_escape(d.message) << "\n";
+    } else {
+      std::cout << d.path << ":" << d.line << ": [" << d.rule << "] "
+                << d.message << "\n";
+    }
+  }
 }
 
 /// Matches diagnostics against `fbclint:expect(...)` markers (same file,
@@ -158,6 +224,7 @@ int run_self_test(const std::string& fixture_root) {
 
 int main(int argc, char** argv) {
   bool self_test = false;
+  Format format = Format::Plain;
   std::string fixture_root = FBCLINT_FIXTURE_DIR;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
@@ -166,9 +233,15 @@ int main(int argc, char** argv) {
       self_test = true;
     } else if (arg.starts_with("--fixtures=")) {
       fixture_root = arg.substr(11);
+    } else if (arg == "--format=plain") {
+      format = Format::Plain;
+    } else if (arg == "--format=github") {
+      format = Format::Github;
+    } else if (arg == "--json") {
+      format = Format::Json;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: fbclint [--self-test] [--fixtures=DIR] "
-                   "[paths...]\n";
+                   "[--format=plain|github] [--json] [paths...]\n";
       return 0;
     } else if (arg.starts_with("--")) {
       std::cerr << "fbclint: unknown option " << arg << "\n";
@@ -186,13 +259,14 @@ int main(int argc, char** argv) {
     const ProjectModel model = lint_paths(roots, /*skip_fixtures=*/true);
     const std::vector<Diagnostic> diags =
         apply_suppressions(run_rules(model), collect_markers(model));
-    print_diags(diags);
-    if (diags.empty()) {
-      std::cout << "fbclint: clean (" << model.files.size() << " files)\n";
-      return 0;
+    print_diags(diags, format);
+    if (format != Format::Json) {
+      if (diags.empty())
+        std::cout << "fbclint: clean (" << model.files.size() << " files)\n";
+      else
+        std::cout << "fbclint: " << diags.size() << " violation(s)\n";
     }
-    std::cout << "fbclint: " << diags.size() << " violation(s)\n";
-    return 1;
+    return diags.empty() ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;

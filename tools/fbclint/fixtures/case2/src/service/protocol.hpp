@@ -7,8 +7,19 @@ namespace fx2 {
 
 enum class MsgType : std::uint8_t {
   Ping = 1,
-  Pong = 2,
+  Pong = 2,  // fbclint:expect(L008) no | 2 | Pong | row in the wire table
   Stats = 3,
+};
+
+/// Wire stats block (L008): every field must be assigned by
+/// BundleServer::stats(), named by the codec, and counted by the
+/// StatsReply row of the docs wire table -- which here still says 2.
+// fbclint:expect(L008)
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  // fbclint:expect(L008) evictions is never encoded by the codec
+  std::uint64_t evictions = 0;  // fbclint:expect(L008) nor set by stats()
 };
 
 }  // namespace fx2

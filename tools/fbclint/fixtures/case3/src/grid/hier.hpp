@@ -1,0 +1,40 @@
+// Fixture annotation/runtime drift (L007): the fbc:lock-level annotation
+// and the OrderedMutex constructor literal disagree, and a function marked
+// fbc:blocking is called under a level-tagged lock.
+#pragma once
+
+#include <mutex>
+
+namespace fx3 {
+
+/// Stand-in for util/ordered_mutex (the lexer never resolves includes;
+/// the rule keys on the annotation comments and the initializer literal).
+class OrderedMutex {
+ public:
+  OrderedMutex(int level, const char* name);
+  void lock();
+  void unlock();
+};
+
+// Flushes every dirty page; may block on disk for an unbounded time.
+// fbc:blocking
+void flush_all();
+
+class Journal {
+ public:
+  void append() {
+    std::lock_guard<OrderedMutex> lock(journal_mu_);
+    entries_ = entries_ + 1;
+    // fbclint:expect(L007) blocking flush_all while holding journal_mu_
+    flush_all();
+  }
+
+ private:
+  // fbc:lock-level(20)
+  // fbc:guards(entries_)
+  // fbclint:expect(L007) annotation says 20, initializer says 30
+  OrderedMutex journal_mu_{30, "Journal::journal_mu_"};
+  int entries_ = 0;
+};
+
+}  // namespace fx3

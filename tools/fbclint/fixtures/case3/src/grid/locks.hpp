@@ -1,0 +1,110 @@
+// Fixture lock discipline (L007): a two-level hierarchy with seeded
+// inversion, recursion, guard-coverage, blocking-under-lock, requires and
+// excludes violations. The clean methods (put, wait_nonempty, merge_stats,
+// size) pin the rule's negative space: correct nesting, the
+// condition-variable wait exemption, multi-lock scoped_lock in level
+// order, and an honored fbc:requires contract must NOT fire.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fx3 {
+
+class Store {
+ public:
+  void put(int v) {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);  // ok: 10 -> 40
+      ++writes_;
+    }
+    items_.push_back(v);
+    cv_.notify_all();
+  }
+
+  void wait_nonempty() {
+    std::unique_lock<std::mutex> lock(table_mu_);
+    // ok: wait() releases the guard it is handed for the wait's duration
+    cv_.wait(lock, [this] { return !items_.empty(); });
+  }
+
+  void merge_stats() {
+    std::scoped_lock both(table_mu_, stats_mu_);  // ok: 10 then 40
+    writes_ += static_cast<int>(items_.size());
+  }
+
+  int size() const {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    return count_locked();  // ok: the required table_mu_ is held
+  }
+
+  // Seeded inversion: the level-40 stats lock is taken first, then the
+  // level-10 table lock -- levels must strictly increase.
+  int bad_nested() {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    // fbclint:expect(L007) inversion: 40 held while acquiring 10
+    std::lock_guard<std::mutex> lock(table_mu_);
+    return writes_ + static_cast<int>(items_.size());
+  }
+
+  // Seeded recursive acquisition: same level twice is never "increasing".
+  int bad_recursive() {
+    std::lock_guard<std::mutex> outer(table_mu_);
+    // fbclint:expect(L007) recursive acquire of table_mu_
+    std::lock_guard<std::mutex> inner(table_mu_);
+    return static_cast<int>(items_.size());
+  }
+
+  // Seeded guard-coverage gap: reads items_ without table_mu_.
+  // fbclint:expect(L007)
+  int unguarded_size() const { return static_cast<int>(items_.size()); }
+
+  // Seeded blocking-under-lock: sleeps while holding the table lock,
+  // stalling every other thread that needs it.
+  void bad_sleep() {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    // fbclint:expect(L007) blocking sleep_for while holding table_mu_
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    items_.clear();
+  }
+
+  // Seeded requires violation: count_locked's contract says the caller
+  // holds table_mu_, but nothing is held here.
+  int bad_unlocked_count() const {
+    // fbclint:expect(L007) count_locked requires table_mu_
+    return count_locked();
+  }
+
+  // Seeded excludes violation: compact takes table_mu_ itself, so calling
+  // it with the lock held would self-deadlock.
+  void bad_compact_under_lock() {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    items_.shrink_to_fit();
+    // fbclint:expect(L007) compact declares fbc:excludes(table_mu_)
+    compact();
+  }
+
+  // Rebuilds the table; takes table_mu_ internally.
+  // fbc:excludes(table_mu_)
+  void compact();
+
+ private:
+  // Caller must hold table_mu_.
+  // fbc:requires(table_mu_)
+  int count_locked() const { return static_cast<int>(items_.size()); }
+
+  // fbc:lock-level(10)
+  // fbc:guards(items_)
+  mutable std::mutex table_mu_;
+  // fbc:lock-level(40)
+  // fbc:guards(writes_)
+  mutable std::mutex stats_mu_;
+  std::condition_variable cv_;
+  std::vector<int> items_;
+  int writes_ = 0;
+};
+
+}  // namespace fx3

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 
 namespace fbclint {
 
@@ -284,7 +285,181 @@ void collect_classes(const SourceFile& file, ProjectModel& model) {
   }
 }
 
+/// Parses one "name(arg, arg)" style fbc: annotation out of a comment;
+/// returns the comma-split, space-stripped args of every occurrence.
+std::vector<std::string> fbc_annotation_args(const std::string& text,
+                                             const char* keyword) {
+  std::vector<std::string> out;
+  const std::string needle = std::string("fbc:") + keyword + "(";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const std::size_t open = pos + needle.size() - 1;
+    const std::size_t close = text.find(')', open);
+    if (close == std::string::npos) break;
+    std::string inner = text.substr(open + 1, close - open - 1);
+    std::size_t start = 0;
+    while (start <= inner.size()) {
+      std::size_t comma = inner.find(',', start);
+      if (comma == std::string::npos) comma = inner.size();
+      std::string arg = inner.substr(start, comma - start);
+      std::erase(arg, ' ');
+      if (!arg.empty()) out.push_back(arg);
+      start = comma + 1;
+    }
+    pos = close;
+  }
+  return out;
+}
+
+/// Index of the first token on the first code-bearing line at or after
+/// `line`, or tokens.size(). Because it returns the *next* line that has
+/// any token at all, stacked annotation comments (which carry no tokens)
+/// all bind to the same following declaration.
+std::size_t first_token_at_or_after(const std::vector<Token>& toks,
+                                    int line) {
+  for (std::size_t i = 0; i < toks.size(); ++i)
+    if (toks[i].line >= line) return i;
+  return toks.size();
+}
+
+/// How far an annotation comment may sit above its declaration (allows a
+/// block of stacked fbc: comment lines, not an arbitrary gap).
+constexpr int kMaxAnnotationGap = 8;
+
+/// Binds lock / function annotations in `file` into the model.
+void collect_lock_annotations(const SourceFile& file, ProjectModel& model) {
+  const auto& toks = file.tokens;
+  const std::vector<ClassSpan> spans = collect_class_spans(file);
+  for (const Token& comment : file.comments) {
+    const bool has_level = comment.text.find("fbc:lock-level(") !=
+                           std::string::npos;
+    const bool has_guards = comment.text.find("fbc:guards(") !=
+                            std::string::npos;
+    const bool has_needs = comment.text.find("fbc:requires(") !=
+                           std::string::npos;
+    const bool has_excludes = comment.text.find("fbc:excludes(") !=
+                              std::string::npos;
+    const bool has_blocking = comment.text.find("fbc:blocking") !=
+                              std::string::npos;
+    if (!has_level && !has_guards && !has_needs && !has_excludes &&
+        !has_blocking)
+      continue;
+
+    const std::size_t bind = first_token_at_or_after(toks, comment.line);
+    if (bind >= toks.size() ||
+        toks[bind].line - comment.line > kMaxAnnotationGap)
+      continue;
+
+    if (has_level || has_guards) {
+      // Mutex member declaration: name is the last identifier before the
+      // initializer / terminator of the declaration statement.
+      std::size_t name_idx = 0;
+      std::size_t stop = bind;
+      for (std::size_t i = bind; i < toks.size(); ++i) {
+        if (is_punct(toks[i], "{") || is_punct(toks[i], "=") ||
+            is_punct(toks[i], ";") || is_punct(toks[i], "(")) {
+          stop = i;
+          break;
+        }
+        if (toks[i].kind == TokKind::Identifier) name_idx = i;
+      }
+      if (name_idx == 0) continue;
+      LockInfo* info = nullptr;
+      for (LockInfo& existing : model.locks)
+        if (existing.path == file.path &&
+            existing.line == toks[name_idx].line &&
+            existing.name == toks[name_idx].text)
+          info = &existing;
+      if (info == nullptr) {
+        model.locks.push_back({});
+        info = &model.locks.back();
+        info->name = toks[name_idx].text;
+        info->path = file.path;
+        info->line = toks[name_idx].line;
+        info->owner = outermost_class_at(spans, name_idx);
+      }
+      for (const std::string& arg :
+           fbc_annotation_args(comment.text, "lock-level")) {
+        char* end = nullptr;
+        const long level = std::strtol(arg.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0')
+          info->level = static_cast<int>(level);
+      }
+      for (const std::string& arg :
+           fbc_annotation_args(comment.text, "guards"))
+        info->guards.push_back(arg);
+      // Constructor level literal: first number inside the {N, ...} or
+      // (N, ...) initializer, cross-checked against the annotation.
+      if ((is_punct(toks[stop], "{") || is_punct(toks[stop], "(")) &&
+          stop + 1 < toks.size() && toks[stop + 1].kind == TokKind::Number)
+        info->ctor_level =
+            static_cast<int>(std::strtol(toks[stop + 1].text.c_str(),
+                                         nullptr, 10));
+    }
+
+    if (has_needs || has_excludes || has_blocking) {
+      // Function declaration: name is the identifier directly before the
+      // first '(' after the bind point.
+      std::string fn_name;
+      const std::size_t limit = std::min(toks.size(), bind + 48);
+      for (std::size_t i = bind + 1; i < limit; ++i) {
+        if (is_punct(toks[i], ";") || is_punct(toks[i], "{")) break;
+        if (is_punct(toks[i], "(") &&
+            toks[i - 1].kind == TokKind::Identifier) {
+          fn_name = toks[i - 1].text;
+          break;
+        }
+      }
+      if (fn_name.empty()) continue;
+      FnLockInfo& info = model.fn_locks[fn_name];
+      for (const std::string& arg :
+           fbc_annotation_args(comment.text, "requires"))
+        info.needs.insert(arg);
+      for (const std::string& arg :
+           fbc_annotation_args(comment.text, "excludes"))
+        info.excludes.insert(arg);
+      if (has_blocking) info.blocking = true;
+    }
+  }
+}
+
 }  // namespace
+
+std::vector<ClassSpan> collect_class_spans(const SourceFile& file) {
+  std::vector<ClassSpan> out;
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!(is_ident(toks[i], "class") || is_ident(toks[i], "struct"))) continue;
+    if (i > 0 && is_ident(toks[i - 1], "enum")) continue;
+    std::size_t j = i + 1;
+    if (j >= toks.size() || toks[j].kind != TokKind::Identifier) continue;
+    const std::string name = toks[j].text;
+    ++j;
+    if (j < toks.size() && is_ident(toks[j], "final")) ++j;
+    if (j < toks.size() && is_punct(toks[j], ":")) {
+      int angle = 0;
+      ++j;
+      while (j < toks.size() && !is_punct(toks[j], "{") &&
+             !is_punct(toks[j], ";")) {
+        if (is_punct(toks[j], "<")) ++angle;
+        if (is_punct(toks[j], ">")) --angle;
+        ++j;
+      }
+    }
+    if (j >= toks.size() || !is_punct(toks[j], "{")) continue;  // fwd decl
+    const std::size_t body_close = match_forward(toks, j);
+    if (body_close >= toks.size()) continue;
+    out.push_back({name, j, body_close});
+  }
+  return out;
+}
+
+std::string outermost_class_at(const std::vector<ClassSpan>& spans,
+                               std::size_t idx) {
+  for (const ClassSpan& span : spans)
+    if (span.body_open < idx && idx < span.body_close) return span.name;
+  return {};
+}
 
 std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open) {
   if (open >= tokens.size() || tokens[open].kind != TokKind::Punct)
@@ -358,6 +533,7 @@ ProjectModel build_model(std::vector<SourceFile> files) {
     if (f.is_header()) collect_signatures(f, model);
     collect_container_vars(f, model);
     collect_classes(f, model);
+    collect_lock_annotations(f, model);
     if (path_ends_with(f.path, "core/registry.cpp"))
       model.registry_cpp = static_cast<int>(i);
     if (path_ends_with(f.path, "core/registry.hpp"))
@@ -372,6 +548,8 @@ ProjectModel build_model(std::vector<SourceFile> files) {
       model.protocol_hpp = static_cast<int>(i);
     if (path_ends_with(f.path, "service/protocol.cpp"))
       model.protocol_cpp = static_cast<int>(i);
+    if (path_ends_with(f.path, "service/server.cpp"))
+      model.server_cpp = static_cast<int>(i);
     if (path_ends_with(f.path, "obs/histogram.hpp"))
       model.obs_histogram_hpp = static_cast<int>(i);
     if (path_ends_with(f.path, "obs/counter.hpp"))
@@ -419,6 +597,7 @@ Markers collect_markers(const ProjectModel& model) {
     for (const Token& comment : file.comments) {
       std::vector<std::string> ignored;
       parse_marker(comment.text, "ignore", &ignored);
+      parse_marker(comment.text, "allow", &ignored);
       for (const std::string& rule : ignored)
         out.ignores[{file.path, comment.line}].insert(rule);
       std::vector<std::string> expected;

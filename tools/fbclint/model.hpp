@@ -36,6 +36,34 @@ struct Diagnostic {
   std::string message;
 };
 
+/// One level-annotated mutex (L007 lock model). Parsed from
+/// `// fbc:lock-level(N)` / `// fbc:guards(field,...)` comments bound to
+/// the mutex member declaration below them. Annotated names must be
+/// unique across the project: the model is keyed by the declared
+/// identifier, which is how lock sites (`lock_guard<...> l(name)`) are
+/// resolved back to their level.
+struct LockInfo {
+  std::string name;  ///< declared identifier (member or global)
+  std::string path;
+  int line = 0;
+  int level = -1;       ///< fbc:lock-level(N)
+  int ctor_level = -1;  ///< first integer of the {N, "name"} initializer
+  /// Outermost enclosing class of the declaration (nested-struct members
+  /// belong to the outermost class); empty for namespace/file scope.
+  std::string owner;
+  std::vector<std::string> guards;  ///< fbc:guards(...) field names
+};
+
+/// Lock contracts attached to a function name (L007):
+/// `fbc:requires(m)` (caller must hold m; also seeds the body walk),
+/// `fbc:excludes(m)` (caller must NOT hold m), `fbc:blocking` (may block
+/// indefinitely, so no level-annotated lock may be held across a call).
+struct FnLockInfo {
+  std::set<std::string> needs;
+  std::set<std::string> excludes;
+  bool blocking = false;
+};
+
 /// A class definition relevant to L002.
 struct ClassInfo {
   std::string name;
@@ -76,6 +104,11 @@ struct ProjectModel {
 
   std::vector<ClassInfo> classes;
 
+  /// L007 lock model: every annotated mutex, plus per-function-name lock
+  /// contracts (unioned over all declarations sharing the name).
+  std::vector<LockInfo> locks;
+  std::map<std::string, FnLockInfo> fn_locks;
+
   /// Virtual hook names per interface, parsed live from the interface
   /// definitions (so a newly added hook extends L002 automatically).
   std::map<std::string, std::set<std::string>> interface_hooks;
@@ -88,6 +121,7 @@ struct ProjectModel {
   int service_hpp = -1;   // path ends service/server.hpp (ServiceConfig)
   int protocol_hpp = -1;  // path ends service/protocol.hpp (MsgType)
   int protocol_cpp = -1;  // path ends service/protocol.cpp (codec switches)
+  int server_cpp = -1;    // path ends service/server.cpp (L008 stats/metrics)
   /// Observability headers: their merge()-owning classes (Histogram,
   /// CounterRegistry) get the same L004 merge-completeness scan as
   /// cache/metrics.hpp, and BundleServer's Histogram/CounterRegistry
@@ -102,8 +136,9 @@ struct ProjectModel {
 
 /// Suppression / expectation markers parsed from comments.
 /// `fbclint:ignore(L001)` suppresses rule L001 on the comment's line and
-/// the line after it; `fbclint:expect(L001)` declares a seeded violation
-/// for --self-test with the same placement rules.
+/// the line after it (`fbclint:allow(...)` is an accepted alias);
+/// `fbclint:expect(L001)` declares a seeded violation for --self-test
+/// with the same placement rules.
 struct Markers {
   /// (path, line) -> suppressed rules. Covers the marker line and line+1.
   std::map<std::pair<std::string, int>, std::set<std::string>> ignores;
@@ -137,5 +172,20 @@ struct Markers {
 /// True when `path` ends with `suffix` at a path-component boundary.
 [[nodiscard]] bool path_ends_with(const std::string& path,
                                   const std::string& suffix);
+
+/// Token-range of one class/struct body (ownership queries for L007).
+struct ClassSpan {
+  std::string name;
+  std::size_t body_open = 0;   ///< index of the '{' token
+  std::size_t body_close = 0;  ///< index of the matching '}' token
+};
+
+/// Every class/struct body in `file`, in token order (outer before inner).
+[[nodiscard]] std::vector<ClassSpan> collect_class_spans(
+    const SourceFile& file);
+
+/// Name of the outermost class span containing token `idx`; "" when none.
+[[nodiscard]] std::string outermost_class_at(
+    const std::vector<ClassSpan>& spans, std::size_t idx);
 
 }  // namespace fbclint

@@ -10,6 +10,10 @@
 //                             default-initialized
 //   L005 determinism          no rand/time/mt19937/unordered iteration
 //   L006 header hygiene       #pragma once, no `using namespace` in headers
+//   L007 lock discipline      fbc:lock-level ordering, fbc:guards coverage,
+//                             no blocking calls under a level-tagged lock
+//   L008 wire/stat coherence  ServiceStats + counters appear in stats(),
+//                             the codec, and the SERVING.md wire table
 #pragma once
 
 #include <vector>
@@ -35,5 +39,9 @@ namespace fbclint {
     const ProjectModel& model);  // L005
 [[nodiscard]] std::vector<Diagnostic> rule_header_hygiene(
     const ProjectModel& model);  // L006
+[[nodiscard]] std::vector<Diagnostic> rule_lock_discipline(
+    const ProjectModel& model);  // L007
+[[nodiscard]] std::vector<Diagnostic> rule_wire_coherence(
+    const ProjectModel& model);  // L008
 
 }  // namespace fbclint
