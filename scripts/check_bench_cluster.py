@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Scaling gate for the sharded serving cluster.
+
+Runs bench_cluster (the in-process ClusterRouter scaling bench) in
+interleaved N=1 / N=4 pairs -- identical flags except --shards -- and
+fails when:
+
+  * any run drops or fails a request (ok != requests or failed != 0);
+  * the N=4 cluster's best-of-N aggregate throughput falls below
+    --ratio-floor times the single-shard best-of-N. The floor is 2.5x:
+    four shards mean four independent admission locks and four policy
+    instances evicting in parallel, so anything near parity signals the
+    router serializing its shards again.
+
+Interleaving (1,4,1,4,...) makes slow-machine noise hit both legs alike;
+best-of-N per leg discards transient stalls rather than averaging them
+in. With --out the measured legs are written as BENCH_cluster.json for
+the README numbers.
+
+Usage: check_bench_cluster.py [--bench=build/bench/bench_cluster] [options]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def run_bench(args, shards):
+    cmd = [
+        args.bench,
+        "--json",
+        f"--shards={shards}",
+        f"--connections={args.connections}",
+        f"--requests={args.requests}",
+        f"--cache={args.cache}",
+        f"--policy={args.policy}",
+        f"--placement={args.placement}",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"FAIL: {' '.join(cmd)} exited {proc.returncode}",
+              file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        sys.exit(1)
+    runs = json.loads(proc.stdout)
+    if not isinstance(runs, list) or len(runs) != 1:
+        print(f"FAIL: unexpected bench_cluster JSON shape: "
+              f"{proc.stdout[:200]}", file=sys.stderr)
+        sys.exit(1)
+    return runs[0]
+
+
+def check_run(run, label, failures):
+    if run["failed"] != 0:
+        failures.append(f"{label}: {run['failed']} failed request(s)")
+    if run["ok"] != run["requests"]:
+        failures.append(
+            f"{label}: ok={run['ok']} != requests={run['requests']}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="cluster-scaling regression gate")
+    parser.add_argument("--bench", default="build/bench/bench_cluster")
+    parser.add_argument("--pairs", type=int, default=3,
+                        help="interleaved N=1/N=4 pairs (best-of)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="scaled-leg shard count")
+    parser.add_argument("--connections", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=40000)
+    parser.add_argument("--cache", default="4194304",
+                        help="per-shard cache bytes")
+    parser.add_argument("--policy", default="optfb")
+    parser.add_argument("--placement", default="affinity")
+    parser.add_argument("--ratio-floor", type=float, default=2.5,
+                        help="min N-shard/single-shard best-of-N throughput")
+    parser.add_argument("--out", default="",
+                        help="also write the measured legs as JSON here")
+    args = parser.parse_args()
+
+    failures = []
+    single_runs, sharded_runs = [], []
+    for pair in range(args.pairs):
+        single = run_bench(args, 1)
+        sharded = run_bench(args, args.shards)
+        check_run(single, f"single[{pair}]", failures)
+        check_run(sharded, f"sharded[{pair}]", failures)
+        single_runs.append(single)
+        sharded_runs.append(sharded)
+        print(f"pair {pair}: N=1 {single['throughput_rps']:.0f} rps "
+              f"(p99 {single['p99_ms']:.3f} ms) | "
+              f"N={args.shards} {sharded['throughput_rps']:.0f} rps "
+              f"(p99 {sharded['p99_ms']:.3f} ms)")
+
+    best_single = max(r["throughput_rps"] for r in single_runs)
+    best_sharded = max(r["throughput_rps"] for r in sharded_runs)
+    ratio = best_sharded / best_single if best_single > 0 else float("inf")
+
+    print(f"best-of-{args.pairs}: N=1 {best_single:.0f} rps, "
+          f"N={args.shards} {best_sharded:.0f} rps, ratio {ratio:.2f}x "
+          f"(floor {args.ratio_floor:.2f}x)")
+
+    if ratio < args.ratio_floor:
+        failures.append(
+            f"scaling ratio {ratio:.2f}x below floor "
+            f"{args.ratio_floor:.2f}x "
+            f"({best_sharded:.0f} vs {best_single:.0f} rps)")
+
+    if args.out:
+        report = {
+            "benchmark": "cluster",
+            "schema": 1,
+            "shards": args.shards,
+            "placement": args.placement,
+            "policy": args.policy,
+            "connections": args.connections,
+            "requests": args.requests,
+            "pairs": args.pairs,
+            "ratio_best_of_n": round(ratio, 3),
+            "single_runs": single_runs,
+            "sharded_runs": sharded_runs,
+        }
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("cluster scaling gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

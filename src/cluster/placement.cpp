@@ -1,0 +1,87 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fbc::cluster {
+namespace {
+
+/// splitmix64: cheap, well-mixed 64-bit hash for ring points and file
+/// ids. Deterministic across platforms (no std::hash).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Placement::Placement(const ClusterConfig& config, const FileCatalog& catalog,
+                     Bytes shard_capacity)
+    : config_(config), catalog_(&catalog), shard_capacity_(shard_capacity) {
+  if (config_.shards == 0)
+    throw std::invalid_argument("placement needs at least one shard");
+  if (config_.vnodes == 0)
+    throw std::invalid_argument("placement needs at least one vnode");
+  ring_.reserve(static_cast<std::size_t>(config_.shards) * config_.vnodes);
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    for (std::uint32_t v = 0; v < config_.vnodes; ++v) {
+      // Distinct stream per (shard, vnode); the +1s keep 0 out of the
+      // mixer's weak fixed point.
+      const std::uint64_t point =
+          mix64((static_cast<std::uint64_t>(shard) + 1) * 0x9e3779b97f4a7c15ULL +
+                v + 1);
+      ring_.emplace_back(point, shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::uint32_t Placement::file_shard(FileId id) const {
+  const std::uint64_t h = mix64(static_cast<std::uint64_t>(id) + 1);
+  // First ring point clockwise of h, wrapping past the top.
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), h,
+      [](std::uint64_t value, const auto& entry) { return value < entry.first; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::uint32_t Placement::bundle_home(const Request& request) const {
+  assert(request.is_canonical());
+  const std::uint64_t h =
+      mix64(static_cast<std::uint64_t>(hash_file_span(request.files)));
+  return static_cast<std::uint32_t>(h % config_.shards);
+}
+
+PlacementPlan Placement::plan(const Request& request) const {
+  assert(request.is_canonical());
+  assert(!request.empty());
+  PlacementPlan out;
+  if (config_.placement == PlacementMode::BundleAffinity) {
+    const Bytes bytes = catalog_->request_bytes(request);
+    const double limit =
+        config_.spill_threshold * static_cast<double>(shard_capacity_);
+    if (config_.shards == 1 || static_cast<double>(bytes) <= limit) {
+      out.parts.push_back({bundle_home(request), request});
+      return out;
+    }
+    // Split-bundle fallback: too big for one shard, scatter by file.
+  }
+  // Partition file-by-file, buckets emitted in increasing shard order.
+  std::vector<std::vector<FileId>> buckets(config_.shards);
+  for (FileId id : request.files) buckets[file_shard(id)].push_back(id);
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    if (buckets[shard].empty()) continue;
+    Request sub;
+    sub.files = std::move(buckets[shard]);
+    // Per-shard slices of a canonical bundle are already sorted+unique.
+    assert(sub.is_canonical());
+    out.parts.push_back({shard, std::move(sub)});
+  }
+  return out;
+}
+
+}  // namespace fbc::cluster

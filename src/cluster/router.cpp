@@ -1,0 +1,185 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+#include "cluster/stats.hpp"
+
+namespace fbc::cluster {
+
+ClusterRouter::ClusterRouter(const ClusterConfig& config,
+                             const FileCatalog& catalog, Bytes shard_capacity,
+                             std::vector<std::unique_ptr<Shard>> shards)
+    : config_(config),
+      placement_(config, catalog, shard_capacity),
+      shards_(std::move(shards)) {
+  if (shards_.empty() || shards_.size() > 128)
+    throw std::invalid_argument("ClusterRouter: shard count must be 1..128");
+  if (shards_.size() != config_.shards)
+    throw std::invalid_argument(
+        "ClusterRouter: shards vector does not match config.shards");
+  for (const auto& shard : shards_)
+    if (shard == nullptr)
+      throw std::invalid_argument("ClusterRouter: null shard");
+}
+
+ClusterRouter::~ClusterRouter() { close(); }
+
+service::AcquireResult ClusterRouter::acquire(const Request& request) {
+  if (closed_.load(std::memory_order_acquire))
+    return {service::AcquireStatus::Closed, 0, false, 0, 0};
+  if (request.empty())
+    return {service::AcquireStatus::InvalidRequest, 0, false, 0, 0};
+  Request canonical = request;
+  canonical.canonicalize();
+  const PlacementPlan plan = placement_.plan(canonical);
+  if (!plan.split()) return acquire_single(plan.parts.front());
+  return acquire_scatter(plan);
+}
+
+service::AcquireResult ClusterRouter::acquire_single(const SubRequest& part) {
+  service::AcquireResult result = shards_[part.shard]->acquire(part.request);
+  if (result.status == service::AcquireStatus::Ok) {
+    if ((result.lease & ~kPayloadMask) != 0)
+      throw std::runtime_error(
+          "ClusterRouter: shard lease id overflows the router tag byte");
+    result.lease |= static_cast<LeaseId>(part.shard + 1) << kShardShift;
+  }
+  {
+    std::lock_guard<OrderedMutex> lock(grid_obs_mu_);
+    grid_counters_.add("grid.acquire.single");
+  }
+  return result;
+}
+
+service::AcquireResult ClusterRouter::acquire_scatter(
+    const PlacementPlan& plan) {
+  // The cluster grant is the conjunction of per-shard grants. Sub-acquires
+  // run in increasing shard order (plan.parts is sorted), so two split
+  // bundles contending for the same shards serialize instead of
+  // deadlocking on each other's partial grants.
+  std::vector<std::pair<std::uint32_t, LeaseId>> granted;
+  granted.reserve(plan.parts.size());
+  auto rollback = [&]() noexcept {
+    // Best effort, newest grant first; a shard that errors mid-rollback
+    // reclaims the lease itself when the connection drops.
+    for (auto it = granted.rbegin(); it != granted.rend(); ++it) {
+      try {
+        shards_[it->first]->release(it->second);
+      } catch (...) {
+      }
+    }
+    std::lock_guard<OrderedMutex> lock(grid_obs_mu_);
+    grid_counters_.add("grid.acquire.rollback");
+  };
+
+  service::AcquireResult gathered;
+  gathered.status = service::AcquireStatus::Ok;
+  gathered.request_hit = true;
+  for (const SubRequest& part : plan.parts) {
+    service::AcquireResult result;
+    try {
+      result = shards_[part.shard]->acquire(part.request);
+    } catch (...) {
+      rollback();
+      throw;
+    }
+    if (result.status != service::AcquireStatus::Ok) {
+      rollback();
+      // The client sees the failing shard's verdict with no residual
+      // pins anywhere.
+      result.lease = 0;
+      result.request_hit = false;
+      return result;
+    }
+    granted.emplace_back(part.shard, result.lease);
+    // The cluster-level request is a hit only if every slice was.
+    gathered.request_hit = gathered.request_hit && result.request_hit;
+    gathered.retries += result.retries;
+  }
+
+  {
+    std::lock_guard<OrderedMutex> lock(route_mu_);
+    LeaseId id = next_scatter_id_++;
+    if ((id & ~kPayloadMask) != 0)
+      throw std::runtime_error("ClusterRouter: scatter lease ids exhausted");
+    scatter_.emplace(id, std::move(granted));
+    gathered.lease = id;  // top byte 0 == scatter tag
+  }
+  {
+    std::lock_guard<OrderedMutex> lock(grid_obs_mu_);
+    grid_counters_.add("grid.acquire.scatter");
+  }
+  return gathered;
+}
+
+bool ClusterRouter::release(LeaseId lease) {
+  const std::uint64_t tag = lease >> kShardShift;
+  if (tag != 0) {
+    const std::size_t shard = static_cast<std::size_t>(tag) - 1;
+    if (shard >= shards_.size()) {
+      std::lock_guard<OrderedMutex> lock(grid_obs_mu_);
+      grid_counters_.add("grid.release.unknown");
+      return false;
+    }
+    const bool ok = shards_[shard]->release(lease & kPayloadMask);
+    if (!ok) {
+      std::lock_guard<OrderedMutex> lock(grid_obs_mu_);
+      grid_counters_.add("grid.release.unknown");
+    }
+    return ok;
+  }
+  std::vector<std::pair<std::uint32_t, LeaseId>> parts;
+  {
+    std::lock_guard<OrderedMutex> lock(route_mu_);
+    auto it = scatter_.find(lease);
+    if (it == scatter_.end()) {
+      std::lock_guard<OrderedMutex> obs(grid_obs_mu_);
+      grid_counters_.add("grid.release.unknown");
+      return false;
+    }
+    parts = std::move(it->second);
+    scatter_.erase(it);
+  }
+  bool all_ok = true;
+  for (const auto& [shard, sub_lease] : parts)
+    all_ok = shards_[shard]->release(sub_lease) && all_ok;
+  return all_ok;
+}
+
+service::ServiceStats ClusterRouter::stats() const {
+  std::vector<service::ServiceStats> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) per_shard.push_back(shard->stats());
+  return merge_stats(per_shard);
+}
+
+service::MetricsSnapshot ClusterRouter::metrics() const {
+  std::vector<service::MetricsSnapshot> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) per_shard.push_back(shard->metrics());
+  service::MetricsSnapshot merged = merge_metrics(per_shard);
+  // Fold the router's own counters in, keeping the name list sorted.
+  obs::CounterRegistry all;
+  for (const obs::CounterSample& c : merged.counters) all.add(c.first, c.second);
+  {
+    std::lock_guard<OrderedMutex> lock(grid_obs_mu_);
+    for (const obs::CounterSample& c : grid_counters_.snapshot())
+      all.add(c.first, c.second);
+  }
+  merged.counters = all.snapshot();
+  return merged;
+}
+
+void ClusterRouter::close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  for (const auto& shard : shards_) shard->close();
+}
+
+std::size_t ClusterRouter::scatter_leases() const {
+  std::lock_guard<OrderedMutex> lock(route_mu_);
+  return scatter_.size();
+}
+
+}  // namespace fbc::cluster

@@ -1,0 +1,128 @@
+// ClusterRouter: one ServingEndpoint fronting N BundleServer shards.
+//
+// Acquire flow:
+//   1. Placement splits the bundle into per-shard sub-requests.
+//   2. Single part  -> forward to its shard; the shard lease comes back
+//      tagged with the shard index in the top byte (lock-free fast path).
+//   3. Several parts -> scatter: acquire on each shard in increasing
+//      shard order. The cluster grant is the *conjunction* of per-shard
+//      grants -- if any shard refuses (QueueFull, Timeout, ...), every
+//      sub-lease already granted is rolled back (released) and the
+//      client sees the failing shard's status with no residual pins.
+//      Gathered grants are recorded in a scatter-lease map under
+//      route_mu_ and released shard-by-shard on release().
+//
+// Lease encoding: the top byte of a router LeaseId is shard index + 1
+// for single-shard leases (release needs no router state), and 0 for
+// scatter leases (dense ids into the scatter map). Shards themselves
+// allocate small dense ids, so the top byte is free in practice; the
+// router rejects a shard lease that collides with the tag space.
+//
+// Lock levels: route_mu_ = 5 and grid_obs_mu_ = 6 sit *below* every
+// server-internal level (BundleServer::mu_ = 10...) in the documented
+// hierarchy, so holding them while calling into a shard would be legal;
+// the router still never does -- shard calls block on staging I/O, and
+// no lock should span them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/catalog.hpp"
+#include "cluster/config.hpp"
+#include "cluster/placement.hpp"
+#include "cluster/shard.hpp"
+#include "obs/counter.hpp"
+#include "service/endpoint.hpp"
+#include "util/ordered_mutex.hpp"
+
+namespace fbc::cluster {
+
+/// Routes acquire/release over N shards; implements ServingEndpoint so a
+/// BundleDaemon can serve a whole cluster on one port.
+class ClusterRouter final : public service::ServingEndpoint {
+ public:
+  /// `shards.size()` must equal `config.shards` (1..128). `catalog` must
+  /// outlive the router; `shard_capacity` is one shard's cache size (the
+  /// affinity spill threshold is relative to it).
+  ClusterRouter(const ClusterConfig& config, const FileCatalog& catalog,
+                Bytes shard_capacity,
+                std::vector<std::unique_ptr<Shard>> shards);
+
+  ~ClusterRouter() override;
+
+  ClusterRouter(const ClusterRouter&) = delete;
+  ClusterRouter& operator=(const ClusterRouter&) = delete;
+
+  service::AcquireResult acquire(const Request& request) override;
+  bool release(LeaseId lease) override;
+
+  /// Field-wise sum of per-shard stats (capacity_bytes is the cluster
+  /// total). Scattered acquires count once per touched shard.
+  [[nodiscard]] service::ServiceStats stats() const override;
+
+  /// Merged per-shard snapshots plus the router's own grid.* counters.
+  [[nodiscard]] service::MetricsSnapshot metrics() const override;
+
+  [[nodiscard]] service::EndpointInfo info() const override {
+    return {service::EndpointRole::Router, 0,
+            static_cast<std::uint32_t>(shards_.size())};
+  }
+  [[nodiscard]] bool legacy_wire() const override { return false; }
+
+  /// Closes every shard and fails subsequent acquires.
+  void close() override;
+
+  /// The placement function (exposed so tests and the fuzz oracle can
+  /// predict routing without reaching into the router).
+  [[nodiscard]] const Placement& placement() const noexcept {
+    return placement_;
+  }
+
+  /// Shard `index`, for per-shard audits in tests.
+  [[nodiscard]] Shard& shard(std::size_t index) { return *shards_.at(index); }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Scatter leases currently outstanding (router-held state; single-
+  /// shard leases are stateless here).
+  [[nodiscard]] std::size_t scatter_leases() const;
+
+ private:
+  /// Top byte of a LeaseId: shard index + 1, or 0 for scatter leases.
+  static constexpr int kShardShift = 56;
+  static constexpr LeaseId kPayloadMask = (LeaseId{1} << kShardShift) - 1;
+
+  service::AcquireResult acquire_single(const SubRequest& part);
+  service::AcquireResult acquire_scatter(const PlacementPlan& plan);
+
+  ClusterConfig config_;
+  Placement placement_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> closed_{false};
+
+  // Scatter-lease table: router lease id -> (shard, shard lease) pairs.
+  // Held only over map ops, never across shard calls.
+  // fbc:lock-level(5)
+  // fbc:guards(scatter_)
+  // fbc:guards(next_scatter_id_)
+  mutable OrderedMutex route_mu_{5, "ClusterRouter::route_mu_"};
+  std::unordered_map<LeaseId, std::vector<std::pair<std::uint32_t, LeaseId>>>
+      scatter_;
+  LeaseId next_scatter_id_ = 1;
+
+  // Router-level counters (job-level view, vs the shards' sub-request
+  // view): grid.acquire.single / .scatter / .rollback, grid.release.unknown.
+  // fbc:lock-level(6)
+  // fbc:guards(grid_counters_)
+  mutable OrderedMutex grid_obs_mu_{6, "ClusterRouter::grid_obs_mu_"};
+  obs::CounterRegistry grid_counters_;
+};
+
+}  // namespace fbc::cluster

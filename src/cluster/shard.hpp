@@ -1,0 +1,99 @@
+// Shard: the router's view of one BundleServer.
+//
+// Two transports behind one interface: LocalShard calls an in-process
+// BundleServer directly (fbcgrid's default -- N shards in one process),
+// RemoteShard speaks the wire protocol to a shard daemon on another
+// port/host (the socket-backed deployment). The router never knows which
+// it has, so the placement/lease logic is transport-agnostic and the
+// fuzz harness can drive it entirely in-process.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/endpoint.hpp"
+#include "service/server.hpp"
+#include "util/ordered_mutex.hpp"
+
+namespace fbc::cluster {
+
+using service::LeaseId;
+
+/// One BundleServer as seen by the router. Thread-safe: the router calls
+/// acquire/release from many daemon workers concurrently.
+class Shard {
+ public:
+  virtual ~Shard() = default;
+
+  virtual service::AcquireResult acquire(const Request& request) = 0;
+  virtual bool release(LeaseId lease) = 0;
+  [[nodiscard]] virtual service::ServiceStats stats() const = 0;
+  [[nodiscard]] virtual service::MetricsSnapshot metrics() const = 0;
+  virtual void close() = 0;
+};
+
+/// In-process shard: forwards to a BundleServer the caller owns.
+class LocalShard final : public Shard {
+ public:
+  /// `server` must outlive the shard.
+  explicit LocalShard(service::BundleServer& server) : server_(&server) {}
+
+  service::AcquireResult acquire(const Request& request) override {
+    return server_->acquire(request);
+  }
+  bool release(LeaseId lease) override { return server_->release(lease); }
+  [[nodiscard]] service::ServiceStats stats() const override {
+    return server_->stats();
+  }
+  [[nodiscard]] service::MetricsSnapshot metrics() const override {
+    return server_->metrics();
+  }
+  void close() override { server_->close(); }
+
+  /// The wrapped server, for tests that audit() shards directly.
+  [[nodiscard]] service::BundleServer& server() noexcept { return *server_; }
+
+ private:
+  service::BundleServer* server_;
+};
+
+/// Socket-backed shard: a checkout pool of BundleClient connections to a
+/// shard daemon on 127.0.0.1:`port`. Each call checks a connection out,
+/// runs the round trip outside the pool lock, and returns it; broken
+/// connections are dropped (the daemon reclaims their leases).
+class RemoteShard final : public Shard {
+ public:
+  explicit RemoteShard(std::uint16_t port, bool legacy_wire = false)
+      : port_(port), legacy_wire_(legacy_wire) {}
+
+  service::AcquireResult acquire(const Request& request) override;
+  bool release(LeaseId lease) override;
+  [[nodiscard]] service::ServiceStats stats() const override;
+  [[nodiscard]] service::MetricsSnapshot metrics() const override;
+  void close() override;
+
+ private:
+  using ClientPtr = std::unique_ptr<service::BundleClient>;
+
+  /// Pops an idle connection or dials a new one. Never holds remote_mu_
+  /// across the connect. (const: stats()/metrics() check out too.)
+  ClientPtr checkout() const;
+  /// Returns a healthy connection to the pool (dropped if closed).
+  void checkin(ClientPtr client) const;
+
+  std::uint16_t port_;
+  bool legacy_wire_;
+
+  // Pool-only lock, below every shard-internal level and never held
+  // across a wire round trip.
+  // fbc:lock-level(7)
+  // fbc:guards(idle_)
+  // fbc:guards(closed_)
+  mutable OrderedMutex remote_mu_{7, "RemoteShard::remote_mu_"};
+  mutable std::vector<ClientPtr> idle_;
+  mutable bool closed_ = false;
+};
+
+}  // namespace fbc::cluster

@@ -1,0 +1,61 @@
+#include "cluster/stats.hpp"
+
+#include <map>
+
+#include "obs/counter.hpp"
+#include "obs/histogram.hpp"
+
+namespace fbc::cluster {
+
+service::ServiceStats merge_stats(
+    std::span<const service::ServiceStats> shards) {
+  service::ServiceStats out;
+  for (const service::ServiceStats& s : shards) {
+    out.requests += s.requests;
+    out.request_hits += s.request_hits;
+    out.rejected_full += s.rejected_full;
+    out.timed_out += s.timed_out;
+    out.unserviceable += s.unserviceable;
+    out.invalid += s.invalid;
+    out.transfer_retries += s.transfer_retries;
+    out.transfer_failures += s.transfer_failures;
+    out.leases_granted += s.leases_granted;
+    out.leases_released += s.leases_released;
+    out.active_leases += s.active_leases;
+    out.queue_depth += s.queue_depth;
+    out.evictions += s.evictions;
+    out.bytes_requested += s.bytes_requested;
+    out.bytes_missed += s.bytes_missed;
+    out.bytes_evicted += s.bytes_evicted;
+    out.used_bytes += s.used_bytes;
+    out.capacity_bytes += s.capacity_bytes;
+    out.resident_files += s.resident_files;
+  }
+  return out;
+}
+
+service::MetricsSnapshot merge_metrics(
+    std::span<const service::MetricsSnapshot> shards) {
+  service::MetricsSnapshot out;
+  {
+    std::vector<service::ServiceStats> stats;
+    stats.reserve(shards.size());
+    for (const service::MetricsSnapshot& s : shards) stats.push_back(s.stats);
+    out.stats = merge_stats(stats);
+  }
+  obs::CounterRegistry counters;
+  std::map<std::string, obs::Histogram> histograms;
+  for (const service::MetricsSnapshot& s : shards) {
+    for (const obs::CounterSample& c : s.counters)
+      counters.add(c.first, c.second);
+    for (const service::NamedHistogram& h : s.histograms)
+      histograms[h.name].merge(h.hist);
+  }
+  out.counters = counters.snapshot();
+  out.histograms.reserve(histograms.size());
+  for (auto& [name, hist] : histograms)
+    out.histograms.push_back({name, std::move(hist)});
+  return out;
+}
+
+}  // namespace fbc::cluster

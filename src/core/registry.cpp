@@ -5,6 +5,7 @@
 
 #include "core/optgen.hpp"
 #include "policies/adaptive.hpp"
+#include "policies/dist_online.hpp"
 #include "policies/fifo.hpp"
 #include "policies/gds.hpp"
 #include "policies/gdsf.hpp"
@@ -81,6 +82,9 @@ PolicyPtr make_policy(const std::string& name, const PolicyContext& context) {
     return std::make_unique<LandlordPolicy>(
         LandlordPolicy::CreditModel::ProportionalToSize);
   }
+  if (name == "dist-online") {
+    return std::make_unique<DistOnlinePolicy>(require_catalog(context, name));
+  }
   if (name == "lru") return std::make_unique<LruPolicy>();
   if (name == "lru-2") return std::make_unique<LruKPolicy>(2);
   if (name == "lru-3") return std::make_unique<LruKPolicy>(3);
@@ -131,10 +135,10 @@ PolicyPtr make_policy(const std::string& name, const PolicyContext& context) {
 std::vector<std::string> policy_names() {
   return {"optfb",        "optfb-basic",  "optfb-seeded1", "optfb-seeded2",
           "optfb-full",   "optfb-window", "optfb-bytes",   "landlord",
-          "landlord-size", "lru",         "lru-2",         "lru-3",
-          "lfu",          "fifo",         "gds-unit",      "gds-size",
-          "gds-fetch",    "gdsf",         "gdsf-unit",     "random",
-          "lookahead",    "adaptive"};
+          "landlord-size", "dist-online", "lru",           "lru-2",
+          "lru-3",        "lfu",          "fifo",          "gds-unit",
+          "gds-size",     "gds-fetch",    "gdsf",          "gdsf-unit",
+          "random",       "lookahead",    "adaptive"};
 }
 
 }  // namespace fbc

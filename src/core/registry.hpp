@@ -14,6 +14,9 @@
 //                        misses instead of request misses)
 //   landlord         bundle-adapted Landlord (paper Algorithm 3)
 //   landlord-size    Landlord with size-proportional credits
+//   dist-online      distributed online rule (Qin & Etesami): accumulating
+//                    equal bundle-cost credit shares, composable across
+//                    cluster shards
 //   lru, lfu, fifo   classic baselines adapted to bundles
 //   lru-2, lru-3     LRU-K (O'Neil et al.): K-th-reference recency
 //   gds-unit, gds-size, gds-fetch   GreedyDual-Size cost variants

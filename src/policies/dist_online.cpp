@@ -1,0 +1,113 @@
+#include "policies/dist_online.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fbc {
+
+DistOnlinePolicy::DistOnlinePolicy(const FileCatalog& catalog)
+    : catalog_(&catalog) {
+  const auto sizes = catalog.sizes();
+  const Bytes max_size =
+      sizes.empty() ? 1 : *std::max_element(sizes.begin(), sizes.end());
+  max_file_size_ = static_cast<double>(std::max<Bytes>(max_size, 1));
+}
+
+std::string DistOnlinePolicy::name() const { return "dist-online"; }
+
+void DistOnlinePolicy::pay_shares(const Request& request) {
+  if (request.empty()) return;
+  // Equal bundle-cost share per file (file comment): the whole bundle's
+  // normalized retrieval cost, split |F(r)| ways.
+  const double cost =
+      static_cast<double>(catalog_->request_bytes(request)) / max_file_size_;
+  const double share = cost / static_cast<double>(request.size());
+  for (FileId id : request.files) {
+    if (stored_.size() <= id) {
+      stored_.resize(id + 1, 0.0);
+      stamp_.resize(id + 1, 0);
+      tracked_.resize(id + 1, false);
+    }
+    const double effective =
+        tracked_[id] ? std::max(0.0, stored_[id] - inflation_) : 0.0;
+    stored_[id] = inflation_ + std::min(1.0, effective + share);
+    stamp_[id] = next_stamp_++;
+    tracked_[id] = true;
+    heap_.push(HeapEntry{stored_[id], id, stamp_[id]});
+  }
+}
+
+void DistOnlinePolicy::on_request_hit(const Request& request,
+                                      const DiskCache& cache) {
+  (void)cache;
+  pay_shares(request);
+}
+
+std::vector<FileId> DistOnlinePolicy::select_victims(const Request& request,
+                                                     Bytes bytes_needed,
+                                                     const DiskCache& cache) {
+  std::vector<FileId> victims;
+  // Pinned files are exempt this round but must stay tracked (same
+  // deferral Landlord uses -- leases must never be evicted under a job).
+  std::vector<HeapEntry> deferred;
+  Bytes freed = 0;
+  while (freed < bytes_needed) {
+    if (heap_.empty())
+      throw std::logic_error(
+          "dist-online: heap exhausted before freeing enough space");
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    const FileId id = top.id;
+    if (id >= stamp_.size() || stamp_[id] != top.stamp || !tracked_[id])
+      continue;  // stale: refreshed or evicted since being pushed
+    if (request.contains(id)) {
+      tracked_[id] = false;  // re-tracked when the request pays its share
+      continue;
+    }
+    if (!cache.contains(id)) {
+      tracked_[id] = false;
+      continue;
+    }
+    if (cache.pinned(id)) {
+      deferred.push_back(top);
+      continue;
+    }
+    // Uniform decrement by the minimum credit == raising the inflation
+    // level to this entry's stored credit.
+    inflation_ = std::max(inflation_, top.stored_credit);
+    tracked_[id] = false;
+    victims.push_back(id);
+    freed += cache.catalog().size_of(id);
+  }
+  for (const HeapEntry& entry : deferred) heap_.push(entry);
+  return victims;
+}
+
+void DistOnlinePolicy::on_files_loaded(const Request& request,
+                                       std::span<const FileId> loaded,
+                                       const DiskCache& cache) {
+  (void)loaded;
+  (void)cache;
+  pay_shares(request);
+}
+
+void DistOnlinePolicy::on_file_evicted(FileId id) {
+  if (id < tracked_.size()) tracked_[id] = false;
+}
+
+void DistOnlinePolicy::reset() {
+  inflation_ = 0.0;
+  stored_.clear();
+  stamp_.clear();
+  tracked_.clear();
+  next_stamp_ = 1;
+  heap_ = {};
+}
+
+double DistOnlinePolicy::credit(FileId id) const noexcept {
+  if (id >= stored_.size() || !tracked_[id]) return 0.0;
+  return std::max(0.0, stored_[id] - inflation_);
+}
+
+}  // namespace fbc

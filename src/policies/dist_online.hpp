@@ -1,0 +1,85 @@
+// Distributed online file-bundle caching (after Qin & Etesami,
+// "Optimal Online Algorithms for File-Bundle Caching and Generalization
+// to Distributed Caching", arXiv:2011.03212).
+//
+// The distributed setting serves bundles from several cooperating cache
+// nodes; each node runs the same credit-based online rule, and the only
+// coupling is that a request's *bundle cost* is shared equally by the
+// files that make it up -- a file learns the value of the bundles it
+// travels with, not just its own size. Concretely, when a request r is
+// serviced, every file g in F(r) earns a credit increment
+//
+//     share(r) = cost(r) / |F(r)|,   cost(r) = s(F(r)) / max_file_size
+//
+// capped at 1; when space is needed the credits of files outside the
+// arriving bundle are uniformly decreased by the current minimum and
+// zero-credit files are evicted (the Landlord rent-collection step, done
+// lazily with an inflation counter). The equal cost share is what makes
+// the rule composable across shards: each shard sees only its slice of a
+// scattered bundle, and the slice's per-file share equals the share the
+// whole bundle would have paid a single cache, so N shards running
+// dist-online behave like one credit space partitioned by placement.
+//
+// Versus plain Landlord (credit := 1 on every refresh): credits here
+// *accumulate* across requests, so a file that keeps appearing in many
+// cheap bundles can out-rank a file refreshed once by an expensive one --
+// a frequency component Landlord lacks, which is what the distributed
+// analysis needs to bound each node's competitive ratio independently of
+// how bundles are split.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "cache/policy.hpp"
+
+namespace fbc {
+
+/// Credit-share online policy for sharded bundle caches (file comment).
+class DistOnlinePolicy : public ReplacementPolicy {
+ public:
+  explicit DistOnlinePolicy(const FileCatalog& catalog);
+
+  [[nodiscard]] std::string name() const override;
+
+  void on_request_hit(const Request& request, const DiskCache& cache) override;
+
+  [[nodiscard]] std::vector<FileId> select_victims(
+      const Request& request, Bytes bytes_needed,
+      const DiskCache& cache) override;
+
+  void on_files_loaded(const Request& request, std::span<const FileId> loaded,
+                       const DiskCache& cache) override;
+
+  void on_file_evicted(FileId id) override;
+
+  void reset() override;
+
+  /// Effective credit of a file (testing/introspection).
+  [[nodiscard]] double credit(FileId id) const noexcept;
+
+ private:
+  /// Adds `request`'s equal cost share to every one of its files.
+  void pay_shares(const Request& request);
+
+  struct HeapEntry {
+    double stored_credit;
+    FileId id;
+    std::uint64_t stamp;  ///< matches stamp_[id] when the entry is current
+    bool operator>(const HeapEntry& other) const noexcept {
+      return stored_credit > other.stored_credit;
+    }
+  };
+
+  const FileCatalog* catalog_;
+  double max_file_size_ = 1.0;  ///< cost normalizer (largest catalog file)
+  double inflation_ = 0.0;      ///< L: total uniform decrement so far
+  std::vector<double> stored_;        ///< stored credit per file id
+  std::vector<std::uint64_t> stamp_;  ///< refresh generation per file id
+  std::vector<bool> tracked_;         ///< file currently credit-tracked
+  std::uint64_t next_stamp_ = 1;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+};
+
+}  // namespace fbc

@@ -102,4 +102,13 @@ MetricsSnapshot BundleClient::metrics() {
   return std::move(msg->metrics);
 }
 
+HelloReplyMsg BundleClient::hello() {
+  const Message reply = round_trip(HelloRequestMsg{});
+  const auto* msg = std::get_if<HelloReplyMsg>(&reply);
+  if (msg == nullptr)
+    throw ProtocolError(std::string("expected HelloReply, got ") +
+                        to_string(message_type(reply)));
+  return *msg;
+}
+
 }  // namespace fbc::service

@@ -51,6 +51,9 @@ class BundleClient {
   /// rejects inconsistent bucket state as a ProtocolError.
   [[nodiscard]] MetricsSnapshot metrics();
 
+  /// Asks the endpoint who it is (shard vs router, shard id/count).
+  [[nodiscard]] HelloReplyMsg hello();
+
   /// Closes the connection (leases still held are reclaimed server-side).
   void disconnect() noexcept { fd_.reset(); }
 

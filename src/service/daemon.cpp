@@ -10,9 +10,9 @@
 
 namespace fbc::service {
 
-BundleDaemon::BundleDaemon(BundleServer& server, std::uint16_t port,
+BundleDaemon::BundleDaemon(ServingEndpoint& endpoint, std::uint16_t port,
                            std::size_t workers)
-    : server_(server), pool_(std::make_unique<ThreadPool>(workers)) {
+    : endpoint_(endpoint), pool_(std::make_unique<ThreadPool>(workers)) {
   // Bind in the body: listen_loopback writes port_, which a member
   // initializer for listen_fd_ would race with port_'s own default init.
   listen_fd_ = listen_loopback(port, &port_);
@@ -26,7 +26,7 @@ void BundleDaemon::stop() {
   // Order matters: wake queued acquires first so pool workers can finish,
   // then unblock workers parked in recv, then unblock the acceptor, then
   // join everything. pool_ destruction drains the remaining tasks.
-  server_.close();
+  endpoint_.close();
   {
     std::lock_guard<OrderedMutex> lock(conn_mu_);
     // fbclint:ignore(L005) -- shutdown order across fds is irrelevant.
@@ -66,21 +66,25 @@ void BundleDaemon::serve_connection(int raw_fd) {
   const auto handle = [&](Message& message) -> Message {
     if (auto* acq = std::get_if<AcquireRequestMsg>(&message)) {
       const Request request(std::move(acq->files));
-      const AcquireResult r = server_.acquire(request);
+      const AcquireResult r = endpoint_.acquire(request);
       if (r.status == AcquireStatus::Ok) held.push_back(r.lease);
       return AcquireReplyMsg{acq->cookie,    r.status,
                              r.lease,        r.retry_after_ms,
                              r.retries,      r.request_hit};
     }
     if (auto* rel = std::get_if<ReleaseRequestMsg>(&message)) {
-      const bool ok = server_.release(rel->lease);
+      const bool ok = endpoint_.release(rel->lease);
       if (ok) std::erase(held, rel->lease);
       return ReleaseReplyMsg{ok};
     }
     if (std::holds_alternative<StatsRequestMsg>(message))
-      return StatsReplyMsg{server_.stats()};
+      return StatsReplyMsg{endpoint_.stats()};
     if (std::holds_alternative<MetricsRequestMsg>(message))
-      return MetricsReplyMsg{server_.metrics()};
+      return MetricsReplyMsg{endpoint_.metrics()};
+    if (std::holds_alternative<HelloRequestMsg>(message)) {
+      const EndpointInfo info = endpoint_.info();
+      return HelloReplyMsg{info.role, info.shard_id, info.shard_count};
+    }
     // Reply types are server-to-client only.
     throw ProtocolError(std::string("unexpected client message ") +
                         to_string(message_type(message)));
@@ -119,7 +123,7 @@ void BundleDaemon::serve_connection(int raw_fd) {
   };
 
   try {
-    if (server_.config().legacy_wire) {
+    if (endpoint_.legacy_wire()) {
       serve_legacy();
     } else {
       serve_batched();
@@ -131,7 +135,7 @@ void BundleDaemon::serve_connection(int raw_fd) {
   // A connection that dies holding leases must not leave its bundles
   // pinned forever -- that would wedge every other client's admissions.
   for (LeaseId lease : held) {
-    if (server_.release(lease)) {
+    if (endpoint_.release(lease)) {
       reclaimed_.fetch_add(1, std::memory_order_relaxed);
     }
   }

@@ -1,5 +1,6 @@
 // BundleDaemon: serves the wire protocol over loopback TCP on top of a
-// BundleServer.
+// ServingEndpoint (a single BundleServer, or a ClusterRouter fanning out
+// to N shards -- the daemon itself is endpoint-agnostic).
 //
 // One acceptor thread hands each connection to a util/thread_pool worker,
 // so up to `workers` clients are served concurrently; further connections
@@ -17,20 +18,21 @@
 #include <thread>
 #include <unordered_map>
 
+#include "service/endpoint.hpp"
 #include "service/net.hpp"
-#include "service/server.hpp"
 #include "util/ordered_mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fbc::service {
 
-/// TCP front-end for one BundleServer.
+/// TCP front-end for one ServingEndpoint.
 class BundleDaemon {
  public:
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
-  /// `server` must outlive the daemon. `workers` bounds concurrently
+  /// `endpoint` must outlive the daemon. `workers` bounds concurrently
   /// served connections.
-  BundleDaemon(BundleServer& server, std::uint16_t port, std::size_t workers);
+  BundleDaemon(ServingEndpoint& endpoint, std::uint16_t port,
+               std::size_t workers);
 
   /// Stops accepting, closes the server and every live connection, joins.
   ~BundleDaemon();
@@ -58,7 +60,7 @@ class BundleDaemon {
   void accept_loop();
   void serve_connection(int fd);
 
-  BundleServer& server_;
+  ServingEndpoint& endpoint_;
   UniqueFd listen_fd_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

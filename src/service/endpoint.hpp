@@ -1,0 +1,64 @@
+// ServingEndpoint: the transport-facing interface of anything that can
+// answer the wire protocol's request messages.
+//
+// BundleDaemon serves *an endpoint*, not a BundleServer: the same acceptor
+// and frame loop front either a single shard (fbcd) or a ClusterRouter
+// fanning out to N shards (fbcgrid). Everything the daemon needs --
+// acquire/release forwarding, stats/metrics snapshots, identity for
+// HelloRequest, and close-on-shutdown -- goes through this interface, so
+// acquire/release frames are forwardable to whatever sits behind it.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/types.hpp"
+#include "service/protocol.hpp"
+
+namespace fbc::service {
+
+/// Result of a (possibly forwarded) acquire call.
+struct AcquireResult {
+  AcquireStatus status = AcquireStatus::Ok;
+  LeaseId lease = 0;
+  bool request_hit = false;
+  std::uint32_t retry_after_ms = 0;
+  std::uint32_t retries = 0;
+};
+
+/// Identity reported in a HelloReply (see protocol.hpp).
+struct EndpointInfo {
+  EndpointRole role = EndpointRole::Shard;
+  std::uint32_t shard_id = 0;
+  std::uint32_t shard_count = 1;
+};
+
+/// Abstract serving endpoint (see file comment). Implementations must be
+/// thread-safe: the daemon calls from one thread per connection.
+class ServingEndpoint {
+ public:
+  virtual ~ServingEndpoint() = default;
+
+  /// Blocks until the bundle is leased or the acquire fails; `request`
+  /// must stay alive for the duration of the call.
+  virtual AcquireResult acquire(const Request& request) = 0;
+
+  /// Returns false for an unknown (or already released) lease.
+  virtual bool release(LeaseId lease) = 0;
+
+  [[nodiscard]] virtual ServiceStats stats() const = 0;
+
+  [[nodiscard]] virtual MetricsSnapshot metrics() const = 0;
+
+  /// Identity for HelloReply frames.
+  [[nodiscard]] virtual EndpointInfo info() const = 0;
+
+  /// True when connections should use the serial one-frame-per-recv
+  /// transport instead of the buffered FrameReader.
+  [[nodiscard]] virtual bool legacy_wire() const = 0;
+
+  /// Wakes every queued waiter with Closed and rejects future acquires;
+  /// release/stats keep working so draining clients can finish.
+  virtual void close() = 0;
+};
+
+}  // namespace fbc::service

@@ -262,6 +262,15 @@ void encode_payload(const Message& message, std::vector<std::uint8_t>* out) {
       encode_metrics(out, std::get<MetricsReplyMsg>(message).metrics);
       return;
     }
+    case MsgType::HelloRequest:
+      return;  // empty payload
+    case MsgType::HelloReply: {
+      const auto& m = std::get<HelloReplyMsg>(message);
+      put_u8(out, static_cast<std::uint8_t>(m.role));
+      put_u32(out, m.shard_id);
+      put_u32(out, m.shard_count);
+      return;
+    }
   }
   throw ProtocolError("unencodable message type");
 }
@@ -279,6 +288,8 @@ const char* to_string(MsgType type) noexcept {
     case MsgType::StatsReply: return "StatsReply";
     case MsgType::MetricsRequest: return "MetricsRequest";
     case MsgType::MetricsReply: return "MetricsReply";
+    case MsgType::HelloRequest: return "HelloRequest";
+    case MsgType::HelloReply: return "HelloReply";
   }
   return "?";
 }
@@ -326,7 +337,7 @@ FrameHeader decode_header(std::span<const std::uint8_t> bytes) {
                         " exceeds the frame cap");
   const std::uint8_t raw_type = bytes[4];
   if (raw_type < static_cast<std::uint8_t>(MsgType::AcquireRequest) ||
-      raw_type > static_cast<std::uint8_t>(MsgType::MetricsReply))
+      raw_type > static_cast<std::uint8_t>(MsgType::HelloReply))
     throw ProtocolError("unknown message type " + std::to_string(raw_type));
   header.type = static_cast<MsgType>(raw_type);
   return header;
@@ -387,6 +398,25 @@ Message decode_payload(MsgType type, std::span<const std::uint8_t> payload) {
     case MsgType::MetricsReply: {
       MetricsReplyMsg m;
       m.metrics = decode_metrics(&in);
+      in.finish();
+      return m;
+    }
+    case MsgType::HelloRequest: {
+      in.finish();
+      return HelloRequestMsg{};
+    }
+    case MsgType::HelloReply: {
+      HelloReplyMsg m;
+      const std::uint8_t raw_role = in.u8();
+      if (raw_role < static_cast<std::uint8_t>(EndpointRole::Shard) ||
+          raw_role > static_cast<std::uint8_t>(EndpointRole::Router))
+        throw ProtocolError("unknown endpoint role " +
+                            std::to_string(raw_role));
+      m.role = static_cast<EndpointRole>(raw_role);
+      m.shard_id = in.u32();
+      m.shard_count = in.u32();
+      if (m.shard_count == 0)
+        throw ProtocolError("hello reply with zero shard count");
       in.finish();
       return m;
     }

@@ -44,6 +44,14 @@ enum class MsgType : std::uint8_t {
   StatsReply = 6,
   MetricsRequest = 7,
   MetricsReply = 8,
+  HelloRequest = 9,
+  HelloReply = 10,
+};
+
+/// What kind of endpoint answered a HelloRequest (one byte on the wire).
+enum class EndpointRole : std::uint8_t {
+  Shard = 1,   ///< a single BundleServer (fbcd)
+  Router = 2,  ///< a ClusterRouter fronting shard_count shards (fbcgrid)
 };
 
 /// Outcome of an acquire call (one byte on the wire).
@@ -154,10 +162,23 @@ struct MetricsReplyMsg {
   MetricsSnapshot metrics;
 };
 
+struct HelloRequestMsg {};
+
+/// Identity of the serving endpoint behind the socket: a lone shard, or a
+/// cluster router. `shard_id` is the shard's position in its cluster (0
+/// for a standalone fbcd or for a router); `shard_count` is the number of
+/// shards behind the endpoint (1 for a shard).
+struct HelloReplyMsg {
+  EndpointRole role = EndpointRole::Shard;
+  std::uint32_t shard_id = 0;
+  std::uint32_t shard_count = 1;
+};
+
 using Message =
     std::variant<AcquireRequestMsg, AcquireReplyMsg, ReleaseRequestMsg,
                  ReleaseReplyMsg, StatsRequestMsg, StatsReplyMsg,
-                 MetricsRequestMsg, MetricsReplyMsg>;
+                 MetricsRequestMsg, MetricsReplyMsg, HelloRequestMsg,
+                 HelloReplyMsg>;
 
 /// Frame type of a message value.
 [[nodiscard]] MsgType message_type(const Message& message) noexcept;

@@ -72,6 +72,7 @@
 #include "obs/histogram.hpp"
 #include "obs/span.hpp"
 #include "service/coalesce.hpp"
+#include "service/endpoint.hpp"
 #include "service/lease.hpp"
 #include "service/protocol.hpp"
 #include "util/ordered_mutex.hpp"
@@ -152,6 +153,9 @@ struct ServiceConfig {
   /// serving bench gate runs its baseline leg with this on so the
   /// speedup is measured against the old stack, not a hybrid.
   bool legacy_wire = false;
+  /// Position of this server in its cluster (reported in HelloReply);
+  /// 0 for a standalone fbcd.
+  std::uint32_t shard_id = 0;
   /// Optional policy constructor override. When set, the server builds
   /// its replacement policy through this hook instead of make_policy --
   /// the seam the shadow_diff mode and the deterministic test harness use
@@ -161,37 +165,28 @@ struct ServiceConfig {
       policy_factory;
 };
 
-/// Result of one acquire() call.
-struct AcquireResult {
-  AcquireStatus status = AcquireStatus::Ok;
-  LeaseId lease = 0;
-  bool request_hit = false;
-  std::uint32_t retry_after_ms = 0;  ///< set when status == QueueFull
-  std::uint32_t retries = 0;         ///< transfer attempts retried
-};
-
 /// Thread-safe bundle-serving layer (see file comment).
-class BundleServer {
+class BundleServer : public ServingEndpoint {
  public:
   /// `mss` must outlive the server. Throws std::invalid_argument for a
   /// zero queue bound or an unknown policy name.
   BundleServer(const ServiceConfig& config, const StorageBackend& mss);
-  ~BundleServer();
+  ~BundleServer() override;
 
   BundleServer(const BundleServer&) = delete;
   BundleServer& operator=(const BundleServer&) = delete;
 
   /// Blocks until the bundle is resident and leased, the queue rejects it,
   /// or the timeout expires. Safe to call from any number of threads.
-  [[nodiscard]] AcquireResult acquire(const Request& request);
+  [[nodiscard]] AcquireResult acquire(const Request& request) override;
 
   /// Releases a lease. Returns false for unknown ids. Wakes queued
   /// admissions that were waiting for pinned bytes to free up.
-  bool release(LeaseId lease);
+  bool release(LeaseId lease) override;
 
   /// Wakes every queued waiter with AcquireStatus::Closed and rejects
   /// future acquires. release()/stats()/audit() keep working.
-  void close();
+  void close() override;
 
   /// Test hook for the deterministic scheduling harness: while paused, no
   /// drain pass runs, so acquires enqueue (or reject on a full queue) but
@@ -204,7 +199,7 @@ class BundleServer {
   [[nodiscard]] bool admission_paused() const;
 
   /// Consistent counter snapshot.
-  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] ServiceStats stats() const override;
 
   /// Full observability snapshot: stats() plus named counters and the
   /// per-stage latency/size histograms (the MsgType::MetricsReply body).
@@ -214,7 +209,16 @@ class BundleServer {
   /// `leases_released`. acquire.coalesce_us counts only grants that
   /// blocked on an overlapping transfer, and admit.batch_size counts
   /// drain passes that admitted at least one waiter.
-  [[nodiscard]] MetricsSnapshot metrics() const;
+  [[nodiscard]] MetricsSnapshot metrics() const override;
+
+  /// A single shard: shard_id from the config, shard_count 1.
+  [[nodiscard]] EndpointInfo info() const override {
+    return {EndpointRole::Shard, config_.shard_id, 1};
+  }
+
+  [[nodiscard]] bool legacy_wire() const override {
+    return config_.legacy_wire;
+  }
 
   /// Sorted snapshot of the resident file set. The deterministic
   /// scheduling harness (testing/sched_sim) compares this as the "final

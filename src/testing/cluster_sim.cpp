@@ -1,0 +1,363 @@
+#include "testing/cluster_sim.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "cluster/shard.hpp"
+#include "grid/mss.hpp"
+
+namespace fbc::testing {
+namespace {
+
+using service::AcquireResult;
+using service::AcquireStatus;
+using service::BundleServer;
+using service::ServiceConfig;
+
+/// Spins until `ready` returns true; throws after ~10s (same contract as
+/// sched_sim's await -- a stalled harness must fail, not hang).
+template <typename Pred>
+void await(const Pred& ready, const char* what) {
+  for (int i = 0; i < 100000; ++i) {
+    if (ready()) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  throw std::runtime_error(std::string("cluster_sim: stalled waiting for ") +
+                           what);
+}
+
+/// The N servers + shards + router a replay runs against. The router is
+/// built last and destroyed first (member order), matching its "shards
+/// outlive the router" contract.
+struct ClusterStack {
+  std::vector<std::unique_ptr<BundleServer>> servers;
+  std::unique_ptr<cluster::ClusterRouter> router;
+};
+
+ClusterStack build_stack(const SchedInstance& instance, ServiceConfig config,
+                         const cluster::ClusterConfig& cluster,
+                         MassStorageSystem& mss) {
+  ClusterStack stack;
+  std::vector<std::unique_ptr<cluster::Shard>> shards;
+  for (std::uint32_t s = 0; s < cluster.shards; ++s) {
+    ServiceConfig shard_config = config;
+    shard_config.shard_id = s;
+    stack.servers.push_back(
+        std::make_unique<BundleServer>(shard_config, mss));
+    shards.push_back(
+        std::make_unique<cluster::LocalShard>(*stack.servers.back()));
+  }
+  stack.router = std::make_unique<cluster::ClusterRouter>(
+      cluster, instance.catalog, config.cache_bytes, std::move(shards));
+  return stack;
+}
+
+std::uint64_t total_queue_depth(const ClusterStack& stack) {
+  std::uint64_t depth = 0;
+  for (const auto& server : stack.servers) depth += server->stats().queue_depth;
+  return depth;
+}
+
+}  // namespace
+
+std::string to_string(const ClusterOutcome& outcome) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < outcome.grants.size(); ++i) {
+    const GrantRecord& g = outcome.grants[i];
+    out << "op " << i << ": client " << g.client << " status "
+        << static_cast<int>(g.status) << " hit " << static_cast<int>(g.hit)
+        << "\n";
+  }
+  for (std::size_t s = 0; s < outcome.resident.size(); ++s) {
+    out << "shard " << s << " resident:";
+    for (FileId id : outcome.resident[s]) out << ' ' << id;
+    out << "\n";
+  }
+  out << "requests=" << outcome.requests << " hits=" << outcome.request_hits
+      << " evictions=" << outcome.evictions
+      << " rejected_full=" << outcome.rejected_full
+      << " single=" << outcome.single_acquires
+      << " scatter=" << outcome.scatter_acquires
+      << " rollbacks=" << outcome.rollbacks << "\n";
+  return out.str();
+}
+
+Bytes cluster_feasible_floor(const SchedInstance& instance) {
+  // Same pin/release bookkeeping as feasible_cache_floor, but the per-wave
+  // requirement is the *whole wave's* bundle bytes on top of what is
+  // pinned when the wave starts: within a wave, per-shard admission order
+  // is interleaving-dependent, so an admission must fit even if every
+  // other wave member was admitted (and pinned) first. A shard holds at
+  // most the full bundles' worth of those pins, so this total bounds
+  // every shard under every placement.
+  std::vector<std::uint32_t> pins(instance.catalog.count(), 0);
+  Bytes pinned = 0;
+  const auto pin = [&](const Request& r) {
+    for (FileId id : r.files)
+      if (pins[id]++ == 0) pinned += instance.catalog.size_of(id);
+  };
+  const auto unpin = [&](const Request& r) {
+    for (FileId id : r.files)
+      if (--pins[id] == 0) pinned -= instance.catalog.size_of(id);
+  };
+  std::vector<std::deque<const Request*>> held;
+  for (const SchedOp& op : instance.ops)
+    if (op.client >= held.size()) held.resize(op.client + 1);
+  Bytes floor = 0;
+  for (std::size_t start = 0; start < instance.ops.size();
+       start += instance.wave) {
+    const std::size_t end =
+        std::min(instance.ops.size(), start + instance.wave);
+    for (std::size_t i = start; i < end; ++i) {
+      const SchedOp& op = instance.ops[i];
+      if (op.release_oldest && !held[op.client].empty()) {
+        unpin(*held[op.client].front());
+        held[op.client].pop_front();
+      }
+    }
+    Bytes wave_bytes = 0;
+    for (std::size_t i = start; i < end; ++i)
+      wave_bytes +=
+          instance.catalog.bundle_bytes(instance.ops[i].request.files);
+    floor = std::max(floor, pinned + wave_bytes);
+    for (std::size_t i = start; i < end; ++i) {
+      const SchedOp& op = instance.ops[i];
+      pin(op.request);
+      held[op.client].push_back(&op.request);
+    }
+  }
+  return floor;
+}
+
+ClusterOutcome run_cluster_schedule(const SchedInstance& instance,
+                                    ServiceConfig config,
+                                    const cluster::ClusterConfig& cluster,
+                                    bool concurrent) {
+  // The instance's capacity is raised to the cluster floor so concurrent
+  // replays stay stall-free under any intra-wave interleaving; serial
+  // replays use the same capacity so the wave == 1 strict oracle compares
+  // like with like.
+  config.cache_bytes =
+      std::max(instance.cache_bytes, cluster_feasible_floor(instance));
+  config.order = service::AdmitOrder::Fifo;
+  config.time_scale = 0.0;
+  MassStorageSystem mss(default_tiers(), instance.catalog);
+  ClusterStack stack = build_stack(instance, config, cluster, mss);
+  cluster::ClusterRouter& router = *stack.router;
+
+  ClusterOutcome outcome;
+  outcome.grants.resize(instance.ops.size());
+  std::vector<std::deque<service::LeaseId>> held;
+  for (const SchedOp& op : instance.ops)
+    if (op.client >= held.size()) held.resize(op.client + 1);
+
+  std::vector<AcquireResult> results(instance.ops.size());
+  if (!concurrent) {
+    for (std::size_t i = 0; i < instance.ops.size(); ++i) {
+      const SchedOp& op = instance.ops[i];
+      if (op.release_oldest && !held[op.client].empty()) {
+        router.release(held[op.client].front());
+        held[op.client].pop_front();
+      }
+      results[i] = router.acquire(op.request);
+    }
+  } else {
+    std::vector<std::exception_ptr> errors(instance.ops.size());
+    for (std::size_t start = 0; start < instance.ops.size();
+         start += instance.wave) {
+      const std::size_t end =
+          std::min(instance.ops.size(), start + instance.wave);
+      for (const auto& server : stack.servers)
+        server->set_admission_paused(true);
+      std::vector<std::thread> threads;
+      std::vector<std::atomic<bool>> done(end - start);
+      std::uint64_t queued = 0;
+      for (std::size_t i = start; i < end; ++i) {
+        const SchedOp& op = instance.ops[i];
+        if (op.release_oldest && !held[op.client].empty()) {
+          router.release(held[op.client].front());
+          held[op.client].pop_front();
+        }
+        std::atomic<bool>& flag = done[i - start];
+        threads.emplace_back([&router, &op, &results, &errors, &flag, i] {
+          // Same containment as sched_sim: an exception out of acquire
+          // closes the whole cluster so queued waiters return Closed
+          // instead of stranding the wave, and is rethrown after the join.
+          try {
+            results[i] = router.acquire(op.request);
+          } catch (...) {
+            errors[i] = std::current_exception();
+            router.close();
+          }
+          flag.store(true, std::memory_order_release);
+        });
+        // Arrival order is program order. While admission is paused a
+        // scatter acquire sits in its *first* shard's queue, so one op
+        // contributes exactly one queued entry (or finishes early on a
+        // pre-queue rejection); summed depth makes the wait placement-
+        // agnostic.
+        const std::uint64_t target = queued + 1;
+        await(
+            [&] {
+              return total_queue_depth(stack) >= target ||
+                     done[i - start].load(std::memory_order_acquire);
+            },
+            "enqueue");
+        if (total_queue_depth(stack) >= target) ++queued;
+      }
+      for (const auto& server : stack.servers)
+        server->set_admission_paused(false);
+      for (std::thread& t : threads) t.join();
+      for (std::size_t i = start; i < end; ++i)
+        if (errors[i]) std::rethrow_exception(errors[i]);
+      for (std::size_t i = start; i < end; ++i)
+        if (results[i].status == AcquireStatus::Ok)
+          held[instance.ops[i].client].push_back(results[i].lease);
+    }
+  }
+
+  for (std::size_t i = 0; i < instance.ops.size(); ++i) {
+    const SchedOp& op = instance.ops[i];
+    GrantRecord& g = outcome.grants[i];
+    g.client = op.client;
+    g.status = static_cast<std::uint8_t>(results[i].status);
+    g.hit = results[i].request_hit ? 1 : 0;
+    if (!concurrent && results[i].status == AcquireStatus::Ok)
+      held[op.client].push_back(results[i].lease);
+  }
+
+  for (std::deque<service::LeaseId>& leases : held)
+    for (service::LeaseId lease : leases) router.release(lease);
+
+  for (std::size_t s = 0; s < stack.servers.size(); ++s) {
+    const std::vector<std::string> violations = stack.servers[s]->audit();
+    if (!violations.empty())
+      throw std::runtime_error("cluster_sim: shard " + std::to_string(s) +
+                               " audit failed after replay: " +
+                               violations.front());
+  }
+  if (router.scatter_leases() != 0)
+    throw std::runtime_error(
+        "cluster_sim: " + std::to_string(router.scatter_leases()) +
+        " scatter leases outstanding after replay");
+
+  const service::ServiceStats stats = router.stats();
+  outcome.requests = stats.requests;
+  outcome.request_hits = stats.request_hits;
+  outcome.evictions = stats.evictions;
+  outcome.rejected_full = stats.rejected_full;
+  for (const auto& server : stack.servers) {
+    outcome.resident.push_back(server->resident_files());
+    std::sort(outcome.resident.back().begin(), outcome.resident.back().end());
+  }
+  const service::MetricsSnapshot metrics = router.metrics();
+  for (const auto& [name, value] : metrics.counters) {
+    if (name == "grid.acquire.single") outcome.single_acquires = value;
+    if (name == "grid.acquire.scatter") outcome.scatter_acquires = value;
+    if (name == "grid.acquire.rollback") outcome.rollbacks = value;
+  }
+  return outcome;
+}
+
+std::optional<std::string> check_cluster_equivalence(
+    const SchedInstance& instance, const ServiceConfig& config,
+    const cluster::ClusterConfig& cluster) {
+  const ClusterOutcome serial =
+      run_cluster_schedule(instance, config, cluster, false);
+  const ClusterOutcome conc =
+      run_cluster_schedule(instance, config, cluster, true);
+
+  const auto dump = [&](const char* why) {
+    std::ostringstream out;
+    out << "concurrent router diverged from serial replay (" << why
+        << ", shards=" << cluster.shards
+        << " placement=" << cluster::to_string(cluster.placement)
+        << " wave=" << instance.wave << ")\n--- serial ---\n"
+        << to_string(serial) << "--- concurrent ---\n"
+        << to_string(conc);
+    return out.str();
+  };
+
+  if (instance.wave <= 1) {
+    // Sequential arrival on both sides: the replays must be bit-identical.
+    if (serial == conc) return std::nullopt;
+    return dump("strict");
+  }
+
+  // wave > 1: per-shard admission order within a wave is interleaving-
+  // dependent by design (scatter sub-acquires race the rest of the wave),
+  // so hits, evictions and residency may legitimately differ. What must
+  // still hold under any interleaving:
+  //  - routing is a pure function of the request, so the single/scatter
+  //    split, sub-request totals, and rollback count are fixed;
+  //  - the capacity floor makes every admission feasible in any order, so
+  //    each wave's multiset of (client, status) is fixed.
+  if (serial.single_acquires != conc.single_acquires ||
+      serial.scatter_acquires != conc.scatter_acquires ||
+      serial.rollbacks != conc.rollbacks)
+    return dump("placement counters");
+  if (serial.requests != conc.requests) return dump("sub-request total");
+  for (std::size_t start = 0; start < instance.ops.size();
+       start += instance.wave) {
+    const std::size_t end =
+        std::min(instance.ops.size(), start + instance.wave);
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> a;
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> b;
+    for (std::size_t i = start; i < end; ++i) {
+      a.emplace_back(serial.grants[i].client, serial.grants[i].status);
+      b.emplace_back(conc.grants[i].client, conc.grants[i].status);
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) return dump("wave status multiset");
+  }
+  return std::nullopt;
+}
+
+Trace cluster_instance_to_trace(const SchedInstance& instance,
+                                const cluster::ClusterConfig& cluster) {
+  Trace trace = sched_instance_to_trace(instance);
+  // meta_value() reads the first entry per key, so rewrite the sched
+  // trace's kind in place rather than appending a shadowed duplicate.
+  for (auto& [key, value] : trace.meta)
+    if (key == "kind") value = "cluster";
+  trace.set_meta("shards", std::to_string(cluster.shards));
+  trace.set_meta("placement", cluster::to_string(cluster.placement));
+  trace.set_meta("vnodes", std::to_string(cluster.vnodes));
+  std::ostringstream spill;
+  spill << cluster.spill_threshold;
+  trace.set_meta("spill_threshold", spill.str());
+  return trace;
+}
+
+std::pair<SchedInstance, cluster::ClusterConfig> cluster_instance_from_trace(
+    const Trace& trace) {
+  SchedInstance instance = sched_instance_from_trace(trace);
+  const std::string* shards = trace.meta_value("shards");
+  const std::string* placement = trace.meta_value("placement");
+  const std::string* vnodes = trace.meta_value("vnodes");
+  const std::string* spill = trace.meta_value("spill_threshold");
+  if (shards == nullptr || placement == nullptr || vnodes == nullptr ||
+      spill == nullptr)
+    throw std::runtime_error(
+        "cluster reproducer needs shards/placement/vnodes/spill_threshold "
+        "meta");
+  cluster::ClusterConfig cluster;
+  cluster.shards = static_cast<std::uint32_t>(std::stoul(*shards));
+  cluster.placement = cluster::parse_placement(*placement);
+  cluster.vnodes = static_cast<std::uint32_t>(std::stoul(*vnodes));
+  cluster.spill_threshold = std::stod(*spill);
+  return {std::move(instance), cluster};
+}
+
+}  // namespace fbc::testing

@@ -1,6 +1,7 @@
 #include "testing/fuzzer.hpp"
 
 #include <filesystem>
+#include <iterator>
 #include <optional>
 #include <ostream>
 #include <set>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "testing/cluster_sim.hpp"
 #include "testing/shrink.hpp"
 
 #include "core/registry.hpp"
@@ -47,6 +49,35 @@ std::optional<Violation> check_schedule(const SchedInstance& instance,
     return Violation{"serve_engine_diff", "optfb", e.what()};
   } catch (const std::exception& e) {
     return Violation{"serve_replay", "optfb", e.what()};
+  }
+  return std::nullopt;
+}
+
+/// Policies the cluster family draws from: the serving default, the
+/// classic online baseline, and the paper's distributed online policy
+/// (the one whose credits are designed to compose across shards).
+constexpr const char* kClusterPolicies[] = {"optfb", "landlord",
+                                            "dist-online"};
+
+/// Runs the serial-router vs concurrent-router replay pair over a real
+/// sharded cluster; returns the violation caught, if any.
+std::optional<Violation> check_cluster(const SchedInstance& instance,
+                                       const cluster::ClusterConfig& cluster,
+                                       const std::string& policy,
+                                       std::uint64_t seed) {
+  service::ServiceConfig config;
+  config.policy = policy;
+  config.seed = seed;
+  const std::string subject =
+      policy + "/" + cluster::to_string(cluster.placement);
+  try {
+    if (std::optional<std::string> diff =
+            check_cluster_equivalence(instance, config, cluster))
+      return Violation{"cluster_equivalence", subject, *diff};
+  } catch (const std::exception& e) {
+    // Audit violations, leaked scatter leases, and stalled waves all
+    // surface as exceptions out of the replay.
+    return Violation{"cluster_replay", subject, e.what()};
   }
   return std::nullopt;
 }
@@ -192,6 +223,56 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream& log) {
       }
     }
 
+    if (config.run_cluster && !capped()) {
+      Rng rng(iter_seed ^ 0xc1a57e4d1ULL);
+      const SchedInstance instance =
+          generate_sched_instance(config.sched_gen, rng);
+      cluster::ClusterConfig cluster;
+      cluster.shards = 2 + static_cast<std::uint32_t>(rng.index(3));
+      cluster.placement = rng.bernoulli(0.5)
+                              ? cluster::PlacementMode::BundleAffinity
+                              : cluster::PlacementMode::HashFile;
+      cluster.vnodes = 16;
+      // Aggressive spill threshold so affinity placements actually
+      // scatter at fuzz-sized caches.
+      cluster.spill_threshold = 0.02 + rng.uniform_double(0.0, 0.2);
+      const std::string policy =
+          kClusterPolicies[rng.index(std::size(kClusterPolicies))];
+      ++report.cluster_runs;
+      std::optional<Violation> violation =
+          check_cluster(instance, cluster, policy, iter_seed);
+      if (violation.has_value() && fresh(*violation) && !capped()) {
+        log << "fbcfuzz: iter " << iter << ": " << violation->to_string()
+            << "\n";
+        SchedInstance repro = instance;
+        if (config.shrink) {
+          const std::string oracle = violation->oracle;
+          repro = shrink_sched_instance(
+              std::move(repro),
+              [&cluster, &policy, iter_seed, &oracle](const SchedInstance& c) {
+                const std::optional<Violation> v =
+                    check_cluster(c, cluster, policy, iter_seed);
+                return v.has_value() && v->oracle == oracle;
+              });
+        }
+        Trace trace = cluster_instance_to_trace(repro, cluster);
+        trace.set_meta("policy", policy);
+        trace.set_meta("cluster_seed", std::to_string(iter_seed));
+        stamp(trace, *violation, config.seed, iter);
+        FuzzFailure failure;
+        failure.violation = std::move(*violation);
+        failure.iteration = iter;
+        failure.shrunk_jobs = repro.ops.size();
+        failure.reproducer_path = write_reproducer(
+            trace, config.out_dir, "cluster", config.seed, iter, log);
+        log << "fbcfuzz: shrunk to " << failure.shrunk_jobs << " op(s)";
+        if (!failure.reproducer_path.empty())
+          log << ", wrote " << failure.reproducer_path;
+        log << "\n";
+        report.failures.push_back(std::move(failure));
+      }
+    }
+
     if (config.run_optgen && !capped()) {
       Rng rng(iter_seed ^ 0x0917a6e41ULL);
       SimGenConfig gen = config.sim_gen;
@@ -321,6 +402,18 @@ std::vector<Violation> replay_reproducer(const Trace& trace) {
     if (const std::string* s = trace.meta_value("serve_seed"))
       seed = std::stoull(*s);
     if (std::optional<Violation> v = check_schedule(instance, batch, seed))
+      return {std::move(*v)};
+    return {};
+  }
+  if (*kind == "cluster") {
+    const auto [instance, cluster] = cluster_instance_from_trace(trace);
+    std::string policy = "optfb";
+    if (const std::string* p = trace.meta_value("policy")) policy = *p;
+    std::uint64_t seed = 1;
+    if (const std::string* s = trace.meta_value("cluster_seed"))
+      seed = std::stoull(*s);
+    if (std::optional<Violation> v =
+            check_cluster(instance, cluster, policy, seed))
       return {std::move(*v)};
     return {};
   }

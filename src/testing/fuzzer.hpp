@@ -37,6 +37,13 @@ struct FuzzConfig {
   /// nesting-chain / clairvoyant-bound / policy-dominance oracles
   /// (testing/oracles.hpp check_optgen). Mirrors --engine-diff.
   bool run_optgen = false;
+  /// Cluster family (fbcfuzz --cluster-diff): replays a random schedule
+  /// through a ClusterRouter over 2..4 real BundleServer shards, serial
+  /// router vs concurrent wave replay, under a random placement mode and
+  /// policy. The oracle is strict (bit-identical outcomes) for wave == 1
+  /// and interleaving-invariant (per-wave status multisets, placement
+  /// counters, audits, no leaked scatter lease) for wave > 1.
+  bool run_cluster = false;
   /// Policies exercised by the simulation oracles; empty = every
   /// registered policy. Names may use the "underfree:" self-test prefix.
   std::vector<std::string> policies;
@@ -70,6 +77,7 @@ struct FuzzReport {
   std::uint64_t sim_runs = 0;
   std::uint64_t serve_runs = 0;
   std::uint64_t optgen_runs = 0;
+  std::uint64_t cluster_runs = 0;
   std::uint64_t exact_truncations = 0;
   std::vector<FuzzFailure> failures;
 

@@ -1,0 +1,110 @@
+// merge_stats / merge_metrics tests: field-wise sums, name-wise counter
+// addition with sorted output, and exact histogram merges -- the merged
+// snapshot must equal what one server seeing both streams would record.
+#include "cluster/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace fbc::cluster {
+namespace {
+
+service::ServiceStats sample_stats(std::uint64_t base) {
+  service::ServiceStats stats;
+  stats.requests = base + 1;
+  stats.request_hits = base + 2;
+  stats.rejected_full = base + 3;
+  stats.timed_out = base + 4;
+  stats.unserviceable = base + 5;
+  stats.invalid = base + 6;
+  stats.transfer_retries = base + 7;
+  stats.transfer_failures = base + 8;
+  stats.leases_granted = base + 9;
+  stats.leases_released = base + 10;
+  stats.active_leases = base + 11;
+  stats.queue_depth = base + 12;
+  stats.evictions = base + 13;
+  stats.bytes_requested = base + 14;
+  stats.bytes_missed = base + 15;
+  stats.bytes_evicted = base + 16;
+  stats.used_bytes = base + 17;
+  stats.capacity_bytes = base + 18;
+  stats.resident_files = base + 19;
+  return stats;
+}
+
+TEST(MergeStats, SumsEveryField) {
+  const std::vector<service::ServiceStats> shards = {sample_stats(0),
+                                                     sample_stats(100)};
+  const service::ServiceStats merged = merge_stats(shards);
+  const service::ServiceStats expected = sample_stats(0);
+  EXPECT_EQ(merged.requests, expected.requests + 101);
+  EXPECT_EQ(merged.request_hits, expected.request_hits + 102);
+  EXPECT_EQ(merged.rejected_full, expected.rejected_full + 103);
+  EXPECT_EQ(merged.timed_out, expected.timed_out + 104);
+  EXPECT_EQ(merged.unserviceable, expected.unserviceable + 105);
+  EXPECT_EQ(merged.invalid, expected.invalid + 106);
+  EXPECT_EQ(merged.transfer_retries, expected.transfer_retries + 107);
+  EXPECT_EQ(merged.transfer_failures, expected.transfer_failures + 108);
+  EXPECT_EQ(merged.leases_granted, expected.leases_granted + 109);
+  EXPECT_EQ(merged.leases_released, expected.leases_released + 110);
+  EXPECT_EQ(merged.active_leases, expected.active_leases + 111);
+  EXPECT_EQ(merged.queue_depth, expected.queue_depth + 112);
+  EXPECT_EQ(merged.evictions, expected.evictions + 113);
+  EXPECT_EQ(merged.bytes_requested, expected.bytes_requested + 114);
+  EXPECT_EQ(merged.bytes_missed, expected.bytes_missed + 115);
+  EXPECT_EQ(merged.bytes_evicted, expected.bytes_evicted + 116);
+  EXPECT_EQ(merged.used_bytes, expected.used_bytes + 117);
+  EXPECT_EQ(merged.capacity_bytes, expected.capacity_bytes + 118);
+  EXPECT_EQ(merged.resident_files, expected.resident_files + 119);
+}
+
+TEST(MergeStats, EmptyAndSingleton) {
+  const std::vector<service::ServiceStats> none;
+  EXPECT_EQ(merge_stats(none).requests, 0u);
+  const std::vector<service::ServiceStats> one = {sample_stats(7)};
+  EXPECT_EQ(merge_stats(one).requests, sample_stats(7).requests);
+}
+
+TEST(MergeMetrics, AddsCountersNameWiseAndSorts) {
+  service::MetricsSnapshot a;
+  a.counters = {{"acquire.total", 3}, {"evict.total", 1}};
+  service::MetricsSnapshot b;
+  b.counters = {{"acquire.total", 4}, {"release.total", 2}};
+  const std::vector<service::MetricsSnapshot> shards = {a, b};
+  const service::MetricsSnapshot merged = merge_metrics(shards);
+  ASSERT_EQ(merged.counters.size(), 3u);
+  EXPECT_EQ(merged.counters[0].first, "acquire.total");
+  EXPECT_EQ(merged.counters[0].second, 7u);
+  EXPECT_EQ(merged.counters[1].first, "evict.total");
+  EXPECT_EQ(merged.counters[1].second, 1u);
+  EXPECT_EQ(merged.counters[2].first, "release.total");
+  EXPECT_EQ(merged.counters[2].second, 2u);
+}
+
+TEST(MergeMetrics, MergesHistogramsExactly) {
+  obs::Histogram left;
+  left.record(10);
+  left.record(20);
+  obs::Histogram right;
+  right.record(30);
+  service::MetricsSnapshot a;
+  a.histograms.push_back({"queue.wait", left});
+  service::MetricsSnapshot b;
+  b.histograms.push_back({"queue.wait", right});
+  b.histograms.push_back({"stage.seconds", right});
+  const std::vector<service::MetricsSnapshot> shards = {a, b};
+  const service::MetricsSnapshot merged = merge_metrics(shards);
+  ASSERT_EQ(merged.histograms.size(), 2u);
+  EXPECT_EQ(merged.histograms[0].name, "queue.wait");
+  EXPECT_EQ(merged.histograms[0].hist.count(), 3u);
+  EXPECT_EQ(merged.histograms[0].hist.max(), 30u);
+  EXPECT_EQ(merged.histograms[1].name, "stage.seconds");
+  EXPECT_EQ(merged.histograms[1].hist.count(), 1u);
+}
+
+}  // namespace
+}  // namespace fbc::cluster

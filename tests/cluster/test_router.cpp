@@ -1,0 +1,342 @@
+// ClusterRouter tests: construction validation, single-shard lease
+// tagging, scatter/gather lease conjunction, the partial-grant rollback
+// regression (one shard QueueFull => no shard left pinned), release of
+// unknown leases, merged stats/metrics, close semantics, and a
+// concurrent scatter/gather stress run with live per-shard audit threads.
+#include "cluster/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "cluster/shard.hpp"
+#include "grid/mss.hpp"
+#include "service/server.hpp"
+#include "util/rng.hpp"
+
+namespace fbc::cluster {
+namespace {
+
+using service::AcquireResult;
+using service::AcquireStatus;
+using service::BundleServer;
+using service::ServiceConfig;
+
+constexpr int kShardShift = 56;
+
+/// A router over N real in-process shards, all state owned here.
+struct Cluster {
+  FileCatalog catalog;
+  std::unique_ptr<MassStorageSystem> mss;
+  std::vector<std::unique_ptr<BundleServer>> servers;
+  std::unique_ptr<ClusterRouter> router;
+
+  BundleServer& server(std::size_t i) { return *servers[i]; }
+};
+
+Cluster make_cluster(const ClusterConfig& config, std::size_t files,
+                     const ServiceConfig& service_base) {
+  Cluster cluster;
+  std::vector<Bytes> sizes(files, 100);
+  cluster.catalog = FileCatalog(std::move(sizes));
+  cluster.mss =
+      std::make_unique<MassStorageSystem>(default_tiers(), cluster.catalog);
+  std::vector<std::unique_ptr<Shard>> shards;
+  for (std::uint32_t s = 0; s < config.shards; ++s) {
+    ServiceConfig service = service_base;
+    service.shard_id = s;
+    cluster.servers.push_back(
+        std::make_unique<BundleServer>(service, *cluster.mss));
+    shards.push_back(std::make_unique<LocalShard>(*cluster.servers.back()));
+  }
+  cluster.router = std::make_unique<ClusterRouter>(
+      config, cluster.catalog, service_base.cache_bytes, std::move(shards));
+  return cluster;
+}
+
+ServiceConfig small_service() {
+  ServiceConfig config;
+  config.cache_bytes = 2000;
+  config.time_scale = 0.0;
+  return config;
+}
+
+ClusterConfig hash_cluster(std::uint32_t shards) {
+  ClusterConfig config;
+  config.shards = shards;
+  config.placement = PlacementMode::HashFile;
+  config.vnodes = 16;
+  return config;
+}
+
+/// First file the placement maps to `shard` (the catalogs here are large
+/// enough that every shard owns at least one file).
+FileId file_on_shard(const Placement& placement, std::uint32_t shard,
+                     std::size_t files) {
+  for (FileId id = 0; id < files; ++id)
+    if (placement.file_shard(id) == shard) return id;
+  ADD_FAILURE() << "no file maps to shard " << shard;
+  return 0;
+}
+
+/// Two files guaranteed to live on different shards.
+Request cross_shard_request(const Placement& placement, std::size_t files) {
+  const FileId a = file_on_shard(placement, 0, files);
+  for (FileId id = 0; id < files; ++id)
+    if (placement.file_shard(id) != 0) return Request({a, id});
+  ADD_FAILURE() << "all files map to shard 0";
+  return Request({a});
+}
+
+std::uint64_t counter_value(const service::MetricsSnapshot& metrics,
+                            const std::string& name) {
+  for (const auto& [counter, value] : metrics.counters)
+    if (counter == name) return value;
+  return 0;
+}
+
+TEST(ClusterRouter, RejectsMismatchedShardVector) {
+  Cluster cluster = make_cluster(hash_cluster(2), 16, small_service());
+  ClusterConfig config = hash_cluster(3);  // says 3, but only 2 shards given
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.push_back(std::make_unique<LocalShard>(cluster.server(0)));
+  shards.push_back(std::make_unique<LocalShard>(cluster.server(1)));
+  EXPECT_THROW((ClusterRouter{config, cluster.catalog, 2000,
+                              std::move(shards)}),
+               std::invalid_argument);
+}
+
+TEST(ClusterRouter, SingleShardLeaseCarriesShardTag) {
+  ClusterConfig config;
+  config.shards = 4;
+  config.placement = PlacementMode::BundleAffinity;
+  config.vnodes = 16;
+  Cluster cluster = make_cluster(config, 32, small_service());
+
+  const Request request({1, 2});
+  const std::uint32_t home = cluster.router->placement().bundle_home(request);
+  const AcquireResult result = cluster.router->acquire(request);
+  ASSERT_EQ(result.status, AcquireStatus::Ok);
+  EXPECT_EQ(result.lease >> kShardShift, home + 1);
+  // The grant landed on the home shard and nowhere else.
+  for (std::uint32_t s = 0; s < 4; ++s)
+    EXPECT_EQ(cluster.server(s).stats().active_leases, s == home ? 1u : 0u);
+  EXPECT_EQ(cluster.router->scatter_leases(), 0u);  // stateless fast path
+
+  EXPECT_TRUE(cluster.router->release(result.lease));
+  EXPECT_FALSE(cluster.router->release(result.lease));  // double release
+  EXPECT_EQ(cluster.server(home).stats().active_leases, 0u);
+}
+
+TEST(ClusterRouter, ScatterGathersAcrossShards) {
+  Cluster cluster = make_cluster(hash_cluster(4), 64, small_service());
+  const Request request =
+      cross_shard_request(cluster.router->placement(), 64);
+
+  const AcquireResult result = cluster.router->acquire(request);
+  ASSERT_EQ(result.status, AcquireStatus::Ok);
+  EXPECT_EQ(result.lease >> kShardShift, 0u);  // scatter tag
+  EXPECT_EQ(cluster.router->scatter_leases(), 1u);
+
+  const service::MetricsSnapshot metrics = cluster.router->metrics();
+  EXPECT_EQ(counter_value(metrics, "grid.acquire.scatter"), 1u);
+  EXPECT_EQ(counter_value(metrics, "grid.acquire.single"), 0u);
+  // Each touched shard granted one sub-lease.
+  EXPECT_EQ(cluster.router->stats().leases_granted, 2u);
+
+  EXPECT_TRUE(cluster.router->release(result.lease));
+  EXPECT_EQ(cluster.router->scatter_leases(), 0u);
+  for (std::uint32_t s = 0; s < 4; ++s)
+    EXPECT_EQ(cluster.server(s).stats().active_leases, 0u);
+  EXPECT_FALSE(cluster.router->release(result.lease));  // id was retired
+  EXPECT_GE(counter_value(cluster.router->metrics(), "grid.release.unknown"),
+            1u);
+}
+
+TEST(ClusterRouter, ScatterHitIsConjunctionOfSliceHits) {
+  Cluster cluster = make_cluster(hash_cluster(4), 64, small_service());
+  const Request request =
+      cross_shard_request(cluster.router->placement(), 64);
+  const AcquireResult miss = cluster.router->acquire(request);
+  ASSERT_EQ(miss.status, AcquireStatus::Ok);
+  EXPECT_FALSE(miss.request_hit);
+  const AcquireResult hit = cluster.router->acquire(request);
+  ASSERT_EQ(hit.status, AcquireStatus::Ok);
+  EXPECT_TRUE(hit.request_hit);  // every slice resident now
+  EXPECT_TRUE(cluster.router->release(miss.lease));
+  EXPECT_TRUE(cluster.router->release(hit.lease));
+}
+
+TEST(ClusterRouter, PartialGrantRollsBackEveryPinnedShard) {
+  // The ISSUE regression: a scatter acquire whose second shard refuses
+  // (QueueFull) must release the first shard's sub-lease -- no shard may
+  // be left pinned by a failed cluster grant.
+  ServiceConfig service = small_service();
+  service.max_queue = 1;
+  Cluster cluster = make_cluster(hash_cluster(2), 64, service);
+  const Placement& placement = cluster.router->placement();
+  const Request request = cross_shard_request(placement, 64);
+  // Canonicalization may reorder the files; block the non-first shard so
+  // the scatter's *first* sub-acquire succeeds and the second bounces.
+  const std::uint32_t blocked =
+      std::max(placement.file_shard(request.files[0]),
+               placement.file_shard(request.files[1]));
+
+  // Fill the blocked shard's only queue slot with a paused single-file
+  // acquire so the scatter's sub-acquire bounces with QueueFull.
+  cluster.server(blocked).set_admission_paused(true);
+  const FileId filler = file_on_shard(placement, blocked, 64);
+  std::atomic<bool> filler_done{false};
+  AcquireResult filler_result;
+  std::thread filler_thread([&] {
+    filler_result = cluster.server(blocked).acquire(Request({filler}));
+    filler_done.store(true);
+  });
+  for (int i = 0; i < 2000 && cluster.server(blocked).stats().queue_depth < 1;
+       ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GE(cluster.server(blocked).stats().queue_depth, 1u);
+
+  const AcquireResult result = cluster.router->acquire(request);
+  EXPECT_EQ(result.status, AcquireStatus::QueueFull);
+  EXPECT_EQ(result.lease, 0u);
+  EXPECT_FALSE(result.request_hit);
+
+  // Nothing stays pinned anywhere and the router kept no scatter state.
+  EXPECT_EQ(cluster.router->scatter_leases(), 0u);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    const service::ServiceStats stats = cluster.server(s).stats();
+    EXPECT_EQ(stats.active_leases, 0u) << "shard " << s << " left pinned";
+    EXPECT_EQ(stats.leases_granted, stats.leases_released)
+        << "shard " << s << " grant/release imbalance";
+  }
+  EXPECT_EQ(counter_value(cluster.router->metrics(), "grid.acquire.rollback"),
+            1u);
+
+  cluster.server(blocked).set_admission_paused(false);
+  filler_thread.join();
+  ASSERT_TRUE(filler_done.load());
+  if (filler_result.status == AcquireStatus::Ok)
+    cluster.server(blocked).release(filler_result.lease);
+  for (std::uint32_t s = 0; s < 2; ++s)
+    EXPECT_TRUE(cluster.server(s).audit().empty());
+}
+
+TEST(ClusterRouter, ReleaseRejectsForeignLeases) {
+  Cluster cluster = make_cluster(hash_cluster(2), 16, small_service());
+  // Scatter tag with an id the router never issued.
+  EXPECT_FALSE(cluster.router->release(12345));
+  // Single-shard tag pointing past the last shard.
+  EXPECT_FALSE(cluster.router->release((LeaseId{9} << kShardShift) | 1));
+  EXPECT_EQ(counter_value(cluster.router->metrics(), "grid.release.unknown"),
+            2u);
+}
+
+TEST(ClusterRouter, EmptyRequestIsInvalid) {
+  Cluster cluster = make_cluster(hash_cluster(2), 16, small_service());
+  const AcquireResult result =
+      cluster.router->acquire(Request(std::vector<FileId>{}));
+  EXPECT_EQ(result.status, AcquireStatus::InvalidRequest);
+  EXPECT_EQ(result.lease, 0u);
+}
+
+TEST(ClusterRouter, StatsSumShardsAndCapacity) {
+  Cluster cluster = make_cluster(hash_cluster(2), 64, small_service());
+  const Request request =
+      cross_shard_request(cluster.router->placement(), 64);
+  const AcquireResult result = cluster.router->acquire(request);
+  ASSERT_EQ(result.status, AcquireStatus::Ok);
+  const service::ServiceStats merged = cluster.router->stats();
+  EXPECT_EQ(merged.capacity_bytes, 2u * 2000u);
+  EXPECT_EQ(merged.requests, cluster.server(0).stats().requests +
+                                 cluster.server(1).stats().requests);
+  EXPECT_EQ(merged.active_leases, 2u);  // one sub-lease per touched shard
+  EXPECT_TRUE(cluster.router->release(result.lease));
+}
+
+TEST(ClusterRouter, CloseFailsFutureAcquires) {
+  Cluster cluster = make_cluster(hash_cluster(2), 16, small_service());
+  cluster.router->close();
+  const AcquireResult result = cluster.router->acquire(Request({1}));
+  EXPECT_EQ(result.status, AcquireStatus::Closed);
+}
+
+TEST(ClusterRouter, InfoReportsRouterRole) {
+  Cluster cluster = make_cluster(hash_cluster(3), 16, small_service());
+  const service::EndpointInfo info = cluster.router->info();
+  EXPECT_EQ(info.role, service::EndpointRole::Router);
+  EXPECT_EQ(info.shard_count, 3u);
+  EXPECT_FALSE(cluster.router->legacy_wire());
+}
+
+TEST(ClusterRouter, ConcurrentScatterGatherStressWithLiveAudits) {
+  // 8 workers hammer a 4-shard hash cluster with random cross-shard
+  // bundles while one audit thread per shard re-checks the lease/cache
+  // invariants mid-flight. Everything must drain clean: no audit
+  // violation (live or final), no leaked scatter lease, no stuck pin.
+  ServiceConfig service = small_service();
+  service.cache_bytes = 4000;
+  Cluster cluster = make_cluster(hash_cluster(4), 64, service);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> live_violations{0};
+  std::vector<std::thread> auditors;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    auditors.emplace_back([&cluster, &stop, &live_violations, s] {
+      while (!stop.load()) {
+        if (!cluster.server(s).audit().empty()) live_violations.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  std::atomic<int> failed{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&cluster, &failed, w] {
+      Rng rng(0x57a4e55ULL + static_cast<std::uint64_t>(w));
+      std::vector<service::LeaseId> held;
+      for (int iter = 0; iter < 200; ++iter) {
+        const std::size_t picks = 1 + rng.index(4);
+        std::vector<FileId> files;
+        for (std::size_t p = 0; p < picks; ++p)
+          files.push_back(static_cast<FileId>(rng.index(64)));
+        const AcquireResult result =
+            cluster.router->acquire(Request(std::move(files)));
+        if (result.status == AcquireStatus::Ok) {
+          held.push_back(result.lease);
+        } else if (result.status != AcquireStatus::QueueFull &&
+                   result.status != AcquireStatus::TimedOut) {
+          failed.fetch_add(1);
+        }
+        // Keep at most two leases pinned so the cluster never wedges.
+        while (held.size() > 2) {
+          if (!cluster.router->release(held.front())) failed.fetch_add(1);
+          held.erase(held.begin());
+        }
+      }
+      for (service::LeaseId lease : held)
+        if (!cluster.router->release(lease)) failed.fetch_add(1);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  stop.store(true);
+  for (std::thread& t : auditors) t.join();
+
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_EQ(live_violations.load(), 0);
+  EXPECT_EQ(cluster.router->scatter_leases(), 0u);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_TRUE(cluster.server(s).audit().empty()) << "shard " << s;
+    EXPECT_EQ(cluster.server(s).stats().active_leases, 0u) << "shard " << s;
+  }
+}
+
+}  // namespace
+}  // namespace fbc::cluster

@@ -1,20 +1,29 @@
-// fbcctl: single-shot control client for a running fbcd.
+// fbcctl: control client for a running fbcd or fbcgrid.
 //
 //   fbcctl --port=7401 stats
-//   fbcctl --port=7401 metrics
+//   fbcctl --port=7401 metrics --watch=2        # re-poll every 2 seconds
+//   fbcctl --cluster=7401,7411,7421 stats       # merged over N daemons
 //   fbcctl --port=7401 acquire --files=3,7,12
 //   fbcctl --port=7401 release --lease=42
+//
+// --watch re-polls the same connection (stats/metrics wire messages are
+// cheap and side-effect free) until interrupted. --cluster connects to
+// every listed port and prints the exact merge of the per-daemon
+// snapshots -- the same aggregation a ClusterRouter serves for its own
+// shards, but computed client-side for independently started daemons.
 //
 // Note acquire+exit releases the lease immediately (the daemon reclaims
 // leases of departed connections); use --hold-ms to keep it pinned for a
 // while, e.g. to watch another client queue behind it.
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cluster/stats.hpp"
 #include "service/client.hpp"
 #include "util/bytes.hpp"
 #include "util/cli.hpp"
@@ -81,6 +90,30 @@ void print_metrics(const service::MetricsSnapshot& m) {
   hists.print(std::cout);
 }
 
+std::vector<std::uint16_t> parse_ports(const std::string& list) {
+  std::vector<std::uint16_t> ports;
+  std::istringstream in(list);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty())
+      ports.push_back(static_cast<std::uint16_t>(std::stoul(token)));
+  }
+  return ports;
+}
+
+/// Connects to one daemon, turning the bare connect errno into an
+/// actionable message (the old behavior surfaced "connect(127.0.0.1:N):
+/// Connection refused" with no hint at what to do about it).
+std::unique_ptr<service::BundleClient> connect_or_explain(std::uint16_t port) {
+  try {
+    return std::make_unique<service::BundleClient>(port);
+  } catch (const service::NetError& e) {
+    throw std::runtime_error(std::string(e.what()) +
+                             " -- is fbcd/fbcgrid running on 127.0.0.1:" +
+                             std::to_string(port) + "?");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,6 +134,13 @@ int main(int argc, char** argv) {
       "fbcctl",
       "One-shot fbcd client: fbcctl <stats|metrics|acquire|release> ...");
   cli.add_option("port", "fbcd port on 127.0.0.1", "7401");
+  cli.add_option("cluster",
+                 "comma-separated daemon ports; stats/metrics are merged "
+                 "over all of them",
+                 "");
+  cli.add_option("watch",
+                 "re-poll stats/metrics every this many seconds (0 = once)",
+                 "0");
   cli.add_option("files", "comma-separated file ids for acquire", "");
   cli.add_option("lease", "lease id for release", "0");
   cli.add_option("hold-ms", "hold an acquired lease this long", "0");
@@ -108,17 +148,46 @@ int main(int argc, char** argv) {
   try {
     cli.parse(flags);
     if (command.empty()) throw std::invalid_argument("missing command");
-    service::BundleClient client(
-        static_cast<std::uint16_t>(cli.get_u64("port")));
 
-    if (command == "stats") {
-      print_stats(client.stats());
+    std::vector<std::uint16_t> ports = parse_ports(cli.get_string("cluster"));
+    const bool merged = !ports.empty();
+    if (!merged)
+      ports.push_back(static_cast<std::uint16_t>(cli.get_u64("port")));
+
+    if (command == "stats" || command == "metrics") {
+      std::vector<std::unique_ptr<service::BundleClient>> clients;
+      clients.reserve(ports.size());
+      for (std::uint16_t p : ports) clients.push_back(connect_or_explain(p));
+      const std::uint64_t watch_s = cli.get_u64("watch");
+      for (bool first = true;; first = false) {
+        if (!first) {
+          std::this_thread::sleep_for(std::chrono::seconds(watch_s));
+          std::cout << "\n";
+        }
+        if (command == "stats") {
+          std::vector<service::ServiceStats> snaps;
+          snaps.reserve(clients.size());
+          for (auto& c : clients) snaps.push_back(c->stats());
+          print_stats(merged ? cluster::merge_stats(snaps) : snaps.front());
+        } else {
+          std::vector<service::MetricsSnapshot> snaps;
+          snaps.reserve(clients.size());
+          for (auto& c : clients) snaps.push_back(c->metrics());
+          print_metrics(merged ? cluster::merge_metrics(snaps)
+                               : snaps.front());
+        }
+        if (watch_s == 0) break;
+        // A watch loop only ever exits by signal, so nothing downstream
+        // of a pipe sees the snapshot unless each poll is flushed.
+        std::cout.flush();
+      }
       return 0;
     }
-    if (command == "metrics") {
-      print_metrics(client.metrics());
-      return 0;
-    }
+
+    const std::unique_ptr<service::BundleClient> client_ptr =
+        connect_or_explain(ports.front());
+    service::BundleClient& client = *client_ptr;
+
     if (command == "acquire") {
       const service::AcquireResult r =
           client.acquire(parse_files(cli.get_string("files")));

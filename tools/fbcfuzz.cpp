@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
                 "the cache simulator");
   cli.add_option("seed", "campaign master seed", "1");
   cli.add_option("iters", "number of fuzzing iterations", "100");
-  cli.add_option("mode", "all|select|sim|serve|optgen", "all");
+  cli.add_option("mode", "all|select|sim|serve|optgen|cluster", "all");
   cli.add_option("policies",
                  "comma-separated policy names for the simulation oracles "
                  "(empty = every registered policy)",
@@ -136,6 +136,12 @@ int main(int argc, char** argv) {
                "oracle against its brute-force interval-scan reference, "
                "plus the capacity / nesting / clairvoyant-bound / "
                "policy-dominance oracles (same as --mode=optgen)");
+  cli.add_flag("cluster-diff",
+               "campaign mode: replay random schedules through a "
+               "ClusterRouter over 2..4 real BundleServer shards, serial "
+               "router vs concurrent wave replay, under random placement "
+               "modes and policies (optfb/landlord/dist-online); shrink "
+               "any divergence (same as --mode=cluster)");
   cli.add_flag("no-shrink", "report failures without shrinking");
   cli.add_flag("inject-bug",
                "self-test: wrap the policies in a deliberately broken "
@@ -187,6 +193,10 @@ int main(int argc, char** argv) {
       config.run_select = false;
       config.run_sim = false;
       config.run_optgen = true;
+    } else if (mode == "cluster") {
+      config.run_select = false;
+      config.run_sim = false;
+      config.run_cluster = true;
     } else if (mode != "all") {
       throw std::invalid_argument("unknown --mode: " + mode);
     }
@@ -199,6 +209,11 @@ int main(int argc, char** argv) {
       config.run_select = false;
       config.run_sim = false;
       config.run_optgen = true;
+    }
+    if (cli.get_flag("cluster-diff")) {
+      config.run_select = false;
+      config.run_sim = false;
+      config.run_cluster = true;
     }
     config.policies = split_csv(cli.get_string("policies"));
     if (cli.get_flag("engine-diff")) {
@@ -227,6 +242,7 @@ int main(int argc, char** argv) {
               << report.sim_runs << " simulator runs, "
               << report.serve_runs << " serving schedules, "
               << report.optgen_runs << " optgen cross-checks, "
+              << report.cluster_runs << " cluster replays, "
               << report.exact_truncations << " exact-solver truncations, "
               << report.failures.size() << " failure(s)\n";
     for (const FuzzFailure& failure : report.failures) {

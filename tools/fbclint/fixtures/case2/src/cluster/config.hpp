@@ -1,0 +1,15 @@
+// Fixture cluster config: shards and placement are surfaced by the
+// fixture fbcgrid CLI; ghost_knob is deliberately missing from every
+// serving tool (seeded L003 ClusterConfig/CLI drift).
+#pragma once
+
+namespace fx2 {
+
+struct ClusterConfig {
+  unsigned shards = 4;
+  int placement = 0;
+  // fbclint:expect(L003) ghost_knob has no CLI flag
+  double ghost_knob = 0.5;
+};
+
+}  // namespace fx2

@@ -1,0 +1,15 @@
+// Fixture cluster router CLI: surfaces ClusterConfig::shards and
+// ::placement (ghost_knob is deliberately absent -- the L003 seed lives
+// at its declaration in src/cluster/config.hpp).
+#include "cluster/config.hpp"
+
+namespace fx2 {
+
+ClusterConfig cluster_config_from_cli() {
+  ClusterConfig config;
+  config.shards = 8;
+  config.placement = 1;
+  return config;
+}
+
+}  // namespace fx2

@@ -128,9 +128,14 @@ struct ProjectModel {
   /// members must all be exported by BundleServer::metrics().
   int obs_histogram_hpp = -1;  // path ends obs/histogram.hpp
   int obs_counter_hpp = -1;    // path ends obs/counter.hpp
-  /// Serving-tool CLI surface: fbcd.cpp, fbcload.cpp and their shared
-  /// serving_common.hpp. ServiceConfig fields must appear somewhere in
-  /// this union (L003).
+  /// Sharded-cluster anchors: ClusterConfig's home (L003 field/CLI
+  /// coherence) and the router translation unit, the only other file
+  /// that mints obs metric names (L008 documentation scan).
+  int cluster_config_hpp = -1;  // path ends cluster/config.hpp
+  int router_cpp = -1;          // path ends cluster/router.cpp
+  /// Serving-tool CLI surface: fbcd.cpp, fbcload.cpp, fbcgrid.cpp and
+  /// their shared serving_common.hpp. ServiceConfig and ClusterConfig
+  /// fields must appear somewhere in this union (L003).
   std::vector<int> serving_tools;
 };
 

@@ -285,7 +285,52 @@ std::vector<Diagnostic> rule_registry_completeness(const ProjectModel& model) {
     }
   }
 
-  // (e) Every switch over MsgType in the protocol codec must stay
+  // (e) Every ClusterConfig field must be surfaced by the cluster-serving
+  // CLI union (fbcgrid / fbcload --cluster, via their shared
+  // serving_common). Same walk as (d) over cluster/config.hpp.
+  if (model.cluster_config_hpp >= 0 && !model.serving_tools.empty()) {
+    const SourceFile& hpp =
+        model.files[static_cast<std::size_t>(model.cluster_config_hpp)];
+    std::set<std::string> tool_idents;
+    for (const int tool : model.serving_tools)
+      for (const Token& t :
+           model.files[static_cast<std::size_t>(tool)].tokens)
+        if (t.kind == TokKind::Identifier) tool_idents.insert(t.text);
+    const auto& toks = hpp.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!(is_ident(toks[i], "struct") || is_ident(toks[i], "class")) ||
+          !is_ident(toks[i + 1], "ClusterConfig") ||
+          !is_punct(toks[i + 2], "{"))
+        continue;
+      const std::size_t body_close = match_forward(toks, i + 2);
+      std::size_t stmt_begin = i + 3;
+      int depth = 0;
+      bool has_paren = false;
+      for (std::size_t k = i + 3; k < body_close && k < toks.size(); ++k) {
+        if (is_punct(toks[k], "{")) ++depth;
+        if (is_punct(toks[k], "}")) --depth;
+        if (is_punct(toks[k], "(")) has_paren = true;
+        if (depth == 0 && is_punct(toks[k], ";")) {
+          std::size_t name_idx = 0;
+          for (std::size_t m = stmt_begin; m < k; ++m) {
+            if (is_punct(toks[m], "=")) break;
+            if (toks[m].kind == TokKind::Identifier) name_idx = m;
+          }
+          if (!has_paren && name_idx != 0 &&
+              tool_idents.count(toks[name_idx].text) == 0)
+            out.push_back({"L003", hpp.path, toks[name_idx].line,
+                           "ClusterConfig field '" + toks[name_idx].text +
+                               "' is not surfaced by the fbcgrid/fbcload "
+                               "--cluster CLIs (serving_common.hpp)"});
+          stmt_begin = k + 1;
+          has_paren = false;
+        }
+      }
+      break;
+    }
+  }
+
+  // (f) Every switch over MsgType in the protocol codec must stay
   // exhaustive: one case per enumerator and no 'default' (a default
   // would silently swallow a newly added message type).
   if (model.protocol_hpp >= 0 && model.protocol_cpp >= 0) {
@@ -1231,6 +1276,7 @@ std::vector<Diagnostic> rule_wire_coherence(const ProjectModel& model) {
   }
   std::string serving_md;
   std::string observability_md;
+  std::string cluster_md;
   bool have_serving = false;
   if (have_root) {
     have_serving = read_text_file(docs_root + "docs/SERVING.md", &serving_md);
@@ -1241,6 +1287,7 @@ std::vector<Diagnostic> rule_wire_coherence(const ProjectModel& model) {
            "docs/SERVING.md is missing or unreadable; the wire table "
            "cannot be checked against the protocol structs"});
     read_text_file(docs_root + "docs/OBSERVABILITY.md", &observability_md);
+    read_text_file(docs_root + "docs/CLUSTER.md", &cluster_md);
   }
   std::vector<std::string> serving_lines;
   {
@@ -1353,20 +1400,24 @@ std::vector<Diagnostic> rule_wire_coherence(const ProjectModel& model) {
     }
   }
 
-  // (c) Every metric-shaped string literal in server.cpp (the only file
-  // that mints obs counter/histogram names) must be documented.
-  if (model.server_cpp >= 0 && have_serving) {
-    const SourceFile& server_cpp =
-        model.files[static_cast<std::size_t>(model.server_cpp)];
-    for (const Token& t : server_cpp.tokens) {
+  // (c) Every metric-shaped string literal in server.cpp and the cluster
+  // router (the only files that mint obs counter/histogram names) must
+  // be documented.
+  for (const int minting : {model.server_cpp, model.router_cpp}) {
+    if (minting < 0 || !have_serving) continue;
+    const SourceFile& minting_cpp =
+        model.files[static_cast<std::size_t>(minting)];
+    for (const Token& t : minting_cpp.tokens) {
       if (t.kind != TokKind::String || !is_metric_literal(t.text)) continue;
       if (serving_md.find(t.text) == std::string::npos &&
-          observability_md.find(t.text) == std::string::npos)
-        out.push_back({"L008", server_cpp.path, t.line,
+          observability_md.find(t.text) == std::string::npos &&
+          cluster_md.find(t.text) == std::string::npos)
+        out.push_back({"L008", minting_cpp.path, t.line,
                        "metric name \"" + t.text +
-                           "\" is not documented in docs/OBSERVABILITY.md "
-                           "or docs/SERVING.md; every exported counter and "
-                           "histogram must be discoverable"});
+                           "\" is not documented in docs/OBSERVABILITY.md, "
+                           "docs/SERVING.md or docs/CLUSTER.md; every "
+                           "exported counter and histogram must be "
+                           "discoverable"});
     }
   }
   return out;

@@ -1,7 +1,10 @@
-// fbcload: N-connection load generator for fbcd.
+// fbcload: N-connection load generator for fbcd / fbcgrid.
 //
 //   # self-hosted loopback benchmark (starts fbcd in-process):
 //   fbcload --inline -c 8 -n 2000 --scenario=henp --cache=2GiB
+//
+//   # self-hosted sharded cluster (ClusterRouter over --shards servers):
+//   fbcload --inline --cluster --shards=4 -c 8 -n 2000 --cache=512MiB
 //
 //   # against an already-running daemon started with the SAME scenario
 //   # flags (the workload is regenerated locally from them):
@@ -317,6 +320,10 @@ int main(int argc, char** argv) {
   cli.add_option("hold-ms", "lease hold time per request", "0");
   cli.add_option("workers", "daemon handler threads with --inline", "8");
   cli.add_flag("inline", "start fbcd in-process on an ephemeral port");
+  cli.add_flag("cluster",
+               "with --inline: serve from a sharded ClusterRouter (see "
+               "--shards/--placement) instead of a single server");
+  tools::add_cluster_options(cli);
   cli.add_flag("json", "emit the report as JSON");
   cli.add_flag("hist", "also print the server-side metrics histograms");
   cli.add_flag("no-pipeline",
@@ -336,15 +343,28 @@ int main(int argc, char** argv) {
     // Self-hosted daemon for loopback benchmarking / CI smoke.
     std::unique_ptr<MassStorageSystem> mss;
     std::unique_ptr<service::BundleServer> server;
+    tools::ClusterBackend cluster_backend;
+    tools::ClusterStack cluster_stack;
     std::unique_ptr<service::BundleDaemon> daemon;
     std::uint16_t port = static_cast<std::uint16_t>(cli.get_u64("port"));
     if (cli.get_flag("inline")) {
-      mss = std::make_unique<MassStorageSystem>(default_tiers(),
-                                                workload.catalog);
-      tools::place_tier_mix(*mss, cli);
-      server = std::make_unique<service::BundleServer>(config, *mss);
-      daemon = std::make_unique<service::BundleDaemon>(
-          *server, /*port=*/0, cli.get_u64("workers"));
+      if (cli.get_flag("cluster")) {
+        const cluster::ClusterConfig cluster_config =
+            tools::cluster_config_from_cli(cli);
+        cluster_backend =
+            tools::make_cluster_backend(cluster_config, cli, workload);
+        cluster_stack = tools::make_local_cluster(cluster_config, config,
+                                                  *cluster_backend.backend);
+        daemon = std::make_unique<service::BundleDaemon>(
+            *cluster_stack.router, /*port=*/0, cli.get_u64("workers"));
+      } else {
+        mss = std::make_unique<MassStorageSystem>(default_tiers(),
+                                                  workload.catalog);
+        tools::place_tier_mix(*mss, cli);
+        server = std::make_unique<service::BundleServer>(config, *mss);
+        daemon = std::make_unique<service::BundleDaemon>(
+            *server, /*port=*/0, cli.get_u64("workers"));
+      }
       port = daemon->port();
     }
 
@@ -393,6 +413,17 @@ int main(int argc, char** argv) {
       // Inline mode can additionally run the full server-side audit.
       const std::vector<std::string> audit = server->audit();
       violations.insert(violations.end(), audit.begin(), audit.end());
+    }
+    if (cluster_stack.router) {
+      // Same, per shard; plus no scatter lease may outlive its job.
+      for (std::size_t i = 0; i < cluster_stack.servers.size(); ++i)
+        for (const std::string& v : cluster_stack.servers[i]->audit())
+          violations.push_back("shard " + std::to_string(i) + ": " + v);
+      if (cluster_stack.router->scatter_leases() != 0)
+        violations.push_back(
+            "cluster: " +
+            std::to_string(cluster_stack.router->scatter_leases()) +
+            " scatter leases outstanding after all clients finished");
     }
 
     const double wall_s = std::max(wall.count(), 1e-9);

@@ -10,13 +10,19 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "cluster/config.hpp"
+#include "cluster/router.hpp"
+#include "cluster/shard.hpp"
 #include "core/incremental_select.hpp"
 #include "core/registry.hpp"
 #include "grid/mss.hpp"
+#include "grid/replica.hpp"
 #include "service/server.hpp"
 #include "testing/oracles.hpp"
 #include "util/bytes.hpp"
@@ -59,6 +65,7 @@ inline void add_service_options(CliParser& cli) {
   cli.add_flag("legacy-wire",
                "pre-batching transport: unbuffered per-frame reads, one "
                "send per reply (bench baseline mode)");
+  cli.add_option("shard-id", "this server's position in its cluster", "0");
 }
 
 /// Builds a ServiceConfig from the flags added above.
@@ -85,6 +92,7 @@ inline service::ServiceConfig service_config_from_cli(const CliParser& cli) {
   config.coalesce = !cli.get_flag("no-coalesce");
   config.shadow_diff = cli.get_flag("shadow-diff");
   config.legacy_wire = cli.get_flag("legacy-wire");
+  config.shard_id = static_cast<std::uint32_t>(cli.get_u64("shard-id"));
   if (config.shadow_diff) {
     // The server itself cannot depend on the testing library; install its
     // prefix-aware factory so "enginediff:<policy>" wraps the configured
@@ -95,6 +103,129 @@ inline service::ServiceConfig service_config_from_cli(const CliParser& cli) {
     };
   }
   return config;
+}
+
+/// Registers one flag per cluster::ClusterConfig field (fbcgrid and
+/// fbcload --cluster share this surface; fbclint L003 checks the field
+/// list against the identifiers used here).
+inline void add_cluster_options(CliParser& cli) {
+  cli.add_option("shards", "BundleServer shards behind the router", "4");
+  cli.add_option("placement", "bundle placement: affinity|hash", "affinity");
+  cli.add_option("spill-threshold",
+                 "bundle-to-shard-capacity ratio beyond which an affinity "
+                 "bundle scatters across shards",
+                 "0.5");
+  cli.add_option("vnodes", "consistent-hash virtual nodes per shard", "64");
+  cli.add_option("replica-sites",
+                 "extra MSS replica sites for replica-aware fetch "
+                 "(0 = plain MSS)",
+                 "0");
+  cli.add_option("replicate-hot",
+                 "hottest files replicated to every replica site", "0");
+}
+
+/// Builds a ClusterConfig from the flags added above.
+inline cluster::ClusterConfig cluster_config_from_cli(const CliParser& cli) {
+  cluster::ClusterConfig config;
+  config.shards = static_cast<std::uint32_t>(cli.get_u64("shards"));
+  config.placement = cluster::parse_placement(cli.get_string("placement"));
+  config.spill_threshold = cli.get_double("spill-threshold");
+  config.vnodes = static_cast<std::uint32_t>(cli.get_u64("vnodes"));
+  config.replica_sites =
+      static_cast<std::uint32_t>(cli.get_u64("replica-sites"));
+  config.replicate_hot =
+      static_cast<std::uint32_t>(cli.get_u64("replicate-hot"));
+  return config;
+}
+
+inline void place_tier_mix(MassStorageSystem& mss, const CliParser& cli);
+
+/// The storage substrate behind a cluster: a plain tiered MSS, or a
+/// ReplicaManager when --replica-sites asks for replica-aware fetch.
+/// Exactly one of the owned pointers is set; `backend` aliases it.
+struct ClusterBackend {
+  std::unique_ptr<MassStorageSystem> mss;
+  std::unique_ptr<ReplicaManager> replicas;
+  StorageBackend* backend = nullptr;
+};
+
+/// Builds the cluster's shared storage backend. Plain mode reuses the
+/// fbcd stack (default tiers + --tier-mix placement). Replica mode puts
+/// the origin on the remote WAN tier and adds `replica_sites` disk-pool
+/// sites, pre-seeded deterministically from the job stream: the
+/// --replicate-hot hottest files go to *every* site, the rest greedily by
+/// popularity (ReplicaManager::replicate_by_popularity) -- so a shard's
+/// misses for popular files hit a nearby replica instead of the WAN.
+inline ClusterBackend make_cluster_backend(
+    const cluster::ClusterConfig& cluster_config, const CliParser& cli,
+    const Workload& workload) {
+  ClusterBackend out;
+  if (cluster_config.replica_sites == 0) {
+    out.mss =
+        std::make_unique<MassStorageSystem>(default_tiers(), workload.catalog);
+    place_tier_mix(*out.mss, cli);
+    out.backend = out.mss.get();
+    return out;
+  }
+  const std::vector<StorageTier> tiers = default_tiers();
+  std::vector<ReplicaSite> sites;
+  sites.push_back({"origin", tiers.back(), 0});
+  // Each replica site gets an equal slice of half the catalog: enough to
+  // matter, small enough that placement still has to choose.
+  const Bytes budget = std::max<Bytes>(
+      1, workload.catalog.total_bytes() / (2 * cluster_config.replica_sites));
+  for (std::uint32_t i = 0; i < cluster_config.replica_sites; ++i)
+    sites.push_back(
+        {"replica-" + std::to_string(i + 1), tiers.front(), budget});
+  out.replicas =
+      std::make_unique<ReplicaManager>(std::move(sites), workload.catalog);
+
+  std::vector<std::uint64_t> access_counts(workload.catalog.count(), 0);
+  for (const Request& job : workload.jobs)
+    for (FileId id : job.files) ++access_counts[id];
+  if (cluster_config.replicate_hot > 0) {
+    std::vector<FileId> by_heat(workload.catalog.count());
+    for (FileId id = 0; id < by_heat.size(); ++id) by_heat[id] = id;
+    std::sort(by_heat.begin(), by_heat.end(), [&](FileId a, FileId b) {
+      if (access_counts[a] != access_counts[b])
+        return access_counts[a] > access_counts[b];
+      return a < b;
+    });
+    const std::size_t hot =
+        std::min<std::size_t>(cluster_config.replicate_hot, by_heat.size());
+    for (std::size_t rank = 0; rank < hot; ++rank)
+      for (std::size_t site = 1; site < out.replicas->site_count(); ++site)
+        out.replicas->add_replica(by_heat[rank], site);
+  }
+  out.replicas->replicate_by_popularity(access_counts);
+  out.backend = out.replicas.get();
+  return out;
+}
+
+/// One in-process cluster: N BundleServers (shard_id = 0..N-1, each with
+/// its own `--cache`-sized staging cache) behind a ClusterRouter.
+struct ClusterStack {
+  std::vector<std::unique_ptr<service::BundleServer>> servers;
+  std::unique_ptr<cluster::ClusterRouter> router;
+};
+
+/// Builds the in-process cluster fbcgrid and fbcload --cluster serve.
+/// `service_config.cache_bytes` is the per-shard capacity.
+inline ClusterStack make_local_cluster(
+    const cluster::ClusterConfig& cluster_config,
+    service::ServiceConfig service_config, const StorageBackend& backend) {
+  ClusterStack stack;
+  std::vector<std::unique_ptr<cluster::Shard>> shards;
+  for (std::uint32_t i = 0; i < cluster_config.shards; ++i) {
+    service_config.shard_id = i;
+    stack.servers.push_back(
+        std::make_unique<service::BundleServer>(service_config, backend));
+    shards.push_back(std::make_unique<cluster::LocalShard>(*stack.servers.back()));
+  }
+  stack.router = std::make_unique<cluster::ClusterRouter>(
+      cluster_config, backend.catalog(), service_config.cache_bytes,
+      std::move(shards));
+  return stack;
 }
 
 /// Client-side budget for QueueFull backpressure retries.
