@@ -73,6 +73,21 @@ struct ClusterConfig {
 
   /// Hottest files replicated to every replica site before serving.
   std::uint32_t replicate_hot = 0;
+
+  /// Idle connections a RemoteShard keeps per shard daemon. Checkins past
+  /// the cap drop the connection instead of pooling it, so a burst of
+  /// concurrent acquires cannot grow the pool without bound.
+  std::size_t remote_pool_cap = 8;
+
+  /// Consecutive NetError failures after which the router marks a shard
+  /// down and stops routing requests to it (degraded placement).
+  std::uint32_t down_threshold = 3;
+
+  /// Milliseconds between recovery probes of a down shard. One request
+  /// per interval is routed at the dead shard as an opportunistic probe
+  /// (a failure just re-routes, so clients never see it). 0 probes on
+  /// every request -- deterministic, used by the replay harnesses.
+  std::uint64_t probe_ms = 500;
 };
 
 }  // namespace fbc::cluster

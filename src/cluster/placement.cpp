@@ -49,6 +49,24 @@ std::uint32_t Placement::file_shard(FileId id) const {
   return it->second;
 }
 
+std::uint32_t Placement::file_shard(FileId id,
+                                    const std::vector<bool>& live) const {
+  assert(live.size() == config_.shards);
+  const std::uint64_t h = mix64(static_cast<std::uint64_t>(id) + 1);
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), h,
+      [](std::uint64_t value, const auto& entry) { return value < entry.first; });
+  if (it == ring_.end()) it = ring_.begin();
+  // Walk clockwise past down shards' points. One full lap visits every
+  // shard's vnodes, so a live shard is always found if one exists.
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    if (live[it->second]) return it->second;
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  }
+  throw std::invalid_argument("placement: no live shard");
+}
+
 std::uint32_t Placement::bundle_home(const Request& request) const {
   assert(request.is_canonical());
   const std::uint64_t h =
@@ -78,6 +96,51 @@ PlacementPlan Placement::plan(const Request& request) const {
     Request sub;
     sub.files = std::move(buckets[shard]);
     // Per-shard slices of a canonical bundle are already sorted+unique.
+    assert(sub.is_canonical());
+    out.parts.push_back({shard, std::move(sub)});
+  }
+  return out;
+}
+
+PlacementPlan Placement::plan(const Request& request,
+                              const std::vector<bool>& live) const {
+  assert(request.is_canonical());
+  assert(!request.empty());
+  assert(live.size() == config_.shards);
+  if (std::all_of(live.begin(), live.end(), [](bool up) { return up; }))
+    return plan(request);
+  PlacementPlan out;
+  if (std::none_of(live.begin(), live.end(), [](bool up) { return up; }))
+    return out;  // empty: the router reports ShardsDown
+  if (config_.placement == PlacementMode::BundleAffinity) {
+    const Bytes bytes = catalog_->request_bytes(request);
+    const double limit =
+        config_.spill_threshold * static_cast<double>(shard_capacity_);
+    if (config_.shards == 1 || static_cast<double>(bytes) <= limit) {
+      const std::uint32_t home = bundle_home(request);
+      if (live[home]) {
+        out.parts.push_back({home, request});
+        return out;
+      }
+      // Home is down: fall back to the bundle's hash partition over the
+      // live shards (the degraded-placement rule).
+      out.rerouted = true;
+    }
+  }
+  std::vector<std::vector<FileId>> buckets(config_.shards);
+  for (FileId id : request.files) {
+    const std::uint32_t home = file_shard(id);
+    if (live[home]) {
+      buckets[home].push_back(id);
+    } else {
+      buckets[file_shard(id, live)].push_back(id);
+      out.rerouted = true;
+    }
+  }
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    if (buckets[shard].empty()) continue;
+    Request sub;
+    sub.files = std::move(buckets[shard]);
     assert(sub.is_canonical());
     out.parts.push_back({shard, std::move(sub)});
   }

@@ -39,6 +39,11 @@ struct SubRequest {
 struct PlacementPlan {
   std::vector<SubRequest> parts;
 
+  /// True when a live-filtered plan diverged from the healthy placement
+  /// (some file or bundle home walked past a down shard). The router
+  /// counts these under grid.acquire.rerouted.
+  bool rerouted = false;
+
   [[nodiscard]] bool split() const noexcept { return parts.size() > 1; }
 };
 
@@ -53,6 +58,13 @@ class Placement {
   /// Home shard of one file on the consistent-hash ring.
   [[nodiscard]] std::uint32_t file_shard(FileId id) const;
 
+  /// Home shard of one file among the live shards: the ring walk
+  /// continues clockwise past down shards' points, so each file lands on
+  /// the *next* live shard and moves back home when its shard recovers.
+  /// Precondition: live.size() == shard_count(), at least one true.
+  [[nodiscard]] std::uint32_t file_shard(FileId id,
+                                         const std::vector<bool>& live) const;
+
   /// Home shard of a whole bundle (affinity placement). Precondition:
   /// `request` is canonical.
   [[nodiscard]] std::uint32_t bundle_home(const Request& request) const;
@@ -60,6 +72,15 @@ class Placement {
   /// Splits `request` into per-shard sub-requests per the configured
   /// strategy. Precondition: `request` is canonical and non-empty.
   [[nodiscard]] PlacementPlan plan(const Request& request) const;
+
+  /// Degraded placement: plan() restricted to shards where live[shard]
+  /// is true. An affinity bundle whose home shard is down falls back to
+  /// its hash partition over the live shards; hash placement walks each
+  /// file clockwise past down ring points. Returns an empty plan when no
+  /// shard is live (the router reports ShardsDown). Precondition:
+  /// live.size() == shard_count().
+  [[nodiscard]] PlacementPlan plan(const Request& request,
+                                   const std::vector<bool>& live) const;
 
   [[nodiscard]] std::uint32_t shard_count() const noexcept {
     return config_.shards;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "cluster/stats.hpp"
+#include "service/net.hpp"
 
 namespace fbc::cluster {
 
@@ -22,9 +23,126 @@ ClusterRouter::ClusterRouter(const ClusterConfig& config,
   for (const auto& shard : shards_)
     if (shard == nullptr)
       throw std::invalid_argument("ClusterRouter: null shard");
+  health_.resize(shards_.size());
+  pending_release_.resize(shards_.size());
 }
 
 ClusterRouter::~ClusterRouter() { close(); }
+
+void ClusterRouter::bump(const char* counter) const {
+  std::lock_guard<OrderedMutex> lock(grid_obs_mu_);
+  grid_counters_.add(counter);
+}
+
+std::vector<bool> ClusterRouter::routable_snapshot(
+    const std::vector<bool>& excluded) const {
+  const Clock::time_point now = Clock::now();
+  std::vector<bool> live(shards_.size(), false);
+  std::lock_guard<OrderedMutex> lock(route_mu_);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (excluded[s]) continue;
+    ShardHealth& h = health_[s];
+    if (!h.down) {
+      live[s] = true;
+    } else if (config_.probe_ms == 0 || now >= h.next_probe) {
+      // Claim the probe slot: this request is routed at the dead shard
+      // as an opportunistic probe, and the next one waits probe_ms so a
+      // burst does not pile onto a dead daemon.
+      h.next_probe = now + std::chrono::milliseconds(config_.probe_ms);
+      live[s] = true;
+    }
+  }
+  return live;
+}
+
+bool ClusterRouter::should_attempt(std::uint32_t shard) const {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<OrderedMutex> lock(route_mu_);
+  ShardHealth& h = health_[shard];
+  if (!h.down) return true;
+  if (config_.probe_ms == 0 || now >= h.next_probe) {
+    h.next_probe = now + std::chrono::milliseconds(config_.probe_ms);
+    return true;
+  }
+  return false;
+}
+
+void ClusterRouter::record_success(std::uint32_t shard) const {
+  std::vector<LeaseId> pending;
+  bool recovered = false;
+  {
+    std::lock_guard<OrderedMutex> lock(route_mu_);
+    ShardHealth& h = health_[shard];
+    h.consecutive = 0;
+    if (h.down) {
+      h.down = false;
+      recovered = true;
+    }
+    // Releases can be parked below down_threshold too (a single NetError
+    // defers), so any proven-reachable shard drains its queue -- not just
+    // a down -> up transition.
+    pending = std::move(pending_release_[shard]);
+    pending_release_[shard].clear();
+  }
+  if (recovered) bump("grid.shard.recovered");
+  if (pending.empty()) return;
+  // Flush releases deferred while the shard was gone. A rebooted shard
+  // that lost its lease table answers false (counted unknown below via
+  // the shard itself); one that kept state is fully drained. A NetError
+  // mid-flush re-parks the rest.
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    try {
+      (void)shards_[shard]->release(pending[i]);
+    } catch (const service::NetError&) {
+      for (std::size_t j = i; j < pending.size(); ++j)
+        defer_release(shard, pending[j]);
+      record_failure(shard);
+      return;
+    }
+  }
+}
+
+void ClusterRouter::record_failure(std::uint32_t shard) const {
+  bool went_down = false;
+  {
+    std::lock_guard<OrderedMutex> lock(route_mu_);
+    ShardHealth& h = health_[shard];
+    ++h.consecutive;
+    if (!h.down && h.consecutive >= config_.down_threshold) {
+      h.down = true;
+      h.next_probe =
+          Clock::now() + std::chrono::milliseconds(config_.probe_ms);
+      went_down = true;
+    }
+  }
+  if (!went_down) return;
+  bump("grid.shard.down");
+  // Pooled connections to a crashed daemon are all poisoned; drop them
+  // so the recovery probe dials fresh.
+  shards_[shard]->invalidate_pool();
+}
+
+void ClusterRouter::defer_release(std::uint32_t shard, LeaseId lease) const {
+  {
+    std::lock_guard<OrderedMutex> lock(route_mu_);
+    pending_release_[shard].push_back(lease);
+  }
+  bump("grid.release.deferred");
+}
+
+service::AcquireResult ClusterRouter::shard_acquire(std::uint32_t shard,
+                                                    const Request& request) {
+  service::AcquireResult result;
+  try {
+    result = shards_[shard]->acquire(request);
+  } catch (const service::NetError&) {
+    throw ShardUnreachable{shard};
+  }
+  // Any completed round trip is a health success, whatever the verdict
+  // (QueueFull from a live shard is backpressure, not death).
+  record_success(shard);
+  return result;
+}
 
 service::AcquireResult ClusterRouter::acquire(const Request& request) {
   if (closed_.load(std::memory_order_acquire))
@@ -33,23 +151,46 @@ service::AcquireResult ClusterRouter::acquire(const Request& request) {
     return {service::AcquireStatus::InvalidRequest, 0, false, 0, 0};
   Request canonical = request;
   canonical.canonicalize();
-  const PlacementPlan plan = placement_.plan(canonical);
-  if (!plan.split()) return acquire_single(plan.parts.front());
-  return acquire_scatter(plan);
+
+  // Re-plan loop: a NetError out of a shard excludes it (for this
+  // request) and re-routes the remainder to the live shards. Each shard
+  // can fail at most once per request, so shards_.size() + 1 attempts
+  // bound the loop even if every shard dies mid-flight.
+  std::vector<bool> excluded(shards_.size(), false);
+  bool rerouted = false;
+  for (std::size_t attempt = 0; attempt <= shards_.size(); ++attempt) {
+    const std::vector<bool> live = routable_snapshot(excluded);
+    const PlacementPlan plan = placement_.plan(canonical, live);
+    if (plan.parts.empty()) break;  // no live shard left
+    if (plan.rerouted && !rerouted) {
+      rerouted = true;
+      bump("grid.acquire.rerouted");
+    }
+    try {
+      return plan.split() ? acquire_scatter(plan)
+                          : acquire_single(plan.parts.front());
+    } catch (const ShardUnreachable& dead) {
+      record_failure(dead.shard);
+      excluded[dead.shard] = true;
+      if (!rerouted) {
+        rerouted = true;
+        bump("grid.acquire.rerouted");
+      }
+    }
+  }
+  bump("grid.acquire.no_shard");
+  return {service::AcquireStatus::ShardsDown, 0, false, 0, 0};
 }
 
 service::AcquireResult ClusterRouter::acquire_single(const SubRequest& part) {
-  service::AcquireResult result = shards_[part.shard]->acquire(part.request);
+  service::AcquireResult result = shard_acquire(part.shard, part.request);
   if (result.status == service::AcquireStatus::Ok) {
     if ((result.lease & ~kPayloadMask) != 0)
       throw std::runtime_error(
           "ClusterRouter: shard lease id overflows the router tag byte");
     result.lease |= static_cast<LeaseId>(part.shard + 1) << kShardShift;
   }
-  {
-    std::lock_guard<OrderedMutex> lock(grid_obs_mu_);
-    grid_counters_.add("grid.acquire.single");
-  }
+  bump("grid.acquire.single");
   return result;
 }
 
@@ -62,16 +203,17 @@ service::AcquireResult ClusterRouter::acquire_scatter(
   std::vector<std::pair<std::uint32_t, LeaseId>> granted;
   granted.reserve(plan.parts.size());
   auto rollback = [&]() noexcept {
-    // Best effort, newest grant first; a shard that errors mid-rollback
-    // reclaims the lease itself when the connection drops.
+    // Newest grant first; a shard that died mid-rollback gets its
+    // release deferred so the pin is reclaimed on recovery.
     for (auto it = granted.rbegin(); it != granted.rend(); ++it) {
       try {
         shards_[it->first]->release(it->second);
+      } catch (const service::NetError&) {
+        defer_release(it->first, it->second);
       } catch (...) {
       }
     }
-    std::lock_guard<OrderedMutex> lock(grid_obs_mu_);
-    grid_counters_.add("grid.acquire.rollback");
+    bump("grid.acquire.rollback");
   };
 
   service::AcquireResult gathered;
@@ -80,7 +222,10 @@ service::AcquireResult ClusterRouter::acquire_scatter(
   for (const SubRequest& part : plan.parts) {
     service::AcquireResult result;
     try {
-      result = shards_[part.shard]->acquire(part.request);
+      result = shard_acquire(part.shard, part.request);
+    } catch (const ShardUnreachable&) {
+      rollback();
+      throw;  // acquire() re-plans around the dead shard
     } catch (...) {
       rollback();
       throw;
@@ -107,11 +252,27 @@ service::AcquireResult ClusterRouter::acquire_scatter(
     scatter_.emplace(id, std::move(granted));
     gathered.lease = id;  // top byte 0 == scatter tag
   }
-  {
-    std::lock_guard<OrderedMutex> lock(grid_obs_mu_);
-    grid_counters_.add("grid.acquire.scatter");
-  }
+  bump("grid.acquire.scatter");
   return gathered;
+}
+
+bool ClusterRouter::try_release(std::uint32_t shard, LeaseId lease,
+                                bool* ok) const {
+  if (!should_attempt(shard)) {
+    // Down and no probe due: park the release instead of hammering a
+    // dead daemon. The lease is replayed on recovery.
+    defer_release(shard, lease);
+    return false;
+  }
+  try {
+    *ok = shards_[shard]->release(lease);
+  } catch (const service::NetError&) {
+    record_failure(shard);
+    defer_release(shard, lease);
+    return false;
+  }
+  record_success(shard);
+  return true;
 }
 
 bool ClusterRouter::release(LeaseId lease) {
@@ -119,15 +280,18 @@ bool ClusterRouter::release(LeaseId lease) {
   if (tag != 0) {
     const std::size_t shard = static_cast<std::size_t>(tag) - 1;
     if (shard >= shards_.size()) {
-      std::lock_guard<OrderedMutex> lock(grid_obs_mu_);
-      grid_counters_.add("grid.release.unknown");
+      bump("grid.release.unknown");
       return false;
     }
-    const bool ok = shards_[shard]->release(lease & kPayloadMask);
-    if (!ok) {
-      std::lock_guard<OrderedMutex> lock(grid_obs_mu_);
-      grid_counters_.add("grid.release.unknown");
+    bool ok = false;
+    if (!try_release(static_cast<std::uint32_t>(shard), lease & kPayloadMask,
+                     &ok)) {
+      // Deferred: the pin is safe and will be reclaimed on recovery, so
+      // the client's release is accepted.
+      bump("grid.release.partial");
+      return true;
     }
+    if (!ok) bump("grid.release.unknown");
     return ok;
   }
   std::vector<std::pair<std::uint32_t, LeaseId>> parts;
@@ -142,23 +306,63 @@ bool ClusterRouter::release(LeaseId lease) {
     parts = std::move(it->second);
     scatter_.erase(it);
   }
+  // Every part is attempted even if one shard throws mid-loop (the old
+  // code let the exception escape here, leaking the remaining shards'
+  // pins forever -- the scatter entry was already erased above).
   bool all_ok = true;
-  for (const auto& [shard, sub_lease] : parts)
-    all_ok = shards_[shard]->release(sub_lease) && all_ok;
+  bool partial = false;
+  for (const auto& [shard, sub_lease] : parts) {
+    bool ok = false;
+    if (try_release(shard, sub_lease, &ok))
+      all_ok = ok && all_ok;
+    else
+      partial = true;  // deferred, not lost
+  }
+  if (partial) bump("grid.release.partial");
   return all_ok;
 }
 
 service::ServiceStats ClusterRouter::stats() const {
   std::vector<service::ServiceStats> per_shard;
   per_shard.reserve(shards_.size());
-  for (const auto& shard : shards_) per_shard.push_back(shard->stats());
+  std::size_t skipped = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!should_attempt(static_cast<std::uint32_t>(s))) {
+      ++skipped;
+      continue;
+    }
+    try {
+      per_shard.push_back(shards_[s]->stats());
+    } catch (const service::NetError&) {
+      record_failure(static_cast<std::uint32_t>(s));
+      ++skipped;
+      continue;
+    }
+    record_success(static_cast<std::uint32_t>(s));
+  }
+  if (skipped != 0) bump("grid.stats.partial");
   return merge_stats(per_shard);
 }
 
 service::MetricsSnapshot ClusterRouter::metrics() const {
   std::vector<service::MetricsSnapshot> per_shard;
   per_shard.reserve(shards_.size());
-  for (const auto& shard : shards_) per_shard.push_back(shard->metrics());
+  std::size_t skipped = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!should_attempt(static_cast<std::uint32_t>(s))) {
+      ++skipped;
+      continue;
+    }
+    try {
+      per_shard.push_back(shards_[s]->metrics());
+    } catch (const service::NetError&) {
+      record_failure(static_cast<std::uint32_t>(s));
+      ++skipped;
+      continue;
+    }
+    record_success(static_cast<std::uint32_t>(s));
+  }
+  if (skipped != 0) bump("grid.stats.partial");
   service::MetricsSnapshot merged = merge_metrics(per_shard);
   // Fold the router's own counters in, keeping the name list sorted.
   obs::CounterRegistry all;
@@ -174,12 +378,50 @@ service::MetricsSnapshot ClusterRouter::metrics() const {
 
 void ClusterRouter::close() {
   if (closed_.exchange(true, std::memory_order_acq_rel)) return;
-  for (const auto& shard : shards_) shard->close();
+  for (const auto& shard : shards_) {
+    try {
+      shard->close();
+    } catch (const service::NetError&) {
+      // A dead shard cannot be told to close; its daemon (if any) is
+      // already gone and reclaims leases itself.
+    }
+  }
 }
 
 std::size_t ClusterRouter::scatter_leases() const {
   std::lock_guard<OrderedMutex> lock(route_mu_);
   return scatter_.size();
+}
+
+bool ClusterRouter::shard_down(std::size_t index) const {
+  std::lock_guard<OrderedMutex> lock(route_mu_);
+  return health_.at(index).down;
+}
+
+std::uint32_t ClusterRouter::down_count() const {
+  std::lock_guard<OrderedMutex> lock(route_mu_);
+  std::uint32_t down = 0;
+  for (const ShardHealth& h : health_)
+    if (h.down) ++down;
+  return down;
+}
+
+std::size_t ClusterRouter::pending_releases() const {
+  std::lock_guard<OrderedMutex> lock(route_mu_);
+  std::size_t total = 0;
+  for (const std::vector<LeaseId>& p : pending_release_) total += p.size();
+  return total;
+}
+
+bool ClusterRouter::probe(std::size_t index) {
+  try {
+    (void)shards_.at(index)->stats();
+  } catch (const service::NetError&) {
+    record_failure(static_cast<std::uint32_t>(index));
+    return false;
+  }
+  record_success(static_cast<std::uint32_t>(index));
+  return true;
 }
 
 }  // namespace fbc::cluster

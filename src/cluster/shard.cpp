@@ -21,6 +21,7 @@ RemoteShard::ClientPtr RemoteShard::checkout() const {
 void RemoteShard::checkin(ClientPtr client) const {
   std::lock_guard<OrderedMutex> lock(remote_mu_);
   if (closed_) return;  // drop: close() already tore the pool down
+  if (idle_.size() >= pool_cap_) return;  // drop-on-full: bounded pool
   idle_.push_back(std::move(client));
 }
 
@@ -58,6 +59,16 @@ void RemoteShard::close() {
   std::lock_guard<OrderedMutex> lock(remote_mu_);
   closed_ = true;
   idle_.clear();  // disconnects; the daemon reclaims any leaked leases
+}
+
+void RemoteShard::invalidate_pool() {
+  std::lock_guard<OrderedMutex> lock(remote_mu_);
+  idle_.clear();  // poisoned sockets; the next call dials fresh
+}
+
+std::size_t RemoteShard::idle_connections() const {
+  std::lock_guard<OrderedMutex> lock(remote_mu_);
+  return idle_.size();
 }
 
 }  // namespace fbc::cluster

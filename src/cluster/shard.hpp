@@ -8,6 +8,7 @@
 // fuzz harness can drive it entirely in-process.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -32,6 +33,11 @@ class Shard {
   [[nodiscard]] virtual service::ServiceStats stats() const = 0;
   [[nodiscard]] virtual service::MetricsSnapshot metrics() const = 0;
   virtual void close() = 0;
+
+  /// Hook the router calls when it marks this shard down: transports with
+  /// cached connections drop them so recovery probes dial fresh (a
+  /// restarted daemon never answers on old sockets). Default: no-op.
+  virtual void invalidate_pool() {}
 };
 
 /// In-process shard: forwards to a BundleServer the caller owns.
@@ -65,14 +71,27 @@ class LocalShard final : public Shard {
 /// connections are dropped (the daemon reclaims their leases).
 class RemoteShard final : public Shard {
  public:
-  explicit RemoteShard(std::uint16_t port, bool legacy_wire = false)
-      : port_(port), legacy_wire_(legacy_wire) {}
+  /// `pool_cap` bounds the idle pool (ClusterConfig::remote_pool_cap):
+  /// checkins past the cap drop the connection instead of pooling it.
+  explicit RemoteShard(std::uint16_t port, bool legacy_wire = false,
+                       std::size_t pool_cap = 8)
+      : port_(port), legacy_wire_(legacy_wire), pool_cap_(pool_cap) {}
 
   service::AcquireResult acquire(const Request& request) override;
   bool release(LeaseId lease) override;
   [[nodiscard]] service::ServiceStats stats() const override;
   [[nodiscard]] service::MetricsSnapshot metrics() const override;
   void close() override;
+
+  /// Drops every idle connection (pool only -- the shard stays usable;
+  /// the next call dials fresh). Called when the router marks the shard
+  /// down, since pooled sockets to a crashed daemon are all poisoned.
+  void invalidate_pool() override;
+
+  /// Idle connections currently pooled (tests assert the cap holds).
+  [[nodiscard]] std::size_t idle_connections() const;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
  private:
   using ClientPtr = std::unique_ptr<service::BundleClient>;
@@ -85,6 +104,7 @@ class RemoteShard final : public Shard {
 
   std::uint16_t port_;
   bool legacy_wire_;
+  std::size_t pool_cap_;
 
   // Pool-only lock, below every shard-internal level and never held
   // across a wire round trip.
@@ -94,6 +114,56 @@ class RemoteShard final : public Shard {
   mutable OrderedMutex remote_mu_{7, "RemoteShard::remote_mu_"};
   mutable std::vector<ClientPtr> idle_;
   mutable bool closed_ = false;
+};
+
+/// Test/harness seam: wraps any Shard and, while killed, makes every call
+/// throw NetError -- exactly what a crashed shard daemon looks like to
+/// the router. cluster_sim's kill/revive waves, the failover tests, and
+/// the bench fault leg all inject failures through this instead of
+/// tearing down real processes.
+class FaultInjectionShard final : public Shard {
+ public:
+  explicit FaultInjectionShard(std::unique_ptr<Shard> inner)
+      : inner_(std::move(inner)) {}
+
+  /// Subsequent calls throw NetError until revive().
+  void kill() noexcept { killed_.store(true, std::memory_order_release); }
+  void revive() noexcept { killed_.store(false, std::memory_order_release); }
+  [[nodiscard]] bool killed() const noexcept {
+    return killed_.load(std::memory_order_acquire);
+  }
+
+  service::AcquireResult acquire(const Request& request) override {
+    check();
+    return inner_->acquire(request);
+  }
+  bool release(LeaseId lease) override {
+    check();
+    return inner_->release(lease);
+  }
+  [[nodiscard]] service::ServiceStats stats() const override {
+    check();
+    return inner_->stats();
+  }
+  [[nodiscard]] service::MetricsSnapshot metrics() const override {
+    check();
+    return inner_->metrics();
+  }
+  /// Close always reaches the inner shard: shutdown must not depend on
+  /// the injected fault state.
+  void close() override { inner_->close(); }
+  void invalidate_pool() override { inner_->invalidate_pool(); }
+
+  [[nodiscard]] Shard& inner() noexcept { return *inner_; }
+
+ private:
+  void check() const {
+    if (killed())
+      throw service::NetError("injected fault: shard daemon is down");
+  }
+
+  std::unique_ptr<Shard> inner_;
+  std::atomic<bool> killed_{false};
 };
 
 }  // namespace fbc::cluster

@@ -57,6 +57,16 @@ class BundleClient {
   /// Closes the connection (leases still held are reclaimed server-side).
   void disconnect() noexcept { fd_.reset(); }
 
+  /// Drops the current connection (if any) and dials the same port
+  /// again, resetting the buffered reader so no stale reply bytes
+  /// survive. Throws NetError if the daemon is not back yet -- callers
+  /// (fbcctl --watch) retry on their own schedule. Held leases on the
+  /// old connection are reclaimed server-side.
+  void reconnect();
+
+  /// The port this client dials (the reconnect target).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
  private:
   /// Sends `request` and reads the single reply frame.
   Message round_trip(const Message& request);
@@ -65,6 +75,7 @@ class BundleClient {
   std::optional<Message> read_reply();
 
   UniqueFd fd_;
+  std::uint16_t port_ = 0;
   bool legacy_wire_ = false;
   FrameReader reader_;  ///< buffered: batched replies cost one recv
   std::vector<std::uint8_t> send_buf_;  ///< reused burst-encode scratch

@@ -83,7 +83,8 @@ void BundleDaemon::serve_connection(int raw_fd) {
       return MetricsReplyMsg{endpoint_.metrics()};
     if (std::holds_alternative<HelloRequestMsg>(message)) {
       const EndpointInfo info = endpoint_.info();
-      return HelloReplyMsg{info.role, info.shard_id, info.shard_count};
+      return HelloReplyMsg{info.role, info.shard_id, info.shard_count,
+                           info.shards_down};
     }
     // Reply types are server-to-client only.
     throw ProtocolError(std::string("unexpected client message ") +

@@ -25,11 +25,14 @@ struct AcquireResult {
   std::uint32_t retries = 0;
 };
 
-/// Identity reported in a HelloReply (see protocol.hpp).
+/// Identity reported in a HelloReply (see protocol.hpp). `shards_down`
+/// is the router's live count of shards currently marked down (0 for a
+/// standalone shard) -- the wire-visible health signal fbcctl surfaces.
 struct EndpointInfo {
   EndpointRole role = EndpointRole::Shard;
   std::uint32_t shard_id = 0;
   std::uint32_t shard_count = 1;
+  std::uint32_t shards_down = 0;
 };
 
 /// Abstract serving endpoint (see file comment). Implementations must be

@@ -217,7 +217,7 @@ MetricsSnapshot decode_metrics(Reader* in) {
 }
 
 AcquireStatus decode_status(std::uint8_t raw) {
-  if (raw > static_cast<std::uint8_t>(AcquireStatus::Closed))
+  if (raw > static_cast<std::uint8_t>(AcquireStatus::ShardsDown))
     throw ProtocolError("unknown acquire status " + std::to_string(raw));
   return static_cast<AcquireStatus>(raw);
 }
@@ -269,6 +269,7 @@ void encode_payload(const Message& message, std::vector<std::uint8_t>* out) {
       put_u8(out, static_cast<std::uint8_t>(m.role));
       put_u32(out, m.shard_id);
       put_u32(out, m.shard_count);
+      put_u32(out, m.shards_down);
       return;
     }
   }
@@ -303,6 +304,7 @@ const char* to_string(AcquireStatus status) noexcept {
     case AcquireStatus::InvalidRequest: return "invalid-request";
     case AcquireStatus::TransferFailed: return "transfer-failed";
     case AcquireStatus::Closed: return "closed";
+    case AcquireStatus::ShardsDown: return "shards-down";
   }
   return "?";
 }
@@ -415,6 +417,9 @@ Message decode_payload(MsgType type, std::span<const std::uint8_t> payload) {
       m.role = static_cast<EndpointRole>(raw_role);
       m.shard_id = in.u32();
       m.shard_count = in.u32();
+      m.shards_down = in.u32();
+      if (m.shards_down > m.shard_count)
+        throw ProtocolError("hello reply with more shards down than shards");
       if (m.shard_count == 0)
         throw ProtocolError("hello reply with zero shard count");
       in.finish();

@@ -63,6 +63,7 @@ enum class AcquireStatus : std::uint8_t {
   InvalidRequest = 4,  ///< empty bundle or unknown file id
   TransferFailed = 5,  ///< MSS staging failed after all retries
   Closed = 6,          ///< server is shutting down
+  ShardsDown = 7,      ///< cluster: no live shard can host the bundle
 };
 
 [[nodiscard]] const char* to_string(MsgType type) noexcept;
@@ -167,11 +168,13 @@ struct HelloRequestMsg {};
 /// Identity of the serving endpoint behind the socket: a lone shard, or a
 /// cluster router. `shard_id` is the shard's position in its cluster (0
 /// for a standalone fbcd or for a router); `shard_count` is the number of
-/// shards behind the endpoint (1 for a shard).
+/// shards behind the endpoint (1 for a shard); `shards_down` is how many
+/// of them the router currently has marked down (always 0 for a shard).
 struct HelloReplyMsg {
   EndpointRole role = EndpointRole::Shard;
   std::uint32_t shard_id = 0;
   std::uint32_t shard_count = 1;
+  std::uint32_t shards_down = 0;
 };
 
 using Message =

@@ -38,9 +38,13 @@ void await(const Pred& ready, const char* what) {
 
 /// The N servers + shards + router a replay runs against. The router is
 /// built last and destroyed first (member order), matching its "shards
-/// outlive the router" contract.
+/// outlive the router" contract. Every shard is wrapped in a
+/// FaultInjectionShard (a passthrough while alive) so a FaultPlan can
+/// kill/revive it mid-replay; `faulty` aliases the wrappers, which the
+/// router owns.
 struct ClusterStack {
   std::vector<std::unique_ptr<BundleServer>> servers;
+  std::vector<cluster::FaultInjectionShard*> faulty;
   std::unique_ptr<cluster::ClusterRouter> router;
 };
 
@@ -54,12 +58,31 @@ ClusterStack build_stack(const SchedInstance& instance, ServiceConfig config,
     shard_config.shard_id = s;
     stack.servers.push_back(
         std::make_unique<BundleServer>(shard_config, mss));
-    shards.push_back(
-        std::make_unique<cluster::LocalShard>(*stack.servers.back()));
+    shards.push_back(std::make_unique<cluster::FaultInjectionShard>(
+        std::make_unique<cluster::LocalShard>(*stack.servers.back())));
+    stack.faulty.push_back(
+        static_cast<cluster::FaultInjectionShard*>(shards.back().get()));
   }
   stack.router = std::make_unique<cluster::ClusterRouter>(
       cluster, instance.catalog, config.cache_bytes, std::move(shards));
   return stack;
+}
+
+/// Applies every event of `faults` scheduled for `wave` -- kill flips the
+/// wrapper, revive flips it back and probes the shard so the router's
+/// health state (and its deferred-release flush) transitions here, not at
+/// some interleaving-dependent later success.
+void apply_faults(const FaultPlan& faults, std::size_t wave,
+                  ClusterStack& stack) {
+  for (const FaultEvent& e : faults.events) {
+    if (e.wave != wave || e.shard >= stack.faulty.size()) continue;
+    if (e.kill) {
+      stack.faulty[e.shard]->kill();
+    } else {
+      stack.faulty[e.shard]->revive();
+      stack.router->probe(e.shard);
+    }
+  }
 }
 
 std::uint64_t total_queue_depth(const ClusterStack& stack) {
@@ -88,7 +111,10 @@ std::string to_string(const ClusterOutcome& outcome) {
       << " rejected_full=" << outcome.rejected_full
       << " single=" << outcome.single_acquires
       << " scatter=" << outcome.scatter_acquires
-      << " rollbacks=" << outcome.rollbacks << "\n";
+      << " rollbacks=" << outcome.rollbacks
+      << " rerouted=" << outcome.rerouted
+      << " down=" << outcome.shard_down_events
+      << " recovered=" << outcome.shard_recoveries << "\n";
   return out.str();
 }
 
@@ -142,18 +168,27 @@ Bytes cluster_feasible_floor(const SchedInstance& instance) {
 ClusterOutcome run_cluster_schedule(const SchedInstance& instance,
                                     ServiceConfig config,
                                     const cluster::ClusterConfig& cluster,
-                                    bool concurrent) {
+                                    bool concurrent,
+                                    const FaultPlan& faults) {
   // The instance's capacity is raised to the cluster floor so concurrent
   // replays stay stall-free under any intra-wave interleaving; serial
   // replays use the same capacity so the wave == 1 strict oracle compares
-  // like with like.
+  // like with like. (The floor sums whole-wave bytes, so it also covers
+  // any re-routed placement a fault forces.)
   config.cache_bytes =
       std::max(instance.cache_bytes, cluster_feasible_floor(instance));
   config.order = service::AdmitOrder::Fifo;
   config.time_scale = 0.0;
+  // probe_ms = 0 makes down shards routable on every request: health
+  // marks never change placement, each request attempts its healthy home
+  // and re-routes on the thrown fault, so the whole acquire path stays a
+  // pure function of (request, wave's killed set) -- replayable.
+  cluster::ClusterConfig cluster_config = cluster;
+  cluster_config.probe_ms = 0;
   MassStorageSystem mss(default_tiers(), instance.catalog);
-  ClusterStack stack = build_stack(instance, config, cluster, mss);
+  ClusterStack stack = build_stack(instance, config, cluster_config, mss);
   cluster::ClusterRouter& router = *stack.router;
+  const std::size_t wave_len = std::max<std::size_t>(1, instance.wave);
 
   ClusterOutcome outcome;
   outcome.grants.resize(instance.ops.size());
@@ -165,11 +200,21 @@ ClusterOutcome run_cluster_schedule(const SchedInstance& instance,
   if (!concurrent) {
     for (std::size_t i = 0; i < instance.ops.size(); ++i) {
       const SchedOp& op = instance.ops[i];
+      // Serial replay honors the same wave boundaries the concurrent one
+      // does, so both replays see identical killed sets per op.
+      if (i % wave_len == 0) apply_faults(faults, i / wave_len, stack);
       if (op.release_oldest && !held[op.client].empty()) {
         router.release(held[op.client].front());
         held[op.client].pop_front();
       }
       results[i] = router.acquire(op.request);
+      // Hold the lease as soon as it is granted: a later release_oldest
+      // op must actually release it mid-replay, exactly as the
+      // concurrent path (and cluster_feasible_floor's bookkeeping) does.
+      // Deferring the pushes to the end would silently turn every
+      // release op into a no-op and over-pin the shards.
+      if (results[i].status == AcquireStatus::Ok)
+        held[op.client].push_back(results[i].lease);
     }
   } else {
     std::vector<std::exception_ptr> errors(instance.ops.size());
@@ -177,6 +222,7 @@ ClusterOutcome run_cluster_schedule(const SchedInstance& instance,
          start += instance.wave) {
       const std::size_t end =
           std::min(instance.ops.size(), start + instance.wave);
+      apply_faults(faults, start / wave_len, stack);
       for (const auto& server : stack.servers)
         server->set_admission_paused(true);
       std::vector<std::thread> threads;
@@ -232,10 +278,15 @@ ClusterOutcome run_cluster_schedule(const SchedInstance& instance,
     g.client = op.client;
     g.status = static_cast<std::uint8_t>(results[i].status);
     g.hit = results[i].request_hit ? 1 : 0;
-    if (!concurrent && results[i].status == AcquireStatus::Ok)
-      held[op.client].push_back(results[i].lease);
   }
 
+  // Revive the whole fleet before the final drain: probing a revived
+  // shard flushes its deferred releases, so every lease a kill parked
+  // must come home -- the audits below are the no-lease-lost oracle.
+  for (std::size_t s = 0; s < stack.faulty.size(); ++s) {
+    stack.faulty[s]->revive();
+    router.probe(s);
+  }
   for (std::deque<service::LeaseId>& leases : held)
     for (service::LeaseId lease : leases) router.release(lease);
 
@@ -250,6 +301,10 @@ ClusterOutcome run_cluster_schedule(const SchedInstance& instance,
     throw std::runtime_error(
         "cluster_sim: " + std::to_string(router.scatter_leases()) +
         " scatter leases outstanding after replay");
+  if (router.pending_releases() != 0)
+    throw std::runtime_error(
+        "cluster_sim: " + std::to_string(router.pending_releases()) +
+        " deferred releases undelivered after full recovery");
 
   const service::ServiceStats stats = router.stats();
   outcome.requests = stats.requests;
@@ -265,24 +320,28 @@ ClusterOutcome run_cluster_schedule(const SchedInstance& instance,
     if (name == "grid.acquire.single") outcome.single_acquires = value;
     if (name == "grid.acquire.scatter") outcome.scatter_acquires = value;
     if (name == "grid.acquire.rollback") outcome.rollbacks = value;
+    if (name == "grid.acquire.rerouted") outcome.rerouted = value;
+    if (name == "grid.shard.down") outcome.shard_down_events = value;
+    if (name == "grid.shard.recovered") outcome.shard_recoveries = value;
   }
   return outcome;
 }
 
 std::optional<std::string> check_cluster_equivalence(
     const SchedInstance& instance, const ServiceConfig& config,
-    const cluster::ClusterConfig& cluster) {
+    const cluster::ClusterConfig& cluster, const FaultPlan& faults) {
   const ClusterOutcome serial =
-      run_cluster_schedule(instance, config, cluster, false);
+      run_cluster_schedule(instance, config, cluster, false, faults);
   const ClusterOutcome conc =
-      run_cluster_schedule(instance, config, cluster, true);
+      run_cluster_schedule(instance, config, cluster, true, faults);
 
   const auto dump = [&](const char* why) {
     std::ostringstream out;
     out << "concurrent router diverged from serial replay (" << why
         << ", shards=" << cluster.shards
         << " placement=" << cluster::to_string(cluster.placement)
-        << " wave=" << instance.wave << ")\n--- serial ---\n"
+        << " wave=" << instance.wave << " faults=" << faults.events.size()
+        << ")\n--- serial ---\n"
         << to_string(serial) << "--- concurrent ---\n"
         << to_string(conc);
     return out.str();
@@ -307,6 +366,28 @@ std::optional<std::string> check_cluster_equivalence(
       serial.rollbacks != conc.rollbacks)
     return dump("placement counters");
   if (serial.requests != conc.requests) return dump("sub-request total");
+  // Faults are applied at the same wave boundaries in both replays and
+  // probe_ms = 0 keeps routing interleaving-independent, so each
+  // request's plan -- and with it the reroute count -- is a pure
+  // function of (request, wave's killed set).
+  if (serial.rerouted != conc.rerouted) return dump("reroute count");
+  // The down/recovered transition COUNTS are not interleaving-invariant
+  // at wave > 1: whether a killed shard crosses down_threshold depends
+  // on how much traffic (acquires plus deferred-release flushes) happens
+  // to target it before the revive, and that varies with grant order.
+  // What must hold in EACH replay on its own:
+  //  - the end-of-replay revive + probe sweep recovers every down
+  //    shard, so the transition counts balance exactly;
+  //  - a down transition needs a kill event to cause it, so the count
+  //    is bounded by the plan's kills.
+  std::size_t kills = 0;
+  for (const FaultEvent& event : faults.events) kills += event.kill ? 1 : 0;
+  for (const ClusterOutcome* o : {&serial, &conc}) {
+    if (o->shard_down_events != o->shard_recoveries)
+      return dump("unbalanced health transitions");
+    if (o->shard_down_events > kills)
+      return dump("down transitions exceed plan kills");
+  }
   for (std::size_t start = 0; start < instance.ops.size();
        start += instance.wave) {
     const std::size_t end =
@@ -325,7 +406,8 @@ std::optional<std::string> check_cluster_equivalence(
 }
 
 Trace cluster_instance_to_trace(const SchedInstance& instance,
-                                const cluster::ClusterConfig& cluster) {
+                                const cluster::ClusterConfig& cluster,
+                                const FaultPlan& faults) {
   Trace trace = sched_instance_to_trace(instance);
   // meta_value() reads the first entry per key, so rewrite the sched
   // trace's kind in place rather than appending a shadowed duplicate.
@@ -337,12 +419,25 @@ Trace cluster_instance_to_trace(const SchedInstance& instance,
   std::ostringstream spill;
   spill << cluster.spill_threshold;
   trace.set_meta("spill_threshold", spill.str());
+  if (!faults.empty()) {
+    // down_threshold shapes the health-transition metrics the oracle
+    // compares, so a faulted reproducer must pin it.
+    trace.set_meta("down_threshold", std::to_string(cluster.down_threshold));
+    std::ostringstream plan;
+    for (std::size_t i = 0; i < faults.events.size(); ++i) {
+      const FaultEvent& e = faults.events[i];
+      if (i != 0) plan << ';';
+      plan << e.wave << ':' << e.shard << ':'
+           << (e.kill ? "kill" : "revive");
+    }
+    trace.set_meta("faults", plan.str());
+  }
   return trace;
 }
 
-std::pair<SchedInstance, cluster::ClusterConfig> cluster_instance_from_trace(
-    const Trace& trace) {
-  SchedInstance instance = sched_instance_from_trace(trace);
+ClusterTraceParts cluster_instance_from_trace(const Trace& trace) {
+  ClusterTraceParts parts;
+  parts.instance = sched_instance_from_trace(trace);
   const std::string* shards = trace.meta_value("shards");
   const std::string* placement = trace.meta_value("placement");
   const std::string* vnodes = trace.meta_value("vnodes");
@@ -352,12 +447,38 @@ std::pair<SchedInstance, cluster::ClusterConfig> cluster_instance_from_trace(
     throw std::runtime_error(
         "cluster reproducer needs shards/placement/vnodes/spill_threshold "
         "meta");
-  cluster::ClusterConfig cluster;
-  cluster.shards = static_cast<std::uint32_t>(std::stoul(*shards));
-  cluster.placement = cluster::parse_placement(*placement);
-  cluster.vnodes = static_cast<std::uint32_t>(std::stoul(*vnodes));
-  cluster.spill_threshold = std::stod(*spill);
-  return {std::move(instance), cluster};
+  parts.cluster.shards = static_cast<std::uint32_t>(std::stoul(*shards));
+  parts.cluster.placement = cluster::parse_placement(*placement);
+  parts.cluster.vnodes = static_cast<std::uint32_t>(std::stoul(*vnodes));
+  parts.cluster.spill_threshold = std::stod(*spill);
+  if (const std::string* threshold = trace.meta_value("down_threshold"))
+    parts.cluster.down_threshold =
+        static_cast<std::uint32_t>(std::stoul(*threshold));
+  if (const std::string* plan = trace.meta_value("faults")) {
+    std::istringstream in(*plan);
+    std::string clause;
+    while (std::getline(in, clause, ';')) {
+      if (clause.empty()) continue;
+      const std::size_t first = clause.find(':');
+      const std::size_t second = clause.find(':', first + 1);
+      if (first == std::string::npos || second == std::string::npos)
+        throw std::runtime_error("cluster reproducer has a malformed "
+                                 "faults clause: " +
+                                 clause);
+      FaultEvent event;
+      event.wave = std::stoul(clause.substr(0, first));
+      event.shard = static_cast<std::uint32_t>(
+          std::stoul(clause.substr(first + 1, second - first - 1)));
+      const std::string verb = clause.substr(second + 1);
+      if (verb != "kill" && verb != "revive")
+        throw std::runtime_error("cluster reproducer has a malformed "
+                                 "faults clause: " +
+                                 clause);
+      event.kill = verb == "kill";
+      parts.faults.events.push_back(event);
+    }
+  }
+  return parts;
 }
 
 }  // namespace fbc::testing

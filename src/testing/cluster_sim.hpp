@@ -31,6 +31,27 @@
 
 namespace fbc::testing {
 
+/// One planned shard fault, applied at a wave boundary: before any op of
+/// wave `wave` (0-based, ops [wave * instance.wave, ...)) is issued, the
+/// shard's FaultInjectionShard wrapper starts (kill) or stops (revive)
+/// throwing NetError. A revive also probes the shard through the router,
+/// so recovery -- and the deferred-release flush it triggers -- lands at
+/// a deterministic point in both replays.
+struct FaultEvent {
+  std::size_t wave = 0;
+  std::uint32_t shard = 0;
+  bool kill = true;  ///< false = revive + probe
+};
+
+/// The kill/revive schedule a replay injects. With probe_ms forced to 0
+/// (see run_cluster_schedule) routing stays a pure function of the
+/// request and the wave's killed set, so a faulted replay is as
+/// deterministic as a clean one.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
 /// What the cluster equivalence oracle compares between replays.
 struct ClusterOutcome {
   std::vector<GrantRecord> grants;  ///< one per op, schedule order
@@ -42,6 +63,9 @@ struct ClusterOutcome {
   std::uint64_t single_acquires = 0;   ///< grid.acquire.single
   std::uint64_t scatter_acquires = 0;  ///< grid.acquire.scatter
   std::uint64_t rollbacks = 0;         ///< grid.acquire.rollback
+  std::uint64_t rerouted = 0;          ///< grid.acquire.rerouted
+  std::uint64_t shard_down_events = 0;   ///< grid.shard.down
+  std::uint64_t shard_recoveries = 0;    ///< grid.shard.recovered
 
   bool operator==(const ClusterOutcome&) const = default;
 };
@@ -59,27 +83,43 @@ struct ClusterOutcome {
 
 /// Replays `instance` against a ClusterRouter over `cluster.shards` real
 /// BundleServers (each with max(instance.cache_bytes,
-/// cluster_feasible_floor) capacity; order forced to Fifo, time_scale 0).
-/// Leftover leases are released at the end; any shard audit violation or
-/// surviving scatter lease throws std::runtime_error.
+/// cluster_feasible_floor) capacity; order forced to Fifo, time_scale 0,
+/// probe_ms forced to 0 so fault routing is interleaving-independent).
+/// Every shard is wrapped in a FaultInjectionShard and `faults` is
+/// applied at wave boundaries; at the end all shards are revived and
+/// probed, leftover leases are released, and any shard audit violation,
+/// surviving scatter lease, or undelivered deferred release throws
+/// std::runtime_error -- a kill/revive wave must not lose a lease.
 [[nodiscard]] ClusterOutcome run_cluster_schedule(
     const SchedInstance& instance, service::ServiceConfig config,
-    const cluster::ClusterConfig& cluster, bool concurrent);
+    const cluster::ClusterConfig& cluster, bool concurrent,
+    const FaultPlan& faults = {});
 
 /// Runs the serial-router and concurrent-router replays and describes the
 /// first divergence the applicable oracle (strict for wave == 1, relaxed
 /// otherwise -- see file comment) finds, or std::nullopt when equivalent.
 [[nodiscard]] std::optional<std::string> check_cluster_equivalence(
     const SchedInstance& instance, const service::ServiceConfig& config,
-    const cluster::ClusterConfig& cluster);
+    const cluster::ClusterConfig& cluster, const FaultPlan& faults = {});
 
 /// Serializes a cluster schedule as a v3 trace (kind=cluster): the
-/// sched_sim trace plus the cluster topology meta entries.
+/// sched_sim trace plus the cluster topology meta entries and, when the
+/// fault plan is non-empty, a `faults` entry ("wave:shard:kill;..." --
+/// one clause per event) plus the health knobs that shape its metrics.
 [[nodiscard]] Trace cluster_instance_to_trace(
-    const SchedInstance& instance, const cluster::ClusterConfig& cluster);
+    const SchedInstance& instance, const cluster::ClusterConfig& cluster,
+    const FaultPlan& faults = {});
 
-/// Parses a trace produced by cluster_instance_to_trace().
-[[nodiscard]] std::pair<SchedInstance, cluster::ClusterConfig>
-cluster_instance_from_trace(const Trace& trace);
+/// Everything a kind=cluster trace round-trips.
+struct ClusterTraceParts {
+  SchedInstance instance;
+  cluster::ClusterConfig cluster;
+  FaultPlan faults;
+};
+
+/// Parses a trace produced by cluster_instance_to_trace(). Traces from
+/// before fault injection (no `faults` meta) parse to an empty plan.
+[[nodiscard]] ClusterTraceParts cluster_instance_from_trace(
+    const Trace& trace);
 
 }  // namespace fbc::testing

@@ -1,5 +1,6 @@
 #include "testing/fuzzer.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <iterator>
 #include <optional>
@@ -60,26 +61,65 @@ constexpr const char* kClusterPolicies[] = {"optfb", "landlord",
                                             "dist-online"};
 
 /// Runs the serial-router vs concurrent-router replay pair over a real
-/// sharded cluster; returns the violation caught, if any.
+/// sharded cluster (optionally with a kill/revive fault plan); returns
+/// the violation caught, if any.
 std::optional<Violation> check_cluster(const SchedInstance& instance,
                                        const cluster::ClusterConfig& cluster,
+                                       const FaultPlan& faults,
                                        const std::string& policy,
                                        std::uint64_t seed) {
   service::ServiceConfig config;
   config.policy = policy;
   config.seed = seed;
-  const std::string subject =
-      policy + "/" + cluster::to_string(cluster.placement);
+  std::string subject = policy + "/" + cluster::to_string(cluster.placement);
+  if (!faults.empty())
+    subject += "/faults=" + std::to_string(faults.events.size());
   try {
     if (std::optional<std::string> diff =
-            check_cluster_equivalence(instance, config, cluster))
+            check_cluster_equivalence(instance, config, cluster, faults))
       return Violation{"cluster_equivalence", subject, *diff};
   } catch (const std::exception& e) {
-    // Audit violations, leaked scatter leases, and stalled waves all
-    // surface as exceptions out of the replay.
+    // Audit violations, leaked scatter leases, lost deferred releases,
+    // and stalled waves all surface as exceptions out of the replay.
     return Violation{"cluster_replay", subject, e.what()};
   }
   return std::nullopt;
+}
+
+/// Draws a kill/revive plan for `instance`: a few distinct victim shards
+/// (never all of them, so placement always has somewhere to land), each
+/// killed at a random wave boundary and, half the time, revived at a
+/// later one -- the revive path is where deferred releases flush, so it
+/// must be fuzzed as hard as the kill path.
+FaultPlan generate_fault_plan(const SchedInstance& instance,
+                              const cluster::ClusterConfig& cluster,
+                              Rng& rng) {
+  FaultPlan faults;
+  const std::size_t wave_len = std::max<std::size_t>(1, instance.wave);
+  const std::size_t waves =
+      (instance.ops.size() + wave_len - 1) / wave_len;
+  if (waves == 0 || cluster.shards < 2) return faults;
+  std::vector<std::uint32_t> victims;
+  for (std::uint32_t s = 0; s < cluster.shards; ++s) victims.push_back(s);
+  const std::size_t kills = 1 + rng.index(cluster.shards - 1);
+  for (std::size_t k = 0; k < kills; ++k) {
+    // Partial Fisher-Yates: victims[k] is drawn without replacement.
+    const std::size_t j = k + rng.index(victims.size() - k);
+    std::swap(victims[k], victims[j]);
+    FaultEvent kill;
+    kill.wave = rng.index(waves);
+    kill.shard = victims[k];
+    kill.kill = true;
+    faults.events.push_back(kill);
+    if (kill.wave + 1 < waves && rng.bernoulli(0.5)) {
+      FaultEvent revive;
+      revive.wave = kill.wave + 1 + rng.index(waves - kill.wave - 1);
+      revive.shard = victims[k];
+      revive.kill = false;
+      faults.events.push_back(revive);
+    }
+  }
+  return faults;
 }
 
 /// Space-joined policy list for reproducer meta.
@@ -97,7 +137,11 @@ void stamp(Trace& trace, const Violation& violation, std::uint64_t seed,
            std::uint64_t iteration) {
   trace.set_meta("oracle", violation.oracle);
   trace.set_meta("subject", violation.subject);
-  trace.set_meta("detail", violation.detail);
+  // Oracle details are often multi-line state dumps, but meta values are
+  // one line each on the wire -- flatten or the reproducer write throws.
+  std::string detail = violation.detail;
+  std::replace(detail.begin(), detail.end(), '\n', '|');
+  trace.set_meta("detail", std::move(detail));
   trace.set_meta("seed", std::to_string(seed));
   trace.set_meta("iteration", std::to_string(iteration));
 }
@@ -116,6 +160,8 @@ std::string write_reproducer(const Trace& trace, const std::string& out_dir,
   } catch (const std::exception& e) {
     log << "fbcfuzz: failed to write reproducer " << path << ": " << e.what()
         << "\n";
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // drop any partial stub
     return {};
   }
   return path;
@@ -236,26 +282,35 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream& log) {
       // Aggressive spill threshold so affinity placements actually
       // scatter at fuzz-sized caches.
       cluster.spill_threshold = 0.02 + rng.uniform_double(0.0, 0.2);
+      // Low thresholds make health transitions reachable on fuzz-sized
+      // schedules (one shard sees only a handful of ops per run).
+      cluster.down_threshold = 1 + static_cast<std::uint32_t>(rng.index(3));
+      const FaultPlan faults = rng.bernoulli(0.4)
+                                   ? generate_fault_plan(instance, cluster, rng)
+                                   : FaultPlan{};
       const std::string policy =
           kClusterPolicies[rng.index(std::size(kClusterPolicies))];
       ++report.cluster_runs;
       std::optional<Violation> violation =
-          check_cluster(instance, cluster, policy, iter_seed);
+          check_cluster(instance, cluster, faults, policy, iter_seed);
       if (violation.has_value() && fresh(*violation) && !capped()) {
         log << "fbcfuzz: iter " << iter << ": " << violation->to_string()
             << "\n";
         SchedInstance repro = instance;
         if (config.shrink) {
           const std::string oracle = violation->oracle;
+          // The fault plan is held fixed while ops shrink: kill/revive
+          // waves past the shrunk schedule's end simply never fire.
           repro = shrink_sched_instance(
               std::move(repro),
-              [&cluster, &policy, iter_seed, &oracle](const SchedInstance& c) {
+              [&cluster, &faults, &policy, iter_seed,
+               &oracle](const SchedInstance& c) {
                 const std::optional<Violation> v =
-                    check_cluster(c, cluster, policy, iter_seed);
+                    check_cluster(c, cluster, faults, policy, iter_seed);
                 return v.has_value() && v->oracle == oracle;
               });
         }
-        Trace trace = cluster_instance_to_trace(repro, cluster);
+        Trace trace = cluster_instance_to_trace(repro, cluster, faults);
         trace.set_meta("policy", policy);
         trace.set_meta("cluster_seed", std::to_string(iter_seed));
         stamp(trace, *violation, config.seed, iter);
@@ -406,14 +461,15 @@ std::vector<Violation> replay_reproducer(const Trace& trace) {
     return {};
   }
   if (*kind == "cluster") {
-    const auto [instance, cluster] = cluster_instance_from_trace(trace);
+    const auto [instance, cluster, faults] =
+        cluster_instance_from_trace(trace);
     std::string policy = "optfb";
     if (const std::string* p = trace.meta_value("policy")) policy = *p;
     std::uint64_t seed = 1;
     if (const std::string* s = trace.meta_value("cluster_seed"))
       seed = std::stoull(*s);
     if (std::optional<Violation> v =
-            check_cluster(instance, cluster, policy, seed))
+            check_cluster(instance, cluster, faults, policy, seed))
       return {std::move(*v)};
     return {};
   }

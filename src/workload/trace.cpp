@@ -44,7 +44,9 @@ const std::string* Trace::meta_value(std::string_view key) const noexcept {
 void write_trace(std::ostream& os, const Trace& trace) {
   const bool timed = trace.is_timed();
   const bool v3 = !trace.meta.empty();
-  os << (v3 ? "fbc-trace v3\n" : timed ? "fbc-trace v2\n" : "fbc-trace v1\n");
+  // Validate before emitting anything: a throw mid-write would leave a
+  // header-only stub on disk that read_trace rejects, which is worse
+  // than no file at all for a fuzz reproducer.
   if (v3) {
     for (const auto& [key, value] : trace.meta) {
       if (key.empty() || key.find_first_of(" \t\r\n") != std::string::npos)
@@ -54,6 +56,9 @@ void write_trace(std::ostream& os, const Trace& trace) {
         throw std::invalid_argument("write_trace: meta value for '" + key +
                                     "' contains a newline");
     }
+  }
+  os << (v3 ? "fbc-trace v3\n" : timed ? "fbc-trace v2\n" : "fbc-trace v1\n");
+  if (v3) {
     // The reserved `timed` entry is wire-format only (consumed on read).
     os << "meta " << (trace.meta.size() + (timed ? 1 : 0)) << "\n";
     for (const auto& [key, value] : trace.meta) {

@@ -43,11 +43,27 @@ TEST(Hello, ReplyRoundTrips) {
   msg.role = EndpointRole::Router;
   msg.shard_id = 3;
   msg.shard_count = 8;
+  msg.shards_down = 2;
   const Message decoded = round_trip(msg);
   const auto& out = std::get<HelloReplyMsg>(decoded);
   EXPECT_EQ(out.role, EndpointRole::Router);
   EXPECT_EQ(out.shard_id, 3u);
   EXPECT_EQ(out.shard_count, 8u);
+  EXPECT_EQ(out.shards_down, 2u);
+}
+
+TEST(Hello, ReplyRejectsMoreDownThanShards) {
+  HelloReplyMsg msg;
+  msg.role = EndpointRole::Router;
+  msg.shard_count = 2;
+  msg.shards_down = 3;
+  std::vector<std::uint8_t> frame;
+  encode_frame(msg, &frame);
+  const FrameHeader header = decode_header({frame.data(), kFrameHeaderBytes});
+  EXPECT_THROW(
+      (void)decode_payload(header.type, {frame.data() + kFrameHeaderBytes,
+                                         frame.size() - kFrameHeaderBytes}),
+      ProtocolError);
 }
 
 TEST(Hello, StandaloneShardReportsItsId) {
@@ -89,6 +105,7 @@ TEST(Hello, RouterReportsShardCount) {
   EXPECT_EQ(hello.role, EndpointRole::Router);
   EXPECT_EQ(hello.shard_id, 0u);
   EXPECT_EQ(hello.shard_count, 3u);
+  EXPECT_EQ(hello.shards_down, 0u);  // healthy fleet
 
   // The wire path still serves leases through the router.
   const AcquireResult result = client.acquire({1, 2});

@@ -153,7 +153,9 @@ TEST(ClusterSim, TraceRoundTripsWithTopologyMeta) {
   ASSERT_NE(kind, nullptr);
   EXPECT_EQ(*kind, "cluster");  // rewritten, not shadowed
 
-  const auto [parsed, parsed_cluster] = cluster_instance_from_trace(trace);
+  const auto [parsed, parsed_cluster, parsed_faults] =
+      cluster_instance_from_trace(trace);
+  EXPECT_TRUE(parsed_faults.empty());  // no faults meta -> empty plan
   EXPECT_EQ(parsed.cache_bytes, instance.cache_bytes);
   EXPECT_EQ(parsed.wave, instance.wave);
   ASSERT_EQ(parsed.ops.size(), instance.ops.size());
@@ -185,6 +187,111 @@ TEST(ClusterSim, MissingTopologyMetaThrows) {
   SchedInstance instance = two_op_instance(1);
   const Trace trace = sched_instance_to_trace(instance);  // kind=serve
   EXPECT_THROW((void)cluster_instance_from_trace(trace), std::runtime_error);
+}
+
+TEST(ClusterSim, KillWaveReroutesAndLosesNoLease) {
+  // Kill one shard for the middle of the schedule. Every request still
+  // gets served (re-routed to the survivors), the replay's end-state
+  // audits pass (run_cluster_schedule throws on a leaked lease, a
+  // surviving scatter entry, or an undelivered deferred release), and
+  // the health counters record the down/recover round trip.
+  SchedGenConfig gen;
+  gen.max_ops = 24;
+  Rng rng(67);
+  const SchedInstance instance = generate_sched_instance(gen, rng);
+  cluster::ClusterConfig cluster =
+      cluster_config(3, cluster::PlacementMode::HashFile);
+  cluster.down_threshold = 1;
+  FaultPlan faults;
+  faults.events.push_back({1, 1, true});    // kill shard 1 at wave 1
+  faults.events.push_back({3, 1, false});   // revive + probe at wave 3
+  const ClusterOutcome outcome =
+      run_cluster_schedule(instance, replay_config("optfb", 1), cluster,
+                           /*concurrent=*/false, faults);
+  for (const GrantRecord& g : outcome.grants)
+    EXPECT_NE(g.status,
+              static_cast<std::uint8_t>(service::AcquireStatus::ShardsDown));
+  if (outcome.shard_down_events > 0) {
+    EXPECT_GT(outcome.rerouted, 0u);
+    EXPECT_EQ(outcome.shard_recoveries, outcome.shard_down_events);
+  }
+}
+
+TEST(ClusterSim, FaultedReplayIsDeterministic) {
+  SchedGenConfig gen;
+  gen.max_ops = 20;
+  Rng rng(71);
+  const SchedInstance instance = generate_sched_instance(gen, rng);
+  cluster::ClusterConfig cluster =
+      cluster_config(3, cluster::PlacementMode::BundleAffinity);
+  cluster.down_threshold = 2;
+  FaultPlan faults;
+  faults.events.push_back({0, 2, true});
+  faults.events.push_back({2, 2, false});
+  faults.events.push_back({3, 0, true});
+  const ClusterOutcome a =
+      run_cluster_schedule(instance, replay_config("optfb", 1), cluster,
+                           /*concurrent=*/false, faults);
+  const ClusterOutcome b =
+      run_cluster_schedule(instance, replay_config("optfb", 1), cluster,
+                           /*concurrent=*/false, faults);
+  EXPECT_EQ(a, b) << "--- first ---\n"
+                  << to_string(a) << "--- second ---\n"
+                  << to_string(b);
+}
+
+TEST(ClusterSim, SerialAndConcurrentAgreeUnderFaults) {
+  // The faulted arm of the fbcfuzz --cluster-diff oracle: kill/revive
+  // waves must not open a divergence between the serial and concurrent
+  // replays (probe_ms = 0 keeps fault routing interleaving-independent).
+  SchedGenConfig gen;
+  gen.max_ops = 16;
+  gen.max_files = 12;
+  Rng rng(0xfa171e57ULL);
+  const char* policies[] = {"optfb", "landlord", "dist-online"};
+  for (int i = 0; i < 8; ++i) {
+    const SchedInstance instance = generate_sched_instance(gen, rng);
+    cluster::ClusterConfig cluster = cluster_config(
+        2 + static_cast<std::uint32_t>(rng.index(3)),
+        rng.bernoulli(0.5) ? cluster::PlacementMode::BundleAffinity
+                           : cluster::PlacementMode::HashFile);
+    cluster.down_threshold = 1 + static_cast<std::uint32_t>(rng.index(2));
+    FaultPlan faults;
+    faults.events.push_back(
+        {rng.index(4), static_cast<std::uint32_t>(rng.index(cluster.shards)),
+         true});
+    if (rng.bernoulli(0.5))
+      faults.events.push_back(
+          {faults.events[0].wave + 1 + rng.index(3), faults.events[0].shard,
+           false});
+    const std::optional<std::string> diff = check_cluster_equivalence(
+        instance, replay_config(policies[i % 3], 1 + i), cluster, faults);
+    EXPECT_FALSE(diff.has_value()) << *diff;
+  }
+}
+
+TEST(ClusterSim, FaultPlanRoundTripsThroughTrace) {
+  SchedGenConfig gen;
+  gen.max_ops = 8;
+  Rng rng(29);
+  const SchedInstance instance = generate_sched_instance(gen, rng);
+  cluster::ClusterConfig cluster =
+      cluster_config(3, cluster::PlacementMode::HashFile);
+  cluster.down_threshold = 2;
+  FaultPlan faults;
+  faults.events.push_back({1, 2, true});
+  faults.events.push_back({4, 2, false});
+  const Trace trace = cluster_instance_to_trace(instance, cluster, faults);
+  const auto [parsed, parsed_cluster, parsed_faults] =
+      cluster_instance_from_trace(trace);
+  EXPECT_EQ(parsed_cluster.down_threshold, 2u);
+  ASSERT_EQ(parsed_faults.events.size(), 2u);
+  EXPECT_EQ(parsed_faults.events[0].wave, 1u);
+  EXPECT_EQ(parsed_faults.events[0].shard, 2u);
+  EXPECT_TRUE(parsed_faults.events[0].kill);
+  EXPECT_EQ(parsed_faults.events[1].wave, 4u);
+  EXPECT_EQ(parsed_faults.events[1].shard, 2u);
+  EXPECT_FALSE(parsed_faults.events[1].kill);
 }
 
 }  // namespace

@@ -219,6 +219,17 @@ TEST(TraceV3, MalformedMetaEntriesRejectedOnWrite) {
   EXPECT_THROW(write_trace(ss, newline_value), std::invalid_argument);
 }
 
+TEST(TraceV3, RejectedWriteEmitsNothing) {
+  // A throw after the magic line would leave a header-only stub that
+  // read_trace rejects -- fuzz reproducers hit exactly this when an
+  // oracle detail carried a newline. Validation must precede output.
+  Trace newline_value = sample_trace();
+  newline_value.set_meta("key", "line one\nline two");
+  std::stringstream ss;
+  EXPECT_THROW(write_trace(ss, newline_value), std::invalid_argument);
+  EXPECT_EQ(ss.str(), "");
+}
+
 TEST(TraceV3, TruncatedMetaSectionRejected) {
   std::stringstream ss(
       "fbc-trace v3\nmeta 2\nkind select\nfiles 1\n64\njobs 0\n");

@@ -158,23 +158,65 @@ int main(int argc, char** argv) {
       std::vector<std::unique_ptr<service::BundleClient>> clients;
       clients.reserve(ports.size());
       for (std::uint16_t p : ports) clients.push_back(connect_or_explain(p));
+      // Who are we looking at? One hello up front names the endpoint and
+      // its fleet health (a router reports shards it has marked down).
+      if (!merged) {
+        const service::HelloReplyMsg hello = clients.front()->hello();
+        std::cout << "endpoint: role="
+                  << (hello.role == service::EndpointRole::Router ? "router"
+                                                                  : "shard")
+                  << " shards=" << hello.shard_count
+                  << " down=" << hello.shards_down << "\n";
+      }
       const std::uint64_t watch_s = cli.get_u64("watch");
       for (bool first = true;; first = false) {
         if (!first) {
           std::this_thread::sleep_for(std::chrono::seconds(watch_s));
           std::cout << "\n";
         }
-        if (command == "stats") {
-          std::vector<service::ServiceStats> snaps;
-          snaps.reserve(clients.size());
-          for (auto& c : clients) snaps.push_back(c->stats());
-          print_stats(merged ? cluster::merge_stats(snaps) : snaps.front());
+        // A daemon that died (or restarted) between polls must not kill
+        // the watch: reconnect once, and on failure skip it this round
+        // and flag how many answered. One-shot polls still die loudly.
+        std::size_t reachable = 0;
+        std::vector<service::ServiceStats> stat_snaps;
+        std::vector<service::MetricsSnapshot> metric_snaps;
+        for (std::size_t i = 0; i < clients.size(); ++i) {
+          try {
+            if (command == "stats") {
+              stat_snaps.push_back(clients[i]->stats());
+            } else {
+              metric_snaps.push_back(clients[i]->metrics());
+            }
+            ++reachable;
+          } catch (const service::NetError&) {
+            if (watch_s == 0) throw;
+            try {
+              clients[i]->reconnect();
+              if (command == "stats") {
+                stat_snaps.push_back(clients[i]->stats());
+              } else {
+                metric_snaps.push_back(clients[i]->metrics());
+              }
+              ++reachable;
+            } catch (const service::NetError&) {
+              std::cout << "daemon 127.0.0.1:" << clients[i]->port()
+                        << " (down)\n";
+            }
+          }
+        }
+        if (reachable == 0) {
+          std::cout << "all " << clients.size() << " daemon(s) down\n";
         } else {
-          std::vector<service::MetricsSnapshot> snaps;
-          snaps.reserve(clients.size());
-          for (auto& c : clients) snaps.push_back(c->metrics());
-          print_metrics(merged ? cluster::merge_metrics(snaps)
-                               : snaps.front());
+          if (reachable != clients.size())
+            std::cout << "reporting " << reachable << "/" << clients.size()
+                      << " daemons\n";
+          if (command == "stats") {
+            print_stats(merged ? cluster::merge_stats(stat_snaps)
+                               : stat_snaps.front());
+          } else {
+            print_metrics(merged ? cluster::merge_metrics(metric_snaps)
+                                 : metric_snaps.front());
+          }
         }
         if (watch_s == 0) break;
         // A watch loop only ever exits by signal, so nothing downstream

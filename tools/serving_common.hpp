@@ -122,6 +122,14 @@ inline void add_cluster_options(CliParser& cli) {
                  "0");
   cli.add_option("replicate-hot",
                  "hottest files replicated to every replica site", "0");
+  cli.add_option("remote-pool-cap",
+                 "idle connections kept per remote shard daemon", "8");
+  cli.add_option("down-threshold",
+                 "consecutive NetErrors before a shard is marked down", "3");
+  cli.add_option("probe-ms",
+                 "recovery-probe interval for down shards (0 = every "
+                 "request)",
+                 "500");
 }
 
 /// Builds a ClusterConfig from the flags added above.
@@ -135,6 +143,10 @@ inline cluster::ClusterConfig cluster_config_from_cli(const CliParser& cli) {
       static_cast<std::uint32_t>(cli.get_u64("replica-sites"));
   config.replicate_hot =
       static_cast<std::uint32_t>(cli.get_u64("replicate-hot"));
+  config.remote_pool_cap = cli.get_u64("remote-pool-cap");
+  config.down_threshold =
+      static_cast<std::uint32_t>(cli.get_u64("down-threshold"));
+  config.probe_ms = cli.get_u64("probe-ms");
   return config;
 }
 
